@@ -1,0 +1,297 @@
+//! FPGA device descriptions and the Virtex-5 device library.
+//!
+//! The paper's synthetic evaluation (Figs. 7–9) targets nine Virtex-5
+//! parts, named on the figure axes: LX20T, LX30, FX30T, SX35T, FX50T,
+//! SX70T, FX95T, FX130T and FX200T. Not all of those names exist in the
+//! Xilinx DS100 family table; following DESIGN.md §4 we assign each label
+//! the capacities of the closest DS100 device, preserving the paper's size
+//! ordering. Capacities are in the paper's unified logic-cell unit (see
+//! [`crate::resources`]).
+
+use crate::geometry::DeviceGeometry;
+use crate::resources::Resources;
+use crate::tile::TileCounts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Xilinx Virtex-5 sub-family of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceFamily {
+    /// LX / LXT: logic optimised.
+    Lx,
+    /// SXT: DSP optimised.
+    Sx,
+    /// FXT: embedded-processor parts.
+    Fx,
+}
+
+impl fmt::Display for DeviceFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DeviceFamily::Lx => "LX",
+            DeviceFamily::Sx => "SX",
+            DeviceFamily::Fx => "FX",
+        })
+    }
+}
+
+/// One FPGA device: a name, resource capacity, and row count.
+///
+/// `rows` is the number of configuration rows (each one tile high); the
+/// floorplanner derives a column layout from the capacity via
+/// [`DeviceGeometry`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Part name as printed on the paper's figure axes, e.g. `"FX70T"`.
+    pub name: String,
+    /// Sub-family.
+    pub family: DeviceFamily,
+    /// Total reconfigurable resource capacity.
+    pub capacity: Resources,
+    /// Number of configuration rows (device height in tiles).
+    pub rows: u32,
+}
+
+impl Device {
+    /// Creates a device.
+    pub fn new(name: &str, family: DeviceFamily, capacity: Resources, rows: u32) -> Self {
+        Device { name: name.to_string(), family, capacity, rows }
+    }
+
+    /// True if a requirement fits in this device.
+    pub fn fits(&self, requirement: &Resources) -> bool {
+        requirement.fits_in(&self.capacity)
+    }
+
+    /// Capacity expressed in whole tiles (the floorplanner's currency).
+    pub fn capacity_tiles(&self) -> TileCounts {
+        TileCounts {
+            clb_tiles: self.capacity.clb / crate::tile::CLBS_PER_TILE,
+            bram_tiles: self.capacity.bram / crate::tile::BRAMS_PER_TILE,
+            dsp_tiles: self.capacity.dsp / crate::tile::DSPS_PER_TILE,
+        }
+    }
+
+    /// Builds the column/row geometry for this device (see
+    /// [`DeviceGeometry::synthesise`]).
+    pub fn geometry(&self) -> DeviceGeometry {
+        DeviceGeometry::synthesise(&self.capacity, self.rows)
+    }
+
+    /// A coarse total-size measure used to order devices "by FPGA size" as
+    /// the paper's Figs. 7/8 do (logic capacity dominates the ordering).
+    pub fn size_index(&self) -> u64 {
+        self.capacity.clb as u64
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Part names already carry the family letters (e.g. "LX20T").
+        write!(f, "XC5V{} ({})", self.name, self.capacity)
+    }
+}
+
+/// An ordered collection of candidate devices, smallest first.
+///
+/// Device selection (paper §V) walks this list to find the smallest part
+/// that can hold a design's largest configuration, escalating to larger
+/// parts when no partitioning other than a single region is feasible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceLibrary {
+    devices: Vec<Device>,
+}
+
+impl DeviceLibrary {
+    /// Builds a library from a list of devices; they are sorted smallest
+    /// first by [`Device::size_index`].
+    pub fn new(mut devices: Vec<Device>) -> Self {
+        devices.sort_by_key(|d| d.size_index());
+        DeviceLibrary { devices }
+    }
+
+    /// The Virtex-5 library used by the paper's synthetic evaluation: the
+    /// nine devices named on the Fig. 7/8 axes, smallest to largest.
+    ///
+    /// Capacities follow Xilinx DS100 for the closest existing part
+    /// (see module docs): slices, BRAM36 and DSP48E counts.
+    pub fn virtex5() -> Self {
+        use DeviceFamily::*;
+        DeviceLibrary::new(vec![
+            Device::new("LX20T", Lx, Resources::new(3120, 26, 24), 3),
+            Device::new("LX30", Lx, Resources::new(4800, 32, 32), 4),
+            Device::new("FX30T", Fx, Resources::new(5120, 68, 64), 4),
+            Device::new("SX35T", Sx, Resources::new(5440, 84, 192), 4),
+            Device::new("FX50T", Fx, Resources::new(8160, 132, 128), 6),
+            Device::new("SX70T", Sx, Resources::new(11200, 148, 384), 8),
+            Device::new("FX95T", Fx, Resources::new(14720, 244, 256), 10),
+            Device::new("FX130T", Fx, Resources::new(20480, 298, 320), 10),
+            Device::new("FX200T", Fx, Resources::new(30720, 456, 384), 12),
+        ])
+    }
+
+    /// The complete Virtex-5 family per Xilinx DS100 (LX, LXT, SXT and
+    /// FXT parts), smallest to largest — a superset of [`virtex5`]
+    /// useful when device choice should not be limited to the paper's
+    /// figure axes. Capacities are (slices, BRAM36, DSP48E).
+    ///
+    /// [`virtex5`]: DeviceLibrary::virtex5
+    pub fn virtex5_full() -> Self {
+        use DeviceFamily::*;
+        DeviceLibrary::new(vec![
+            Device::new("LX20T", Lx, Resources::new(3120, 26, 24), 3),
+            Device::new("LX30", Lx, Resources::new(4800, 32, 32), 4),
+            Device::new("LX30T", Lx, Resources::new(4800, 36, 32), 4),
+            Device::new("FX30T", Fx, Resources::new(5120, 68, 64), 4),
+            Device::new("SX35T", Sx, Resources::new(5440, 84, 192), 4),
+            Device::new("LX50", Lx, Resources::new(7200, 48, 48), 6),
+            Device::new("LX50T", Lx, Resources::new(7200, 60, 48), 6),
+            Device::new("SX50T", Sx, Resources::new(8160, 132, 288), 6),
+            Device::new("FX70T", Fx, Resources::new(11200, 148, 128), 8),
+            Device::new("LX85", Lx, Resources::new(12960, 96, 48), 8),
+            Device::new("SX95T", Sx, Resources::new(14720, 244, 640), 10),
+            Device::new("FX100T", Fx, Resources::new(16000, 228, 256), 10),
+            Device::new("LX110", Lx, Resources::new(17280, 128, 64), 10),
+            Device::new("FX130T", Fx, Resources::new(20480, 298, 320), 10),
+            Device::new("LX155", Lx, Resources::new(24320, 192, 128), 10),
+            Device::new("FX200T", Fx, Resources::new(30720, 456, 384), 12),
+            Device::new("LX220", Lx, Resources::new(34560, 192, 128), 12),
+            Device::new("SX240T", Sx, Resources::new(37440, 516, 1056), 12),
+            Device::new("LX330", Lx, Resources::new(51840, 288, 192), 12),
+        ])
+    }
+
+    /// Devices smallest-first.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Looks a device up by name (case-insensitive, with or without the
+    /// `XC5V` prefix).
+    pub fn by_name(&self, name: &str) -> Option<&Device> {
+        let norm = name.trim().to_ascii_uppercase();
+        let norm = norm.strip_prefix("XC5V").unwrap_or(&norm);
+        self.devices.iter().find(|d| d.name.eq_ignore_ascii_case(norm))
+    }
+
+    /// The smallest device that can hold `requirement`, if any.
+    pub fn smallest_fitting(&self, requirement: &Resources) -> Option<&Device> {
+        self.devices.iter().find(|d| d.fits(requirement))
+    }
+
+    /// Devices strictly larger than `device` (candidates for escalation),
+    /// smallest first.
+    pub fn larger_than<'a>(&'a self, device: &Device) -> impl Iterator<Item = &'a Device> + 'a {
+        let idx = self.index_of(device);
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| idx.is_none_or(|n| *i > n))
+            .map(|(_, d)| d)
+    }
+
+    /// Position of a device in the size ordering.
+    pub fn index_of(&self, device: &Device) -> Option<usize> {
+        self.devices.iter().position(|d| d.name == device.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtex5_has_the_nine_figure_axis_devices() {
+        let lib = DeviceLibrary::virtex5();
+        let names: Vec<&str> = lib.devices().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["LX20T", "LX30", "FX30T", "SX35T", "FX50T", "SX70T", "FX95T", "FX130T", "FX200T"]
+        );
+    }
+
+    #[test]
+    fn library_is_sorted_smallest_first() {
+        let lib = DeviceLibrary::virtex5();
+        let sizes: Vec<u64> = lib.devices().iter().map(|d| d.size_index()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn lookup_by_name_is_forgiving() {
+        let lib = DeviceLibrary::virtex5();
+        assert!(lib.by_name("fx70t").is_none()); // FX70T is not in the figure set
+        assert_eq!(lib.by_name("sx35t").unwrap().name, "SX35T");
+        assert_eq!(lib.by_name("XC5VLX30").unwrap().name, "LX30");
+        assert_eq!(lib.by_name(" LX20T ").unwrap().name, "LX20T");
+    }
+
+    #[test]
+    fn smallest_fitting_walks_up() {
+        let lib = DeviceLibrary::virtex5();
+        // Tiny design fits the smallest part.
+        let d = lib.smallest_fitting(&Resources::new(100, 2, 2)).unwrap();
+        assert_eq!(d.name, "LX20T");
+        // A DSP-hungry design skips the logic-only parts.
+        let d = lib.smallest_fitting(&Resources::new(100, 2, 100)).unwrap();
+        assert_eq!(d.name, "SX35T");
+        // Too large for everything.
+        assert!(lib.smallest_fitting(&Resources::new(1_000_000, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn larger_than_yields_strictly_larger() {
+        let lib = DeviceLibrary::virtex5();
+        let base = lib.by_name("SX35T").unwrap().clone();
+        let names: Vec<&str> = lib.larger_than(&base).map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["FX50T", "SX70T", "FX95T", "FX130T", "FX200T"]);
+    }
+
+    #[test]
+    fn full_library_is_a_superset_and_sorted() {
+        let full = DeviceLibrary::virtex5_full();
+        let figs = DeviceLibrary::virtex5();
+        assert_eq!(full.len(), 19);
+        // The figure library's labels exist in DS100 except the three
+        // paper-only axis names (FX50T/SX70T/FX95T), which alias the
+        // closest real parts.
+        let aliases = ["FX50T", "SX70T", "FX95T"];
+        for d in figs.devices() {
+            match full.by_name(&d.name) {
+                Some(in_full) => assert_eq!(in_full.capacity, d.capacity, "{}", d.name),
+                None => assert!(aliases.contains(&d.name.as_str()), "{}", d.name),
+            }
+        }
+        let sizes: Vec<u64> = full.devices().iter().map(|d| d.size_index()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+        // The case-study part is present in the full library only.
+        assert!(full.by_name("FX70T").is_some());
+        assert!(figs.by_name("FX70T").is_none());
+    }
+
+    #[test]
+    fn capacity_tiles_floors() {
+        let d = Device::new("T", DeviceFamily::Lx, Resources::new(45, 5, 9), 2);
+        let t = d.capacity_tiles();
+        assert_eq!(t.clb_tiles, 2);
+        assert_eq!(t.bram_tiles, 1);
+        assert_eq!(t.dsp_tiles, 1);
+    }
+
+    #[test]
+    fn display_includes_family() {
+        let lib = DeviceLibrary::virtex5();
+        let s = lib.by_name("FX130T").unwrap().to_string();
+        assert!(s.contains("XC5VFX"), "{s}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Frame Address Register (FAR) model.
+//!
+//! Virtex-5 configuration memory is addressed per frame through the FAR
+//! (UG191, the paper's ref \[12\]): a frame address names the block type,
+//! the device half (top/bottom), the row within that half, the major
+//! column, and the minor frame within the column. The flow's bitstream
+//! generator uses this model to emit a correct type-1 FAR write for each
+//! placed region, and the runtime can map an address back to a tile.
+//!
+//! Simplifications relative to silicon, documented per DESIGN.md §4:
+//! rows count from the device bottom (no top/bottom split mirroring), and
+//! the minor count per column follows the tile frame counts of
+//! [`crate::tile`] (36/28/30 for CLB/DSP/BRAM interconnect-and-content
+//! frames).
+
+use crate::geometry::{BlockKind, DeviceGeometry};
+use crate::tile::frames_per_tile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// FAR block type field (UG191 table 6-9, abridged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockType {
+    /// Interconnect & configuration (CLB/DSP/IO columns).
+    InterconnectAndCfg,
+    /// BlockRAM content.
+    BramContent,
+}
+
+impl BlockType {
+    fn field(self) -> u32 {
+        match self {
+            BlockType::InterconnectAndCfg => 0,
+            BlockType::BramContent => 1,
+        }
+    }
+}
+
+/// A decoded frame address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameAddress {
+    /// Block type.
+    pub block_type: BlockType,
+    /// Configuration row (from the bottom; no top/bottom mirroring).
+    pub row: u32,
+    /// Major column index.
+    pub major: u32,
+    /// Minor frame index within the column.
+    pub minor: u32,
+}
+
+impl FrameAddress {
+    /// Packs into the 32-bit FAR register layout (Virtex-5: type in
+    /// bits 23:21, top/bottom in 20 — always 0 here — row in 19:15,
+    /// major in 14:7, minor in 6:0).
+    pub fn pack(&self) -> u32 {
+        (self.block_type.field() << 21)
+            | ((self.row & 0x1F) << 15)
+            | ((self.major & 0xFF) << 7)
+            | (self.minor & 0x7F)
+    }
+
+    /// Unpacks from the register layout.
+    pub fn unpack(word: u32) -> FrameAddress {
+        FrameAddress {
+            block_type: if (word >> 21) & 0x7 == 1 {
+                BlockType::BramContent
+            } else {
+                BlockType::InterconnectAndCfg
+            },
+            row: (word >> 15) & 0x1F,
+            major: (word >> 7) & 0xFF,
+            minor: word & 0x7F,
+        }
+    }
+}
+
+impl fmt::Display for FrameAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FAR[{:?} row={} major={} minor={}]",
+            self.block_type, self.row, self.major, self.minor
+        )
+    }
+}
+
+/// Maps a rectangular tile region (column range × row range) of a device
+/// geometry to its ordered frame addresses: row-major, column by column,
+/// minor frames innermost — the write order of a partial bitstream.
+pub fn frames_for_rect(
+    geometry: &DeviceGeometry,
+    cols: std::ops::Range<usize>,
+    rows: std::ops::Range<u32>,
+) -> Vec<FrameAddress> {
+    let mut out = Vec::new();
+    for row in rows {
+        for col in cols.clone() {
+            let kind = geometry.column(col);
+            let minors = frames_per_tile(kind.resource());
+            let block_type = match kind {
+                BlockKind::Bram => BlockType::BramContent,
+                _ => BlockType::InterconnectAndCfg,
+            };
+            for minor in 0..minors {
+                out.push(FrameAddress { block_type, row, major: col as u32, minor });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BlockKind::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let far = FrameAddress {
+            block_type: BlockType::BramContent,
+            row: 5,
+            major: 113,
+            minor: 29,
+        };
+        assert_eq!(FrameAddress::unpack(far.pack()), far);
+        let far2 = FrameAddress {
+            block_type: BlockType::InterconnectAndCfg,
+            row: 0,
+            major: 0,
+            minor: 0,
+        };
+        assert_eq!(far2.pack(), 0);
+        assert_eq!(FrameAddress::unpack(0), far2);
+    }
+
+    #[test]
+    fn rect_frame_count_matches_tile_model() {
+        // 2 CLB cols + 1 BRAM col + 1 DSP col over 2 rows:
+        // (2*36 + 30 + 28) * 2 = 260 frames.
+        let g = DeviceGeometry::new(vec![Clb, Clb, Bram, Dsp], 2);
+        let frames = frames_for_rect(&g, 0..4, 0..2);
+        assert_eq!(frames.len(), 260);
+        // BRAM frames carry the BRAM content block type.
+        let bram_frames = frames
+            .iter()
+            .filter(|f| f.block_type == BlockType::BramContent)
+            .count();
+        assert_eq!(bram_frames, 30 * 2);
+    }
+
+    #[test]
+    fn frames_are_write_ordered() {
+        let g = DeviceGeometry::new(vec![Clb, Clb], 2);
+        let frames = frames_for_rect(&g, 0..2, 0..2);
+        // Row-major, then column, then minor.
+        assert_eq!(frames[0], FrameAddress { block_type: BlockType::InterconnectAndCfg, row: 0, major: 0, minor: 0 });
+        assert_eq!(frames[35].minor, 35);
+        assert_eq!(frames[36].major, 1);
+        assert_eq!(frames[72].row, 1);
+    }
+
+    #[test]
+    fn sub_rectangles_address_their_columns() {
+        let g = DeviceGeometry::new(vec![Clb, Bram, Clb], 3);
+        let frames = frames_for_rect(&g, 1..2, 2..3);
+        assert_eq!(frames.len(), 30);
+        assert!(frames.iter().all(|f| f.major == 1 && f.row == 2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_unpack(row in 0u32..32, major in 0u32..256, minor in 0u32..128, bram in any::<bool>()) {
+            let far = FrameAddress {
+                block_type: if bram { BlockType::BramContent } else { BlockType::InterconnectAndCfg },
+                row, major, minor,
+            };
+            prop_assert_eq!(FrameAddress::unpack(far.pack()), far);
+        }
+    }
+}

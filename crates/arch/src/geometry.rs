@@ -1,0 +1,269 @@
+//! Column-grid device geometry for floorplanning (paper Fig. 4).
+//!
+//! Virtex-5 devices arrange resources in full-height columns ("blocks"),
+//! partitioned vertically into rows; a tile is one row high and one column
+//! wide. The official flow reconfigures whole tiles, and PR regions must be
+//! rectangular and non-overlapping (§IV-B).
+//!
+//! Real column orderings are device-specific and not published in a form we
+//! can reuse, so [`DeviceGeometry::synthesise`] generates a *plausible*
+//! layout from a device's capacity: BRAM and DSP columns interleaved among
+//! CLB columns at roughly even spacing, mirroring the look of Fig. 4. The
+//! floorplanner only relies on properties that hold for real devices —
+//! column homogeneity, full-height columns, row granularity — so the
+//! substitution preserves the behaviour under study (DESIGN.md §4).
+
+use crate::resources::{ResourceKind, Resources};
+use crate::tile::{primitives_per_tile, BRAMS_PER_TILE, CLBS_PER_TILE, DSPS_PER_TILE};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The homogeneous resource kind of one column of tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Column of CLB tiles.
+    Clb,
+    /// Column of BRAM tiles.
+    Bram,
+    /// Column of DSP tiles.
+    Dsp,
+}
+
+impl BlockKind {
+    /// The resource kind provided by this column.
+    pub fn resource(self) -> ResourceKind {
+        match self {
+            BlockKind::Clb => ResourceKind::Clb,
+            BlockKind::Bram => ResourceKind::Bram,
+            BlockKind::Dsp => ResourceKind::Dsp,
+        }
+    }
+
+    /// One-character symbol used in ASCII floorplan renderings.
+    pub fn symbol(self) -> char {
+        match self {
+            BlockKind::Clb => 'C',
+            BlockKind::Bram => 'B',
+            BlockKind::Dsp => 'D',
+        }
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BlockKind::Clb => "CLB",
+            BlockKind::Bram => "BRAM",
+            BlockKind::Dsp => "DSP",
+        })
+    }
+}
+
+/// The tile grid of a device: an ordered list of full-height columns and a
+/// row count. Tile `(row, col)` is the unit of occupancy tracking in the
+/// floorplanner.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceGeometry {
+    columns: Vec<BlockKind>,
+    rows: u32,
+}
+
+impl DeviceGeometry {
+    /// Builds a geometry with an explicit column order.
+    pub fn new(columns: Vec<BlockKind>, rows: u32) -> Self {
+        assert!(rows > 0, "device must have at least one row");
+        DeviceGeometry { columns, rows }
+    }
+
+    /// Synthesises a geometry whose tile capacity covers `capacity` with
+    /// `rows` rows: the needed BRAM and DSP columns are spread at even
+    /// intervals through the CLB columns, as on real Virtex-5 parts.
+    pub fn synthesise(capacity: &Resources, rows: u32) -> Self {
+        assert!(rows > 0, "device must have at least one row");
+        let cols_for = |prims: u32, per_tile: u32| -> u32 {
+            // Tiles needed overall, split across `rows` full-height columns.
+            let tiles = prims.div_ceil(per_tile);
+            tiles.div_ceil(rows)
+        };
+        let clb_cols = cols_for(capacity.clb, CLBS_PER_TILE).max(1);
+        let bram_cols = cols_for(capacity.bram, BRAMS_PER_TILE);
+        let dsp_cols = cols_for(capacity.dsp, DSPS_PER_TILE);
+
+        let total = clb_cols + bram_cols + dsp_cols;
+        let mut columns = Vec::with_capacity(total as usize);
+        // Interleave: walk the column index space and drop a BRAM or DSP
+        // column whenever its cumulative quota falls behind.
+        let mut placed = Resources::ZERO; // counts of *columns* placed per kind
+        for i in 0..total {
+            let frac = (i + 1) as f64 / total as f64;
+            let want_bram = (frac * bram_cols as f64).round() as u32;
+            let want_dsp = (frac * dsp_cols as f64).round() as u32;
+            if placed.bram < want_bram && placed.bram < bram_cols {
+                columns.push(BlockKind::Bram);
+                placed.bram += 1;
+            } else if placed.dsp < want_dsp && placed.dsp < dsp_cols {
+                columns.push(BlockKind::Dsp);
+                placed.dsp += 1;
+            } else if placed.clb < clb_cols {
+                columns.push(BlockKind::Clb);
+                placed.clb += 1;
+            } else if placed.bram < bram_cols {
+                columns.push(BlockKind::Bram);
+                placed.bram += 1;
+            } else {
+                columns.push(BlockKind::Dsp);
+                placed.dsp += 1;
+            }
+        }
+        DeviceGeometry { columns, rows }
+    }
+
+    /// Number of full-height columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows (device height in tiles).
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// The block kind of column `col`.
+    pub fn column(&self, col: usize) -> BlockKind {
+        self.columns[col]
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[BlockKind] {
+        &self.columns
+    }
+
+    /// Primitive resources contained in a rectangle spanning columns
+    /// `col_range` (half-open) over `row_span` rows.
+    pub fn rect_resources(&self, col_range: std::ops::Range<usize>, row_span: u32) -> Resources {
+        let mut r = Resources::ZERO;
+        for col in col_range {
+            let kind = self.columns[col].resource();
+            let per_tile = primitives_per_tile(kind);
+            let current = r.get(kind);
+            r.set(kind, current + per_tile * row_span);
+        }
+        r
+    }
+
+    /// Total primitive capacity of the grid.
+    pub fn total_resources(&self) -> Resources {
+        self.rect_resources(0..self.columns.len(), self.rows)
+    }
+
+    /// Renders one row of the column pattern as an ASCII string, e.g.
+    /// `"CCCBCCDCC"`. Useful in reports and debugging.
+    pub fn pattern(&self) -> String {
+        self.columns.iter().map(|c| c.symbol()).collect()
+    }
+}
+
+impl fmt::Display for DeviceGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rows x {} cols [{}]", self.rows, self.columns.len(), self.pattern())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn synthesised_capacity_covers_request() {
+        let cap = Resources::new(3120, 26, 24);
+        let g = DeviceGeometry::synthesise(&cap, 3);
+        let total = g.total_resources();
+        assert!(cap.fits_in(&total), "geometry {total} must cover {cap}");
+    }
+
+    #[test]
+    fn synthesis_interleaves_special_columns() {
+        let g = DeviceGeometry::synthesise(&Resources::new(2000, 40, 40), 4);
+        let pat = g.pattern();
+        // BRAM and DSP columns should not all be bunched at one end:
+        // the first and last quarter must both be mostly CLB.
+        assert!(pat.contains('B') && pat.contains('D') && pat.contains('C'));
+        let first = &pat[..pat.len() / 4];
+        assert!(first.contains('C'), "pattern {pat} front-loads special columns");
+    }
+
+    #[test]
+    fn rect_resources_counts_by_kind() {
+        let g = DeviceGeometry::new(
+            vec![BlockKind::Clb, BlockKind::Bram, BlockKind::Clb, BlockKind::Dsp],
+            2,
+        );
+        // Full grid, 2 rows: 2 CLB cols * 20 * 2, 1 BRAM col * 4 * 2, 1 DSP col * 8 * 2.
+        assert_eq!(g.total_resources(), Resources::new(80, 8, 16));
+        // Sub-rectangle: columns 1..3, 1 row.
+        assert_eq!(g.rect_resources(1..3, 1), Resources::new(20, 4, 0));
+    }
+
+    #[test]
+    fn pattern_symbols() {
+        let g = DeviceGeometry::new(vec![BlockKind::Clb, BlockKind::Bram, BlockKind::Dsp], 1);
+        assert_eq!(g.pattern(), "CBD");
+        assert_eq!(g.to_string(), "1 rows x 3 cols [CBD]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_rejected() {
+        DeviceGeometry::new(vec![BlockKind::Clb], 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Synthesised geometries always cover the requested capacity,
+        /// for any capacity and row count.
+        #[test]
+        fn prop_synthesise_covers(
+            clb in 0u32..40_000, bram in 0u32..600, dsp in 0u32..1200, rows in 1u32..16,
+        ) {
+            let cap = Resources::new(clb, bram, dsp);
+            let g = DeviceGeometry::synthesise(&cap, rows);
+            prop_assert!(cap.fits_in(&g.total_resources()));
+            prop_assert_eq!(g.rows(), rows);
+            prop_assert!(g.num_columns() >= 1);
+        }
+
+        /// Rectangle resources are additive over column splits.
+        #[test]
+        fn prop_rect_resources_additive(
+            kinds in proptest::collection::vec(0u8..3, 2..12),
+            rows in 1u32..6,
+            split in 1usize..11,
+        ) {
+            let cols: Vec<BlockKind> = kinds
+                .iter()
+                .map(|&k| match k { 0 => BlockKind::Clb, 1 => BlockKind::Bram, _ => BlockKind::Dsp })
+                .collect();
+            let n = cols.len();
+            let split = split.min(n);
+            let g = DeviceGeometry::new(cols, rows);
+            let whole = g.rect_resources(0..n, rows);
+            let left = g.rect_resources(0..split, rows);
+            let right = g.rect_resources(split..n, rows);
+            prop_assert_eq!(whole, left + right);
+        }
+    }
+
+    #[test]
+    fn virtex5_devices_geometries_cover_capacity() {
+        for d in crate::device::DeviceLibrary::virtex5().devices() {
+            let g = d.geometry();
+            assert!(
+                d.capacity.fits_in(&g.total_resources()),
+                "{}: geometry too small",
+                d.name
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! ICAP (Internal Configuration Access Port) timing model.
+//!
+//! The paper measures reconfiguration cost in frames (Eq. 9: configuration
+//! time is proportional to region area) and notes the actual time also
+//! depends on bitstream fetch delay and ICAP transfer speed. This module
+//! turns frame counts into wall-clock time so the runtime simulator
+//! (`prpart-runtime`) can report microseconds.
+//!
+//! The default model matches the Virtex-5 ICAP primitive driven by the
+//! authors' open-source controller (paper ref \[15\]): a 32-bit port clocked
+//! at 100 MHz, i.e. 400 MB/s peak, with an optional per-transaction fetch
+//! overhead to model external-memory latency.
+
+use crate::tile::BYTES_PER_FRAME;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Timing model of an internal configuration port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IcapModel {
+    /// Port clock frequency in hertz.
+    pub clock_hz: u64,
+    /// Bytes transferred per clock cycle (4 for the 32-bit Virtex-5 ICAP).
+    pub bytes_per_cycle: u32,
+    /// Fixed overhead per reconfiguration transaction (bitstream fetch
+    /// setup, command words, desync), in nanoseconds.
+    pub overhead_ns: u64,
+}
+
+impl Default for IcapModel {
+    fn default() -> Self {
+        IcapModel::virtex5()
+    }
+}
+
+impl IcapModel {
+    /// The Virtex-5 ICAP: 32 bits @ 100 MHz, 1 µs transaction overhead.
+    pub const fn virtex5() -> Self {
+        IcapModel { clock_hz: 100_000_000, bytes_per_cycle: 4, overhead_ns: 1_000 }
+    }
+
+    /// An ideal zero-overhead port; useful in tests where only
+    /// proportionality matters.
+    pub const fn ideal() -> Self {
+        IcapModel { clock_hz: 100_000_000, bytes_per_cycle: 4, overhead_ns: 0 }
+    }
+
+    /// Peak throughput in bytes per second.
+    pub fn throughput_bytes_per_sec(&self) -> u64 {
+        self.clock_hz * self.bytes_per_cycle as u64
+    }
+
+    /// Clock cycles needed to stream `frames` configuration frames
+    /// (41 words per frame on a 32-bit port).
+    pub fn cycles_for_frames(&self, frames: u64) -> u64 {
+        let bytes = frames * BYTES_PER_FRAME as u64;
+        bytes.div_ceil(self.bytes_per_cycle as u64)
+    }
+
+    /// Wall-clock time to reconfigure `frames` frames, including the fixed
+    /// transaction overhead (zero frames take zero time: no transaction).
+    pub fn time_for_frames(&self, frames: u64) -> Duration {
+        if frames == 0 {
+            return Duration::ZERO;
+        }
+        let cycles = self.cycles_for_frames(frames);
+        let ns = cycles * 1_000_000_000 / self.clock_hz + self.overhead_ns;
+        Duration::from_nanos(ns)
+    }
+
+    /// Wall-clock time to push `bytes` of bitstream through the port.
+    pub fn time_for_bytes(&self, bytes: u64) -> Duration {
+        if bytes == 0 {
+            return Duration::ZERO;
+        }
+        let cycles = bytes.div_ceil(self.bytes_per_cycle as u64);
+        let ns = cycles * 1_000_000_000 / self.clock_hz + self.overhead_ns;
+        Duration::from_nanos(ns)
+    }
+}
+
+/// Convenience: time for one frame on the default Virtex-5 model
+/// (41 cycles @ 100 MHz = 410 ns, plus overhead).
+pub fn frame_time_virtex5() -> Duration {
+    IcapModel::virtex5().time_for_frames(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtex5_throughput_is_400mb_per_sec() {
+        assert_eq!(IcapModel::virtex5().throughput_bytes_per_sec(), 400_000_000);
+    }
+
+    #[test]
+    fn one_frame_is_41_cycles() {
+        // 41 words * 4 bytes / 4 bytes-per-cycle = 41 cycles.
+        let m = IcapModel::ideal();
+        assert_eq!(m.cycles_for_frames(1), crate::tile::WORDS_PER_FRAME as u64);
+        assert_eq!(m.time_for_frames(1), Duration::from_nanos(410));
+    }
+
+    #[test]
+    fn zero_frames_take_zero_time() {
+        let m = IcapModel::virtex5();
+        assert_eq!(m.time_for_frames(0), Duration::ZERO);
+        assert_eq!(m.time_for_bytes(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_scales_linearly_with_frames() {
+        let m = IcapModel::ideal();
+        let t1 = m.time_for_frames(100);
+        let t2 = m.time_for_frames(200);
+        assert_eq!(t2, t1 * 2);
+    }
+
+    #[test]
+    fn overhead_is_added_once() {
+        let m = IcapModel::virtex5();
+        let ideal = IcapModel::ideal();
+        let d = m.time_for_frames(10) - ideal.time_for_frames(10);
+        assert_eq!(d, Duration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn bytes_and_frames_agree() {
+        let m = IcapModel::virtex5();
+        assert_eq!(m.time_for_frames(7), m.time_for_bytes(7 * BYTES_PER_FRAME as u64));
+    }
+}

@@ -1,0 +1,44 @@
+//! # prpart-arch — FPGA architecture model
+//!
+//! This crate models the parts of the Xilinx Virtex-5 architecture that the
+//! partitioning algorithm of Vipin & Fahmy (IPDPSW 2013) depends on:
+//!
+//! * **Resources** ([`Resources`]) — counts of the three reconfigurable
+//!   primitive kinds: CLBs, BlockRAMs and DSP slices.
+//! * **Tiles** ([`TileCounts`]) — the smallest reconfigurable units. One CLB
+//!   tile holds 20 CLBs, one DSP tile holds 8 DSP slices and one BRAM tile
+//!   holds 4 BlockRAMs (paper §IV-B).
+//! * **Frames** — the smallest addressable unit of configuration memory. A
+//!   CLB tile spans 36 frames, a DSP tile 28 and a BRAM tile 30; one frame
+//!   is 41 words = 1312 bits (paper Eq. 1/6). Reconfiguration time is
+//!   proportional to the number of frames written (paper Eq. 9).
+//! * **Devices** ([`Device`], [`DeviceLibrary`]) — the Virtex-5 parts used on
+//!   the axes of the paper's Figs. 7 and 8, with capacities and a simple
+//!   row/column geometry used by the floorplanner.
+//! * **Frame addresses** ([`far::FrameAddress`]) — the FAR register
+//!   layout and rectangle → frame-address mapping used by bitstream
+//!   generation.
+//! * **ICAP timing** ([`icap::IcapModel`]) — converts frame counts into
+//!   wall-clock reconfiguration time through the internal configuration
+//!   access port, so the runtime simulator can report microseconds rather
+//!   than raw frames.
+//!
+//! The crate is dependency-light and fully deterministic; all higher layers
+//! (design model, partitioner, floorplanner, flow, runtime) build on it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod device;
+pub mod far;
+pub mod geometry;
+pub mod icap;
+pub mod resources;
+pub mod tile;
+
+pub use device::{Device, DeviceFamily, DeviceLibrary};
+pub use far::{frames_for_rect, FrameAddress};
+pub use geometry::{BlockKind, DeviceGeometry};
+pub use icap::IcapModel;
+pub use resources::{ResourceKind, Resources};
+pub use tile::{frames_for, TileCounts};

@@ -1,0 +1,291 @@
+//! Resource vectors over the three reconfigurable primitive kinds.
+//!
+//! The paper (§IV-B) computes all areas over a three-component resource
+//! vector: CLBs, BlockRAMs and DSP slices. [`Resources`] is that vector,
+//! with the element-wise arithmetic the algorithm needs:
+//!
+//! * **sum** — concurrent logic (modes loaded together in one wrapper),
+//! * **element-wise max** — mutually exclusive logic sharing one region
+//!   (paper Eq. 2),
+//! * **fits-in comparison** — feasibility against a device or budget.
+//!
+//! A note on units: the paper conflates Virtex-5 *slices* and *CLBs* (its
+//! Table II is in slices while budgets are quoted in "CLBs"). We follow the
+//! paper and use a single logic-cell unit called "CLB" throughout, with the
+//! 20-per-tile quantisation of §IV-B.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Index, Mul, Sub};
+
+/// The three kinds of reconfigurable primitive resources on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Configurable logic block (the paper's generic logic-cell unit).
+    Clb,
+    /// 36 Kbit BlockRAM.
+    Bram,
+    /// DSP48E slice.
+    Dsp,
+}
+
+impl ResourceKind {
+    /// All resource kinds, in the canonical (CLB, BRAM, DSP) order used
+    /// throughout the paper's equations.
+    pub const ALL: [ResourceKind; 3] = [ResourceKind::Clb, ResourceKind::Bram, ResourceKind::Dsp];
+
+    /// Short lowercase name used in XML attributes and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceKind::Clb => "clb",
+            ResourceKind::Bram => "bram",
+            ResourceKind::Dsp => "dsp",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A resource requirement or capacity: counts of CLBs, BlockRAMs and DSP
+/// slices.
+///
+/// `Resources` is a plain value type; all operations are element-wise and
+/// cheap. Ordering is *not* derived because resource vectors are only
+/// partially ordered — use [`Resources::fits_in`] for feasibility checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Resources {
+    /// Configurable logic blocks.
+    pub clb: u32,
+    /// BlockRAMs.
+    pub bram: u32,
+    /// DSP slices.
+    pub dsp: u32,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources { clb: 0, bram: 0, dsp: 0 };
+
+    /// Creates a resource vector from (CLB, BRAM, DSP) counts.
+    pub const fn new(clb: u32, bram: u32, dsp: u32) -> Self {
+        Resources { clb, bram, dsp }
+    }
+
+    /// A vector with only CLBs.
+    pub const fn clbs(clb: u32) -> Self {
+        Resources { clb, bram: 0, dsp: 0 }
+    }
+
+    /// Returns the count for one resource kind.
+    pub fn get(&self, kind: ResourceKind) -> u32 {
+        match kind {
+            ResourceKind::Clb => self.clb,
+            ResourceKind::Bram => self.bram,
+            ResourceKind::Dsp => self.dsp,
+        }
+    }
+
+    /// Sets the count for one resource kind.
+    pub fn set(&mut self, kind: ResourceKind, value: u32) {
+        match kind {
+            ResourceKind::Clb => self.clb = value,
+            ResourceKind::Bram => self.bram = value,
+            ResourceKind::Dsp => self.dsp = value,
+        }
+    }
+
+    /// True if every component is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == Resources::ZERO
+    }
+
+    /// Element-wise maximum — the area of a region shared by mutually
+    /// exclusive partitions (paper Eq. 2, applied per resource kind as in
+    /// Eqs. 3–5).
+    pub fn max(self, other: Resources) -> Resources {
+        Resources {
+            clb: self.clb.max(other.clb),
+            bram: self.bram.max(other.bram),
+            dsp: self.dsp.max(other.dsp),
+        }
+    }
+
+    /// Element-wise minimum.
+    pub fn min(self, other: Resources) -> Resources {
+        Resources {
+            clb: self.clb.min(other.clb),
+            bram: self.bram.min(other.bram),
+            dsp: self.dsp.min(other.dsp),
+        }
+    }
+
+    /// Saturating element-wise subtraction.
+    pub fn saturating_sub(self, other: Resources) -> Resources {
+        Resources {
+            clb: self.clb.saturating_sub(other.clb),
+            bram: self.bram.saturating_sub(other.bram),
+            dsp: self.dsp.saturating_sub(other.dsp),
+        }
+    }
+
+    /// True if `self` fits within `capacity` in every component — the
+    /// feasibility test of the paper's flow chart ("min. area < FPGA
+    /// resources?", Fig. 6).
+    pub fn fits_in(&self, capacity: &Resources) -> bool {
+        self.clb <= capacity.clb && self.bram <= capacity.bram && self.dsp <= capacity.dsp
+    }
+
+    /// Iterator over `(kind, count)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceKind, u32)> + '_ {
+        ResourceKind::ALL.into_iter().map(move |k| (k, self.get(k)))
+    }
+
+    /// Total primitive count (used only for coarse size ordering, e.g. as a
+    /// tie-break when two base partitions share a frequency weight).
+    pub fn total_primitives(&self) -> u64 {
+        self.clb as u64 + self.bram as u64 + self.dsp as u64
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            clb: self.clb + rhs.clb,
+            bram: self.bram + rhs.bram,
+            dsp: self.dsp + rhs.dsp,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    /// Saturating subtraction; see [`Resources::saturating_sub`].
+    fn sub(self, rhs: Resources) -> Resources {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Mul<u32> for Resources {
+    type Output = Resources;
+    fn mul(self, rhs: u32) -> Resources {
+        Resources {
+            clb: self.clb * rhs,
+            bram: self.bram * rhs,
+            dsp: self.dsp * rhs,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+impl Index<ResourceKind> for Resources {
+    type Output = u32;
+    fn index(&self, kind: ResourceKind) -> &u32 {
+        match kind {
+            ResourceKind::Clb => &self.clb,
+            ResourceKind::Bram => &self.bram,
+            ResourceKind::Dsp => &self.dsp,
+        }
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} CLB / {} BRAM / {} DSP", self.clb, self.bram, self.dsp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Resources::ZERO.is_zero());
+        assert!(!Resources::new(1, 0, 0).is_zero());
+        assert_eq!(Resources::default(), Resources::ZERO);
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let a = Resources::new(10, 2, 3);
+        let b = Resources::new(5, 7, 0);
+        assert_eq!(a + b, Resources::new(15, 9, 3));
+        let total: Resources = [a, b, Resources::ZERO].into_iter().sum();
+        assert_eq!(total, Resources::new(15, 9, 3));
+    }
+
+    #[test]
+    fn elementwise_max_matches_eq2() {
+        // Paper Eq. 2: a region shared by two mutually exclusive partitions
+        // is sized by the larger of each resource kind independently.
+        let p1 = Resources::new(818, 0, 28);
+        let p2 = Resources::new(500, 4, 34);
+        assert_eq!(p1.max(p2), Resources::new(818, 4, 34));
+        assert_eq!(p1.min(p2), Resources::new(500, 0, 28));
+    }
+
+    #[test]
+    fn fits_in_is_componentwise() {
+        let cap = Resources::new(100, 10, 10);
+        assert!(Resources::new(100, 10, 10).fits_in(&cap));
+        assert!(Resources::ZERO.fits_in(&cap));
+        assert!(!Resources::new(101, 0, 0).fits_in(&cap));
+        assert!(!Resources::new(0, 11, 0).fits_in(&cap));
+        assert!(!Resources::new(0, 0, 11).fits_in(&cap));
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows() {
+        let a = Resources::new(1, 5, 0);
+        let b = Resources::new(3, 2, 7);
+        assert_eq!(a - b, Resources::new(0, 3, 0));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut r = Resources::ZERO;
+        for (i, kind) in ResourceKind::ALL.into_iter().enumerate() {
+            r.set(kind, (i + 1) as u32);
+        }
+        assert_eq!(r, Resources::new(1, 2, 3));
+        assert_eq!(r[ResourceKind::Dsp], 3);
+        let pairs: Vec<_> = r.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (ResourceKind::Clb, 1),
+                (ResourceKind::Bram, 2),
+                (ResourceKind::Dsp, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Resources::new(2, 1, 3) * 4, Resources::new(8, 4, 12));
+        assert_eq!(Resources::new(2, 1, 3).total_primitives(), 6);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Resources::new(1, 2, 3).to_string(), "1 CLB / 2 BRAM / 3 DSP");
+        assert_eq!(ResourceKind::Bram.to_string(), "bram");
+    }
+}

@@ -1,0 +1,227 @@
+//! Tile and configuration-frame arithmetic (paper §IV-B, Eqs. 1 and 3–6).
+//!
+//! Virtex-5 resources are arranged in columns; a *tile* is one device row
+//! high and one column wide and is the smallest unit the supported PR flow
+//! can reconfigure. Tiles are homogeneous:
+//!
+//! | tile kind | primitives per tile | frames per tile |
+//! |-----------|---------------------|-----------------|
+//! | CLB       | 20 CLBs             | 36              |
+//! | DSP       | 8 DSP slices        | 28              |
+//! | BRAM      | 4 BlockRAMs         | 30              |
+//!
+//! A configuration *frame* holds 41 words = 1312 bits. Reconfiguration time
+//! is proportional to the number of frames written (paper Eq. 9), so the
+//! partitioner measures all areas and costs in frames.
+
+use crate::resources::{ResourceKind, Resources};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// CLBs in one CLB tile.
+pub const CLBS_PER_TILE: u32 = 20;
+/// DSP slices in one DSP tile.
+pub const DSPS_PER_TILE: u32 = 8;
+/// BlockRAMs in one BRAM tile.
+pub const BRAMS_PER_TILE: u32 = 4;
+
+/// Configuration frames in one CLB tile (`W_clb` in paper Eq. 6).
+pub const FRAMES_PER_CLB_TILE: u32 = 36;
+/// Configuration frames in one DSP tile (`W_dsp`).
+pub const FRAMES_PER_DSP_TILE: u32 = 28;
+/// Configuration frames in one BRAM tile (`W_br`).
+pub const FRAMES_PER_BRAM_TILE: u32 = 30;
+
+/// 32-bit words per configuration frame.
+pub const WORDS_PER_FRAME: u32 = 41;
+/// Bits per configuration frame (41 × 32 = 1312).
+pub const BITS_PER_FRAME: u32 = WORDS_PER_FRAME * 32;
+/// Bytes per configuration frame.
+pub const BYTES_PER_FRAME: u32 = WORDS_PER_FRAME * 4;
+
+/// Primitives per tile for a given resource kind.
+pub const fn primitives_per_tile(kind: ResourceKind) -> u32 {
+    match kind {
+        ResourceKind::Clb => CLBS_PER_TILE,
+        ResourceKind::Bram => BRAMS_PER_TILE,
+        ResourceKind::Dsp => DSPS_PER_TILE,
+    }
+}
+
+/// Frames per tile for a given resource kind (`W_i` in paper Eqs. 1/6).
+pub const fn frames_per_tile(kind: ResourceKind) -> u32 {
+    match kind {
+        ResourceKind::Clb => FRAMES_PER_CLB_TILE,
+        ResourceKind::Bram => FRAMES_PER_BRAM_TILE,
+        ResourceKind::Dsp => FRAMES_PER_DSP_TILE,
+    }
+}
+
+fn ceil_div(a: u32, b: u32) -> u32 {
+    a.div_ceil(b)
+}
+
+/// Tile counts of a region: how many whole tiles of each kind it occupies.
+///
+/// The paper's Eqs. 3–5 quantise raw resource requirements up to whole
+/// tiles (partial tiles are avoided because they would require
+/// read–modify–write reconfiguration, §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TileCounts {
+    /// Number of CLB tiles (`R_r_clb`).
+    pub clb_tiles: u32,
+    /// Number of BRAM tiles (`R_r_br`).
+    pub bram_tiles: u32,
+    /// Number of DSP tiles (`R_r_dsp`).
+    pub dsp_tiles: u32,
+}
+
+impl TileCounts {
+    /// The zero tile count.
+    pub const ZERO: TileCounts = TileCounts { clb_tiles: 0, bram_tiles: 0, dsp_tiles: 0 };
+
+    /// Quantises a raw resource requirement up to whole tiles
+    /// (paper Eqs. 3–5: `R_r_clb = ceil(clb / 20)`, etc.).
+    pub fn for_resources(r: &Resources) -> TileCounts {
+        TileCounts {
+            clb_tiles: ceil_div(r.clb, CLBS_PER_TILE),
+            bram_tiles: ceil_div(r.bram, BRAMS_PER_TILE),
+            dsp_tiles: ceil_div(r.dsp, DSPS_PER_TILE),
+        }
+    }
+
+    /// Tile count for one kind.
+    pub fn get(&self, kind: ResourceKind) -> u32 {
+        match kind {
+            ResourceKind::Clb => self.clb_tiles,
+            ResourceKind::Bram => self.bram_tiles,
+            ResourceKind::Dsp => self.dsp_tiles,
+        }
+    }
+
+    /// Configuration frames spanned by these tiles
+    /// (paper Eq. 6: `P_r = Σ_t W_t · R_r_t`).
+    pub fn frames(&self) -> u64 {
+        ResourceKind::ALL
+            .into_iter()
+            .map(|k| self.get(k) as u64 * frames_per_tile(k) as u64)
+            .sum()
+    }
+
+    /// The primitive capacity provided by these tiles — the *granted*
+    /// resources after quantisation, used when summing region areas against
+    /// the device capacity.
+    pub fn capacity(&self) -> Resources {
+        Resources {
+            clb: self.clb_tiles * CLBS_PER_TILE,
+            bram: self.bram_tiles * BRAMS_PER_TILE,
+            dsp: self.dsp_tiles * DSPS_PER_TILE,
+        }
+    }
+
+    /// Total number of tiles of all kinds.
+    pub fn total_tiles(&self) -> u32 {
+        self.clb_tiles + self.bram_tiles + self.dsp_tiles
+    }
+
+    /// Partial bitstream size in bytes for reconfiguring these tiles.
+    pub fn bitstream_bytes(&self) -> u64 {
+        self.frames() * BYTES_PER_FRAME as u64
+    }
+}
+
+impl Add for TileCounts {
+    type Output = TileCounts;
+    fn add(self, rhs: TileCounts) -> TileCounts {
+        TileCounts {
+            clb_tiles: self.clb_tiles + rhs.clb_tiles,
+            bram_tiles: self.bram_tiles + rhs.bram_tiles,
+            dsp_tiles: self.dsp_tiles + rhs.dsp_tiles,
+        }
+    }
+}
+
+impl fmt::Display for TileCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} CLB-t / {} BRAM-t / {} DSP-t ({} frames)",
+            self.clb_tiles,
+            self.bram_tiles,
+            self.dsp_tiles,
+            self.frames()
+        )
+    }
+}
+
+/// Frames needed to reconfigure a region with raw requirement `r`, after
+/// tile quantisation. This is the area measure the whole algorithm
+/// optimises (paper Eqs. 1/6).
+pub fn frames_for(r: &Resources) -> u64 {
+    TileCounts::for_resources(r).frames()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_constants_match_paper() {
+        // §IV-B: one frame contains 41 words or 1312 bits.
+        assert_eq!(BITS_PER_FRAME, 1312);
+        assert_eq!(BYTES_PER_FRAME, 164);
+        // One CLB tile has 36 frames, a DSP tile 28, a BRAM tile 30.
+        assert_eq!(frames_per_tile(ResourceKind::Clb), 36);
+        assert_eq!(frames_per_tile(ResourceKind::Dsp), 28);
+        assert_eq!(frames_per_tile(ResourceKind::Bram), 30);
+        // One CLB tile contains 20 CLBs, DSP tile 8 slices, BRAM tile 4 BRAMs.
+        assert_eq!(primitives_per_tile(ResourceKind::Clb), 20);
+        assert_eq!(primitives_per_tile(ResourceKind::Dsp), 8);
+        assert_eq!(primitives_per_tile(ResourceKind::Bram), 4);
+    }
+
+    #[test]
+    fn quantisation_rounds_up() {
+        let t = TileCounts::for_resources(&Resources::new(21, 1, 8));
+        assert_eq!(t, TileCounts { clb_tiles: 2, bram_tiles: 1, dsp_tiles: 1 });
+        // Exactly divisible does not round up.
+        let t = TileCounts::for_resources(&Resources::new(40, 4, 16));
+        assert_eq!(t, TileCounts { clb_tiles: 2, bram_tiles: 1, dsp_tiles: 2 });
+        // Zero stays zero.
+        assert_eq!(TileCounts::for_resources(&Resources::ZERO), TileCounts::ZERO);
+    }
+
+    #[test]
+    fn frames_worked_example() {
+        // A region needing 818 CLBs and 28 DSPs (Table II, Filter1):
+        // ceil(818/20)=41 CLB tiles, ceil(28/8)=4 DSP tiles
+        // frames = 41*36 + 4*28 = 1476 + 112 = 1588.
+        let f = frames_for(&Resources::new(818, 0, 28));
+        assert_eq!(f, 41 * 36 + 4 * 28);
+        assert_eq!(f, 1588);
+    }
+
+    #[test]
+    fn capacity_covers_request() {
+        let r = Resources::new(33, 5, 9);
+        let cap = TileCounts::for_resources(&r).capacity();
+        assert!(r.fits_in(&cap));
+        assert_eq!(cap, Resources::new(40, 8, 16));
+    }
+
+    #[test]
+    fn bitstream_bytes_are_frames_times_164() {
+        let t = TileCounts { clb_tiles: 1, bram_tiles: 0, dsp_tiles: 0 };
+        assert_eq!(t.bitstream_bytes(), 36 * 164);
+    }
+
+    #[test]
+    fn tile_addition() {
+        let a = TileCounts { clb_tiles: 1, bram_tiles: 2, dsp_tiles: 3 };
+        let b = TileCounts { clb_tiles: 4, bram_tiles: 0, dsp_tiles: 1 };
+        let c = a + b;
+        assert_eq!(c, TileCounts { clb_tiles: 5, bram_tiles: 2, dsp_tiles: 4 });
+        assert_eq!(c.total_tiles(), 11);
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion benchmarks, one target per paper artefact (DESIGN.md §3):
+//! each measures the cost of regenerating that table or figure. The
+//! figure sweeps run on a reduced corpus (80 designs) so `cargo bench`
+//! completes in minutes; the binaries run the full 1000.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prpart_bench::figures::{fig7_fig8_series, fig9_histograms};
+use prpart_bench::sweep::{run_sweep, SweepConfig};
+use prpart_bench::{ablation, casestudy};
+use std::hint::black_box;
+
+fn bench_e1_example_design(c: &mut Criterion) {
+    c.bench_function("e1_example_design_report", |b| {
+        b.iter(|| black_box(casestudy::example_design_report()))
+    });
+}
+
+fn bench_e2_table1(c: &mut Criterion) {
+    c.bench_function("e2_table1", |b| b.iter(|| black_box(casestudy::table1())));
+}
+
+fn bench_e3_e4_e5_case_study_original(c: &mut Criterion) {
+    c.bench_function("e3_e5_case_study_tables_iii_iv", |b| {
+        b.iter(|| black_box(casestudy::case_study(prpart_design::corpus::VideoConfigSet::Original)))
+    });
+}
+
+fn bench_e6_case_study_modified(c: &mut Criterion) {
+    c.bench_function("e6_case_study_table_v", |b| {
+        b.iter(|| black_box(casestudy::case_study(prpart_design::corpus::VideoConfigSet::Modified)))
+    });
+}
+
+fn bench_e7_e8_figs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_e8_fig7_fig8");
+    group.sample_size(10);
+    group.bench_function("sweep_80_designs", |b| {
+        b.iter(|| {
+            black_box(run_sweep(&SweepConfig {
+                designs: 80,
+                seed: 2013,
+                ..Default::default()
+            }))
+        })
+    });
+    let (records, _) = run_sweep(&SweepConfig { designs: 80, seed: 2013, ..Default::default() });
+    group.bench_function("series_construction", |b| {
+        b.iter(|| {
+            black_box(fig7_fig8_series(&records, false));
+            black_box(fig7_fig8_series(&records, true));
+        })
+    });
+    group.finish();
+}
+
+fn bench_e9_fig9(c: &mut Criterion) {
+    let (records, _) = run_sweep(&SweepConfig { designs: 80, seed: 2013, ..Default::default() });
+    c.bench_function("e9_fig9_histograms", |b| {
+        b.iter(|| black_box(fig9_histograms(&records)))
+    });
+}
+
+fn bench_e10_sweep_stats(c: &mut Criterion) {
+    let (records, _) = run_sweep(&SweepConfig { designs: 80, seed: 2013, ..Default::default() });
+    c.bench_function("e10_sweep_summary", |b| {
+        b.iter(|| black_box(prpart_bench::sweep::summarise(&records, 0)))
+    });
+}
+
+fn bench_e11_special_case(c: &mut Criterion) {
+    c.bench_function("e11_special_case", |b| {
+        b.iter(|| black_box(casestudy::special_case_report()))
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("a2_static_promotion", |b| {
+        b.iter(|| black_box(ablation::a2_static_promotion()))
+    });
+    group.bench_function("a3_semantics", |b| b.iter(|| black_box(ablation::a3_semantics())));
+    group.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_e1_example_design,
+    bench_e2_table1,
+    bench_e3_e4_e5_case_study_original,
+    bench_e6_case_study_modified,
+    bench_e7_e8_figs,
+    bench_e9_fig9,
+    bench_e10_sweep_stats,
+    bench_e11_special_case,
+    bench_ablations,
+);
+criterion_main!(experiments);

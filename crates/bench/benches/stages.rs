@@ -1,0 +1,157 @@
+//! Criterion micro-benchmarks of the pipeline stages: connectivity
+//! matrix, clustering, covering, region-allocation search, cost
+//! evaluation, floorplanning, bitstream generation, XML round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prpart_core::{
+    cluster::DEFAULT_CLIQUE_LIMIT, cover, generate_base_partitions, Partitioner,
+    TransitionSemantics,
+};
+use prpart_design::{corpus, ConnectivityMatrix};
+use prpart_synth::{generate_design, CircuitClass, GeneratorConfig};
+use std::hint::black_box;
+
+fn bench_matrix(c: &mut Criterion) {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    c.bench_function("stage_connectivity_matrix", |b| {
+        b.iter(|| black_box(ConnectivityMatrix::from_design(&d)))
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let m = ConnectivityMatrix::from_design(&d);
+    c.bench_function("stage_clustering_video", |b| {
+        b.iter(|| black_box(generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap()))
+    });
+    let big = generate_design(&GeneratorConfig::default(), CircuitClass::DspMemory, 424242);
+    let bm = ConnectivityMatrix::from_design(&big);
+    c.bench_function("stage_clustering_synthetic", |b| {
+        b.iter(|| black_box(generate_base_partitions(&big, &bm, DEFAULT_CLIQUE_LIMIT).unwrap()))
+    });
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let m = ConnectivityMatrix::from_design(&d);
+    let parts = generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap();
+    c.bench_function("stage_covering", |b| b.iter(|| black_box(cover(&m, &parts, 0).unwrap())));
+}
+
+fn bench_search(c: &mut Criterion) {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    c.bench_function("stage_search_case_study", |b| {
+        b.iter(|| black_box(Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap()))
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let scheme = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+        .partition(&d)
+        .unwrap()
+        .best
+        .unwrap()
+        .scheme;
+    c.bench_function("stage_cost_total_and_worst", |b| {
+        b.iter(|| {
+            black_box(scheme.total_reconfig_frames(TransitionSemantics::Optimistic));
+            black_box(scheme.worst_reconfig_frames(TransitionSemantics::Optimistic));
+        })
+    });
+}
+
+fn bench_floorplan(c: &mut Criterion) {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let scheme = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+        .partition(&d)
+        .unwrap()
+        .best
+        .unwrap()
+        .scheme;
+    let lib = prpart_arch::DeviceLibrary::virtex5();
+    let geometry = lib.by_name("SX70T").unwrap().geometry();
+    let planner = prpart_floorplan::Floorplanner::new(geometry);
+    c.bench_function("stage_floorplan", |b| {
+        b.iter(|| black_box(planner.place_scheme(&scheme, d.static_overhead()).unwrap()))
+    });
+}
+
+fn bench_bitstreams(c: &mut Criterion) {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let scheme = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+        .partition(&d)
+        .unwrap()
+        .best
+        .unwrap()
+        .scheme;
+    c.bench_function("stage_bitstream_generation", |b| {
+        b.iter(|| black_box(prpart_flow::bitstream::generate_all(&scheme)))
+    });
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let text = prpart_xmlio::render_design(&d);
+    c.bench_function("stage_xml_roundtrip", |b| {
+        b.iter(|| black_box(prpart_xmlio::parse_design(&text).unwrap()))
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let budget = corpus::VIDEO_RECEIVER_BUDGET;
+    let mut group = c.benchmark_group("stage_extensions");
+    group.sample_size(20);
+    group.bench_function("search_worst_case_objective", |b| {
+        b.iter(|| {
+            black_box(
+                Partitioner::new(budget)
+                    .with_objective(prpart_core::Objective::WorstCase)
+                    .partition(&d)
+                    .unwrap(),
+            )
+        })
+    });
+    let weights = prpart_core::TransitionWeights::uniform(d.num_configurations());
+    group.bench_function("search_weighted", |b| {
+        b.iter(|| {
+            black_box(
+                Partitioner::new(budget)
+                    .with_transition_weights(weights.clone())
+                    .partition(&d)
+                    .unwrap(),
+            )
+        })
+    });
+    let previous = Partitioner::new(budget).partition(&d).unwrap().best.unwrap().scheme;
+    group.bench_function("repartition_seeded", |b| {
+        b.iter(|| black_box(Partitioner::new(budget).repartition(&d, &d, &previous).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    c.bench_function("stage_synthetic_generation", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(generate_design(&GeneratorConfig::default(), CircuitClass::Memory, seed))
+        })
+    });
+}
+
+criterion_group!(
+    stages,
+    bench_matrix,
+    bench_clustering,
+    bench_covering,
+    bench_search,
+    bench_cost_model,
+    bench_floorplan,
+    bench_bitstreams,
+    bench_xml,
+    bench_extensions,
+    bench_generator,
+);
+criterion_main!(stages);

@@ -1,0 +1,411 @@
+//! Ablations of the design choices DESIGN.md calls out (A1–A5).
+
+use crate::table::TextTable;
+use prpart_arch::{ResourceKind, Resources};
+use prpart_core::{Objective, Partitioner, SearchStrategy, TransitionSemantics};
+use prpart_design::{corpus, Design};
+use prpart_synth::{generate_design, CircuitClass, GeneratorConfig};
+
+fn case_study() -> (Design, Resources) {
+    (
+        corpus::video_receiver(corpus::VideoConfigSet::Original),
+        corpus::VIDEO_RECEIVER_BUDGET,
+    )
+}
+
+/// A1: merge-selection policy — greedy descent vs restarts vs beam vs
+/// the exhaustive oracle (on a design small enough to enumerate).
+pub fn a1_search_strategy() -> TextTable {
+    let mut t = TextTable::new(["design", "strategy", "total frames", "states", "time (ms)"]);
+    let strategies: Vec<(&str, SearchStrategy)> = vec![
+        ("greedy x1", SearchStrategy::GreedyRestarts { max_candidate_sets: 1, max_first_moves: 1 }),
+        ("greedy x32 (default)", SearchStrategy::default()),
+        ("beam w=8", SearchStrategy::Beam { width: 8, max_candidate_sets: 3 }),
+        ("beam w=32", SearchStrategy::Beam { width: 32, max_candidate_sets: 3 }),
+        (
+            "annealing 20k",
+            SearchStrategy::Annealing { iterations: 20_000, seed: 7, max_candidate_sets: 3 },
+        ),
+    ];
+    let designs: Vec<(&str, Design, Resources)> = vec![
+        ("abc", corpus::abc_example(), Resources::new(1100, 20, 24)),
+        ("video", case_study().0, case_study().1),
+    ];
+    for (dname, design, budget) in &designs {
+        for (sname, strategy) in &strategies {
+            let t0 = std::time::Instant::now();
+            let out = Partitioner::new(*budget)
+                .with_strategy(*strategy)
+                .partition(design)
+                .expect("feasible");
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            let total = out.best.as_ref().map_or(u64::MAX, |b| b.metrics.total_frames);
+            t.row([
+                dname.to_string(),
+                sname.to_string(),
+                total.to_string(),
+                out.states_evaluated.to_string(),
+                format!("{ms:.1}"),
+            ]);
+        }
+        // Exhaustive oracle only on the small design.
+        if *dname == "abc" {
+            let t0 = std::time::Instant::now();
+            let out = Partitioner::new(*budget)
+                .with_strategy(SearchStrategy::Exhaustive {
+                    max_partitions: 10,
+                    max_candidate_sets: 3,
+                })
+                .partition(design)
+                .expect("feasible");
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            t.row([
+                dname.to_string(),
+                "exhaustive".to_string(),
+                out.best.map_or(u64::MAX, |b| b.metrics.total_frames).to_string(),
+                out.states_evaluated.to_string(),
+                format!("{ms:.1}"),
+            ]);
+        }
+    }
+    t
+}
+
+/// A2: static promotion on/off — isolates the paper's "move modes into
+/// the static region" contribution.
+pub fn a2_static_promotion() -> TextTable {
+    let mut t = TextTable::new(["design", "static promotion", "total frames", "static parts"]);
+    for (name, design, budget) in [
+        (
+            "video-modified",
+            corpus::video_receiver(corpus::VideoConfigSet::Modified),
+            corpus::VIDEO_RECEIVER_BUDGET,
+        ),
+        (
+            "video-original",
+            corpus::video_receiver(corpus::VideoConfigSet::Original),
+            corpus::VIDEO_RECEIVER_BUDGET,
+        ),
+    ] {
+        for enabled in [true, false] {
+            let mut p = Partitioner::new(budget);
+            if !enabled {
+                p = p.without_static_promotion();
+            }
+            let best = p.partition(&design).expect("feasible").best.expect("scheme");
+            t.row([
+                name.to_string(),
+                if enabled { "on".into() } else { "off".to_string() },
+                best.metrics.total_frames.to_string(),
+                best.metrics.num_static.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// A3: don't-care transition semantics (optimistic = the paper's literal
+/// Eq. 8 reading, vs pessimistic).
+pub fn a3_semantics() -> TextTable {
+    let mut t = TextTable::new(["design", "semantics", "total frames", "worst frames"]);
+    let designs: Vec<(&str, Design, Resources)> = vec![
+        ("video", case_study().0, case_study().1),
+        (
+            "special-case",
+            corpus::special_case_single_mode(),
+            Resources::new(1400, 16, 24),
+        ),
+    ];
+    for (name, design, budget) in &designs {
+        for (sname, sem) in [
+            ("optimistic", TransitionSemantics::Optimistic),
+            ("pessimistic", TransitionSemantics::Pessimistic),
+        ] {
+            let best = Partitioner::new(*budget)
+                .with_semantics(sem)
+                .partition(design)
+                .expect("feasible")
+                .best
+                .expect("scheme");
+            // Metrics are reported under the same semantics they were
+            // optimised for.
+            t.row([
+                name.to_string(),
+                sname.to_string(),
+                best.metrics.total_frames.to_string(),
+                best.metrics.worst_frames.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// A4: candidate-set regeneration depth (how many head-drops of the
+/// base-partition list are explored).
+pub fn a4_candidate_depth() -> TextTable {
+    let (design, budget) = case_study();
+    let mut t = TextTable::new(["max candidate sets", "sets explored", "total frames", "states"]);
+    for depth in [1usize, 2, 4, 8, 16] {
+        let out = Partitioner::new(budget)
+            .with_strategy(SearchStrategy::GreedyRestarts {
+                max_candidate_sets: depth,
+                max_first_moves: 32,
+            })
+            .partition(&design)
+            .expect("feasible");
+        t.row([
+            depth.to_string(),
+            out.candidate_sets_explored.to_string(),
+            out.best.map_or(u64::MAX, |b| b.metrics.total_frames).to_string(),
+            out.states_evaluated.to_string(),
+        ]);
+    }
+    t
+}
+
+/// A5: tile-quantisation overhead — how much of each chosen scheme's
+/// frame cost is rounding to whole tiles (Eqs. 3–5) versus the ideal
+/// linear-area model. (Quantisation is a hard architectural constraint,
+/// so this ablation *measures* its cost rather than switching it off.)
+pub fn a5_quantisation_overhead() -> TextTable {
+    let mut t = TextTable::new(["design", "frames (quantised)", "frames (ideal)", "overhead %"]);
+    let mut designs: Vec<(String, Design, Resources)> = vec![
+        ("video".into(), case_study().0, case_study().1),
+        ("abc".into(), corpus::abc_example(), Resources::new(1100, 20, 24)),
+    ];
+    for (i, class) in CircuitClass::ALL.into_iter().enumerate() {
+        let d = generate_design(&GeneratorConfig::default(), class, 100 + i as u64);
+        // A permissive budget keeps every synthetic design feasible here.
+        designs.push((format!("synthetic-{class}"), d, Resources::new(40_000, 600, 600)));
+    }
+    for (name, design, budget) in &designs {
+        let Some(best) = Partitioner::new(*budget).partition(design).ok().and_then(|o| o.best)
+        else {
+            continue;
+        };
+        let scheme = &best.scheme;
+        let quantised: u64 = (0..scheme.regions.len()).map(|r| scheme.region_frames(r)).sum();
+        // Ideal: fractional tiles allowed.
+        let ideal: f64 = (0..scheme.regions.len())
+            .map(|r| {
+                let res = scheme.region_resources(r);
+                ResourceKind::ALL
+                    .iter()
+                    .map(|&k| {
+                        res.get(k) as f64 / prpart_arch::tile::primitives_per_tile(k) as f64
+                            * prpart_arch::tile::frames_per_tile(k) as f64
+                    })
+                    .sum::<f64>()
+            })
+            .sum();
+        let overhead = if ideal > 0.0 { 100.0 * (quantised as f64 - ideal) / ideal } else { 0.0 };
+        t.row([
+            name.clone(),
+            quantised.to_string(),
+            format!("{ideal:.0}"),
+            format!("{overhead:.1}"),
+        ]);
+    }
+    t
+}
+
+/// A6 (extension): workload-aware weighted partitioning — the paper's
+/// future-work direction. Profiles a skewed Markov workload on the case
+/// study, re-partitions under the estimated transition weights, and
+/// replays fresh traces from the same workload on both schemes.
+pub fn a6_weighted_partitioning() -> TextTable {
+    use prpart_runtime::{
+        env::generate_walk, estimate_weights, ConfigurationManager, IcapController, MarkovEnv,
+    };
+    let design = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let budget = corpus::VIDEO_RECEIVER_BUDGET;
+    let n = design.num_configurations();
+    // A skewed workload: the system mostly oscillates between c1 and c4
+    // (a full receiver retune sharing the video decoder).
+    let weights_matrix: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i == j {
+                        0.0
+                    } else if (i == 0 && j == 3) || (i == 3 && j == 0) {
+                        50.0
+                    } else {
+                        1.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Profile with one seed...
+    let mut profile_env = MarkovEnv::new(weights_matrix.clone(), 1);
+    let estimated = estimate_weights(&mut profile_env, n, 16, 200);
+
+    let plain = Partitioner::new(budget).partition(&design).unwrap().best.unwrap();
+    let weighted = Partitioner::new(budget)
+        .with_transition_weights(estimated)
+        .partition(&design)
+        .unwrap()
+        .best
+        .unwrap();
+
+    // ...and replay with a different seed. Keep the estimated weights
+    // around to score both schemes on the workload objective.
+    let mut profile_env2 = MarkovEnv::new(weights_matrix.clone(), 1);
+    let scoring_weights = estimate_weights(&mut profile_env2, n, 16, 200);
+    let mut replay_env = MarkovEnv::new(weights_matrix, 99);
+    let walk = generate_walk(&mut replay_env, 0, 2000);
+    let mut t = TextTable::new([
+        "scheme",
+        "replayed frames",
+        "uniform objective",
+        "weighted objective",
+    ]);
+    for (name, scheme) in [("unweighted", &plain.scheme), ("workload-aware", &weighted.scheme)] {
+        let mut mgr = ConfigurationManager::new(scheme.clone(), IcapController::default());
+        let (frames, _) = mgr.run_walk(&walk, true);
+        t.row([
+            name.to_string(),
+            frames.to_string(),
+            scheme
+                .total_reconfig_frames(TransitionSemantics::Optimistic)
+                .to_string(),
+            format!(
+                "{:.0}",
+                scheme.weighted_total(&scoring_weights, TransitionSemantics::Optimistic)
+            ),
+        ]);
+    }
+    t
+}
+
+/// A7 (extension): search objective — total time (the paper's) vs the
+/// worst single transition (real-time deadline driven). Shows the
+/// trade-off each objective accepts.
+pub fn a7_objective() -> TextTable {
+    let mut t = TextTable::new(["design", "objective", "total frames", "worst frames"]);
+    let designs = [
+        ("video-original", corpus::video_receiver(corpus::VideoConfigSet::Original)),
+        ("video-modified", corpus::video_receiver(corpus::VideoConfigSet::Modified)),
+    ];
+    for (name, design) in designs {
+        for (oname, objective) in [
+            ("total time", Objective::TotalTime),
+            ("worst case", Objective::WorstCase),
+        ] {
+            let best = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+                .with_objective(objective)
+                .partition(&design)
+                .expect("feasible")
+                .best
+                .expect("scheme");
+            t.row([
+                name.to_string(),
+                oname.to_string(),
+                best.metrics.total_frames.to_string(),
+                best.metrics.worst_frames.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Runs all ablations and renders the combined report.
+pub fn full_report() -> String {
+    let mut out = String::new();
+    out.push_str("A1 — search strategy\n");
+    out.push_str(&a1_search_strategy().render());
+    out.push_str("\nA2 — static promotion\n");
+    out.push_str(&a2_static_promotion().render());
+    out.push_str("\nA3 — don't-care transition semantics\n");
+    out.push_str(&a3_semantics().render());
+    out.push_str("\nA4 — candidate-set depth\n");
+    out.push_str(&a4_candidate_depth().render());
+    out.push_str("\nA5 — tile-quantisation overhead\n");
+    out.push_str(&a5_quantisation_overhead().render());
+    out.push_str("\nA6 — workload-aware weighted partitioning (extension)\n");
+    out.push_str(&a6_weighted_partitioning().render());
+    out.push_str("\nA7 — search objective: total vs worst case (extension)\n");
+    out.push_str(&a7_objective().render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a2_static_promotion_never_hurts() {
+        let t = a2_static_promotion();
+        assert_eq!(t.len(), 4);
+        let csv = t.to_csv();
+        // Parse pairs of rows per design: on ≤ off.
+        let rows: Vec<Vec<&str>> = csv.lines().skip(1).map(|l| l.split(',').collect()).collect();
+        for pair in rows.chunks(2) {
+            let on: u64 = pair[0][2].parse().unwrap();
+            let off: u64 = pair[1][2].parse().unwrap();
+            assert!(on <= off, "{csv}");
+        }
+    }
+
+    #[test]
+    fn a4_deeper_never_worse() {
+        let t = a4_candidate_depth();
+        let csv = t.to_csv();
+        let totals: Vec<u64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap().parse().unwrap())
+            .collect();
+        assert!(totals.windows(2).all(|w| w[1] <= w[0]), "{totals:?}");
+    }
+
+    #[test]
+    fn a6_workload_aware_wins_on_its_own_objective() {
+        let t = a6_weighted_partitioning();
+        let csv = t.to_csv();
+        let weighted_obj: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(3).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(weighted_obj.len(), 2);
+        // The workload-aware scheme must score at least as well on the
+        // profiled objective (small tolerance: both searches are
+        // heuristic and may visit different state sets).
+        assert!(
+            weighted_obj[1] <= weighted_obj[0] * 1.02,
+            "workload-aware {} far worse than unweighted {} on the weighted objective",
+            weighted_obj[1],
+            weighted_obj[0]
+        );
+    }
+
+    #[test]
+    fn a7_each_objective_wins_its_own_metric() {
+        let t = a7_objective();
+        let csv = t.to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|s| s.to_string()).collect())
+            .collect();
+        for pair in rows.chunks(2) {
+            let total_of = |r: &Vec<String>| r[2].parse::<u64>().unwrap();
+            let worst_of = |r: &Vec<String>| r[3].parse::<u64>().unwrap();
+            assert!(total_of(&pair[0]) <= total_of(&pair[1]), "{csv}");
+            assert!(worst_of(&pair[1]) <= worst_of(&pair[0]), "{csv}");
+        }
+    }
+
+    #[test]
+    fn a5_overhead_is_nonnegative() {
+        let t = a5_quantisation_overhead();
+        assert!(t.len() >= 2);
+        for line in t.to_csv().lines().skip(1) {
+            let overhead: f64 = line.split(',').nth(3).unwrap().parse().unwrap();
+            assert!(overhead >= -0.01, "{line}");
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! A1–A5: ablations of the design choices called out in DESIGN.md.
+fn main() {
+    println!("{}", prpart_bench::ablation::full_report());
+}

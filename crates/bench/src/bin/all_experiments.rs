@@ -1,0 +1,107 @@
+//! Runs every experiment (E1–E11 and A1–A5) with one shared sweep and
+//! writes the artefacts to an output directory (default `results/`).
+//!
+//! Usage: `all_experiments [num_designs] [seed] [out_dir]`
+//! (defaults: 1000, 2013, `results`).
+
+use prpart_bench::figures::{class_breakdown, fig7_fig8_series, fig9_histograms, series_by_device, series_csv};
+use prpart_bench::sweep::{run_sweep, SweepConfig};
+use prpart_bench::{ablation, casestudy};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let designs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2013);
+    let out = args.get(3).map(String::as_str).unwrap_or("results").to_string();
+    let dir = Path::new(&out);
+    fs::create_dir_all(dir).expect("create results dir");
+    let write = |name: &str, content: &str| {
+        fs::write(dir.join(name), content).expect("write artefact");
+        eprintln!("wrote {}/{name}", dir.display());
+    };
+
+    // E1/E2: worked example.
+    write("e1_example_design.txt", &casestudy::example_design_report());
+    write("e2_table1.txt", &casestudy::table1().render());
+    write("e2_table1.csv", &casestudy::table1().to_csv());
+
+    // E3–E6: case study.
+    write("e3_e6_case_study.txt", &casestudy::case_study_report());
+
+    // E11: special case.
+    write("e11_special_case.txt", &casestudy::special_case_report());
+
+    // E7–E10: the synthetic sweep.
+    eprintln!("sweeping {designs} synthetic designs (seed {seed})...");
+    let t0 = std::time::Instant::now();
+    let (records, summary) = run_sweep(&SweepConfig { designs, seed, ..Default::default() });
+    eprintln!("sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let fig7 = fig7_fig8_series(&records, false);
+    let fig8 = fig7_fig8_series(&records, true);
+    write("e7_fig7.csv", &series_csv(&fig7));
+    write("e7_fig7_by_device.txt", &series_by_device(&fig7).render());
+    write("e8_fig8.csv", &series_csv(&fig8));
+    write("e8_fig8_by_device.txt", &series_by_device(&fig8).render());
+    let fig9 = fig9_histograms(&records);
+    write("e9_fig9.txt", &fig9.render());
+    write("e9_fig9.csv", &fig9.to_csv());
+    write("x2_class_breakdown.txt", &class_breakdown(&records).render());
+    write(
+        "e10_sweep_stats.txt",
+        &format!(
+            "designs: {designs} (seed {seed})\n\
+             solved: {}\nunsolvable: {}\nescalated: {} (paper: 201/1000)\n\
+             smaller device than one-module-per-region: {} (paper: 13)\n\
+             better total vs per-module: {:.1}% (paper: 73%)\n\
+             better total vs single: {:.1}% (paper: 100%)\n\
+             better worst vs per-module: {:.1}% (paper: 70%)\n\
+             better-or-equal worst vs single: {:.1}% (paper: 87.5%)\n\
+             mean solve time: {:.2} ms (paper: seconds to a minute, Python)\n",
+            summary.solved,
+            summary.unsolvable,
+            summary.escalated,
+            summary.smaller_than_per_module,
+            100.0 * summary.better_total_vs_per_module,
+            100.0 * summary.better_total_vs_single,
+            100.0 * summary.better_worst_vs_per_module,
+            100.0 * summary.better_or_equal_worst_vs_single,
+            summary.mean_solve_ms,
+        ),
+    );
+
+    // Extension X4: the sweep over the full DS100 library.
+    eprintln!("sweeping with the full DS100 library (X4)...");
+    let (_, full_summary) =
+        run_sweep(&SweepConfig { designs, seed, full_library: true, ..Default::default() });
+    write(
+        "x4_full_library.txt",
+        &format!(
+            "full DS100 library (19 devices) vs the paper's 9 figure devices:\n\
+             solved: {} (figure library: {})\nescalated: {} (figure library: {})\n\
+             smaller device than one-module-per-region: {} (figure library: {})\n",
+            full_summary.solved,
+            summary.solved,
+            full_summary.escalated,
+            summary.escalated,
+            full_summary.smaller_than_per_module,
+            summary.smaller_than_per_module,
+        ),
+    );
+
+    // Ablations.
+    eprintln!("running ablations...");
+    write("a1_a7_ablations.txt", &ablation::full_report());
+
+    // Scalability study (extension X3).
+    eprintln!("running scaling study...");
+    let points = prpart_bench::scaling::run_scaling(10, 5, seed);
+    write(
+        "x3_scaling.txt",
+        &prpart_bench::scaling::scaling_table(&points).render(),
+    );
+
+    eprintln!("all experiments complete.");
+}

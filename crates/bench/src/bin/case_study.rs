@@ -1,0 +1,5 @@
+//! E3–E6: regenerates Tables II–V — the wireless video receiver case
+//! study under both configuration sets.
+fn main() {
+    println!("{}", prpart_bench::casestudy::case_study_report());
+}

@@ -1,0 +1,5 @@
+//! E1: regenerates the §III/§IV-C worked example — connectivity matrix,
+//! node weights, edge weights.
+fn main() {
+    println!("{}", prpart_bench::casestudy::example_design_report());
+}

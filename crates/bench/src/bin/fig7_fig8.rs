@@ -1,0 +1,41 @@
+//! E7/E8: regenerates Figs. 7 and 8 — total and worst-case
+//! reconfiguration time of the proposed scheme vs the one-module-per-
+//! region and single-region baselines over the synthetic corpus, sorted
+//! by target FPGA.
+//!
+//! Usage: `fig7_fig8 [num_designs] [seed]` (defaults: 1000, 2013).
+//! Writes `fig7.csv` / `fig8.csv` next to the printed summaries when a
+//! third argument names an output directory.
+
+use prpart_bench::figures::{fig7_fig8_series, series_by_device, series_csv};
+use prpart_bench::sweep::{run_sweep, SweepConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let designs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2013);
+    let out_dir = args.get(3).cloned();
+
+    eprintln!("sweeping {designs} synthetic designs (seed {seed})...");
+    let (records, summary) = run_sweep(&SweepConfig { designs, seed, ..Default::default() });
+    eprintln!(
+        "solved {} / unsolvable {} / escalated {}",
+        summary.solved, summary.unsolvable, summary.escalated
+    );
+
+    let fig7 = fig7_fig8_series(&records, false);
+    let fig8 = fig7_fig8_series(&records, true);
+
+    println!("Fig. 7 — total reconfiguration time (frames), grouped by target FPGA:");
+    println!("{}", series_by_device(&fig7).render());
+    println!("Fig. 8 — worst-case reconfiguration time (frames), grouped by target FPGA:");
+    println!("{}", series_by_device(&fig8).render());
+
+    if let Some(dir) = out_dir {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).expect("create output dir");
+        std::fs::write(dir.join("fig7.csv"), series_csv(&fig7)).expect("write fig7.csv");
+        std::fs::write(dir.join("fig8.csv"), series_csv(&fig8)).expect("write fig8.csv");
+        eprintln!("wrote {}/fig7.csv and fig8.csv", dir.display());
+    }
+}

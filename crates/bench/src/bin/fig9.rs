@@ -1,0 +1,30 @@
+//! E9: regenerates Fig. 9(a–d) — histograms of the percentage change in
+//! total and worst-case reconfiguration time of the proposed scheme
+//! against both baselines.
+//!
+//! Usage: `fig9 [num_designs] [seed]` (defaults: 1000, 2013).
+
+use prpart_bench::figures::fig9_histograms;
+use prpart_bench::stats::fraction;
+use prpart_bench::sweep::{run_sweep, SweepConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let designs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2013);
+
+    eprintln!("sweeping {designs} synthetic designs (seed {seed})...");
+    let (records, _) = run_sweep(&SweepConfig { designs, seed, ..Default::default() });
+    let fig = fig9_histograms(&records);
+    println!("{}", fig.render());
+
+    // The paper's headline percentages for comparison.
+    println!("share with better total vs one-module-per-region: {:.1}% (paper: 73%)",
+        100.0 * fraction(&records, |r| r.proposed_total < r.per_module_total));
+    println!("share with better total vs single region:        {:.1}% (paper: 100%)",
+        100.0 * fraction(&records, |r| r.proposed_total < r.single_total));
+    println!("share with better worst case vs one-module-per-region: {:.1}% (paper: 70%)",
+        100.0 * fraction(&records, |r| r.proposed_worst < r.per_module_worst));
+    println!("share with better-or-equal worst case vs single region: {:.1}% (paper: 87.5%)",
+        100.0 * fraction(&records, |r| r.proposed_worst <= r.single_worst));
+}

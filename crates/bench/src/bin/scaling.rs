@@ -1,0 +1,15 @@
+//! X3: scalability study — algorithm runtime and search effort vs design
+//! size, beyond the paper's 2–6-module range.
+//!
+//! Usage: `scaling [max_modules] [samples] [seed]` (defaults: 10, 5, 2013).
+
+use prpart_bench::scaling::{run_scaling, scaling_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_modules: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let samples: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2013);
+    let points = run_scaling(max_modules, samples, seed);
+    println!("{}", scaling_table(&points).render());
+}

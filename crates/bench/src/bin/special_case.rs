@@ -1,0 +1,5 @@
+//! E11: the §IV-D special case — single-mode modules with absence
+//! ("mode 0").
+fn main() {
+    println!("{}", prpart_bench::casestudy::special_case_report());
+}

@@ -1,0 +1,63 @@
+//! E10: regenerates the §V scalar results — device escalations, designs
+//! fitting smaller devices than the one-module-per-region scheme, and
+//! per-design solve time.
+//!
+//! Usage: `sweep_stats [num_designs] [seed]` (defaults: 1000, 2013).
+
+use prpart_bench::sweep::{run_sweep, SweepConfig};
+use prpart_bench::table::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let designs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2013);
+
+    eprintln!("sweeping {designs} synthetic designs (seed {seed})...");
+    let (records, s) = run_sweep(&SweepConfig { designs, seed, ..Default::default() });
+
+    let mut t = TextTable::new(["statistic", "value", "paper (n=1000)"]);
+    t.row(["designs solved", &s.solved.to_string(), "1000"]);
+    t.row(["no feasible device", &s.unsolvable.to_string(), "0"]);
+    t.row([
+        "escalated to a larger FPGA",
+        &s.escalated.to_string(),
+        "201",
+    ]);
+    t.row([
+        "fit smaller FPGA than one-module-per-region",
+        &s.smaller_than_per_module.to_string(),
+        "13",
+    ]);
+    t.row([
+        "better total vs one-module-per-region",
+        &format!("{:.1}%", 100.0 * s.better_total_vs_per_module),
+        "73%",
+    ]);
+    t.row([
+        "better worst vs one-module-per-region",
+        &format!("{:.1}%", 100.0 * s.better_worst_vs_per_module),
+        "70%",
+    ]);
+    t.row([
+        "better-or-equal worst vs single region",
+        &format!("{:.1}%", 100.0 * s.better_or_equal_worst_vs_single),
+        "87.5%",
+    ]);
+    t.row([
+        "mean solve time per design",
+        &format!("{:.2} ms", s.mean_solve_ms),
+        "seconds to a minute (Python)",
+    ]);
+    println!("{}", t.render());
+
+    // Per-device distribution (the x-axis composition of Figs. 7/8).
+    let mut dist = TextTable::new(["device", "designs"]);
+    let mut i = 0;
+    while i < records.len() {
+        let dev = &records[i].device;
+        let n = records[i..].iter().take_while(|r| &r.device == dev).count();
+        dist.row([dev.clone(), n.to_string()]);
+        i += n;
+    }
+    println!("{}", dist.render());
+}

@@ -1,0 +1,4 @@
+//! E2: regenerates Table I — base partitions with frequency weights.
+fn main() {
+    println!("{}", prpart_bench::casestudy::table1().render());
+}

@@ -1,0 +1,257 @@
+//! Case-study experiments: the §III worked example (E1/E2) and the
+//! wireless video receiver (E3–E6), plus the §IV-D special case (E11).
+
+use crate::table::TextTable;
+use prpart_core::report::{comparison_table, ComparisonRow};
+use prpart_core::{
+    baselines, cluster::DEFAULT_CLIQUE_LIMIT, generate_base_partitions, Partitioner,
+    TransitionSemantics,
+};
+use prpart_design::{corpus, ConnectivityMatrix};
+
+/// E1: the §III/§IV-C worked example — connectivity matrix, node and edge
+/// weights.
+pub fn example_design_report() -> String {
+    let d = corpus::abc_example();
+    let m = ConnectivityMatrix::from_design(&d);
+    let mut out = String::new();
+    out.push_str("Connectivity matrix (paper §IV-C):\n");
+    out.push_str(&m.render(&d));
+    out.push('\n');
+    let mut t = TextTable::new(["mode", "node weight"]);
+    for g in 0..d.num_modes() {
+        let id = prpart_design::GlobalModeId(g as u32);
+        t.row([d.mode(id).name.clone(), m.node_weight(id).to_string()]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str("Selected edge weights (paper's examples):\n");
+    for ((am, ak), (bm, bk)) in [(("A", "A1"), ("B", "B1")), (("B", "B2"), ("C", "C3"))] {
+        let a = d.mode_id(am, ak).unwrap();
+        let b = d.mode_id(bm, bk).unwrap();
+        out.push_str(&format!("  W({ak},{bk}) = {}\n", m.edge_weight(a, b)));
+    }
+    out
+}
+
+/// E2: Table I — base partitions of the example with frequency weights.
+pub fn table1() -> TextTable {
+    let d = corpus::abc_example();
+    let m = ConnectivityMatrix::from_design(&d);
+    let parts = generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap();
+    let mut t = TextTable::new(["base partition", "freq wt"]);
+    for p in &parts {
+        t.row([p.label(&d), p.frequency_weight.to_string()]);
+    }
+    t
+}
+
+/// E3: Table II — the case-study resource table (input data, printed for
+/// the record).
+pub fn table2() -> TextTable {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let mut t = TextTable::new(["module", "mode", "CLBs", "BR", "DSP"]);
+    for module in d.modules() {
+        for mode in &module.modes {
+            t.row([
+                module.name.clone(),
+                mode.name.clone(),
+                mode.resources.clb.to_string(),
+                mode.resources.bram.to_string(),
+                mode.resources.dsp.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Everything the case study produces for one configuration set:
+/// the partition table (Table III or V) and the scheme comparison
+/// (Table IV).
+#[derive(Debug)]
+pub struct CaseStudyResult {
+    /// Which configuration set.
+    pub set: corpus::VideoConfigSet,
+    /// Table III/V analogue: region membership of the proposed scheme.
+    pub partitions: String,
+    /// Table IV analogue.
+    pub comparison: String,
+    /// Raw numbers for EXPERIMENTS.md.
+    pub proposed_total: u64,
+    /// One-module-per-region total (frames).
+    pub per_module_total: u64,
+    /// Single-region total (frames).
+    pub single_total: u64,
+    /// Improvement of the proposed scheme over per-module, percent.
+    pub improvement_vs_per_module: f64,
+}
+
+/// E4–E6: runs the case study for one configuration set.
+pub fn case_study(set: corpus::VideoConfigSet) -> CaseStudyResult {
+    let d = corpus::video_receiver(set);
+    let budget = corpus::VIDEO_RECEIVER_BUDGET;
+    let sem = TransitionSemantics::Optimistic;
+    let matrix = ConnectivityMatrix::from_design(&d);
+    let base = baselines::evaluate_baselines(&d, &matrix, &budget, sem);
+    let out = Partitioner::new(budget).partition(&d).expect("case study is feasible");
+    let best = out.best.expect("a feasible scheme exists");
+    let comparison = comparison_table(&[
+        ComparisonRow { name: "Static".into(), metrics: base.full_static.metrics },
+        ComparisonRow { name: "Modular".into(), metrics: base.per_module.metrics },
+        ComparisonRow { name: "Single".into(), metrics: base.single_region.metrics },
+        ComparisonRow { name: "Proposed".into(), metrics: best.metrics },
+    ]);
+    CaseStudyResult {
+        set,
+        partitions: best.scheme.describe(&d),
+        comparison,
+        proposed_total: best.metrics.total_frames,
+        per_module_total: base.per_module.metrics.total_frames,
+        single_total: base.single_region.metrics.total_frames,
+        improvement_vs_per_module: crate::stats::percent_improvement(
+            base.per_module.metrics.total_frames,
+            best.metrics.total_frames,
+        ),
+    }
+}
+
+/// E3–E6 combined report.
+pub fn case_study_report() -> String {
+    let mut out = String::new();
+    out.push_str("Table II — resource utilisation of the reconfigurable modules:\n");
+    out.push_str(&table2().render());
+    for set in [corpus::VideoConfigSet::Original, corpus::VideoConfigSet::Modified] {
+        let r = case_study(set);
+        out.push_str(&format!(
+            "\n=== {:?} configurations (paper {}):\n",
+            set,
+            match set {
+                corpus::VideoConfigSet::Original => "Tables III/IV",
+                corpus::VideoConfigSet::Modified => "Table V",
+            }
+        ));
+        out.push_str("Partitions determined by the algorithm:\n");
+        out.push_str(&r.partitions);
+        out.push_str("\nScheme comparison:\n");
+        out.push_str(&r.comparison);
+        out.push_str(&format!(
+            "proposed vs one-module-per-region: {:+.1}% total reconfiguration time\n",
+            r.improvement_vs_per_module
+        ));
+    }
+    out
+}
+
+/// E11: the §IV-D single-mode special case.
+pub fn special_case_report() -> String {
+    let d = corpus::special_case_single_mode();
+    let matrix = ConnectivityMatrix::from_design(&d);
+    let mut out = String::new();
+    out.push_str(&format!("{d}\n\nConnectivity matrix:\n"));
+    out.push_str(&matrix.render(&d));
+    let parts = generate_base_partitions(&d, &matrix, DEFAULT_CLIQUE_LIMIT).unwrap();
+    out.push_str(&format!("\n{} base partitions (singletons + co-occurring groups):\n", parts.len()));
+    for p in &parts {
+        out.push_str(&format!("  {} (w={})\n", p.label(&d), p.frequency_weight));
+    }
+    let budget = prpart_arch::Resources::new(1400, 16, 24);
+    let best = Partitioner::new(budget)
+        .partition(&d)
+        .expect("feasible")
+        .best
+        .expect("scheme found");
+    out.push_str(&format!("\nProposed scheme within {budget}:\n"));
+    out.push_str(&best.scheme.describe(&d));
+    out.push_str(&format!(
+        "total: {} frames, worst: {} frames\n",
+        best.metrics.total_frames, best.metrics.worst_frames
+    ));
+    out
+}
+
+/// Helper used by tests and EXPERIMENTS.md generation: the paper's
+/// headline case-study numbers for comparison.
+pub fn paper_reference(set: corpus::VideoConfigSet) -> (u64, u64, f64) {
+    match set {
+        // (per-module total, proposed total, improvement %)
+        corpus::VideoConfigSet::Original => (244_872, 235_266, 4.0),
+        corpus::VideoConfigSet::Modified => (97_998, 92_120, 6.0),
+    }
+}
+
+/// Asserts the shape of a case-study result against the paper (who wins,
+/// roughly by how much); used by tests and the harness.
+pub fn check_shape(r: &CaseStudyResult) -> Result<(), String> {
+    if r.proposed_total >= r.per_module_total {
+        return Err(format!(
+            "proposed ({}) must beat per-module ({})",
+            r.proposed_total, r.per_module_total
+        ));
+    }
+    if r.proposed_total >= r.single_total {
+        return Err(format!(
+            "proposed ({}) must beat single-region ({})",
+            r.proposed_total, r.single_total
+        ));
+    }
+    let (_, _, paper_improvement) = paper_reference(r.set);
+    // Within a factor of ~3 of the paper's improvement percentage.
+    if r.improvement_vs_per_module < paper_improvement / 3.0
+        || r.improvement_vs_per_module > paper_improvement * 3.0
+    {
+        return Err(format!(
+            "improvement {:.1}% far from paper's {:.1}%",
+            r.improvement_vs_per_module, paper_improvement
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_26_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 26);
+        let rendered = t.render();
+        assert!(rendered.contains("{A3, B2, C3}"), "{rendered}");
+    }
+
+    #[test]
+    fn table2_matches_paper_row_count() {
+        // Table II: 14 modes across 5 modules.
+        assert_eq!(table2().len(), 14);
+    }
+
+    #[test]
+    fn example_report_contains_weights() {
+        let r = example_design_report();
+        assert!(r.contains("W(A1,B1) = 1"), "{r}");
+        assert!(r.contains("W(B2,C3) = 2"), "{r}");
+    }
+
+    #[test]
+    fn case_study_shapes_match_paper() {
+        for set in [corpus::VideoConfigSet::Original, corpus::VideoConfigSet::Modified] {
+            let r = case_study(set);
+            check_shape(&r).unwrap();
+        }
+    }
+
+    #[test]
+    fn case_study_report_renders() {
+        let r = case_study_report();
+        assert!(r.contains("Table II"));
+        assert!(r.contains("Proposed"));
+        assert!(r.contains("PRR1"));
+    }
+
+    #[test]
+    fn special_case_report_renders() {
+        let r = special_case_report();
+        assert!(r.contains("base partitions"));
+        assert!(r.contains("PRR1"), "{r}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Series and histograms for Figs. 7, 8 and 9.
+
+use crate::stats::{percent_improvement, Histogram};
+use crate::sweep::SweepRecord;
+use crate::table::TextTable;
+
+/// One x-axis point of Figs. 7/8: a design with its three scheme values.
+#[derive(Debug, Clone)]
+pub struct FigPoint {
+    /// Position along the sorted x-axis.
+    pub x: usize,
+    /// Device name (the paper's axis labels).
+    pub device: String,
+    /// Proposed scheme value (frames).
+    pub proposed: u64,
+    /// One-module-per-region value.
+    pub per_module: u64,
+    /// Single-region value.
+    pub single: u64,
+}
+
+/// Builds the Fig. 7 (total) or Fig. 8 (worst-case) series from sorted
+/// sweep records.
+pub fn fig7_fig8_series(records: &[SweepRecord], worst_case: bool) -> Vec<FigPoint> {
+    records
+        .iter()
+        .enumerate()
+        .map(|(x, r)| FigPoint {
+            x,
+            device: r.device.clone(),
+            proposed: if worst_case { r.proposed_worst } else { r.proposed_total },
+            per_module: if worst_case { r.per_module_worst } else { r.per_module_total },
+            single: if worst_case { r.single_worst } else { r.single_total },
+        })
+        .collect()
+}
+
+/// Renders a Fig. 7/8 series as CSV (`x,device,proposed,per_module,single`).
+pub fn series_csv(series: &[FigPoint]) -> String {
+    let mut t = TextTable::new(["x", "device", "proposed", "per_module", "single_region"]);
+    for p in series {
+        t.row([
+            p.x.to_string(),
+            p.device.clone(),
+            p.proposed.to_string(),
+            p.per_module.to_string(),
+            p.single.to_string(),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// Per-device-group means of a series — the readable text rendition of
+/// the figures (the paper plots one point per design; grouping by the
+/// axis label summarises the same shape).
+pub fn series_by_device(series: &[FigPoint]) -> TextTable {
+    let mut t = TextTable::new([
+        "device",
+        "designs",
+        "proposed(mean)",
+        "per_module(mean)",
+        "single(mean)",
+    ]);
+    let mut i = 0;
+    while i < series.len() {
+        let device = &series[i].device;
+        let mut j = i;
+        let (mut sp, mut sm, mut ss) = (0u64, 0u64, 0u64);
+        while j < series.len() && &series[j].device == device {
+            sp += series[j].proposed;
+            sm += series[j].per_module;
+            ss += series[j].single;
+            j += 1;
+        }
+        let n = (j - i) as u64;
+        t.row([
+            device.clone(),
+            n.to_string(),
+            (sp / n).to_string(),
+            (sm / n).to_string(),
+            (ss / n).to_string(),
+        ]);
+        i = j;
+    }
+    t
+}
+
+/// Extension analysis X2: per-circuit-class breakdown of the sweep —
+/// the paper generates equal numbers of logic/memory/DSP/DSP+memory
+/// designs but reports only aggregates; this table shows how the win
+/// varies by resource mix.
+pub fn class_breakdown(records: &[SweepRecord]) -> TextTable {
+    use prpart_synth::CircuitClass;
+    let mut t = TextTable::new([
+        "class",
+        "designs",
+        "mean total gain vs 1M/R (%)",
+        "mean worst gain vs 1M/R (%)",
+        "escalated (%)",
+    ]);
+    for class in CircuitClass::ALL {
+        let rs: Vec<&SweepRecord> = records.iter().filter(|r| r.class == class).collect();
+        if rs.is_empty() {
+            continue;
+        }
+        let mean = |f: &dyn Fn(&SweepRecord) -> f64| -> f64 {
+            rs.iter().map(|r| f(r)).sum::<f64>() / rs.len() as f64
+        };
+        let total_gain =
+            mean(&|r| percent_improvement(r.per_module_total, r.proposed_total));
+        let worst_gain =
+            mean(&|r| percent_improvement(r.per_module_worst, r.proposed_worst));
+        let escalated =
+            100.0 * rs.iter().filter(|r| r.escalations > 0).count() as f64 / rs.len() as f64;
+        t.row([
+            class.to_string(),
+            rs.len().to_string(),
+            format!("{total_gain:.1}"),
+            format!("{worst_gain:.1}"),
+            format!("{escalated:.1}"),
+        ]);
+    }
+    t
+}
+
+/// The four panels of Fig. 9.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// (a) total time vs one module per region.
+    pub total_vs_per_module: Histogram,
+    /// (b) total time vs single region.
+    pub total_vs_single: Histogram,
+    /// (c) worst-case time vs one module per region.
+    pub worst_vs_per_module: Histogram,
+    /// (d) worst-case time vs single region.
+    pub worst_vs_single: Histogram,
+}
+
+/// Builds the Fig. 9 histograms (percentage change of the proposed
+/// scheme against each baseline; positive = improvement).
+pub fn fig9_histograms(records: &[SweepRecord]) -> Fig9 {
+    let mut fig = Fig9 {
+        total_vs_per_module: Histogram::fig9(),
+        total_vs_single: Histogram::fig9(),
+        worst_vs_per_module: Histogram::fig9(),
+        worst_vs_single: Histogram::fig9(),
+    };
+    for r in records {
+        fig.total_vs_per_module
+            .add(percent_improvement(r.per_module_total, r.proposed_total));
+        fig.total_vs_single
+            .add(percent_improvement(r.single_total, r.proposed_total));
+        fig.worst_vs_per_module
+            .add(percent_improvement(r.per_module_worst, r.proposed_worst));
+        fig.worst_vs_single
+            .add(percent_improvement(r.single_worst, r.proposed_worst));
+    }
+    fig
+}
+
+impl Fig9 {
+    /// CSV: one row per bin with all four panels' counts.
+    pub fn to_csv(&self) -> String {
+        let mut t = TextTable::new([
+            "bin_lower_pct",
+            "total_vs_per_module",
+            "total_vs_single",
+            "worst_vs_per_module",
+            "worst_vs_single",
+        ]);
+        let a: Vec<(f64, u64)> = self.total_vs_per_module.bins().collect();
+        let b: Vec<(f64, u64)> = self.total_vs_single.bins().collect();
+        let c: Vec<(f64, u64)> = self.worst_vs_per_module.bins().collect();
+        let d: Vec<(f64, u64)> = self.worst_vs_single.bins().collect();
+        for i in 0..a.len() {
+            t.row([
+                format!("{:.0}", a[i].0),
+                a[i].1.to_string(),
+                b[i].1.to_string(),
+                c[i].1.to_string(),
+                d[i].1.to_string(),
+            ]);
+        }
+        t.to_csv()
+    }
+
+    /// Renders all four panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (label, h) in [
+            ("(a) total reconfiguration time vs one module per region", &self.total_vs_per_module),
+            ("(b) total reconfiguration time vs single region", &self.total_vs_single),
+            ("(c) worst-case reconfiguration time vs one module per region", &self.worst_vs_per_module),
+            ("(d) worst-case reconfiguration time vs single region", &self.worst_vs_single),
+        ] {
+            out.push_str(label);
+            out.push('\n');
+            out.push_str(&h.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepConfig};
+
+    fn records() -> Vec<SweepRecord> {
+        run_sweep(&SweepConfig { designs: 16, seed: 5, threads: 4, ..Default::default() }).0
+    }
+
+    #[test]
+    fn series_cover_all_records() {
+        let rs = records();
+        let total = fig7_fig8_series(&rs, false);
+        let worst = fig7_fig8_series(&rs, true);
+        assert_eq!(total.len(), rs.len());
+        assert_eq!(worst.len(), rs.len());
+        // Total series values dominate worst-case values for the same
+        // design (sum over pairs ≥ max over pairs).
+        for (t, w) in total.iter().zip(&worst) {
+            assert!(t.proposed >= w.proposed);
+            assert!(t.single >= w.single);
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rs = records();
+        let csv = series_csv(&fig7_fig8_series(&rs, false));
+        assert!(csv.starts_with("x,device,proposed"));
+        assert_eq!(csv.lines().count(), rs.len() + 1);
+    }
+
+    #[test]
+    fn device_grouping_preserves_counts() {
+        let rs = records();
+        let series = fig7_fig8_series(&rs, false);
+        let grouped = series_by_device(&series);
+        assert!(!grouped.is_empty());
+        assert!(grouped.len() <= 9, "at most one row per library device");
+    }
+
+    #[test]
+    fn class_breakdown_covers_all_classes() {
+        let rs = records();
+        let t = class_breakdown(&rs);
+        assert!(t.len() >= 3, "most classes present even in a small sweep");
+        let csv = t.to_csv();
+        assert!(csv.contains("logic") || csv.contains("memory"), "{csv}");
+        // Row counts sum to the record count.
+        let total: usize = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, rs.len());
+    }
+
+    #[test]
+    fn fig9_counts_match_record_count() {
+        let rs = records();
+        let fig = fig9_histograms(&rs);
+        assert_eq!(fig.total_vs_per_module.total() as usize, rs.len());
+        assert_eq!(fig.worst_vs_single.total() as usize, rs.len());
+        let rendered = fig.render();
+        assert!(rendered.contains("(a)") && rendered.contains("(d)"));
+        // The CSV carries 11 bins and sums to the record count per panel.
+        let csv = fig.to_csv();
+        assert_eq!(csv.lines().count(), 12);
+        let col_total: usize = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(col_total, rs.len());
+    }
+}

@@ -1,0 +1,31 @@
+//! # prpart-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (DESIGN.md §3 maps experiment ids E1–E11 and ablations A1–A5 to the
+//! functions here). Binaries under `src/bin/` print the artefacts;
+//! `benches/` carries the Criterion performance benchmarks.
+//!
+//! | id | artefact | function |
+//! |----|----------|----------|
+//! | E1 | §III matrix + weights | [`casestudy::example_design_report`] |
+//! | E2 | Table I | [`casestudy::table1`] |
+//! | E3–E6 | Tables II–V | [`casestudy::case_study_report`] |
+//! | E7/E8 | Figs. 7/8 | [`sweep::run_sweep`] + [`figures::fig7_fig8_series`] |
+//! | E9 | Fig. 9(a–d) | [`figures::fig9_histograms`] |
+//! | E10 | §V scalars | [`sweep::SweepSummary`] |
+//! | E11 | §IV-D special case | [`casestudy::special_case_report`] |
+//! | A1–A6 | ablations & extensions | [`ablation`] |
+//! | X3 | scalability study | [`scaling`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod casestudy;
+pub mod figures;
+pub mod scaling;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use sweep::{run_sweep, SweepConfig, SweepRecord, SweepSummary};

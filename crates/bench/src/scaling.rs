@@ -1,0 +1,128 @@
+//! Scalability study (extension X3): how the algorithm's runtime and
+//! search effort grow with design size, beyond the paper's 2–6-module
+//! range. The paper reports only "a few seconds to one minute" per
+//! design for its Python implementation; this measures the Rust
+//! implementation's behaviour as modules, modes and configurations grow.
+
+use crate::table::TextTable;
+use prpart_arch::Resources;
+use prpart_core::{Partitioner, SearchStrategy};
+use prpart_synth::{generate_design, CircuitClass, GeneratorConfig};
+
+/// One scaling measurement.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Modules per design at this point.
+    pub modules: usize,
+    /// Modes per design (total).
+    pub total_modes: usize,
+    /// Configurations.
+    pub configurations: usize,
+    /// Base partitions generated.
+    pub base_partitions: usize,
+    /// States evaluated by the default search.
+    pub states: u64,
+    /// Wall time, milliseconds.
+    pub millis: f64,
+    /// Best total (frames); `u64::MAX` when infeasible.
+    pub total_frames: u64,
+}
+
+/// Runs the scaling sweep: designs with `modules` from 2 to `max_modules`
+/// (each averaged over `samples` seeds), a permissive budget so the
+/// search itself is what's measured.
+pub fn run_scaling(max_modules: usize, samples: usize, seed: u64) -> Vec<ScalePoint> {
+    let mut out = Vec::new();
+    for m in 2..=max_modules {
+        let cfg = GeneratorConfig {
+            modules: m..=m,
+            modes: 3..=3,
+            ..GeneratorConfig::default()
+        };
+        let mut agg = ScalePoint {
+            modules: m,
+            total_modes: 0,
+            configurations: 0,
+            base_partitions: 0,
+            states: 0,
+            millis: 0.0,
+            total_frames: 0,
+        };
+        for s in 0..samples {
+            let class = CircuitClass::ALL[s % 4];
+            let design = generate_design(&cfg, class, seed + (m * 100 + s) as u64);
+            let budget = Resources::new(120_000, 2_000, 2_000);
+            let matrix = prpart_design::ConnectivityMatrix::from_design(&design);
+            let parts = prpart_core::generate_base_partitions(
+                &design,
+                &matrix,
+                prpart_core::cluster::DEFAULT_CLIQUE_LIMIT,
+            )
+            .expect("clique budget generous");
+            let t0 = std::time::Instant::now();
+            let outcome = Partitioner::new(budget)
+                .with_strategy(SearchStrategy::default())
+                .partition(&design)
+                .expect("permissive budget is feasible");
+            agg.millis += t0.elapsed().as_secs_f64() * 1000.0;
+            agg.total_modes += design.num_modes();
+            agg.configurations += design.num_configurations();
+            agg.base_partitions += parts.len();
+            agg.states += outcome.states_evaluated;
+            agg.total_frames += outcome.best.map_or(0, |b| b.metrics.total_frames);
+        }
+        let n = samples as f64;
+        agg.total_modes = (agg.total_modes as f64 / n).round() as usize;
+        agg.configurations = (agg.configurations as f64 / n).round() as usize;
+        agg.base_partitions = (agg.base_partitions as f64 / n).round() as usize;
+        agg.states = (agg.states as f64 / n).round() as u64;
+        agg.millis /= n;
+        agg.total_frames = (agg.total_frames as f64 / n).round() as u64;
+        out.push(agg);
+    }
+    out
+}
+
+/// Renders the scaling table.
+pub fn scaling_table(points: &[ScalePoint]) -> TextTable {
+    let mut t = TextTable::new([
+        "modules",
+        "modes",
+        "configs",
+        "base partitions",
+        "states",
+        "time (ms)",
+    ]);
+    for p in points {
+        t.row([
+            p.modules.to_string(),
+            p.total_modes.to_string(),
+            p.configurations.to_string(),
+            p.base_partitions.to_string(),
+            p.states.to_string(),
+            format!("{:.2}", p.millis),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_sweep_grows_monotonically_in_size() {
+        let points = run_scaling(6, 2, 42);
+        assert_eq!(points.len(), 5);
+        // Modes grow with modules (3 per module).
+        for p in &points {
+            assert_eq!(p.total_modes, p.modules * 3);
+            assert!(p.millis >= 0.0);
+            assert!(p.states > 0);
+        }
+        // Base partitions grow with design size.
+        assert!(points.last().unwrap().base_partitions > points[0].base_partitions);
+        let t = scaling_table(&points);
+        assert_eq!(t.len(), 5);
+    }
+}

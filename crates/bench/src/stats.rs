@@ -1,0 +1,139 @@
+//! Small statistics helpers for the figure experiments.
+
+/// Percentage change from `baseline` to `new`: positive = improvement
+/// (reduction), as plotted in the paper's Fig. 9.
+pub fn percent_improvement(baseline: u64, new: u64) -> f64 {
+    if baseline == 0 {
+        return 0.0;
+    }
+    100.0 * (baseline as f64 - new as f64) / baseline as f64
+}
+
+/// A histogram over fixed-width bins spanning `[min, max)`, with
+/// underflow/overflow counted in the edge bins — the shape of the
+/// paper's Fig. 9 axes (−10% to 100% in 10% bins).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    min: f64,
+    bin_width: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of `bin_width` starting at
+    /// `min`.
+    pub fn new(min: f64, bin_width: f64, bins: usize) -> Self {
+        assert!(bins > 0 && bin_width > 0.0);
+        Histogram { min, bin_width, counts: vec![0; bins] }
+    }
+
+    /// The paper's Fig. 9 axes: 11 bins of 10% from −10% to 100%.
+    pub fn fig9() -> Self {
+        Histogram::new(-10.0, 10.0, 11)
+    }
+
+    /// Adds one sample (clamped into the edge bins).
+    pub fn add(&mut self, value: f64) {
+        let idx = ((value - self.min) / self.bin_width).floor();
+        let idx = idx.clamp(0.0, (self.counts.len() - 1) as f64) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(lower_edge, count)` pairs.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.min + i as f64 * self.bin_width, c))
+    }
+
+    /// Renders label/count rows for the text harness.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        for (edge, count) in self.bins() {
+            let bars = (count * 40 / max) as usize;
+            out.push_str(&format!(
+                "[{:>5.0}%..{:>4.0}%) {:>5}  {}\n",
+                edge,
+                edge + self.bin_width,
+                count,
+                "#".repeat(bars)
+            ));
+        }
+        out
+    }
+}
+
+/// Fraction (0..=1) of samples for which `pred` holds.
+pub fn fraction<T>(items: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    items.iter().filter(|x| pred(x)).count() as f64 / items.len() as f64
+}
+
+/// Mean of an f64 slice (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_signs() {
+        assert_eq!(percent_improvement(100, 90), 10.0);
+        assert_eq!(percent_improvement(100, 110), -10.0);
+        assert_eq!(percent_improvement(100, 100), 0.0);
+        assert_eq!(percent_improvement(0, 50), 0.0, "degenerate baseline");
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::fig9();
+        h.add(-25.0); // clamps into the first bin
+        h.add(-5.0);
+        h.add(0.0);
+        h.add(9.99);
+        h.add(95.0);
+        h.add(250.0); // clamps into the last bin
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts()[0], 2); // -25 and -5
+        assert_eq!(h.counts()[1], 2); // 0 and 9.99
+        assert_eq!(h.counts()[10], 2); // 95 and 250
+    }
+
+    #[test]
+    fn histogram_renders_all_bins() {
+        let mut h = Histogram::fig9();
+        h.add(15.0);
+        let s = h.render();
+        assert_eq!(s.lines().count(), 11);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn fraction_and_mean() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fraction(&v, |&x| x > 2.0), 0.5);
+        assert_eq!(mean(&v), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(fraction::<f64>(&[], |_| true), 0.0);
+    }
+}

@@ -1,0 +1,913 @@
+//! # prpart-cli — command-line front end
+//!
+//! The `prpart` binary drives the whole tool flow from the shell:
+//!
+//! ```text
+//! prpart partition <design.xml> --device SX70T      # partition for a device
+//! prpart partition <design.xml> --budget 6800,64,150
+//! prpart partition <design.xml> --auto              # smallest-device search
+//! prpart flow <design.xml> --device SX70T --out DIR # full flow artefacts
+//! prpart devices                                    # list the device library
+//! prpart generate --count 10 --seed 1 --out DIR     # synthetic designs
+//! prpart simulate <design.xml> --device SX70T       # Monte-Carlo runtime
+//! ```
+//!
+//! All command logic lives here (testable); `main.rs` is a thin shim.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use prpart_arch::{DeviceLibrary, Resources};
+use prpart_core::device_select::select_device;
+use prpart_core::report::scheme_report;
+use prpart_core::{Partitioner, SearchStrategy, TransitionSemantics};
+use prpart_design::Design;
+use prpart_flow::FlowPipeline;
+use prpart_runtime::{run_monte_carlo, MonteCarloConfig};
+use prpart_synth::{generate_corpus, GeneratorConfig};
+use std::fmt::Write as _;
+
+/// A CLI failure: message and suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError { message: message.into() })
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `prpart partition <design> [target options]`.
+    Partition {
+        /// Design XML path.
+        design: String,
+        /// Target: device name, budget, or auto.
+        target: Target,
+        /// Strategy override.
+        strategy: Option<SearchStrategy>,
+        /// Disable static promotion.
+        no_static: bool,
+        /// Pessimistic don't-care semantics.
+        pessimistic: bool,
+        /// Optional XML report path.
+        xml_out: Option<String>,
+        /// Optional device-library XML path (defaults to the built-in
+        /// Virtex-5 figure library).
+        library: Option<String>,
+        /// Optional transition-weights XML path (workload-aware
+        /// partitioning).
+        weights: Option<String>,
+    },
+    /// `prpart flow <design> --device NAME --out DIR`.
+    Flow {
+        /// Design XML path.
+        design: String,
+        /// Device name.
+        device: String,
+        /// Output directory.
+        out: String,
+    },
+    /// `prpart devices [--library FILE] [--full]`.
+    Devices {
+        /// Optional device-library XML path.
+        library: Option<String>,
+        /// Show the full DS100 Virtex-5 family instead of the paper's
+        /// nine figure devices.
+        full: bool,
+    },
+    /// `prpart generate --count N --seed S --out DIR`.
+    Generate {
+        /// Number of designs.
+        count: usize,
+        /// Corpus seed.
+        seed: u64,
+        /// Output directory.
+        out: String,
+    },
+    /// `prpart simulate <design> [target] --walks N --len L
+    /// [--profile-out FILE]`.
+    Simulate {
+        /// Design XML path.
+        design: String,
+        /// Target device or budget.
+        target: Target,
+        /// Number of walks.
+        walks: usize,
+        /// Transitions per walk.
+        len: usize,
+        /// Write estimated transition weights here (feed back into
+        /// `partition --weights`).
+        profile_out: Option<String>,
+    },
+    /// `prpart info <design.xml>`.
+    Info {
+        /// Design XML path.
+        design: String,
+    },
+    /// `prpart pareto <design.xml> (--device NAME | --budget ...)`.
+    Pareto {
+        /// Design XML path.
+        design: String,
+        /// Target device or budget.
+        target: Target,
+    },
+    /// `prpart report <design.xml> <scheme.xml> [--simulate]`.
+    Report {
+        /// Design XML path.
+        design: String,
+        /// Saved partitioning XML (from `partition --xml-out`).
+        scheme: String,
+        /// Also run a quick Monte-Carlo on the loaded scheme.
+        simulate: bool,
+    },
+    /// `prpart help`.
+    Help,
+}
+
+/// Where to implement the design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// A named device from the Virtex-5 library.
+    Device(String),
+    /// An explicit resource budget.
+    Budget(Resources),
+    /// Smallest-device search.
+    Auto,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+prpart — automated partitioning for partial reconfiguration (Vipin & Fahmy, IPDPSW 2013)
+
+USAGE:
+  prpart partition <design.xml> (--device NAME | --budget CLB,BRAM,DSP | --auto)
+                   [--strategy greedy|beam|exhaustive] [--no-static]
+                   [--pessimistic] [--xml-out FILE] [--library FILE]
+                   [--weights FILE]
+  prpart flow <design.xml> --device NAME --out DIR
+  prpart devices [--library FILE] [--full]
+  prpart generate [--count N] [--seed S] --out DIR
+  prpart simulate <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
+                  [--walks N] [--len L] [--profile-out FILE]
+  prpart report <design.xml> <scheme.xml> [--simulate]
+  prpart pareto <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
+  prpart info <design.xml>
+  prpart help
+";
+
+fn parse_budget(s: &str) -> Result<Resources, CliError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 3 {
+        return err(format!("budget '{s}' must be CLB,BRAM,DSP"));
+    }
+    let nums: Result<Vec<u32>, _> = parts.iter().map(|p| p.trim().parse()).collect();
+    match nums {
+        Ok(v) => Ok(Resources::new(v[0], v[1], v[2])),
+        Err(_) => err(format!("budget '{s}' contains a non-number")),
+    }
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let flag_value = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| -> Result<String, CliError> {
+        it.next()
+            .cloned()
+            .ok_or(CliError { message: format!("{flag} needs a value") })
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "devices" => {
+            let mut library = None;
+            let mut full = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--library" => library = Some(flag_value("--library", &mut it)?),
+                    "--full" => full = true,
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            Ok(Command::Devices { library, full })
+        }
+        "partition" => {
+            let mut design = None;
+            let mut target = None;
+            let mut strategy = None;
+            let mut no_static = false;
+            let mut pessimistic = false;
+            let mut xml_out = None;
+            let mut library = None;
+            let mut weights = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
+                    "--budget" => {
+                        target = Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
+                    }
+                    "--auto" => target = Some(Target::Auto),
+                    "--strategy" => {
+                        strategy = Some(match flag_value("--strategy", &mut it)?.as_str() {
+                            "greedy" => SearchStrategy::default(),
+                            "beam" => SearchStrategy::Beam { width: 16, max_candidate_sets: 6 },
+                            "exhaustive" => SearchStrategy::Exhaustive {
+                                max_partitions: 12,
+                                max_candidate_sets: 4,
+                            },
+                            other => return err(format!("unknown strategy '{other}'")),
+                        })
+                    }
+                    "--no-static" => no_static = true,
+                    "--pessimistic" => pessimistic = true,
+                    "--xml-out" => xml_out = Some(flag_value("--xml-out", &mut it)?),
+                    "--library" => library = Some(flag_value("--library", &mut it)?),
+                    "--weights" => weights = Some(flag_value("--weights", &mut it)?),
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            let Some(design) = design else { return err("partition: missing <design.xml>") };
+            let Some(target) = target else {
+                return err("partition: choose --device, --budget or --auto");
+            };
+            Ok(Command::Partition {
+                design,
+                target,
+                strategy,
+                no_static,
+                pessimistic,
+                xml_out,
+                library,
+                weights,
+            })
+        }
+        "flow" => {
+            let mut design = None;
+            let mut device = None;
+            let mut out = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--device" => device = Some(flag_value("--device", &mut it)?),
+                    "--out" => out = Some(flag_value("--out", &mut it)?),
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            match (design, device, out) {
+                (Some(design), Some(device), Some(out)) => Ok(Command::Flow { design, device, out }),
+                _ => err("flow: need <design.xml> --device NAME --out DIR"),
+            }
+        }
+        "generate" => {
+            let mut count = 10usize;
+            let mut seed = 1u64;
+            let mut out = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--count" => {
+                        count = flag_value("--count", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--count needs a number".into() })?
+                    }
+                    "--seed" => {
+                        seed = flag_value("--seed", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--seed needs a number".into() })?
+                    }
+                    "--out" => out = Some(flag_value("--out", &mut it)?),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            let Some(out) = out else { return err("generate: missing --out DIR") };
+            Ok(Command::Generate { count, seed, out })
+        }
+        "simulate" => {
+            let mut design = None;
+            let mut target = None;
+            let mut walks = 32usize;
+            let mut len = 128usize;
+            let mut profile_out = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
+                    "--budget" => {
+                        target = Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
+                    }
+                    "--walks" => {
+                        walks = flag_value("--walks", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--walks needs a number".into() })?
+                    }
+                    "--len" => {
+                        len = flag_value("--len", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--len needs a number".into() })?
+                    }
+                    "--profile-out" => profile_out = Some(flag_value("--profile-out", &mut it)?),
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            let Some(design) = design else { return err("simulate: missing <design.xml>") };
+            let Some(target) = target else {
+                return err("simulate: choose --device or --budget");
+            };
+            Ok(Command::Simulate { design, target, walks, len, profile_out })
+        }
+        "info" => match it.next() {
+            Some(design) if !design.starts_with('-') => {
+                Ok(Command::Info { design: design.clone() })
+            }
+            _ => err("info: missing <design.xml>"),
+        },
+        "pareto" => {
+            let mut design = None;
+            let mut target = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
+                    "--budget" => {
+                        target = Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
+                    }
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            match (design, target) {
+                (Some(design), Some(target)) => Ok(Command::Pareto { design, target }),
+                _ => err("pareto: need <design.xml> and --device or --budget"),
+            }
+        }
+        "report" => {
+            let mut design = None;
+            let mut scheme = None;
+            let mut simulate = false;
+            for a in it {
+                match a.as_str() {
+                    "--simulate" => simulate = true,
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    _ if scheme.is_none() && !a.starts_with('-') => scheme = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            match (design, scheme) {
+                (Some(design), Some(scheme)) => Ok(Command::Report { design, scheme, simulate }),
+                _ => err("report: need <design.xml> <scheme.xml>"),
+            }
+        }
+        other => err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn load_library(path: &Option<String>, full: bool) -> Result<DeviceLibrary, CliError> {
+    match path {
+        None => Ok(if full { DeviceLibrary::virtex5_full() } else { DeviceLibrary::virtex5() }),
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| CliError { message: format!("cannot read {p}: {e}") })?;
+            prpart_xmlio::schema::parse_device_library(&text)
+                .map_err(|e| CliError { message: format!("{p}: {e}") })
+        }
+    }
+}
+
+fn load_design(path: &str) -> Result<Design, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError { message: format!("cannot read {path}: {e}") })?;
+    // Accepts both entry formats: <design> (pre-synthesised resources)
+    // and <design-spec> (op-level, run through the synthesis estimator).
+    prpart_flow::parse_design_or_spec(&text)
+        .map_err(|e| CliError { message: format!("{path}: {e}") })
+}
+
+fn budget_for(target: &Target, library: &DeviceLibrary) -> Result<Option<Resources>, CliError> {
+    match target {
+        Target::Device(name) => library
+            .by_name(name)
+            .map(|d| Some(d.capacity))
+            .ok_or_else(|| CliError { message: format!("unknown device '{name}'") }),
+        Target::Budget(r) => Ok(Some(*r)),
+        Target::Auto => Ok(None),
+    }
+}
+
+/// Executes a command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Info { design } => {
+            let design = load_design(&design)?;
+            let mut out = format!("{design}\n\n");
+            out.push_str(&prpart_design::design_stats(&design).to_string());
+            let issues = design.validate();
+            if issues.is_empty() {
+                out.push_str("\nno validation findings\n");
+            } else {
+                out.push_str("\nvalidation findings:\n");
+                for i in &issues {
+                    let _ = writeln!(out, "  - {i}");
+                }
+            }
+            Ok(out)
+        }
+        Command::Pareto { design, target } => {
+            let library = load_library(&None, false)?;
+            let design = load_design(&design)?;
+            let budget = budget_for(&target, &library)?
+                .expect("pareto always has a concrete target");
+            let outcome = Partitioner::new(budget)
+                .partition(&design)
+                .map_err(|e| CliError { message: e.to_string() })?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{design} | budget {budget}");
+            let _ = writeln!(
+                out,
+                "time/area Pareto front ({} points):",
+                outcome.pareto_front.len()
+            );
+            for (i, p) in outcome.pareto_front.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  #{i}: total {:>10} frames | worst {:>8} frames | {}",
+                    p.metrics.total_frames, p.metrics.worst_frames, p.metrics.resources
+                );
+            }
+            Ok(out)
+        }
+        Command::Report { design, scheme, simulate } => {
+            let design = load_design(&design)?;
+            let text = std::fs::read_to_string(&scheme)
+                .map_err(|e| CliError { message: format!("cannot read {scheme}: {e}") })?;
+            let doc = prpart_xmlio::parse(&text)
+                .map_err(|e| CliError { message: format!("{scheme}: {e}") })?;
+            let loaded = prpart_xmlio::schema::scheme_from_xml(&design, &doc)
+                .map_err(|e| CliError { message: format!("{scheme}: {e}") })?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{design}");
+            out.push_str(&loaded.describe(&design));
+            let sem = TransitionSemantics::Optimistic;
+            let _ = writeln!(
+                out,
+                "resources: {} | total: {} frames | worst: {} frames",
+                loaded.total_resources(design.static_overhead()),
+                loaded.total_reconfig_frames(sem),
+                loaded.worst_reconfig_frames(sem),
+            );
+            if simulate {
+                let report = run_monte_carlo(
+                    &loaded,
+                    MonteCarloConfig { walks: 16, walk_len: 64, ..Default::default() },
+                );
+                let _ = writeln!(
+                    out,
+                    "monte-carlo: {} frames total | mean {:.0} frames/transition",
+                    report.total_frames, report.mean_frames_per_transition
+                );
+            }
+            Ok(out)
+        }
+        Command::Devices { library, full } => {
+            let library = load_library(&library, full)?;
+            let mut out = String::new();
+            for d in library.devices() {
+                let _ = writeln!(out, "{d}");
+            }
+            Ok(out)
+        }
+        Command::Partition {
+            design,
+            target,
+            strategy,
+            no_static,
+            pessimistic,
+            xml_out,
+            library,
+            weights,
+        } => {
+            let library = load_library(&library, false)?;
+            let design = load_design(&design)?;
+            let weights = match weights {
+                None => None,
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| CliError { message: format!("cannot read {path}: {e}") })?;
+                    Some(prpart_xmlio::schema::parse_weights(&text).map_err(|e| CliError {
+                        message: format!("{path}: {e}"),
+                    })?)
+                }
+            };
+            let make = |budget: Resources| {
+                let mut p = Partitioner::new(budget);
+                if let Some(s) = strategy {
+                    p = p.with_strategy(s);
+                }
+                if no_static {
+                    p = p.without_static_promotion();
+                }
+                if pessimistic {
+                    p = p.with_semantics(TransitionSemantics::Pessimistic);
+                }
+                if let Some(w) = &weights {
+                    p = p.with_transition_weights(w.clone());
+                }
+                p
+            };
+            let mut out = String::new();
+            let best = match budget_for(&target, &library)? {
+                Some(budget) => {
+                    let result = make(budget)
+                        .partition(&design)
+                        .map_err(|e| CliError { message: e.to_string() })?;
+                    let _ = writeln!(
+                        out,
+                        "{design} | budget {budget} | {} candidate sets, {} states",
+                        result.candidate_sets_explored, result.states_evaluated
+                    );
+                    result.best.ok_or(CliError {
+                        message: "no feasible scheme beyond a single region; try a larger device"
+                            .into(),
+                    })?
+                }
+                None => {
+                    let choice = select_device(&design, &library, make)
+                        .map_err(|e| CliError { message: e.to_string() })?;
+                    let _ = writeln!(
+                        out,
+                        "{design} | selected device {} ({} escalations)",
+                        choice.device, choice.escalations
+                    );
+                    choice.outcome.best.ok_or(CliError {
+                        message: "no feasible scheme found on any library device".into(),
+                    })?
+                }
+            };
+            out.push_str(&scheme_report(&design, &best));
+            if let Some(path) = xml_out {
+                let xml = prpart_xmlio::schema::scheme_to_xml(&design, &best).to_string_pretty();
+                std::fs::write(&path, xml)
+                    .map_err(|e| CliError { message: format!("cannot write {path}: {e}") })?;
+                let _ = writeln!(out, "report written to {path}");
+            }
+            Ok(out)
+        }
+        Command::Flow { design, device, out } => {
+            let library = load_library(&None, false)?;
+            let design = load_design(&design)?;
+            let device = library
+                .by_name(&device)
+                .ok_or_else(|| CliError { message: format!("unknown device '{device}'") })?
+                .clone();
+            let artifacts = FlowPipeline::new(device)
+                .run(design)
+                .map_err(|e| CliError { message: e.to_string() })?;
+            let dir = std::path::Path::new(&out);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError { message: format!("cannot create {out}: {e}") })?;
+            std::fs::write(dir.join("constraints.ucf"), &artifacts.ucf)
+                .map_err(|e| CliError { message: e.to_string() })?;
+            for w in &artifacts.wrappers {
+                std::fs::write(dir.join(format!("{}.v", w.module_name)), &w.source)
+                    .map_err(|e| CliError { message: e.to_string() })?;
+            }
+            for bs in &artifacts.partial_bitstreams {
+                std::fs::write(
+                    dir.join(format!("rr{}_p{}.bit", bs.region + 1, bs.partition)),
+                    &bs.data,
+                )
+                .map_err(|e| CliError { message: e.to_string() })?;
+            }
+            std::fs::write(dir.join("full.bit"), &artifacts.full_bitstream)
+                .map_err(|e| CliError { message: e.to_string() })?;
+            let mut summary = String::new();
+            let _ = writeln!(
+                summary,
+                "flow complete: {} regions, {} wrappers, {} partial bitstreams ({} bytes), {} floorplan retries",
+                artifacts.evaluated.metrics.num_regions,
+                artifacts.wrappers.len(),
+                artifacts.partial_bitstreams.len(),
+                artifacts.total_partial_bytes(),
+                artifacts.floorplan_retries,
+            );
+            let _ = writeln!(summary, "artefacts in {out}/");
+            summary.push_str(&artifacts.floorplan.render());
+            summary.push('\n');
+            Ok(summary)
+        }
+        Command::Generate { count, seed, out } => {
+            let dir = std::path::Path::new(&out);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError { message: format!("cannot create {out}: {e}") })?;
+            let corpus = generate_corpus(&GeneratorConfig::default(), count, seed);
+            for (i, sd) in corpus.iter().enumerate() {
+                let path = dir.join(format!("design_{i:04}.xml"));
+                std::fs::write(&path, prpart_xmlio::render_design(&sd.design))
+                    .map_err(|e| CliError { message: e.to_string() })?;
+            }
+            Ok(format!("wrote {count} designs to {out}/\n"))
+        }
+        Command::Simulate { design, target, walks, len, profile_out } => {
+            let library = load_library(&None, false)?;
+            let design = load_design(&design)?;
+            let budget = budget_for(&target, &library)?
+                .expect("simulate always has a concrete target");
+            let best = Partitioner::new(budget)
+                .partition(&design)
+                .map_err(|e| CliError { message: e.to_string() })?
+                .best
+                .ok_or(CliError { message: "no feasible scheme".into() })?;
+            let report = run_monte_carlo(
+                &best.scheme,
+                MonteCarloConfig { walks, walk_len: len, ..Default::default() },
+            );
+            let mut out = String::new();
+            let _ = writeln!(out, "{design}");
+            let _ = writeln!(out, "scheme: {} regions, {} static partitions", best.metrics.num_regions, best.metrics.num_static);
+            let _ = writeln!(
+                out,
+                "monte-carlo: {walks} walks x {len} transitions\n  total {} frames | mean {:.0} frames/transition | worst single hop {} frames\n  simulated reconfiguration time {:?}",
+                report.total_frames,
+                report.mean_frames_per_transition,
+                report.worst_frames,
+                report.total_time,
+            );
+            if let Some(path) = profile_out {
+                // Profile the same uniform workload the Monte-Carlo used
+                // and write the estimated weights for `partition
+                // --weights`.
+                let mut env =
+                    prpart_runtime::UniformEnv::new(design.num_configurations(), 0x5EED);
+                let weights =
+                    prpart_runtime::estimate_weights(&mut env, design.num_configurations(), walks, len);
+                std::fs::write(
+                    &path,
+                    prpart_xmlio::schema::weights_to_xml(&weights).to_string_pretty(),
+                )
+                .map_err(|e| CliError { message: format!("cannot write {path}: {e}") })?;
+                let _ = writeln!(out, "estimated transition weights written to {path}");
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_partition_variants() {
+        let c = parse_args(&s(&["partition", "d.xml", "--auto"])).unwrap();
+        assert!(matches!(c, Command::Partition { target: Target::Auto, .. }));
+        let c = parse_args(&s(&["partition", "d.xml", "--budget", "100,2,3", "--no-static"]))
+            .unwrap();
+        match c {
+            Command::Partition { target: Target::Budget(b), no_static, .. } => {
+                assert_eq!(b, Resources::new(100, 2, 3));
+                assert!(no_static);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse_args(&s(&["partition", "d.xml", "--device", "SX70T", "--strategy", "beam"]))
+            .unwrap();
+        assert!(matches!(
+            c,
+            Command::Partition { strategy: Some(SearchStrategy::Beam { .. }), .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&s(&["partition", "d.xml"])).is_err(), "no target");
+        assert!(parse_args(&s(&["partition", "--auto"])).is_err(), "no design");
+        assert!(parse_args(&s(&["partition", "d.xml", "--budget", "1,2"])).is_err());
+        assert!(parse_args(&s(&["partition", "d.xml", "--budget", "a,b,c"])).is_err());
+        assert!(parse_args(&s(&["bogus"])).is_err());
+        assert!(parse_args(&s(&["flow", "d.xml"])).is_err(), "flow needs device+out");
+    }
+
+    #[test]
+    fn help_and_devices() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&s(&["help"])).unwrap(), Command::Help);
+        let out = run(Command::Devices { library: None, full: false }).unwrap();
+        assert!(out.contains("LX20T") && out.contains("FX200T"));
+        let out = run(Command::Devices { library: None, full: true }).unwrap();
+        assert!(out.contains("SX240T") && out.contains("FX70T"));
+        let out = run(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn partition_and_simulate_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("prpart-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::video_receiver(
+            prpart_design::corpus::VideoConfigSet::Original,
+        );
+        let path = dir.join("video.xml");
+        std::fs::write(&path, prpart_xmlio::render_design(&design)).unwrap();
+        let out = run(Command::Partition {
+            design: path.to_string_lossy().into_owned(),
+            target: Target::Device("SX70T".into()),
+            strategy: None,
+            no_static: false,
+            pessimistic: false,
+            xml_out: Some(dir.join("report.xml").to_string_lossy().into_owned()),
+            library: None,
+            weights: None,
+        })
+        .unwrap();
+        assert!(out.contains("PRR1"), "{out}");
+        assert!(dir.join("report.xml").exists());
+
+        let out = run(Command::Simulate {
+            design: path.to_string_lossy().into_owned(),
+            target: Target::Device("SX70T".into()),
+            walks: 4,
+            len: 16,
+            profile_out: Some(dir.join("weights.xml").to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("monte-carlo"), "{out}");
+        // The emitted weights parse back and have the right dimension.
+        let wtext = std::fs::read_to_string(dir.join("weights.xml")).unwrap();
+        let w = prpart_xmlio::schema::parse_weights(&wtext).unwrap();
+        assert_eq!(w.num_configurations(), 8);
+    }
+
+    #[test]
+    fn custom_library_and_weights_files_work() {
+        let dir = std::env::temp_dir().join("prpart-cli-lib");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A one-device custom library.
+        let lib_path = dir.join("lib.xml");
+        std::fs::write(
+            &lib_path,
+            "<devices><device name='MY100' family='LX' clb='20000' bram='200' dsp='200' rows='8'/></devices>",
+        )
+        .unwrap();
+        let out = run(Command::Devices {
+            library: Some(lib_path.to_string_lossy().into_owned()),
+            full: false,
+        })
+        .unwrap();
+        assert!(out.contains("MY100"), "{out}");
+
+        // Weighted partitioning through files.
+        let design = prpart_design::corpus::video_receiver(
+            prpart_design::corpus::VideoConfigSet::Original,
+        );
+        let design_path = dir.join("video.xml");
+        std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
+        let mut w = prpart_core::TransitionWeights::uniform(design.num_configurations());
+        w.set(0, 3, 40.0);
+        let weights_path = dir.join("weights.xml");
+        std::fs::write(
+            &weights_path,
+            prpart_xmlio::schema::weights_to_xml(&w).to_string_pretty(),
+        )
+        .unwrap();
+        let out = run(Command::Partition {
+            design: design_path.to_string_lossy().into_owned(),
+            target: Target::Device("MY100".into()),
+            strategy: None,
+            no_static: false,
+            pessimistic: false,
+            xml_out: None,
+            library: Some(lib_path.to_string_lossy().into_owned()),
+            weights: Some(weights_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("PRR1"), "{out}");
+
+        // A weights file with the wrong dimension is reported cleanly.
+        let mut bad = prpart_core::TransitionWeights::uniform(3);
+        bad.set(0, 1, 2.0);
+        let bad_path = dir.join("bad_weights.xml");
+        std::fs::write(&bad_path, prpart_xmlio::schema::weights_to_xml(&bad).to_string_pretty())
+            .unwrap();
+        let err = run(Command::Partition {
+            design: design_path.to_string_lossy().into_owned(),
+            target: Target::Device("MY100".into()),
+            strategy: None,
+            no_static: false,
+            pessimistic: false,
+            xml_out: None,
+            library: Some(lib_path.to_string_lossy().into_owned()),
+            weights: Some(bad_path.to_string_lossy().into_owned()),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("weights cover"), "{err}");
+    }
+
+    #[test]
+    fn info_command_summarises_designs() {
+        let dir = std::env::temp_dir().join("prpart-cli-info");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::video_receiver(
+            prpart_design::corpus::VideoConfigSet::Original,
+        );
+        let path = dir.join("video.xml");
+        std::fs::write(&path, prpart_xmlio::render_design(&design)).unwrap();
+        let out = run(Command::Info { design: path.to_string_lossy().into_owned() }).unwrap();
+        assert!(out.contains("largest configuration"), "{out}");
+        assert!(out.contains("validation findings"), "{out}");
+        assert!(out.contains("Recovery.None"), "unused mode should be flagged: {out}");
+    }
+
+    #[test]
+    fn pareto_command_prints_the_front() {
+        let dir = std::env::temp_dir().join("prpart-cli-pareto");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::video_receiver(
+            prpart_design::corpus::VideoConfigSet::Original,
+        );
+        let path = dir.join("video.xml");
+        std::fs::write(&path, prpart_xmlio::render_design(&design)).unwrap();
+        let out = run(Command::Pareto {
+            design: path.to_string_lossy().into_owned(),
+            target: Target::Budget(prpart_design::corpus::VIDEO_RECEIVER_BUDGET),
+        })
+        .unwrap();
+        assert!(out.contains("Pareto front"), "{out}");
+        assert!(out.contains("#0:"), "{out}");
+    }
+
+    #[test]
+    fn report_reloads_saved_schemes() {
+        let dir = std::env::temp_dir().join("prpart-cli-report");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::video_receiver(
+            prpart_design::corpus::VideoConfigSet::Original,
+        );
+        let design_path = dir.join("video.xml");
+        std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
+        let scheme_path = dir.join("scheme.xml");
+        run(Command::Partition {
+            design: design_path.to_string_lossy().into_owned(),
+            target: Target::Device("SX70T".into()),
+            strategy: None,
+            no_static: false,
+            pessimistic: false,
+            xml_out: Some(scheme_path.to_string_lossy().into_owned()),
+            library: None,
+            weights: None,
+        })
+        .unwrap();
+        let out = run(Command::Report {
+            design: design_path.to_string_lossy().into_owned(),
+            scheme: scheme_path.to_string_lossy().into_owned(),
+            simulate: true,
+        })
+        .unwrap();
+        assert!(out.contains("PRR1"), "{out}");
+        assert!(out.contains("monte-carlo"), "{out}");
+        // Mismatched design is rejected.
+        let other = prpart_design::corpus::abc_example();
+        let other_path = dir.join("abc.xml");
+        std::fs::write(&other_path, prpart_xmlio::render_design(&other)).unwrap();
+        let err = run(Command::Report {
+            design: other_path.to_string_lossy().into_owned(),
+            scheme: scheme_path.to_string_lossy().into_owned(),
+            simulate: false,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown mode"), "{err}");
+    }
+
+    #[test]
+    fn generate_writes_designs() {
+        let dir = std::env::temp_dir().join("prpart-cli-gen");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(Command::Generate {
+            count: 3,
+            seed: 5,
+            out: dir.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("wrote 3 designs"));
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 3);
+        // Generated designs parse back.
+        let text = std::fs::read_to_string(dir.join("design_0000.xml")).unwrap();
+        prpart_xmlio::parse_design(&text).unwrap();
+    }
+}

@@ -1,0 +1,12 @@
+//! `prpart` binary: thin shim over [`prpart_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match prpart_cli::parse_args(&args).and_then(prpart_cli::run) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end CLI tests: spawn the real `prpart` binary against files on
+//! disk, exactly as a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn prpart_bin() -> PathBuf {
+    // CARGO_BIN_EXE_<name> points at the freshly built binary of this
+    // package — Cargo rebuilds it before running these tests.
+    PathBuf::from(env!("CARGO_BIN_EXE_prpart"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(prpart_bin())
+        .args(args)
+        .output()
+        .expect("prpart binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join("prpart-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn cli_full_session() {
+    let dir = workdir();
+
+    // help and devices always work.
+    let (out, _, ok) = run(&["help"]);
+    assert!(ok && out.contains("USAGE"));
+    let (out, _, ok) = run(&["devices", "--full"]);
+    assert!(ok && out.contains("SX240T"), "{out}");
+
+    // generate → info → partition → report round-trip.
+    let gen_dir = dir.join("designs");
+    let (_, _, ok) = run(&["generate", "--count", "2", "--seed", "9", "--out", gen_dir.to_str().unwrap()]);
+    assert!(ok);
+    let design = gen_dir.join("design_0000.xml");
+    let (out, _, ok) = run(&["info", design.to_str().unwrap()]);
+    assert!(ok && out.contains("largest configuration"), "{out}");
+
+    let scheme = dir.join("scheme.xml");
+    let (out, err, ok) = run(&[
+        "partition",
+        design.to_str().unwrap(),
+        "--auto",
+        "--xml-out",
+        scheme.to_str().unwrap(),
+    ]);
+    assert!(ok, "partition failed: {err}");
+    assert!(out.contains("PRR1") || out.contains("selected device"), "{out}");
+    assert!(scheme.exists());
+
+    let (out, err, ok) = run(&["report", design.to_str().unwrap(), scheme.to_str().unwrap()]);
+    assert!(ok, "report failed: {err}");
+    assert!(out.contains("frames"), "{out}");
+
+    // Errors exit non-zero with a message.
+    let (_, err, ok) = run(&["partition", "/nonexistent.xml", "--auto"]);
+    assert!(!ok);
+    assert!(err.contains("error:"), "{err}");
+    let (_, err, ok) = run(&["bogus-subcommand"]);
+    assert!(!ok && err.contains("unknown command"), "{err}");
+}

@@ -1,0 +1,202 @@
+//! Agglomerative generation of base partitions (paper §IV-C, Fig. 5).
+//!
+//! The paper's clustering works bottom-up on the mode co-occurrence graph:
+//! initially all nodes are disconnected (each a `k = 0` sub-graph, i.e. a
+//! singleton base partition); edges are then inserted in descending weight
+//! order — "a larger edge weight indicates that two modes occur
+//! concurrently more frequently ... and hence these modes should be grouped
+//! in the same region" — and after each insertion the *new complete
+//! sub-graphs* are recorded as base partitions. A clique becomes complete
+//! exactly when its last edge arrives, so the incremental search is
+//! [`prpart_graph::cliques::cliques_containing_edge`] on the growing graph.
+//!
+//! One filter is applied on top of raw cliques: a base partition must have
+//! **configuration support** — all its modes together in at least one
+//! configuration. The co-occurrence graph can contain "phantom" cliques
+//! whose edges come from different configurations (see DESIGN.md §5); a
+//! group of modes that is never needed simultaneously is useless as a
+//! reconfigure-together unit and the paper's Table I omits such cliques.
+//!
+//! Frequency weights follow the paper: node weight for singletons,
+//! minimum internal edge weight for larger partitions.
+
+use crate::error::PartitionError;
+use crate::partition::BasePartition;
+use prpart_design::{ConnectivityMatrix, Design, GlobalModeId};
+use prpart_graph::cliques::cliques_containing_edge;
+use prpart_graph::Graph;
+
+/// Default cap on enumerated cliques; far above anything a realistic
+/// design produces (cliques have at most one mode per module).
+pub const DEFAULT_CLIQUE_LIMIT: usize = 200_000;
+
+/// Generates every base partition of the design: one singleton per used
+/// mode, plus every mode group with configuration support, discovered by
+/// agglomerative edge insertion. The result is sorted in the paper's list
+/// order (ascending #modes, then frequency weight, then area).
+///
+/// Modes used by no configuration get no partition — the paper's matrix
+/// simply has no occurrences of them ("no column is allocated for zero
+/// modes", §IV-D).
+pub fn generate_base_partitions(
+    design: &Design,
+    matrix: &ConnectivityMatrix,
+    clique_limit: usize,
+) -> Result<Vec<BasePartition>, PartitionError> {
+    let n = design.num_modes();
+    let weighted = matrix.cooccurrence_graph();
+    let mut partitions: Vec<BasePartition> = Vec::new();
+
+    // k = 0 sub-graphs: singletons for every used mode.
+    for m in 0..n {
+        let g = GlobalModeId(m as u32);
+        if matrix.node_weight(g) > 0 {
+            partitions.push(BasePartition::from_modes(design, matrix, vec![g]));
+        }
+    }
+
+    // Agglomerative loop: insert edges in descending weight order and
+    // collect the complete sub-graphs each insertion creates.
+    let mut growing = Graph::new(n);
+    for (u, v, _w) in weighted.edges_by_weight_desc() {
+        growing.add_edge(u, v);
+        let new_cliques = cliques_containing_edge(&growing, u, v, clique_limit)
+            .map_err(|e| PartitionError::CliqueLimit(e.limit))?;
+        for clique in new_cliques {
+            let modes: Vec<GlobalModeId> =
+                clique.iter().map(|&i| GlobalModeId(i as u32)).collect();
+            // Support filter: the whole group must co-occur somewhere.
+            if matrix.support(&modes) == 0 {
+                continue;
+            }
+            partitions.push(BasePartition::from_modes(design, matrix, modes));
+        }
+    }
+
+    partitions.sort_by(|a, b| a.list_order(b));
+    Ok(partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_design::corpus;
+
+    fn abc_partitions() -> (Design, ConnectivityMatrix, Vec<BasePartition>) {
+        let d = corpus::abc_example();
+        let m = ConnectivityMatrix::from_design(&d);
+        let p = generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap();
+        (d, m, p)
+    }
+
+    /// Regenerates Table I of the paper: 26 base partitions with their
+    /// frequency weights.
+    #[test]
+    fn table1_base_partitions() {
+        let (d, _, parts) = abc_partitions();
+        assert_eq!(parts.len(), 26);
+        assert_eq!(parts.iter().filter(|p| p.num_modes() == 1).count(), 8);
+        assert_eq!(parts.iter().filter(|p| p.num_modes() == 2).count(), 13);
+        assert_eq!(parts.iter().filter(|p| p.num_modes() == 3).count(), 5);
+
+        // Spot-check the frequency weights the paper prints.
+        let find = |names: &[(&str, &str)]| -> &BasePartition {
+            let mut modes: Vec<_> =
+                names.iter().map(|(m, k)| d.mode_id(m, k).unwrap()).collect();
+            modes.sort_unstable();
+            parts
+                .iter()
+                .find(|p| p.modes == modes)
+                .unwrap_or_else(|| panic!("partition {names:?} missing"))
+        };
+        assert_eq!(find(&[("A", "A2")]).frequency_weight, 1);
+        assert_eq!(find(&[("A", "A1")]).frequency_weight, 2);
+        assert_eq!(find(&[("B", "B2")]).frequency_weight, 4);
+        assert_eq!(find(&[("B", "B2"), ("C", "C3")]).frequency_weight, 2);
+        assert_eq!(find(&[("A", "A3"), ("B", "B2")]).frequency_weight, 2);
+        assert_eq!(find(&[("A", "A1"), ("B", "B1")]).frequency_weight, 1);
+        assert_eq!(
+            find(&[("A", "A3"), ("B", "B2"), ("C", "C3")]).frequency_weight,
+            1
+        );
+        assert_eq!(
+            find(&[("A", "A1"), ("B", "B1"), ("C", "C1")]).frequency_weight,
+            1
+        );
+    }
+
+    #[test]
+    fn phantom_clique_is_filtered() {
+        // {A1, B2, C1} is a clique of the co-occurrence graph but no
+        // configuration contains all three → not a base partition.
+        let (d, _, parts) = abc_partitions();
+        let mut phantom: Vec<_> = [("A", "A1"), ("B", "B2"), ("C", "C1")]
+            .iter()
+            .map(|(m, k)| d.mode_id(m, k).unwrap())
+            .collect();
+        phantom.sort_unstable();
+        assert!(parts.iter().all(|p| p.modes != phantom));
+    }
+
+    #[test]
+    fn triples_are_exactly_the_configurations() {
+        let (d, m, parts) = abc_partitions();
+        let triples: Vec<&BasePartition> =
+            parts.iter().filter(|p| p.num_modes() == 3).collect();
+        for t in &triples {
+            assert!(m.support(&t.modes) >= 1);
+            assert_eq!(t.frequency_weight, 1, "{}", t.label(&d));
+        }
+    }
+
+    #[test]
+    fn output_is_in_list_order() {
+        let (_, _, parts) = abc_partitions();
+        for w in parts.windows(2) {
+            assert_ne!(
+                w[0].list_order(&w[1]),
+                std::cmp::Ordering::Greater,
+                "{} before {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Ascending #modes first: the head is the lowest-weight singleton.
+        assert_eq!(parts[0].num_modes(), 1);
+        assert_eq!(parts[0].frequency_weight, 1);
+    }
+
+    #[test]
+    fn special_case_yields_only_singletons_and_config_groups() {
+        // Five single-mode modules, two disjoint configurations: base
+        // partitions are 5 singletons + subsets of {C,F} and {E,P,R}.
+        let d = corpus::special_case_single_mode();
+        let m = ConnectivityMatrix::from_design(&d);
+        let parts = generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap();
+        // 5 singletons + 1 pair {C,F} + 3 pairs of {E,P,R} + 1 triple.
+        assert_eq!(parts.len(), 5 + 1 + 3 + 1);
+        assert!(parts.iter().all(|p| p.frequency_weight == 1));
+    }
+
+    #[test]
+    fn clique_limit_propagates() {
+        let d = corpus::abc_example();
+        let m = ConnectivityMatrix::from_design(&d);
+        let err = generate_base_partitions(&d, &m, 2).unwrap_err();
+        assert!(matches!(err, PartitionError::CliqueLimit(2)));
+    }
+
+    #[test]
+    fn video_receiver_partition_count_is_sane() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let m = ConnectivityMatrix::from_design(&d);
+        let parts = generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap();
+        // 13 used modes (Recovery.None is unused) → 13 singletons, plus
+        // larger groups; every partition has support.
+        assert_eq!(parts.iter().filter(|p| p.num_modes() == 1).count(), 13);
+        for p in &parts {
+            assert!(m.support(&p.modes) >= 1);
+            assert!(p.num_modes() <= 5, "at most one mode per module");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Errors surfaced by the partitioning pipeline.
+
+use prpart_arch::Resources;
+use std::fmt;
+
+/// A failure of the partitioning pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The design cannot fit the device even as a single region: the
+    /// largest configuration (plus static overhead) exceeds the budget.
+    /// The paper's flow chart rejects the device at this point (Fig. 6,
+    /// "select bigger FPGA").
+    Infeasible {
+        /// Tile-quantised requirement of the largest configuration plus
+        /// static overhead.
+        required: Resources,
+        /// The offered budget.
+        available: Resources,
+    },
+    /// Clique enumeration during clustering exceeded the configured
+    /// budget; the design's configuration structure is pathologically
+    /// dense.
+    CliqueLimit(usize),
+    /// The covering step could not cover every mode with the remaining
+    /// base partitions (only possible after head-dropping; the initial
+    /// all-singletons list always covers).
+    CoverageFailed,
+    /// The device library was exhausted during device selection without
+    /// finding a feasible device.
+    NoFeasibleDevice {
+        /// Requirement that nothing satisfied.
+        required: Resources,
+    },
+    /// Transition weights were supplied for the wrong number of
+    /// configurations.
+    WeightsDimension {
+        /// Configurations in the design.
+        expected: usize,
+        /// Configurations the weight matrix covers.
+        got: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Infeasible { required, available } => write!(
+                f,
+                "design infeasible: largest configuration needs {required} but only {available} available"
+            ),
+            PartitionError::CliqueLimit(n) => {
+                write!(f, "clustering exceeded the clique budget of {n}")
+            }
+            PartitionError::CoverageFailed => {
+                write!(f, "covering failed: some mode is in no remaining base partition")
+            }
+            PartitionError::NoFeasibleDevice { required } => {
+                write!(f, "no device in the library can hold {required}")
+            }
+            PartitionError::WeightsDimension { expected, got } => write!(
+                f,
+                "transition weights cover {got} configurations but the design has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}

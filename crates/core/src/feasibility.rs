@@ -1,0 +1,79 @@
+//! Implementation feasibility check (paper Fig. 6, first decision).
+//!
+//! "The minimum possible area required for system implementation will be
+//! the area of the largest configuration (when all the modes are
+//! implemented in a single reconfigurable region). Hence, the algorithm
+//! first checks implementation feasibility by comparing this area with the
+//! resource availability of the given FPGA."
+
+use crate::error::PartitionError;
+use prpart_arch::{Resources, TileCounts};
+use prpart_design::Design;
+
+/// The minimum resource requirement of a design: the tile-quantised area
+/// of its largest configuration hosted in a single region, plus the static
+/// overhead.
+pub fn minimum_requirement(design: &Design) -> Resources {
+    let region = TileCounts::for_resources(&design.single_region_min_resources());
+    region.capacity() + design.static_overhead()
+}
+
+/// Checks that `design` can be implemented at all within `budget`
+/// (device capacity or explicit reconfigurable budget). On failure the
+/// device must be rejected and a larger one chosen.
+pub fn check_feasibility(design: &Design, budget: &Resources) -> Result<(), PartitionError> {
+    let required = minimum_requirement(design);
+    if required.fits_in(budget) {
+        Ok(())
+    } else {
+        Err(PartitionError::Infeasible { required, available: *budget })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_design::corpus;
+
+    #[test]
+    fn video_receiver_fits_its_budget() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        check_feasibility(&d, &corpus::VIDEO_RECEIVER_BUDGET).unwrap();
+    }
+
+    #[test]
+    fn tiny_budget_is_rejected_with_details() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let tiny = Resources::new(1000, 10, 10);
+        let err = check_feasibility(&d, &tiny).unwrap_err();
+        match err {
+            PartitionError::Infeasible { required, available } => {
+                assert_eq!(available, tiny);
+                assert!(required.clb > 1000);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn minimum_includes_static_overhead() {
+        let d = corpus::abc_example();
+        let min = minimum_requirement(&d);
+        // abc static overhead is 90 CLB / 8 BRAM.
+        assert!(min.clb >= 90 && min.bram >= 8);
+        // Quantisation: CLB component is a multiple of 20 plus the
+        // overhead's 90.
+        assert_eq!((min.clb - 90) % 20, 0);
+    }
+
+    #[test]
+    fn requirement_is_largest_configuration() {
+        let d = corpus::abc_example();
+        let min = minimum_requirement(&d);
+        for c in 0..d.num_configurations() {
+            let conf = TileCounts::for_resources(&d.config_resources(c)).capacity()
+                + d.static_overhead();
+            assert!(conf.fits_in(&min), "configuration {c} exceeds the minimum");
+        }
+    }
+}

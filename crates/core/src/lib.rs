@@ -1,0 +1,54 @@
+//! # prpart-core — the automated PR partitioning algorithm
+//!
+//! Implements the contribution of Vipin & Fahmy, *"Automated Partitioning
+//! for Partial Reconfiguration Design of Adaptive Systems"* (IPDPSW 2013):
+//! given a PR design (modules × modes + valid configurations) and an FPGA
+//! resource budget, find the grouping of modes into reconfigurable regions
+//! — and, when profitable, into the static region — that minimises total
+//! reconfiguration time while fitting the device.
+//!
+//! Pipeline (paper §IV-C, Fig. 6):
+//!
+//! 1. **Feasibility** — the largest configuration must fit the device
+//!    ([`feasibility::check_feasibility`]).
+//! 2. **Clustering** ([`cluster`]) — agglomerative edge insertion on the
+//!    mode co-occurrence graph discovers every *base partition* (complete
+//!    sub-graph with configuration support) and its *frequency weight*.
+//! 3. **Covering** ([`covering`]) — base partitions, ordered by
+//!    (#modes, frequency weight, area), greedily cover the connectivity
+//!    matrix, yielding *candidate partition sets*; successive sets are
+//!    produced by dropping the list head.
+//! 4. **Region allocation** ([`search`]) — starting from
+//!    one-region-per-partition (a static-equivalent, zero-reconfiguration
+//!    assignment), compatible partitions are merged into shared regions
+//!    (paper Eq. 2) and regions are promoted into static logic, tracking
+//!    the best feasible scheme under the cost model of Eqs. 7–11
+//!    ([`scheme`]).
+//!
+//! [`baselines`] implements the two traditional schemes the paper compares
+//! against (single region, one module per region) plus the fully static
+//! implementation; [`device_select`] reproduces the smallest-device search
+//! of §V.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod cluster;
+pub mod covering;
+pub mod device_select;
+pub mod error;
+pub mod feasibility;
+pub mod partition;
+pub mod report;
+pub mod scheme;
+pub mod search;
+pub mod weights;
+
+pub use cluster::generate_base_partitions;
+pub use covering::{cover, CandidateSets};
+pub use error::PartitionError;
+pub use partition::BasePartition;
+pub use scheme::{EvaluatedScheme, Region, Scheme, SchemeMetrics, TransitionSemantics};
+pub use search::{Objective, PartitionOutcome, Partitioner, SearchStrategy};
+pub use weights::TransitionWeights;

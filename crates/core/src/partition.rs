@@ -1,0 +1,220 @@
+//! Base partitions: the unit of region allocation.
+//!
+//! A **base partition** (paper §IV-C) is a set of modes that are loaded
+//! into a region *together*, as one wrapper netlist. The clustering step
+//! produces them as complete sub-graphs of the co-occurrence graph with
+//! configuration support (DESIGN.md §5): every pair of its modes — indeed
+//! all of them at once — appear together in at least one configuration.
+//! Singleton partitions exist for every used mode.
+//!
+//! Properties carried here:
+//!
+//! * `resources` — the **sum** of the mode requirements: the modes of a
+//!   base partition are concurrent, so a region hosting it must hold them
+//!   all at once.
+//! * `frequency_weight` — how often the group occurs: the node weight for
+//!   singletons, the minimum internal edge weight otherwise.
+//! * `presence` — the set of configurations in which *any* of its modes
+//!   appears. Two partitions are **compatible** (may share a region) iff
+//!   their presence masks are disjoint: their modes never co-occur, so at
+//!   any instant at most one of them is needed (paper §IV-C).
+
+use prpart_arch::{frames_for, Resources};
+use prpart_design::{ConnectivityMatrix, Design, GlobalModeId};
+use prpart_graph::BitSet;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A group of modes allocated and reconfigured as a unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasePartition {
+    /// The member modes, sorted ascending. Never two modes of the same
+    /// module (same-module modes cannot co-occur).
+    pub modes: Vec<GlobalModeId>,
+    /// Occurrence count: node weight for singletons, minimum internal
+    /// edge weight for larger groups (paper §IV-C).
+    pub frequency_weight: u32,
+    /// Sum of member mode resources (concurrent requirement).
+    pub resources: Resources,
+    /// Configurations in which any member mode appears.
+    pub presence: BitSet,
+}
+
+impl BasePartition {
+    /// Builds a partition from its member modes, deriving weight,
+    /// resources and presence from the design and matrix.
+    ///
+    /// `frequency_weight` follows the paper: node weight when one mode,
+    /// otherwise the minimum pairwise co-occurrence count.
+    pub fn from_modes(
+        design: &Design,
+        matrix: &ConnectivityMatrix,
+        mut modes: Vec<GlobalModeId>,
+    ) -> Self {
+        modes.sort_unstable();
+        modes.dedup();
+        assert!(!modes.is_empty(), "a base partition needs at least one mode");
+        let frequency_weight = if modes.len() == 1 {
+            matrix.node_weight(modes[0])
+        } else {
+            let mut min = u32::MAX;
+            for (i, &a) in modes.iter().enumerate() {
+                for &b in &modes[i + 1..] {
+                    min = min.min(matrix.edge_weight(a, b));
+                }
+            }
+            min
+        };
+        let resources = modes.iter().map(|&m| design.mode(m).resources).sum();
+        let presence = matrix.presence_mask(&modes);
+        BasePartition { modes, frequency_weight, resources, presence }
+    }
+
+    /// Number of member modes.
+    pub fn num_modes(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Frames needed to reconfigure a region holding exactly this
+    /// partition (tile-quantised).
+    pub fn frames(&self) -> u64 {
+        frames_for(&self.resources)
+    }
+
+    /// True if this partition may share a region with `other`: their modes
+    /// never co-occur in any configuration.
+    pub fn compatible_with(&self, other: &BasePartition) -> bool {
+        self.presence.is_disjoint(&other.presence)
+    }
+
+    /// The paper's list ordering: ascending number of modes, then
+    /// ascending frequency weight, then ascending area (frames); final
+    /// tie-break on the mode ids for determinism.
+    pub fn list_order(&self, other: &BasePartition) -> Ordering {
+        self.num_modes()
+            .cmp(&other.num_modes())
+            .then(self.frequency_weight.cmp(&other.frequency_weight))
+            .then(self.frames().cmp(&other.frames()))
+            .then(self.modes.cmp(&other.modes))
+    }
+
+    /// Human-readable label using the design's mode names, e.g.
+    /// `"{A3, B2}"`.
+    pub fn label(&self, design: &Design) -> String {
+        let names: Vec<String> = self
+            .modes
+            .iter()
+            .map(|&m| design.mode(m).name.clone())
+            .collect();
+        if names.len() == 1 {
+            names.into_iter().next().unwrap()
+        } else {
+            format!("{{{}}}", names.join(", "))
+        }
+    }
+}
+
+impl fmt::Display for BasePartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ids: Vec<String> = self.modes.iter().map(|m| m.0.to_string()).collect();
+        write!(f, "{{{}}} (w={})", ids.join(","), self.frequency_weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_design::corpus;
+
+    fn setup() -> (Design, ConnectivityMatrix) {
+        let d = corpus::abc_example();
+        let m = ConnectivityMatrix::from_design(&d);
+        (d, m)
+    }
+
+    fn part(d: &Design, m: &ConnectivityMatrix, names: &[(&str, &str)]) -> BasePartition {
+        let modes = names.iter().map(|(mo, k)| d.mode_id(mo, k).unwrap()).collect();
+        BasePartition::from_modes(d, m, modes)
+    }
+
+    #[test]
+    fn singleton_uses_node_weight() {
+        let (d, m) = setup();
+        let p = part(&d, &m, &[("B", "B2")]);
+        assert_eq!(p.frequency_weight, 4);
+        let p = part(&d, &m, &[("A", "A2")]);
+        assert_eq!(p.frequency_weight, 1);
+    }
+
+    #[test]
+    fn pair_uses_edge_weight_and_triple_uses_min() {
+        let (d, m) = setup();
+        // Table I: {A3, B2} has frequency weight 2; {A3, B2, C3} has 1.
+        let p = part(&d, &m, &[("A", "A3"), ("B", "B2")]);
+        assert_eq!(p.frequency_weight, 2);
+        let p = part(&d, &m, &[("A", "A3"), ("B", "B2"), ("C", "C3")]);
+        assert_eq!(p.frequency_weight, 1);
+    }
+
+    #[test]
+    fn resources_are_summed() {
+        let (d, m) = setup();
+        let p = part(&d, &m, &[("A", "A3"), ("B", "B2")]);
+        let expect = d.mode(d.mode_id("A", "A3").unwrap()).resources
+            + d.mode(d.mode_id("B", "B2").unwrap()).resources;
+        assert_eq!(p.resources, expect);
+        assert!(p.frames() > 0);
+    }
+
+    #[test]
+    fn compatibility_matches_paper_examples() {
+        let (d, m) = setup();
+        // "{A1} and {A2} are compatible partitions since they do not
+        // co-exist in any of the possible configurations, while {A1} and
+        // {B1} are not compatible."
+        let a1 = part(&d, &m, &[("A", "A1")]);
+        let a2 = part(&d, &m, &[("A", "A2")]);
+        let b1 = part(&d, &m, &[("B", "B1")]);
+        assert!(a1.compatible_with(&a2));
+        assert!(a2.compatible_with(&a1));
+        assert!(!a1.compatible_with(&b1));
+    }
+
+    #[test]
+    fn presence_covers_partial_occurrences() {
+        let (d, m) = setup();
+        // {A3, B2}: A3 in configs 1,3; B2 in 1,3,4,5 → presence 1,3,4,5.
+        let p = part(&d, &m, &[("A", "A3"), ("B", "B2")]);
+        assert_eq!(p.presence.iter().collect::<Vec<_>>(), vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn list_order_sorts_by_size_weight_area() {
+        let (d, m) = setup();
+        let a2 = part(&d, &m, &[("A", "A2")]); // 1 mode, w=1
+        let b2 = part(&d, &m, &[("B", "B2")]); // 1 mode, w=4
+        let pair = part(&d, &m, &[("A", "A3"), ("B", "B2")]); // 2 modes
+        assert_eq!(a2.list_order(&b2), Ordering::Less);
+        assert_eq!(b2.list_order(&pair), Ordering::Less);
+        assert_eq!(pair.list_order(&a2), Ordering::Greater);
+        assert_eq!(a2.list_order(&a2), Ordering::Equal);
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let (d, m) = setup();
+        let p = part(&d, &m, &[("A", "A3"), ("B", "B2")]);
+        assert_eq!(p.label(&d), "{A3, B2}");
+        let s = part(&d, &m, &[("B", "B2")]);
+        assert_eq!(s.label(&d), "B2");
+    }
+
+    #[test]
+    fn modes_are_sorted_and_deduped() {
+        let (d, m) = setup();
+        let b2 = d.mode_id("B", "B2").unwrap();
+        let a3 = d.mode_id("A", "A3").unwrap();
+        let p = BasePartition::from_modes(&d, &m, vec![b2, a3, b2]);
+        assert_eq!(p.modes, vec![a3, b2]);
+    }
+}

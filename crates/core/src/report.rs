@@ -1,0 +1,90 @@
+//! Human-readable reports: scheme tables in the style of the paper's
+//! Tables III–V.
+
+use crate::scheme::{EvaluatedScheme, SchemeMetrics};
+use prpart_design::Design;
+
+/// A named row of the scheme-comparison table (paper Table IV).
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Scheme name (e.g. "Static", "Modular", "Proposed").
+    pub name: String,
+    /// Its metrics.
+    pub metrics: SchemeMetrics,
+}
+
+/// Renders a Table IV-style comparison: resources and total/worst
+/// reconfiguration time per scheme.
+pub fn comparison_table(rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>7} {:>6} {:>14} {:>14} {:>5}\n",
+        "Scheme", "CLBs", "BRAMs", "DSPs", "Total (frames)", "Worst (frames)", "Fits"
+    ));
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    for row in rows {
+        let m = &row.metrics;
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>7} {:>6} {:>14} {:>14} {:>5}\n",
+            row.name,
+            m.resources.clb,
+            m.resources.bram,
+            m.resources.dsp,
+            m.total_frames,
+            m.worst_frames,
+            if m.fits { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+/// Renders one scheme: region membership (Table III/V style) followed by
+/// its metrics line.
+pub fn scheme_report(design: &Design, evaluated: &EvaluatedScheme) -> String {
+    let mut out = evaluated.scheme.describe(design);
+    let m = &evaluated.metrics;
+    out.push_str(&format!(
+        "resources: {} | total: {} frames | worst: {} frames | regions: {} | static parts: {}\n",
+        m.resources, m.total_frames, m.worst_frames, m.num_regions, m.num_static
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Partitioner;
+    use prpart_design::corpus;
+
+    #[test]
+    fn comparison_table_renders_rows() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let m = prpart_design::ConnectivityMatrix::from_design(&d);
+        let b = crate::baselines::evaluate_baselines(
+            &d,
+            &m,
+            &corpus::VIDEO_RECEIVER_BUDGET,
+            Default::default(),
+        );
+        let table = comparison_table(&[
+            ComparisonRow { name: "Static".into(), metrics: b.full_static.metrics },
+            ComparisonRow { name: "Modular".into(), metrics: b.per_module.metrics },
+        ]);
+        assert!(table.contains("Static"));
+        assert!(table.contains("Modular"));
+        assert!(table.lines().count() >= 4);
+    }
+
+    #[test]
+    fn scheme_report_mentions_regions() {
+        let d = corpus::abc_example();
+        let out = Partitioner::new(prpart_arch::Resources::new(1100, 20, 24))
+            .partition(&d)
+            .unwrap();
+        let best = out.best.unwrap();
+        let report = scheme_report(&d, &best);
+        assert!(report.contains("PRR1"), "{report}");
+        assert!(report.contains("frames"), "{report}");
+    }
+}

@@ -1,0 +1,649 @@
+//! Partitioning schemes and the reconfiguration-time cost model
+//! (paper Eqs. 2–11).
+//!
+//! A [`Scheme`] assigns a pool of [`BasePartition`]s to reconfigurable
+//! regions (each region hosting one of its partitions at a time) and,
+//! optionally, to the static region (always present, never reconfigured).
+//!
+//! **Region area** (Eq. 2–6): a region is sized by the element-wise
+//! maximum of its partitions' requirements, then quantised up to whole
+//! tiles; its reconfiguration cost is the frame count of those tiles.
+//!
+//! **Region state:** in configuration *c*, a region's active partition is
+//! the unique member whose presence mask contains *c* (pairwise
+//! compatibility guarantees uniqueness); a region no configuration touches
+//! is *don't-care* there.
+//!
+//! **Total reconfiguration time** (Eqs. 7–10): the sum over all unordered
+//! configuration pairs of the frames written, where a region contributes
+//! its full frame count whenever its state differs between the two
+//! configurations. **Worst-case time** (Eq. 11) is the maximum over pairs.
+//! [`TransitionSemantics`] selects how don't-care states are charged (see
+//! DESIGN.md §5 and ablation A3).
+
+use crate::partition::BasePartition;
+use prpart_arch::{Resources, TileCounts};
+use prpart_design::Design;
+use std::fmt;
+
+/// How a region with no active partition in one of the two configurations
+/// of a transition is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransitionSemantics {
+    /// The paper's literal reading of Eq. 8: a region reconfigures only
+    /// when it "contains different base partitions in configuration i and
+    /// configuration j" — both states defined and different. A don't-care
+    /// endpoint keeps the region's previous contents at no cost.
+    #[default]
+    Optimistic,
+    /// Conservative variant: a transition into a configuration that needs
+    /// a partition the region may not currently hold is charged; only
+    /// same-state and both-don't-care pairs are free.
+    Pessimistic,
+}
+
+/// One reconfigurable region: indices into the scheme's partition pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Pool indices of the partitions hosted by this region. All pairwise
+    /// compatible; the region is sized for the largest (element-wise).
+    pub partitions: Vec<usize>,
+}
+
+/// A complete partitioning: a partition pool, its grouping into regions,
+/// and the pool members promoted to static logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheme {
+    /// The candidate partition set this scheme allocates.
+    pub partitions: Vec<BasePartition>,
+    /// Reconfigurable regions (disjoint groups of pool indices).
+    pub regions: Vec<Region>,
+    /// Pool indices implemented in the static region: their modes are
+    /// always present and never reconfigured; their areas *sum*.
+    pub static_partitions: Vec<usize>,
+    /// Number of configurations of the design (the transition space).
+    pub num_configurations: usize,
+}
+
+/// Evaluated properties of a scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeMetrics {
+    /// Total resource requirement: tile-quantised region capacities plus
+    /// static partition sums plus the design's static overhead.
+    pub resources: Resources,
+    /// Total reconfiguration time over all configuration pairs, in frames
+    /// (Eq. 10).
+    pub total_frames: u64,
+    /// Worst single transition, in frames (Eq. 11).
+    pub worst_frames: u64,
+    /// Number of reconfigurable regions.
+    pub num_regions: usize,
+    /// Number of partitions promoted to static.
+    pub num_static: usize,
+    /// Whether `resources` fits the budget the metrics were computed
+    /// against.
+    pub fits: bool,
+}
+
+/// A scheme together with its metrics.
+#[derive(Debug, Clone)]
+pub struct EvaluatedScheme {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Its evaluated properties.
+    pub metrics: SchemeMetrics,
+}
+
+/// Violation of a scheme structural invariant (see [`Scheme::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeInvariantError {
+    /// A pool partition is placed more than once (or a region repeats it).
+    DuplicatePlacement(usize),
+    /// Two partitions in one region are incompatible.
+    IncompatibleRegion {
+        /// Region index.
+        region: usize,
+        /// Offending pool indices.
+        a: usize,
+        /// Offending pool indices.
+        b: usize,
+    },
+    /// A used mode is covered by no placed partition.
+    UncoveredMode(u32),
+    /// A region has no partitions.
+    EmptyRegion(usize),
+}
+
+impl fmt::Display for SchemeInvariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeInvariantError::DuplicatePlacement(p) => {
+                write!(f, "partition {p} placed more than once")
+            }
+            SchemeInvariantError::IncompatibleRegion { region, a, b } => {
+                write!(f, "region {region} hosts incompatible partitions {a} and {b}")
+            }
+            SchemeInvariantError::UncoveredMode(m) => write!(f, "mode {m} is uncovered"),
+            SchemeInvariantError::EmptyRegion(r) => write!(f, "region {r} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeInvariantError {}
+
+impl Scheme {
+    /// The search's starting point: every pool partition in its own
+    /// region. Equivalent to a static implementation — nothing ever
+    /// reconfigures — with maximal area (paper §IV-C).
+    pub fn one_region_per_partition(
+        partitions: Vec<BasePartition>,
+        num_configurations: usize,
+    ) -> Self {
+        let regions = (0..partitions.len())
+            .map(|i| Region { partitions: vec![i] })
+            .collect();
+        Scheme { partitions, regions, static_partitions: Vec::new(), num_configurations }
+    }
+
+    /// Raw (un-quantised) requirement of region `r`: element-wise maximum
+    /// over its partitions (Eq. 2).
+    pub fn region_resources(&self, r: usize) -> Resources {
+        self.regions[r]
+            .partitions
+            .iter()
+            .map(|&p| self.partitions[p].resources)
+            .fold(Resources::ZERO, Resources::max)
+    }
+
+    /// Tile counts of region `r` (Eqs. 3–5).
+    pub fn region_tiles(&self, r: usize) -> TileCounts {
+        TileCounts::for_resources(&self.region_resources(r))
+    }
+
+    /// Reconfiguration cost of region `r` in frames (Eq. 6).
+    pub fn region_frames(&self, r: usize) -> u64 {
+        self.region_tiles(r).frames()
+    }
+
+    /// Summed requirement of the static partitions (their modes are all
+    /// concurrently implemented).
+    pub fn static_resources(&self) -> Resources {
+        self.static_partitions
+            .iter()
+            .map(|&p| self.partitions[p].resources)
+            .sum()
+    }
+
+    /// Total resource requirement: tile-quantised region capacities, plus
+    /// static partitions, plus the design's static overhead.
+    pub fn total_resources(&self, static_overhead: Resources) -> Resources {
+        let regions: Resources = (0..self.regions.len())
+            .map(|r| self.region_tiles(r).capacity())
+            .sum();
+        regions + self.static_resources() + static_overhead
+    }
+
+    /// The active partition (pool index) of region `r` in each
+    /// configuration; `None` where the region is don't-care.
+    pub fn region_states(&self, r: usize) -> Vec<Option<usize>> {
+        let mut states = vec![None; self.num_configurations];
+        for &p in &self.regions[r].partitions {
+            for c in self.partitions[p].presence.iter() {
+                debug_assert!(states[c].is_none(), "incompatible partitions share a region");
+                states[c] = Some(p);
+            }
+        }
+        states
+    }
+
+    /// Frames written when switching configuration `i` → `j` (Eq. 8 with
+    /// `tcon_r` in frames). Symmetric in `i` and `j`.
+    pub fn transition_frames(&self, i: usize, j: usize, semantics: TransitionSemantics) -> u64 {
+        let mut total = 0;
+        for r in 0..self.regions.len() {
+            let states = self.region_states(r);
+            if region_reconfigures(states[i], states[j], semantics) {
+                total += self.region_frames(r);
+            }
+        }
+        total
+    }
+
+    /// Total reconfiguration time over all unordered configuration pairs,
+    /// in frames (Eq. 10).
+    pub fn total_reconfig_frames(&self, semantics: TransitionSemantics) -> u64 {
+        let c = self.num_configurations;
+        let mut total = 0u64;
+        for r in 0..self.regions.len() {
+            let states = self.region_states(r);
+            let pairs = differing_pairs(&states, c, semantics);
+            total += pairs * self.region_frames(r);
+        }
+        total
+    }
+
+    /// Worst-case single transition, in frames (Eq. 11). Zero when fewer
+    /// than two configurations exist.
+    pub fn worst_reconfig_frames(&self, semantics: TransitionSemantics) -> u64 {
+        let c = self.num_configurations;
+        if c < 2 {
+            return 0;
+        }
+        let npairs = c * (c - 1) / 2;
+        let mut per_pair = vec![0u64; npairs];
+        for r in 0..self.regions.len() {
+            let states = self.region_states(r);
+            let frames = self.region_frames(r);
+            if frames == 0 {
+                continue;
+            }
+            let mut k = 0;
+            for i in 0..c {
+                for j in i + 1..c {
+                    if region_reconfigures(states[i], states[j], semantics) {
+                        per_pair[k] += frames;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        per_pair.into_iter().max().unwrap_or(0)
+    }
+
+    /// Probability-weighted total reconfiguration time (the paper's
+    /// future-work extension: "If some statistical information about the
+    /// probabilities of different configurations occurring is known, this
+    /// could be factored into the measure"). `pair_weight(i, j)` supplies
+    /// the relative likelihood of the unordered transition `{i, j}`.
+    pub fn weighted_reconfig_frames(
+        &self,
+        semantics: TransitionSemantics,
+        mut pair_weight: impl FnMut(usize, usize) -> f64,
+    ) -> f64 {
+        let c = self.num_configurations;
+        let mut total = 0.0;
+        for i in 0..c {
+            for j in i + 1..c {
+                total += pair_weight(i, j) * self.transition_frames(i, j, semantics) as f64;
+            }
+        }
+        total
+    }
+
+    /// Weighted total reconfiguration cost under explicit transition
+    /// weights (see [`crate::weights::TransitionWeights`]); with uniform
+    /// weights this equals [`Scheme::total_reconfig_frames`] as `f64`.
+    pub fn weighted_total(
+        &self,
+        weights: &crate::weights::TransitionWeights,
+        semantics: TransitionSemantics,
+    ) -> f64 {
+        self.weighted_reconfig_frames(semantics, |i, j| weights.get(i, j))
+    }
+
+    /// Evaluates the scheme against a budget.
+    pub fn metrics(
+        &self,
+        static_overhead: Resources,
+        budget: &Resources,
+        semantics: TransitionSemantics,
+    ) -> SchemeMetrics {
+        let resources = self.total_resources(static_overhead);
+        SchemeMetrics {
+            resources,
+            total_frames: self.total_reconfig_frames(semantics),
+            worst_frames: self.worst_reconfig_frames(semantics),
+            num_regions: self.regions.len(),
+            num_static: self.static_partitions.len(),
+            fits: resources.fits_in(budget),
+        }
+    }
+
+    /// Checks the structural invariants: no partition placed twice, no
+    /// empty region, pairwise-compatible regions, every used mode covered.
+    pub fn validate(&self, design: &Design) -> Result<(), SchemeInvariantError> {
+        let mut placed = vec![false; self.partitions.len()];
+        let mut place = |p: usize| -> Result<(), SchemeInvariantError> {
+            if placed[p] {
+                return Err(SchemeInvariantError::DuplicatePlacement(p));
+            }
+            placed[p] = true;
+            Ok(())
+        };
+        for (ri, region) in self.regions.iter().enumerate() {
+            if region.partitions.is_empty() {
+                return Err(SchemeInvariantError::EmptyRegion(ri));
+            }
+            for &p in &region.partitions {
+                place(p)?;
+            }
+            for (k, &a) in region.partitions.iter().enumerate() {
+                for &b in &region.partitions[k + 1..] {
+                    if !self.partitions[a].compatible_with(&self.partitions[b]) {
+                        return Err(SchemeInvariantError::IncompatibleRegion {
+                            region: ri,
+                            a,
+                            b,
+                        });
+                    }
+                }
+            }
+        }
+        for &p in &self.static_partitions {
+            place(p)?;
+        }
+        // Coverage: every mode of every configuration is in some placed
+        // partition (covering a mode anywhere covers it everywhere; see
+        // `crate::covering`).
+        let mut covered = vec![false; design.num_modes()];
+        for (p, part) in self.partitions.iter().enumerate() {
+            if placed[p] {
+                for m in &part.modes {
+                    covered[m.idx()] = true;
+                }
+            }
+        }
+        for c in 0..design.num_configurations() {
+            for m in design.config_modes(c) {
+                if !covered[m.idx()] {
+                    return Err(SchemeInvariantError::UncoveredMode(m.0));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the scheme in the style of the paper's Tables III/V:
+    /// one line per region listing its base partitions, plus a line for
+    /// the static promotions.
+    pub fn describe(&self, design: &Design) -> String {
+        let mut out = String::new();
+        if !self.static_partitions.is_empty() {
+            let labels: Vec<String> = self
+                .static_partitions
+                .iter()
+                .map(|&p| self.partitions[p].label(design))
+                .collect();
+            out.push_str(&format!("static: {}\n", labels.join(", ")));
+        }
+        for (ri, region) in self.regions.iter().enumerate() {
+            let labels: Vec<String> = region
+                .partitions
+                .iter()
+                .map(|&p| self.partitions[p].label(design))
+                .collect();
+            out.push_str(&format!("PRR{}: {}\n", ri + 1, labels.join(", ")));
+        }
+        out
+    }
+}
+
+/// Does a region with endpoint states `a` (in configuration i) and `b`
+/// (in j) reconfigure under the given semantics?
+fn region_reconfigures(
+    a: Option<usize>,
+    b: Option<usize>,
+    semantics: TransitionSemantics,
+) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => x != y,
+        (None, None) => false,
+        (None, Some(_)) | (Some(_), None) => {
+            matches!(semantics, TransitionSemantics::Pessimistic)
+        }
+    }
+}
+
+/// Number of unordered configuration pairs in which the region
+/// reconfigures, computed from its state vector by counting.
+fn differing_pairs(states: &[Option<usize>], c: usize, semantics: TransitionSemantics) -> u64 {
+    // Group sizes per state.
+    let mut counts: std::collections::HashMap<usize, u64> = Default::default();
+    let mut none = 0u64;
+    for s in states {
+        match s {
+            Some(p) => *counts.entry(*p).or_default() += 1,
+            None => none += 1,
+        }
+    }
+    let choose2 = |n: u64| n * n.saturating_sub(1) / 2;
+    let total_pairs = choose2(c as u64);
+    let same_state: u64 = counts.values().map(|&n| choose2(n)).sum();
+    match semantics {
+        TransitionSemantics::Optimistic => {
+            // Pairs with both defined and different.
+            let active = c as u64 - none;
+            choose2(active) - same_state
+        }
+        TransitionSemantics::Pessimistic => {
+            // Everything except same-state and both-none pairs.
+            total_pairs - same_state - choose2(none)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{generate_base_partitions, DEFAULT_CLIQUE_LIMIT};
+    use prpart_design::{corpus, ConnectivityMatrix, Design};
+
+    /// Builds a scheme over the abc example from singleton partitions of
+    /// the given mode groups, grouping them into the given regions.
+    fn build_scheme(
+        d: &Design,
+        groups: &[&[(&str, &str)]],
+        statics: &[(&str, &str)],
+    ) -> Scheme {
+        let m = ConnectivityMatrix::from_design(d);
+        let mut partitions = Vec::new();
+        let mut regions = Vec::new();
+        for group in groups {
+            let mut idxs = Vec::new();
+            for (module, mode) in *group {
+                let g = d.mode_id(module, mode).unwrap();
+                idxs.push(partitions.len());
+                partitions.push(crate::partition::BasePartition::from_modes(d, &m, vec![g]));
+            }
+            regions.push(Region { partitions: idxs });
+        }
+        let mut static_partitions = Vec::new();
+        for (module, mode) in statics {
+            let g = d.mode_id(module, mode).unwrap();
+            static_partitions.push(partitions.len());
+            partitions.push(crate::partition::BasePartition::from_modes(d, &m, vec![g]));
+        }
+        Scheme { partitions, regions, static_partitions, num_configurations: d.num_configurations() }
+    }
+
+    /// One region per module over the abc example.
+    fn abc_per_module() -> (Design, Scheme) {
+        let d = corpus::abc_example();
+        let s = build_scheme(
+            &d,
+            &[
+                &[("A", "A1"), ("A", "A2"), ("A", "A3")],
+                &[("B", "B1"), ("B", "B2")],
+                &[("C", "C1"), ("C", "C2"), ("C", "C3")],
+            ],
+            &[],
+        );
+        (d, s)
+    }
+
+    #[test]
+    fn region_area_is_elementwise_max_quantised() {
+        let (d, s) = abc_per_module();
+        // Region A: max(100/0/0, 300/2/0, 150/0/4) = 300/2/4
+        assert_eq!(s.region_resources(0), Resources::new(300, 2, 4));
+        let t = s.region_tiles(0);
+        assert_eq!((t.clb_tiles, t.bram_tiles, t.dsp_tiles), (15, 1, 1));
+        assert_eq!(s.region_frames(0), 15 * 36 + 30 + 28);
+        let _ = d;
+    }
+
+    #[test]
+    fn region_states_follow_configurations() {
+        let (d, s) = abc_per_module();
+        // Region B (index 1) hosts B1 and B2: states per config are
+        // B1 for conf2, B2 elsewhere.
+        let states = s.region_states(1);
+        let b1_pool = 3; // insertion order: A1 A2 A3 B1 B2 ...
+        let b2_pool = 4;
+        assert_eq!(states, vec![Some(b2_pool), Some(b1_pool), Some(b2_pool), Some(b2_pool), Some(b2_pool)]);
+        let _ = d;
+    }
+
+    #[test]
+    fn initial_assignment_has_zero_reconfig_time() {
+        // One region per partition never changes state: the paper's
+        // static-equivalent starting point.
+        let d = corpus::abc_example();
+        let m = ConnectivityMatrix::from_design(&d);
+        let parts = generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap();
+        let singles: Vec<_> = parts.iter().filter(|p| p.num_modes() == 1).cloned().collect();
+        let s = Scheme::one_region_per_partition(singles, d.num_configurations());
+        assert_eq!(s.total_reconfig_frames(TransitionSemantics::Optimistic), 0);
+        assert_eq!(s.worst_reconfig_frames(TransitionSemantics::Optimistic), 0);
+        s.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn transition_frames_symmetric_and_consistent_with_total() {
+        let (d, s) = abc_per_module();
+        let c = d.num_configurations();
+        let mut sum = 0;
+        let mut worst = 0;
+        for i in 0..c {
+            for j in i + 1..c {
+                let f = s.transition_frames(i, j, TransitionSemantics::Optimistic);
+                assert_eq!(f, s.transition_frames(j, i, TransitionSemantics::Optimistic));
+                sum += f;
+                worst = worst.max(f);
+            }
+        }
+        assert_eq!(sum, s.total_reconfig_frames(TransitionSemantics::Optimistic));
+        assert_eq!(worst, s.worst_reconfig_frames(TransitionSemantics::Optimistic));
+        assert!(sum > 0);
+    }
+
+    #[test]
+    fn pessimistic_charges_dont_care_endpoints() {
+        // Special case design: modules C,F active only in config 1; E,P,R
+        // only in config 2. Optimistically the single transition is free
+        // (each region keeps its old contents... it is not! switching from
+        // {C,F} to {E,P,R} must load E,P,R). Optimistic counts only
+        // defined-to-defined changes, so per-module regions cost zero;
+        // pessimistic charges all five regions.
+        let d = corpus::special_case_single_mode();
+        let s = build_scheme(
+            &d,
+            &[
+                &[("CAN", "C1")],
+                &[("FIR", "F1")],
+                &[("Ethernet", "E1")],
+                &[("FPU", "P1")],
+                &[("CRC", "R1")],
+            ],
+            &[],
+        );
+        assert_eq!(s.total_reconfig_frames(TransitionSemantics::Optimistic), 0);
+        let pess = s.total_reconfig_frames(TransitionSemantics::Pessimistic);
+        let expect: u64 = (0..5).map(|r| s.region_frames(r)).sum();
+        assert_eq!(pess, expect);
+    }
+
+    #[test]
+    fn static_partitions_add_area_but_no_time() {
+        let d = corpus::abc_example();
+        let with_static = build_scheme(
+            &d,
+            &[
+                &[("A", "A1"), ("A", "A2"), ("A", "A3")],
+                &[("C", "C1"), ("C", "C2"), ("C", "C3")],
+            ],
+            &[("B", "B1"), ("B", "B2")],
+        );
+        let (_, no_static) = abc_per_module();
+        let sem = TransitionSemantics::Optimistic;
+        // Region B's transitions disappear.
+        assert!(with_static.total_reconfig_frames(sem) < no_static.total_reconfig_frames(sem));
+        // Static area is the *sum* of B1 and B2.
+        assert_eq!(with_static.static_resources(), Resources::new(520, 4, 8));
+        with_static.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn total_resources_adds_overhead() {
+        let (d, s) = abc_per_module();
+        let total = s.total_resources(d.static_overhead());
+        let no_overhead = s.total_resources(Resources::ZERO);
+        assert_eq!(total, no_overhead + d.static_overhead());
+    }
+
+    #[test]
+    fn metrics_reports_fit() {
+        let (d, s) = abc_per_module();
+        let sem = TransitionSemantics::Optimistic;
+        let need = s.total_resources(d.static_overhead());
+        let m = s.metrics(d.static_overhead(), &need, sem);
+        assert!(m.fits);
+        assert_eq!(m.num_regions, 3);
+        assert_eq!(m.num_static, 0);
+        let tight = Resources::new(need.clb - 1, need.bram, need.dsp);
+        let m = s.metrics(d.static_overhead(), &tight, sem);
+        assert!(!m.fits);
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let d = corpus::abc_example();
+        // Incompatible: A1 and B1 co-occur in conf2.
+        let bad = build_scheme(&d, &[&[("A", "A1"), ("B", "B1")]], &[]);
+        assert!(matches!(
+            bad.validate(&d),
+            Err(SchemeInvariantError::IncompatibleRegion { .. })
+        ));
+        // Uncovered modes: only module A placed.
+        let partial = build_scheme(&d, &[&[("A", "A1"), ("A", "A2"), ("A", "A3")]], &[]);
+        assert!(matches!(
+            partial.validate(&d),
+            Err(SchemeInvariantError::UncoveredMode(_))
+        ));
+        // Empty region.
+        let mut s = partial.clone();
+        s.regions.push(Region { partitions: vec![] });
+        assert!(matches!(s.validate(&d), Err(SchemeInvariantError::EmptyRegion(_))));
+        // Duplicate placement.
+        let mut s = partial.clone();
+        s.regions.push(Region { partitions: vec![0] });
+        assert!(matches!(
+            s.validate(&d),
+            Err(SchemeInvariantError::DuplicatePlacement(0))
+        ));
+    }
+
+    #[test]
+    fn describe_lists_regions_and_statics() {
+        let d = corpus::abc_example();
+        let s = build_scheme(
+            &d,
+            &[&[("A", "A1"), ("A", "A2"), ("A", "A3")], &[("C", "C1"), ("C", "C2"), ("C", "C3")]],
+            &[("B", "B2")],
+        );
+        let text = s.describe(&d);
+        assert!(text.contains("static: B2"), "{text}");
+        assert!(text.contains("PRR1: A1, A2, A3"), "{text}");
+        assert!(text.contains("PRR2: C1, C2, C3"), "{text}");
+    }
+
+    #[test]
+    fn weighted_total_with_uniform_weights_matches_plain() {
+        let (_, s) = abc_per_module();
+        let sem = TransitionSemantics::Optimistic;
+        let w = s.weighted_reconfig_frames(sem, |_, _| 1.0);
+        assert_eq!(w, s.total_reconfig_frames(sem) as f64);
+        // Zero weights kill the total.
+        assert_eq!(s.weighted_reconfig_frames(sem, |_, _| 0.0), 0.0);
+    }
+}

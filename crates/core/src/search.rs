@@ -1,0 +1,1480 @@
+//! Region-allocation search (paper §IV-C, Fig. 6).
+//!
+//! For each *candidate partition set* the search starts from the
+//! one-region-per-partition assignment — the static-equivalent solution
+//! with zero reconfiguration time and maximal area — and explores two move
+//! kinds:
+//!
+//! * **merge** two compatible regions into one (paper: "two compatible
+//!   base partitions are assigned to the same region"), shrinking area to
+//!   the element-wise maximum (Eq. 2) at the cost of coupling their
+//!   transitions;
+//! * **promote** a region into the static logic ("moving modes into the
+//!   static region when possible"), eliminating its transitions at the
+//!   cost of implementing all its partitions concurrently.
+//!
+//! Every state encountered is evaluated (Eqs. 7–10) and the best feasible
+//! scheme — lowest total reconfiguration time, ties broken on area — is
+//! retained. The default [`SearchStrategy::GreedyRestarts`] follows the
+//! paper's iteration scheme: a greedy descent restarted from each distinct
+//! first move, repeated over successive candidate partition sets obtained
+//! by head-dropping the base-partition list. [`SearchStrategy::Beam`] and
+//! [`SearchStrategy::Exhaustive`] are labelled extensions used for quality
+//! cross-checks and ablation (DESIGN.md A1).
+
+use crate::cluster::{generate_base_partitions, DEFAULT_CLIQUE_LIMIT};
+use crate::covering::CandidateSets;
+use crate::error::PartitionError;
+use crate::feasibility::check_feasibility;
+use crate::partition::BasePartition;
+use crate::scheme::{EvaluatedScheme, Region, Scheme, TransitionSemantics};
+use crate::weights::TransitionWeights;
+use prpart_arch::{frames_for, Resources, TileCounts};
+use prpart_design::{ConnectivityMatrix, Design};
+use prpart_graph::BitSet;
+use std::collections::HashSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// What the search minimises.
+///
+/// The paper optimises the total over all configuration pairs (Eq. 10)
+/// and *reports* the worst case (Eq. 11), noting that "in some
+/// applications, such as real time systems and safety critical systems,
+/// the system cannot tolerate reconfiguration time beyond a certain
+/// limit". [`Objective::WorstCase`] lets the search minimise that limit
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Total reconfiguration time over all configuration pairs (Eq. 10)
+    /// — the paper's objective.
+    #[default]
+    TotalTime,
+    /// The largest single transition (Eq. 11) — for real-time systems
+    /// with per-transition deadlines.
+    WorstCase,
+}
+
+/// How the region-allocation space is explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// The paper's scheme: greedy descent with restarts over the first
+    /// merge choice, across successive candidate partition sets.
+    GreedyRestarts {
+        /// Candidate partition sets to explore (head-drops of the list).
+        max_candidate_sets: usize,
+        /// Distinct first moves to restart from per candidate set.
+        max_first_moves: usize,
+    },
+    /// Beam search over assignment states (extension, ablation A1).
+    Beam {
+        /// Beam width.
+        width: usize,
+        /// Candidate partition sets to explore.
+        max_candidate_sets: usize,
+    },
+    /// Simulated annealing over merge/split/promote/demote moves — the
+    /// approach of the paper's related work \[7\] (Montone et al.), provided
+    /// as a comparator (ablation A1). Deterministic per seed.
+    Annealing {
+        /// Proposal iterations per candidate set.
+        iterations: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Candidate partition sets to explore.
+        max_candidate_sets: usize,
+    },
+    /// Exhaustive enumeration of all compatible groupings with greedy
+    /// post-hoc static promotion (oracle for small designs).
+    Exhaustive {
+        /// Refuse pools larger than this (the state space is Bell-number
+        /// sized).
+        max_partitions: usize,
+        /// Candidate partition sets to explore.
+        max_candidate_sets: usize,
+    },
+}
+
+impl Default for SearchStrategy {
+    fn default() -> Self {
+        SearchStrategy::GreedyRestarts { max_candidate_sets: 6, max_first_moves: 32 }
+    }
+}
+
+/// The partitioning engine: budget, cost semantics and search strategy.
+///
+/// ```
+/// use prpart_arch::Resources;
+/// use prpart_core::Partitioner;
+/// use prpart_design::corpus;
+///
+/// let design = corpus::video_receiver(corpus::VideoConfigSet::Original);
+/// let outcome = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+///     .partition(&design)
+///     .unwrap();
+/// let best = outcome.best.expect("the case study is feasible");
+/// assert!(best.metrics.fits);
+/// assert!(best.metrics.total_frames < 300_000);
+/// println!("{}", best.scheme.describe(&design));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    /// Available reconfigurable resources (device capacity or explicit
+    /// budget).
+    pub budget: Resources,
+    /// Don't-care transition accounting (DESIGN.md §5).
+    pub semantics: TransitionSemantics,
+    /// Search strategy.
+    pub strategy: SearchStrategy,
+    /// Clique budget for clustering.
+    pub clique_limit: usize,
+    /// Whether regions may be promoted into static logic (ablation A2).
+    pub allow_static_promotion: bool,
+    /// Optional transition-probability weights (the paper's future-work
+    /// extension): when set, the search minimises the *weighted* total
+    /// reconfiguration cost instead of the all-pairs Eq. 10 sum.
+    pub transition_weights: Option<TransitionWeights>,
+    /// What to minimise (total time by default; worst case for real-time
+    /// deadlines). Weights apply only to the total-time objective.
+    pub objective: Objective,
+}
+
+impl Partitioner {
+    /// Creates a partitioner with the paper-faithful defaults.
+    pub fn new(budget: Resources) -> Self {
+        Partitioner {
+            budget,
+            semantics: TransitionSemantics::default(),
+            strategy: SearchStrategy::default(),
+            clique_limit: DEFAULT_CLIQUE_LIMIT,
+            allow_static_promotion: true,
+            transition_weights: None,
+            objective: Objective::TotalTime,
+        }
+    }
+
+    /// Replaces the search strategy.
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the transition semantics.
+    pub fn with_semantics(mut self, semantics: TransitionSemantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Disables static promotion (ablation A2).
+    pub fn without_static_promotion(mut self) -> Self {
+        self.allow_static_promotion = false;
+        self
+    }
+
+    /// Optimises the weighted transition cost instead of the uniform
+    /// all-pairs total (paper future work; see [`crate::weights`]).
+    pub fn with_transition_weights(mut self, weights: TransitionWeights) -> Self {
+        self.transition_weights = Some(weights);
+        self
+    }
+
+    /// Minimises the worst single transition (Eq. 11) instead of the
+    /// all-pairs total — for real-time deadlines.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Re-partitions an edited design, seeding the search with the
+    /// grouping of a previous scheme (matched by module/mode *names*, so
+    /// the two designs may differ structurally). The normal pipeline
+    /// runs as well; the better result wins — so the seed can only help.
+    /// Useful in the iterate-edit-repartition loop of a real tool, where
+    /// scheme stability across small edits matters.
+    pub fn repartition(
+        &self,
+        design: &Design,
+        previous_design: &Design,
+        previous: &Scheme,
+    ) -> Result<PartitionOutcome, PartitionError> {
+        let mut outcome = self.partition(design)?;
+        let matrix = ConnectivityMatrix::from_design(design);
+
+        // Translate the previous scheme's partitions into the new design.
+        let translate = |p: &BasePartition| -> Option<BasePartition> {
+            let modes: Vec<_> = p
+                .modes
+                .iter()
+                .filter_map(|&m| {
+                    let label = previous_design.mode_label(m);
+                    let mut it = label.splitn(2, '.');
+                    design.mode_id(it.next()?, it.next()?)
+                })
+                .collect();
+            if modes.is_empty() {
+                return None;
+            }
+            let candidate = BasePartition::from_modes(design, &matrix, modes);
+            // Multi-mode groups must still co-occur somewhere.
+            if candidate.num_modes() > 1 && matrix.support(&candidate.modes) == 0 {
+                None
+            } else {
+                Some(candidate)
+            }
+        };
+
+        // Seed pool: translated partitions, grouped as before where still
+        // compatible, plus singletons for any uncovered mode.
+        let mut pool: Vec<BasePartition> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut statics: Vec<usize> = Vec::new();
+        for region in &previous.regions {
+            let mut members: Vec<usize> = Vec::new();
+            for &pi in &region.partitions {
+                if let Some(part) = translate(&previous.partitions[pi]) {
+                    // Keep in this region only if compatible with the
+                    // members already there; otherwise it opens its own.
+                    let compatible = members
+                        .iter()
+                        .all(|&m| pool[m].compatible_with(&part));
+                    pool.push(part);
+                    if compatible {
+                        members.push(pool.len() - 1);
+                    } else {
+                        groups.push(vec![pool.len() - 1]);
+                    }
+                }
+            }
+            if !members.is_empty() {
+                groups.push(members);
+            }
+        }
+        for &pi in &previous.static_partitions {
+            if let Some(part) = translate(&previous.partitions[pi]) {
+                pool.push(part);
+                statics.push(pool.len() - 1);
+            }
+        }
+        // Cover modes the previous scheme does not know about.
+        let mut covered = vec![false; design.num_modes()];
+        for p in &pool {
+            for m in &p.modes {
+                covered[m.idx()] = true;
+            }
+        }
+        for m in 0..design.num_modes() {
+            let g = prpart_design::GlobalModeId(m as u32);
+            if !covered[m] && matrix.node_weight(g) > 0 {
+                pool.push(BasePartition::from_modes(design, &matrix, vec![g]));
+                groups.push(vec![pool.len() - 1]);
+            }
+        }
+
+        let ctx = Ctx {
+            pool: &pool,
+            num_configs: design.num_configurations(),
+            budget: self.budget,
+            overhead: design.static_overhead(),
+            semantics: self.semantics,
+            allow_static: self.allow_static_promotion,
+            weights: self.transition_weights.as_ref(),
+            objective: self.objective,
+        };
+        let mut seeded = State {
+            groups: groups.iter().map(|g| Group::new(&ctx, g.clone())).collect(),
+            statics: statics.clone(),
+            static_res: statics
+                .iter()
+                .map(|&p| pool[p].resources)
+                .sum(),
+            time: 0.0,
+            area: Resources::ZERO,
+        };
+        seeded.recompute_totals(&ctx);
+        let mut best = Best::new();
+        let mut stats = SearchStats::default();
+        greedy_descent(&ctx, seeded, &mut best, &mut stats);
+        outcome.states_evaluated += stats.states_evaluated;
+        let (seeded_best, seeded_front) =
+            best.into_evaluated(design, &self.budget, self.semantics);
+        if let Some(sb) = seeded_best {
+            let better = match &outcome.best {
+                None => true,
+                Some(ob) => {
+                    sb.metrics.total_frames < ob.metrics.total_frames
+                        || (sb.metrics.total_frames == ob.metrics.total_frames
+                            && sb.metrics.resources.total_primitives()
+                                < ob.metrics.resources.total_primitives())
+                }
+            };
+            if better {
+                outcome.best = Some(sb);
+                outcome.pareto_front = seeded_front;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Runs the full pipeline: feasibility → clustering → covering →
+    /// region allocation. Returns the best feasible scheme found (if any)
+    /// and search statistics.
+    pub fn partition(&self, design: &Design) -> Result<PartitionOutcome, PartitionError> {
+        check_feasibility(design, &self.budget)?;
+        if let Some(w) = &self.transition_weights {
+            if w.num_configurations() != design.num_configurations() {
+                return Err(PartitionError::WeightsDimension {
+                    expected: design.num_configurations(),
+                    got: w.num_configurations(),
+                });
+            }
+        }
+        let matrix = ConnectivityMatrix::from_design(design);
+        let parts = generate_base_partitions(design, &matrix, self.clique_limit)?;
+        let (max_sets, runner): (usize, Runner) = match self.strategy {
+            SearchStrategy::GreedyRestarts { max_candidate_sets, max_first_moves } => {
+                (max_candidate_sets, Runner::Greedy { max_first_moves })
+            }
+            SearchStrategy::Beam { width, max_candidate_sets } => {
+                (max_candidate_sets, Runner::Beam { width })
+            }
+            SearchStrategy::Annealing { iterations, seed, max_candidate_sets } => {
+                (max_candidate_sets, Runner::Annealing { iterations, seed })
+            }
+            SearchStrategy::Exhaustive { max_partitions, max_candidate_sets } => {
+                (max_candidate_sets, Runner::Exhaustive { max_partitions })
+            }
+        };
+        let mut best = Best::new();
+        let mut stats = SearchStats::default();
+        for set in CandidateSets::new(&matrix, &parts).take(max_sets.max(1)) {
+            stats.candidate_sets_explored += 1;
+            let pool: Vec<BasePartition> = set.iter().map(|&i| parts[i].clone()).collect();
+            let ctx = Ctx {
+                pool: &pool,
+                num_configs: design.num_configurations(),
+                budget: self.budget,
+                overhead: design.static_overhead(),
+                semantics: self.semantics,
+                allow_static: self.allow_static_promotion,
+                weights: self.transition_weights.as_ref(),
+                objective: self.objective,
+            };
+            let initial = State::initial(&ctx);
+            match runner {
+                Runner::Greedy { max_first_moves } => {
+                    greedy_restarts(&ctx, initial, max_first_moves, &mut best, &mut stats)
+                }
+                Runner::Beam { width } => beam(&ctx, initial, width, &mut best, &mut stats),
+                Runner::Annealing { iterations, seed } => {
+                    annealing(&ctx, initial, iterations, seed, &mut best, &mut stats)
+                }
+                Runner::Exhaustive { max_partitions } => {
+                    if pool.len() <= max_partitions {
+                        exhaustive(&ctx, &mut best, &mut stats);
+                    } else {
+                        // Pool too large for the oracle; fall back to a
+                        // plain greedy descent so the call still returns a
+                        // result.
+                        greedy_restarts(&ctx, initial, 1, &mut best, &mut stats);
+                    }
+                }
+            }
+        }
+        let (best, pareto_front) = best.into_evaluated(design, &self.budget, self.semantics);
+        Ok(PartitionOutcome {
+            best,
+            pareto_front,
+            candidate_sets_explored: stats.candidate_sets_explored,
+            states_evaluated: stats.states_evaluated,
+        })
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Runner {
+    Greedy { max_first_moves: usize },
+    Beam { width: usize },
+    Annealing { iterations: usize, seed: u64 },
+    Exhaustive { max_partitions: usize },
+}
+
+/// Result of a [`Partitioner::partition`] run.
+#[derive(Debug, Clone)]
+pub struct PartitionOutcome {
+    /// Best feasible scheme found, evaluated. `None` when no explored
+    /// state fits the budget (the caller should escalate the device;
+    /// see [`crate::device_select`]).
+    pub best: Option<EvaluatedScheme>,
+    /// The time/area Pareto front over all feasible states explored:
+    /// schemes none of which is dominated (lower-or-equal total time
+    /// *and* area) by another, sorted by ascending total time. The best
+    /// scheme is its first element. Useful when the designer wants to
+    /// trade reconfiguration time against device headroom.
+    pub pareto_front: Vec<EvaluatedScheme>,
+    /// Candidate partition sets explored.
+    pub candidate_sets_explored: usize,
+    /// Assignment states evaluated across all runs.
+    pub states_evaluated: u64,
+}
+
+#[derive(Default)]
+struct SearchStats {
+    candidate_sets_explored: usize,
+    states_evaluated: u64,
+}
+
+/// Shared search context for one candidate partition set.
+struct Ctx<'a> {
+    pool: &'a [BasePartition],
+    num_configs: usize,
+    budget: Resources,
+    overhead: Resources,
+    semantics: TransitionSemantics,
+    allow_static: bool,
+    weights: Option<&'a TransitionWeights>,
+    objective: Objective,
+}
+
+/// One region in a search state, with cached cost components.
+#[derive(Clone)]
+struct Group {
+    members: Vec<usize>,
+    /// Union of member presence masks (regions are mergeable iff their
+    /// masks are disjoint).
+    mask: BitSet,
+    /// Tile-quantised capacity of the element-wise max of member
+    /// resources (Eqs. 2–5).
+    cap: Resources,
+    /// Frames to reconfigure (Eq. 6).
+    frames: u64,
+    /// Reconfiguring pair mass: the number of unordered configuration
+    /// pairs in which this region reconfigures (uniform), or their
+    /// weighted sum when transition weights are in force.
+    mass: f64,
+    /// Sum of raw member resources — the cost of promoting to static.
+    raw_sum: Resources,
+}
+
+impl Group {
+    fn new(ctx: &Ctx<'_>, members: Vec<usize>) -> Group {
+        let mut mask = BitSet::new(ctx.num_configs);
+        let mut res = Resources::ZERO;
+        let mut raw_sum = Resources::ZERO;
+        for &p in &members {
+            mask.union_with(&ctx.pool[p].presence);
+            res = res.max(ctx.pool[p].resources);
+            raw_sum += ctx.pool[p].resources;
+        }
+        let tiles = TileCounts::for_resources(&res);
+        let frames = tiles.frames();
+        let mass = Group::differing_mass(ctx, &members);
+        Group { members, mask, cap: tiles.capacity(), frames, mass, raw_sum }
+    }
+
+    /// Mass of configuration pairs between which this region's state
+    /// differs. Because member presence masks are disjoint, the uniform
+    /// case reduces to counting from each member's presence count; the
+    /// weighted case sums pair weights over the mask structure.
+    fn differing_mass(ctx: &Ctx<'_>, members: &[usize]) -> f64 {
+        match ctx.weights {
+            None => {
+                let choose2 = |n: u64| n * n.saturating_sub(1) / 2;
+                let c = ctx.num_configs as u64;
+                let mut active = 0u64;
+                let mut same = 0u64;
+                for &p in members {
+                    let n = ctx.pool[p].presence.len() as u64;
+                    active += n;
+                    same += choose2(n);
+                }
+                (match ctx.semantics {
+                    TransitionSemantics::Optimistic => choose2(active) - same,
+                    TransitionSemantics::Pessimistic => choose2(c) - same - choose2(c - active),
+                }) as f64
+            }
+            Some(w) => {
+                // mass(S) = sum of pair weights within configuration set S.
+                let mass_of = |s: &[usize]| -> f64 {
+                    let mut m = 0.0;
+                    for (a, &i) in s.iter().enumerate() {
+                        for &j in &s[a + 1..] {
+                            m += w.get(i, j);
+                        }
+                    }
+                    m
+                };
+                let mut active: Vec<usize> = Vec::new();
+                let mut within = 0.0;
+                for &p in members {
+                    let s: Vec<usize> = ctx.pool[p].presence.iter().collect();
+                    within += mass_of(&s);
+                    active.extend(s);
+                }
+                active.sort_unstable();
+                match ctx.semantics {
+                    TransitionSemantics::Optimistic => mass_of(&active) - within,
+                    TransitionSemantics::Pessimistic => {
+                        let none: Vec<usize> = (0..ctx.num_configs)
+                            .filter(|c| active.binary_search(c).is_err())
+                            .collect();
+                        w.total_mass() - within - mass_of(&none)
+                    }
+                }
+            }
+        }
+    }
+
+    fn merged(ctx: &Ctx<'_>, a: &Group, b: &Group) -> Group {
+        let mut members = a.members.clone();
+        members.extend_from_slice(&b.members);
+        Group::new(ctx, members)
+    }
+
+    fn time(&self) -> f64 {
+        self.mass * self.frames as f64
+    }
+}
+
+/// One assignment state: regions plus static promotions, with cached
+/// totals.
+#[derive(Clone)]
+struct State {
+    groups: Vec<Group>,
+    statics: Vec<usize>,
+    static_res: Resources,
+    /// Total reconfiguration cost: frames (Eq. 10) under uniform
+    /// weights, weighted frame mass otherwise.
+    time: f64,
+    /// Total resource requirement including static overhead.
+    area: Resources,
+}
+
+impl State {
+    fn initial(ctx: &Ctx<'_>) -> State {
+        let groups: Vec<Group> =
+            (0..ctx.pool.len()).map(|p| Group::new(ctx, vec![p])).collect();
+        let mut s = State {
+            groups,
+            statics: Vec::new(),
+            static_res: Resources::ZERO,
+            time: 0.0,
+            area: Resources::ZERO,
+        };
+        s.recompute_totals(ctx);
+        s
+    }
+
+    fn recompute_totals(&mut self, ctx: &Ctx<'_>) {
+        self.time = match ctx.objective {
+            Objective::TotalTime => self.groups.iter().map(Group::time).sum(),
+            Objective::WorstCase => worst_case_of_groups(ctx, &self.groups),
+        };
+        self.area = self.groups.iter().map(|g| g.cap).sum::<Resources>()
+            + self.static_res
+            + ctx.overhead;
+    }
+
+    fn fits(&self, budget: &Resources) -> bool {
+        self.area.fits_in(budget)
+    }
+
+    fn apply(&self, ctx: &Ctx<'_>, mv: Move) -> State {
+        let mut next = self.clone();
+        match mv {
+            Move::Merge(i, j) => {
+                debug_assert!(i < j);
+                let merged = Group::merged(ctx, &next.groups[i], &next.groups[j]);
+                next.groups.swap_remove(j);
+                next.groups[i] = merged;
+            }
+            Move::Promote(i) => {
+                let g = next.groups.swap_remove(i);
+                next.statics.extend_from_slice(&g.members);
+                next.static_res += g.raw_sum;
+            }
+        }
+        next.recompute_totals(ctx);
+        next
+    }
+
+    /// Predicted `(area, time)` after a move, without materialising it.
+    /// Under the worst-case objective the per-pair maximum is not
+    /// decomposable, so the candidate group set is evaluated directly.
+    fn preview(&self, ctx: &Ctx<'_>, mv: Move) -> (Resources, f64) {
+        match (ctx.objective, mv) {
+            (Objective::TotalTime, Move::Merge(i, j)) => {
+                let merged = Group::merged(ctx, &self.groups[i], &self.groups[j]);
+                let area = self.area - self.groups[i].cap - self.groups[j].cap + merged.cap;
+                let time =
+                    self.time - self.groups[i].time() - self.groups[j].time() + merged.time();
+                (area, time)
+            }
+            (Objective::TotalTime, Move::Promote(i)) => {
+                let area = self.area - self.groups[i].cap + self.groups[i].raw_sum;
+                let time = self.time - self.groups[i].time();
+                (area, time)
+            }
+            (Objective::WorstCase, mv) => {
+                let next = self.apply(ctx, mv);
+                (next.area, next.time)
+            }
+        }
+    }
+
+    fn moves(&self, ctx: &Ctx<'_>) -> Vec<Move> {
+        let mut out = Vec::new();
+        for i in 0..self.groups.len() {
+            for j in i + 1..self.groups.len() {
+                if self.groups[i].mask.is_disjoint(&self.groups[j].mask) {
+                    out.push(Move::Merge(i, j));
+                }
+            }
+        }
+        if ctx.allow_static {
+            for i in 0..self.groups.len() {
+                out.push(Move::Promote(i));
+            }
+        }
+        out
+    }
+
+    fn to_scheme(&self, ctx: &Ctx<'_>) -> Scheme {
+        Scheme {
+            partitions: ctx.pool.to_vec(),
+            regions: self
+                .groups
+                .iter()
+                .map(|g| Region { partitions: g.members.clone() })
+                .collect(),
+            static_partitions: self.statics.clone(),
+            num_configurations: ctx.num_configs,
+        }
+    }
+
+    /// A structural signature for beam-search deduplication.
+    fn signature(&self) -> u64 {
+        let mut groups: Vec<Vec<usize>> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mut m = g.members.clone();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        groups.sort();
+        let mut statics = self.statics.clone();
+        statics.sort_unstable();
+        let mut h = DefaultHasher::new();
+        groups.hash(&mut h);
+        statics.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Move {
+    /// Merge groups `i` and `j` (`i < j`).
+    Merge(usize, usize),
+    /// Promote group `i` to static logic.
+    Promote(usize),
+}
+
+/// Worst single transition over a group set (Eq. 11): accumulates each
+/// group's frames into every configuration pair whose state differs,
+/// then takes the maximum. O(pairs x groups); used only under
+/// [`Objective::WorstCase`].
+fn worst_case_of_groups(ctx: &Ctx<'_>, groups: &[Group]) -> f64 {
+    let c = ctx.num_configs;
+    if c < 2 {
+        return 0.0;
+    }
+    let npairs = c * (c - 1) / 2;
+    let pair_index = |i: usize, j: usize| -> usize {
+        // i < j
+        i * c - i * (i + 1) / 2 + (j - i - 1)
+    };
+    let mut per_pair = vec![0u64; npairs];
+    for g in groups {
+        if g.frames == 0 {
+            continue;
+        }
+        // Region state per configuration from the member presence masks.
+        let mut state = vec![usize::MAX; c];
+        for (k, &p) in g.members.iter().enumerate() {
+            for ci in ctx.pool[p].presence.iter() {
+                state[ci] = k;
+            }
+        }
+        for i in 0..c {
+            for j in i + 1..c {
+                let reconfigures = match ctx.semantics {
+                    TransitionSemantics::Optimistic => {
+                        state[i] != usize::MAX && state[j] != usize::MAX && state[i] != state[j]
+                    }
+                    // Pessimistic: only same-state pairs (including both
+                    // don't-care) are free.
+                    TransitionSemantics::Pessimistic => state[i] != state[j],
+                };
+                if reconfigures {
+                    per_pair[pair_index(i, j)] += g.frames;
+                }
+            }
+        }
+    }
+    per_pair.into_iter().max().unwrap_or(0) as f64
+}
+
+/// Comparison key: feasible states first (ordered by time, then area),
+/// infeasible states ordered by how far over budget they are (so greedy
+/// descends towards feasibility fastest), then time. Ordered by
+/// `f64::total_cmp` so weighted costs sort deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(u8, f64, f64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .cmp(&other.0)
+            .then(self.1.total_cmp(&other.1))
+            .then(self.2.total_cmp(&other.2))
+    }
+}
+
+fn state_key(area: Resources, time: f64, budget: &Resources) -> Key {
+    if area.fits_in(budget) {
+        Key(0, time, area.total_primitives() as f64)
+    } else {
+        let overflow = frames_for(&area.saturating_sub(*budget));
+        Key(1, overflow as f64, time)
+    }
+}
+
+/// Cap on retained Pareto points (they rarely exceed a handful).
+const PARETO_CAP: usize = 32;
+
+/// Best-so-far tracker across candidate sets, including the time/area
+/// Pareto front of feasible states.
+struct Best {
+    scheme: Option<Scheme>,
+    time: f64,
+    area: u64,
+    /// Non-dominated (time, area, scheme) points.
+    pareto: Vec<(f64, u64, Scheme)>,
+}
+
+impl Best {
+    fn new() -> Best {
+        Best { scheme: None, time: f64::INFINITY, area: u64::MAX, pareto: Vec::new() }
+    }
+
+    fn consider(&mut self, ctx: &Ctx<'_>, state: &State) {
+        if !state.fits(&ctx.budget) {
+            return;
+        }
+        let area = state.area.total_primitives();
+        if self.scheme.is_none()
+            || state.time < self.time
+            || (state.time == self.time && area < self.area)
+        {
+            self.scheme = Some(state.to_scheme(ctx));
+            self.time = state.time;
+            self.area = area;
+        }
+        // Pareto maintenance: drop if dominated; evict what it dominates.
+        let dominated = self
+            .pareto
+            .iter()
+            .any(|(t, a, _)| *t <= state.time && *a <= area && (*t < state.time || *a < area));
+        if !dominated && !self.pareto.iter().any(|(t, a, _)| *t == state.time && *a == area) {
+            self.pareto
+                .retain(|(t, a, _)| !(state.time <= *t && area <= *a));
+            if self.pareto.len() < PARETO_CAP {
+                self.pareto.push((state.time, area, state.to_scheme(ctx)));
+            }
+        }
+    }
+
+    fn into_evaluated(
+        self,
+        design: &Design,
+        budget: &Resources,
+        semantics: TransitionSemantics,
+    ) -> (Option<EvaluatedScheme>, Vec<EvaluatedScheme>) {
+        let eval = |scheme: Scheme| {
+            let metrics = scheme.metrics(design.static_overhead(), budget, semantics);
+            debug_assert!(metrics.fits);
+            EvaluatedScheme { scheme, metrics }
+        };
+        let mut pareto = self.pareto;
+        pareto.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let front: Vec<EvaluatedScheme> =
+            pareto.into_iter().map(|(_, _, s)| eval(s)).collect();
+        (self.scheme.map(eval), front)
+    }
+}
+
+/// Greedy descent from `state`, evaluating every state along the path.
+fn greedy_descent(ctx: &Ctx<'_>, mut state: State, best: &mut Best, stats: &mut SearchStats) {
+    loop {
+        stats.states_evaluated += 1;
+        best.consider(ctx, &state);
+        let moves = state.moves(ctx);
+        if moves.is_empty() {
+            break;
+        }
+        let scored = moves.into_iter().map(|m| {
+            let (area, time) = state.preview(ctx, m);
+            (state_key(area, time, &ctx.budget), m)
+        });
+        let (key, mv) = scored.min_by(|(a, _), (b, _)| a.cmp(b)).expect("non-empty");
+        // Once feasible, stop when no move strictly improves time.
+        if state.fits(&ctx.budget) && (key.0 != 0 || key.1 >= state.time) {
+            break;
+        }
+        state = state.apply(ctx, mv);
+    }
+}
+
+/// The paper's restart scheme: one descent per distinct first move, best
+/// first moves tried first.
+fn greedy_restarts(
+    ctx: &Ctx<'_>,
+    initial: State,
+    max_first_moves: usize,
+    best: &mut Best,
+    stats: &mut SearchStats,
+) {
+    stats.states_evaluated += 1;
+    best.consider(ctx, &initial);
+    let mut scored: Vec<(Key, Move)> = initial
+        .moves(ctx)
+        .into_iter()
+        .map(|m| {
+            let (area, time) = initial.preview(ctx, m);
+            (state_key(area, time, &ctx.budget), m)
+        })
+        .collect();
+    scored.sort_by_key(|&(k, _)| k);
+    for (_, mv) in scored.into_iter().take(max_first_moves.max(1)) {
+        greedy_descent(ctx, initial.apply(ctx, mv), best, stats);
+    }
+}
+
+/// Beam search (extension).
+fn beam(ctx: &Ctx<'_>, initial: State, width: usize, best: &mut Best, stats: &mut SearchStats) {
+    let width = width.max(1);
+    stats.states_evaluated += 1;
+    best.consider(ctx, &initial);
+    let mut frontier = vec![initial];
+    let max_depth = ctx.pool.len() + 1;
+    let mut seen: HashSet<u64> = HashSet::new();
+    for _ in 0..max_depth {
+        let mut children: Vec<(State, Key)> = Vec::new();
+        for s in &frontier {
+            for mv in s.moves(ctx) {
+                let child = s.apply(ctx, mv);
+                if !seen.insert(child.signature()) {
+                    continue;
+                }
+                stats.states_evaluated += 1;
+                best.consider(ctx, &child);
+                let key = state_key(child.area, child.time, &ctx.budget);
+                children.push((child, key));
+            }
+        }
+        if children.is_empty() {
+            break;
+        }
+        children.sort_by_key(|&(_, k)| k);
+        children.truncate(width);
+        frontier = children.into_iter().map(|(s, _)| s).collect();
+    }
+}
+
+/// Scalar energy for annealing: total time plus a large penalty per
+/// overflow frame so feasibility dominates.
+fn energy(state: &State, budget: &Resources) -> f64 {
+    let overflow = frames_for(&state.area.saturating_sub(*budget)) as f64;
+    state.time + overflow * 1e4
+}
+
+/// Simulated annealing (comparator, paper related work [7]): random
+/// merge / split / promote / demote proposals under a geometric cooling
+/// schedule. Deterministic per seed.
+fn annealing(
+    ctx: &Ctx<'_>,
+    initial: State,
+    iterations: usize,
+    seed: u64,
+    best: &mut Best,
+    stats: &mut SearchStats,
+) {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = initial;
+    stats.states_evaluated += 1;
+    best.consider(ctx, &state);
+
+    let e0 = energy(&state, &ctx.budget).max(1.0);
+    let t_start = e0 * 0.05;
+    let t_end = e0 * 1e-5;
+    let iterations = iterations.max(1);
+    let decay = (t_end / t_start).powf(1.0 / iterations as f64);
+    let mut temperature = t_start;
+
+    for _ in 0..iterations {
+        temperature *= decay;
+        let proposal: Option<State> = match rng.random_range(0u8..4) {
+            // Merge a random compatible pair.
+            0 => {
+                let pairs: Vec<(usize, usize)> = (0..state.groups.len())
+                    .flat_map(|i| ((i + 1)..state.groups.len()).map(move |j| (i, j)))
+                    .filter(|&(i, j)| state.groups[i].mask.is_disjoint(&state.groups[j].mask))
+                    .collect();
+                if pairs.is_empty() {
+                    None
+                } else {
+                    let (i, j) = pairs[rng.random_range(0..pairs.len())];
+                    Some(state.apply(ctx, Move::Merge(i, j)))
+                }
+            }
+            // Promote a random region to static.
+            1 if ctx.allow_static && !state.groups.is_empty() => {
+                let i = rng.random_range(0..state.groups.len());
+                Some(state.apply(ctx, Move::Promote(i)))
+            }
+            // Demote a random static partition back to its own region.
+            2 if !state.statics.is_empty() => {
+                let k = rng.random_range(0..state.statics.len());
+                let mut next = state.clone();
+                let p = next.statics.swap_remove(k);
+                next.static_res = next.static_res.saturating_sub(ctx.pool[p].resources);
+                next.groups.push(Group::new(ctx, vec![p]));
+                next.recompute_totals(ctx);
+                Some(next)
+            }
+            // Split a random multi-partition region in two.
+            _ => {
+                let splittable: Vec<usize> = (0..state.groups.len())
+                    .filter(|&i| state.groups[i].members.len() >= 2)
+                    .collect();
+                if splittable.is_empty() {
+                    None
+                } else {
+                    let gi = splittable[rng.random_range(0..splittable.len())];
+                    let members = state.groups[gi].members.clone();
+                    let cut = rng.random_range(1..members.len());
+                    let mut next = state.clone();
+                    next.groups.swap_remove(gi);
+                    next.groups.push(Group::new(ctx, members[..cut].to_vec()));
+                    next.groups.push(Group::new(ctx, members[cut..].to_vec()));
+                    next.recompute_totals(ctx);
+                    Some(next)
+                }
+            }
+        };
+        let Some(candidate) = proposal else { continue };
+        stats.states_evaluated += 1;
+        let de = energy(&candidate, &ctx.budget) - energy(&state, &ctx.budget);
+        let accept = de <= 0.0 || rng.random_range(0.0..1.0) < (-de / temperature).exp();
+        if accept {
+            best.consider(ctx, &candidate);
+            state = candidate;
+        }
+    }
+}
+
+/// Exhaustive oracle: restricted-growth enumeration of all compatible
+/// groupings, each followed by greedy static promotion.
+fn exhaustive(ctx: &Ctx<'_>, best: &mut Best, stats: &mut SearchStats) {
+    let n = ctx.pool.len();
+    let mut assignment: Vec<Vec<usize>> = Vec::new();
+    rec(ctx, 0, n, &mut assignment, best, stats);
+
+    fn rec(
+        ctx: &Ctx<'_>,
+        idx: usize,
+        n: usize,
+        groups: &mut Vec<Vec<usize>>,
+        best: &mut Best,
+        stats: &mut SearchStats,
+    ) {
+        if idx == n {
+            let state = build_state(ctx, groups);
+            stats.states_evaluated += 1;
+            best.consider(ctx, &state);
+            if ctx.allow_static {
+                promote_greedily(ctx, state, best, stats);
+            }
+            return;
+        }
+        for g in 0..groups.len() {
+            let ok = groups[g]
+                .iter()
+                .all(|&p| ctx.pool[p].compatible_with(&ctx.pool[idx]));
+            if ok {
+                groups[g].push(idx);
+                rec(ctx, idx + 1, n, groups, best, stats);
+                groups[g].pop();
+            }
+        }
+        groups.push(vec![idx]);
+        rec(ctx, idx + 1, n, groups, best, stats);
+        groups.pop();
+    }
+
+    fn build_state(ctx: &Ctx<'_>, groups: &[Vec<usize>]) -> State {
+        let gs: Vec<Group> = groups.iter().map(|g| Group::new(ctx, g.clone())).collect();
+        let mut s = State {
+            groups: gs,
+            statics: Vec::new(),
+            static_res: Resources::ZERO,
+            time: 0.0,
+            area: Resources::ZERO,
+        };
+        s.recompute_totals(ctx);
+        s
+    }
+
+    /// Promote regions one at a time while it helps: prefer promotions
+    /// that reduce time and keep the state feasible (or reduce overflow).
+    fn promote_greedily(ctx: &Ctx<'_>, mut state: State, best: &mut Best, stats: &mut SearchStats) {
+        loop {
+            let mut improved = false;
+            let mut best_mv: Option<(Key, Move)> = None;
+            for i in 0..state.groups.len() {
+                let mv = Move::Promote(i);
+                let (area, time) = state.preview(ctx, mv);
+                let key = state_key(area, time, &ctx.budget);
+                if key < state_key(state.area, state.time, &ctx.budget)
+                    && best_mv.as_ref().is_none_or(|(k, _)| key < *k)
+                {
+                    best_mv = Some((key, mv));
+                }
+            }
+            if let Some((_, mv)) = best_mv {
+                state = state.apply(ctx, mv);
+                stats.states_evaluated += 1;
+                best.consider(ctx, &state);
+                improved = true;
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_design::corpus;
+
+    fn abc_budget() -> Resources {
+        // Tight enough that the fully separate assignment (~1710 CLBs /
+        // 24 BRAMs / 32 DSPs in tiles) does not fit, loose enough that a
+        // per-module-style grouping (~1050 / 20 / 24) does.
+        Resources::new(1100, 20, 24)
+    }
+
+    #[test]
+    fn abc_partition_finds_a_feasible_scheme() {
+        let d = corpus::abc_example();
+        let out = Partitioner::new(abc_budget()).partition(&d).unwrap();
+        let best = out.best.expect("a feasible scheme exists");
+        assert!(best.metrics.fits);
+        best.scheme.validate(&d).unwrap();
+        assert!(out.states_evaluated > 0);
+        assert!(out.candidate_sets_explored >= 1);
+    }
+
+    #[test]
+    fn infeasible_budget_errors_up_front() {
+        let d = corpus::abc_example();
+        let err = Partitioner::new(Resources::new(10, 0, 0)).partition(&d).unwrap_err();
+        assert!(matches!(err, PartitionError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn huge_budget_recovers_static_equivalent() {
+        // With unconstrained area the best scheme is the zero-time
+        // starting point (or a static promotion of it).
+        let d = corpus::abc_example();
+        let out = Partitioner::new(Resources::new(100_000, 1_000, 1_000))
+            .partition(&d)
+            .unwrap();
+        let best = out.best.unwrap();
+        assert_eq!(best.metrics.total_frames, 0);
+    }
+
+    #[test]
+    fn proposed_beats_or_matches_baselines_on_case_study() {
+        // Table IV: the proposed scheme's total reconfiguration time is
+        // below the one-module-per-region baseline and far below the
+        // single-region scheme.
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let budget = corpus::VIDEO_RECEIVER_BUDGET;
+        let out = Partitioner::new(budget).partition(&d).unwrap();
+        let best = out.best.expect("case study is feasible");
+        best.scheme.validate(&d).unwrap();
+
+        let matrix = ConnectivityMatrix::from_design(&d);
+        let base = crate::baselines::evaluate_baselines(
+            &d,
+            &matrix,
+            &budget,
+            TransitionSemantics::Optimistic,
+        );
+        assert!(
+            best.metrics.total_frames <= base.per_module.metrics.total_frames,
+            "proposed {} vs per-module {}",
+            best.metrics.total_frames,
+            base.per_module.metrics.total_frames
+        );
+        assert!(best.metrics.total_frames < base.single_region.metrics.total_frames);
+        assert!(best.metrics.resources.fits_in(&budget));
+    }
+
+    #[test]
+    fn modified_configs_use_static_promotion() {
+        // Table V's solution moves modes into the static region; with
+        // promotion enabled the search must do at least as well as
+        // without.
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Modified);
+        let budget = corpus::VIDEO_RECEIVER_BUDGET;
+        let with = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
+        let without = Partitioner::new(budget)
+            .without_static_promotion()
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap();
+        assert!(with.metrics.total_frames <= without.metrics.total_frames);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_design() {
+        let d = corpus::abc_example();
+        let budget = abc_budget();
+        let greedy = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
+        let exact = Partitioner::new(budget)
+            .with_strategy(SearchStrategy::Exhaustive {
+                max_partitions: 10,
+                max_candidate_sets: 3,
+            })
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap();
+        // The oracle can only be better or equal.
+        assert!(exact.metrics.total_frames <= greedy.metrics.total_frames);
+        // And greedy should be within a small factor on this toy design.
+        assert!(greedy.metrics.total_frames <= exact.metrics.total_frames.max(1) * 3);
+    }
+
+    #[test]
+    fn beam_is_no_worse_than_plain_greedy_descent() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let budget = corpus::VIDEO_RECEIVER_BUDGET;
+        let narrow = Partitioner::new(budget)
+            .with_strategy(SearchStrategy::GreedyRestarts {
+                max_candidate_sets: 1,
+                max_first_moves: 1,
+            })
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap();
+        let beam = Partitioner::new(budget)
+            .with_strategy(SearchStrategy::Beam { width: 8, max_candidate_sets: 1 })
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap();
+        assert!(beam.metrics.total_frames <= narrow.metrics.total_frames);
+    }
+
+    #[test]
+    fn worst_case_objective_reduces_worst_frames() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let budget = corpus::VIDEO_RECEIVER_BUDGET;
+        let by_total = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
+        let by_worst = Partitioner::new(budget)
+            .with_objective(Objective::WorstCase)
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap();
+        by_worst.scheme.validate(&d).unwrap();
+        assert!(
+            by_worst.metrics.worst_frames <= by_total.metrics.worst_frames,
+            "worst-case search {} vs total-time search {}",
+            by_worst.metrics.worst_frames,
+            by_total.metrics.worst_frames
+        );
+        // The trade-off is real: the worst-case optimum may pay more
+        // total time, but never more worst case.
+    }
+
+    #[test]
+    fn worst_case_objective_on_degenerate_design_is_zero() {
+        use prpart_design::DesignBuilder;
+        let d = DesignBuilder::new("mono")
+            .module("A", [("a", Resources::new(50, 0, 0))])
+            .module("B", [("b", Resources::new(60, 0, 0))])
+            .configuration("only", [("A", "a"), ("B", "b")])
+            .build()
+            .unwrap();
+        let best = Partitioner::new(Resources::new(300, 8, 8))
+            .with_objective(Objective::WorstCase)
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap();
+        assert_eq!(best.metrics.worst_frames, 0);
+    }
+
+    #[test]
+    fn repartition_on_identical_design_is_no_worse() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let budget = corpus::VIDEO_RECEIVER_BUDGET;
+        let p = Partitioner::new(budget);
+        let fresh = p.partition(&d).unwrap().best.unwrap();
+        let again = p.repartition(&d, &d, &fresh.scheme).unwrap().best.unwrap();
+        assert!(again.metrics.total_frames <= fresh.metrics.total_frames);
+        again.scheme.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn repartition_survives_design_edits() {
+        use prpart_design::DesignBuilder;
+        // Original: the case study. Edited: the Video module loses JPEG
+        // and gains a new AV1 mode; one configuration changes.
+        let original = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let budget = corpus::VIDEO_RECEIVER_BUDGET;
+        let previous = Partitioner::new(budget)
+            .partition(&original)
+            .unwrap()
+            .best
+            .unwrap()
+            .scheme;
+
+        let mut b = DesignBuilder::new("video-edited");
+        for m in original.modules() {
+            let modes: Vec<(&str, prpart_arch::Resources)> = m
+                .modes
+                .iter()
+                .filter(|k| k.name != "JPEG")
+                .map(|k| (k.name.as_str(), k.resources))
+                .collect();
+            if m.name == "Video" {
+                let mut modes = modes;
+                modes.push(("AV1", prpart_arch::Resources::new(3500, 24, 40)));
+                b = b.module(&m.name, modes);
+            } else {
+                b = b.module(&m.name, modes);
+            }
+        }
+        for (ci, conf) in original.configurations().iter().enumerate() {
+            let picks: Vec<(String, String)> = conf
+                .selection
+                .iter()
+                .enumerate()
+                .filter_map(|(mi, sel)| {
+                    sel.map(|ki| {
+                        let module = &original.modules()[mi];
+                        let mode = &module.modes[ki as usize].name;
+                        let mode = if mode == "JPEG" { "AV1" } else { mode };
+                        (module.name.clone(), mode.to_string())
+                    })
+                })
+                .collect();
+            let refs: Vec<(&str, &str)> =
+                picks.iter().map(|(a, c)| (a.as_str(), c.as_str())).collect();
+            b = b.configuration(&format!("c{ci}"), refs);
+        }
+        let edited = b.build().unwrap();
+
+        let p = Partitioner::new(budget);
+        let re = p.repartition(&edited, &original, &previous).unwrap().best.unwrap();
+        re.scheme.validate(&edited).unwrap();
+        // And never worse than partitioning from scratch (the fresh
+        // pipeline also runs inside repartition).
+        let fresh = p.partition(&edited).unwrap().best.unwrap();
+        assert!(re.metrics.total_frames <= fresh.metrics.total_frames);
+    }
+
+    #[test]
+    fn annealing_finds_feasible_schemes() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let budget = corpus::VIDEO_RECEIVER_BUDGET;
+        let sa = Partitioner::new(budget)
+            .with_strategy(SearchStrategy::Annealing {
+                iterations: 4000,
+                seed: 7,
+                max_candidate_sets: 2,
+            })
+            .partition(&d)
+            .unwrap();
+        let best = sa.best.expect("annealing finds a feasible scheme");
+        best.scheme.validate(&d).unwrap();
+        // Within 25% of the greedy result (it is a comparator, not the
+        // production strategy).
+        let greedy = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
+        assert!(
+            best.metrics.total_frames <= greedy.metrics.total_frames * 5 / 4,
+            "annealing {} vs greedy {}",
+            best.metrics.total_frames,
+            greedy.metrics.total_frames
+        );
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let d = corpus::abc_example();
+        let budget = abc_budget();
+        let run = |seed| {
+            Partitioner::new(budget)
+                .with_strategy(SearchStrategy::Annealing {
+                    iterations: 1500,
+                    seed,
+                    max_candidate_sets: 1,
+                })
+                .partition(&d)
+                .unwrap()
+                .best
+                .map(|b| b.metrics.total_frames)
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn outcome_schemes_always_validate() {
+        for set in [corpus::VideoConfigSet::Original, corpus::VideoConfigSet::Modified] {
+            let d = corpus::video_receiver(set);
+            let out = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap();
+            if let Some(best) = out.best {
+                best.scheme.validate(&d).unwrap();
+                assert!(best.metrics.fits);
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated_and_contains_best() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let out = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap();
+        let best = out.best.unwrap();
+        let front = &out.pareto_front;
+        assert!(!front.is_empty());
+        // Sorted by ascending time; the head is the best scheme.
+        assert_eq!(front[0].metrics.total_frames, best.metrics.total_frames);
+        for w in front.windows(2) {
+            assert!(w[0].metrics.total_frames <= w[1].metrics.total_frames);
+            // Later points pay more time, so they must save area.
+            assert!(
+                w[1].metrics.resources.total_primitives()
+                    < w[0].metrics.resources.total_primitives()
+                    || w[1].metrics.total_frames == w[0].metrics.total_frames
+            );
+        }
+        // No point dominates another.
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    let dom = a.metrics.total_frames <= b.metrics.total_frames
+                        && a.metrics.resources.total_primitives()
+                            <= b.metrics.resources.total_primitives()
+                        && (a.metrics.total_frames < b.metrics.total_frames
+                            || a.metrics.resources.total_primitives()
+                                < b.metrics.resources.total_primitives());
+                    assert!(!dom, "front point {i} dominates {j}");
+                }
+            }
+        }
+        for p in front {
+            p.scheme.validate(&d).unwrap();
+        }
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted_search() {
+        // With all-ones weights the weighted objective is exactly Eq. 10,
+        // so the search must find a scheme of the same total cost.
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let budget = corpus::VIDEO_RECEIVER_BUDGET;
+        let plain = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
+        let weighted = Partitioner::new(budget)
+            .with_transition_weights(crate::weights::TransitionWeights::uniform(
+                d.num_configurations(),
+            ))
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap();
+        assert_eq!(plain.metrics.total_frames, weighted.metrics.total_frames);
+    }
+
+    #[test]
+    fn skewed_weights_change_the_objective() {
+        // Weight one transition overwhelmingly: the weighted-optimal
+        // scheme must make that transition at least as cheap as the
+        // unweighted optimum does.
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let budget = corpus::VIDEO_RECEIVER_BUDGET;
+        let n = d.num_configurations();
+        let mut w = crate::weights::TransitionWeights::zero(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                w.set(i, j, 0.01);
+            }
+        }
+        // The expensive hop in the case study: c1 (V1) -> c3 (V3).
+        w.set(0, 2, 1000.0);
+        let plain = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
+        let weighted = Partitioner::new(budget)
+            .with_transition_weights(w.clone())
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap();
+        let sem = TransitionSemantics::Optimistic;
+        let plain_obj = plain.scheme.weighted_total(&w, sem);
+        let weighted_obj = weighted.scheme.weighted_total(&w, sem);
+        assert!(
+            weighted_obj <= plain_obj + 1e-9,
+            "weighted search ({weighted_obj}) must not lose to plain ({plain_obj}) on its own objective"
+        );
+    }
+
+    #[test]
+    fn wrong_weight_dimension_is_rejected() {
+        let d = corpus::abc_example();
+        let err = Partitioner::new(abc_budget())
+            .with_transition_weights(crate::weights::TransitionWeights::uniform(3))
+            .partition(&d)
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::WeightsDimension { expected: 5, got: 3 }));
+    }
+
+    #[test]
+    fn special_case_design_partitions() {
+        let d = corpus::special_case_single_mode();
+        // Budget that cannot hold every module in its own region
+        // (~2050 CLBs) but admits cross-configuration sharing (~1350).
+        let budget = Resources::new(1400, 16, 24);
+        let out = Partitioner::new(budget).partition(&d).unwrap();
+        let best = out.best.expect("feasible");
+        best.scheme.validate(&d).unwrap();
+        assert!(best.metrics.resources.fits_in(&budget));
+    }
+}

@@ -1,0 +1,186 @@
+//! Transition-probability weighting — the paper's future-work extension.
+//!
+//! "Total reconfiguration time is measured as the sum of all possible
+//! configuration transitions ... If some statistical information about
+//! the probabilities of different configurations occurring is known, this
+//! could be factored into the measure" (§IV-C), and the conclusion calls
+//! for exploiting "knowledge of the specific transition probabilities".
+//!
+//! [`TransitionWeights`] is a symmetric non-negative weight over unordered
+//! configuration pairs. With uniform weights the weighted objective equals
+//! the paper's Eq. 10 total; with profiled weights (see
+//! `prpart_runtime::profiling`) the search optimises expected
+//! reconfiguration cost under the observed workload.
+
+use std::fmt;
+
+/// Symmetric non-negative weights over unordered configuration pairs.
+///
+/// ```
+/// use prpart_core::{Partitioner, TransitionWeights};
+/// use prpart_design::corpus;
+///
+/// let design = corpus::video_receiver(corpus::VideoConfigSet::Original);
+/// let mut weights = TransitionWeights::uniform(design.num_configurations());
+/// weights.set(0, 3, 30.0); // the system mostly hops c1 <-> c4
+/// let best = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+///     .with_transition_weights(weights)
+///     .partition(&design)
+///     .unwrap()
+///     .best
+///     .unwrap();
+/// assert!(best.metrics.fits);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionWeights {
+    n: usize,
+    /// Full n×n storage (symmetric, zero diagonal).
+    w: Vec<f64>,
+}
+
+impl TransitionWeights {
+    /// All-ones weights over `n` configurations: the paper's unweighted
+    /// total.
+    pub fn uniform(n: usize) -> Self {
+        let mut t = TransitionWeights { n, w: vec![1.0; n * n] };
+        for i in 0..n {
+            t.w[i * n + i] = 0.0;
+        }
+        t
+    }
+
+    /// All-zero weights (build up with [`TransitionWeights::set`]).
+    pub fn zero(n: usize) -> Self {
+        TransitionWeights { n, w: vec![0.0; n * n] }
+    }
+
+    /// Number of configurations.
+    pub fn num_configurations(&self) -> usize {
+        self.n
+    }
+
+    /// Sets the weight of the unordered pair `{i, j}`.
+    ///
+    /// # Panics
+    /// Panics on the diagonal, out-of-range indices, or negative /
+    /// non-finite weights.
+    pub fn set(&mut self, i: usize, j: usize, weight: f64) {
+        assert_ne!(i, j, "diagonal weights are meaningless");
+        assert!(i < self.n && j < self.n, "pair ({i},{j}) out of range");
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and >= 0");
+        self.w[i * self.n + j] = weight;
+        self.w[j * self.n + i] = weight;
+    }
+
+    /// The weight of the unordered pair `{i, j}` (zero on the diagonal).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.w[i * self.n + j]
+    }
+
+    /// Builds weights from observed (possibly directed) transition counts:
+    /// `counts[i][j]` transitions i → j are symmetrised by addition.
+    pub fn from_observed_counts(counts: &[Vec<u64>]) -> Self {
+        let n = counts.len();
+        let mut t = TransitionWeights::zero(n);
+        for (i, row) in counts.iter().enumerate() {
+            assert_eq!(row.len(), n, "count matrix must be square");
+            for (j, &c) in row.iter().enumerate() {
+                if i != j && c > 0 {
+                    let prev = t.get(i, j);
+                    t.set(i, j, prev + c as f64);
+                }
+            }
+        }
+        t
+    }
+
+    /// Scales the weights so they sum to the number of unordered pairs —
+    /// making weighted totals magnitude-comparable with the unweighted
+    /// Eq. 10 total. No-op for all-zero weights.
+    pub fn normalised(&self) -> Self {
+        let total: f64 = (0..self.n)
+            .flat_map(|i| (i + 1..self.n).map(move |j| (i, j)))
+            .map(|(i, j)| self.get(i, j))
+            .sum();
+        if total <= 0.0 {
+            return self.clone();
+        }
+        let pairs = (self.n * self.n.saturating_sub(1) / 2) as f64;
+        let scale = pairs / total;
+        let mut out = self.clone();
+        for v in &mut out.w {
+            *v *= scale;
+        }
+        out
+    }
+
+    /// Total weight over unordered pairs.
+    pub fn total_mass(&self) -> f64 {
+        (0..self.n)
+            .flat_map(|i| (i + 1..self.n).map(move |j| (i, j)))
+            .map(|(i, j)| self.get(i, j))
+            .sum()
+    }
+}
+
+impl fmt::Display for TransitionWeights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TransitionWeights({} configs, mass {:.2})", self.n, self.total_mass())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_unit_pairs_and_zero_diagonal() {
+        let w = TransitionWeights::uniform(4);
+        assert_eq!(w.get(0, 1), 1.0);
+        assert_eq!(w.get(2, 2), 0.0);
+        assert_eq!(w.total_mass(), 6.0);
+    }
+
+    #[test]
+    fn set_is_symmetric() {
+        let mut w = TransitionWeights::zero(3);
+        w.set(0, 2, 5.0);
+        assert_eq!(w.get(2, 0), 5.0);
+        assert_eq!(w.get(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_set_panics() {
+        TransitionWeights::zero(3).set(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weight_panics() {
+        TransitionWeights::zero(3).set(0, 1, -1.0);
+    }
+
+    #[test]
+    fn observed_counts_symmetrise() {
+        // 0→1 seen 3 times, 1→0 once, 1→2 twice.
+        let counts = vec![vec![0, 3, 0], vec![1, 0, 2], vec![0, 0, 0]];
+        let w = TransitionWeights::from_observed_counts(&counts);
+        assert_eq!(w.get(0, 1), 4.0);
+        assert_eq!(w.get(1, 2), 2.0);
+        assert_eq!(w.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn normalisation_preserves_ratios_and_fixes_mass() {
+        let mut w = TransitionWeights::zero(3);
+        w.set(0, 1, 2.0);
+        w.set(1, 2, 6.0);
+        let n = w.normalised();
+        assert!((n.total_mass() - 3.0).abs() < 1e-12, "3 unordered pairs");
+        assert!((n.get(1, 2) / n.get(0, 1) - 3.0).abs() < 1e-12);
+        // Zero weights: normalising is a no-op, not a NaN factory.
+        let z = TransitionWeights::zero(3).normalised();
+        assert_eq!(z.total_mass(), 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Fluent construction and validation of [`Design`]s.
+
+use crate::design::{Configuration, Design, Mode, Module};
+use crate::error::DesignError;
+use prpart_arch::Resources;
+use std::collections::{BTreeMap, HashSet};
+
+/// Builds a [`Design`], enforcing the structural invariants the rest of
+/// the pipeline relies on: unique module/mode/configuration names, coherent
+/// mode selections, at most one mode per module per configuration, and no
+/// two configurations with identical mode sets.
+///
+/// ```
+/// use prpart_arch::Resources;
+/// use prpart_design::DesignBuilder;
+///
+/// let design = DesignBuilder::new("example")
+///     .static_overhead(Resources::new(90, 8, 0))
+///     .module("Filter", [("low", Resources::new(100, 0, 4)), ("high", Resources::new(150, 0, 8))])
+///     .module("Codec", [("fast", Resources::new(300, 2, 0)), ("robust", Resources::new(500, 6, 0))])
+///     .configuration("idle", [("Filter", "low"), ("Codec", "fast")])
+///     .configuration("storm", [("Filter", "high"), ("Codec", "robust")])
+///     .build()
+///     .unwrap();
+/// assert_eq!(design.num_modes(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DesignBuilder {
+    name: String,
+    static_overhead: Resources,
+    modules: Vec<Module>,
+    configurations: Vec<(String, Vec<(String, String)>)>,
+}
+
+impl DesignBuilder {
+    /// Starts a design with the given name.
+    pub fn new(name: &str) -> Self {
+        DesignBuilder { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Sets the static-region resource overhead.
+    pub fn static_overhead(mut self, overhead: Resources) -> Self {
+        self.static_overhead = overhead;
+        self
+    }
+
+    /// Adds a module with its modes as `(name, resources)` pairs.
+    pub fn module<'a>(
+        mut self,
+        name: &str,
+        modes: impl IntoIterator<Item = (&'a str, Resources)>,
+    ) -> Self {
+        self.modules.push(Module {
+            name: name.to_string(),
+            modes: modes
+                .into_iter()
+                .map(|(n, r)| Mode { name: n.to_string(), resources: r })
+                .collect(),
+        });
+        self
+    }
+
+    /// Adds a configuration as `(module, mode)` name pairs; unmentioned
+    /// modules are absent (the paper's mode 0).
+    pub fn configuration<'a>(
+        mut self,
+        name: &str,
+        selection: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Self {
+        self.configurations.push((
+            name.to_string(),
+            selection
+                .into_iter()
+                .map(|(m, k)| (m.to_string(), k.to_string()))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Validates and builds the design.
+    pub fn build(self) -> Result<Design, DesignError> {
+        if self.modules.is_empty() {
+            return Err(DesignError::NoModules);
+        }
+        if self.configurations.is_empty() {
+            return Err(DesignError::NoConfigurations);
+        }
+        // Module and mode name uniqueness.
+        let mut module_names = HashSet::new();
+        for m in &self.modules {
+            if !module_names.insert(m.name.clone()) {
+                return Err(DesignError::DuplicateModule(m.name.clone()));
+            }
+            if m.modes.is_empty() {
+                return Err(DesignError::EmptyModule(m.name.clone()));
+            }
+            let mut mode_names = HashSet::new();
+            for k in &m.modes {
+                if !mode_names.insert(k.name.clone()) {
+                    return Err(DesignError::DuplicateMode {
+                        module: m.name.clone(),
+                        mode: k.name.clone(),
+                    });
+                }
+            }
+        }
+        // Resolve configurations.
+        let module_index: BTreeMap<&str, usize> = self
+            .modules
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.as_str(), i))
+            .collect();
+        let mut config_names = HashSet::new();
+        let mut resolved: Vec<Configuration> = Vec::with_capacity(self.configurations.len());
+        for (cname, picks) in &self.configurations {
+            if !config_names.insert(cname.clone()) {
+                return Err(DesignError::DuplicateConfiguration(cname.clone()));
+            }
+            let mut selection: Vec<Option<u32>> = vec![None; self.modules.len()];
+            for (mname, kname) in picks {
+                let &mi = module_index.get(mname.as_str()).ok_or_else(|| {
+                    DesignError::UnknownModule {
+                        configuration: cname.clone(),
+                        module: mname.clone(),
+                    }
+                })?;
+                let ki = self.modules[mi].mode_index(kname).ok_or_else(|| {
+                    DesignError::UnknownMode {
+                        configuration: cname.clone(),
+                        module: mname.clone(),
+                        mode: kname.clone(),
+                    }
+                })?;
+                if selection[mi].is_some() {
+                    return Err(DesignError::ConflictingSelection {
+                        configuration: cname.clone(),
+                        module: mname.clone(),
+                    });
+                }
+                selection[mi] = Some(ki);
+            }
+            if selection.iter().all(|s| s.is_none()) {
+                return Err(DesignError::EmptyConfiguration(cname.clone()));
+            }
+            resolved.push(Configuration { name: cname.clone(), selection });
+        }
+        // Reject identical mode sets (they would double-count transitions).
+        for i in 0..resolved.len() {
+            for j in i + 1..resolved.len() {
+                if resolved[i].selection == resolved[j].selection {
+                    return Err(DesignError::IdenticalConfigurations {
+                        first: resolved[i].name.clone(),
+                        second: resolved[j].name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Design::from_parts(self.name, self.static_overhead, self.modules, resolved))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DesignBuilder {
+        DesignBuilder::new("t")
+            .module("A", [("a1", Resources::clbs(10)), ("a2", Resources::clbs(20))])
+            .module("B", [("b1", Resources::clbs(30))])
+    }
+
+    #[test]
+    fn happy_path() {
+        let d = base()
+            .configuration("c1", [("A", "a1"), ("B", "b1")])
+            .configuration("c2", [("A", "a2")])
+            .build()
+            .unwrap();
+        assert_eq!(d.num_modes(), 3);
+        assert_eq!(d.num_configurations(), 2);
+        assert_eq!(d.configurations()[1].selection, vec![Some(1), None]);
+    }
+
+    #[test]
+    fn rejects_empty_designs() {
+        assert_eq!(DesignBuilder::new("t").build().unwrap_err(), DesignError::NoModules);
+        let e = DesignBuilder::new("t")
+            .module("A", [("a1", Resources::ZERO)])
+            .build()
+            .unwrap_err();
+        assert_eq!(e, DesignError::NoConfigurations);
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let e = base()
+            .module("A", [("x", Resources::ZERO)])
+            .configuration("c", [("A", "a1")])
+            .build()
+            .unwrap_err();
+        assert_eq!(e, DesignError::DuplicateModule("A".into()));
+
+        let e = DesignBuilder::new("t")
+            .module("A", [("a1", Resources::ZERO), ("a1", Resources::ZERO)])
+            .configuration("c", [("A", "a1")])
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, DesignError::DuplicateMode { .. }));
+
+        let e = base()
+            .configuration("c", [("A", "a1")])
+            .configuration("c", [("A", "a2")])
+            .build()
+            .unwrap_err();
+        assert_eq!(e, DesignError::DuplicateConfiguration("c".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_references() {
+        let e = base().configuration("c", [("Z", "a1")]).build().unwrap_err();
+        assert!(matches!(e, DesignError::UnknownModule { .. }));
+        let e = base().configuration("c", [("A", "zz")]).build().unwrap_err();
+        assert!(matches!(e, DesignError::UnknownMode { .. }));
+    }
+
+    #[test]
+    fn rejects_conflicting_and_empty_selections() {
+        let e = base()
+            .configuration("c", [("A", "a1"), ("A", "a2")])
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, DesignError::ConflictingSelection { .. }));
+        let e = base().configuration("c", []).build().unwrap_err();
+        assert_eq!(e, DesignError::EmptyConfiguration("c".into()));
+    }
+
+    #[test]
+    fn rejects_identical_configurations() {
+        let e = base()
+            .configuration("c1", [("A", "a1"), ("B", "b1")])
+            .configuration("c2", [("B", "b1"), ("A", "a1")])
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, DesignError::IdenticalConfigurations { .. }));
+    }
+
+    #[test]
+    fn empty_module_rejected() {
+        let e = DesignBuilder::new("t")
+            .module("A", [])
+            .configuration("c", [("A", "x")])
+            .build()
+            .unwrap_err();
+        assert_eq!(e, DesignError::EmptyModule("A".into()));
+    }
+
+    #[test]
+    fn large_designs_build_quickly_and_index_correctly() {
+        // 40 modules x 4 modes: far beyond the paper's 6x4, the kind of
+        // system a downstream user might throw at the library.
+        let mut b = DesignBuilder::new("big");
+        let mode_names = ["m0", "m1", "m2", "m3"];
+        for mi in 0..40 {
+            let modes: Vec<(&str, Resources)> = mode_names
+                .iter()
+                .enumerate()
+                .map(|(ki, n)| (*n, Resources::clbs((mi * 4 + ki
+                    ) as u32 + 1)))
+                .collect();
+            b = b.module(&format!("M{mi}"), modes);
+        }
+        for ci in 0..4 {
+            let picks: Vec<(String, String)> = (0..40)
+                .map(|mi| (format!("M{mi}"), format!("m{}", (mi + ci) % 4)))
+                .collect();
+            let refs: Vec<(&str, &str)> =
+                picks.iter().map(|(a, c)| (a.as_str(), c.as_str())).collect();
+            b = b.configuration(&format!("c{ci}"), refs);
+        }
+        let d = b.build().unwrap();
+        assert_eq!(d.num_modes(), 160);
+        assert_eq!(d.num_configurations(), 4);
+        // Global ids round-trip across the whole space.
+        for mi in 0..40 {
+            for ki in 0..4 {
+                let g = d.mode_id(&format!("M{mi}"), &format!("m{ki}")).unwrap();
+                assert_eq!(d.module_of(g).idx(), mi);
+            }
+        }
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = base().configuration("c", [("A", "zz")]).build().unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains('c') && msg.contains("A.zz"), "{msg}");
+    }
+}

@@ -1,0 +1,308 @@
+//! The paper's worked examples as ready-made designs.
+//!
+//! * [`abc_example`] — the three-module A/B/C design of §III used to walk
+//!   through the connectivity matrix, weights and Table I.
+//! * [`video_receiver`] — the wireless video receiver case study of §V
+//!   (Table II resources), with the original eight configurations or the
+//!   modified five (Tables III–V).
+//! * [`special_case_single_mode`] — the §IV-D example from the paper's
+//!   reference \[7\]: five single-mode modules with two disjoint
+//!   configurations, exercising the "mode 0" absence convention.
+
+use crate::builder::DesignBuilder;
+use crate::design::Design;
+use prpart_arch::Resources;
+
+/// The §III example: modules A (3 modes), B (2 modes), C (3 modes) and the
+/// five valid configurations
+/// `A3B2C3, A1B1C1, A3B2C1, A1B2C2, A2B2C3`.
+///
+/// The paper assigns no resource numbers to this design (it is used for
+/// the weight and clustering walk-through); we give each mode small
+/// distinct requirements so area-sensitive code paths are still exercised.
+pub fn abc_example() -> Design {
+    DesignBuilder::new("abc-example")
+        .static_overhead(Resources::new(90, 8, 0))
+        .module(
+            "A",
+            [
+                ("A1", Resources::new(100, 0, 0)),
+                ("A2", Resources::new(300, 2, 0)),
+                ("A3", Resources::new(150, 0, 4)),
+            ],
+        )
+        .module(
+            "B",
+            [("B1", Resources::new(400, 4, 8)), ("B2", Resources::new(120, 0, 0))],
+        )
+        .module(
+            "C",
+            [
+                ("C1", Resources::new(200, 1, 0)),
+                ("C2", Resources::new(80, 0, 2)),
+                ("C3", Resources::new(250, 2, 4)),
+            ],
+        )
+        .configuration("conf1", [("A", "A3"), ("B", "B2"), ("C", "C3")])
+        .configuration("conf2", [("A", "A1"), ("B", "B1"), ("C", "C1")])
+        .configuration("conf3", [("A", "A3"), ("B", "B2"), ("C", "C1")])
+        .configuration("conf4", [("A", "A1"), ("B", "B2"), ("C", "C2")])
+        .configuration("conf5", [("A", "A2"), ("B", "B2"), ("C", "C3")])
+        .build()
+        .expect("abc example is well-formed")
+}
+
+/// Which configuration set of the case study to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VideoConfigSet {
+    /// The original eight configurations (Tables III/IV).
+    Original,
+    /// The modified five configurations (Table V).
+    Modified,
+}
+
+/// The reconfigurable-resource budget for the case study on the Virtex-5
+/// FX70T. The paper quotes 6800 CLBs, 50 BRAMs and 150 DSP slices, but its
+/// 50-BRAM figure is inconsistent with its own modular scheme under honest
+/// tile quantisation: Table II's per-module maxima quantise to 60 BRAMs
+/// (4-per-tile), while the paper's Table IV reports 48. We raise the BRAM
+/// budget to 64 so all three Table IV schemes remain mutually comparable;
+/// the comparison's shape (who fits, who wins on time) is unaffected. See
+/// EXPERIMENTS.md (E5).
+pub const VIDEO_RECEIVER_BUDGET: Resources = Resources::new(6800, 64, 150);
+
+/// The wireless video receiver case study (§V, Table II): five
+/// reconfigurable modules — matched filter (F), timing recovery (R),
+/// demodulator (M), channel decoder (D) and video decoder (V).
+pub fn video_receiver(configs: VideoConfigSet) -> Design {
+    let b = DesignBuilder::new(match configs {
+        VideoConfigSet::Original => "video-receiver",
+        VideoConfigSet::Modified => "video-receiver-modified",
+    })
+    // The case-study budget already excludes static logic, so the design
+    // carries no extra static overhead.
+    .module(
+        "MatchedFilter",
+        [
+            ("Filter1", Resources::new(818, 0, 28)),
+            ("Filter2", Resources::new(500, 0, 34)),
+        ],
+    )
+    .module(
+        "Recovery",
+        [
+            ("Fine", Resources::new(318, 1, 13)),
+            ("Coarse1", Resources::new(195, 1, 5)),
+            ("Coarse2", Resources::new(123, 0, 8)),
+            ("None", Resources::new(0, 0, 0)),
+        ],
+    )
+    .module(
+        "Demodulator",
+        [("BPSK", Resources::new(50, 0, 2)), ("QPSK", Resources::new(97, 0, 4))],
+    )
+    .module(
+        "Decoder",
+        [
+            ("Viterbi", Resources::new(630, 2, 0)),
+            ("Turbo", Resources::new(748, 15, 4)),
+            ("DPC", Resources::new(234, 2, 0)),
+        ],
+    )
+    .module(
+        "Video",
+        [
+            ("MPEG4", Resources::new(4700, 40, 65)),
+            ("MPEG2", Resources::new(4558, 16, 32)),
+            ("JPEG", Resources::new(2780, 6, 9)),
+        ],
+    );
+
+    // Shorthand: (F, R, M, D, V) mode indices as in the paper's notation
+    // F1/F2, R1..R4, M1/M2, D1..D3, V1..V3.
+    let f = ["Filter1", "Filter2"];
+    let r = ["Fine", "Coarse1", "Coarse2", "None"];
+    let m = ["BPSK", "QPSK"];
+    let d = ["Viterbi", "Turbo", "DPC"];
+    let v = ["MPEG4", "MPEG2", "JPEG"];
+    let conf = |b: DesignBuilder, name: &str, fi: usize, ri: usize, mi: usize, di: usize, vi: usize| {
+        b.configuration(
+            name,
+            [
+                ("MatchedFilter", f[fi - 1]),
+                ("Recovery", r[ri - 1]),
+                ("Demodulator", m[mi - 1]),
+                ("Decoder", d[di - 1]),
+                ("Video", v[vi - 1]),
+            ],
+        )
+    };
+
+    let b = match configs {
+        VideoConfigSet::Original => {
+            // S → F1 R3 M1 D1 V1 ... (§V, first list of eight).
+            let b = conf(b, "c1", 1, 3, 1, 1, 1);
+            let b = conf(b, "c2", 1, 3, 1, 1, 2);
+            let b = conf(b, "c3", 1, 3, 1, 1, 3);
+            let b = conf(b, "c4", 2, 1, 2, 3, 1);
+            let b = conf(b, "c5", 2, 2, 1, 1, 1);
+            let b = conf(b, "c6", 2, 2, 1, 1, 2);
+            let b = conf(b, "c7", 2, 2, 1, 1, 3);
+            conf(b, "c8", 1, 2, 1, 2, 2)
+        }
+        VideoConfigSet::Modified => {
+            // §V, second list of five.
+            let b = conf(b, "c1", 1, 3, 1, 1, 1);
+            let b = conf(b, "c2", 1, 2, 1, 1, 3);
+            let b = conf(b, "c3", 2, 3, 1, 1, 3);
+            let b = conf(b, "c4", 1, 1, 2, 3, 1);
+            conf(b, "c5", 2, 1, 2, 3, 2)
+        }
+    };
+    b.build().expect("video receiver corpus is well-formed")
+}
+
+/// The §IV-D special case (from the paper's reference \[7\]): five one-off
+/// single-mode modules — CAN controller (C), FIR filter (F), Ethernet
+/// controller (E), floating-point unit (P) and CRC (R) — with two
+/// configurations `C→F` and `E→P→R`. Absent modules take "mode 0", i.e.
+/// they are simply unselected.
+///
+/// The paper gives no resource numbers; ours are plausible synthesis
+/// results for such IP on Virtex-5.
+pub fn special_case_single_mode() -> Design {
+    DesignBuilder::new("special-case")
+        .static_overhead(Resources::new(90, 8, 0))
+        .module("CAN", [("C1", Resources::new(300, 2, 0))])
+        .module("FIR", [("F1", Resources::new(400, 0, 16))])
+        .module("Ethernet", [("E1", Resources::new(500, 4, 0))])
+        .module("FPU", [("P1", Resources::new(600, 2, 8))])
+        .module("CRC", [("R1", Resources::new(150, 0, 0))])
+        .configuration("c1", [("CAN", "C1"), ("FIR", "F1")])
+        .configuration("c2", [("Ethernet", "E1"), ("FPU", "P1"), ("CRC", "R1")])
+        .build()
+        .expect("special case corpus is well-formed")
+}
+
+/// A cognitive radio front end — the paper's §I motivating scenario:
+/// "a cognitive radio can switch between sensing and transmission modes
+/// autonomously, without the need for both circuits to be on the FPGA at
+/// the same time". Sensing, transmit and receive chains are mutually
+/// exclusive; the FEC engine is shared by the communication modes and
+/// absent while sensing.
+///
+/// Resource figures are plausible Virtex-5 synthesis results for such
+/// blocks.
+pub fn cognitive_radio() -> Design {
+    DesignBuilder::new("cognitive-radio")
+        .static_overhead(Resources::new(90, 8, 0))
+        .module(
+            "Sensing",
+            [
+                ("EnergyDetect", Resources::new(900, 4, 24)),
+                ("Cyclostationary", Resources::new(2400, 18, 96)),
+            ],
+        )
+        .module(
+            "Tx",
+            [
+                ("QpskTx", Resources::new(1200, 6, 32)),
+                ("OfdmTx", Resources::new(2600, 22, 88)),
+            ],
+        )
+        .module(
+            "Rx",
+            [
+                ("QpskRx", Resources::new(1500, 8, 40)),
+                ("OfdmRx", Resources::new(3100, 26, 104)),
+            ],
+        )
+        .module(
+            "Fec",
+            [
+                ("Conv", Resources::new(700, 2, 0)),
+                ("Ldpc", Resources::new(1900, 24, 8)),
+            ],
+        )
+        // Sensing configurations: the communication chain is absent.
+        .configuration("sense-fast", [("Sensing", "EnergyDetect")])
+        .configuration("sense-deep", [("Sensing", "Cyclostationary")])
+        // Narrowband link.
+        .configuration("tx-qpsk", [("Tx", "QpskTx"), ("Fec", "Conv")])
+        .configuration("rx-qpsk", [("Rx", "QpskRx"), ("Fec", "Conv")])
+        // Wideband link.
+        .configuration("tx-ofdm", [("Tx", "OfdmTx"), ("Fec", "Ldpc")])
+        .configuration("rx-ofdm", [("Rx", "OfdmRx"), ("Fec", "Ldpc")])
+        .build()
+        .expect("cognitive radio corpus is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_receiver_table2_totals() {
+        // Summing every mode in Table II gives the fully static area the
+        // paper quotes as exceeding the device (≈15k logic cells).
+        let d = video_receiver(VideoConfigSet::Original);
+        let total = d.all_modes_resources();
+        assert_eq!(total, Resources::new(15751, 83, 204));
+        assert!(!total.fits_in(&VIDEO_RECEIVER_BUDGET));
+    }
+
+    #[test]
+    fn video_receiver_configs() {
+        let d = video_receiver(VideoConfigSet::Original);
+        assert_eq!(d.num_configurations(), 8);
+        assert_eq!(d.num_modes(), 14);
+        let d = video_receiver(VideoConfigSet::Modified);
+        assert_eq!(d.num_configurations(), 5);
+    }
+
+    #[test]
+    fn single_region_minimum_fits_budget() {
+        // The paper implements the design on the FX70T: the largest
+        // configuration must fit the reconfigurable budget.
+        for set in [VideoConfigSet::Original, VideoConfigSet::Modified] {
+            let d = video_receiver(set);
+            let min = d.single_region_min_resources();
+            assert!(
+                min.fits_in(&VIDEO_RECEIVER_BUDGET),
+                "{set:?}: {min} exceeds {VIDEO_RECEIVER_BUDGET}"
+            );
+        }
+    }
+
+    #[test]
+    fn special_case_modules_are_single_mode() {
+        let d = special_case_single_mode();
+        assert!(d.modules().iter().all(|m| m.modes.len() == 1));
+        assert_eq!(d.num_modes(), 5);
+    }
+
+    #[test]
+    fn cognitive_radio_structure() {
+        let d = cognitive_radio();
+        assert_eq!(d.num_configurations(), 6);
+        assert_eq!(d.num_modes(), 8);
+        // Sensing configurations carry exactly one module.
+        assert_eq!(d.configurations()[0].num_present(), 1);
+        // Sensing and Tx never co-occur: their single-region sharing is
+        // what the paper's §I example is about.
+        let m = crate::ConnectivityMatrix::from_design(&d);
+        let sense = d.mode_id("Sensing", "Cyclostationary").unwrap();
+        let tx = d.mode_id("Tx", "OfdmTx").unwrap();
+        assert_eq!(m.edge_weight(sense, tx), 0);
+    }
+
+    #[test]
+    fn abc_unused_modes_none() {
+        // Every mode of the abc example appears in some configuration.
+        let d = abc_example();
+        assert!(d
+            .validate()
+            .iter()
+            .all(|i| !matches!(i, crate::ValidationIssue::UnusedMode { .. })));
+    }
+}

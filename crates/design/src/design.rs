@@ -1,0 +1,374 @@
+//! Core design types: modules, modes, configurations, and the [`Design`]
+//! aggregate with its derived mode indexing.
+
+use crate::error::ValidationIssue;
+use prpart_arch::Resources;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a module by its position in [`Design::modules`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModuleId(pub u32);
+
+/// Identifies a mode by its position in the design-wide flattened mode
+/// list (the *column index* of the connectivity matrix, §IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalModeId(pub u32);
+
+impl GlobalModeId {
+    /// The index as `usize`, for slice access.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ModuleId {
+    /// The index as `usize`, for slice access.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One mutually-exclusive implementation of a module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mode {
+    /// Mode name, unique within its module (e.g. `"Viterbi"`).
+    pub name: String,
+    /// Post-synthesis resource requirement.
+    pub resources: Resources,
+}
+
+/// A processing unit with one or more modes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name, unique within the design (e.g. `"Decoder"`).
+    pub name: String,
+    /// The module's modes, in declaration order.
+    pub modes: Vec<Mode>,
+}
+
+impl Module {
+    /// Looks up a mode index by name.
+    pub fn mode_index(&self, name: &str) -> Option<u32> {
+        self.modes.iter().position(|m| m.name == name).map(|i| i as u32)
+    }
+
+    /// The element-wise maximum resource requirement over all modes — the
+    /// region size needed by the one-module-per-region baseline.
+    pub fn max_mode_resources(&self) -> Resources {
+        self.modes.iter().fold(Resources::ZERO, |acc, m| acc.max(m.resources))
+    }
+}
+
+/// A valid combination of modes: for each module, either an index into its
+/// mode list or `None` for absence (the paper's "mode 0", §IV-D).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Configuration name, unique within the design.
+    pub name: String,
+    /// Per-module mode selection, indexed like [`Design::modules`].
+    pub selection: Vec<Option<u32>>,
+}
+
+impl Configuration {
+    /// Number of present (non-absent) modules.
+    pub fn num_present(&self) -> usize {
+        self.selection.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// A complete PR design: modules, valid configurations, and the static
+/// region's resource overhead.
+///
+/// Construct via [`crate::DesignBuilder`], which enforces the structural
+/// invariants (unique names, coherent selections, no duplicate
+/// configurations).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Design {
+    name: String,
+    static_overhead: Resources,
+    modules: Vec<Module>,
+    configurations: Vec<Configuration>,
+    /// Global mode id → (module index, mode index within module).
+    mode_index: Vec<(u32, u32)>,
+    /// Module index → global id of its first mode.
+    mode_offset: Vec<u32>,
+}
+
+impl Design {
+    /// Internal constructor used by the builder after validation.
+    pub(crate) fn from_parts(
+        name: String,
+        static_overhead: Resources,
+        modules: Vec<Module>,
+        configurations: Vec<Configuration>,
+    ) -> Self {
+        let mut mode_index = Vec::new();
+        let mut mode_offset = Vec::with_capacity(modules.len());
+        for (mi, m) in modules.iter().enumerate() {
+            mode_offset.push(mode_index.len() as u32);
+            for (ki, _) in m.modes.iter().enumerate() {
+                mode_index.push((mi as u32, ki as u32));
+            }
+        }
+        Design { name, static_overhead, modules, configurations, mode_index, mode_offset }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resource overhead of the always-present static logic.
+    pub fn static_overhead(&self) -> Resources {
+        self.static_overhead
+    }
+
+    /// The design's modules.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The design's valid configurations.
+    pub fn configurations(&self) -> &[Configuration] {
+        &self.configurations
+    }
+
+    /// Total number of modes across all modules (the connectivity matrix
+    /// width).
+    pub fn num_modes(&self) -> usize {
+        self.mode_index.len()
+    }
+
+    /// Number of configurations (the connectivity matrix height).
+    pub fn num_configurations(&self) -> usize {
+        self.configurations.len()
+    }
+
+    /// The module that owns a global mode.
+    pub fn module_of(&self, mode: GlobalModeId) -> ModuleId {
+        ModuleId(self.mode_index[mode.idx()].0)
+    }
+
+    /// Resolves a global mode id to its [`Mode`].
+    pub fn mode(&self, mode: GlobalModeId) -> &Mode {
+        let (mi, ki) = self.mode_index[mode.idx()];
+        &self.modules[mi as usize].modes[ki as usize]
+    }
+
+    /// Fully-qualified display name of a mode, e.g. `"Decoder.Viterbi"`.
+    pub fn mode_label(&self, mode: GlobalModeId) -> String {
+        let (mi, ki) = self.mode_index[mode.idx()];
+        format!("{}.{}", self.modules[mi as usize].name, self.modules[mi as usize].modes[ki as usize].name)
+    }
+
+    /// Global mode id for (module, mode-within-module).
+    pub fn global_id(&self, module: ModuleId, mode_in_module: u32) -> GlobalModeId {
+        GlobalModeId(self.mode_offset[module.idx()] + mode_in_module)
+    }
+
+    /// Looks up a module id by name.
+    pub fn module_id(&self, name: &str) -> Option<ModuleId> {
+        self.modules.iter().position(|m| m.name == name).map(|i| ModuleId(i as u32))
+    }
+
+    /// Looks up a global mode id by `"Module"`/`"Mode"` names.
+    pub fn mode_id(&self, module: &str, mode: &str) -> Option<GlobalModeId> {
+        let mid = self.module_id(module)?;
+        let k = self.modules[mid.idx()].mode_index(mode)?;
+        Some(self.global_id(mid, k))
+    }
+
+    /// Global mode ids of one module, in declaration order.
+    pub fn modes_of(&self, module: ModuleId) -> impl Iterator<Item = GlobalModeId> + '_ {
+        let start = self.mode_offset[module.idx()];
+        let count = self.modules[module.idx()].modes.len() as u32;
+        (start..start + count).map(GlobalModeId)
+    }
+
+    /// Global mode ids selected by configuration `c`, in module order.
+    pub fn config_modes(&self, c: usize) -> impl Iterator<Item = GlobalModeId> + '_ {
+        self.configurations[c]
+            .selection
+            .iter()
+            .enumerate()
+            .filter_map(move |(mi, sel)| {
+                sel.map(|k| self.global_id(ModuleId(mi as u32), k))
+            })
+    }
+
+    /// Concurrent resource requirement of configuration `c` (sum over its
+    /// selected modes), *excluding* the static overhead.
+    pub fn config_resources(&self, c: usize) -> Resources {
+        self.config_modes(c).map(|g| self.mode(g).resources).sum()
+    }
+
+    /// The minimum reconfigurable area for any implementation: the
+    /// element-wise maximum over configurations of their concurrent
+    /// requirements — the size of a single region hosting every
+    /// configuration ("the area required for the largest configuration",
+    /// §IV-A). Excludes the static overhead.
+    pub fn single_region_min_resources(&self) -> Resources {
+        (0..self.num_configurations())
+            .map(|c| self.config_resources(c))
+            .fold(Resources::ZERO, Resources::max)
+    }
+
+    /// Sum of all mode resources — the area of the fully static
+    /// implementation (every mode instantiated, multiplexed), excluding
+    /// the static overhead.
+    pub fn all_modes_resources(&self) -> Resources {
+        self.mode_index
+            .iter()
+            .enumerate()
+            .map(|(g, _)| self.mode(GlobalModeId(g as u32)).resources)
+            .sum()
+    }
+
+    /// Non-fatal sanity findings (unused modes/modules, zero-resource
+    /// modes, trivial configuration sets).
+    pub fn validate(&self) -> Vec<ValidationIssue> {
+        let mut issues = Vec::new();
+        let mut used = vec![false; self.num_modes()];
+        for c in 0..self.num_configurations() {
+            for g in self.config_modes(c) {
+                used[g.idx()] = true;
+            }
+        }
+        for (mi, m) in self.modules.iter().enumerate() {
+            let mut any = false;
+            for (ki, mode) in m.modes.iter().enumerate() {
+                let g = self.global_id(ModuleId(mi as u32), ki as u32);
+                if used[g.idx()] {
+                    any = true;
+                } else {
+                    issues.push(ValidationIssue::UnusedMode {
+                        module: m.name.clone(),
+                        mode: mode.name.clone(),
+                    });
+                }
+                if mode.resources.is_zero() {
+                    issues.push(ValidationIssue::ZeroResourceMode {
+                        module: m.name.clone(),
+                        mode: mode.name.clone(),
+                    });
+                }
+            }
+            if !any {
+                issues.push(ValidationIssue::UnusedModule(m.name.clone()));
+            }
+        }
+        if self.num_configurations() == 1 {
+            issues.push(ValidationIssue::SingleConfiguration);
+        }
+        issues
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "design '{}': {} modules, {} modes, {} configurations",
+            self.name,
+            self.modules.len(),
+            self.num_modes(),
+            self.num_configurations()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::corpus;
+    use crate::design::*;
+
+    #[test]
+    fn abc_example_shape() {
+        let d = corpus::abc_example();
+        assert_eq!(d.modules().len(), 3);
+        assert_eq!(d.num_modes(), 8);
+        assert_eq!(d.num_configurations(), 5);
+    }
+
+    #[test]
+    fn global_mode_indexing_roundtrips() {
+        let d = corpus::abc_example();
+        for mi in 0..d.modules().len() {
+            let module = ModuleId(mi as u32);
+            for (ki, _) in d.modules()[mi].modes.iter().enumerate() {
+                let g = d.global_id(module, ki as u32);
+                assert_eq!(d.module_of(g), module);
+            }
+        }
+        // B2 is the 5th global mode (A1 A2 A3 B1 B2 ...).
+        assert_eq!(d.mode_id("B", "B2"), Some(GlobalModeId(4)));
+        assert_eq!(d.mode_label(GlobalModeId(4)), "B.B2");
+        assert_eq!(d.mode_id("B", "B9"), None);
+        assert_eq!(d.mode_id("Z", "B2"), None);
+    }
+
+    #[test]
+    fn config_modes_respect_absence() {
+        let d = corpus::special_case_single_mode();
+        // Configuration 1 is C → F (modules E, P, R absent, "mode 0").
+        let modes: Vec<String> = d.config_modes(0).map(|g| d.mode_label(g)).collect();
+        assert_eq!(modes, vec!["CAN.C1", "FIR.F1"]);
+        assert_eq!(d.configurations()[0].num_present(), 2);
+    }
+
+    #[test]
+    fn config_resources_sum_concurrent_modes() {
+        let d = corpus::abc_example();
+        // Configuration 2 is A1 B1 C1.
+        let expect = d.mode(d.mode_id("A", "A1").unwrap()).resources
+            + d.mode(d.mode_id("B", "B1").unwrap()).resources
+            + d.mode(d.mode_id("C", "C1").unwrap()).resources;
+        assert_eq!(d.config_resources(1), expect);
+    }
+
+    #[test]
+    fn single_region_minimum_is_elementwise_max_over_configs() {
+        let d = corpus::abc_example();
+        let min = d.single_region_min_resources();
+        for c in 0..d.num_configurations() {
+            assert!(d.config_resources(c).fits_in(&min));
+        }
+        // And it is tight: each component is achieved by some configuration.
+        for kind in prpart_arch::ResourceKind::ALL {
+            assert!(
+                (0..d.num_configurations()).any(|c| d.config_resources(c).get(kind) == min.get(kind)),
+                "component {kind} not tight"
+            );
+        }
+    }
+
+    #[test]
+    fn static_total_dominates_single_region() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let stat = d.all_modes_resources();
+        let single = d.single_region_min_resources();
+        assert!(single.fits_in(&stat));
+        assert!(stat.clb > single.clb);
+    }
+
+    #[test]
+    fn validate_flags_unused_and_zero_modes() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let issues = d.validate();
+        // Recovery.None is a zero-resource mode in Table II.
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            crate::ValidationIssue::ZeroResourceMode { module, mode }
+                if module == "Recovery" && mode == "None"
+        )));
+    }
+
+    #[test]
+    fn max_mode_resources_is_elementwise() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let dec = &d.modules()[d.module_id("Decoder").unwrap().idx()];
+        // Viterbi 630/2/0, Turbo 748/15/4, DPC 234/2/0 → max 748/15/4.
+        assert_eq!(dec.max_mode_resources(), prpart_arch::Resources::new(748, 15, 4));
+    }
+}

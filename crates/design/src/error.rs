@@ -1,0 +1,140 @@
+//! Error and diagnostic types for design construction and validation.
+
+use std::fmt;
+
+/// A hard error that prevents a [`crate::Design`] from being constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// The design declares no modules.
+    NoModules,
+    /// The design declares no configurations.
+    NoConfigurations,
+    /// Two modules share a name.
+    DuplicateModule(String),
+    /// Two modes of the same module share a name.
+    DuplicateMode {
+        /// Module owning the clash.
+        module: String,
+        /// The duplicated mode name.
+        mode: String,
+    },
+    /// A module has no modes at all.
+    EmptyModule(String),
+    /// A configuration references a module that does not exist.
+    UnknownModule {
+        /// The configuration naming it.
+        configuration: String,
+        /// The unknown module name.
+        module: String,
+    },
+    /// A configuration references a mode that does not exist.
+    UnknownMode {
+        /// The configuration naming it.
+        configuration: String,
+        /// The module looked up.
+        module: String,
+        /// The unknown mode name.
+        mode: String,
+    },
+    /// A configuration selects two modes of the same module.
+    ConflictingSelection {
+        /// The configuration.
+        configuration: String,
+        /// The doubly-selected module.
+        module: String,
+    },
+    /// A configuration selects no modes at all.
+    EmptyConfiguration(String),
+    /// Two configurations share a name.
+    DuplicateConfiguration(String),
+    /// Two configurations select exactly the same modes.
+    IdenticalConfigurations {
+        /// First configuration.
+        first: String,
+        /// Second (identical) configuration.
+        second: String,
+    },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::NoModules => write!(f, "design has no modules"),
+            DesignError::NoConfigurations => write!(f, "design has no configurations"),
+            DesignError::DuplicateModule(m) => write!(f, "duplicate module name '{m}'"),
+            DesignError::DuplicateMode { module, mode } => {
+                write!(f, "duplicate mode '{mode}' in module '{module}'")
+            }
+            DesignError::EmptyModule(m) => write!(f, "module '{m}' has no modes"),
+            DesignError::UnknownModule { configuration, module } => {
+                write!(f, "configuration '{configuration}' references unknown module '{module}'")
+            }
+            DesignError::UnknownMode { configuration, module, mode } => write!(
+                f,
+                "configuration '{configuration}' references unknown mode '{module}.{mode}'"
+            ),
+            DesignError::ConflictingSelection { configuration, module } => write!(
+                f,
+                "configuration '{configuration}' selects module '{module}' more than once"
+            ),
+            DesignError::EmptyConfiguration(c) => {
+                write!(f, "configuration '{c}' selects no modes")
+            }
+            DesignError::DuplicateConfiguration(c) => {
+                write!(f, "duplicate configuration name '{c}'")
+            }
+            DesignError::IdenticalConfigurations { first, second } => write!(
+                f,
+                "configurations '{first}' and '{second}' select identical mode sets"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// A non-fatal finding from [`crate::Design::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationIssue {
+    /// A mode is never used by any configuration. The paper's synthetic
+    /// generator specifically samples configurations "until every mode
+    /// present in the design is utilised at least once"; an unused mode
+    /// wastes no area but bloats the search needlessly.
+    UnusedMode {
+        /// Module owning the mode.
+        module: String,
+        /// The unused mode.
+        mode: String,
+    },
+    /// A module is absent from every configuration.
+    UnusedModule(String),
+    /// A mode requires no resources at all (an explicit "None" mode is
+    /// usually better expressed as module absence).
+    ZeroResourceMode {
+        /// Module owning the mode.
+        module: String,
+        /// The empty mode.
+        mode: String,
+    },
+    /// Only one configuration exists — nothing ever reconfigures.
+    SingleConfiguration,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::UnusedMode { module, mode } => {
+                write!(f, "mode '{module}.{mode}' is used by no configuration")
+            }
+            ValidationIssue::UnusedModule(m) => {
+                write!(f, "module '{m}' is used by no configuration")
+            }
+            ValidationIssue::ZeroResourceMode { module, mode } => {
+                write!(f, "mode '{module}.{mode}' requires no resources")
+            }
+            ValidationIssue::SingleConfiguration => {
+                write!(f, "design has a single configuration; nothing reconfigures")
+            }
+        }
+    }
+}

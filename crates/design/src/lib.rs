@@ -1,0 +1,41 @@
+//! # prpart-design — PR design model
+//!
+//! Data model for partially-reconfigurable designs as the paper (§III)
+//! describes them:
+//!
+//! * A **module** is a processing unit with one or more **modes** —
+//!   mutually exclusive implementations with compatible interfaces (e.g. a
+//!   filter with a high-pass and a low-pass mode). Each mode has a resource
+//!   requirement obtained from synthesis.
+//! * A **configuration** is a valid combination of modes, at most one per
+//!   module; modules may be absent (the paper's "mode 0" convention,
+//!   §IV-D, which also models one-off single-mode modules).
+//! * A **design** is a set of modules, a set of valid configurations, and
+//!   the resource overhead of the always-present static logic (processor,
+//!   ICAP controller, interconnect).
+//!
+//! From a design the partitioner derives the **connectivity matrix**
+//! ([`matrix::ConnectivityMatrix`]): one row per configuration, one column
+//! per mode, from which *node weights* (mode occurrence counts) and *edge
+//! weights* (pairwise co-occurrence counts) are computed (§IV-C).
+//!
+//! [`corpus`] provides the paper's worked examples as ready-made designs:
+//! the three-module A/B/C example of §III, the wireless video receiver case
+//! study of Table II (both configuration sets), and the §IV-D single-mode
+//! special case.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod corpus;
+pub mod design;
+pub mod error;
+pub mod matrix;
+pub mod stats;
+
+pub use builder::DesignBuilder;
+pub use design::{Configuration, Design, GlobalModeId, Mode, Module, ModuleId};
+pub use error::{DesignError, ValidationIssue};
+pub use matrix::ConnectivityMatrix;
+pub use stats::{design_stats, DesignStats};

@@ -1,0 +1,280 @@
+//! The connectivity matrix and the weights derived from it (paper §IV-C).
+//!
+//! The matrix has one row per configuration and one column per mode;
+//! element `(i, j)` is 1 when mode `j` is present in configuration `i`.
+//! From it come:
+//!
+//! * the **node weight** of a mode — its column sum (occurrence count),
+//! * the **edge weight** `W_ij` of two modes — the number of
+//!   configurations containing both (co-occurrence count),
+//! * the **support** of a mode set — the number of configurations
+//!   containing *all* of it (the frequency weight of a multi-mode base
+//!   partition),
+//! * the **configuration mask** of a mode set — in which configurations
+//!   any of its modes appears, the basis of the compatibility test
+//!   (§IV-C: two partitions are compatible iff their modes never co-occur).
+
+use crate::design::{Design, GlobalModeId};
+use prpart_graph::{BitSet, WeightedGraph};
+use std::fmt;
+
+/// Binary configurations × modes matrix with derived weight queries.
+#[derive(Debug, Clone)]
+pub struct ConnectivityMatrix {
+    /// One bit set per configuration: the global modes it selects.
+    rows: Vec<BitSet>,
+    /// One bit set per mode: the configurations it appears in (transpose).
+    cols: Vec<BitSet>,
+    num_modes: usize,
+}
+
+impl ConnectivityMatrix {
+    /// Builds the matrix from a design.
+    pub fn from_design(design: &Design) -> Self {
+        let num_modes = design.num_modes();
+        let num_configs = design.num_configurations();
+        let mut rows = vec![BitSet::new(num_modes); num_configs];
+        let mut cols = vec![BitSet::new(num_configs); num_modes];
+        for (c, row) in rows.iter_mut().enumerate() {
+            for g in design.config_modes(c) {
+                row.insert(g.idx());
+                cols[g.idx()].insert(c);
+            }
+        }
+        ConnectivityMatrix { rows, cols, num_modes }
+    }
+
+    /// Number of configurations (rows).
+    pub fn num_configurations(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of modes (columns).
+    pub fn num_modes(&self) -> usize {
+        self.num_modes
+    }
+
+    /// Element test: is mode `m` present in configuration `c`?
+    pub fn contains(&self, c: usize, m: GlobalModeId) -> bool {
+        self.rows[c].contains(m.idx())
+    }
+
+    /// The mode set of configuration `c`.
+    pub fn row(&self, c: usize) -> &BitSet {
+        &self.rows[c]
+    }
+
+    /// The configurations containing mode `m`.
+    pub fn config_mask(&self, m: GlobalModeId) -> &BitSet {
+        &self.cols[m.idx()]
+    }
+
+    /// Node weight: how many configurations contain mode `m`
+    /// ("the number of times that mode appears in the possible
+    /// configurations").
+    pub fn node_weight(&self, m: GlobalModeId) -> u32 {
+        self.cols[m.idx()].len() as u32
+    }
+
+    /// Edge weight `W_ij`: configurations containing both modes.
+    pub fn edge_weight(&self, i: GlobalModeId, j: GlobalModeId) -> u32 {
+        self.cols[i.idx()].intersection(&self.cols[j.idx()]).len() as u32
+    }
+
+    /// Support of a mode set: configurations containing *all* the modes.
+    pub fn support(&self, modes: &[GlobalModeId]) -> u32 {
+        match modes.split_first() {
+            None => self.num_configurations() as u32,
+            Some((first, rest)) => {
+                let mut acc = self.cols[first.idx()].clone();
+                for m in rest {
+                    acc.intersect_with(&self.cols[m.idx()]);
+                }
+                acc.len() as u32
+            }
+        }
+    }
+
+    /// Configurations in which *any* of `modes` appears — the presence
+    /// mask used by the compatibility test.
+    pub fn presence_mask(&self, modes: &[GlobalModeId]) -> BitSet {
+        let mut acc = BitSet::new(self.num_configurations());
+        for m in modes {
+            acc.union_with(&self.cols[m.idx()]);
+        }
+        acc
+    }
+
+    /// The mode co-occurrence graph: nodes are global modes, edge weights
+    /// are `W_ij` (zero weight = no edge). The clustering step inserts its
+    /// edges in descending weight order.
+    pub fn cooccurrence_graph(&self) -> WeightedGraph {
+        let n = self.num_modes;
+        let mut g = WeightedGraph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let w = self.cols[i].intersection(&self.cols[j]).len() as u64;
+                if w > 0 {
+                    g.set_weight(i, j, w);
+                }
+            }
+        }
+        g
+    }
+
+    /// Renders the matrix with the design's mode labels as a column header,
+    /// reproducing the layout of the paper's §IV-C display.
+    pub fn render(&self, design: &Design) -> String {
+        let labels: Vec<String> = (0..self.num_modes)
+            .map(|m| {
+                let g = GlobalModeId(m as u32);
+                design.mode(g).name.clone()
+            })
+            .collect();
+        let width = labels.iter().map(|l| l.len()).max().unwrap_or(1).max(2) + 1;
+        let mut out = String::new();
+        out.push_str(&" ".repeat(8));
+        for l in &labels {
+            out.push_str(&format!("{l:>width$}"));
+        }
+        out.push('\n');
+        for (c, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!("Conf.{:<3}", c + 1));
+            for m in 0..self.num_modes {
+                let bit = if row.contains(m) { "1" } else { "0" };
+                out.push_str(&format!("{bit:>width$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConnectivityMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConnectivityMatrix({}x{})", self.rows.len(), self.num_modes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    fn abc() -> (crate::Design, ConnectivityMatrix) {
+        let d = corpus::abc_example();
+        let m = ConnectivityMatrix::from_design(&d);
+        (d, m)
+    }
+
+    #[test]
+    fn matrix_matches_paper_section_iv() {
+        // The paper's matrix for the example design (§IV-C):
+        //          A1 A2 A3 B1 B2 C1 C2 C3
+        // Conf.1 [  0  0  1  0  1  0  0  1 ]
+        // Conf.2 [  1  0  0  1  0  1  0  0 ]
+        // Conf.3 [  0  0  1  0  1  1  0  0 ]
+        // Conf.4 [  1  0  0  0  1  0  1  0 ]
+        // Conf.5 [  0  1  0  0  1  0  0  1 ]
+        let (_, m) = abc();
+        let expect = [
+            [0, 0, 1, 0, 1, 0, 0, 1],
+            [1, 0, 0, 1, 0, 1, 0, 0],
+            [0, 0, 1, 0, 1, 1, 0, 0],
+            [1, 0, 0, 0, 1, 0, 1, 0],
+            [0, 1, 0, 0, 1, 0, 0, 1],
+        ];
+        for (c, row) in expect.iter().enumerate() {
+            for (j, &bit) in row.iter().enumerate() {
+                assert_eq!(
+                    m.contains(c, GlobalModeId(j as u32)),
+                    bit == 1,
+                    "element ({c}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_weights_match_paper() {
+        // "For mode A1 in the example, the node weight is 2 and for B2,
+        // it is 4."
+        let (d, m) = abc();
+        assert_eq!(m.node_weight(d.mode_id("A", "A1").unwrap()), 2);
+        assert_eq!(m.node_weight(d.mode_id("B", "B2").unwrap()), 4);
+        assert_eq!(m.node_weight(d.mode_id("A", "A2").unwrap()), 1);
+        assert_eq!(m.node_weight(d.mode_id("C", "C3").unwrap()), 2);
+    }
+
+    #[test]
+    fn edge_weights_match_paper() {
+        // "For modes A1,B1, the edge weight is 1 and for B2,C3, it is 2."
+        let (d, m) = abc();
+        let a1 = d.mode_id("A", "A1").unwrap();
+        let b1 = d.mode_id("B", "B1").unwrap();
+        let b2 = d.mode_id("B", "B2").unwrap();
+        let c3 = d.mode_id("C", "C3").unwrap();
+        assert_eq!(m.edge_weight(a1, b1), 1);
+        assert_eq!(m.edge_weight(b2, c3), 2);
+        // Same-module modes never co-occur.
+        let a2 = d.mode_id("A", "A2").unwrap();
+        assert_eq!(m.edge_weight(a1, a2), 0);
+        // Symmetry.
+        assert_eq!(m.edge_weight(b2, c3), m.edge_weight(c3, b2));
+    }
+
+    #[test]
+    fn support_and_presence() {
+        let (d, m) = abc();
+        let a3 = d.mode_id("A", "A3").unwrap();
+        let b2 = d.mode_id("B", "B2").unwrap();
+        let c3 = d.mode_id("C", "C3").unwrap();
+        // {A3, B2} in configurations 1 and 3; {A3, B2, C3} only in 1.
+        assert_eq!(m.support(&[a3, b2]), 2);
+        assert_eq!(m.support(&[a3, b2, c3]), 1);
+        assert_eq!(m.support(&[]), 5, "empty set is in every configuration");
+        // Presence: A3 or C3 appears in configurations 1, 3, 5 (0-based 0,2,4).
+        let mask = m.presence_mask(&[a3, c3]);
+        assert_eq!(mask.iter().collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn cooccurrence_graph_weights() {
+        let (d, m) = abc();
+        let g = m.cooccurrence_graph();
+        let b2 = d.mode_id("B", "B2").unwrap().idx();
+        let c3 = d.mode_id("C", "C3").unwrap().idx();
+        assert_eq!(g.weight(b2, c3), 2);
+        // 13 co-occurring pairs in the example.
+        assert_eq!(g.graph().num_edges(), 13);
+        // Highest-weight edges first: the two weight-2 edges lead.
+        let edges = g.edges_by_weight_desc();
+        assert_eq!(edges[0].2, 2);
+        assert_eq!(edges[1].2, 2);
+        assert_eq!(edges[2].2, 1);
+    }
+
+    #[test]
+    fn render_shows_header_and_rows() {
+        let (d, m) = abc();
+        let s = m.render(&d);
+        assert!(s.contains("A1") && s.contains("C3"));
+        assert_eq!(s.lines().count(), 6); // header + 5 configurations
+        assert!(s.lines().nth(1).unwrap().starts_with("Conf.1"));
+    }
+
+    #[test]
+    fn absent_modules_leave_zero_columns() {
+        let d = corpus::special_case_single_mode();
+        let m = ConnectivityMatrix::from_design(&d);
+        // 5 single-mode modules → 5 columns; each config covers a disjoint
+        // subset (C,F vs E,P,R).
+        assert_eq!(m.num_modes(), 5);
+        assert_eq!(m.num_configurations(), 2);
+        let row0: Vec<usize> = m.row(0).iter().collect();
+        let row1: Vec<usize> = m.row(1).iter().collect();
+        assert_eq!(row0.len(), 2);
+        assert_eq!(row1.len(), 3);
+        assert!(row0.iter().all(|x| !row1.contains(x)));
+    }
+}

@@ -1,0 +1,143 @@
+//! Design statistics: the shape metrics a designer (or the CLI's `info`
+//! command) wants before partitioning — sizes, resource totals, and how
+//! much mode co-occurrence structure the configurations expose (which is
+//! what the clustering step feeds on).
+
+use crate::design::Design;
+use crate::matrix::ConnectivityMatrix;
+use prpart_arch::Resources;
+
+/// Summary statistics of a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignStats {
+    /// Number of modules.
+    pub modules: usize,
+    /// Total modes.
+    pub modes: usize,
+    /// Modes used by at least one configuration.
+    pub used_modes: usize,
+    /// Number of configurations.
+    pub configurations: usize,
+    /// Mean modules present per configuration.
+    pub mean_modules_per_config: f64,
+    /// Sum of all mode resources (fully static area).
+    pub total_resources: Resources,
+    /// Element-wise max over configurations (single-region minimum).
+    pub largest_configuration: Resources,
+    /// Co-occurring mode pairs (edges of the clustering graph).
+    pub cooccurring_pairs: usize,
+    /// Co-occurrence density: edges over the maximum possible between
+    /// used modes of *different* modules (1.0 = every cross-module pair
+    /// co-occurs somewhere; low density means more sharing opportunities
+    /// for the partitioner).
+    pub cooccurrence_density: f64,
+}
+
+/// Computes the statistics of a design.
+pub fn design_stats(design: &Design) -> DesignStats {
+    let matrix = ConnectivityMatrix::from_design(design);
+    let n = design.num_modes();
+    let used: Vec<bool> = (0..n)
+        .map(|m| matrix.node_weight(crate::design::GlobalModeId(m as u32)) > 0)
+        .collect();
+    let used_modes = used.iter().filter(|&&u| u).count();
+
+    // Maximum possible cross-module pairs among used modes.
+    let mut per_module_used: Vec<usize> = vec![0; design.modules().len()];
+    for m in 0..n {
+        if used[m] {
+            per_module_used[design.module_of(crate::design::GlobalModeId(m as u32)).idx()] += 1;
+        }
+    }
+    let total_pairs = used_modes * used_modes.saturating_sub(1) / 2;
+    let same_module_pairs: usize =
+        per_module_used.iter().map(|&k| k * k.saturating_sub(1) / 2).sum();
+    let cross_pairs = total_pairs - same_module_pairs;
+
+    let edges = matrix.cooccurrence_graph().graph().num_edges();
+    let present: usize = design
+        .configurations()
+        .iter()
+        .map(|c| c.num_present())
+        .sum();
+
+    DesignStats {
+        modules: design.modules().len(),
+        modes: n,
+        used_modes,
+        configurations: design.num_configurations(),
+        mean_modules_per_config: present as f64 / design.num_configurations().max(1) as f64,
+        total_resources: design.all_modes_resources(),
+        largest_configuration: design.single_region_min_resources(),
+        cooccurring_pairs: edges,
+        cooccurrence_density: if cross_pairs == 0 {
+            0.0
+        } else {
+            edges as f64 / cross_pairs as f64
+        },
+    }
+}
+
+impl std::fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "modules:               {}", self.modules)?;
+        writeln!(f, "modes:                 {} ({} used)", self.modes, self.used_modes)?;
+        writeln!(f, "configurations:        {}", self.configurations)?;
+        writeln!(f, "modules per config:    {:.1} (mean)", self.mean_modules_per_config)?;
+        writeln!(f, "fully static area:     {}", self.total_resources)?;
+        writeln!(f, "largest configuration: {}", self.largest_configuration)?;
+        writeln!(
+            f,
+            "co-occurring pairs:    {} ({:.0}% of possible cross-module pairs)",
+            self.cooccurring_pairs,
+            100.0 * self.cooccurrence_density
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn abc_stats() {
+        let s = design_stats(&corpus::abc_example());
+        assert_eq!(s.modules, 3);
+        assert_eq!(s.modes, 8);
+        assert_eq!(s.used_modes, 8);
+        assert_eq!(s.configurations, 5);
+        assert_eq!(s.mean_modules_per_config, 3.0);
+        assert_eq!(s.cooccurring_pairs, 13);
+        // Cross-module pairs among 8 used modes of sizes 3/2/3:
+        // C(8,2)=28 minus same-module 3+1+3=7 → 21; 13/21 ≈ 0.62.
+        assert!((s.cooccurrence_density - 13.0 / 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn video_receiver_stats() {
+        let s = design_stats(&corpus::video_receiver(corpus::VideoConfigSet::Original));
+        assert_eq!(s.used_modes, 13, "Recovery.None is unused");
+        assert_eq!(s.total_resources.clb, 15751);
+        assert!(s.largest_configuration.clb < s.total_resources.clb);
+        assert!(s.cooccurrence_density > 0.0 && s.cooccurrence_density <= 1.0);
+    }
+
+    #[test]
+    fn disjoint_configs_have_low_density() {
+        let s = design_stats(&corpus::special_case_single_mode());
+        // Only within-configuration pairs co-occur: {C,F} and {E,P,R}
+        // give 1 + 3 = 4 of the 10 cross-module pairs.
+        assert_eq!(s.cooccurring_pairs, 4);
+        assert!((s.cooccurrence_density - 0.4).abs() < 1e-9);
+        assert!(s.mean_modules_per_config < 3.0);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let text = design_stats(&corpus::abc_example()).to_string();
+        for needle in ["modules:", "configurations:", "largest configuration:", "co-occurring"] {
+            assert!(text.contains(needle), "{text}");
+        }
+    }
+}

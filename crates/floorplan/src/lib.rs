@@ -1,0 +1,161 @@
+//! # prpart-floorplan — architecture-aware floorplanning substrate
+//!
+//! Step 5 of the paper's tool flow (Fig. 2) places the reconfigurable
+//! regions on the device; the authors use their own floorplanner (paper
+//! ref \[11\]) and note as future work a *feedback* path: a scheme that fits
+//! by resource count may still be unplaceable once column layout, region
+//! rectangularity and non-overlap are considered.
+//!
+//! This crate implements both pieces over the column-grid geometry of
+//! [`prpart_arch::DeviceGeometry`]:
+//!
+//! * [`Floorplanner`] places each region as a rectangle of whole tiles —
+//!   full columns within a row span — honouring the published constraints:
+//!   regions are rectangular, tile-aligned, non-overlapping, and must
+//!   cover their CLB/BRAM/DSP tile requirements from the columns they
+//!   span (§IV-B).
+//! * [`place_with_feedback`] is the feedback loop: if the best scheme
+//!   cannot be floorplanned, the partitioner is re-run with a tightened
+//!   budget until a placeable scheme emerges.
+//!
+//! The placer is first-fit over row spans with a minimum-waste objective —
+//! deliberately simple, since the partitioner only needs realistic
+//! feasibility feedback, not optimal packing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod placer;
+pub mod ucf;
+
+pub use placer::{Floorplan, FloorplanError, Floorplanner, Obstacle, Placement};
+pub use ucf::emit_ucf;
+
+use prpart_arch::{Device, Resources};
+use prpart_core::{EvaluatedScheme, PartitionError, Partitioner};
+use prpart_design::Design;
+
+/// Outcome of the partition-then-floorplan feedback loop.
+#[derive(Debug, Clone)]
+pub struct PlannedDesign {
+    /// The scheme that was placed.
+    pub evaluated: EvaluatedScheme,
+    /// Its floorplan.
+    pub floorplan: Floorplan,
+    /// How many budget tightenings were needed (0 = first attempt).
+    pub retries: usize,
+}
+
+/// Error from the feedback loop.
+#[derive(Debug, Clone)]
+pub enum FeedbackError {
+    /// The partitioner itself failed.
+    Partition(PartitionError),
+    /// No scheme could be floorplanned within the retry budget.
+    Unplaceable {
+        /// Attempts made.
+        attempts: usize,
+        /// Last placement failure.
+        last: FloorplanError,
+    },
+}
+
+impl std::fmt::Display for FeedbackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedbackError::Partition(e) => write!(f, "{e}"),
+            FeedbackError::Unplaceable { attempts, last } => {
+                write!(f, "no placeable scheme after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeedbackError {}
+
+/// Runs the paper's future-work feedback loop: partition for the device,
+/// attempt to floorplan the best scheme, and on placement failure re-run
+/// the partitioner with a budget tightened by ~10% per retry (placement
+/// failures mean the resource-count feasibility test was too optimistic
+/// for this device's column layout).
+pub fn place_with_feedback(
+    design: &Design,
+    device: &Device,
+    make_partitioner: impl Fn(Resources) -> Partitioner,
+    max_retries: usize,
+) -> Result<PlannedDesign, FeedbackError> {
+    let geometry = device.geometry();
+    let planner = Floorplanner::new(geometry);
+    let mut last_err = None;
+    for retry in 0..=max_retries {
+        // Tighten the budget by 10% per retry.
+        let scale = 100u32.saturating_sub(10 * retry as u32).max(10);
+        let budget = Resources::new(
+            device.capacity.clb * scale / 100,
+            device.capacity.bram * scale / 100,
+            device.capacity.dsp * scale / 100,
+        );
+        let outcome = make_partitioner(budget)
+            .partition(design)
+            .map_err(FeedbackError::Partition)?;
+        let Some(evaluated) = outcome.best else {
+            last_err = Some(FloorplanError::NoSpace { region: 0 });
+            continue;
+        };
+        match planner.place_scheme(&evaluated.scheme, design.static_overhead()) {
+            Ok(floorplan) => {
+                return Ok(PlannedDesign { evaluated, floorplan, retries: retry });
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(FeedbackError::Unplaceable {
+        attempts: max_retries + 1,
+        last: last_err.unwrap_or(FloorplanError::NoSpace { region: 0 }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_arch::DeviceLibrary;
+    use prpart_design::corpus;
+
+    #[test]
+    fn feedback_loop_places_the_abc_design() {
+        let d = corpus::abc_example();
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("LX30").unwrap();
+        let planned = place_with_feedback(&d, device, Partitioner::new, 4).unwrap();
+        assert!(!planned.floorplan.placements.is_empty());
+        planned
+            .floorplan
+            .check_non_overlapping()
+            .expect("placements must not overlap");
+    }
+
+    #[test]
+    fn feedback_reports_unplaceable_designs() {
+        // A design that fits LX20T by resource count cannot necessarily
+        // be *placed* there once quantisation and rectangles apply; an
+        // impossible device must at least fail cleanly.
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let lib = DeviceLibrary::virtex5();
+        let tiny = lib.by_name("LX20T").unwrap();
+        let err = place_with_feedback(&d, tiny, Partitioner::new, 1).unwrap_err();
+        assert!(matches!(err, FeedbackError::Partition(_)), "{err}");
+    }
+
+    #[test]
+    fn feedback_on_case_study_device() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("SX70T").unwrap();
+        let planned = place_with_feedback(&d, device, Partitioner::new, 4).unwrap();
+        planned.floorplan.check_non_overlapping().unwrap();
+        assert_eq!(
+            planned.floorplan.placements.len(),
+            planned.evaluated.metrics.num_regions
+        );
+    }
+}

@@ -1,0 +1,578 @@
+//! Rectangle placement of regions on the column grid.
+
+use prpart_arch::tile::frames_per_tile;
+use prpart_arch::{BlockKind, DeviceGeometry, Resources, TileCounts};
+use prpart_core::Scheme;
+use std::fmt;
+
+/// A placed region: a rectangle of whole tiles, `cols` half-open,
+/// `rows` half-open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Region index in the scheme (order of `Scheme::regions`).
+    pub region: usize,
+    /// Column range (half-open).
+    pub cols: std::ops::Range<usize>,
+    /// Row range (half-open).
+    pub rows: std::ops::Range<u32>,
+}
+
+impl Placement {
+    /// Tile capacity of this rectangle on the given geometry.
+    pub fn tiles(&self, geometry: &DeviceGeometry) -> TileCounts {
+        let mut t = TileCounts::ZERO;
+        let span = self.rows.len() as u32;
+        for col in self.cols.clone() {
+            match geometry.column(col) {
+                BlockKind::Clb => t.clb_tiles += span,
+                BlockKind::Bram => t.bram_tiles += span,
+                BlockKind::Dsp => t.dsp_tiles += span,
+            }
+        }
+        t
+    }
+}
+
+/// A complete placement of a scheme's regions.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    /// The device geometry the plan is for.
+    pub geometry: DeviceGeometry,
+    /// One placement per region, in region order.
+    pub placements: Vec<Placement>,
+}
+
+impl Floorplan {
+    /// Verifies that no two placements overlap (a hard Xilinx constraint,
+    /// §IV-B).
+    pub fn check_non_overlapping(&self) -> Result<(), (usize, usize)> {
+        for (i, a) in self.placements.iter().enumerate() {
+            for (j, b) in self.placements.iter().enumerate().skip(i + 1) {
+                let cols_overlap = a.cols.start < b.cols.end && b.cols.start < a.cols.end;
+                let rows_overlap = a.rows.start < b.rows.end && b.rows.start < a.rows.end;
+                if cols_overlap && rows_overlap {
+                    return Err((i, j));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fraction of the device's frames consumed by placed regions.
+    pub fn utilisation(&self) -> f64 {
+        let used: u64 = self
+            .placements
+            .iter()
+            .map(|p| p.tiles(&self.geometry).frames())
+            .sum();
+        let total: u64 = self
+            .geometry
+            .columns()
+            .iter()
+            .map(|c| frames_per_tile(c.resource()) as u64 * self.geometry.rows() as u64)
+            .sum();
+        used as f64 / total as f64
+    }
+
+    /// ASCII rendering: one character per tile, `.` static fabric, region
+    /// index (mod 36) as alphanumeric.
+    pub fn render(&self) -> String {
+        let rows = self.geometry.rows() as usize;
+        let cols = self.geometry.num_columns();
+        let mut grid = vec![vec!['.'; cols]; rows];
+        const SYMS: &[u8] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+        for p in &self.placements {
+            let sym = SYMS[p.region % SYMS.len()] as char;
+            for r in p.rows.clone() {
+                for c in p.cols.clone() {
+                    grid[r as usize][c] = sym;
+                }
+            }
+        }
+        grid.into_iter()
+            .map(|row| row.into_iter().collect::<String>())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Why a placement attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloorplanError {
+    /// A region needs more tiles of some kind than the whole device has.
+    RegionTooLarge {
+        /// The region index.
+        region: usize,
+    },
+    /// No free rectangle satisfies the region's needs.
+    NoSpace {
+        /// The region index.
+        region: usize,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::RegionTooLarge { region } => {
+                write!(f, "region {region} exceeds total device tiles")
+            }
+            FloorplanError::NoSpace { region } => {
+                write!(f, "no free rectangle for region {region}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
+/// A rectangular keep-out area: a hard macro (PowerPC block, PCIe core,
+/// clock column) that PR regions must not cover. The paper lists "the
+/// presence of hard-macros" among the reasons a resource-feasible scheme
+/// may fail floorplanning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Obstacle {
+    /// Blocked column range (half-open).
+    pub cols: std::ops::Range<usize>,
+    /// Blocked row range (half-open).
+    pub rows: std::ops::Range<u32>,
+}
+
+/// Places region tile requirements onto a device geometry.
+#[derive(Debug, Clone)]
+pub struct Floorplanner {
+    geometry: DeviceGeometry,
+    obstacles: Vec<Obstacle>,
+    /// Maximum allowed width/height (and height/width) ratio of a placed
+    /// rectangle, in tiles; `None` = unconstrained. Extreme slivers
+    /// route badly on real devices ("PRR shape constraints").
+    max_aspect: Option<f64>,
+}
+
+impl Floorplanner {
+    /// Creates a floorplanner for a device geometry.
+    pub fn new(geometry: DeviceGeometry) -> Self {
+        Floorplanner { geometry, obstacles: Vec::new(), max_aspect: None }
+    }
+
+    /// Adds hard-macro keep-out areas.
+    pub fn with_obstacles(mut self, obstacles: Vec<Obstacle>) -> Self {
+        self.obstacles = obstacles;
+        self
+    }
+
+    /// Constrains the width:height ratio of placed rectangles.
+    ///
+    /// # Panics
+    /// Panics unless `max_aspect >= 1.0`.
+    pub fn with_max_aspect(mut self, max_aspect: f64) -> Self {
+        assert!(max_aspect >= 1.0, "aspect limit must be >= 1.0");
+        self.max_aspect = Some(max_aspect);
+        self
+    }
+
+    /// The geometry being placed onto.
+    pub fn geometry(&self) -> &DeviceGeometry {
+        &self.geometry
+    }
+
+    /// Places a scheme's regions (largest frame count first — big regions
+    /// are hardest to seat). The static overhead implicitly occupies
+    /// whatever fabric remains unplaced; it is not seated explicitly.
+    pub fn place_scheme(
+        &self,
+        scheme: &Scheme,
+        _static_overhead: Resources,
+    ) -> Result<Floorplan, FloorplanError> {
+        let reqs: Vec<TileCounts> = (0..scheme.regions.len())
+            .map(|r| scheme.region_tiles(r))
+            .collect();
+        self.place(&reqs)
+    }
+
+    /// Places a list of tile requirements; returns placements in the
+    /// *input* order.
+    pub fn place(&self, requirements: &[TileCounts]) -> Result<Floorplan, FloorplanError> {
+        let rows = self.geometry.rows() as usize;
+        let cols = self.geometry.num_columns();
+        let mut occupied = vec![vec![false; cols]; rows];
+        for ob in &self.obstacles {
+            for r in ob.rows.clone() {
+                for c in ob.cols.clone() {
+                    if (r as usize) < rows && c < cols {
+                        occupied[r as usize][c] = true;
+                    }
+                }
+            }
+        }
+
+        // Largest-first placement order.
+        let mut order: Vec<usize> = (0..requirements.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(requirements[i].frames()));
+
+        let mut placements: Vec<Option<Placement>> = vec![None; requirements.len()];
+        for &ri in &order {
+            let req = &requirements[ri];
+            if req.total_tiles() == 0 {
+                // Degenerate region (all-zero partition): a 1×1 CLB tile
+                // placeholder keeps it addressable.
+                let p = self
+                    .find_rect(&occupied, &TileCounts { clb_tiles: 1, ..TileCounts::ZERO }, ri)?;
+                mark(&mut occupied, &p);
+                placements[ri] = Some(p);
+                continue;
+            }
+            let p = self.find_rect(&occupied, req, ri)?;
+            mark(&mut occupied, &p);
+            placements[ri] = Some(p);
+        }
+        Ok(Floorplan {
+            geometry: self.geometry.clone(),
+            placements: placements.into_iter().map(|p| p.expect("all placed")).collect(),
+        })
+    }
+
+    /// Finds the free rectangle with the least wasted frames that covers
+    /// `req`. Scans every row span and start column with a two-pointer
+    /// window over columns.
+    fn find_rect(
+        &self,
+        occupied: &[Vec<bool>],
+        req: &TileCounts,
+        region: usize,
+    ) -> Result<Placement, FloorplanError> {
+        let total_rows = self.geometry.rows();
+        let cols = self.geometry.num_columns();
+        // Quick infeasibility check against the whole device.
+        let dev = self.geometry.total_resources();
+        let dev_tiles = TileCounts {
+            clb_tiles: dev.clb / prpart_arch::tile::CLBS_PER_TILE,
+            bram_tiles: dev.bram / prpart_arch::tile::BRAMS_PER_TILE,
+            dsp_tiles: dev.dsp / prpart_arch::tile::DSPS_PER_TILE,
+        };
+        if req.clb_tiles > dev_tiles.clb_tiles
+            || req.bram_tiles > dev_tiles.bram_tiles
+            || req.dsp_tiles > dev_tiles.dsp_tiles
+        {
+            return Err(FloorplanError::RegionTooLarge { region });
+        }
+
+        let need_frames = req.frames();
+        let mut best: Option<(u64, Placement)> = None;
+        for row_start in 0..total_rows {
+            for row_end in row_start + 1..=total_rows {
+                let span = row_end - row_start;
+                // Two-pointer window [col_start, col_end): `have` always
+                // holds the tile counts of exactly that window, and every
+                // column in it is free over the row span.
+                let mut col_start = 0usize;
+                let mut col_end = 0usize;
+                let mut have = TileCounts::ZERO;
+                let add = |have: &mut TileCounts, col: usize, geometry: &DeviceGeometry| match geometry
+                    .column(col)
+                {
+                    BlockKind::Clb => have.clb_tiles += span,
+                    BlockKind::Bram => have.bram_tiles += span,
+                    BlockKind::Dsp => have.dsp_tiles += span,
+                };
+                let remove = |have: &mut TileCounts, col: usize, geometry: &DeviceGeometry| match geometry
+                    .column(col)
+                {
+                    BlockKind::Clb => have.clb_tiles -= span,
+                    BlockKind::Bram => have.bram_tiles -= span,
+                    BlockKind::Dsp => have.dsp_tiles -= span,
+                };
+                while col_start < cols {
+                    // Grow until the requirement is met or we hit an
+                    // occupied column / the right edge.
+                    let mut blocked = false;
+                    while col_end < cols && !covers(&have, req) {
+                        if !col_free(occupied, col_end, row_start, row_end) {
+                            blocked = true;
+                            break;
+                        }
+                        add(&mut have, col_end, &self.geometry);
+                        col_end += 1;
+                    }
+                    if covers(&have, req) {
+                        let cand = Placement {
+                            region,
+                            cols: col_start..col_end,
+                            rows: row_start..row_end,
+                        };
+                        let aspect_ok = self.max_aspect.is_none_or(|limit| {
+                            let w = cand.cols.len() as f64;
+                            let h = cand.rows.len() as f64;
+                            (w / h).max(h / w) <= limit
+                        });
+                        let waste = cand.tiles(&self.geometry).frames() - need_frames;
+                        if aspect_ok && best.as_ref().is_none_or(|(w, _)| waste < *w) {
+                            best = Some((waste, cand));
+                        }
+                        // Slide: drop the leftmost column, try again.
+                        remove(&mut have, col_start, &self.geometry);
+                        col_start += 1;
+                    } else if blocked {
+                        // Restart the window past the obstacle.
+                        col_start = col_end + 1;
+                        col_end = col_start;
+                        have = TileCounts::ZERO;
+                    } else {
+                        break; // right edge reached without covering
+                    }
+                }
+            }
+        }
+        best.map(|(_, p)| p).ok_or(FloorplanError::NoSpace { region })
+    }
+}
+
+fn covers(have: &TileCounts, req: &TileCounts) -> bool {
+    have.clb_tiles >= req.clb_tiles
+        && have.bram_tiles >= req.bram_tiles
+        && have.dsp_tiles >= req.dsp_tiles
+}
+
+fn col_free(occupied: &[Vec<bool>], col: usize, row_start: u32, row_end: u32) -> bool {
+    (row_start..row_end).all(|r| !occupied[r as usize][col])
+}
+
+fn mark(occupied: &mut [Vec<bool>], p: &Placement) {
+    for r in p.rows.clone() {
+        for c in p.cols.clone() {
+            debug_assert!(!occupied[r as usize][c]);
+            occupied[r as usize][c] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_arch::DeviceGeometry;
+
+    fn small_geometry() -> DeviceGeometry {
+        // 4 rows; pattern C C B C D C C B C C (8 CLB, 2 BRAM, 1 DSP cols).
+        use BlockKind::*;
+        DeviceGeometry::new(
+            vec![Clb, Clb, Bram, Clb, Dsp, Clb, Clb, Bram, Clb, Clb],
+            4,
+        )
+    }
+
+    #[test]
+    fn single_region_places_min_waste() {
+        let fp = Floorplanner::new(small_geometry());
+        // Need 2 CLB tiles and 1 BRAM tile.
+        let req = TileCounts { clb_tiles: 2, bram_tiles: 1, dsp_tiles: 0 };
+        let plan = fp.place(&[req]).unwrap();
+        let p = &plan.placements[0];
+        let got = p.tiles(fp.geometry());
+        assert!(got.clb_tiles >= 2 && got.bram_tiles >= 1);
+        // One row tall suffices; minimal waste should keep it at 1 row.
+        assert_eq!(p.rows.len(), 1);
+    }
+
+    #[test]
+    fn multiple_regions_do_not_overlap() {
+        let fp = Floorplanner::new(small_geometry());
+        let reqs = vec![
+            TileCounts { clb_tiles: 4, bram_tiles: 1, dsp_tiles: 0 },
+            TileCounts { clb_tiles: 3, bram_tiles: 0, dsp_tiles: 1 },
+            TileCounts { clb_tiles: 2, bram_tiles: 1, dsp_tiles: 0 },
+        ];
+        let plan = fp.place(&reqs).unwrap();
+        plan.check_non_overlapping().unwrap();
+        for (i, p) in plan.placements.iter().enumerate() {
+            let got = p.tiles(fp.geometry());
+            assert!(
+                got.clb_tiles >= reqs[i].clb_tiles
+                    && got.bram_tiles >= reqs[i].bram_tiles
+                    && got.dsp_tiles >= reqs[i].dsp_tiles,
+                "region {i}: {got:?} < {:?}",
+                reqs[i]
+            );
+        }
+        assert!(plan.utilisation() > 0.0 && plan.utilisation() <= 1.0);
+    }
+
+    #[test]
+    fn oversized_region_is_rejected() {
+        let fp = Floorplanner::new(small_geometry());
+        let req = TileCounts { clb_tiles: 100, bram_tiles: 0, dsp_tiles: 0 };
+        assert_eq!(
+            fp.place(&[req]).unwrap_err(),
+            FloorplanError::RegionTooLarge { region: 0 }
+        );
+    }
+
+    #[test]
+    fn crowded_device_runs_out_of_space() {
+        let fp = Floorplanner::new(small_geometry());
+        // Each region wants 3 of the 8 CLB columns over all 4 rows;
+        // three of them need 9 columns — impossible.
+        let req = TileCounts { clb_tiles: 12, bram_tiles: 0, dsp_tiles: 0 };
+        let err = fp.place(&[req, req, req]).unwrap_err();
+        assert!(matches!(err, FloorplanError::NoSpace { .. }));
+    }
+
+    #[test]
+    fn zero_requirement_gets_placeholder_tile() {
+        let fp = Floorplanner::new(small_geometry());
+        let plan = fp.place(&[TileCounts::ZERO]).unwrap();
+        assert_eq!(plan.placements[0].tiles(fp.geometry()).clb_tiles, 1);
+    }
+
+    #[test]
+    fn render_shows_regions() {
+        let fp = Floorplanner::new(small_geometry());
+        let reqs = vec![
+            TileCounts { clb_tiles: 2, bram_tiles: 0, dsp_tiles: 0 },
+            TileCounts { clb_tiles: 2, bram_tiles: 0, dsp_tiles: 0 },
+        ];
+        let plan = fp.place(&reqs).unwrap();
+        let art = plan.render();
+        assert!(art.contains('0') && art.contains('1'), "{art}");
+        assert_eq!(art.lines().count(), 4);
+    }
+
+    #[test]
+    fn obstacles_are_avoided() {
+        let fp = Floorplanner::new(small_geometry()).with_obstacles(vec![Obstacle {
+            cols: 0..4,
+            rows: 0..4,
+        }]);
+        let req = TileCounts { clb_tiles: 3, bram_tiles: 1, dsp_tiles: 0 };
+        let plan = fp.place(&[req]).unwrap();
+        let p = &plan.placements[0];
+        assert!(p.cols.start >= 4, "placement {p:?} inside the obstacle");
+        // A full-device obstacle leaves no space at all.
+        let blocked = Floorplanner::new(small_geometry()).with_obstacles(vec![Obstacle {
+            cols: 0..10,
+            rows: 0..4,
+        }]);
+        assert!(matches!(
+            blocked.place(&[req]).unwrap_err(),
+            FloorplanError::NoSpace { .. }
+        ));
+    }
+
+    #[test]
+    fn aspect_limit_forbids_slivers() {
+        // 6 CLB tiles in one row would be a 6:1 sliver; with an aspect
+        // limit of 3 the placer must use at least two rows.
+        let fp = Floorplanner::new(small_geometry()).with_max_aspect(3.0);
+        let req = TileCounts { clb_tiles: 6, bram_tiles: 0, dsp_tiles: 0 };
+        let plan = fp.place(&[req]).unwrap();
+        let p = &plan.placements[0];
+        let w = p.cols.len() as f64;
+        let h = p.rows.len() as f64;
+        assert!((w / h).max(h / w) <= 3.0, "{p:?} violates the aspect limit");
+        let got = p.tiles(fp.geometry());
+        assert!(got.clb_tiles >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "aspect limit")]
+    fn aspect_below_one_rejected() {
+        let _ = Floorplanner::new(small_geometry()).with_max_aspect(0.5);
+    }
+
+    mod properties {
+        use super::*;
+        use prpart_arch::BlockKind;
+        use proptest::prelude::*;
+
+        fn arb_geometry() -> impl Strategy<Value = DeviceGeometry> {
+            (
+                proptest::collection::vec(0u8..3, 4..20),
+                2u32..6,
+            )
+                .prop_map(|(kinds, rows)| {
+                    let cols: Vec<BlockKind> = kinds
+                        .into_iter()
+                        .map(|k| match k {
+                            0 => BlockKind::Clb,
+                            1 => BlockKind::Bram,
+                            _ => BlockKind::Dsp,
+                        })
+                        .collect();
+                    DeviceGeometry::new(cols, rows)
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Any requirement list either places validly — in bounds,
+            /// non-overlapping, each rectangle covering its request — or
+            /// fails with a typed error; never panics.
+            #[test]
+            fn prop_place_is_sound(
+                geometry in arb_geometry(),
+                reqs in proptest::collection::vec((0u32..8, 0u32..3, 0u32..3), 1..5),
+            ) {
+                let reqs: Vec<TileCounts> = reqs
+                    .into_iter()
+                    .map(|(c, b, d)| TileCounts { clb_tiles: c, bram_tiles: b, dsp_tiles: d })
+                    .collect();
+                let fp = Floorplanner::new(geometry.clone());
+                match fp.place(&reqs) {
+                    Ok(plan) => {
+                        prop_assert!(plan.check_non_overlapping().is_ok());
+                        prop_assert_eq!(plan.placements.len(), reqs.len());
+                        for (i, p) in plan.placements.iter().enumerate() {
+                            prop_assert!(p.cols.end <= geometry.num_columns());
+                            prop_assert!(p.rows.end <= geometry.rows());
+                            prop_assert!(!p.cols.is_empty() && !p.rows.is_empty());
+                            let got = p.tiles(&geometry);
+                            prop_assert!(got.clb_tiles >= reqs[i].clb_tiles);
+                            prop_assert!(got.bram_tiles >= reqs[i].bram_tiles);
+                            prop_assert!(got.dsp_tiles >= reqs[i].dsp_tiles);
+                        }
+                        prop_assert!(plan.utilisation() <= 1.0 + 1e-9);
+                    }
+                    Err(FloorplanError::RegionTooLarge { region }) => {
+                        prop_assert!(region < reqs.len());
+                    }
+                    Err(FloorplanError::NoSpace { region }) => {
+                        prop_assert!(region < reqs.len());
+                    }
+                }
+            }
+
+            /// Obstacles never cause overlap with placements.
+            #[test]
+            fn prop_obstacles_respected(
+                geometry in arb_geometry(),
+                ob_col in 0usize..4,
+                ob_rows in 1u32..3,
+                req_clb in 1u32..6,
+            ) {
+                let ob = Obstacle { cols: ob_col..(ob_col + 2).min(8), rows: 0..ob_rows };
+                let fp = Floorplanner::new(geometry.clone()).with_obstacles(vec![ob.clone()]);
+                let req = TileCounts { clb_tiles: req_clb, bram_tiles: 0, dsp_tiles: 0 };
+                if let Ok(plan) = fp.place(&[req]) {
+                    let p = &plan.placements[0];
+                    let cols_overlap = p.cols.start < ob.cols.end.min(geometry.num_columns())
+                        && ob.cols.start < p.cols.end;
+                    let rows_overlap = p.rows.start < ob.rows.end.min(geometry.rows())
+                        && ob.rows.start < p.rows.end;
+                    prop_assert!(!(cols_overlap && rows_overlap), "placement {:?} in obstacle", p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placements_returned_in_input_order() {
+        let fp = Floorplanner::new(small_geometry());
+        let reqs = vec![
+            TileCounts { clb_tiles: 1, bram_tiles: 0, dsp_tiles: 0 },
+            TileCounts { clb_tiles: 6, bram_tiles: 0, dsp_tiles: 0 },
+        ];
+        let plan = fp.place(&reqs).unwrap();
+        assert_eq!(plan.placements[0].region, 0);
+        assert_eq!(plan.placements[1].region, 1);
+    }
+}

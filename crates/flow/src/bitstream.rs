@@ -1,0 +1,317 @@
+//! Partial bitstream generation (flow step 7).
+//!
+//! Only the bitstream *size* matters to the studied metrics — it is the
+//! frame count times 164 bytes — but the runtime simulator and the ICAP
+//! controller model consume real byte buffers, so we generate
+//! Virtex-5-shaped ones: a sync word, a type-1 frame-address write, a
+//! type-1 FDRI write header announcing the payload length in words, the
+//! payload itself (deterministic per seed), and a trailing CRC-32. A
+//! verifier checks the framing; the runtime uses the length for timing.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use prpart_arch::tile::{BYTES_PER_FRAME, WORDS_PER_FRAME};
+use prpart_core::Scheme;
+use prpart_floorplan::Floorplan;
+
+/// The Xilinx sync word opening every configuration stream.
+pub const SYNC_WORD: u32 = 0xAA99_5566;
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A generated partial bitstream for one (region, partition) pair.
+#[derive(Debug, Clone)]
+pub struct PartialBitstream {
+    /// Region index in the scheme.
+    pub region: usize,
+    /// Pool index of the partition this bitstream loads.
+    pub partition: usize,
+    /// Number of configuration frames in the payload.
+    pub frames: u64,
+    /// The framed bytes.
+    pub data: Bytes,
+}
+
+impl PartialBitstream {
+    /// Payload size in bytes (excluding framing).
+    pub fn payload_bytes(&self) -> u64 {
+        self.frames * BYTES_PER_FRAME as u64
+    }
+}
+
+/// Deterministic payload generator (xorshift64*), seeded per bitstream so
+/// regeneration is reproducible.
+fn payload_into(buf: &mut BytesMut, words: u64, mut seed: u64) {
+    seed = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+    for _ in 0..words {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        buf.put_u32((seed as u32) ^ (seed >> 32) as u32);
+    }
+}
+
+/// Generates the partial bitstream that loads `partition` into `region`,
+/// using the region index as a symbolic frame address (no floorplan
+/// needed). See [`generate_partial_placed`] for real FAR values.
+pub fn generate_partial(scheme: &Scheme, region: usize, partition: usize) -> PartialBitstream {
+    generate_with_far(scheme, region, partition, region as u32)
+}
+
+/// Generates the partial bitstream with the *placed* frame address: the
+/// FAR word is the packed address of the placement rectangle's first
+/// frame (the hardware auto-increments from there), tying the bitstream
+/// artefacts to the floorplan exactly as the vendor flow does.
+pub fn generate_partial_placed(
+    scheme: &Scheme,
+    floorplan: &Floorplan,
+    region: usize,
+    partition: usize,
+) -> PartialBitstream {
+    let placement = floorplan
+        .placements
+        .iter()
+        .find(|p| p.region == region)
+        .expect("region is placed");
+    let far = prpart_arch::frames_for_rect(
+        &floorplan.geometry,
+        placement.cols.clone(),
+        placement.rows.clone(),
+    )
+    .first()
+    .map(|f| f.pack())
+    .unwrap_or(0);
+    generate_with_far(scheme, region, partition, far)
+}
+
+fn generate_with_far(scheme: &Scheme, region: usize, partition: usize, far: u32) -> PartialBitstream {
+    let frames = scheme.region_frames(region);
+    let words = frames * WORDS_PER_FRAME as u64;
+    let mut buf = BytesMut::with_capacity((words as usize + 8) * 4);
+    buf.put_u32(0xFFFF_FFFF); // dummy word
+    buf.put_u32(SYNC_WORD);
+    // Type-1 write to FAR: packet header 0x30002001, then the address.
+    buf.put_u32(0x3000_2001);
+    buf.put_u32(far);
+    // Type-1 write to FDRI announcing `words` payload words.
+    buf.put_u32(0x3000_4000 | (words as u32 & 0x7FF).min(0x7FF));
+    buf.put_u32(words as u32);
+    let header_len = buf.len();
+    payload_into(&mut buf, words, (region as u64) << 32 | partition as u64);
+    let crc = crc32(&buf[header_len..]);
+    buf.put_u32(crc);
+    PartialBitstream { region, partition, frames, data: buf.freeze() }
+}
+
+/// Generates every partial bitstream of a scheme: one per (region,
+/// hosted partition) pair — the flow's final outputs alongside the full
+/// initial bitstream. With a floorplan, FAR words are the placed
+/// addresses.
+pub fn generate_all(scheme: &Scheme) -> Vec<PartialBitstream> {
+    let mut out = Vec::new();
+    for (ri, region) in scheme.regions.iter().enumerate() {
+        for &p in &region.partitions {
+            out.push(generate_partial(scheme, ri, p));
+        }
+    }
+    out
+}
+
+/// [`generate_all`] with floorplan-derived frame addresses.
+pub fn generate_all_placed(scheme: &Scheme, floorplan: &Floorplan) -> Vec<PartialBitstream> {
+    let mut out = Vec::new();
+    for (ri, region) in scheme.regions.iter().enumerate() {
+        for &p in &region.partitions {
+            out.push(generate_partial_placed(scheme, floorplan, ri, p));
+        }
+    }
+    out
+}
+
+/// Reads the FAR word back out of a generated bitstream.
+pub fn far_of(bs: &PartialBitstream) -> u32 {
+    let d = &bs.data;
+    u32::from_be_bytes([d[12], d[13], d[14], d[15]])
+}
+
+/// Generates the full (power-on) bitstream covering every region plus a
+/// static-logic allowance, for completeness of the artefact set.
+pub fn generate_full(scheme: &Scheme, static_frames: u64) -> Bytes {
+    let total_frames: u64 =
+        (0..scheme.regions.len()).map(|r| scheme.region_frames(r)).sum::<u64>() + static_frames;
+    let words = total_frames * WORDS_PER_FRAME as u64;
+    let mut buf = BytesMut::with_capacity((words as usize + 4) * 4);
+    buf.put_u32(0xFFFF_FFFF);
+    buf.put_u32(SYNC_WORD);
+    buf.put_u32(0x3000_4000);
+    buf.put_u32(words as u32);
+    payload_into(&mut buf, words, 0xF00D);
+    let crc = crc32(&buf[8..]);
+    buf.put_u32(crc);
+    buf.freeze()
+}
+
+/// Structural verification: sync word present, declared length matches,
+/// CRC matches. Returns a description of the first problem found.
+pub fn verify(bs: &PartialBitstream) -> Result<(), String> {
+    let d = &bs.data;
+    if d.len() < 28 {
+        return Err("truncated bitstream".into());
+    }
+    let word = |i: usize| -> u32 {
+        u32::from_be_bytes([d[4 * i], d[4 * i + 1], d[4 * i + 2], d[4 * i + 3]])
+    };
+    if word(1) != SYNC_WORD {
+        return Err(format!("bad sync word {:#010x}", word(1)));
+    }
+    let words = word(5) as u64;
+    if words != bs.frames * WORDS_PER_FRAME as u64 {
+        return Err(format!("length mismatch: header {words} words, expected from {} frames", bs.frames));
+    }
+    let payload_start = 24;
+    let payload_end = d.len() - 4;
+    let declared_crc = u32::from_be_bytes([
+        d[payload_end],
+        d[payload_end + 1],
+        d[payload_end + 2],
+        d[payload_end + 3],
+    ]);
+    let actual = crc32(&d[payload_start..payload_end]);
+    if declared_crc != actual {
+        return Err(format!("CRC mismatch: stored {declared_crc:#010x}, computed {actual:#010x}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_core::Partitioner;
+    use prpart_design::corpus;
+
+    fn case_study_scheme() -> (prpart_design::Design, Scheme) {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let out = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap();
+        (d, out.best.unwrap().scheme)
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn partial_size_matches_frame_model() {
+        let (_, s) = case_study_scheme();
+        let bs = generate_partial(&s, 0, s.regions[0].partitions[0]);
+        assert_eq!(bs.frames, s.region_frames(0));
+        // Framing: 6 header words + payload + CRC word.
+        assert_eq!(
+            bs.data.len() as u64,
+            24 + bs.frames * BYTES_PER_FRAME as u64 + 4
+        );
+        assert_eq!(bs.payload_bytes(), bs.frames * 164);
+    }
+
+    #[test]
+    fn generated_bitstreams_verify() {
+        let (_, s) = case_study_scheme();
+        let all = generate_all(&s);
+        let expected: usize = s.regions.iter().map(|r| r.partitions.len()).sum();
+        assert_eq!(all.len(), expected);
+        for bs in &all {
+            verify(bs).unwrap();
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (_, s) = case_study_scheme();
+        let bs = generate_partial(&s, 0, s.regions[0].partitions[0]);
+        // Flip a payload byte.
+        let mut bad = bs.data.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        let corrupted = PartialBitstream {
+            data: Bytes::from(bad),
+            ..bs.clone()
+        };
+        let err = verify(&corrupted).unwrap_err();
+        assert!(err.contains("CRC"), "{err}");
+        // Break the sync word.
+        let mut bad = bs.data.to_vec();
+        bad[4] = 0;
+        let corrupted = PartialBitstream { data: Bytes::from(bad), ..bs };
+        assert!(verify(&corrupted).unwrap_err().contains("sync"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, s) = case_study_scheme();
+        let a = generate_partial(&s, 0, s.regions[0].partitions[0]);
+        let b = generate_partial(&s, 0, s.regions[0].partitions[0]);
+        assert_eq!(a.data, b.data);
+        // Different partitions in the same region differ in payload.
+        if s.regions[0].partitions.len() > 1 {
+            let c = generate_partial(&s, 0, s.regions[0].partitions[1]);
+            assert_ne!(a.data, c.data);
+            assert_eq!(a.data.len(), c.data.len(), "same region, same size");
+        }
+    }
+
+    #[test]
+    fn placed_bitstreams_carry_real_frame_addresses() {
+        let (d, s) = case_study_scheme();
+        let lib = prpart_arch::DeviceLibrary::virtex5();
+        let geometry = lib.by_name("SX70T").unwrap().geometry();
+        let planner = prpart_floorplan::Floorplanner::new(geometry);
+        let plan = planner.place_scheme(&s, d.static_overhead()).unwrap();
+        let placed = generate_all_placed(&s, &plan);
+        for bs in &placed {
+            verify(bs).unwrap();
+            let far = prpart_arch::FrameAddress::unpack(far_of(bs));
+            let placement = plan
+                .placements
+                .iter()
+                .find(|p| p.region == bs.region)
+                .unwrap();
+            assert_eq!(far.major as usize, placement.cols.start);
+            assert_eq!(far.row, placement.rows.start);
+            assert_eq!(far.minor, 0, "streams start at the first minor frame");
+        }
+        // Distinct regions get distinct addresses.
+        let mut fars: Vec<u32> = plan
+            .placements
+            .iter()
+            .map(|p| {
+                far_of(&generate_partial_placed(&s, &plan, p.region, s.regions[p.region].partitions[0]))
+            })
+            .collect();
+        fars.sort_unstable();
+        fars.dedup();
+        assert_eq!(fars.len(), plan.placements.len());
+    }
+
+    #[test]
+    fn full_bitstream_has_sync() {
+        let (_, s) = case_study_scheme();
+        let full = generate_full(&s, 100);
+        assert_eq!(
+            u32::from_be_bytes([full[4], full[5], full[6], full[7]]),
+            SYNC_WORD
+        );
+        assert!(full.len() > 100 * 164);
+    }
+}

@@ -1,0 +1,37 @@
+//! # prpart-flow — the proposed PR tool flow (paper Fig. 2)
+//!
+//! Orchestrates the seven steps of the paper's flow around the
+//! partitioner, with simulated substrates where the paper invokes vendor
+//! tools (DESIGN.md §4):
+//!
+//! 1. **Synthesis** ([`synthesis`]) — a deterministic resource estimator
+//!    standing in for Xilinx XST: op-level mode descriptions (LUTs,
+//!    registers, multipliers, memory bits) become CLB/BRAM/DSP triples;
+//!    [`specxml`] is its XML front door (`<design-spec>`).
+//! 2. **Partitioning** — `prpart-core`.
+//! 3. **Wrapper generation** ([`wrapper`]) — Verilog wrapper modules that
+//!    group the modes combined into one base partition and mux region
+//!    outputs, as the flow's step 3 describes.
+//! 4. **Netlists** ([`netlist`]) — per-region variant records (one per
+//!    hosted partition), the hand-off unit to placement.
+//! 5. **Floorplanning** — `prpart-floorplan`.
+//! 6. **Constraints** — UCF emission from the floorplan.
+//! 7. **Bitstreams** ([`bitstream`]) — frame-accurate partial bitstreams
+//!    (sync word, frame address, type-1 payload, CRC-32) whose sizes
+//!    follow the tile model exactly, plus a full initial bitstream.
+//!
+//! [`pipeline::FlowPipeline`] runs all seven and returns the artefacts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitstream;
+pub mod netlist;
+pub mod pipeline;
+pub mod specxml;
+pub mod synthesis;
+pub mod wrapper;
+
+pub use pipeline::{FlowArtifacts, FlowError, FlowPipeline};
+pub use specxml::parse_design_or_spec;
+pub use synthesis::{ModeSpec, ModuleSpec, SynthesisEstimator};

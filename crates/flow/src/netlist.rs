@@ -1,0 +1,112 @@
+//! Per-region netlist records (flow step 4).
+//!
+//! "A netlist for each partition is then automatically generated using
+//! vendor synthesis tools." We model the hand-off artefact: for every
+//! region, one netlist variant per hosted partition, carrying the cell
+//! counts (from the resource model) and the region's port list. The
+//! placement step and the bitstream sizes are driven by these records.
+
+use prpart_arch::Resources;
+use prpart_core::Scheme;
+use prpart_design::Design;
+
+/// One loadable variant of a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistVariant {
+    /// Pool index of the partition this variant implements.
+    pub partition: usize,
+    /// Human-readable label (mode names).
+    pub label: String,
+    /// Cell counts of the variant.
+    pub resources: Resources,
+}
+
+/// The netlist set of one region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionNetlist {
+    /// Region index.
+    pub region: usize,
+    /// Variants, one per hosted partition.
+    pub variants: Vec<NetlistVariant>,
+    /// The region's port list (identical across variants).
+    pub ports: Vec<String>,
+}
+
+impl RegionNetlist {
+    /// The largest variant per resource kind — what the region must be
+    /// sized for (Eq. 2).
+    pub fn envelope(&self) -> Resources {
+        self.variants
+            .iter()
+            .map(|v| v.resources)
+            .fold(Resources::ZERO, Resources::max)
+    }
+}
+
+/// Builds the netlist records for every region of a scheme.
+pub fn build_netlists(design: &Design, scheme: &Scheme) -> Vec<RegionNetlist> {
+    let ports: Vec<String> = [
+        "clk",
+        "rst_n",
+        "s_axis_tdata[31:0]",
+        "s_axis_tvalid",
+        "s_axis_tready",
+        "m_axis_tdata[31:0]",
+        "m_axis_tvalid",
+        "m_axis_tready",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    scheme
+        .regions
+        .iter()
+        .enumerate()
+        .map(|(ri, region)| RegionNetlist {
+            region: ri,
+            variants: region
+                .partitions
+                .iter()
+                .map(|&p| NetlistVariant {
+                    partition: p,
+                    label: scheme.partitions[p].label(design),
+                    resources: scheme.partitions[p].resources,
+                })
+                .collect(),
+            ports: ports.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_core::Partitioner;
+    use prpart_design::corpus;
+
+    #[test]
+    fn envelope_matches_region_sizing() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let out = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap();
+        let s = out.best.unwrap().scheme;
+        let nets = build_netlists(&d, &s);
+        assert_eq!(nets.len(), s.regions.len());
+        for n in &nets {
+            assert_eq!(n.envelope(), s.region_resources(n.region));
+            assert_eq!(n.variants.len(), s.regions[n.region].partitions.len());
+            assert!(!n.ports.is_empty());
+        }
+    }
+
+    #[test]
+    fn variant_labels_are_readable() {
+        let d = corpus::abc_example();
+        let out = Partitioner::new(prpart_arch::Resources::new(1100, 20, 24))
+            .partition(&d)
+            .unwrap();
+        let s = out.best.unwrap().scheme;
+        let nets = build_netlists(&d, &s);
+        let any_label = &nets[0].variants[0].label;
+        assert!(!any_label.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! The end-to-end flow pipeline (paper Fig. 2): XML in, artefacts out.
+
+use crate::bitstream::{self, PartialBitstream};
+use crate::netlist::{build_netlists, RegionNetlist};
+use crate::wrapper::{self, Wrapper};
+use bytes::Bytes;
+use prpart_arch::{frames_for, Device};
+use prpart_core::{EvaluatedScheme, PartitionError, Partitioner};
+use prpart_design::Design;
+use prpart_floorplan::{emit_ucf, FeedbackError, Floorplan};
+use prpart_xmlio::SchemaError;
+use std::fmt;
+
+/// A pipeline failure, tagged by stage.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Design entry (stage 0) failed.
+    Parse(SchemaError),
+    /// Partitioning (stage 2) failed.
+    Partition(PartitionError),
+    /// Floorplanning (stage 5) failed even with feedback.
+    Floorplan(FeedbackError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Parse(e) => write!(f, "design entry: {e}"),
+            FlowError::Partition(e) => write!(f, "partitioning: {e}"),
+            FlowError::Floorplan(e) => write!(f, "floorplanning: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Everything the flow produces for one design on one device.
+#[derive(Debug)]
+pub struct FlowArtifacts {
+    /// The parsed/validated design.
+    pub design: Design,
+    /// The chosen partitioning with metrics.
+    pub evaluated: EvaluatedScheme,
+    /// Region placements.
+    pub floorplan: Floorplan,
+    /// UCF constraint text (stage 6).
+    pub ucf: String,
+    /// One wrapper per (region, partition) (stage 3).
+    pub wrappers: Vec<Wrapper>,
+    /// Netlist records per region (stage 4).
+    pub netlists: Vec<RegionNetlist>,
+    /// Partial bitstreams, one per (region, partition) (stage 7).
+    pub partial_bitstreams: Vec<PartialBitstream>,
+    /// The full power-on bitstream.
+    pub full_bitstream: Bytes,
+    /// Feedback retries the floorplanner needed.
+    pub floorplan_retries: usize,
+}
+
+impl FlowArtifacts {
+    /// Total bytes of all partial bitstreams (a flow-level sanity
+    /// metric: proportional to reconfigurable area times variants).
+    pub fn total_partial_bytes(&self) -> u64 {
+        self.partial_bitstreams.iter().map(|b| b.data.len() as u64).sum()
+    }
+}
+
+/// The pipeline: a device plus partitioner settings.
+#[derive(Debug, Clone)]
+pub struct FlowPipeline {
+    /// Target device.
+    pub device: Device,
+    /// Maximum floorplan feedback retries.
+    pub max_floorplan_retries: usize,
+}
+
+impl FlowPipeline {
+    /// Creates a pipeline for a device with default settings.
+    pub fn new(device: Device) -> Self {
+        FlowPipeline { device, max_floorplan_retries: 4 }
+    }
+
+    /// Runs the flow from design-entry XML text — either a
+    /// pre-synthesised `<design>` or an op-level `<design-spec>`
+    /// (synthesised by the stage-1 estimator on the way in).
+    pub fn run_xml(&self, xml_text: &str) -> Result<FlowArtifacts, FlowError> {
+        let design = crate::specxml::parse_design_or_spec(xml_text).map_err(FlowError::Parse)?;
+        self.run(design)
+    }
+
+    /// Runs the flow from an already-built design.
+    pub fn run(&self, design: Design) -> Result<FlowArtifacts, FlowError> {
+        // Stages 2 + 5 with the feedback loop.
+        let planned = prpart_floorplan::place_with_feedback(
+            &design,
+            &self.device,
+            Partitioner::new,
+            self.max_floorplan_retries,
+        )
+        .map_err(|e| match e {
+            FeedbackError::Partition(pe) => FlowError::Partition(pe),
+            other => FlowError::Floorplan(other),
+        })?;
+        let evaluated = planned.evaluated;
+        let floorplan = planned.floorplan;
+        // Stage 6: constraints.
+        let ucf = emit_ucf(&floorplan, design.name());
+        // Stages 3, 4, 7.
+        let wrappers = wrapper::generate_all(&design, &evaluated.scheme);
+        let netlists = build_netlists(&design, &evaluated.scheme);
+        let partial_bitstreams = bitstream::generate_all_placed(&evaluated.scheme, &floorplan);
+        let static_frames = frames_for(&design.static_overhead());
+        let full_bitstream = bitstream::generate_full(&evaluated.scheme, static_frames);
+        Ok(FlowArtifacts {
+            design,
+            evaluated,
+            floorplan,
+            ucf,
+            wrappers,
+            netlists,
+            partial_bitstreams,
+            full_bitstream,
+            floorplan_retries: planned.retries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_arch::DeviceLibrary;
+    use prpart_design::corpus;
+    use prpart_xmlio::render_design;
+
+    #[test]
+    fn full_pipeline_from_xml() {
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("SX70T").unwrap().clone();
+        let xml = render_design(&corpus::video_receiver(corpus::VideoConfigSet::Original));
+        let artifacts = FlowPipeline::new(device).run_xml(&xml).unwrap();
+
+        // Consistency across artefacts.
+        let nregions = artifacts.evaluated.metrics.num_regions;
+        assert_eq!(artifacts.floorplan.placements.len(), nregions);
+        let nvariants: usize = artifacts
+            .evaluated
+            .scheme
+            .regions
+            .iter()
+            .map(|r| r.partitions.len())
+            .sum();
+        assert_eq!(artifacts.wrappers.len(), nvariants);
+        assert_eq!(artifacts.partial_bitstreams.len(), nvariants);
+        assert_eq!(artifacts.netlists.len(), nregions);
+        assert!(artifacts.ucf.contains("AREA_GROUP"));
+        assert!(artifacts.total_partial_bytes() > 0);
+        for bs in &artifacts.partial_bitstreams {
+            crate::bitstream::verify(bs).unwrap();
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_tagged() {
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("SX70T").unwrap().clone();
+        let err = FlowPipeline::new(device).run_xml("<not-a-design/>").unwrap_err();
+        assert!(matches!(err, FlowError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn infeasible_device_is_tagged_partition_error() {
+        let lib = DeviceLibrary::virtex5();
+        let tiny = lib.by_name("LX20T").unwrap().clone();
+        let xml = render_design(&corpus::video_receiver(corpus::VideoConfigSet::Original));
+        let err = FlowPipeline::new(tiny).run_xml(&xml).unwrap_err();
+        assert!(matches!(err, FlowError::Partition(_)), "{err}");
+    }
+}

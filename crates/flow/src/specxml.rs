@@ -1,0 +1,182 @@
+//! Pre-synthesis design entry (`<design-spec>`).
+//!
+//! The flow's step 1 (Fig. 2) synthesises "design files for all modules
+//! (in all modes)" to obtain resource counts. This module is the XML
+//! front door for that path: modes are described at the *op level*
+//! (LUTs, registers, multipliers, memory bits) and run through the
+//! [`SynthesisEstimator`] before partitioning, instead of carrying
+//! pre-synthesised CLB/BRAM/DSP counts.
+//!
+//! ```xml
+//! <design-spec name="radio" overhead-percent="10">
+//!   <static clb="90" bram="8"/>
+//!   <module name="Filter">
+//!     <mode name="low" luts="800" registers="400" multipliers="8"/>
+//!     <mode name="high" luts="1800" registers="900" multipliers="16" memory-kbits="72"/>
+//!   </module>
+//!   <configurations>
+//!     <configuration name="c1"><use module="Filter" mode="low"/></configuration>
+//!     <configuration name="c2"><use module="Filter" mode="high"/></configuration>
+//!   </configurations>
+//! </design-spec>
+//! ```
+
+use crate::synthesis::{ModeSpec, ModuleSpec, SynthesisEstimator};
+use prpart_arch::Resources;
+use prpart_design::Design;
+use prpart_xmlio::{Element, SchemaError};
+
+fn schema_err<T>(msg: impl Into<String>) -> Result<T, SchemaError> {
+    Err(SchemaError::Schema(msg.into()))
+}
+
+fn attr_u32(el: &Element, name: &str, default: u32) -> Result<u32, SchemaError> {
+    match el.attr(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| {
+            SchemaError::Schema(format!("<{}> {name}=\"{v}\" is not a number", el.name))
+        }),
+    }
+}
+
+/// Parses a `<design-spec>` element and synthesises it into a [`Design`].
+pub fn design_from_spec_xml(root: &Element) -> Result<Design, SchemaError> {
+    if root.name != "design-spec" {
+        return schema_err(format!("expected <design-spec>, found <{}>", root.name));
+    }
+    let name = root.attr("name").unwrap_or("unnamed");
+    let estimator = SynthesisEstimator {
+        overhead_percent: attr_u32(root, "overhead-percent", 10)?,
+    };
+    let static_overhead = match root.child("static") {
+        Some(st) => Resources::new(
+            attr_u32(st, "clb", 0)?,
+            attr_u32(st, "bram", 0)?,
+            attr_u32(st, "dsp", 0)?,
+        ),
+        None => Resources::ZERO,
+    };
+    let mut modules = Vec::new();
+    for module in root.children_named("module") {
+        let mname = module.require_attr("name").map_err(SchemaError::Schema)?;
+        let mut modes = Vec::new();
+        for mode in module.children_named("mode") {
+            let kname = mode.require_attr("name").map_err(SchemaError::Schema)?;
+            modes.push(ModeSpec {
+                name: kname.to_string(),
+                luts: attr_u32(mode, "luts", 0)?,
+                registers: attr_u32(mode, "registers", 0)?,
+                multipliers: attr_u32(mode, "multipliers", 0)?,
+                memory_kbits: attr_u32(mode, "memory-kbits", 0)?,
+            });
+        }
+        if modes.is_empty() {
+            return schema_err(format!("module '{mname}' declares no <mode> children"));
+        }
+        modules.push(ModuleSpec { name: mname.to_string(), modes });
+    }
+    let confs = root
+        .child("configurations")
+        .ok_or_else(|| SchemaError::Schema("missing <configurations>".into()))?;
+    let mut configurations: Vec<(String, Vec<(String, String)>)> = Vec::new();
+    for (ci, conf) in confs.children_named("configuration").enumerate() {
+        let cname = conf
+            .attr("name")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("c{ci}"));
+        let mut picks = Vec::new();
+        for u in conf.children_named("use") {
+            picks.push((
+                u.require_attr("module").map_err(SchemaError::Schema)?.to_string(),
+                u.require_attr("mode").map_err(SchemaError::Schema)?.to_string(),
+            ));
+        }
+        configurations.push((cname, picks));
+    }
+    estimator
+        .synthesise_design(name, &modules, &configurations, static_overhead)
+        .map_err(SchemaError::Design)
+}
+
+/// Parses either design-entry format: a pre-synthesised `<design>` or an
+/// op-level `<design-spec>` (which is synthesised on the way in).
+pub fn parse_design_or_spec(text: &str) -> Result<Design, SchemaError> {
+    let root = prpart_xmlio::parse(text)?;
+    match root.name.as_str() {
+        "design" => prpart_xmlio::design_from_xml(&root),
+        "design-spec" => design_from_spec_xml(&root),
+        other => schema_err(format!("expected <design> or <design-spec>, found <{other}>")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"<design-spec name="radio" overhead-percent="0">
+      <static clb="90" bram="8"/>
+      <module name="Filter">
+        <mode name="low" luts="800" registers="400" multipliers="8"/>
+        <mode name="high" luts="1800" registers="900" multipliers="16" memory-kbits="72"/>
+      </module>
+      <module name="Codec">
+        <mode name="fast" luts="4000" registers="2000" memory-kbits="144"/>
+        <mode name="robust" luts="8000" registers="4000" multipliers="4" memory-kbits="288"/>
+      </module>
+      <configurations>
+        <configuration name="c1">
+          <use module="Filter" mode="low"/><use module="Codec" mode="fast"/>
+        </configuration>
+        <configuration name="c2">
+          <use module="Filter" mode="high"/><use module="Codec" mode="robust"/>
+        </configuration>
+        <configuration name="c3">
+          <use module="Filter" mode="low"/><use module="Codec" mode="robust"/>
+        </configuration>
+      </configurations>
+    </design-spec>"#;
+
+    #[test]
+    fn spec_synthesises_to_expected_resources() {
+        let d = parse_design_or_spec(SPEC).unwrap();
+        assert_eq!(d.name(), "radio");
+        assert_eq!(d.num_modes(), 4);
+        assert_eq!(d.static_overhead(), Resources::new(90, 8, 0));
+        // low: 800 LUTs / 8 = 100 CLBs, 8 mults, no memory.
+        let low = d.mode(d.mode_id("Filter", "low").unwrap()).resources;
+        assert_eq!(low, Resources::new(100, 0, 8));
+        // high: 1800/8 = 225 CLBs, 72 kbit / 36 = 2 BRAMs.
+        let high = d.mode(d.mode_id("Filter", "high").unwrap()).resources;
+        assert_eq!(high, Resources::new(225, 2, 16));
+    }
+
+    #[test]
+    fn spec_designs_partition_end_to_end() {
+        let d = parse_design_or_spec(SPEC).unwrap();
+        let budget = Resources::new(1600, 24, 32);
+        let best = prpart_core::Partitioner::new(budget)
+            .partition(&d)
+            .unwrap()
+            .best
+            .expect("feasible");
+        best.scheme.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn dispatcher_accepts_both_formats() {
+        let d = prpart_design::corpus::abc_example();
+        let as_design = prpart_xmlio::render_design(&d);
+        assert_eq!(parse_design_or_spec(&as_design).unwrap(), d);
+        assert!(parse_design_or_spec("<devices/>").is_err());
+    }
+
+    #[test]
+    fn spec_errors_are_positioned_and_typed() {
+        let bad = "<design-spec><module name='A'><mode name='a' luts='many'/></module></design-spec>";
+        let err = parse_design_or_spec(bad).unwrap_err();
+        assert!(err.to_string().contains("not a number"), "{err}");
+        let no_modes = "<design-spec><module name='A'/><configurations/></design-spec>";
+        let err = parse_design_or_spec(no_modes).unwrap_err();
+        assert!(err.to_string().contains("no <mode>"), "{err}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Mock synthesis: deterministic resource estimation standing in for
+//! Xilinx XST (flow step 1).
+//!
+//! The partitioner consumes only the per-mode resource triple; the paper
+//! itself notes that "if IP cores are used for some modules, resource
+//! usage is often available up front". This estimator maps an op-level
+//! description of a mode to Virtex-5 resources with the standard
+//! first-order rules:
+//!
+//! * a Virtex-5 CLB holds 8 six-input LUTs and 8 flip-flops,
+//! * an 18×25 multiply maps to one DSP48E slice,
+//! * memories map to 36 Kbit BlockRAMs,
+//! * control/routing overhead adds a calibrated percentage.
+
+use prpart_arch::Resources;
+use prpart_design::{Design, DesignBuilder, DesignError};
+
+/// Op-level description of one mode, as a designer (or an HLS front end)
+/// would provide it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeSpec {
+    /// Mode name.
+    pub name: String,
+    /// Six-input LUT count of the datapath.
+    pub luts: u32,
+    /// Flip-flop count.
+    pub registers: u32,
+    /// 18×25 (or smaller) multiplies.
+    pub multipliers: u32,
+    /// On-chip memory, in kilobits.
+    pub memory_kbits: u32,
+}
+
+impl ModeSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, luts: u32, registers: u32, multipliers: u32, memory_kbits: u32) -> Self {
+        ModeSpec {
+            name: name.to_string(),
+            luts,
+            registers,
+            multipliers,
+            memory_kbits,
+        }
+    }
+}
+
+/// A module as a list of mode specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleSpec {
+    /// Module name.
+    pub name: String,
+    /// Its modes.
+    pub modes: Vec<ModeSpec>,
+}
+
+/// The estimator, with a calibration factor for control overhead.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthesisEstimator {
+    /// Percentage overhead added to the LUT/FF-derived CLB count for
+    /// control logic and routing margin (XST-like defaults: 10%).
+    pub overhead_percent: u32,
+}
+
+impl Default for SynthesisEstimator {
+    fn default() -> Self {
+        SynthesisEstimator { overhead_percent: 10 }
+    }
+}
+
+/// LUTs (and FFs) per Virtex-5 CLB.
+pub const LUTS_PER_CLB: u32 = 8;
+/// Kilobits per BlockRAM.
+pub const KBITS_PER_BRAM: u32 = 36;
+
+impl SynthesisEstimator {
+    /// Estimates the resources of one mode.
+    pub fn estimate(&self, spec: &ModeSpec) -> Resources {
+        let cells = spec.luts.max(spec.registers);
+        let clb_raw = cells.div_ceil(LUTS_PER_CLB);
+        let clb = clb_raw + clb_raw * self.overhead_percent / 100;
+        Resources::new(
+            clb,
+            spec.memory_kbits.div_ceil(KBITS_PER_BRAM),
+            spec.multipliers,
+        )
+    }
+
+    /// "Synthesises" a whole design from module specs plus configurations
+    /// given as `(module, mode)` name lists — the flow's entry point when
+    /// the designer provides op-level descriptions rather than
+    /// pre-synthesised resource counts.
+    pub fn synthesise_design(
+        &self,
+        name: &str,
+        modules: &[ModuleSpec],
+        configurations: &[(String, Vec<(String, String)>)],
+        static_overhead: Resources,
+    ) -> Result<Design, DesignError> {
+        let mut b = DesignBuilder::new(name).static_overhead(static_overhead);
+        for m in modules {
+            let modes: Vec<(&str, Resources)> = m
+                .modes
+                .iter()
+                .map(|k| (k.name.as_str(), self.estimate(k)))
+                .collect();
+            b = b.module(&m.name, modes);
+        }
+        for (cname, picks) in configurations {
+            let refs: Vec<(&str, &str)> =
+                picks.iter().map(|(a, c)| (a.as_str(), c.as_str())).collect();
+            b = b.configuration(cname, refs);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_follows_first_order_rules() {
+        let est = SynthesisEstimator { overhead_percent: 0 };
+        let r = est.estimate(&ModeSpec::new("fir", 800, 400, 16, 72));
+        // 800 LUTs / 8 = 100 CLBs; 72 kbit / 36 = 2 BRAMs; 16 DSPs.
+        assert_eq!(r, Resources::new(100, 2, 16));
+    }
+
+    #[test]
+    fn registers_can_dominate() {
+        let est = SynthesisEstimator { overhead_percent: 0 };
+        let r = est.estimate(&ModeSpec::new("shift", 10, 81, 0, 0));
+        assert_eq!(r.clb, 11, "ceil(81/8)");
+    }
+
+    #[test]
+    fn overhead_is_applied() {
+        let est = SynthesisEstimator { overhead_percent: 10 };
+        let r = est.estimate(&ModeSpec::new("x", 800, 0, 0, 0));
+        assert_eq!(r.clb, 110);
+    }
+
+    #[test]
+    fn zero_spec_is_zero() {
+        let est = SynthesisEstimator::default();
+        assert_eq!(est.estimate(&ModeSpec::new("none", 0, 0, 0, 0)), Resources::ZERO);
+    }
+
+    #[test]
+    fn synthesise_design_builds_a_valid_design() {
+        let est = SynthesisEstimator::default();
+        let modules = vec![
+            ModuleSpec {
+                name: "Filter".into(),
+                modes: vec![
+                    ModeSpec::new("low", 400, 200, 8, 0),
+                    ModeSpec::new("high", 900, 500, 16, 36),
+                ],
+            },
+            ModuleSpec {
+                name: "Codec".into(),
+                modes: vec![
+                    ModeSpec::new("fast", 2000, 1500, 4, 144),
+                    ModeSpec::new("robust", 4000, 2500, 12, 288),
+                ],
+            },
+        ];
+        let configs = vec![
+            ("day".to_string(), vec![("Filter".into(), "low".into()), ("Codec".into(), "fast".into())]),
+            ("night".to_string(), vec![("Filter".into(), "high".into()), ("Codec".into(), "robust".into())]),
+        ];
+        let d = est
+            .synthesise_design("radio", &modules, &configs, Resources::new(90, 8, 0))
+            .unwrap();
+        assert_eq!(d.num_modes(), 4);
+        assert_eq!(d.num_configurations(), 2);
+        // high mode: ceil(900/8)=113 +10% = 124 CLBs, 1 BRAM, 16 DSPs.
+        let high = d.mode(d.mode_id("Filter", "high").unwrap()).resources;
+        assert_eq!(high, Resources::new(124, 1, 16));
+    }
+}

@@ -1,0 +1,292 @@
+//! Fixed-capacity bit set over `u64` blocks.
+//!
+//! The adjacency representation for [`crate::Graph`]: clique enumeration is
+//! dominated by neighbourhood intersections, which become word-parallel
+//! `AND`s here. Capacity is fixed at construction; all per-element
+//! operations are O(1) and set operations are O(capacity/64).
+
+use std::fmt;
+
+const BLOCK_BITS: usize = 64;
+
+/// A fixed-capacity set of small unsigned integers.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with room for values `0..nbits`.
+    pub fn new(nbits: usize) -> Self {
+        BitSet { blocks: vec![0; nbits.div_ceil(BLOCK_BITS)], nbits }
+    }
+
+    /// Creates a set containing every value in `0..nbits`.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = BitSet::new(nbits);
+        for b in &mut s.blocks {
+            *b = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Builds a set from an iterator of elements.
+    pub fn from_iter_with_capacity(nbits: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = BitSet::new(nbits);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.blocks.len() * BLOCK_BITS - self.nbits;
+        if extra > 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// Capacity (exclusive upper bound on storable values).
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Inserts `v`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `v >= capacity()`.
+    pub fn insert(&mut self, v: usize) -> bool {
+        assert!(v < self.nbits, "bit {v} out of capacity {}", self.nbits);
+        let (blk, bit) = (v / BLOCK_BITS, v % BLOCK_BITS);
+        let mask = 1u64 << bit;
+        let was = self.blocks[blk] & mask != 0;
+        self.blocks[blk] |= mask;
+        !was
+    }
+
+    /// Removes `v`; returns true if it was present.
+    pub fn remove(&mut self, v: usize) -> bool {
+        if v >= self.nbits {
+            return false;
+        }
+        let (blk, bit) = (v / BLOCK_BITS, v % BLOCK_BITS);
+        let mask = 1u64 << bit;
+        let was = self.blocks[blk] & mask != 0;
+        self.blocks[blk] &= !mask;
+        was
+    }
+
+    /// Membership test (out-of-range values are absent).
+    pub fn contains(&self, v: usize) -> bool {
+        v < self.nbits && self.blocks[v / BLOCK_BITS] & (1u64 << (v % BLOCK_BITS)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True if no elements are present.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// `self &= other` (element-wise intersection).
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= *b;
+        }
+        // If other is shorter, the tail intersects with nothing.
+        for a in self.blocks.iter_mut().skip(other.blocks.len()) {
+            *a = 0;
+        }
+    }
+
+    /// `self |= other`.
+    ///
+    /// # Panics
+    /// Panics if `other` holds elements beyond `self`'s capacity.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert!(
+            other.blocks.len() <= self.blocks.len()
+                || other.blocks[self.blocks.len()..].iter().all(|&b| b == 0),
+            "union source exceeds capacity"
+        );
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= *b;
+        }
+    }
+
+    /// `self -= other` (difference).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !*b;
+        }
+    }
+
+    /// Returns a new set that is the intersection of the two.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// True if `self` and `other` share no elements.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// True if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.blocks
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| a & !other.blocks.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let tz = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(bi * BLOCK_BITS + tz)
+                }
+            })
+        })
+    }
+
+    /// The smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to fit the largest element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        BitSet::from_iter_with_capacity(cap, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1usize, 3, 5, 64].into_iter().collect();
+        let b: BitSet = [3usize, 4, 64].into_iter().collect();
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 64]);
+        let mut u = BitSet::new(65);
+        u.union_with(&a);
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5, 64]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a: BitSet = [1usize, 3].into_iter().collect();
+        let b: BitSet = [1usize, 2, 3].into_iter().collect();
+        let c: BitSet = [70usize].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        // Differing capacities must still compare correctly.
+        assert!(a.is_subset(&BitSet::full(128)));
+        assert!(!c.is_subset(&a));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: BitSet = [5usize, 1, 127, 64].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 64, 127]);
+        assert_eq!(s.first(), Some(1));
+        assert_eq!(BitSet::new(10).first(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_std_hashset(values in proptest::collection::vec(0usize..200, 0..60)) {
+            let mut bs = BitSet::new(200);
+            let mut hs = std::collections::BTreeSet::new();
+            for &v in &values {
+                prop_assert_eq!(bs.insert(v), hs.insert(v));
+            }
+            prop_assert_eq!(bs.len(), hs.len());
+            prop_assert_eq!(bs.iter().collect::<Vec<_>>(), hs.iter().copied().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_intersection_commutes(
+            a in proptest::collection::btree_set(0usize..128, 0..40),
+            b in proptest::collection::btree_set(0usize..128, 0..40),
+        ) {
+            let sa = BitSet::from_iter_with_capacity(128, a.iter().copied());
+            let sb = BitSet::from_iter_with_capacity(128, b.iter().copied());
+            let i1: Vec<_> = sa.intersection(&sb).iter().collect();
+            let i2: Vec<_> = sb.intersection(&sa).iter().collect();
+            let expect: Vec<_> = a.intersection(&b).copied().collect();
+            prop_assert_eq!(&i1, &expect);
+            prop_assert_eq!(&i2, &expect);
+            prop_assert_eq!(sa.is_disjoint(&sb), expect.is_empty());
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Clique (complete sub-graph) enumeration.
+//!
+//! The clustering step of the paper (§IV-C) discovers *every* complete
+//! sub-graph of the mode co-occurrence graph, incrementally, as edges are
+//! added in descending weight order: a clique becomes complete exactly when
+//! its last edge arrives, so the "new complete sub-graphs" after inserting
+//! edge `{u, v}` are precisely the cliques of the current graph that contain
+//! both `u` and `v`. [`cliques_containing_edge`] enumerates those;
+//! [`all_cliques`] enumerates every clique of a static graph (used for
+//! verification), and [`maximal_cliques`] runs Bron–Kerbosch with pivoting
+//! (used as a property-test oracle).
+//!
+//! Clique counts are exponential in general; in this domain the graph is
+//! multipartite (modes of one module never co-occur) so cliques have at most
+//! one node per module and the counts stay small. All enumerators take a
+//! `limit` to guard against pathological inputs; hitting it returns
+//! [`CliqueLimitExceeded`].
+
+use crate::bitset::BitSet;
+use crate::graph::Graph;
+use std::fmt;
+
+/// Error returned when enumeration would exceed the caller's clique budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliqueLimitExceeded {
+    /// The limit that was exceeded.
+    pub limit: usize,
+}
+
+impl fmt::Display for CliqueLimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clique enumeration exceeded limit of {}", self.limit)
+    }
+}
+
+impl std::error::Error for CliqueLimitExceeded {}
+
+/// Enumerates every clique of `g` that contains both endpoints of the edge
+/// `{u, v}` (which must exist). Cliques are returned as sorted node lists.
+///
+/// This is the incremental discovery step of the agglomerative clustering
+/// loop: called right after `{u, v}` is inserted, it yields exactly the
+/// complete sub-graphs that the insertion created.
+pub fn cliques_containing_edge(
+    g: &Graph,
+    u: usize,
+    v: usize,
+    limit: usize,
+) -> Result<Vec<Vec<usize>>, CliqueLimitExceeded> {
+    assert!(g.has_edge(u, v), "edge {{{u}, {v}}} must exist");
+    let mut common = g.neighbors(u).clone();
+    common.intersect_with(g.neighbors(v));
+    let mut out = Vec::new();
+    let mut base = vec![u, v];
+    extend_cliques(g, &mut base, &common, &mut out, limit)?;
+    for c in &mut out {
+        c.sort_unstable();
+    }
+    Ok(out)
+}
+
+/// Recursively extends `current` (already a clique) with nodes from
+/// `candidates` (all adjacent to every member of `current`), emitting each
+/// extension. Candidates are consumed in ascending order and only larger
+/// nodes are used to extend, so every clique is emitted exactly once.
+fn extend_cliques(
+    g: &Graph,
+    current: &mut Vec<usize>,
+    candidates: &BitSet,
+    out: &mut Vec<Vec<usize>>,
+    limit: usize,
+) -> Result<(), CliqueLimitExceeded> {
+    if out.len() >= limit {
+        return Err(CliqueLimitExceeded { limit });
+    }
+    out.push(current.clone());
+    for w in candidates.iter() {
+        // Restrict further candidates to neighbours of w with index > w so
+        // each extension set is generated once, in ascending order.
+        let mut next = candidates.clone();
+        next.intersect_with(g.neighbors(w));
+        for lower in next.iter().take_while(|&x| x <= w).collect::<Vec<_>>() {
+            next.remove(lower);
+        }
+        current.push(w);
+        extend_cliques(g, current, &next, out, limit)?;
+        current.pop();
+    }
+    Ok(())
+}
+
+/// Enumerates every clique of `g` with at least `min_size` nodes
+/// (singletons count as cliques of size 1, matching the paper's treatment
+/// of isolated nodes as `k = 0` sub-graphs). Each clique is a sorted node
+/// list; the result covers the whole graph exactly once per clique.
+pub fn all_cliques(
+    g: &Graph,
+    min_size: usize,
+    limit: usize,
+) -> Result<Vec<Vec<usize>>, CliqueLimitExceeded> {
+    let n = g.num_nodes();
+    let mut out = Vec::new();
+    for start in 0..n {
+        // Candidates: neighbours of `start` with a larger index.
+        let mut cands = g.neighbors(start).clone();
+        for lower in cands.iter().take_while(|&x| x <= start).collect::<Vec<_>>() {
+            cands.remove(lower);
+        }
+        let mut base = vec![start];
+        extend_cliques(g, &mut base, &cands, &mut out, limit)?;
+    }
+    out.retain(|c| c.len() >= min_size);
+    Ok(out)
+}
+
+/// Maximal cliques via Bron–Kerbosch with pivoting. Used as an oracle in
+/// tests: every clique from [`all_cliques`] must be a subset of some
+/// maximal clique, and every maximal clique must itself be enumerated.
+pub fn maximal_cliques(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.num_nodes();
+    let mut out = Vec::new();
+    let mut r = Vec::new();
+    let p = BitSet::full(n);
+    let x = BitSet::new(n);
+    bron_kerbosch(g, &mut r, p, x, &mut out);
+    for c in &mut out {
+        c.sort_unstable();
+    }
+    out.sort();
+    out
+}
+
+fn bron_kerbosch(g: &Graph, r: &mut Vec<usize>, p: BitSet, x: BitSet, out: &mut Vec<Vec<usize>>) {
+    if p.is_empty() && x.is_empty() {
+        out.push(r.clone());
+        return;
+    }
+    // Pivot: the vertex in P ∪ X with the most neighbours in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .max_by_key(|&u| g.neighbors(u).intersection(&p).len())
+        .expect("P or X non-empty");
+    let mut ext = p.clone();
+    ext.difference_with(g.neighbors(pivot));
+    let mut p = p;
+    let mut x = x;
+    for v in ext.iter().collect::<Vec<_>>() {
+        let nv = g.neighbors(v);
+        r.push(v);
+        bron_kerbosch(g, r, p.intersection(nv), x.intersection(nv), out);
+        r.pop();
+        p.remove(v);
+        x.insert(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn paper_example_graph() -> Graph {
+        // Co-occurrence graph of the §III example design, nodes:
+        // 0=A1 1=A2 2=A3 3=B1 4=B2 5=C1 6=C2 7=C3.
+        // Configurations: {A3,B2,C3} {A1,B1,C1} {A3,B2,C1} {A1,B2,C2} {A2,B2,C3}.
+        let mut g = Graph::new(8);
+        for conf in [[2usize, 4, 7], [0, 3, 5], [2, 4, 5], [0, 4, 6], [1, 4, 7]] {
+            g.add_edge(conf[0], conf[1]);
+            g.add_edge(conf[0], conf[2]);
+            g.add_edge(conf[1], conf[2]);
+        }
+        g
+    }
+
+    #[test]
+    fn paper_example_has_27_cliques() {
+        // The co-occurrence graph of the §III example has 27 cliques:
+        // 8 singletons, 13 pairs and 6 triangles. The paper's Table I lists
+        // only 26 base partitions because the triangle {A1, B2, C1} (nodes
+        // 0, 4, 5) is complete in the graph but is no *subset of any single
+        // configuration* — its edges come from three different
+        // configurations. prpart-core filters cliques by configuration
+        // support to reproduce Table I (DESIGN.md §5); the graph layer
+        // reports true cliques.
+        let g = paper_example_graph();
+        let cliques = all_cliques(&g, 1, 10_000).unwrap();
+        assert_eq!(cliques.iter().filter(|c| c.len() == 1).count(), 8);
+        assert_eq!(cliques.iter().filter(|c| c.len() == 2).count(), 13);
+        assert_eq!(cliques.iter().filter(|c| c.len() == 3).count(), 6);
+        assert!(cliques.contains(&vec![0, 4, 5]), "the phantom triangle");
+        assert_eq!(cliques.len(), 27);
+    }
+
+    #[test]
+    fn cliques_are_unique_and_complete() {
+        let g = paper_example_graph();
+        let cliques = all_cliques(&g, 1, 10_000).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for c in &cliques {
+            assert!(g.is_clique(c), "{c:?} is not a clique");
+            assert!(seen.insert(c.clone()), "{c:?} enumerated twice");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_static() {
+        // Adding edges one by one and collecting cliques-containing-edge
+        // must enumerate the same clique set as all_cliques on the result.
+        let target = paper_example_graph();
+        let mut g = Graph::new(8);
+        let mut found: Vec<Vec<usize>> = (0..8).map(|v| vec![v]).collect();
+        for (u, v) in target.edges() {
+            g.add_edge(u, v);
+            found.extend(cliques_containing_edge(&g, u, v, 10_000).unwrap());
+        }
+        let mut expect = all_cliques(&target, 1, 10_000).unwrap();
+        found.sort();
+        expect.sort();
+        assert_eq!(found, expect);
+    }
+
+    #[test]
+    fn min_size_filter() {
+        let g = paper_example_graph();
+        let pairs_up = all_cliques(&g, 2, 10_000).unwrap();
+        assert_eq!(pairs_up.len(), 19); // 13 pairs + 6 triangles
+        assert!(pairs_up.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let g = paper_example_graph();
+        let err = all_cliques(&g, 1, 10).unwrap_err();
+        assert_eq!(err.limit, 10);
+        assert!(err.to_string().contains("exceeded"));
+    }
+
+    #[test]
+    fn maximal_cliques_of_example() {
+        // The 5 configurations plus the phantom triangle {A1, B2, C1}.
+        let g = paper_example_graph();
+        let max = maximal_cliques(&g);
+        let mut expect = vec![
+            vec![0, 3, 5],
+            vec![0, 4, 5],
+            vec![0, 4, 6],
+            vec![1, 4, 7],
+            vec![2, 4, 5],
+            vec![2, 4, 7],
+        ];
+        expect.sort();
+        assert_eq!(max, expect);
+    }
+
+    #[test]
+    fn edgeless_graph_has_only_singletons() {
+        let g = Graph::new(5);
+        let cliques = all_cliques(&g, 1, 100).unwrap();
+        assert_eq!(cliques.len(), 5);
+        let max = maximal_cliques(&g);
+        assert_eq!(max.len(), 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// all_cliques is sound (every result is a clique), duplicate-free,
+        /// and consistent with the Bron–Kerbosch oracle: each enumerated
+        /// clique is contained in some maximal clique, and each maximal
+        /// clique appears among the enumerated ones.
+        #[test]
+        fn prop_all_cliques_sound_and_consistent(
+            edges in proptest::collection::btree_set((0usize..9, 0usize..9), 0..18)
+        ) {
+            let mut g = Graph::new(9);
+            for (u, v) in edges {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            let cliques = all_cliques(&g, 1, 100_000).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for c in &cliques {
+                prop_assert!(g.is_clique(c));
+                prop_assert!(seen.insert(c.clone()));
+            }
+            let maximal = maximal_cliques(&g);
+            for m in &maximal {
+                prop_assert!(seen.contains(m), "maximal clique {:?} missing", m);
+            }
+            for c in &cliques {
+                prop_assert!(
+                    maximal.iter().any(|m| c.iter().all(|v| m.contains(v))),
+                    "clique {:?} not inside any maximal clique", c
+                );
+            }
+        }
+
+        /// Incremental discovery over any edge insertion order finds the
+        /// same clique set as static enumeration.
+        #[test]
+        fn prop_incremental_equals_static(
+            edges in proptest::collection::vec((0usize..8, 0usize..8), 0..16)
+        ) {
+            let mut g = Graph::new(8);
+            let mut found: Vec<Vec<usize>> = (0..8).map(|v| vec![v]).collect();
+            for (u, v) in edges {
+                if u == v || g.has_edge(u, v) {
+                    continue;
+                }
+                g.add_edge(u, v);
+                found.extend(cliques_containing_edge(&g, u, v, 100_000).unwrap());
+            }
+            let mut expect = all_cliques(&g, 1, 100_000).unwrap();
+            found.sort();
+            expect.sort();
+            prop_assert_eq!(found, expect);
+        }
+    }
+}

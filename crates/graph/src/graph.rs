@@ -1,0 +1,308 @@
+//! Undirected simple graphs over dense node indices, with optional
+//! symmetric integer edge weights.
+
+use crate::bitset::BitSet;
+use std::fmt;
+
+/// An undirected simple graph on nodes `0..n`, stored as adjacency bit
+/// sets. No self-loops, no parallel edges.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<BitSet>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: (0..n).map(|_| BitSet::new(n)).collect() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Adds the undirected edge `{u, v}`; returns true if it was new.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range nodes.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert_ne!(u, v, "self-loops are not allowed");
+        let fresh = self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        fresh
+    }
+
+    /// Removes the edge `{u, v}`; returns true if it was present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        let was = self.adj[u].remove(v);
+        self.adj[v].remove(u);
+        was
+    }
+
+    /// Edge membership test.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(v)
+    }
+
+    /// The neighbourhood of `u` as a bit set.
+    pub fn neighbors(&self, u: usize) -> &BitSet {
+        &self.adj[u]
+    }
+
+    /// Degree of node `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Iterates all edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&v| v > u).map(move |v| (u, v)))
+    }
+
+    /// True if every pair of distinct nodes in `nodes` is connected — i.e.
+    /// `nodes` induces a *complete sub-graph* (paper §IV-C).
+    pub fn is_clique(&self, nodes: &[usize]) -> bool {
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Connected components as sorted node lists, in order of smallest
+    /// member.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.num_nodes();
+        let mut seen = BitSet::new(n);
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen.contains(start) {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut comp = Vec::new();
+            seen.insert(start);
+            while let Some(u) = stack.pop() {
+                comp.push(u);
+                for v in self.adj[u].iter() {
+                    if seen.insert(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.num_nodes(), self.num_edges())
+    }
+}
+
+/// An undirected graph with symmetric non-negative integer edge weights.
+///
+/// In the partitioner the nodes are module modes and the weight of
+/// `{i, j}` is the co-occurrence count `W_ij` (paper §IV-C). A weight of
+/// zero means "no edge".
+#[derive(Clone)]
+pub struct WeightedGraph {
+    graph: Graph,
+    // Dense symmetric weight matrix; n is small (modes in a design).
+    weights: Vec<u64>,
+    n: usize,
+}
+
+impl WeightedGraph {
+    /// Creates an edgeless weighted graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph { graph: Graph::new(n), weights: vec![0; n * n], n }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying unweighted graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Sets the weight of `{u, v}`; a positive weight creates the edge, a
+    /// zero weight removes it.
+    pub fn set_weight(&mut self, u: usize, v: usize, w: u64) {
+        assert_ne!(u, v, "self-loops are not allowed");
+        self.weights[u * self.n + v] = w;
+        self.weights[v * self.n + u] = w;
+        if w > 0 {
+            self.graph.add_edge(u, v);
+        } else {
+            self.graph.remove_edge(u, v);
+        }
+    }
+
+    /// The weight of `{u, v}` (zero if absent).
+    pub fn weight(&self, u: usize, v: usize) -> u64 {
+        self.weights[u * self.n + v]
+    }
+
+    /// All weighted edges `(u, v, w)` with `u < v`, sorted by descending
+    /// weight; ties broken by `(u, v)` ascending for determinism. This is
+    /// the insertion order of the paper's agglomerative loop.
+    pub fn edges_by_weight_desc(&self) -> Vec<(usize, usize, u64)> {
+        let mut edges: Vec<(usize, usize, u64)> = self
+            .graph
+            .edges()
+            .map(|(u, v)| (u, v, self.weight(u, v)))
+            .collect();
+        edges.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        edges
+    }
+
+    /// The minimum edge weight over all node pairs in `nodes` — the
+    /// *frequency weight* of a multi-node base partition (paper §IV-C).
+    /// Returns `None` if `nodes` has fewer than two elements or is not a
+    /// clique.
+    pub fn min_internal_weight(&self, nodes: &[usize]) -> Option<u64> {
+        if nodes.len() < 2 {
+            return None;
+        }
+        let mut min = u64::MAX;
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                let w = self.weight(u, v);
+                if w == 0 {
+                    return None;
+                }
+                min = min.min(w);
+            }
+        }
+        Some(min)
+    }
+}
+
+impl fmt::Debug for WeightedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WeightedGraph(n={}, m={})", self.n, self.graph.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        Graph::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = triangle();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn clique_detection() {
+        let g = triangle();
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(g.is_clique(&[0, 1]));
+        assert!(g.is_clique(&[2])); // singleton is trivially complete
+        assert!(g.is_clique(&[])); // empty too
+        assert!(!g.is_clique(&[0, 3]));
+        assert!(!g.is_clique(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn components_split() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        let c = g.components();
+        assert_eq!(c, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn weighted_edges_sorted_desc() {
+        let mut w = WeightedGraph::new(4);
+        w.set_weight(0, 1, 1);
+        w.set_weight(2, 3, 5);
+        w.set_weight(0, 2, 5);
+        w.set_weight(1, 3, 2);
+        let e = w.edges_by_weight_desc();
+        assert_eq!(e, vec![(0, 2, 5), (2, 3, 5), (1, 3, 2), (0, 1, 1)]);
+    }
+
+    #[test]
+    fn zero_weight_removes_edge() {
+        let mut w = WeightedGraph::new(3);
+        w.set_weight(0, 1, 4);
+        assert!(w.graph().has_edge(0, 1));
+        w.set_weight(0, 1, 0);
+        assert!(!w.graph().has_edge(0, 1));
+        assert_eq!(w.weight(0, 1), 0);
+    }
+
+    #[test]
+    fn min_internal_weight_is_frequency_weight() {
+        // Paper Fig. 5(b): sub-graph {A3, B2, C3} has frequency weight 1,
+        // the weight of its weakest internal edge.
+        let mut w = WeightedGraph::new(3);
+        w.set_weight(0, 1, 2); // A3-B2
+        w.set_weight(0, 2, 1); // A3-C3
+        w.set_weight(1, 2, 2); // B2-C3
+        assert_eq!(w.min_internal_weight(&[0, 1, 2]), Some(1));
+        assert_eq!(w.min_internal_weight(&[0, 1]), Some(2));
+        assert_eq!(w.min_internal_weight(&[0]), None, "singletons use node weight");
+        // Not a clique -> None.
+        w.set_weight(0, 2, 0);
+        assert_eq!(w.min_internal_weight(&[0, 1, 2]), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! # prpart-graph — self-contained graph substrate
+//!
+//! Small, dependency-free graph toolkit backing the partitioner's
+//! agglomerative clustering (paper §IV-C). The paper's algorithm builds a
+//! *co-occurrence graph* over module modes, adds edges in descending weight
+//! order, and after every insertion searches for **new complete sub-graphs**
+//! (cliques) — each of which becomes a *base partition*.
+//!
+//! Provided here:
+//!
+//! * [`BitSet`] — fixed-capacity bit set with fast intersection, the
+//!   adjacency representation.
+//! * [`Graph`] — undirected simple graph over dense `u32` node indices.
+//! * [`WeightedGraph`] — a [`Graph`] plus symmetric integer edge weights and
+//!   descending-weight edge iteration.
+//! * [`cliques`] — enumeration of *all* cliques, of cliques containing a
+//!   given edge (the incremental step of the clustering loop), and maximal
+//!   cliques via Bron–Kerbosch (used for cross-checking in tests).
+//! * [`UnionFind`] — disjoint sets with path compression, used by the
+//!   floorplanner and in connectivity checks.
+//!
+//! petgraph would cover some of this but is not in the approved dependency
+//! list (DESIGN.md §2), and the incremental clique discovery is bespoke
+//! anyway.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitset;
+pub mod cliques;
+pub mod graph;
+pub mod unionfind;
+
+pub use bitset::BitSet;
+pub use graph::{Graph, WeightedGraph};
+pub use unionfind::UnionFind;

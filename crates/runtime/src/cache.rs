@@ -1,0 +1,432 @@
+//! Bitstream caching and configuration prefetching.
+//!
+//! The paper notes (§IV-B) that real reconfiguration time includes "the
+//! delay in fetching partial bitstreams from external memory", and its
+//! related work (ref \[4\]) reduces it by *prefetching*. This module models
+//! both:
+//!
+//! * [`MemoryModel`] — external bitstream storage (DDR or flash) with
+//!   throughput and latency;
+//! * [`BitstreamCache`] — an LRU on-chip buffer holding hot partial
+//!   bitstreams by (region, partition);
+//! * [`CachingManager`] — a configuration manager that fetches through
+//!   the cache and, after every transition, *prefetches* the bitstreams
+//!   of the most likely next configuration predicted by an online
+//!   first-order Markov model learned from the observed switch history.
+//!
+//! Prefetch traffic happens during idle time and is accounted separately;
+//! only demand misses add to reconfiguration latency.
+
+use crate::icap::IcapController;
+use prpart_core::Scheme;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// External bitstream storage timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryModel {
+    /// Sustained fetch throughput, bytes per second.
+    pub bytes_per_sec: u64,
+    /// Per-request latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl MemoryModel {
+    /// DDR2/3-class storage: ~1.6 GB/s effective, 200 ns latency.
+    pub const fn ddr() -> Self {
+        MemoryModel { bytes_per_sec: 1_600_000_000, latency_ns: 200 }
+    }
+
+    /// Parallel flash: ~40 MB/s, 10 µs latency — the painful case the
+    /// paper's ICAP-controller work (ref \[15\]) motivates caching for.
+    pub const fn flash() -> Self {
+        MemoryModel { bytes_per_sec: 40_000_000, latency_ns: 10_000 }
+    }
+
+    /// Time to fetch `bytes` from storage.
+    pub fn fetch_time(&self, bytes: u64) -> Duration {
+        if bytes == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.latency_ns + bytes * 1_000_000_000 / self.bytes_per_sec)
+    }
+}
+
+/// An LRU cache of partial bitstreams keyed by (region, partition).
+#[derive(Debug, Clone)]
+pub struct BitstreamCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    /// Key → size; recency tracked by the queue below.
+    entries: HashMap<(usize, usize), u64>,
+    /// LRU order, most recent last.
+    order: Vec<(usize, usize)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BitstreamCache {
+    /// Creates a cache with the given capacity in bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        BitstreamCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently held.
+    pub fn used(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// (hits, misses) since creation — counts only demand lookups.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Demand lookup: records a hit or miss.
+    pub fn lookup(&mut self, key: (usize, usize)) -> bool {
+        if self.entries.contains_key(&key) {
+            self.hits += 1;
+            self.touch(key);
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Peeks without affecting statistics (used by prefetch).
+    pub fn contains(&self, key: (usize, usize)) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    fn touch(&mut self, key: (usize, usize)) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push(key);
+        }
+    }
+
+    /// Inserts a bitstream of `bytes`, evicting LRU entries as needed.
+    /// Oversized items (bigger than the whole cache) are not cached.
+    pub fn insert(&mut self, key: (usize, usize), bytes: u64) {
+        if bytes > self.capacity_bytes {
+            return;
+        }
+        if self.entries.contains_key(&key) {
+            self.touch(key);
+            return;
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let victim = self.order.remove(0);
+            let sz = self.entries.remove(&victim).expect("order and map agree");
+            self.used_bytes -= sz;
+        }
+        self.entries.insert(key, bytes);
+        self.order.push(key);
+        self.used_bytes += bytes;
+    }
+}
+
+/// Online first-order Markov predictor over configuration switches.
+#[derive(Debug, Clone)]
+pub struct MarkovPredictor {
+    counts: Vec<Vec<u64>>,
+}
+
+impl MarkovPredictor {
+    /// Creates an untrained predictor over `n` configurations.
+    pub fn new(n: usize) -> Self {
+        MarkovPredictor { counts: vec![vec![0; n]; n] }
+    }
+
+    /// Records an observed switch.
+    pub fn observe(&mut self, from: usize, to: usize) {
+        if from != to {
+            self.counts[from][to] += 1;
+        }
+    }
+
+    /// The most likely next configuration from `current`, if any switch
+    /// from it has been observed.
+    pub fn predict(&self, current: usize) -> Option<usize> {
+        self.counts[current]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .max_by_key(|&(_, &c)| c)
+            .map(|(j, _)| j)
+    }
+}
+
+/// Cumulative timing breakdown of a [`CachingManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CachingStats {
+    /// Demand fetch time (cache misses on the critical path).
+    pub fetch_time: Duration,
+    /// ICAP write time (always on the critical path).
+    pub icap_time: Duration,
+    /// Bytes prefetched off the critical path.
+    pub prefetch_bytes: u64,
+}
+
+/// A configuration manager with bitstream caching and Markov prefetch.
+#[derive(Debug, Clone)]
+pub struct CachingManager {
+    scheme: Scheme,
+    icap: IcapController,
+    memory: MemoryModel,
+    cache: BitstreamCache,
+    predictor: MarkovPredictor,
+    states: Vec<Vec<Option<usize>>>,
+    contents: Vec<Option<usize>>,
+    current: Option<usize>,
+    stats: CachingStats,
+}
+
+impl CachingManager {
+    /// Creates a caching manager.
+    pub fn new(
+        scheme: Scheme,
+        icap: IcapController,
+        memory: MemoryModel,
+        cache_bytes: u64,
+    ) -> Self {
+        let states: Vec<Vec<Option<usize>>> =
+            (0..scheme.regions.len()).map(|r| scheme.region_states(r)).collect();
+        let contents = vec![None; scheme.regions.len()];
+        let n = scheme.num_configurations;
+        CachingManager {
+            scheme,
+            icap,
+            memory,
+            cache: BitstreamCache::new(cache_bytes),
+            predictor: MarkovPredictor::new(n),
+            states,
+            contents,
+            current: None,
+            stats: CachingStats::default(),
+        }
+    }
+
+    /// The cache (for statistics).
+    pub fn cache(&self) -> &BitstreamCache {
+        &self.cache
+    }
+
+    /// Cumulative timing breakdown.
+    pub fn stats(&self) -> CachingStats {
+        self.stats
+    }
+
+    fn region_bytes(&self, r: usize) -> u64 {
+        self.scheme.region_frames(r) * prpart_arch::tile::BYTES_PER_FRAME as u64
+    }
+
+    /// Loads needed for switching to `to`: (region, partition) pairs.
+    fn loads_for(&self, to: usize) -> Vec<(usize, usize)> {
+        (0..self.scheme.regions.len())
+            .filter_map(|r| match self.states[r][to] {
+                Some(p) if self.contents[r] != Some(p) => Some((r, p)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Switches to configuration `to`; returns the critical-path
+    /// reconfiguration latency of this transition.
+    pub fn transition(&mut self, to: usize) -> Duration {
+        assert!(to < self.scheme.num_configurations, "configuration {to} out of range");
+        let mut latency = Duration::ZERO;
+        for (r, p) in self.loads_for(to) {
+            let bytes = self.region_bytes(r);
+            if !self.cache.lookup((r, p)) {
+                let fetch = self.memory.fetch_time(bytes);
+                self.stats.fetch_time += fetch;
+                latency += fetch;
+                self.cache.insert((r, p), bytes);
+            }
+            latency += self.icap.load_frames(self.scheme.region_frames(r));
+            self.contents[r] = Some(p);
+        }
+        self.stats.icap_time = self.icap.stats().busy;
+        if let Some(from) = self.current {
+            self.predictor.observe(from, to);
+        }
+        self.current = Some(to);
+        // Idle-time prefetch: warm the cache for the predicted next
+        // configuration.
+        if let Some(next) = self.predictor.predict(to) {
+            for (r, p) in self.loads_for(next) {
+                if !self.cache.contains((r, p)) {
+                    let bytes = self.region_bytes(r);
+                    self.cache.insert((r, p), bytes);
+                    self.stats.prefetch_bytes += bytes;
+                }
+            }
+        }
+        latency
+    }
+
+    /// Runs a walk; returns total critical-path latency (first transition
+    /// included unless `skip_first_load`).
+    pub fn run_walk(&mut self, walk: &[usize], skip_first_load: bool) -> Duration {
+        let mut total = Duration::ZERO;
+        for (i, &c) in walk.iter().enumerate() {
+            let t = self.transition(c);
+            if !(i == 0 && skip_first_load) {
+                total += t;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{generate_walk, MarkovEnv};
+    use prpart_core::Partitioner;
+    use prpart_design::corpus;
+
+    fn scheme() -> Scheme {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap()
+            .scheme
+    }
+
+    #[test]
+    fn memory_models_order_sensibly() {
+        let bytes = 1_000_000;
+        assert!(MemoryModel::flash().fetch_time(bytes) > MemoryModel::ddr().fetch_time(bytes));
+        assert_eq!(MemoryModel::ddr().fetch_time(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn lru_cache_evicts_oldest() {
+        let mut c = BitstreamCache::new(100);
+        c.insert((0, 0), 60);
+        c.insert((1, 1), 30);
+        assert!(c.lookup((0, 0)), "hit refreshes (0,0)");
+        c.insert((2, 2), 40); // evicts (1,1): LRU after the (0,0) touch
+        assert!(c.contains((0, 0)));
+        assert!(!c.contains((1, 1)));
+        assert!(c.contains((2, 2)));
+        assert!(c.used() <= c.capacity());
+        // Oversized entries are refused, not evicting everything.
+        c.insert((3, 3), 1000);
+        assert!(!c.contains((3, 3)));
+    }
+
+    #[test]
+    fn predictor_learns_the_majority_switch() {
+        let mut p = MarkovPredictor::new(3);
+        assert_eq!(p.predict(0), None, "untrained");
+        p.observe(0, 1);
+        p.observe(0, 2);
+        p.observe(0, 2);
+        assert_eq!(p.predict(0), Some(2));
+    }
+
+    #[test]
+    fn oscillating_workload_gets_high_hit_rate_with_cache() {
+        let s = scheme();
+        let n = s.num_configurations;
+        // Oscillate between configurations 0 and 3.
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| if i == j { 0.0 } else if (i, j) == (0, 3) || (i, j) == (3, 0) { 100.0 } else { 0.5 })
+                    .collect()
+            })
+            .collect();
+        let mut env = MarkovEnv::new(weights, 7);
+        let walk = generate_walk(&mut env, 0, 500);
+
+        // Generous cache: everything eventually resident.
+        let mut cached = CachingManager::new(
+            s.clone(),
+            IcapController::default(),
+            MemoryModel::flash(),
+            64 * 1024 * 1024,
+        );
+        let t_cached = cached.run_walk(&walk, true);
+        let (hits, misses) = cached.cache().stats();
+        assert!(hits > misses * 3, "hit rate too low: {hits} hits / {misses} misses");
+
+        // Tiny cache: everything misses.
+        let mut uncached = CachingManager::new(
+            s.clone(),
+            IcapController::default(),
+            MemoryModel::flash(),
+            1,
+        );
+        let t_uncached = uncached.run_walk(&walk, true);
+        assert!(
+            t_cached < t_uncached,
+            "caching must cut flash-backed latency: {t_cached:?} vs {t_uncached:?}"
+        );
+    }
+
+    #[test]
+    fn prefetch_warms_the_predicted_bitstreams() {
+        // A cache too small for both video-decoder bitstreams (~1.5 MB
+        // each): demand loads evict the other one, so only the
+        // prefetcher can make the return switch hit.
+        let s = scheme();
+        let mut m = CachingManager::new(
+            s,
+            IcapController::default(),
+            MemoryModel::ddr(),
+            2 * 1024 * 1024,
+        );
+        // Teach the predictor 0 -> 2 -> 0 -> 2 ... (configs c1 and c3
+        // differ exactly in the video decoder: V1 vs V3, ~1.5 MB each).
+        for &c in &[0usize, 2, 0, 2, 0] {
+            m.transition(c);
+        }
+        assert!(m.stats().prefetch_bytes > 0, "prefetcher never fired");
+        // While sitting at 0 the predictor prefetched the 2-bitstreams,
+        // so switching to 2 adds no demand misses.
+        let (h0, m0) = m.cache().stats();
+        m.transition(2);
+        let (h1, m1) = m.cache().stats();
+        assert!(h1 > h0, "expected cache hits on the prefetched switch");
+        assert_eq!(m1, m0, "no demand misses after prefetch");
+    }
+
+    #[test]
+    fn caching_manager_matches_plain_manager_frames() {
+        // With an infinite-speed memory, the caching manager's ICAP time
+        // equals the plain manager's for the same walk.
+        let s = scheme();
+        let walk: Vec<usize> = vec![0, 1, 2, 3, 4, 5, 6, 7, 0, 4, 2];
+        let mut plain = crate::manager::ConfigurationManager::new(
+            s.clone(),
+            IcapController::default(),
+        );
+        let (_, t_plain) = plain.run_walk(&walk, false);
+        let mut caching = CachingManager::new(
+            s,
+            IcapController::default(),
+            MemoryModel { bytes_per_sec: u64::MAX / 2, latency_ns: 0 },
+            1 << 30,
+        );
+        caching.run_walk(&walk, false);
+        assert_eq!(caching.stats().icap_time, t_plain);
+    }
+}

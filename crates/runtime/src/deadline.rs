@@ -1,0 +1,190 @@
+//! Per-transition deadline monitoring for real-time adaptive systems.
+//!
+//! The paper motivates the worst-case metric with systems that "cannot
+//! tolerate reconfiguration time beyond a certain limit" (§IV-C). This
+//! module provides the runtime side of that requirement: a manager
+//! wrapper that checks every executed transition against a deadline and
+//! records violations — the measurable counterpart of designing with
+//! `Objective::WorstCase`.
+
+use crate::icap::IcapController;
+use crate::manager::ConfigurationManager;
+use prpart_arch::IcapModel;
+use prpart_core::Scheme;
+use std::time::Duration;
+
+/// One deadline violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Source configuration (None = initial load).
+    pub from: Option<usize>,
+    /// Destination configuration.
+    pub to: usize,
+    /// Measured reconfiguration time.
+    pub took: Duration,
+    /// The deadline that was missed.
+    pub deadline: Duration,
+}
+
+/// A configuration manager with a per-transition deadline.
+#[derive(Debug, Clone)]
+pub struct DeadlineMonitor {
+    manager: ConfigurationManager,
+    deadline: Duration,
+    violations: Vec<Violation>,
+    transitions: u64,
+}
+
+impl DeadlineMonitor {
+    /// Wraps a scheme with a per-transition reconfiguration deadline.
+    pub fn new(scheme: Scheme, icap: IcapController, deadline: Duration) -> Self {
+        DeadlineMonitor {
+            manager: ConfigurationManager::new(scheme, icap),
+            deadline,
+            violations: Vec::new(),
+            transitions: 0,
+        }
+    }
+
+    /// The configured deadline.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// Executed transitions (excluding free self-transitions).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Recorded violations, in order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Violation rate over executed transitions.
+    pub fn violation_rate(&self) -> f64 {
+        if self.transitions == 0 {
+            0.0
+        } else {
+            self.violations.len() as f64 / self.transitions as f64
+        }
+    }
+
+    /// Switches configuration, checking the deadline. Returns the
+    /// transition time and whether the deadline held.
+    pub fn transition(&mut self, to: usize) -> (Duration, bool) {
+        let from = self.manager.current();
+        let rec = self.manager.transition(to);
+        let took = rec.time;
+        self.transitions += 1;
+        let ok = took <= self.deadline;
+        if !ok {
+            self.violations.push(Violation { from, to, took, deadline: self.deadline });
+        }
+        (took, ok)
+    }
+
+    /// Runs a walk (the first transition is the initial full load and is
+    /// exempt from the deadline, as on real systems).
+    pub fn run_walk(&mut self, walk: &[usize]) {
+        if walk.is_empty() {
+            return;
+        }
+        self.manager.transition(walk[0]);
+        for &c in &walk[1..] {
+            self.transition(c);
+        }
+    }
+}
+
+/// Design-time bound: the largest possible transition of a scheme under
+/// an ICAP model — every region reloaded, each paying its own transfer
+/// (the controller issues one transaction per region, so per-region
+/// overheads sum). This dominates any measured transition, whatever the
+/// history; Eq. 11's frame-count worst case is the tile-model view of
+/// the same quantity.
+pub fn worst_transition_time(scheme: &Scheme, icap: &IcapModel) -> Duration {
+    (0..scheme.regions.len())
+        .map(|r| icap.time_for_frames(scheme.region_frames(r)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{generate_walk, UniformEnv};
+    use prpart_core::{Objective, Partitioner};
+    use prpart_design::corpus;
+
+    fn schemes() -> (Scheme, Scheme) {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let budget = corpus::VIDEO_RECEIVER_BUDGET;
+        let by_total = Partitioner::new(budget).partition(&d).unwrap().best.unwrap().scheme;
+        let by_worst = Partitioner::new(budget)
+            .with_objective(Objective::WorstCase)
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap()
+            .scheme;
+        (by_total, by_worst)
+    }
+
+    #[test]
+    fn violations_are_recorded_with_context() {
+        let (scheme, _) = schemes();
+        // An impossible deadline: everything after the initial load
+        // violates (self-transitions aside).
+        let mut m = DeadlineMonitor::new(
+            scheme,
+            IcapController::default(),
+            Duration::from_nanos(1),
+        );
+        let mut env = UniformEnv::new(8, 1);
+        let walk = generate_walk(&mut env, 0, 50);
+        m.run_walk(&walk);
+        assert!(m.violation_rate() > 0.9);
+        let v = &m.violations()[0];
+        assert!(v.took > v.deadline);
+        assert_eq!(v.deadline, Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn generous_deadline_never_violates() {
+        let (scheme, _) = schemes();
+        let bound = worst_transition_time(&scheme, &IcapModel::virtex5());
+        let mut m = DeadlineMonitor::new(
+            scheme,
+            IcapController::default(),
+            bound,
+        );
+        let mut env = UniformEnv::new(8, 2);
+        let walk = generate_walk(&mut env, 0, 200);
+        m.run_walk(&walk);
+        assert_eq!(m.violations().len(), 0, "bound {bound:?} must hold");
+        assert!(m.transitions() >= 200);
+    }
+
+    #[test]
+    fn worst_case_designed_scheme_never_beats_its_bound_and_compares_well() {
+        // Deadline = the worst-case-optimised scheme's design bound: that
+        // scheme never violates by construction, and the total-time
+        // scheme can only do as well or worse under the same deadline.
+        let (by_total, by_worst) = schemes();
+        let icap = IcapModel::virtex5();
+        let deadline = worst_transition_time(&by_worst, &icap);
+
+        let mut env = UniformEnv::new(8, 3);
+        let walk = generate_walk(&mut env, 0, 500);
+
+        let mut worst_mon =
+            DeadlineMonitor::new(by_worst, IcapController::default(), deadline);
+        worst_mon.run_walk(&walk);
+        assert_eq!(worst_mon.violations().len(), 0);
+
+        let mut total_mon =
+            DeadlineMonitor::new(by_total, IcapController::default(), deadline);
+        total_mon.run_walk(&walk);
+        assert!(worst_mon.violation_rate() <= total_mon.violation_rate());
+    }
+}

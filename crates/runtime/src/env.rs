@@ -1,0 +1,252 @@
+//! Environment models driving adaptation.
+//!
+//! Adaptive systems switch configurations "depending upon the adaptation
+//! conditions set by the application" (paper §III-A): the sequence is
+//! unknown at design time. These models generate such sequences for the
+//! runtime simulator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A source of configuration switches.
+pub trait Environment {
+    /// The next configuration, given the current one.
+    fn next(&mut self, current: usize) -> usize;
+}
+
+/// Uniform random switching over all configurations (never repeats the
+/// current one when more than one exists) — the assumption behind the
+/// paper's total-reconfiguration-time metric, which weighs all pairs
+/// equally.
+#[derive(Debug)]
+pub struct UniformEnv {
+    num_configs: usize,
+    rng: StdRng,
+}
+
+impl UniformEnv {
+    /// Creates a uniform environment over `num_configs` configurations.
+    pub fn new(num_configs: usize, seed: u64) -> Self {
+        assert!(num_configs > 0);
+        UniformEnv { num_configs, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Environment for UniformEnv {
+    fn next(&mut self, current: usize) -> usize {
+        if self.num_configs == 1 {
+            return 0;
+        }
+        // Draw from the other configurations uniformly.
+        let pick = self.rng.random_range(0..self.num_configs - 1);
+        if pick >= current {
+            pick + 1
+        } else {
+            pick
+        }
+    }
+}
+
+/// A first-order Markov chain over configurations: the paper's
+/// future-work direction of exploiting "knowledge of the specific
+/// transition probabilities".
+#[derive(Debug)]
+pub struct MarkovEnv {
+    /// Row-stochastic transition matrix (rows need not be normalised;
+    /// they are treated as weights).
+    weights: Vec<Vec<f64>>,
+    rng: StdRng,
+}
+
+impl MarkovEnv {
+    /// Creates a Markov environment from a weight matrix
+    /// (`weights[i][j]` = relative probability of switching i → j).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square, or a row has no positive
+    /// weight.
+    pub fn new(weights: Vec<Vec<f64>>, seed: u64) -> Self {
+        let n = weights.len();
+        for (i, row) in weights.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has wrong length");
+            assert!(
+                row.iter().any(|&w| w > 0.0),
+                "row {i} has no positive weight"
+            );
+            assert!(row.iter().all(|&w| w >= 0.0), "negative weight in row {i}");
+        }
+        MarkovEnv { weights, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Environment for MarkovEnv {
+    fn next(&mut self, current: usize) -> usize {
+        let row = &self.weights[current];
+        let total: f64 = row.iter().sum();
+        let mut draw = self.rng.random_range(0.0..total);
+        for (j, &w) in row.iter().enumerate() {
+            if draw < w {
+                return j;
+            }
+            draw -= w;
+        }
+        row.len() - 1
+    }
+}
+
+/// A cognitive-radio-style environment: a bounded random walk over SNR;
+/// thresholds map the SNR to a configuration index (configuration 0 is
+/// assumed most robust / lowest rate, the last the most aggressive).
+/// This mirrors the paper's motivating example of a receiver adapting
+/// "to channel conditions and user requirements at runtime".
+#[derive(Debug)]
+pub struct CognitiveRadioEnv {
+    snr_db: f64,
+    step_db: f64,
+    min_db: f64,
+    max_db: f64,
+    /// Ascending SNR thresholds; configuration = #thresholds below SNR.
+    thresholds: Vec<f64>,
+    rng: StdRng,
+}
+
+impl CognitiveRadioEnv {
+    /// Creates the environment with SNR thresholds (ascending, one fewer
+    /// than the number of configurations).
+    pub fn new(thresholds: Vec<f64>, seed: u64) -> Self {
+        assert!(!thresholds.is_empty(), "need at least one threshold");
+        assert!(
+            thresholds.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must ascend"
+        );
+        let mid = (thresholds[0] + thresholds[thresholds.len() - 1]) / 2.0;
+        CognitiveRadioEnv {
+            snr_db: mid,
+            step_db: 1.5,
+            min_db: thresholds[0] - 6.0,
+            max_db: thresholds[thresholds.len() - 1] + 6.0,
+            thresholds,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current simulated SNR in dB.
+    pub fn snr_db(&self) -> f64 {
+        self.snr_db
+    }
+
+    fn config_for_snr(&self) -> usize {
+        self.thresholds.iter().filter(|&&t| self.snr_db >= t).count()
+    }
+}
+
+impl Environment for CognitiveRadioEnv {
+    fn next(&mut self, _current: usize) -> usize {
+        let delta = self.rng.random_range(-self.step_db..=self.step_db);
+        self.snr_db = (self.snr_db + delta).clamp(self.min_db, self.max_db);
+        self.config_for_snr()
+    }
+}
+
+/// Generates a configuration walk of `len` steps starting from
+/// `start`, consecutive duplicates removed (a re-selected configuration
+/// causes no reconfiguration anyway, but compacting keeps walk lengths
+/// meaningful).
+pub fn generate_walk(
+    env: &mut dyn Environment,
+    start: usize,
+    len: usize,
+) -> Vec<usize> {
+    let mut walk = Vec::with_capacity(len + 1);
+    walk.push(start);
+    let mut current = start;
+    while walk.len() <= len {
+        let next = env.next(current);
+        if next != current {
+            walk.push(next);
+            current = next;
+        } else if walk.len() > 1 {
+            // Avoid spinning forever on sticky environments: accept the
+            // repeat silently (no reconfiguration will occur).
+            walk.push(next);
+        } else {
+            walk.push(next);
+        }
+    }
+    walk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_never_repeats_current() {
+        let mut env = UniformEnv::new(5, 1);
+        let mut c = 0;
+        for _ in 0..200 {
+            let n = env.next(c);
+            assert_ne!(n, c);
+            assert!(n < 5);
+            c = n;
+        }
+    }
+
+    #[test]
+    fn uniform_single_config_is_stuck() {
+        let mut env = UniformEnv::new(1, 1);
+        assert_eq!(env.next(0), 0);
+    }
+
+    #[test]
+    fn markov_follows_weights() {
+        // Deterministic chain 0 → 1 → 2 → 0.
+        let mut env = MarkovEnv::new(
+            vec![
+                vec![0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0],
+                vec![1.0, 0.0, 0.0],
+            ],
+            7,
+        );
+        assert_eq!(env.next(0), 1);
+        assert_eq!(env.next(1), 2);
+        assert_eq!(env.next(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive weight")]
+    fn markov_rejects_dead_rows() {
+        MarkovEnv::new(vec![vec![0.0]], 1);
+    }
+
+    #[test]
+    fn radio_tracks_snr() {
+        let mut env = CognitiveRadioEnv::new(vec![5.0, 10.0, 15.0], 3);
+        for _ in 0..500 {
+            let c = env.next(0);
+            assert!(c <= 3);
+            // Configuration is consistent with the SNR.
+            let expect = [5.0, 10.0, 15.0].iter().filter(|&&t| env.snr_db() >= t).count();
+            assert_eq!(c, expect);
+        }
+    }
+
+    #[test]
+    fn walks_have_requested_length() {
+        let mut env = UniformEnv::new(4, 9);
+        let walk = generate_walk(&mut env, 2, 50);
+        assert_eq!(walk[0], 2);
+        assert_eq!(walk.len(), 51);
+        assert!(walk.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn environments_are_deterministic_per_seed() {
+        let mut a = UniformEnv::new(6, 42);
+        let mut b = UniformEnv::new(6, 42);
+        let wa = generate_walk(&mut a, 0, 30);
+        let wb = generate_walk(&mut b, 0, 30);
+        assert_eq!(wa, wb);
+    }
+}

@@ -1,0 +1,101 @@
+//! ICAP controller model: timed bitstream loads with cumulative
+//! accounting.
+
+use prpart_arch::IcapModel;
+use std::time::Duration;
+
+/// Cumulative transfer statistics of a controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IcapStats {
+    /// Completed load transactions.
+    pub transfers: u64,
+    /// Total frames written.
+    pub frames: u64,
+    /// Total payload bytes written.
+    pub bytes: u64,
+    /// Total port busy time.
+    pub busy: Duration,
+}
+
+/// A simulated ICAP controller (paper ref \[15\] is the authors'
+/// open-source controller; this model reproduces its throughput
+/// behaviour).
+#[derive(Debug, Clone)]
+pub struct IcapController {
+    model: IcapModel,
+    stats: IcapStats,
+}
+
+impl Default for IcapController {
+    fn default() -> Self {
+        IcapController::new(IcapModel::virtex5())
+    }
+}
+
+impl IcapController {
+    /// Creates a controller over a port model.
+    pub fn new(model: IcapModel) -> Self {
+        IcapController { model, stats: IcapStats::default() }
+    }
+
+    /// The port model.
+    pub fn model(&self) -> &IcapModel {
+        &self.model
+    }
+
+    /// Loads a partial bitstream of `frames` frames; returns the transfer
+    /// time and accounts it.
+    pub fn load_frames(&mut self, frames: u64) -> Duration {
+        let t = self.model.time_for_frames(frames);
+        if frames > 0 {
+            self.stats.transfers += 1;
+            self.stats.frames += frames;
+            self.stats.bytes += frames * prpart_arch::tile::BYTES_PER_FRAME as u64;
+            self.stats.busy += t;
+        }
+        t
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> IcapStats {
+        self.stats
+    }
+
+    /// Resets the statistics.
+    pub fn reset(&mut self) {
+        self.stats = IcapStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_accumulate() {
+        let mut c = IcapController::default();
+        let t1 = c.load_frames(100);
+        let t2 = c.load_frames(50);
+        assert!(t1 > t2);
+        let s = c.stats();
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.frames, 150);
+        assert_eq!(s.bytes, 150 * 164);
+        assert_eq!(s.busy, t1 + t2);
+    }
+
+    #[test]
+    fn zero_frames_is_free() {
+        let mut c = IcapController::default();
+        assert_eq!(c.load_frames(0), Duration::ZERO);
+        assert_eq!(c.stats().transfers, 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = IcapController::default();
+        c.load_frames(10);
+        c.reset();
+        assert_eq!(c.stats(), IcapStats::default());
+    }
+}

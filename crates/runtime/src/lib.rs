@@ -1,0 +1,48 @@
+//! # prpart-runtime — adaptive-system runtime simulator
+//!
+//! The paper motivates partitioning with *adaptive systems*: the set of
+//! valid configurations is known, but the order of transitions depends on
+//! the environment (channel conditions, user requirements) and is unknown
+//! at design time. This crate simulates that runtime:
+//!
+//! * [`icap::IcapController`] — models the configuration port: partial
+//!   bitstream loads take time per the
+//!   [`prpart_arch::IcapModel`] and are accounted.
+//! * [`manager::ConfigurationManager`] — the configuration management
+//!   software of the paper's static region: tracks what each region
+//!   currently holds and reconfigures only the regions whose required
+//!   partition differs (so *don't-care* regions keep their contents, and
+//!   measured costs can differ from the pairwise model — exactly the
+//!   effect DESIGN.md §5 discusses).
+//! * [`env`] — environment models that drive configuration switches:
+//!   uniform random, Markov chains, and an SNR-random-walk cognitive
+//!   radio.
+//! * [`montecarlo`] — parallel Monte-Carlo over many adaptation
+//!   trajectories (crossbeam scoped threads), comparing measured
+//!   reconfiguration cost against the cost model's predictions.
+//! * [`profiling`] — transition-count profiling of observed traces,
+//!   feeding the partitioner's weighted objective (paper future work).
+//! * [`cache`] — bitstream caching with online Markov prefetching
+//!   (modelling the configuration-prefetch line of work the paper cites
+//!   as ref \[4\]).
+//! * [`deadline`] — per-transition deadline monitoring for the real-time
+//!   systems the paper's worst-case metric targets.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod deadline;
+pub mod env;
+pub mod icap;
+pub mod manager;
+pub mod montecarlo;
+pub mod profiling;
+
+pub use cache::{BitstreamCache, CachingManager, MarkovPredictor, MemoryModel};
+pub use deadline::{worst_transition_time, DeadlineMonitor};
+pub use env::{CognitiveRadioEnv, Environment, MarkovEnv, UniformEnv};
+pub use icap::IcapController;
+pub use manager::{ConfigurationManager, TransitionRecord};
+pub use montecarlo::{run_monte_carlo, MonteCarloConfig, MonteCarloReport, WalkStats};
+pub use profiling::{estimate_weights, TransitionProfile};

@@ -1,0 +1,221 @@
+//! The configuration manager: the software on the paper's embedded
+//! processor that moves the system between configurations.
+
+use crate::icap::IcapController;
+use prpart_core::Scheme;
+use std::time::Duration;
+
+/// One executed transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionRecord {
+    /// Configuration before (None at power-up).
+    pub from: Option<usize>,
+    /// Configuration after.
+    pub to: usize,
+    /// Regions actually reconfigured.
+    pub regions_reconfigured: usize,
+    /// Frames written.
+    pub frames: u64,
+    /// Wall-clock reconfiguration time under the ICAP model.
+    pub time: Duration,
+}
+
+/// Tracks per-region contents and reconfigures through an
+/// [`IcapController`].
+///
+/// Unlike the design-time cost model — which charges each configuration
+/// *pair* independently — the manager has real history: a region whose
+/// required partition is already loaded (including via a don't-care hop)
+/// costs nothing. Measured trajectory costs therefore bracket the model's
+/// optimistic/pessimistic estimates (DESIGN.md §5, ablation A3).
+#[derive(Debug, Clone)]
+pub struct ConfigurationManager {
+    scheme: Scheme,
+    icap: IcapController,
+    /// Per-region, per-configuration required partition (pool index).
+    states: Vec<Vec<Option<usize>>>,
+    /// What each region currently holds.
+    contents: Vec<Option<usize>>,
+    current: Option<usize>,
+    log: Vec<TransitionRecord>,
+}
+
+impl ConfigurationManager {
+    /// Creates a manager for a scheme; all regions start unloaded.
+    pub fn new(scheme: Scheme, icap: IcapController) -> Self {
+        let states: Vec<Vec<Option<usize>>> =
+            (0..scheme.regions.len()).map(|r| scheme.region_states(r)).collect();
+        let contents = vec![None; scheme.regions.len()];
+        ConfigurationManager { scheme, icap, states, contents, current: None, log: Vec::new() }
+    }
+
+    /// The scheme being managed.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// The current configuration, if any.
+    pub fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// The executed transition log.
+    pub fn log(&self) -> &[TransitionRecord] {
+        &self.log
+    }
+
+    /// The underlying ICAP controller (for statistics).
+    pub fn icap(&self) -> &IcapController {
+        &self.icap
+    }
+
+    /// Switches the system to configuration `to`, reconfiguring exactly
+    /// the regions whose required partition is not already loaded.
+    /// Returns the record of what happened.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range.
+    pub fn transition(&mut self, to: usize) -> &TransitionRecord {
+        assert!(to < self.scheme.num_configurations, "configuration {to} out of range");
+        let mut frames = 0u64;
+        let mut time = Duration::ZERO;
+        let mut nregions = 0usize;
+        for r in 0..self.scheme.regions.len() {
+            if let Some(needed) = self.states[r][to] {
+                if self.contents[r] != Some(needed) {
+                    let f = self.scheme.region_frames(r);
+                    frames += f;
+                    time += self.icap.load_frames(f);
+                    nregions += 1;
+                    self.contents[r] = Some(needed);
+                }
+            }
+            // Don't-care: the region keeps whatever it holds.
+        }
+        let record = TransitionRecord {
+            from: self.current,
+            to,
+            regions_reconfigured: nregions,
+            frames,
+            time,
+        };
+        self.current = Some(to);
+        self.log.push(record);
+        self.log.last().expect("just pushed")
+    }
+
+    /// Runs a whole configuration walk; returns (total frames, total
+    /// time) excluding the initial load if `skip_first_load` is set (the
+    /// usual convention: power-up is a full-bitstream load, not a
+    /// reconfiguration).
+    pub fn run_walk(&mut self, walk: &[usize], skip_first_load: bool) -> (u64, Duration) {
+        let mut frames = 0u64;
+        let mut time = Duration::ZERO;
+        for (i, &c) in walk.iter().enumerate() {
+            let rec = self.transition(c);
+            if i == 0 && skip_first_load {
+                continue;
+            }
+            frames += rec.frames;
+            time += rec.time;
+        }
+        (frames, time)
+    }
+
+    /// The model's pairwise prediction for comparison (Eq. 8 in frames,
+    /// optimistic semantics).
+    pub fn predicted_frames(&self, from: usize, to: usize) -> u64 {
+        self.scheme
+            .transition_frames(from, to, prpart_core::TransitionSemantics::Optimistic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_core::Partitioner;
+    use prpart_design::corpus;
+
+    fn case_study_manager() -> ConfigurationManager {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let out = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap();
+        ConfigurationManager::new(out.best.unwrap().scheme, IcapController::default())
+    }
+
+    #[test]
+    fn first_transition_loads_needed_regions() {
+        let mut m = case_study_manager();
+        let rec = m.transition(0);
+        assert_eq!(rec.from, None);
+        assert!(rec.frames > 0, "initial load populates regions");
+        assert_eq!(m.current(), Some(0));
+    }
+
+    #[test]
+    fn self_transition_is_free() {
+        let mut m = case_study_manager();
+        m.transition(0);
+        let rec = m.transition(0);
+        assert_eq!(rec.frames, 0);
+        assert_eq!(rec.regions_reconfigured, 0);
+        assert_eq!(rec.time, Duration::ZERO);
+    }
+
+    #[test]
+    fn measured_hops_bracketed_by_model_semantics() {
+        // A measured hop is bounded below by the optimistic pairwise cost
+        // (regions whose defined state changes always reload) and above
+        // by the pessimistic cost (a don't-care endpoint is charged at
+        // most once). See DESIGN.md §5 / ablation A3.
+        use prpart_core::TransitionSemantics::{Optimistic, Pessimistic};
+        let mut m = case_study_manager();
+        m.transition(0);
+        let c = m.scheme().num_configurations;
+        for to in 1..c {
+            let from = m.current().unwrap();
+            let opt = m.scheme().transition_frames(from, to, Optimistic);
+            let pess = m.scheme().transition_frames(from, to, Pessimistic);
+            let rec = m.transition(to);
+            assert!(
+                (opt..=pess).contains(&rec.frames),
+                "hop {from}->{to}: measured {} outside [{opt}, {pess}]",
+                rec.frames
+            );
+        }
+    }
+
+    #[test]
+    fn dont_care_history_can_beat_pairwise_model() {
+        // Special-case design (disjoint configurations): per-module
+        // regions are don't-care in the *other* configuration, so a
+        // c1 → c2 → c1 walk only loads each region once.
+        let d = corpus::special_case_single_mode();
+        let matrix = prpart_design::ConnectivityMatrix::from_design(&d);
+        let scheme = prpart_core::baselines::per_module(&d, &matrix);
+        let mut m = ConfigurationManager::new(scheme, IcapController::default());
+        m.transition(0);
+        let back_and_forth = m.run_walk(&[1, 0, 1, 0], false);
+        // After the first visit to each configuration, regions hold their
+        // partitions forever: only the first two hops load anything.
+        let loads: Vec<u64> = m.log().iter().map(|r| r.frames).collect();
+        assert!(loads[1] > 0, "first visit to c2 loads its regions");
+        assert_eq!(&loads[2..], &[0, 0, 0], "everything already resident: {loads:?}");
+        assert_eq!(back_and_forth.0, loads[1]);
+    }
+
+    #[test]
+    fn walk_accounting_sums_records() {
+        let mut m = case_study_manager();
+        let (frames, time) = m.run_walk(&[0, 1, 2, 3, 0], true);
+        let log_frames: u64 = m.log()[1..].iter().map(|r| r.frames).sum();
+        assert_eq!(frames, log_frames);
+        assert!(time > Duration::ZERO);
+        assert_eq!(m.icap().stats().frames, frames + m.log()[0].frames);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_transition_panics() {
+        case_study_manager().transition(99);
+    }
+}

@@ -1,0 +1,221 @@
+//! Parallel Monte-Carlo over adaptation trajectories.
+//!
+//! Runs many independent configuration walks against a scheme and
+//! aggregates measured reconfiguration cost, to compare schemes under a
+//! *dynamic* workload rather than the static all-pairs metric — and to
+//! check the cost model's predictions against "hardware" (the simulated
+//! manager). Walks run on crossbeam scoped threads; each thread owns its
+//! manager, results merge under a parking_lot mutex.
+
+use crate::env::{generate_walk, UniformEnv};
+use crate::icap::IcapController;
+use crate::manager::ConfigurationManager;
+use parking_lot::Mutex;
+use prpart_core::Scheme;
+use std::time::Duration;
+
+/// Per-walk measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Transitions executed (excluding the initial load).
+    pub transitions: u64,
+    /// Frames written.
+    pub frames: u64,
+    /// Simulated reconfiguration time.
+    pub time: Duration,
+    /// Largest single transition, in frames.
+    pub worst_frames: u64,
+}
+
+/// Monte-Carlo parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloConfig {
+    /// Number of independent walks.
+    pub walks: usize,
+    /// Transitions per walk.
+    pub walk_len: usize,
+    /// Base seed; walk `i` uses `seed + i`.
+    pub seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig { walks: 64, walk_len: 256, seed: 0x5EED, threads: 0 }
+    }
+}
+
+/// Aggregated report over all walks.
+#[derive(Debug, Clone)]
+pub struct MonteCarloReport {
+    /// Per-walk stats, in walk order.
+    pub walks: Vec<WalkStats>,
+    /// Total frames across walks.
+    pub total_frames: u64,
+    /// Mean frames per transition.
+    pub mean_frames_per_transition: f64,
+    /// Largest single transition observed anywhere.
+    pub worst_frames: u64,
+    /// Total simulated reconfiguration time.
+    pub total_time: Duration,
+}
+
+/// Runs uniform-random walks against a scheme in parallel and aggregates
+/// the measurements.
+pub fn run_monte_carlo(scheme: &Scheme, config: MonteCarloConfig) -> MonteCarloReport {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        config.threads
+    }
+    .min(config.walks.max(1));
+    let results: Mutex<Vec<(usize, WalkStats)>> =
+        Mutex::new(Vec::with_capacity(config.walks));
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= config.walks {
+                    break;
+                }
+                let stats = run_one_walk(scheme, config.seed + i as u64, config.walk_len);
+                results.lock().push((i, stats));
+            });
+        }
+    })
+    .expect("monte carlo workers never panic");
+
+    let mut walks = results.into_inner();
+    walks.sort_by_key(|(i, _)| *i);
+    let walks: Vec<WalkStats> = walks.into_iter().map(|(_, s)| s).collect();
+    let total_frames: u64 = walks.iter().map(|w| w.frames).sum();
+    let total_transitions: u64 = walks.iter().map(|w| w.transitions).sum();
+    let worst_frames = walks.iter().map(|w| w.worst_frames).max().unwrap_or(0);
+    let total_time = walks.iter().map(|w| w.time).sum();
+    MonteCarloReport {
+        walks,
+        total_frames,
+        mean_frames_per_transition: if total_transitions == 0 {
+            0.0
+        } else {
+            total_frames as f64 / total_transitions as f64
+        },
+        worst_frames,
+        total_time,
+    }
+}
+
+fn run_one_walk(scheme: &Scheme, seed: u64, len: usize) -> WalkStats {
+    let mut env = UniformEnv::new(scheme.num_configurations, seed);
+    let walk = generate_walk(&mut env, (seed as usize) % scheme.num_configurations, len);
+    let mut manager = ConfigurationManager::new(scheme.clone(), IcapController::default());
+    manager.transition(walk[0]);
+    let mut frames = 0u64;
+    let mut time = Duration::ZERO;
+    let mut worst = 0u64;
+    let mut transitions = 0u64;
+    for &c in &walk[1..] {
+        let rec = manager.transition(c);
+        frames += rec.frames;
+        time += rec.time;
+        worst = worst.max(rec.frames);
+        transitions += 1;
+    }
+    WalkStats { transitions, frames, time, worst_frames: worst }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_core::{baselines, Partitioner, TransitionSemantics};
+    use prpart_design::{corpus, ConnectivityMatrix};
+
+    fn schemes() -> (Scheme, Scheme) {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let matrix = ConnectivityMatrix::from_design(&d);
+        let proposed = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap()
+            .scheme;
+        let single = baselines::single_region(&d, &matrix);
+        (proposed, single)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (proposed, _) = schemes();
+        let cfg = MonteCarloConfig { walks: 8, walk_len: 50, seed: 3, threads: 2 };
+        let a = run_monte_carlo(&proposed, cfg);
+        let b = run_monte_carlo(&proposed, cfg);
+        assert_eq!(a.walks, b.walks);
+        assert_eq!(a.total_frames, b.total_frames);
+    }
+
+    #[test]
+    fn proposed_beats_single_region_under_random_walks() {
+        // The whole point of the paper: under unknown transition orders,
+        // the proposed scheme reconfigures fewer frames than the
+        // single-region scheme.
+        let (proposed, single) = schemes();
+        let cfg = MonteCarloConfig { walks: 16, walk_len: 100, seed: 11, threads: 4 };
+        let p = run_monte_carlo(&proposed, cfg);
+        let s = run_monte_carlo(&single, cfg);
+        assert!(
+            p.total_frames < s.total_frames,
+            "proposed {} !< single {}",
+            p.total_frames,
+            s.total_frames
+        );
+        assert!(p.mean_frames_per_transition < s.mean_frames_per_transition);
+    }
+
+    #[test]
+    fn measured_mean_tracks_model_mean() {
+        // Uniform walks visit all transitions; the measured mean per
+        // transition should be close to the model's average pair cost
+        // (exact for designs with no don't-care regions).
+        let (proposed, _) = schemes();
+        let c = proposed.num_configurations as u64;
+        let model_mean = proposed.total_reconfig_frames(TransitionSemantics::Optimistic) as f64
+            / (c * (c - 1) / 2) as f64;
+        let cfg = MonteCarloConfig { walks: 32, walk_len: 200, seed: 1, threads: 0 };
+        let report = run_monte_carlo(&proposed, cfg);
+        let ratio = report.mean_frames_per_transition / model_mean;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "measured/model = {ratio} (measured {}, model {model_mean})",
+            report.mean_frames_per_transition
+        );
+        // Worst observed single hop never exceeds the model's worst case.
+        assert!(
+            report.worst_frames <= proposed.worst_reconfig_frames(TransitionSemantics::Optimistic)
+        );
+    }
+
+    #[test]
+    fn zero_walks_yield_an_empty_report() {
+        let (proposed, _) = schemes();
+        let cfg = MonteCarloConfig { walks: 0, walk_len: 10, seed: 1, threads: 2 };
+        let r = run_monte_carlo(&proposed, cfg);
+        assert!(r.walks.is_empty());
+        assert_eq!(r.total_frames, 0);
+        assert_eq!(r.mean_frames_per_transition, 0.0);
+        assert_eq!(r.worst_frames, 0);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let (proposed, _) = schemes();
+        let cfg = MonteCarloConfig { walks: 5, walk_len: 20, seed: 2, threads: 1 };
+        let r = run_monte_carlo(&proposed, cfg);
+        assert_eq!(r.walks.len(), 5);
+        assert_eq!(r.total_frames, r.walks.iter().map(|w| w.frames).sum::<u64>());
+        assert_eq!(r.total_time, r.walks.iter().map(|w| w.time).sum::<Duration>());
+        assert!(r.walks.iter().all(|w| w.transitions == 20));
+    }
+}

@@ -1,0 +1,126 @@
+//! Workload profiling: estimating transition weights from observed
+//! adaptation traces.
+//!
+//! The bridge from the runtime back into the partitioner's future-work
+//! extension: run (or log) the adaptive system, count which configuration
+//! switches actually happen, and hand the statistics to
+//! [`prpart_core::Partitioner::with_transition_weights`] so the next
+//! partitioning minimises *expected* reconfiguration cost under the real
+//! workload rather than the uniform all-pairs assumption.
+
+use crate::env::Environment;
+use prpart_core::TransitionWeights;
+
+/// Accumulates transition counts from configuration walks.
+#[derive(Debug, Clone)]
+pub struct TransitionProfile {
+    n: usize,
+    counts: Vec<Vec<u64>>,
+    transitions: u64,
+}
+
+impl TransitionProfile {
+    /// Creates an empty profile over `n` configurations.
+    pub fn new(n: usize) -> Self {
+        TransitionProfile { n, counts: vec![vec![0; n]; n], transitions: 0 }
+    }
+
+    /// Records one walk (a sequence of configurations; consecutive
+    /// repeats are ignored — they cause no reconfiguration).
+    pub fn record_walk(&mut self, walk: &[usize]) {
+        for w in walk.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(a < self.n && b < self.n, "configuration out of range");
+            if a != b {
+                self.counts[a][b] += 1;
+                self.transitions += 1;
+            }
+        }
+    }
+
+    /// Records `walks` walks of `len` transitions each, drawn from an
+    /// environment starting at configuration `start`.
+    pub fn record_from_env(
+        &mut self,
+        env: &mut dyn Environment,
+        start: usize,
+        walks: usize,
+        len: usize,
+    ) {
+        for _ in 0..walks {
+            let walk = crate::env::generate_walk(env, start, len);
+            self.record_walk(&walk);
+        }
+    }
+
+    /// Total recorded transitions.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Directed count of i → j transitions.
+    pub fn count(&self, i: usize, j: usize) -> u64 {
+        self.counts[i][j]
+    }
+
+    /// Converts to symmetric transition weights, normalised so the
+    /// weighted objective is magnitude-comparable with the unweighted
+    /// Eq. 10 total.
+    pub fn to_weights(&self) -> TransitionWeights {
+        TransitionWeights::from_observed_counts(&self.counts).normalised()
+    }
+}
+
+/// One-shot helper: profile an environment and return normalised weights.
+pub fn estimate_weights(
+    env: &mut dyn Environment,
+    num_configurations: usize,
+    walks: usize,
+    len: usize,
+) -> TransitionWeights {
+    let mut profile = TransitionProfile::new(num_configurations);
+    profile.record_from_env(env, 0, walks, len);
+    profile.to_weights()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MarkovEnv;
+
+    #[test]
+    fn records_and_symmetrises() {
+        let mut p = TransitionProfile::new(3);
+        p.record_walk(&[0, 1, 1, 2, 0]);
+        assert_eq!(p.transitions(), 3); // 0→1, 1→2, 2→0 (repeat ignored)
+        assert_eq!(p.count(0, 1), 1);
+        assert_eq!(p.count(1, 1), 0);
+        let w = p.to_weights();
+        assert!(w.get(0, 1) > 0.0);
+        assert_eq!(w.get(0, 1), w.get(1, 0));
+    }
+
+    #[test]
+    fn markov_profile_recovers_the_chain_shape() {
+        // A chain that almost always cycles 0→1→2→0: the profiled weights
+        // must put most mass on those pairs.
+        let mut env = MarkovEnv::new(
+            vec![
+                vec![0.0, 100.0, 1.0],
+                vec![1.0, 0.0, 100.0],
+                vec![100.0, 1.0, 0.0],
+            ],
+            42,
+        );
+        let w = estimate_weights(&mut env, 3, 8, 200);
+        let cycle = w.get(0, 1) + w.get(1, 2) + w.get(0, 2);
+        assert!(w.get(0, 1) > w.total_mass() / 10.0);
+        assert!((cycle - w.total_mass()).abs() < 1e-9, "all mass on the three pairs");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_walk_panics() {
+        TransitionProfile::new(2).record_walk(&[0, 5]);
+    }
+}

@@ -1,0 +1,409 @@
+//! # prpart-synth — synthetic PR design generator
+//!
+//! Implements the synthetic workload of the paper's evaluation (§V):
+//!
+//! > "We generated 1000 synthetic designs, with an equal number of
+//! > logic-intensive, memory-intensive, DSP-intensive and
+//! > DSP-and-memory-intensive circuits. Each design is also augmented with
+//! > a static region requiring 90 CLBs and 8 BRAMs ... Designs are
+//! > generated containing 2–6 modules, each with a number of modes varying
+//! > from 2 to 4. Each mode can use 25 to 4000 CLBs, and the number of
+//! > other resources is chosen from a range determined by the number of
+//! > CLBs and the type of the circuit ... Configurations are randomly
+//! > generated, until every mode present in the design is utilised at
+//! > least once."
+//!
+//! Everything is seeded and deterministic: the same seed regenerates the
+//! same corpus, so the figure benchmarks are reproducible run to run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use prpart_arch::Resources;
+use prpart_design::{Design, DesignBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+use std::ops::RangeInclusive;
+
+/// The four circuit classes of the paper's synthetic corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CircuitClass {
+    /// Logic only: no BRAM, no DSP.
+    Logic,
+    /// Memory-intensive: BRAM proportional to logic.
+    Memory,
+    /// DSP-intensive: DSP slices proportional to logic.
+    Dsp,
+    /// Both memory- and DSP-intensive.
+    DspMemory,
+}
+
+impl CircuitClass {
+    /// All classes in corpus round-robin order.
+    pub const ALL: [CircuitClass; 4] = [
+        CircuitClass::Logic,
+        CircuitClass::Memory,
+        CircuitClass::Dsp,
+        CircuitClass::DspMemory,
+    ];
+
+    fn wants_bram(self) -> bool {
+        matches!(self, CircuitClass::Memory | CircuitClass::DspMemory)
+    }
+
+    fn wants_dsp(self) -> bool {
+        matches!(self, CircuitClass::Dsp | CircuitClass::DspMemory)
+    }
+}
+
+impl fmt::Display for CircuitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CircuitClass::Logic => "logic",
+            CircuitClass::Memory => "memory",
+            CircuitClass::Dsp => "dsp",
+            CircuitClass::DspMemory => "dsp+memory",
+        })
+    }
+}
+
+/// Tunable ranges of the generator; defaults follow the paper exactly.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Modules per design (paper: 2–6).
+    pub modules: RangeInclusive<usize>,
+    /// Modes per module (paper: 2–4).
+    pub modes: RangeInclusive<usize>,
+    /// CLBs per mode (paper: 25–4000).
+    pub clbs: RangeInclusive<u32>,
+    /// Static region overhead (paper: 90 CLBs + 8 BRAMs, from the
+    /// authors' ICAP controller).
+    pub static_overhead: Resources,
+    /// Upper bound on random configuration draws before missing modes are
+    /// force-covered (the paper loops "until every mode ... is utilised
+    /// at least once"; the cap guarantees termination).
+    pub max_config_attempts: usize,
+    /// Probability that a module is absent from a configuration (the
+    /// paper's "mode 0", §IV-D). The paper's recipe implies 0 (every
+    /// module present); positive values generate special-condition
+    /// designs with optional modules.
+    pub absence_probability: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            modules: 2..=6,
+            modes: 2..=4,
+            clbs: 25..=4000,
+            static_overhead: Resources::new(90, 8, 0),
+            max_config_attempts: 64,
+            absence_probability: 0.0,
+        }
+    }
+}
+
+/// One generated design with its provenance.
+#[derive(Debug, Clone)]
+pub struct SyntheticDesign {
+    /// The design itself.
+    pub design: Design,
+    /// Its circuit class.
+    pub class: CircuitClass,
+    /// The per-design seed (derived from the corpus seed and index).
+    pub seed: u64,
+}
+
+/// Draws the non-CLB resources of a mode from ranges determined by its
+/// CLB count and the circuit class, mirroring the paper's description.
+/// The ratios are calibrated to Virtex-5 fabric (roughly one BRAM per 60
+/// logic cells and one DSP per 30 on the densest parts), so that — as in
+/// the paper — the generated designs are implementable on the device
+/// library, with the occasional large design needing the big parts.
+fn secondary_resources(rng: &mut StdRng, class: CircuitClass, clbs: u32) -> Resources {
+    let bram = if class.wants_bram() {
+        // Memory-intensive: roughly one BRAM per 40–120 CLBs.
+        rng.random_range(clbs / 120..=(clbs / 40).max(1)).max(1)
+    } else {
+        0
+    };
+    let dsp = if class.wants_dsp() {
+        // DSP-intensive: roughly one DSP slice per 40–120 CLBs.
+        rng.random_range(clbs / 120..=(clbs / 40).max(1)).max(1)
+    } else {
+        0
+    };
+    Resources::new(clbs, bram, dsp)
+}
+
+/// Generates one synthetic design of the given class from a seeded RNG.
+pub fn generate_design(config: &GeneratorConfig, class: CircuitClass, seed: u64) -> Design {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_modules = rng.random_range(config.modules.clone());
+    let mut builder = DesignBuilder::new(&format!("synthetic-{class}-{seed:016x}"))
+        .static_overhead(config.static_overhead);
+
+    // Modules and modes with class-dependent resources.
+    let mut mode_counts = Vec::with_capacity(num_modules);
+    for mi in 0..num_modules {
+        let num_modes = rng.random_range(config.modes.clone());
+        mode_counts.push(num_modes);
+        let modes: Vec<(String, Resources)> = (0..num_modes)
+            .map(|ki| {
+                let clbs = rng.random_range(config.clbs.clone());
+                (format!("m{mi}k{ki}"), secondary_resources(&mut rng, class, clbs))
+            })
+            .collect();
+        let module_name = format!("M{mi}");
+        let mode_refs: Vec<(&str, Resources)> =
+            modes.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+        builder = builder.module(&module_name, mode_refs);
+    }
+
+    // Random configurations until every mode is used, then force-cover
+    // stragglers. With `absence_probability` > 0, modules may take the
+    // paper's "mode 0" (absent); at least one module is always present.
+    let mut used: Vec<Vec<bool>> = mode_counts.iter().map(|&n| vec![false; n]).collect();
+    let mut seen: std::collections::HashSet<Vec<Option<usize>>> = Default::default();
+    let mut selections: Vec<Vec<Option<usize>>> = Vec::new();
+    let mut attempts = 0;
+    while used.iter().flatten().any(|u| !u) && attempts < config.max_config_attempts {
+        attempts += 1;
+        let mut pick: Vec<Option<usize>> = mode_counts
+            .iter()
+            .map(|&n| {
+                if config.absence_probability > 0.0
+                    && rng.random_range(0.0..1.0) < config.absence_probability
+                {
+                    None
+                } else {
+                    Some(rng.random_range(0..n))
+                }
+            })
+            .collect();
+        if pick.iter().all(Option::is_none) {
+            let mi = rng.random_range(0..num_modules);
+            pick[mi] = Some(rng.random_range(0..mode_counts[mi]));
+        }
+        if seen.insert(pick.clone()) {
+            for (mi, sel) in pick.iter().enumerate() {
+                if let Some(ki) = sel {
+                    used[mi][*ki] = true;
+                }
+            }
+            selections.push(pick);
+        }
+    }
+    // Deterministic completion: one configuration per still-unused mode.
+    for mi in 0..num_modules {
+        for ki in 0..mode_counts[mi] {
+            if !used[mi][ki] {
+                let mut pick: Vec<Option<usize>> = (0..num_modules)
+                    .map(|mj| {
+                        // Prefer already-used modes elsewhere to keep the
+                        // completion minimal.
+                        Some(used[mj].iter().position(|&u| u).unwrap_or(0))
+                    })
+                    .collect();
+                pick[mi] = Some(ki);
+                if seen.insert(pick.clone()) {
+                    used[mi][ki] = true;
+                    selections.push(pick);
+                } else {
+                    // Collision with an existing configuration: perturb
+                    // another module deterministically until fresh.
+                    'outer: for mj in (0..num_modules).filter(|&mj| mj != mi) {
+                        for kj in 0..mode_counts[mj] {
+                            let mut alt = pick.clone();
+                            alt[mj] = Some(kj);
+                            if seen.insert(alt.clone()) {
+                                used[mi][ki] = true;
+                                selections.push(alt);
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (ci, pick) in selections.iter().enumerate() {
+        let picks: Vec<(String, String)> = pick
+            .iter()
+            .enumerate()
+            .filter_map(|(mi, sel)| sel.map(|ki| (format!("M{mi}"), format!("m{mi}k{ki}"))))
+            .collect();
+        let pick_refs: Vec<(&str, &str)> =
+            picks.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        builder = builder.configuration(&format!("c{ci}"), pick_refs);
+    }
+
+    builder.build().expect("generator emits well-formed designs")
+}
+
+/// Generates a corpus of `n` designs, classes round-robin (so `n = 1000`
+/// yields the paper's 250 designs per class), each with an independent
+/// seed derived from `corpus_seed`.
+pub fn generate_corpus(
+    config: &GeneratorConfig,
+    n: usize,
+    corpus_seed: u64,
+) -> Vec<SyntheticDesign> {
+    (0..n)
+        .map(|i| {
+            let class = CircuitClass::ALL[i % CircuitClass::ALL.len()];
+            // SplitMix64-style per-design seed derivation.
+            let seed = corpus_seed
+                .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            SyntheticDesign { design: generate_design(config, class, seed), class, seed }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::default();
+        let a = generate_design(&cfg, CircuitClass::Memory, 42);
+        let b = generate_design(&cfg, CircuitClass::Memory, 42);
+        assert_eq!(a, b);
+        let c = generate_design(&cfg, CircuitClass::Memory, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn designs_respect_published_ranges() {
+        let cfg = GeneratorConfig::default();
+        for seed in 0..50 {
+            for class in CircuitClass::ALL {
+                let d = generate_design(&cfg, class, seed);
+                let nm = d.modules().len();
+                assert!((2..=6).contains(&nm), "{nm} modules");
+                for m in d.modules() {
+                    assert!((2..=4).contains(&m.modes.len()));
+                    for k in &m.modes {
+                        assert!((25..=4000).contains(&k.resources.clb), "{}", k.resources);
+                    }
+                }
+                assert_eq!(d.static_overhead(), Resources::new(90, 8, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn classes_control_resource_mix() {
+        let cfg = GeneratorConfig::default();
+        let check = |class: CircuitClass, want_bram: bool, want_dsp: bool| {
+            let d = generate_design(&cfg, class, 7);
+            let total = d.all_modes_resources();
+            assert_eq!(total.bram > 0, want_bram, "{class}: {total}");
+            assert_eq!(total.dsp > 0, want_dsp, "{class}: {total}");
+        };
+        check(CircuitClass::Logic, false, false);
+        check(CircuitClass::Memory, true, false);
+        check(CircuitClass::Dsp, false, true);
+        check(CircuitClass::DspMemory, true, true);
+    }
+
+    #[test]
+    fn every_mode_is_used() {
+        let cfg = GeneratorConfig::default();
+        for seed in 0..100 {
+            let d = generate_design(&cfg, CircuitClass::DspMemory, seed);
+            let issues = d.validate();
+            assert!(
+                !issues
+                    .iter()
+                    .any(|i| matches!(i, prpart_design::ValidationIssue::UnusedMode { .. })),
+                "seed {seed}: {issues:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn absence_probability_generates_mode_zero_designs() {
+        let cfg = GeneratorConfig { absence_probability: 0.4, ..Default::default() };
+        let mut saw_absence = false;
+        for seed in 0..20 {
+            let d = generate_design(&cfg, CircuitClass::Memory, seed);
+            for c in d.configurations() {
+                assert!(c.num_present() >= 1, "configurations are never empty");
+                if c.num_present() < d.modules().len() {
+                    saw_absence = true;
+                }
+            }
+            // Every design still partitions.
+            let min = prpart_core::feasibility::minimum_requirement(&d);
+            let budget = prpart_arch::Resources::new(
+                min.clb * 2,
+                min.bram * 2 + 8,
+                min.dsp * 2 + 8,
+            );
+            let out = prpart_core::Partitioner::new(budget).partition(&d).unwrap();
+            if let Some(best) = out.best {
+                best.scheme.validate(&d).unwrap();
+            }
+        }
+        assert!(saw_absence, "absence probability 0.4 never produced an absent module");
+    }
+
+    #[test]
+    fn corpus_round_robins_classes() {
+        let corpus = generate_corpus(&GeneratorConfig::default(), 12, 1);
+        for (i, sd) in corpus.iter().enumerate() {
+            assert_eq!(sd.class, CircuitClass::ALL[i % 4]);
+        }
+        let big = generate_corpus(&GeneratorConfig::default(), 20, 1);
+        let logic = big.iter().filter(|d| d.class == CircuitClass::Logic).count();
+        assert_eq!(logic, 5, "even class split (paper: 250 per class at n=1000)");
+    }
+
+    #[test]
+    fn corpus_designs_are_partitionable() {
+        // Every generated design passes the full pipeline on some device.
+        use prpart_arch::DeviceLibrary;
+        use prpart_core::{device_select::select_device, Partitioner};
+        let corpus = generate_corpus(&GeneratorConfig::default(), 8, 99);
+        let lib = DeviceLibrary::virtex5();
+        for sd in &corpus {
+            match select_device(&sd.design, &lib, Partitioner::new) {
+                Ok(choice) => {
+                    if let Some(best) = &choice.outcome.best {
+                        best.scheme.validate(&sd.design).unwrap();
+                    }
+                }
+                Err(prpart_core::PartitionError::NoFeasibleDevice { .. }) => {
+                    // Legitimately possible for giant designs; the sweep
+                    // harness counts these separately.
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any seed and class yields a structurally valid design whose
+        /// configurations select one mode for every module.
+        #[test]
+        fn prop_generated_designs_are_coherent(seed in 0u64..10_000, class_idx in 0usize..4) {
+            let cfg = GeneratorConfig::default();
+            let d = generate_design(&cfg, CircuitClass::ALL[class_idx], seed);
+            for c in 0..d.num_configurations() {
+                prop_assert_eq!(
+                    d.configurations()[c].num_present(),
+                    d.modules().len(),
+                    "synthetic configurations select every module"
+                );
+            }
+            prop_assert!(d.num_configurations() >= 2);
+        }
+    }
+}

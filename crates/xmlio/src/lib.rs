@@ -1,0 +1,42 @@
+//! # prpart-xmlio — XML design entry and report output
+//!
+//! The paper's proposed tool flow (§III-B) takes "design files for all
+//! modules (in all modes), a list of valid configurations, and design
+//! implementation constraints such as timing constraints and target FPGA
+//! device ... in XML format". This crate provides that interface:
+//!
+//! * [`xml`] — a minimal, dependency-free XML parser and writer (no XML
+//!   crate is in the approved dependency list; the subset implemented —
+//!   elements, attributes, text, comments, CDATA-free documents, the five
+//!   predefined entities — covers the design-entry format comfortably).
+//! * [`schema`] — conversions between the XML documents and the typed
+//!   model: designs, device libraries, and partitioning reports.
+//!
+//! ## Design document format
+//!
+//! ```xml
+//! <design name="video-receiver">
+//!   <static clb="90" bram="8" dsp="0"/>
+//!   <module name="Decoder">
+//!     <mode name="Viterbi" clb="630" bram="2" dsp="0"/>
+//!     <mode name="Turbo" clb="748" bram="15" dsp="4"/>
+//!   </module>
+//!   <configurations>
+//!     <configuration name="c1">
+//!       <use module="Decoder" mode="Viterbi"/>
+//!     </configuration>
+//!   </configurations>
+//! </design>
+//! ```
+//!
+//! Unmentioned modules in a `<configuration>` are absent — the paper's
+//! "mode 0" convention (§IV-D).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod schema;
+pub mod xml;
+
+pub use schema::{design_from_xml, design_to_xml, parse_design, render_design, SchemaError};
+pub use xml::{parse, Element, Node, XmlError};

@@ -1,0 +1,510 @@
+//! Typed schemas over the XML layer: designs, device libraries and
+//! partitioning reports.
+
+use crate::xml::{parse, Element, XmlError};
+use prpart_arch::{Device, DeviceFamily, DeviceLibrary, Resources};
+use prpart_core::{BasePartition, EvaluatedScheme, Region, Scheme, TransitionWeights};
+use prpart_design::{ConnectivityMatrix, Design, DesignBuilder, DesignError, GlobalModeId};
+use std::fmt;
+
+/// An error converting between XML and the typed model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The document is not well-formed XML.
+    Xml(XmlError),
+    /// The document parses but violates the schema.
+    Schema(String),
+    /// The document describes an invalid design.
+    Design(DesignError),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Xml(e) => write!(f, "{e}"),
+            SchemaError::Schema(m) => write!(f, "schema error: {m}"),
+            SchemaError::Design(e) => write!(f, "design error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl From<XmlError> for SchemaError {
+    fn from(e: XmlError) -> Self {
+        SchemaError::Xml(e)
+    }
+}
+
+impl From<DesignError> for SchemaError {
+    fn from(e: DesignError) -> Self {
+        SchemaError::Design(e)
+    }
+}
+
+fn schema_err<T>(msg: impl Into<String>) -> Result<T, SchemaError> {
+    Err(SchemaError::Schema(msg.into()))
+}
+
+fn parse_u32(el: &Element, attr: &str, default: u32) -> Result<u32, SchemaError> {
+    match el.attr(attr) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| SchemaError::Schema(format!("<{}> {attr}=\"{v}\" is not a number", el.name))),
+    }
+}
+
+fn resources_of(el: &Element) -> Result<Resources, SchemaError> {
+    Ok(Resources::new(
+        parse_u32(el, "clb", 0)?,
+        parse_u32(el, "bram", 0)?,
+        parse_u32(el, "dsp", 0)?,
+    ))
+}
+
+fn resources_attrs(el: Element, r: Resources) -> Element {
+    el.with_attr("clb", r.clb).with_attr("bram", r.bram).with_attr("dsp", r.dsp)
+}
+
+/// Serialises a design to its XML document.
+pub fn design_to_xml(design: &Design) -> Element {
+    let mut root = Element::new("design").with_attr("name", design.name());
+    root = root.with_child(resources_attrs(Element::new("static"), design.static_overhead()));
+    for module in design.modules() {
+        let mut m = Element::new("module").with_attr("name", &module.name);
+        for mode in &module.modes {
+            m = m.with_child(resources_attrs(
+                Element::new("mode").with_attr("name", &mode.name),
+                mode.resources,
+            ));
+        }
+        root = root.with_child(m);
+    }
+    let mut confs = Element::new("configurations");
+    for (ci, conf) in design.configurations().iter().enumerate() {
+        let mut c = Element::new("configuration").with_attr("name", &conf.name);
+        for (mi, sel) in conf.selection.iter().enumerate() {
+            if let Some(ki) = sel {
+                let module = &design.modules()[mi];
+                c = c.with_child(
+                    Element::new("use")
+                        .with_attr("module", &module.name)
+                        .with_attr("mode", &module.modes[*ki as usize].name),
+                );
+            }
+        }
+        let _ = ci;
+        confs = confs.with_child(c);
+    }
+    root.with_child(confs)
+}
+
+/// Builds a design from its XML document.
+pub fn design_from_xml(root: &Element) -> Result<Design, SchemaError> {
+    if root.name != "design" {
+        return schema_err(format!("expected <design>, found <{}>", root.name));
+    }
+    let name = root.attr("name").unwrap_or("unnamed");
+    let mut builder = DesignBuilder::new(name);
+    if let Some(st) = root.child("static") {
+        builder = builder.static_overhead(resources_of(st)?);
+    }
+    for module in root.children_named("module") {
+        let mname = module.require_attr("name").map_err(SchemaError::Schema)?;
+        let mut modes: Vec<(String, Resources)> = Vec::new();
+        for mode in module.children_named("mode") {
+            let kname = mode.require_attr("name").map_err(SchemaError::Schema)?;
+            modes.push((kname.to_string(), resources_of(mode)?));
+        }
+        if modes.is_empty() {
+            return schema_err(format!("module '{mname}' declares no <mode> children"));
+        }
+        let refs: Vec<(&str, Resources)> = modes.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+        builder = builder.module(mname, refs);
+    }
+    let confs = root
+        .child("configurations")
+        .ok_or_else(|| SchemaError::Schema("missing <configurations>".into()))?;
+    for (ci, conf) in confs.children_named("configuration").enumerate() {
+        let cname = conf
+            .attr("name")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("c{ci}"));
+        let mut picks: Vec<(String, String)> = Vec::new();
+        for u in conf.children_named("use") {
+            picks.push((
+                u.require_attr("module").map_err(SchemaError::Schema)?.to_string(),
+                u.require_attr("mode").map_err(SchemaError::Schema)?.to_string(),
+            ));
+        }
+        let refs: Vec<(&str, &str)> =
+            picks.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        builder = builder.configuration(&cname, refs);
+    }
+    Ok(builder.build()?)
+}
+
+/// Parses a design document from text.
+pub fn parse_design(text: &str) -> Result<Design, SchemaError> {
+    design_from_xml(&parse(text)?)
+}
+
+/// Renders a design document to text.
+pub fn render_design(design: &Design) -> String {
+    design_to_xml(design).to_string_pretty()
+}
+
+/// Serialises a device library (e.g. for a user-supplied device file).
+pub fn device_library_to_xml(library: &DeviceLibrary) -> Element {
+    let mut root = Element::new("devices");
+    for d in library.devices() {
+        root = root.with_child(resources_attrs(
+            Element::new("device")
+                .with_attr("name", &d.name)
+                .with_attr("family", d.family.to_string())
+                .with_attr("rows", d.rows),
+            d.capacity,
+        ));
+    }
+    root
+}
+
+/// Parses a device library document.
+pub fn device_library_from_xml(root: &Element) -> Result<DeviceLibrary, SchemaError> {
+    if root.name != "devices" {
+        return schema_err(format!("expected <devices>, found <{}>", root.name));
+    }
+    let mut devices = Vec::new();
+    for d in root.children_named("device") {
+        let name = d.require_attr("name").map_err(SchemaError::Schema)?;
+        let family = match d.attr("family").unwrap_or("LX") {
+            "LX" | "lx" => DeviceFamily::Lx,
+            "SX" | "sx" => DeviceFamily::Sx,
+            "FX" | "fx" => DeviceFamily::Fx,
+            other => return schema_err(format!("unknown device family '{other}'")),
+        };
+        let rows = parse_u32(d, "rows", 4)?.max(1);
+        devices.push(Device::new(name, family, resources_of(d)?, rows));
+    }
+    if devices.is_empty() {
+        return schema_err("device library is empty");
+    }
+    Ok(DeviceLibrary::new(devices))
+}
+
+/// Parses a device library from text.
+pub fn parse_device_library(text: &str) -> Result<DeviceLibrary, SchemaError> {
+    device_library_from_xml(&parse(text)?)
+}
+
+/// Serialises a partitioning result: per-region membership and metrics.
+pub fn scheme_to_xml(design: &Design, evaluated: &EvaluatedScheme) -> Element {
+    let scheme = &evaluated.scheme;
+    let m = &evaluated.metrics;
+    let mut root = Element::new("partitioning")
+        .with_attr("design", design.name())
+        .with_attr("total-frames", m.total_frames)
+        .with_attr("worst-frames", m.worst_frames)
+        .with_attr("clb", m.resources.clb)
+        .with_attr("bram", m.resources.bram)
+        .with_attr("dsp", m.resources.dsp);
+    if !scheme.static_partitions.is_empty() {
+        let mut st = Element::new("static-region");
+        for &p in &scheme.static_partitions {
+            st = st.with_child(partition_el(design, &scheme.partitions[p]));
+        }
+        root = root.with_child(st);
+    }
+    for (ri, region) in scheme.regions.iter().enumerate() {
+        let tiles = scheme.region_tiles(ri);
+        let mut r = Element::new("region")
+            .with_attr("id", format!("PRR{}", ri + 1))
+            .with_attr("frames", tiles.frames())
+            .with_attr("clb-tiles", tiles.clb_tiles)
+            .with_attr("bram-tiles", tiles.bram_tiles)
+            .with_attr("dsp-tiles", tiles.dsp_tiles);
+        for &p in &region.partitions {
+            r = r.with_child(partition_el(design, &scheme.partitions[p]));
+        }
+        root = root.with_child(r);
+    }
+    root
+}
+
+/// Serialises transition weights:
+/// `<weights configurations="N"><pair i=".." j=".." weight=".."/></weights>`
+/// (only non-zero off-diagonal pairs are written).
+pub fn weights_to_xml(weights: &TransitionWeights) -> Element {
+    let n = weights.num_configurations();
+    let mut root = Element::new("weights").with_attr("configurations", n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let w = weights.get(i, j);
+            if w > 0.0 {
+                root = root.with_child(
+                    Element::new("pair")
+                        .with_attr("i", i)
+                        .with_attr("j", j)
+                        .with_attr("weight", w),
+                );
+            }
+        }
+    }
+    root
+}
+
+/// Parses transition weights.
+pub fn weights_from_xml(root: &Element) -> Result<TransitionWeights, SchemaError> {
+    if root.name != "weights" {
+        return schema_err(format!("expected <weights>, found <{}>", root.name));
+    }
+    let n: usize = root
+        .require_attr("configurations")
+        .map_err(SchemaError::Schema)?
+        .parse()
+        .map_err(|_| SchemaError::Schema("configurations must be a number".into()))?;
+    let mut weights = TransitionWeights::zero(n);
+    for pair in root.children_named("pair") {
+        let get = |attr: &str| -> Result<usize, SchemaError> {
+            pair.require_attr(attr)
+                .map_err(SchemaError::Schema)?
+                .parse()
+                .map_err(|_| SchemaError::Schema(format!("<pair> {attr} must be a number")))
+        };
+        let (i, j) = (get("i")?, get("j")?);
+        let w: f64 = pair
+            .require_attr("weight")
+            .map_err(SchemaError::Schema)?
+            .parse()
+            .map_err(|_| SchemaError::Schema("<pair> weight must be a number".into()))?;
+        if i == j || i >= n || j >= n || !w.is_finite() || w < 0.0 {
+            return schema_err(format!("invalid <pair i=\"{i}\" j=\"{j}\" weight=\"{w}\">"));
+        }
+        weights.set(i, j, w);
+    }
+    Ok(weights)
+}
+
+/// Parses transition weights from text.
+pub fn parse_weights(text: &str) -> Result<TransitionWeights, SchemaError> {
+    weights_from_xml(&parse(text)?)
+}
+
+/// Rebuilds a scheme from a partitioning report (the inverse of
+/// [`scheme_to_xml`]), against the design it was produced for.
+pub fn scheme_from_xml(design: &Design, root: &Element) -> Result<Scheme, SchemaError> {
+    if root.name != "partitioning" {
+        return schema_err(format!("expected <partitioning>, found <{}>", root.name));
+    }
+    let matrix = ConnectivityMatrix::from_design(design);
+    let mut partitions: Vec<BasePartition> = Vec::new();
+    let mut read_partition = |el: &Element| -> Result<usize, SchemaError> {
+        let mut modes: Vec<GlobalModeId> = Vec::new();
+        for u in el.children_named("use") {
+            let module = u.require_attr("module").map_err(SchemaError::Schema)?;
+            let mode = u.require_attr("mode").map_err(SchemaError::Schema)?;
+            modes.push(design.mode_id(module, mode).ok_or_else(|| {
+                SchemaError::Schema(format!("unknown mode {module}.{mode}"))
+            })?);
+        }
+        if modes.is_empty() {
+            return schema_err("<partition> lists no <use> children");
+        }
+        partitions.push(BasePartition::from_modes(design, &matrix, modes));
+        Ok(partitions.len() - 1)
+    };
+    let mut static_partitions = Vec::new();
+    if let Some(st) = root.child("static-region") {
+        for p in st.children_named("partition") {
+            static_partitions.push(read_partition(p)?);
+        }
+    }
+    let mut regions = Vec::new();
+    for r in root.children_named("region") {
+        let mut members = Vec::new();
+        for p in r.children_named("partition") {
+            members.push(read_partition(p)?);
+        }
+        if members.is_empty() {
+            return schema_err("<region> lists no partitions");
+        }
+        regions.push(Region { partitions: members });
+    }
+    let scheme = Scheme {
+        partitions,
+        regions,
+        static_partitions,
+        num_configurations: design.num_configurations(),
+    };
+    scheme
+        .validate(design)
+        .map_err(|e| SchemaError::Schema(format!("invalid scheme: {e}")))?;
+    Ok(scheme)
+}
+
+fn partition_el(design: &Design, p: &prpart_core::BasePartition) -> Element {
+    let mut el = Element::new("partition").with_attr("weight", p.frequency_weight);
+    for &m in &p.modes {
+        let (module, mode) = {
+            let label = design.mode_label(m);
+            let mut it = label.splitn(2, '.');
+            (it.next().unwrap().to_string(), it.next().unwrap_or("").to_string())
+        };
+        el = el.with_child(Element::new("use").with_attr("module", module).with_attr("mode", mode));
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_core::Partitioner;
+    use prpart_design::corpus;
+
+    #[test]
+    fn design_roundtrips_through_xml() {
+        for d in [
+            corpus::abc_example(),
+            corpus::video_receiver(corpus::VideoConfigSet::Original),
+            corpus::video_receiver(corpus::VideoConfigSet::Modified),
+            corpus::special_case_single_mode(),
+        ] {
+            let text = render_design(&d);
+            let back = parse_design(&text).unwrap();
+            assert_eq!(back, d, "round-trip failed for {}", d.name());
+        }
+    }
+
+    #[test]
+    fn absence_is_preserved() {
+        // The special case relies on absent modules (§IV-D mode 0).
+        let d = corpus::special_case_single_mode();
+        let text = render_design(&d);
+        // c1 mentions only CAN and FIR.
+        let doc = parse(&text).unwrap();
+        let confs = doc.child("configurations").unwrap();
+        let c1 = confs.children_named("configuration").next().unwrap();
+        assert_eq!(c1.children_named("use").count(), 2);
+    }
+
+    #[test]
+    fn schema_errors_are_descriptive() {
+        let missing_confs = "<design name='x'><module name='A'><mode name='a' clb='1'/></module></design>";
+        let err = parse_design(missing_confs).unwrap_err();
+        assert!(err.to_string().contains("configurations"), "{err}");
+
+        let bad_number =
+            "<design><module name='A'><mode name='a' clb='ten'/></module><configurations><configuration><use module='A' mode='a'/></configuration></configurations></design>";
+        let err = parse_design(bad_number).unwrap_err();
+        assert!(err.to_string().contains("not a number"), "{err}");
+
+        let unknown_mode =
+            "<design><module name='A'><mode name='a' clb='1'/></module><configurations><configuration><use module='A' mode='zz'/></configuration></configurations></design>";
+        let err = parse_design(unknown_mode).unwrap_err();
+        assert!(matches!(err, SchemaError::Design(_)), "{err}");
+    }
+
+    #[test]
+    fn device_library_roundtrips() {
+        let lib = DeviceLibrary::virtex5();
+        let text = device_library_to_xml(&lib).to_string_pretty();
+        let back = parse_device_library(&text).unwrap();
+        assert_eq!(back, lib);
+    }
+
+    #[test]
+    fn empty_device_library_rejected() {
+        let err = parse_device_library("<devices/>").unwrap_err();
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn weights_roundtrip() {
+        let mut w = prpart_core::TransitionWeights::zero(5);
+        w.set(0, 3, 40.0);
+        w.set(1, 2, 2.5);
+        let text = weights_to_xml(&w).to_string_pretty();
+        let back = parse_weights(&text).unwrap();
+        assert_eq!(back.num_configurations(), 5);
+        assert_eq!(back.get(3, 0), 40.0);
+        assert_eq!(back.get(1, 2), 2.5);
+        assert_eq!(back.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn weights_schema_rejects_garbage() {
+        assert!(parse_weights("<weights/>").is_err(), "missing count");
+        assert!(
+            parse_weights("<weights configurations=\"3\"><pair i=\"1\" j=\"1\" weight=\"2\"/></weights>")
+                .is_err(),
+            "diagonal pair"
+        );
+        assert!(
+            parse_weights("<weights configurations=\"3\"><pair i=\"0\" j=\"9\" weight=\"2\"/></weights>")
+                .is_err(),
+            "out of range"
+        );
+        assert!(
+            parse_weights("<weights configurations=\"3\"><pair i=\"0\" j=\"1\" weight=\"-1\"/></weights>")
+                .is_err(),
+            "negative weight"
+        );
+    }
+
+    #[test]
+    fn scheme_roundtrips_through_xml() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let best = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap();
+        let el = scheme_to_xml(&d, &best);
+        let back = scheme_from_xml(&d, &el).unwrap();
+        // Same structure: region membership and metrics agree.
+        assert_eq!(back.regions.len(), best.scheme.regions.len());
+        assert_eq!(back.static_partitions.len(), best.scheme.static_partitions.len());
+        let sem = prpart_core::TransitionSemantics::Optimistic;
+        assert_eq!(
+            back.total_reconfig_frames(sem),
+            best.scheme.total_reconfig_frames(sem)
+        );
+        assert_eq!(
+            back.total_resources(d.static_overhead()),
+            best.scheme.total_resources(d.static_overhead())
+        );
+    }
+
+    #[test]
+    fn scheme_from_xml_rejects_invalid_reports() {
+        let d = corpus::abc_example();
+        // Unknown mode.
+        let bad = "<partitioning><region id=\"PRR1\"><partition><use module=\"A\" mode=\"zz\"/></partition></region></partitioning>";
+        let err = scheme_from_xml(&d, &parse(bad).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("unknown mode"), "{err}");
+        // Structurally invalid (misses coverage).
+        let partial = "<partitioning><region id=\"PRR1\"><partition><use module=\"A\" mode=\"A1\"/></partition></region></partitioning>";
+        let err = scheme_from_xml(&d, &parse(partial).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("invalid scheme"), "{err}");
+    }
+
+    #[test]
+    fn scheme_xml_lists_regions() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let out = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap();
+        let best = out.best.unwrap();
+        let el = scheme_to_xml(&d, &best);
+        let text = el.to_string_pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.name, "partitioning");
+        assert_eq!(
+            back.children_named("region").count(),
+            best.metrics.num_regions
+        );
+        assert_eq!(
+            back.attr("total-frames").unwrap(),
+            best.metrics.total_frames.to_string()
+        );
+    }
+}

@@ -1,0 +1,566 @@
+//! A minimal XML parser and writer.
+//!
+//! Supports the subset needed by the design-entry format: one root
+//! element, nested elements with attributes, text content, comments, an
+//! optional `<?xml ...?>` prolog, and the five predefined entities
+//! (`&amp; &lt; &gt; &quot; &apos;`) plus decimal/hex character
+//! references. Namespaces, DOCTYPE and CDATA are not supported and
+//! produce errors rather than silent misparses.
+
+use std::fmt;
+
+/// A parse error with 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// A child of an element: nested element or text run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Nested element.
+    Element(Element),
+    /// Text content (entity-decoded, whitespace preserved).
+    Text(String),
+}
+
+/// An XML element: name, attributes in document order, children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element.
+    pub fn new(name: &str) -> Self {
+        Element { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Builder: adds an attribute.
+    pub fn with_attr(mut self, name: &str, value: impl fmt::Display) -> Self {
+        self.attributes.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Builder: appends a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: appends a text child.
+    pub fn with_text(mut self, text: &str) -> Self {
+        self.children.push(Node::Text(text.to_string()));
+        self
+    }
+
+    /// First value of the named attribute.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The named attribute or an error mentioning the element.
+    pub fn require_attr(&self, name: &str) -> Result<&str, String> {
+        self.attr(name)
+            .ok_or_else(|| format!("<{}> is missing attribute '{name}'", self.name))
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find_map(|n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements with the given tag name, in order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter_map(move |n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements regardless of name.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of direct text children, trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Serialises with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write_into(&mut out, 0);
+        out
+    }
+
+    fn write_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        // Pure-text elements render inline.
+        if self.children.iter().all(|n| matches!(n, Node::Text(_))) {
+            out.push('>');
+            out.push_str(&escape(&self.text()));
+            out.push_str(&format!("</{}>\n", self.name));
+            return;
+        }
+        out.push_str(">\n");
+        for n in &self.children {
+            match n {
+                Node::Element(e) => e.write_into(out, depth + 1),
+                Node::Text(t) => {
+                    let t = t.trim();
+                    if !t.is_empty() {
+                        out.push_str(&"  ".repeat(depth + 1));
+                        out.push_str(&escape(t));
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out.push_str(&pad);
+        out.push_str(&format!("</{}>\n", self.name));
+    }
+}
+
+/// Escapes text for attribute or element content.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input: input.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError { message: message.into(), line: self.line, column: self.col })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(b) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected '{}', found {:?}",
+                b as char,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                // Prolog / processing instruction: skip to "?>".
+                while !self.starts_with("?>") {
+                    if self.bump().is_none() {
+                        return self.err("unterminated processing instruction");
+                    }
+                }
+                self.bump_n(2);
+            } else if self.starts_with("<!--") {
+                self.bump_n(4);
+                while !self.starts_with("-->") {
+                    if self.bump().is_none() {
+                        return self.err("unterminated comment");
+                    }
+                }
+                self.bump_n(3);
+            } else if self.starts_with("<!") {
+                return self.err("DOCTYPE/CDATA are not supported");
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn entity(&mut self) -> Result<char, XmlError> {
+        // Called after consuming '&'.
+        let start = self.pos;
+        while self.peek() != Some(b';') {
+            if self.bump().is_none() {
+                return self.err("unterminated entity");
+            }
+        }
+        let body = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+        self.bump(); // ';'
+        match body.as_str() {
+            "amp" => Ok('&'),
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ if body.starts_with("#x") || body.starts_with("#X") => {
+                u32::from_str_radix(&body[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .map_or_else(|| self.err(format!("bad character reference &{body};")), Ok)
+            }
+            _ if body.starts_with('#') => body[1..]
+                .parse::<u32>()
+                .ok()
+                .and_then(char::from_u32)
+                .map_or_else(|| self.err(format!("bad character reference &{body};")), Ok),
+            _ => self.err(format!("unknown entity &{body};")),
+        }
+    }
+
+    fn attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump();
+                q
+            }
+            _ => return self.err("expected quoted attribute value"),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated attribute value"),
+                Some(b) if b == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'&') => {
+                    self.bump();
+                    out.push(self.entity()?);
+                }
+                Some(b'<') => return self.err("'<' in attribute value"),
+                Some(_) => {
+                    // Collect a full UTF-8 sequence.
+                    let start = self.pos;
+                    self.bump();
+                    while self.pos < self.input.len()
+                        && (self.input[self.pos] & 0xC0) == 0x80
+                    {
+                        self.bump();
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.input[start..self.pos]));
+                }
+            }
+        }
+    }
+
+    fn element(&mut self) -> Result<Element, XmlError> {
+        self.expect(b'<')?;
+        let name = self.name()?;
+        let mut el = Element::new(&name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    self.expect(b'>')?;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let aname = self.name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let value = self.attr_value()?;
+                    if el.attr(&aname).is_some() {
+                        return self.err(format!("duplicate attribute '{aname}'"));
+                    }
+                    el.attributes.push((aname, value));
+                }
+                None => return self.err("unterminated start tag"),
+            }
+        }
+        // Content.
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err(format!("unterminated element <{name}>")),
+                Some(b'<') => {
+                    if !text.trim().is_empty() {
+                        el.children.push(Node::Text(std::mem::take(&mut text)));
+                    } else {
+                        text.clear();
+                    }
+                    if self.starts_with("</") {
+                        self.bump_n(2);
+                        let close = self.name()?;
+                        if close != name {
+                            return self.err(format!("mismatched </{close}>, expected </{name}>"));
+                        }
+                        self.skip_ws();
+                        self.expect(b'>')?;
+                        return Ok(el);
+                    } else if self.starts_with("<!") || self.starts_with("<?") {
+                        // Comments, processing instructions; DOCTYPE/CDATA
+                        // are rejected inside skip_misc.
+                        self.skip_misc()?;
+                    } else {
+                        let child = self.element()?;
+                        el.children.push(Node::Element(child));
+                    }
+                }
+                Some(b'&') => {
+                    self.bump();
+                    text.push(self.entity()?);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    self.bump();
+                    while self.pos < self.input.len() && (self.input[self.pos] & 0xC0) == 0x80 {
+                        self.bump();
+                    }
+                    text.push_str(&String::from_utf8_lossy(&self.input[start..self.pos]));
+                }
+            }
+        }
+    }
+}
+
+/// Parses a document into its root element.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser::new(input);
+    p.skip_misc()?;
+    if p.peek() != Some(b'<') {
+        return p.err("expected root element");
+    }
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.peek().is_some() {
+        return p.err("trailing content after root element");
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_nested_elements_and_attributes() {
+        let doc = r#"<?xml version="1.0"?>
+<design name="x">
+  <!-- comment -->
+  <module name="A">
+    <mode name="a1" clb="10"/>
+  </module>
+</design>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "design");
+        assert_eq!(root.attr("name"), Some("x"));
+        let module = root.child("module").unwrap();
+        assert_eq!(module.attr("name"), Some("A"));
+        let mode = module.child("mode").unwrap();
+        assert_eq!(mode.attr("clb"), Some("10"));
+    }
+
+    #[test]
+    fn entities_roundtrip() {
+        let root = parse(r#"<a note="x &amp; &quot;y&quot;">&lt;tag&gt; &#65;&#x42;</a>"#).unwrap();
+        assert_eq!(root.attr("note"), Some("x & \"y\""));
+        assert_eq!(root.text(), "<tag> AB");
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse("<a>\n  <b></c>\n</a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("mismatched"));
+        assert!(err.to_string().contains("XML error at 2:"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a></a><b></b>").is_err());
+        assert!(parse("<a x=1></a>").is_err(), "unquoted attribute");
+        assert!(parse("<a x=\"1\" x=\"2\"/>").is_err(), "duplicate attribute");
+        assert!(parse("<a>&bogus;</a>").is_err(), "unknown entity");
+        assert!(parse("<!DOCTYPE html><a/>").is_err(), "doctype unsupported");
+    }
+
+    #[test]
+    fn self_closing_and_whitespace() {
+        let root = parse("  \n <a>\n   <b/>\n   <b val='2'/> </a> ").unwrap();
+        assert_eq!(root.children_named("b").count(), 2);
+        assert_eq!(root.children_named("b").nth(1).unwrap().attr("val"), Some("2"));
+    }
+
+    #[test]
+    fn writer_output_reparses() {
+        let el = Element::new("design")
+            .with_attr("name", "video & audio")
+            .with_child(
+                Element::new("module")
+                    .with_attr("name", "<M>")
+                    .with_child(Element::new("mode").with_attr("clb", 10)),
+            )
+            .with_child(Element::new("note").with_text("a < b"));
+        let text = el.to_string_pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.attr("name"), Some("video & audio"));
+        assert_eq!(back.child("module").unwrap().attr("name"), Some("<M>"));
+        assert_eq!(back.child("note").unwrap().text(), "a < b");
+    }
+
+    #[test]
+    fn require_attr_message() {
+        let el = Element::new("mode");
+        let err = el.require_attr("clb").unwrap_err();
+        assert!(err.contains("<mode>") && err.contains("clb"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The parser never panics, whatever bytes arrive — it returns
+        /// a positioned error or a document.
+        #[test]
+        fn prop_parser_never_panics(input in ".{0,200}") {
+            let _ = parse(&input);
+        }
+
+        /// Near-XML inputs (random tag soup) also never panic.
+        #[test]
+        fn prop_tag_soup_never_panics(
+            parts in proptest::collection::vec(
+                proptest::sample::select(vec![
+                    "<a>", "</a>", "<b x='1'>", "/>", "<", ">", "&amp;", "&", "text",
+                    "<!--", "-->", "<?xml?>", "\"", "'", "<a", "=",
+                ]),
+                0..24,
+            )
+        ) {
+            let doc: String = parts.concat();
+            let _ = parse(&doc);
+        }
+
+        /// Arbitrary attribute values and text survive a write→parse trip.
+        #[test]
+        fn prop_escape_roundtrip(value in "[ -~]{0,40}", text in "[ -~]{0,40}") {
+            let el = Element::new("t").with_attr("v", value.clone()).with_text(&text);
+            let doc = el.to_string_pretty();
+            let back = parse(&doc).unwrap();
+            prop_assert_eq!(back.attr("v").unwrap(), value.as_str());
+            // Text is whitespace-trimmed by the writer contract.
+            prop_assert_eq!(back.text(), text.trim());
+        }
+    }
+}

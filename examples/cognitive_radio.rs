@@ -1,0 +1,63 @@
+//! An adaptive system end to end: a cognitive-radio-style receiver whose
+//! configuration follows channel SNR at runtime (the paper's motivating
+//! scenario, §I). Partitions the design, then drives the configuration
+//! manager with an SNR random walk and compares the measured
+//! reconfiguration cost of the proposed scheme against the single-region
+//! baseline under the *same* channel trace.
+//!
+//! ```text
+//! cargo run --release --example cognitive_radio
+//! ```
+
+use prpart::core::{baselines, Partitioner};
+use prpart::design::corpus::{self, VideoConfigSet};
+use prpart::design::ConnectivityMatrix;
+use prpart::runtime::{
+    env::generate_walk, CognitiveRadioEnv, ConfigurationManager, IcapController,
+};
+
+fn main() {
+    // The modified video receiver: five configurations ordered from
+    // most robust (c1, strong coding + MPEG4) to most aggressive.
+    let design = corpus::video_receiver(VideoConfigSet::Modified);
+    let budget = corpus::VIDEO_RECEIVER_BUDGET;
+    let matrix = ConnectivityMatrix::from_design(&design);
+
+    let proposed = Partitioner::new(budget)
+        .partition(&design)
+        .expect("feasible")
+        .best
+        .expect("scheme")
+        .scheme;
+    let single = baselines::single_region(&design, &matrix);
+
+    // One shared channel trace: SNR random walk with four thresholds
+    // mapping to the five configurations.
+    let mut env = CognitiveRadioEnv::new(vec![3.0, 8.0, 13.0, 18.0], 2013);
+    let walk = generate_walk(&mut env, 0, 4000);
+    println!(
+        "channel trace: {} steps, final SNR {:.1} dB",
+        walk.len(),
+        env.snr_db()
+    );
+    let switches = walk.windows(2).filter(|w| w[0] != w[1]).count();
+    println!("configuration switches in trace: {switches}\n");
+
+    for (name, scheme) in [("proposed", &proposed), ("single-region", &single)] {
+        let mut mgr = ConfigurationManager::new(scheme.clone(), IcapController::default());
+        let (frames, time) = mgr.run_walk(&walk, true);
+        let stats = mgr.icap().stats();
+        println!(
+            "{name:>14}: {frames:>10} frames reconfigured | {:?} total | {} ICAP transfers",
+            time, stats.transfers
+        );
+    }
+
+    println!(
+        "\nThe proposed scheme only reconfigures the regions whose mode\n\
+         actually changes (and keeps promoted modes in static logic),\n\
+         while the single region rewrites everything on every switch —\n\
+         the gap above is the paper's headline effect, measured on a\n\
+         simulated runtime rather than the all-pairs cost model."
+    );
+}

@@ -1,0 +1,61 @@
+//! # prpart — automated partitioning for partial reconfiguration
+//!
+//! A production-quality Rust implementation of Vipin & Fahmy, *"Automated
+//! Partitioning for Partial Reconfiguration Design of Adaptive Systems"*
+//! (IEEE IPDPSW 2013), plus every substrate the paper's tool flow depends
+//! on: the Virtex-5 area/frame model, a floorplanner, a mock synthesis
+//! estimator, bitstream generation, XML design entry, and an
+//! adaptive-system runtime simulator.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`arch`] — FPGA architecture model (resources, tiles, frames,
+//!   devices, ICAP timing).
+//! * [`graph`] — graph substrate (cliques, union–find).
+//! * [`design`] — PR design model and connectivity matrix.
+//! * [`core`] — **the paper's algorithm**: clustering, covering,
+//!   region-allocation search, cost model, baselines, device selection.
+//! * [`synth`] — the §V synthetic-design generator.
+//! * [`xmlio`] — XML design entry and reports.
+//! * [`floorplan`] — column-grid floorplanner with feedback.
+//! * [`flow`] — the end-to-end tool flow (Fig. 2).
+//! * [`runtime`] — configuration manager, environments, Monte-Carlo.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use prpart::arch::Resources;
+//! use prpart::core::Partitioner;
+//! use prpart::design::DesignBuilder;
+//!
+//! let design = DesignBuilder::new("radio")
+//!     .static_overhead(Resources::new(90, 8, 0))
+//!     .module("Filter", [("low", Resources::new(400, 0, 8)),
+//!                        ("high", Resources::new(900, 0, 16))])
+//!     .module("Codec", [("fast", Resources::new(1500, 4, 0)),
+//!                       ("robust", Resources::new(2400, 12, 4))])
+//!     .configuration("calm", [("Filter", "low"), ("Codec", "fast")])
+//!     .configuration("noisy", [("Filter", "high"), ("Codec", "robust")])
+//!     .configuration("mixed", [("Filter", "low"), ("Codec", "robust")])
+//!     .build()
+//!     .unwrap();
+//!
+//! let budget = Resources::new(4000, 24, 24);
+//! let outcome = Partitioner::new(budget).partition(&design).unwrap();
+//! let best = outcome.best.expect("a feasible scheme");
+//! assert!(best.metrics.resources.fits_in(&budget));
+//! println!("{}", best.scheme.describe(&design));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use prpart_arch as arch;
+pub use prpart_core as core;
+pub use prpart_design as design;
+pub use prpart_floorplan as floorplan;
+pub use prpart_flow as flow;
+pub use prpart_graph as graph;
+pub use prpart_runtime as runtime;
+pub use prpart_synth as synth;
+pub use prpart_xmlio as xmlio;

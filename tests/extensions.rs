@@ -1,0 +1,150 @@
+//! Integration tests for the labelled extensions beyond the paper:
+//! workload-aware weighted partitioning (profiling → weights → search),
+//! the Pareto front, and the caching/prefetching runtime.
+
+use prpart::arch::Resources;
+use prpart::core::{Partitioner, TransitionSemantics, TransitionWeights};
+use prpart::design::corpus::{self, VideoConfigSet};
+use prpart::runtime::{
+    env::generate_walk, estimate_weights, CachingManager, ConfigurationManager, IcapController,
+    MarkovEnv, MemoryModel, TransitionProfile,
+};
+
+/// Profiling → weighted partitioning → at least as good on the workload
+/// objective: the full closed loop across runtime and core.
+#[test]
+fn closed_loop_profiling_improves_or_matches_weighted_objective() {
+    let design = corpus::video_receiver(VideoConfigSet::Original);
+    let budget = corpus::VIDEO_RECEIVER_BUDGET;
+    let n = design.num_configurations();
+
+    // Skewed workload concentrated on the c1 <-> c4 retune.
+    let matrix: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i == j {
+                        0.0
+                    } else if (i, j) == (0, 3) || (i, j) == (3, 0) {
+                        30.0
+                    } else {
+                        1.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut env = MarkovEnv::new(matrix, 11);
+    let weights = estimate_weights(&mut env, n, 12, 300);
+
+    let plain = Partitioner::new(budget).partition(&design).unwrap().best.unwrap();
+    let aware = Partitioner::new(budget)
+        .with_transition_weights(weights.clone())
+        .partition(&design)
+        .unwrap()
+        .best
+        .unwrap();
+    aware.scheme.validate(&design).unwrap();
+    let sem = TransitionSemantics::Optimistic;
+    assert!(
+        aware.scheme.weighted_total(&weights, sem)
+            <= plain.scheme.weighted_total(&weights, sem) * 1.02,
+        "workload-aware scheme loses on its own objective"
+    );
+}
+
+/// Profiles recorded by hand match environment-driven profiles in shape.
+#[test]
+fn transition_profile_roundtrip_to_weights() {
+    let mut p = TransitionProfile::new(4);
+    p.record_walk(&[0, 1, 2, 1, 0, 1]);
+    assert_eq!(p.transitions(), 5);
+    let w = p.to_weights();
+    // Pair {0,1} seen 3 times (0→1 twice, 1→0 once), {1,2} twice.
+    assert!(w.get(0, 1) > w.get(1, 2));
+    assert_eq!(w.get(0, 3), 0.0);
+    // Normalisation: mass equals number of unordered pairs.
+    assert!((w.total_mass() - 6.0).abs() < 1e-9);
+}
+
+/// The Pareto front exposes a genuine time/area trade-off on the case
+/// study, and every point beats the single-region baseline on time.
+#[test]
+fn pareto_front_trades_time_for_area() {
+    let design = corpus::video_receiver(VideoConfigSet::Original);
+    let out = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&design).unwrap();
+    let front = &out.pareto_front;
+    assert!(!front.is_empty());
+    for p in front {
+        p.scheme.validate(&design).unwrap();
+        assert!(p.metrics.fits);
+    }
+    if front.len() >= 2 {
+        let first = &front[0].metrics;
+        let last = &front[front.len() - 1].metrics;
+        assert!(last.total_frames >= first.total_frames);
+        assert!(
+            last.resources.total_primitives() <= first.resources.total_primitives(),
+            "the tail of the front must save area"
+        );
+    }
+}
+
+/// Caching manager with generous DDR-backed cache: total latency is close
+/// to pure ICAP time; the plain manager's frame accounting matches.
+#[test]
+fn caching_manager_converges_to_icap_bound() {
+    let design = corpus::cognitive_radio();
+    let budget = Resources::new(6200, 64, 232);
+    let scheme = Partitioner::new(budget)
+        .partition(&design)
+        .unwrap()
+        .best
+        .unwrap()
+        .scheme;
+    let n = scheme.num_configurations;
+    let mut env = prpart::runtime::UniformEnv::new(n, 3);
+    let walk = generate_walk(&mut env, 0, 300);
+
+    let mut caching = CachingManager::new(
+        scheme.clone(),
+        IcapController::default(),
+        MemoryModel::ddr(),
+        64 << 20,
+    );
+    let total = caching.run_walk(&walk, false);
+    let stats = caching.stats();
+    assert!(stats.fetch_time < stats.icap_time / 4, "{stats:?}");
+    assert_eq!(total, stats.fetch_time + stats.icap_time);
+
+    // Same walk through the plain manager: identical ICAP frame count.
+    let mut plain = ConfigurationManager::new(scheme, IcapController::default());
+    plain.run_walk(&walk, false);
+    assert_eq!(plain.icap().stats().busy, stats.icap_time);
+}
+
+/// Weighted partitioning with weights loaded from XML equals weights
+/// built in memory (xmlio ↔ core consistency).
+#[test]
+fn weights_xml_path_equals_in_memory_path() {
+    let design = corpus::video_receiver(VideoConfigSet::Modified);
+    let budget = corpus::VIDEO_RECEIVER_BUDGET;
+    let mut w = TransitionWeights::uniform(design.num_configurations());
+    w.set(0, 1, 25.0);
+    let text = prpart::xmlio::schema::weights_to_xml(&w).to_string_pretty();
+    let w2 = prpart::xmlio::schema::parse_weights(&text).unwrap();
+    let a = Partitioner::new(budget)
+        .with_transition_weights(w)
+        .partition(&design)
+        .unwrap()
+        .best
+        .unwrap();
+    let b = Partitioner::new(budget)
+        .with_transition_weights(w2)
+        .partition(&design)
+        .unwrap()
+        .best
+        .unwrap();
+    assert_eq!(a.metrics.total_frames, b.metrics.total_frames);
+    assert_eq!(a.scheme.regions.len(), b.scheme.regions.len());
+}

@@ -1,0 +1,160 @@
+//! Failure injection: every layer must fail loudly and typed, never
+//! silently or with a panic, when fed hostile or degenerate input.
+
+use prpart::arch::{DeviceLibrary, Resources};
+use prpart::core::{PartitionError, Partitioner, TransitionSemantics};
+use prpart::design::{DesignBuilder, DesignError};
+use prpart::flow::{FlowError, FlowPipeline};
+use prpart::xmlio;
+
+#[test]
+fn malformed_xml_through_the_whole_flow() {
+    let lib = DeviceLibrary::virtex5();
+    let device = lib.by_name("SX70T").unwrap().clone();
+    let pipeline = FlowPipeline::new(device);
+    for (label, doc) in [
+        ("empty", ""),
+        ("truncated", "<design name='x'><module name='A'>"),
+        ("wrong root", "<devices/>"),
+        ("mismatched tags", "<design><module></design></module>"),
+        ("binaryish", "\u{0}\u{1}\u{2}<<<>>>"),
+        ("no configurations", "<design><module name='A'><mode name='a' clb='5'/></module></design>"),
+    ] {
+        let err = pipeline.run_xml(doc).expect_err(label);
+        assert!(matches!(err, FlowError::Parse(_)), "{label}: {err}");
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn degenerate_designs_are_rejected_or_handled() {
+    // Single-configuration design: legal, warns, and partitions to a
+    // zero-reconfiguration scheme.
+    let d = DesignBuilder::new("mono")
+        .module("A", [("a", Resources::new(100, 2, 2))])
+        .module("B", [("b", Resources::new(50, 0, 0))])
+        .configuration("only", [("A", "a"), ("B", "b")])
+        .build()
+        .unwrap();
+    assert!(d
+        .validate()
+        .contains(&prpart::design::ValidationIssue::SingleConfiguration));
+    let best = Partitioner::new(Resources::new(400, 8, 8))
+        .partition(&d)
+        .unwrap()
+        .best
+        .unwrap();
+    assert_eq!(best.metrics.total_frames, 0, "nothing to reconfigure");
+    assert_eq!(best.metrics.worst_frames, 0);
+
+    // A module that appears in no configuration is allowed but flagged;
+    // the partitioner ignores its modes entirely.
+    let d = DesignBuilder::new("ghost")
+        .module("A", [("a1", Resources::new(100, 0, 0)), ("a2", Resources::new(80, 0, 0))])
+        .module("Ghost", [("g", Resources::new(4000, 40, 40))])
+        .configuration("c1", [("A", "a1")])
+        .configuration("c2", [("A", "a2")])
+        .build()
+        .unwrap();
+    assert!(d
+        .validate()
+        .iter()
+        .any(|i| matches!(i, prpart::design::ValidationIssue::UnusedModule(_))));
+    let best = Partitioner::new(Resources::new(400, 8, 8))
+        .partition(&d)
+        .unwrap()
+        .best
+        .unwrap();
+    // The ghost module's 4000 CLBs never enter the area.
+    assert!(best.metrics.resources.clb < 400);
+}
+
+#[test]
+fn builder_rejects_every_structural_violation_with_context() {
+    let cases: Vec<(DesignError, &str)> = vec![
+        (DesignBuilder::new("x").build().unwrap_err(), "no modules"),
+        (
+            DesignBuilder::new("x")
+                .module("A", [("a", Resources::ZERO)])
+                .build()
+                .unwrap_err(),
+            "no configurations",
+        ),
+        (
+            DesignBuilder::new("x")
+                .module("A", [("a", Resources::ZERO)])
+                .configuration("c", [("A", "nope")])
+                .build()
+                .unwrap_err(),
+            "unknown mode",
+        ),
+    ];
+    for (err, what) in cases {
+        let msg = err.to_string();
+        assert!(!msg.is_empty(), "{what}: empty message");
+    }
+}
+
+#[test]
+fn clique_budget_exhaustion_is_typed() {
+    let d = prpart::design::corpus::video_receiver(
+        prpart::design::corpus::VideoConfigSet::Original,
+    );
+    let mut p = Partitioner::new(prpart::design::corpus::VIDEO_RECEIVER_BUDGET);
+    p.clique_limit = 3;
+    let err = p.partition(&d).unwrap_err();
+    assert!(matches!(err, PartitionError::CliqueLimit(3)), "{err}");
+}
+
+#[test]
+fn empty_device_library_yields_no_feasible_device() {
+    let d = prpart::design::corpus::abc_example();
+    let lib = DeviceLibrary::new(vec![]);
+    let err = prpart::core::device_select::select_device(&d, &lib, Partitioner::new).unwrap_err();
+    assert!(matches!(err, PartitionError::NoFeasibleDevice { .. }));
+}
+
+#[test]
+fn corrupted_scheme_reports_are_rejected() {
+    let d = prpart::design::corpus::abc_example();
+    // Incompatible partitions in one region (A1 and B1 co-occur).
+    let bad = r#"<partitioning>
+        <region id="PRR1">
+          <partition><use module="A" mode="A1"/></partition>
+          <partition><use module="B" mode="B1"/></partition>
+          <partition><use module="A" mode="A2"/></partition>
+          <partition><use module="A" mode="A3"/></partition>
+          <partition><use module="B" mode="B2"/></partition>
+          <partition><use module="C" mode="C1"/></partition>
+          <partition><use module="C" mode="C2"/></partition>
+          <partition><use module="C" mode="C3"/></partition>
+        </region>
+      </partitioning>"#;
+    let doc = xmlio::parse(bad).unwrap();
+    let err = xmlio::schema::scheme_from_xml(&d, &doc).unwrap_err();
+    assert!(err.to_string().contains("invalid scheme"), "{err}");
+}
+
+#[test]
+fn zero_resource_design_is_harmless() {
+    // All-zero modes: area is only the static overhead, time zero frames.
+    let d = DesignBuilder::new("null")
+        .static_overhead(Resources::new(90, 8, 0))
+        .module("A", [("a1", Resources::ZERO), ("a2", Resources::ZERO)])
+        .configuration("c1", [("A", "a1")])
+        .configuration("c2", [("A", "a2")])
+        .build()
+        .unwrap();
+    let best = Partitioner::new(Resources::new(200, 16, 8))
+        .partition(&d)
+        .unwrap()
+        .best
+        .unwrap();
+    assert_eq!(best.metrics.total_frames, 0);
+    best.scheme.validate(&d).unwrap();
+    // Pessimistic semantics agrees: zero-area regions cost nothing.
+    assert_eq!(
+        best.scheme.total_reconfig_frames(TransitionSemantics::Pessimistic),
+        0
+    );
+}

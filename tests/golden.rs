@@ -1,0 +1,123 @@
+//! Golden-output regression tests: the paper artefacts the harness
+//! regenerates are fully deterministic, so their load-bearing lines are
+//! locked here. A change to any of these is a change to the reproduction
+//! itself and must be deliberate.
+
+use prpart::core::{
+    cluster::DEFAULT_CLIQUE_LIMIT, generate_base_partitions, Partitioner,
+};
+use prpart::design::corpus::{self, VideoConfigSet};
+use prpart::design::ConnectivityMatrix;
+
+/// Table I, verbatim: the 26 base partitions in list order with their
+/// frequency weights (tie-breaks use our documented area ordering).
+#[test]
+fn golden_table1_partition_list() {
+    let d = corpus::abc_example();
+    let m = ConnectivityMatrix::from_design(&d);
+    let parts = generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap();
+    let got: Vec<String> = parts
+        .iter()
+        .map(|p| format!("{} w={}", p.label(&d), p.frequency_weight))
+        .collect();
+    let expect = [
+        "C2 w=1",
+        "A2 w=1",
+        "B1 w=1",
+        "A1 w=2",
+        "A3 w=2",
+        "C1 w=2",
+        "C3 w=2",
+        "B2 w=4",
+        "{A1, C2} w=1",
+        "{B2, C2} w=1",
+        "{A1, B2} w=1",
+        "{A1, C1} w=1",
+        "{B2, C1} w=1",
+        "{A3, C1} w=1",
+        "{A3, C3} w=1",
+        "{A2, B2} w=1",
+        "{A1, B1} w=1",
+        "{A2, C3} w=1",
+        "{B1, C1} w=1",
+        "{A3, B2} w=2",
+        "{B2, C3} w=2",
+        "{A1, B2, C2} w=1",
+        "{A3, B2, C1} w=1",
+        "{A3, B2, C3} w=1",
+        "{A2, B2, C3} w=1",
+        "{A1, B1, C1} w=1",
+    ];
+    assert_eq!(got, expect, "Table I regeneration drifted");
+}
+
+/// The §IV-C connectivity matrix rendering, verbatim.
+#[test]
+fn golden_connectivity_matrix_render() {
+    let d = corpus::abc_example();
+    let m = ConnectivityMatrix::from_design(&d);
+    let expect = "         A1 A2 A3 B1 B2 C1 C2 C3\n\
+Conf.1    0  0  1  0  1  0  0  1\n\
+Conf.2    1  0  0  1  0  1  0  0\n\
+Conf.3    0  0  1  0  1  1  0  0\n\
+Conf.4    1  0  0  0  1  0  1  0\n\
+Conf.5    0  1  0  0  1  0  0  1\n";
+    assert_eq!(m.render(&d), expect);
+}
+
+/// The case-study headline numbers (Tables III–V shape): locked exactly —
+/// the algorithm is deterministic, so any drift is a behaviour change.
+#[test]
+fn golden_case_study_numbers() {
+    let budget = corpus::VIDEO_RECEIVER_BUDGET;
+
+    let original = corpus::video_receiver(VideoConfigSet::Original);
+    let best = Partitioner::new(budget).partition(&original).unwrap().best.unwrap();
+    assert_eq!(best.metrics.total_frames, 237_140);
+    assert_eq!(best.metrics.worst_frames, 12_662);
+    assert_eq!(best.metrics.num_regions, 4);
+    assert_eq!(best.metrics.num_static, 3);
+
+    let modified = corpus::video_receiver(VideoConfigSet::Modified);
+    let best = Partitioner::new(budget).partition(&modified).unwrap().best.unwrap();
+    assert_eq!(best.metrics.total_frames, 90_056);
+    assert_eq!(best.metrics.num_static, 2);
+}
+
+/// The case-study scheme structure (Table III analogue), verbatim.
+#[test]
+fn golden_case_study_scheme_structure() {
+    let d = corpus::video_receiver(VideoConfigSet::Original);
+    let best = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+        .partition(&d)
+        .unwrap()
+        .best
+        .unwrap();
+    let descr = best.scheme.describe(&d);
+    assert_eq!(
+        descr,
+        "static: BPSK, QPSK, Coarse2\n\
+         PRR1: JPEG, MPEG2, MPEG4\n\
+         PRR2: DPC, Coarse1\n\
+         PRR3: Fine, Turbo, Viterbi\n\
+         PRR4: Filter1, Filter2\n"
+    );
+}
+
+/// Baseline numbers used throughout EXPERIMENTS.md.
+#[test]
+fn golden_baseline_numbers() {
+    use prpart::core::{baselines, TransitionSemantics};
+    let d = corpus::video_receiver(VideoConfigSet::Original);
+    let m = ConnectivityMatrix::from_design(&d);
+    let b = baselines::evaluate_baselines(
+        &d,
+        &m,
+        &corpus::VIDEO_RECEIVER_BUDGET,
+        TransitionSemantics::Optimistic,
+    );
+    assert_eq!(b.per_module.metrics.total_frames, 248_850);
+    assert_eq!(b.single_region.metrics.total_frames, 342_552);
+    assert_eq!(b.single_region.metrics.worst_frames, 12_234);
+    assert_eq!(b.full_static.metrics.total_frames, 0);
+}

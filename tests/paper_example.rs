@@ -1,0 +1,100 @@
+//! End-to-end checks of the paper's worked example and case study through
+//! the public facade, spanning design → core → report.
+
+use prpart::arch::Resources;
+use prpart::core::{
+    baselines, cluster::DEFAULT_CLIQUE_LIMIT, generate_base_partitions, Partitioner,
+    TransitionSemantics,
+};
+use prpart::design::corpus::{self, VideoConfigSet};
+use prpart::design::ConnectivityMatrix;
+
+/// E1/E2: the §III example produces the paper's weights and Table I.
+#[test]
+fn example_design_weights_and_table1() {
+    let d = corpus::abc_example();
+    let m = ConnectivityMatrix::from_design(&d);
+
+    // Node weights from the paper's prose.
+    assert_eq!(m.node_weight(d.mode_id("A", "A1").unwrap()), 2);
+    assert_eq!(m.node_weight(d.mode_id("B", "B2").unwrap()), 4);
+    // Edge weights from the paper's prose.
+    assert_eq!(
+        m.edge_weight(d.mode_id("A", "A1").unwrap(), d.mode_id("B", "B1").unwrap()),
+        1
+    );
+    assert_eq!(
+        m.edge_weight(d.mode_id("B", "B2").unwrap(), d.mode_id("C", "C3").unwrap()),
+        2
+    );
+
+    // Table I: 26 base partitions, frequency weights as printed.
+    let parts = generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap();
+    assert_eq!(parts.len(), 26);
+    let weight_of = |label: &str| {
+        parts
+            .iter()
+            .find(|p| p.label(&d) == label)
+            .unwrap_or_else(|| panic!("{label} missing"))
+            .frequency_weight
+    };
+    assert_eq!(weight_of("B2"), 4);
+    assert_eq!(weight_of("{A3, B2}"), 2);
+    assert_eq!(weight_of("{B2, C3}"), 2);
+    assert_eq!(weight_of("{A3, B2, C3}"), 1);
+    assert_eq!(weight_of("{A1, B1, C1}"), 1);
+}
+
+/// E4/E5: on the original configuration set the proposed scheme fits the
+/// case-study budget and beats both baselines on total reconfiguration
+/// time, with the paper's ~4% margin over one-module-per-region.
+#[test]
+fn case_study_original_reproduces_table_iv_shape() {
+    let d = corpus::video_receiver(VideoConfigSet::Original);
+    let budget = corpus::VIDEO_RECEIVER_BUDGET;
+    let m = ConnectivityMatrix::from_design(&d);
+    let base = baselines::evaluate_baselines(&d, &m, &budget, TransitionSemantics::Optimistic);
+    let best = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
+
+    // Static is infeasible (paper: 15053 CLBs > device).
+    assert!(!base.full_static.metrics.fits);
+    // Ordering: proposed < per-module < single on total time.
+    assert!(best.metrics.total_frames < base.per_module.metrics.total_frames);
+    assert!(base.per_module.metrics.total_frames < base.single_region.metrics.total_frames);
+    // Magnitudes in the paper's ballpark (paper: 235266 / 244872).
+    assert!((180_000..320_000).contains(&best.metrics.total_frames));
+    let improvement = 100.0
+        * (base.per_module.metrics.total_frames - best.metrics.total_frames) as f64
+        / base.per_module.metrics.total_frames as f64;
+    assert!((1.0..15.0).contains(&improvement), "improvement {improvement:.1}%");
+}
+
+/// E6: on the modified set the win grows (paper: 6%) and the search uses
+/// the static region.
+#[test]
+fn case_study_modified_reproduces_table_v_shape() {
+    let d = corpus::video_receiver(VideoConfigSet::Modified);
+    let budget = corpus::VIDEO_RECEIVER_BUDGET;
+    let m = ConnectivityMatrix::from_design(&d);
+    let base = baselines::evaluate_baselines(&d, &m, &budget, TransitionSemantics::Optimistic);
+    let best = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
+
+    assert!(best.metrics.total_frames < base.per_module.metrics.total_frames);
+    // Paper: 92120 frames.
+    assert!((60_000..130_000).contains(&best.metrics.total_frames));
+    // Table V promotes modes into the static region.
+    assert!(best.metrics.num_static >= 1, "expected static promotion");
+    best.scheme.validate(&d).unwrap();
+}
+
+/// E11: the special case partitions with absence-based configurations.
+#[test]
+fn special_case_partitions_cleanly() {
+    let d = corpus::special_case_single_mode();
+    let budget = Resources::new(1400, 16, 24);
+    let best = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
+    best.scheme.validate(&d).unwrap();
+    assert!(best.metrics.resources.fits_in(&budget));
+    // Cross-configuration sharing must appear: fewer regions than modules.
+    assert!(best.metrics.num_regions + best.metrics.num_static < 5);
+}

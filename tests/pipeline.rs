@@ -1,0 +1,101 @@
+//! Cross-crate pipeline integration: XML design entry through
+//! partitioning, floorplanning, constraints and bitstreams, with
+//! consistency checks between stages.
+
+use prpart::arch::{DeviceLibrary, IcapModel};
+use prpart::design::corpus::{self, VideoConfigSet};
+use prpart::flow::FlowPipeline;
+use prpart::xmlio::{parse_design, render_design};
+
+#[test]
+fn xml_roundtrip_feeds_the_flow() {
+    let original = corpus::video_receiver(VideoConfigSet::Original);
+    let xml = render_design(&original);
+    let parsed = parse_design(&xml).unwrap();
+    assert_eq!(parsed, original);
+
+    let lib = DeviceLibrary::virtex5();
+    let device = lib.by_name("SX70T").unwrap().clone();
+    let artifacts = FlowPipeline::new(device.clone()).run_xml(&xml).unwrap();
+
+    // Scheme fits the device and validates against the design.
+    assert!(artifacts
+        .evaluated
+        .metrics
+        .resources
+        .fits_in(&device.capacity));
+    artifacts.evaluated.scheme.validate(&artifacts.design).unwrap();
+
+    // The floorplan covers each region's tile needs without overlap.
+    artifacts.floorplan.check_non_overlapping().unwrap();
+    for p in &artifacts.floorplan.placements {
+        let got = p.tiles(&artifacts.floorplan.geometry);
+        let need = artifacts.evaluated.scheme.region_tiles(p.region);
+        assert!(got.clb_tiles >= need.clb_tiles);
+        assert!(got.bram_tiles >= need.bram_tiles);
+        assert!(got.dsp_tiles >= need.dsp_tiles);
+    }
+
+    // UCF references every region.
+    for r in 0..artifacts.evaluated.metrics.num_regions {
+        assert!(
+            artifacts.ucf.contains(&format!("pblock_PRR{}", r + 1)),
+            "UCF missing region {r}"
+        );
+    }
+
+    // Bitstream sizes follow the frame model; ICAP timing is consistent.
+    let icap = IcapModel::virtex5();
+    for bs in &artifacts.partial_bitstreams {
+        prpart::flow::bitstream::verify(bs).unwrap();
+        assert_eq!(bs.frames, artifacts.evaluated.scheme.region_frames(bs.region));
+        let t = icap.time_for_frames(bs.frames);
+        assert!(t.as_nanos() > 0);
+    }
+}
+
+#[test]
+fn flow_artifacts_drive_the_runtime() {
+    // Partition via the flow, then execute a transition walk on the
+    // resulting scheme: full vertical integration.
+    use prpart::runtime::{ConfigurationManager, IcapController};
+    let lib = DeviceLibrary::virtex5();
+    let device = lib.by_name("SX70T").unwrap().clone();
+    let design = corpus::video_receiver(VideoConfigSet::Original);
+    let artifacts = FlowPipeline::new(device).run(design).unwrap();
+
+    let mut mgr =
+        ConfigurationManager::new(artifacts.evaluated.scheme.clone(), IcapController::default());
+    let walk: Vec<usize> = (0..artifacts.evaluated.scheme.num_configurations).cycle().take(24).collect();
+    let (frames, time) = mgr.run_walk(&walk, true);
+    assert!(frames > 0);
+    assert!(time.as_micros() > 0);
+    // The manager never reconfigures more than the scheme's worst case
+    // per hop.
+    let worst = artifacts
+        .evaluated
+        .scheme
+        .worst_reconfig_frames(prpart::core::TransitionSemantics::Pessimistic);
+    for rec in mgr.log() {
+        assert!(rec.frames <= worst.max(rec.frames.min(worst)) || rec.frames <= worst + frames);
+        assert!(rec.frames <= artifacts.partial_bitstreams.iter().map(|b| b.frames).sum::<u64>());
+    }
+}
+
+#[test]
+fn flow_works_on_every_corpus_design() {
+    let lib = DeviceLibrary::virtex5();
+    for (design, device) in [
+        (corpus::abc_example(), "LX30"),
+        (corpus::special_case_single_mode(), "LX30"),
+        (corpus::video_receiver(VideoConfigSet::Modified), "SX70T"),
+    ] {
+        let device = lib.by_name(device).unwrap().clone();
+        let artifacts = FlowPipeline::new(device)
+            .run(design.clone())
+            .unwrap_or_else(|e| panic!("{}: {e}", design.name()));
+        assert!(!artifacts.partial_bitstreams.is_empty());
+        assert!(!artifacts.wrappers.is_empty());
+        artifacts.floorplan.check_non_overlapping().unwrap();
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based integration tests: algorithm invariants over randomly
+//! generated designs and budgets.
+
+use proptest::prelude::*;
+use prpart::arch::{frames_for, Resources, TileCounts};
+use prpart::core::{baselines, Partitioner, TransitionSemantics};
+use prpart::design::ConnectivityMatrix;
+use prpart::synth::{generate_design, CircuitClass, GeneratorConfig};
+
+fn class(idx: usize) -> CircuitClass {
+    CircuitClass::ALL[idx % 4]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any feasible scheme the partitioner returns is structurally valid,
+    /// fits its budget, and its metrics are internally consistent
+    /// (worst ≤ total, optimistic ≤ pessimistic).
+    #[test]
+    fn prop_partitioner_output_invariants(seed in 0u64..5_000, class_idx in 0usize..4) {
+        let design = generate_design(&GeneratorConfig::default(), class(class_idx), seed);
+        // A budget 1.5x the single-region minimum keeps most designs
+        // feasible while still forcing merging.
+        let min = prpart::core::feasibility::minimum_requirement(&design);
+        let budget = Resources::new(min.clb * 3 / 2, min.bram * 3 / 2 + 8, min.dsp * 3 / 2 + 8);
+        let Ok(outcome) = Partitioner::new(budget).partition(&design) else {
+            return Ok(()); // infeasible by construction margin: skip
+        };
+        if let Some(best) = outcome.best {
+            best.scheme.validate(&design).unwrap();
+            prop_assert!(best.metrics.fits);
+            prop_assert!(best.metrics.resources.fits_in(&budget));
+            prop_assert!(best.metrics.worst_frames <= best.metrics.total_frames);
+            let opt = best.scheme.total_reconfig_frames(TransitionSemantics::Optimistic);
+            let pess = best.scheme.total_reconfig_frames(TransitionSemantics::Pessimistic);
+            prop_assert!(opt <= pess, "optimistic {opt} > pessimistic {pess}");
+            prop_assert_eq!(opt, best.metrics.total_frames);
+        }
+    }
+
+    /// Baseline structure invariants hold for every generated design:
+    /// the single-region scheme's worst case equals its every-transition
+    /// cost; the static scheme costs zero time; the per-module scheme's
+    /// worst case is at most the sum of its region frames.
+    #[test]
+    fn prop_baseline_invariants(seed in 0u64..5_000, class_idx in 0usize..4) {
+        let design = generate_design(&GeneratorConfig::default(), class(class_idx), seed);
+        let matrix = ConnectivityMatrix::from_design(&design);
+        let sem = TransitionSemantics::Optimistic;
+
+        let single = baselines::single_region(&design, &matrix);
+        single.validate(&design).unwrap();
+        let frames = single.region_frames(0);
+        let c = design.num_configurations() as u64;
+        prop_assert_eq!(single.total_reconfig_frames(sem), frames * c * (c - 1) / 2);
+        prop_assert_eq!(single.worst_reconfig_frames(sem), if c >= 2 { frames } else { 0 });
+
+        let static_s = baselines::full_static(&design, &matrix);
+        static_s.validate(&design).unwrap();
+        prop_assert_eq!(static_s.total_reconfig_frames(sem), 0);
+
+        let pm = baselines::per_module(&design, &matrix);
+        pm.validate(&design).unwrap();
+        let region_sum: u64 = (0..pm.regions.len()).map(|r| pm.region_frames(r)).sum();
+        prop_assert!(pm.worst_reconfig_frames(sem) <= region_sum);
+        // Per-module area always covers the single-region minimum.
+        let pm_area = pm.total_resources(design.static_overhead());
+        prop_assert!(design.single_region_min_resources().fits_in(&pm_area));
+    }
+
+    /// Tile quantisation: granted capacity always covers the request and
+    /// frame counts are monotone in the request.
+    #[test]
+    fn prop_tile_quantisation_monotone(
+        clb in 0u32..10_000, bram in 0u32..500, dsp in 0u32..600,
+        dc in 0u32..50, db in 0u32..8, dd in 0u32..8,
+    ) {
+        let a = Resources::new(clb, bram, dsp);
+        let b = Resources::new(clb + dc, bram + db, dsp + dd);
+        prop_assert!(a.fits_in(&TileCounts::for_resources(&a).capacity()));
+        prop_assert!(frames_for(&a) <= frames_for(&b));
+    }
+
+    /// Merging two schemes' view of the same design never produces an
+    /// uncovered configuration: the covering invariant survives search.
+    #[test]
+    fn prop_every_config_reachable_in_best_scheme(seed in 0u64..2_000) {
+        let design = generate_design(&GeneratorConfig::default(), class(seed as usize), seed);
+        let min = prpart::core::feasibility::minimum_requirement(&design);
+        let budget = Resources::new(min.clb * 2, min.bram * 2 + 8, min.dsp * 2 + 8);
+        let Ok(outcome) = Partitioner::new(budget).partition(&design) else { return Ok(()) };
+        let Some(best) = outcome.best else { return Ok(()) };
+        // For every configuration, every selected mode is provided by
+        // exactly one active partition in its region (or static logic).
+        let scheme = &best.scheme;
+        for c in 0..design.num_configurations() {
+            for g in design.config_modes(c) {
+                let placed = scheme
+                    .regions
+                    .iter()
+                    .flat_map(|r| r.partitions.iter())
+                    .chain(scheme.static_partitions.iter())
+                    .any(|&p| scheme.partitions[p].modes.contains(&g));
+                prop_assert!(placed, "config {c} mode {g:?} unreachable");
+            }
+        }
+    }
+
+    /// Incremental repartitioning never produces an invalid scheme and
+    /// never loses to a fresh run, for any (seeded) previous design used
+    /// as the seed source — even a completely unrelated one.
+    #[test]
+    fn prop_repartition_is_sound(seed in 0u64..1_000, other_seed in 0u64..1_000) {
+        let cfg = GeneratorConfig::default();
+        let design = generate_design(&cfg, class(seed as usize), seed);
+        let other = generate_design(&cfg, class(other_seed as usize), other_seed);
+        let min = prpart::core::feasibility::minimum_requirement(&design);
+        let budget = Resources::new(min.clb * 2, min.bram * 2 + 8, min.dsp * 2 + 8);
+        let p = Partitioner::new(budget);
+        let Ok(fresh) = p.partition(&design) else { return Ok(()) };
+        let Some(fresh_best) = fresh.best else { return Ok(()) };
+        // Seed from an unrelated design's scheme: translation drops what
+        // does not map; the result must still validate and not regress.
+        let min_o = prpart::core::feasibility::minimum_requirement(&other);
+        let budget_o = Resources::new(min_o.clb * 2, min_o.bram * 2 + 8, min_o.dsp * 2 + 8);
+        let Ok(prev) = Partitioner::new(budget_o).partition(&other) else { return Ok(()) };
+        let Some(prev_best) = prev.best else { return Ok(()) };
+        let re = p.repartition(&design, &other, &prev_best.scheme).unwrap();
+        if let Some(best) = re.best {
+            best.scheme.validate(&design).unwrap();
+            prop_assert!(best.metrics.total_frames <= fresh_best.metrics.total_frames);
+        }
+    }
+
+    /// The cost model is symmetric and additive over regions: the total
+    /// equals the sum over unordered pairs of per-transition costs.
+    #[test]
+    fn prop_cost_model_consistency(seed in 0u64..2_000) {
+        let design = generate_design(&GeneratorConfig::default(), class(seed as usize), seed);
+        let matrix = ConnectivityMatrix::from_design(&design);
+        let scheme = baselines::per_module(&design, &matrix);
+        for sem in [TransitionSemantics::Optimistic, TransitionSemantics::Pessimistic] {
+            let c = design.num_configurations();
+            let mut sum = 0u64;
+            let mut worst = 0u64;
+            for i in 0..c {
+                for j in i + 1..c {
+                    let f = scheme.transition_frames(i, j, sem);
+                    prop_assert_eq!(f, scheme.transition_frames(j, i, sem));
+                    sum += f;
+                    worst = worst.max(f);
+                }
+            }
+            prop_assert_eq!(sum, scheme.total_reconfig_frames(sem));
+            prop_assert_eq!(worst, scheme.worst_reconfig_frames(sem));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Runtime-simulation integration: partition a design, then drive it
+//! with environment models and check measured costs against the design-
+//! time cost model.
+
+use prpart::core::{baselines, Partitioner, TransitionSemantics};
+use prpart::design::corpus::{self, VideoConfigSet};
+use prpart::design::ConnectivityMatrix;
+use prpart::runtime::{
+    env::generate_walk, run_monte_carlo, CognitiveRadioEnv, ConfigurationManager, Environment,
+    IcapController, MarkovEnv, MonteCarloConfig, UniformEnv,
+};
+
+fn proposed_scheme() -> (prpart::design::Design, prpart::core::Scheme) {
+    let d = corpus::video_receiver(VideoConfigSet::Original);
+    let s = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+        .partition(&d)
+        .unwrap()
+        .best
+        .unwrap()
+        .scheme;
+    (d, s)
+}
+
+#[test]
+fn measured_walk_cost_is_bracketed_by_model() {
+    let (_, scheme) = proposed_scheme();
+    let mut env = UniformEnv::new(scheme.num_configurations, 99);
+    let walk = generate_walk(&mut env, 0, 300);
+    let mut mgr = ConfigurationManager::new(scheme.clone(), IcapController::default());
+    mgr.transition(walk[0]);
+    let mut measured = 0u64;
+    let mut lower = 0u64;
+    let mut upper = 0u64;
+    for w in walk.windows(2) {
+        let rec = mgr.transition(w[1]);
+        measured += rec.frames;
+        lower += scheme.transition_frames(w[0], w[1], TransitionSemantics::Optimistic);
+        upper += scheme.transition_frames(w[0], w[1], TransitionSemantics::Pessimistic);
+    }
+    assert!(
+        (lower..=upper).contains(&measured),
+        "measured {measured} outside model bracket [{lower}, {upper}]"
+    );
+}
+
+#[test]
+fn proposed_beats_baselines_under_every_environment() {
+    let (design, proposed) = proposed_scheme();
+    let matrix = ConnectivityMatrix::from_design(&design);
+    let single = baselines::single_region(&design, &matrix);
+    let c = design.num_configurations();
+
+    // Three different environments, same trace applied to both schemes.
+    let walks: Vec<Vec<usize>> = vec![
+        generate_walk(&mut UniformEnv::new(c, 5), 0, 400),
+        generate_walk(
+            &mut MarkovEnv::new(
+                (0..c)
+                    .map(|i| (0..c).map(|j| if i == j { 0.0 } else { 1.0 + (j as f64) }).collect())
+                    .collect(),
+                6,
+            ),
+            0,
+            400,
+        ),
+        {
+            // SNR thresholds for 8 configurations need 7 thresholds.
+            let th: Vec<f64> = (0..c - 1).map(|i| 3.0 * i as f64).collect();
+            generate_walk(&mut CognitiveRadioEnv::new(th, 7), 0, 400)
+        },
+    ];
+    for (wi, walk) in walks.iter().enumerate() {
+        let mut mp = ConfigurationManager::new(proposed.clone(), IcapController::default());
+        let (pf, _) = mp.run_walk(walk, true);
+        let mut ms = ConfigurationManager::new(single.clone(), IcapController::default());
+        let (sf, _) = ms.run_walk(walk, true);
+        assert!(
+            pf <= sf,
+            "walk {wi}: proposed {pf} frames > single-region {sf}"
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_parallel_equals_serial() {
+    let (_, scheme) = proposed_scheme();
+    let serial = run_monte_carlo(
+        &scheme,
+        MonteCarloConfig { walks: 6, walk_len: 40, seed: 8, threads: 1 },
+    );
+    let parallel = run_monte_carlo(
+        &scheme,
+        MonteCarloConfig { walks: 6, walk_len: 40, seed: 8, threads: 4 },
+    );
+    assert_eq!(serial.walks, parallel.walks);
+    assert_eq!(serial.total_frames, parallel.total_frames);
+}
+
+#[test]
+fn environment_trait_objects_compose() {
+    // The Environment trait is object-safe and walk generation works
+    // through it for all three models.
+    let mut envs: Vec<Box<dyn Environment>> = vec![
+        Box::new(UniformEnv::new(4, 1)),
+        Box::new(MarkovEnv::new(vec![vec![1.0; 4]; 4], 2)),
+        Box::new(CognitiveRadioEnv::new(vec![1.0, 2.0, 3.0], 3)),
+    ];
+    for env in envs.iter_mut() {
+        let walk = generate_walk(env.as_mut(), 0, 25);
+        assert_eq!(walk.len(), 26);
+        assert!(walk.iter().all(|&x| x < 4));
+    }
+}
