@@ -1,0 +1,1 @@
+// resolution-only stub

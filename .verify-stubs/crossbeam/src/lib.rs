@@ -1,0 +1,31 @@
+//! Sequential stand-in: scoped "threads" run their closures immediately
+//! on the calling thread, in spawn order.
+pub mod thread {
+    pub struct Scope;
+
+    pub struct ScopedJoinHandle<T>(Option<T>);
+
+    impl<T> ScopedJoinHandle<T> {
+        pub fn join(mut self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            Ok(self.0.take().expect("already joined"))
+        }
+    }
+
+    impl Scope {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+        where
+            F: FnOnce(&Scope) -> T,
+        {
+            ScopedJoinHandle(Some(f(self)))
+        }
+    }
+
+    pub fn scope<F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope) -> R,
+    {
+        Ok(f(&Scope))
+    }
+}
+
+pub use thread::scope;

@@ -1,0 +1,1 @@
+pub use serde_derive::{Deserialize, Serialize};

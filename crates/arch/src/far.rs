@@ -118,19 +118,11 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        let far = FrameAddress {
-            block_type: BlockType::BramContent,
-            row: 5,
-            major: 113,
-            minor: 29,
-        };
+        let far =
+            FrameAddress { block_type: BlockType::BramContent, row: 5, major: 113, minor: 29 };
         assert_eq!(FrameAddress::unpack(far.pack()), far);
-        let far2 = FrameAddress {
-            block_type: BlockType::InterconnectAndCfg,
-            row: 0,
-            major: 0,
-            minor: 0,
-        };
+        let far2 =
+            FrameAddress { block_type: BlockType::InterconnectAndCfg, row: 0, major: 0, minor: 0 };
         assert_eq!(far2.pack(), 0);
         assert_eq!(FrameAddress::unpack(0), far2);
     }
@@ -143,10 +135,7 @@ mod tests {
         let frames = frames_for_rect(&g, 0..4, 0..2);
         assert_eq!(frames.len(), 260);
         // BRAM frames carry the BRAM content block type.
-        let bram_frames = frames
-            .iter()
-            .filter(|f| f.block_type == BlockType::BramContent)
-            .count();
+        let bram_frames = frames.iter().filter(|f| f.block_type == BlockType::BramContent).count();
         assert_eq!(bram_frames, 30 * 2);
     }
 
@@ -155,7 +144,10 @@ mod tests {
         let g = DeviceGeometry::new(vec![Clb, Clb], 2);
         let frames = frames_for_rect(&g, 0..2, 0..2);
         // Row-major, then column, then minor.
-        assert_eq!(frames[0], FrameAddress { block_type: BlockType::InterconnectAndCfg, row: 0, major: 0, minor: 0 });
+        assert_eq!(
+            frames[0],
+            FrameAddress { block_type: BlockType::InterconnectAndCfg, row: 0, major: 0, minor: 0 }
+        );
         assert_eq!(frames[35].minor, 35);
         assert_eq!(frames[36].major, 1);
         assert_eq!(frames[72].row, 1);

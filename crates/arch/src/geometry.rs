@@ -259,11 +259,7 @@ mod tests {
     fn virtex5_devices_geometries_cover_capacity() {
         for d in crate::device::DeviceLibrary::virtex5().devices() {
             let g = d.geometry();
-            assert!(
-                d.capacity.fits_in(&g.total_resources()),
-                "{}: geometry too small",
-                d.name
-            );
+            assert!(d.capacity.fits_in(&g.total_resources()), "{}: geometry too small", d.name);
         }
     }
 }

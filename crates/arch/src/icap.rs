@@ -68,6 +68,20 @@ impl IcapModel {
         Duration::from_nanos(ns)
     }
 
+    /// Wall-clock time to scrub a region of `frames` frames: read the
+    /// configuration frames back, verify them, and rewrite them — two
+    /// passes through the port plus one transaction overhead. This is
+    /// the recovery step real systems use against SEU-corrupted
+    /// configuration memory.
+    pub fn scrub_time_for_frames(&self, frames: u64) -> Duration {
+        if frames == 0 {
+            return Duration::ZERO;
+        }
+        let cycles = 2 * self.cycles_for_frames(frames);
+        let ns = cycles * 1_000_000_000 / self.clock_hz + self.overhead_ns;
+        Duration::from_nanos(ns)
+    }
+
     /// Wall-clock time to push `bytes` of bitstream through the port.
     pub fn time_for_bytes(&self, bytes: u64) -> Duration {
         if bytes == 0 {
@@ -123,6 +137,17 @@ mod tests {
         let ideal = IcapModel::ideal();
         let d = m.time_for_frames(10) - ideal.time_for_frames(10);
         assert_eq!(d, Duration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn scrub_is_two_passes_plus_one_overhead() {
+        let m = IcapModel::virtex5();
+        let ideal = IcapModel::ideal();
+        assert_eq!(
+            m.scrub_time_for_frames(10),
+            ideal.time_for_frames(10) * 2 + Duration::from_nanos(1_000)
+        );
+        assert_eq!(m.scrub_time_for_frames(0), Duration::ZERO);
     }
 
     #[test]

@@ -155,11 +155,7 @@ impl Resources {
 impl Add for Resources {
     type Output = Resources;
     fn add(self, rhs: Resources) -> Resources {
-        Resources {
-            clb: self.clb + rhs.clb,
-            bram: self.bram + rhs.bram,
-            dsp: self.dsp + rhs.dsp,
-        }
+        Resources { clb: self.clb + rhs.clb, bram: self.bram + rhs.bram, dsp: self.dsp + rhs.dsp }
     }
 }
 
@@ -180,11 +176,7 @@ impl Sub for Resources {
 impl Mul<u32> for Resources {
     type Output = Resources;
     fn mul(self, rhs: u32) -> Resources {
-        Resources {
-            clb: self.clb * rhs,
-            bram: self.bram * rhs,
-            dsp: self.dsp * rhs,
-        }
+        Resources { clb: self.clb * rhs, bram: self.bram * rhs, dsp: self.dsp * rhs }
     }
 }
 
@@ -269,11 +261,7 @@ mod tests {
         let pairs: Vec<_> = r.iter().collect();
         assert_eq!(
             pairs,
-            vec![
-                (ResourceKind::Clb, 1),
-                (ResourceKind::Bram, 2),
-                (ResourceKind::Dsp, 3)
-            ]
+            vec![(ResourceKind::Clb, 1), (ResourceKind::Bram, 2), (ResourceKind::Dsp, 3)]
         );
     }
 

@@ -103,10 +103,7 @@ impl TileCounts {
     /// Configuration frames spanned by these tiles
     /// (paper Eq. 6: `P_r = Σ_t W_t · R_r_t`).
     pub fn frames(&self) -> u64 {
-        ResourceKind::ALL
-            .into_iter()
-            .map(|k| self.get(k) as u64 * frames_per_tile(k) as u64)
-            .sum()
+        ResourceKind::ALL.into_iter().map(|k| self.get(k) as u64 * frames_per_tile(k) as u64).sum()
     }
 
     /// The primitive capacity provided by these tiles — the *granted*

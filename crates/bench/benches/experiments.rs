@@ -36,11 +36,7 @@ fn bench_e7_e8_figs(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sweep_80_designs", |b| {
         b.iter(|| {
-            black_box(run_sweep(&SweepConfig {
-                designs: 80,
-                seed: 2013,
-                ..Default::default()
-            }))
+            black_box(run_sweep(&SweepConfig { designs: 80, seed: 2013, ..Default::default() }))
         })
     });
     let (records, _) = run_sweep(&SweepConfig { designs: 80, seed: 2013, ..Default::default() });
@@ -55,9 +51,7 @@ fn bench_e7_e8_figs(c: &mut Criterion) {
 
 fn bench_e9_fig9(c: &mut Criterion) {
     let (records, _) = run_sweep(&SweepConfig { designs: 80, seed: 2013, ..Default::default() });
-    c.bench_function("e9_fig9_histograms", |b| {
-        b.iter(|| black_box(fig9_histograms(&records)))
-    });
+    c.bench_function("e9_fig9_histograms", |b| b.iter(|| black_box(fig9_histograms(&records))));
 }
 
 fn bench_e10_sweep_stats(c: &mut Criterion) {

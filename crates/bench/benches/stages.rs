@@ -47,12 +47,8 @@ fn bench_search(c: &mut Criterion) {
 
 fn bench_cost_model(c: &mut Criterion) {
     let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
-    let scheme = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
-        .partition(&d)
-        .unwrap()
-        .best
-        .unwrap()
-        .scheme;
+    let scheme =
+        Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap().best.unwrap().scheme;
     c.bench_function("stage_cost_total_and_worst", |b| {
         b.iter(|| {
             black_box(scheme.total_reconfig_frames(TransitionSemantics::Optimistic));
@@ -63,12 +59,8 @@ fn bench_cost_model(c: &mut Criterion) {
 
 fn bench_floorplan(c: &mut Criterion) {
     let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
-    let scheme = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
-        .partition(&d)
-        .unwrap()
-        .best
-        .unwrap()
-        .scheme;
+    let scheme =
+        Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap().best.unwrap().scheme;
     let lib = prpart_arch::DeviceLibrary::virtex5();
     let geometry = lib.by_name("SX70T").unwrap().geometry();
     let planner = prpart_floorplan::Floorplanner::new(geometry);
@@ -79,12 +71,8 @@ fn bench_floorplan(c: &mut Criterion) {
 
 fn bench_bitstreams(c: &mut Criterion) {
     let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
-    let scheme = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
-        .partition(&d)
-        .unwrap()
-        .best
-        .unwrap()
-        .scheme;
+    let scheme =
+        Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap().best.unwrap().scheme;
     c.bench_function("stage_bitstream_generation", |b| {
         b.iter(|| black_box(prpart_flow::bitstream::generate_all(&scheme)))
     });

@@ -7,10 +7,7 @@ use prpart_design::{corpus, Design};
 use prpart_synth::{generate_design, CircuitClass, GeneratorConfig};
 
 fn case_study() -> (Design, Resources) {
-    (
-        corpus::video_receiver(corpus::VideoConfigSet::Original),
-        corpus::VIDEO_RECEIVER_BUDGET,
-    )
+    (corpus::video_receiver(corpus::VideoConfigSet::Original), corpus::VIDEO_RECEIVER_BUDGET)
 }
 
 /// A1: merge-selection policy — greedy descent vs restarts vs beam vs
@@ -110,11 +107,7 @@ pub fn a3_semantics() -> TextTable {
     let mut t = TextTable::new(["design", "semantics", "total frames", "worst frames"]);
     let designs: Vec<(&str, Design, Resources)> = vec![
         ("video", case_study().0, case_study().1),
-        (
-            "special-case",
-            corpus::special_case_single_mode(),
-            Resources::new(1400, 16, 24),
-        ),
+        ("special-case", corpus::special_case_single_mode(), Resources::new(1400, 16, 24)),
     ];
     for (name, design, budget) in &designs {
         for (sname, sem) in [
@@ -256,21 +249,15 @@ pub fn a6_weighted_partitioning() -> TextTable {
     let scoring_weights = estimate_weights(&mut profile_env2, n, 16, 200);
     let mut replay_env = MarkovEnv::new(weights_matrix, 99);
     let walk = generate_walk(&mut replay_env, 0, 2000);
-    let mut t = TextTable::new([
-        "scheme",
-        "replayed frames",
-        "uniform objective",
-        "weighted objective",
-    ]);
+    let mut t =
+        TextTable::new(["scheme", "replayed frames", "uniform objective", "weighted objective"]);
     for (name, scheme) in [("unweighted", &plain.scheme), ("workload-aware", &weighted.scheme)] {
         let mut mgr = ConfigurationManager::new(scheme.clone(), IcapController::default());
-        let (frames, _) = mgr.run_walk(&walk, true);
+        let (frames, _) = mgr.run_walk(&walk, true).expect("fault-free walk");
         t.row([
             name.to_string(),
             frames.to_string(),
-            scheme
-                .total_reconfig_frames(TransitionSemantics::Optimistic)
-                .to_string(),
+            scheme.total_reconfig_frames(TransitionSemantics::Optimistic).to_string(),
             format!(
                 "{:.0}",
                 scheme.weighted_total(&scoring_weights, TransitionSemantics::Optimistic)
@@ -290,10 +277,9 @@ pub fn a7_objective() -> TextTable {
         ("video-modified", corpus::video_receiver(corpus::VideoConfigSet::Modified)),
     ];
     for (name, design) in designs {
-        for (oname, objective) in [
-            ("total time", Objective::TotalTime),
-            ("worst case", Objective::WorstCase),
-        ] {
+        for (oname, objective) in
+            [("total time", Objective::TotalTime), ("worst case", Objective::WorstCase)]
+        {
             let best = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
                 .with_objective(objective)
                 .partition(&design)
@@ -353,11 +339,8 @@ mod tests {
     fn a4_deeper_never_worse() {
         let t = a4_candidate_depth();
         let csv = t.to_csv();
-        let totals: Vec<u64> = csv
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').nth(2).unwrap().parse().unwrap())
-            .collect();
+        let totals: Vec<u64> =
+            csv.lines().skip(1).map(|l| l.split(',').nth(2).unwrap().parse().unwrap()).collect();
         assert!(totals.windows(2).all(|w| w[1] <= w[0]), "{totals:?}");
     }
 
@@ -365,11 +348,8 @@ mod tests {
     fn a6_workload_aware_wins_on_its_own_objective() {
         let t = a6_weighted_partitioning();
         let csv = t.to_csv();
-        let weighted_obj: Vec<f64> = csv
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').nth(3).unwrap().parse().unwrap())
-            .collect();
+        let weighted_obj: Vec<f64> =
+            csv.lines().skip(1).map(|l| l.split(',').nth(3).unwrap().parse().unwrap()).collect();
         assert_eq!(weighted_obj.len(), 2);
         // The workload-aware scheme must score at least as well on the
         // profiled objective (small tolerance: both searches are
@@ -386,11 +366,8 @@ mod tests {
     fn a7_each_objective_wins_its_own_metric() {
         let t = a7_objective();
         let csv = t.to_csv();
-        let rows: Vec<Vec<String>> = csv
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').map(|s| s.to_string()).collect())
-            .collect();
+        let rows: Vec<Vec<String>> =
+            csv.lines().skip(1).map(|l| l.split(',').map(|s| s.to_string()).collect()).collect();
         for pair in rows.chunks(2) {
             let total_of = |r: &Vec<String>| r[2].parse::<u64>().unwrap();
             let worst_of = |r: &Vec<String>| r[3].parse::<u64>().unwrap();

@@ -4,7 +4,9 @@
 //! Usage: `all_experiments [num_designs] [seed] [out_dir]`
 //! (defaults: 1000, 2013, `results`).
 
-use prpart_bench::figures::{class_breakdown, fig7_fig8_series, fig9_histograms, series_by_device, series_csv};
+use prpart_bench::figures::{
+    class_breakdown, fig7_fig8_series, fig9_histograms, series_by_device, series_csv,
+};
 use prpart_bench::sweep::{run_sweep, SweepConfig};
 use prpart_bench::{ablation, casestudy};
 use std::fs;
@@ -98,10 +100,7 @@ fn main() {
     // Scalability study (extension X3).
     eprintln!("running scaling study...");
     let points = prpart_bench::scaling::run_scaling(10, 5, seed);
-    write(
-        "x3_scaling.txt",
-        &prpart_bench::scaling::scaling_table(&points).render(),
-    );
+    write("x3_scaling.txt", &prpart_bench::scaling::scaling_table(&points).render());
 
     eprintln!("all experiments complete.");
 }

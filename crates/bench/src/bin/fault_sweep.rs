@@ -1,0 +1,45 @@
+//! X6: fault-rate vs availability sweep — the video-receiver case
+//! study's proposed scheme under increasing injected fault rates, with
+//! the default recovery policy (bounded retry + backoff + scrub).
+//!
+//! At low rates recovery absorbs everything (availability 1.0, MTTR
+//! grows); past the point where a region can fail every retry and the
+//! scrub, transitions start failing outright and availability drops.
+//!
+//! Usage: `fault_sweep [walks] [len] [seed]` (defaults: 32, 128, 2013).
+
+use prpart_bench::reliability::{fault_rate_sweep, render_fault_sweep};
+use prpart_core::Partitioner;
+use prpart_design::corpus;
+use prpart_runtime::MonteCarloConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let walks: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let len: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(128);
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2013);
+
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let scheme = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+        .partition(&d)
+        .expect("case study always partitions")
+        .best
+        .expect("case study always has a feasible scheme")
+        .scheme;
+
+    let rates = [0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let base = MonteCarloConfig { walks, walk_len: len, seed, ..Default::default() };
+    let records = fault_rate_sweep(&scheme, &rates, base);
+
+    println!(
+        "fault-rate sweep: video receiver (proposed scheme), {walks} walks x {len} transitions, seed {seed}\n"
+    );
+    println!("{}", render_fault_sweep(&records));
+    println!(
+        "\navailability 1.0 = every fault recovered within the policy's retry\n\
+         budget; MTTR is the mean simulated time a recovery episode added\n\
+         to its transition. Failed transitions appear once a region can\n\
+         exhaust retries AND the scrub pass; the zero-rate row is the\n\
+         fault-free simulator verbatim."
+    );
+}

@@ -19,12 +19,20 @@ fn main() {
     println!("{}", fig.render());
 
     // The paper's headline percentages for comparison.
-    println!("share with better total vs one-module-per-region: {:.1}% (paper: 73%)",
-        100.0 * fraction(&records, |r| r.proposed_total < r.per_module_total));
-    println!("share with better total vs single region:        {:.1}% (paper: 100%)",
-        100.0 * fraction(&records, |r| r.proposed_total < r.single_total));
-    println!("share with better worst case vs one-module-per-region: {:.1}% (paper: 70%)",
-        100.0 * fraction(&records, |r| r.proposed_worst < r.per_module_worst));
-    println!("share with better-or-equal worst case vs single region: {:.1}% (paper: 87.5%)",
-        100.0 * fraction(&records, |r| r.proposed_worst <= r.single_worst));
+    println!(
+        "share with better total vs one-module-per-region: {:.1}% (paper: 73%)",
+        100.0 * fraction(&records, |r| r.proposed_total < r.per_module_total)
+    );
+    println!(
+        "share with better total vs single region:        {:.1}% (paper: 100%)",
+        100.0 * fraction(&records, |r| r.proposed_total < r.single_total)
+    );
+    println!(
+        "share with better worst case vs one-module-per-region: {:.1}% (paper: 70%)",
+        100.0 * fraction(&records, |r| r.proposed_worst < r.per_module_worst)
+    );
+    println!(
+        "share with better-or-equal worst case vs single region: {:.1}% (paper: 87.5%)",
+        100.0 * fraction(&records, |r| r.proposed_worst <= r.single_worst)
+    );
 }

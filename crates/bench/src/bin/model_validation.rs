@@ -30,11 +30,8 @@ fn main() {
     for (i, sd) in corpus.iter().enumerate() {
         let d = &sd.design;
         let min = prpart_core::feasibility::minimum_requirement(d);
-        let budget = prpart_arch::Resources::new(
-            min.clb * 3 / 2,
-            min.bram * 3 / 2 + 8,
-            min.dsp * 3 / 2 + 8,
-        );
+        let budget =
+            prpart_arch::Resources::new(min.clb * 3 / 2, min.bram * 3 / 2 + 8, min.dsp * 3 / 2 + 8);
         let Ok(out) = Partitioner::new(budget).partition(d) else { continue };
         let Some(best) = out.best else { continue };
         let scheme = best.scheme;
@@ -46,7 +43,13 @@ fn main() {
             / (c * (c - 1) / 2) as f64;
         let report = run_monte_carlo(
             &scheme,
-            MonteCarloConfig { walks: 16, walk_len: 120, seed: seed + i as u64, threads: 0 },
+            MonteCarloConfig {
+                walks: 16,
+                walk_len: 120,
+                seed: seed + i as u64,
+                threads: 0,
+                ..Default::default()
+            },
         );
         // Bracket: the measured mean lies between the optimistic and
         // pessimistic all-pairs means (history can only help vs the
@@ -55,11 +58,8 @@ fn main() {
             / (c * (c - 1) / 2) as f64;
         let within = report.mean_frames_per_transition >= model_mean * 0.999
             && report.mean_frames_per_transition <= pess_mean * 1.001 + 1.0;
-        let ratio = if model_mean > 0.0 {
-            report.mean_frames_per_transition / model_mean
-        } else {
-            1.0
-        };
+        let ratio =
+            if model_mean > 0.0 { report.mean_frames_per_transition / model_mean } else { 1.0 };
         ratios.push(ratio);
         checked += 1;
         if i < 20 {

@@ -18,11 +18,7 @@ fn main() {
     let mut t = TextTable::new(["statistic", "value", "paper (n=1000)"]);
     t.row(["designs solved", &s.solved.to_string(), "1000"]);
     t.row(["no feasible device", &s.unsolvable.to_string(), "0"]);
-    t.row([
-        "escalated to a larger FPGA",
-        &s.escalated.to_string(),
-        "201",
-    ]);
+    t.row(["escalated to a larger FPGA", &s.escalated.to_string(), "201"]);
     t.row([
         "fit smaller FPGA than one-module-per-region",
         &s.smaller_than_per_module.to_string(),

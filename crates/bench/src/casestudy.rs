@@ -150,16 +150,16 @@ pub fn special_case_report() -> String {
     out.push_str(&format!("{d}\n\nConnectivity matrix:\n"));
     out.push_str(&matrix.render(&d));
     let parts = generate_base_partitions(&d, &matrix, DEFAULT_CLIQUE_LIMIT).unwrap();
-    out.push_str(&format!("\n{} base partitions (singletons + co-occurring groups):\n", parts.len()));
+    out.push_str(&format!(
+        "\n{} base partitions (singletons + co-occurring groups):\n",
+        parts.len()
+    ));
     for p in &parts {
         out.push_str(&format!("  {} (w={})\n", p.label(&d), p.frequency_weight));
     }
     let budget = prpart_arch::Resources::new(1400, 16, 24);
-    let best = Partitioner::new(budget)
-        .partition(&d)
-        .expect("feasible")
-        .best
-        .expect("scheme found");
+    let best =
+        Partitioner::new(budget).partition(&d).expect("feasible").best.expect("scheme found");
     out.push_str(&format!("\nProposed scheme within {budget}:\n"));
     out.push_str(&best.scheme.describe(&d));
     out.push_str(&format!(

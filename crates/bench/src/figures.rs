@@ -54,13 +54,8 @@ pub fn series_csv(series: &[FigPoint]) -> String {
 /// the figures (the paper plots one point per design; grouping by the
 /// axis label summarises the same shape).
 pub fn series_by_device(series: &[FigPoint]) -> TextTable {
-    let mut t = TextTable::new([
-        "device",
-        "designs",
-        "proposed(mean)",
-        "per_module(mean)",
-        "single(mean)",
-    ]);
+    let mut t =
+        TextTable::new(["device", "designs", "proposed(mean)", "per_module(mean)", "single(mean)"]);
     let mut i = 0;
     while i < series.len() {
         let device = &series[i].device;
@@ -106,10 +101,8 @@ pub fn class_breakdown(records: &[SweepRecord]) -> TextTable {
         let mean = |f: &dyn Fn(&SweepRecord) -> f64| -> f64 {
             rs.iter().map(|r| f(r)).sum::<f64>() / rs.len() as f64
         };
-        let total_gain =
-            mean(&|r| percent_improvement(r.per_module_total, r.proposed_total));
-        let worst_gain =
-            mean(&|r| percent_improvement(r.per_module_worst, r.proposed_worst));
+        let total_gain = mean(&|r| percent_improvement(r.per_module_total, r.proposed_total));
+        let worst_gain = mean(&|r| percent_improvement(r.per_module_worst, r.proposed_worst));
         let escalated =
             100.0 * rs.iter().filter(|r| r.escalations > 0).count() as f64 / rs.len() as f64;
         t.row([
@@ -146,14 +139,10 @@ pub fn fig9_histograms(records: &[SweepRecord]) -> Fig9 {
         worst_vs_single: Histogram::fig9(),
     };
     for r in records {
-        fig.total_vs_per_module
-            .add(percent_improvement(r.per_module_total, r.proposed_total));
-        fig.total_vs_single
-            .add(percent_improvement(r.single_total, r.proposed_total));
-        fig.worst_vs_per_module
-            .add(percent_improvement(r.per_module_worst, r.proposed_worst));
-        fig.worst_vs_single
-            .add(percent_improvement(r.single_worst, r.proposed_worst));
+        fig.total_vs_per_module.add(percent_improvement(r.per_module_total, r.proposed_total));
+        fig.total_vs_single.add(percent_improvement(r.single_total, r.proposed_total));
+        fig.worst_vs_per_module.add(percent_improvement(r.per_module_worst, r.proposed_worst));
+        fig.worst_vs_single.add(percent_improvement(r.single_worst, r.proposed_worst));
     }
     fig
 }
@@ -190,7 +179,10 @@ impl Fig9 {
         for (label, h) in [
             ("(a) total reconfiguration time vs one module per region", &self.total_vs_per_module),
             ("(b) total reconfiguration time vs single region", &self.total_vs_single),
-            ("(c) worst-case reconfiguration time vs one module per region", &self.worst_vs_per_module),
+            (
+                "(c) worst-case reconfiguration time vs one module per region",
+                &self.worst_vs_per_module,
+            ),
             ("(d) worst-case reconfiguration time vs single region", &self.worst_vs_single),
         ] {
             out.push_str(label);

@@ -16,6 +16,7 @@
 //! | E11 | §IV-D special case | [`casestudy::special_case_report`] |
 //! | A1–A6 | ablations & extensions | [`ablation`] |
 //! | X3 | scalability study | [`scaling`] |
+//! | X6 | fault-rate vs availability sweep | [`reliability`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,9 +24,11 @@
 pub mod ablation;
 pub mod casestudy;
 pub mod figures;
+pub mod reliability;
 pub mod scaling;
 pub mod stats;
 pub mod sweep;
 pub mod table;
 
+pub use reliability::{fault_rate_sweep, render_fault_sweep, FaultSweepRecord};
 pub use sweep::{run_sweep, SweepConfig, SweepRecord, SweepSummary};

@@ -1,0 +1,124 @@
+//! X6: fault-rate sweep — availability and recovery cost of the
+//! reconfiguration runtime as the injected per-load fault rate grows.
+//!
+//! Sweeps the Monte-Carlo harness over a list of fault rates against a
+//! fixed scheme and recovery policy. Every row is deterministic (seeded
+//! fault injection), so the sweep doubles as a regression surface: the
+//! zero-rate row must match the fault-free simulator exactly, and
+//! availability must not increase as the rate grows.
+
+use crate::table::TextTable;
+use prpart_core::Scheme;
+use prpart_runtime::{run_monte_carlo, MonteCarloConfig};
+use std::time::Duration;
+
+/// One fault rate's aggregated reliability outcome.
+#[derive(Debug, Clone)]
+pub struct FaultSweepRecord {
+    /// The injected per-load fault probability.
+    pub fault_rate: f64,
+    /// Fleet availability (completed / attempted transitions).
+    pub availability: f64,
+    /// Faults injected across all walks.
+    pub faults: u64,
+    /// Retry attempts spent recovering.
+    pub retries: u64,
+    /// Transitions that failed outright.
+    pub failed_transitions: u64,
+    /// Mean time to recovery across recovery episodes.
+    pub mean_time_to_recovery: Duration,
+    /// Mean frames per transition (recovery does not rewrite frames, so
+    /// this stays near the fault-free value until transitions start
+    /// failing).
+    pub mean_frames_per_transition: f64,
+}
+
+/// Runs the Monte-Carlo harness at each fault rate in `rates` against
+/// `scheme`, holding everything else in `base` fixed.
+pub fn fault_rate_sweep(
+    scheme: &Scheme,
+    rates: &[f64],
+    base: MonteCarloConfig,
+) -> Vec<FaultSweepRecord> {
+    rates
+        .iter()
+        .map(|&fault_rate| {
+            let report = run_monte_carlo(scheme, MonteCarloConfig { fault_rate, ..base });
+            FaultSweepRecord {
+                fault_rate,
+                availability: report.availability,
+                faults: report.total_faults,
+                retries: report.total_retries,
+                failed_transitions: report.failed_transitions,
+                mean_time_to_recovery: report.mean_time_to_recovery,
+                mean_frames_per_transition: report.mean_frames_per_transition,
+            }
+        })
+        .collect()
+}
+
+/// Renders a sweep as a text table.
+pub fn render_fault_sweep(records: &[FaultSweepRecord]) -> String {
+    let mut t = TextTable::new([
+        "fault rate",
+        "availability",
+        "faults",
+        "retries",
+        "failed",
+        "MTTR",
+        "mean frames/transition",
+    ]);
+    for r in records {
+        t.row([
+            format!("{:.2}", r.fault_rate),
+            format!("{:.4}", r.availability),
+            r.faults.to_string(),
+            r.retries.to_string(),
+            r.failed_transitions.to_string(),
+            format!("{:?}", r.mean_time_to_recovery),
+            format!("{:.0}", r.mean_frames_per_transition),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_core::Partitioner;
+    use prpart_design::corpus;
+
+    fn scheme() -> Scheme {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap().best.unwrap().scheme
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_spirit_and_deterministic() {
+        let s = scheme();
+        let base = MonteCarloConfig { walks: 4, walk_len: 40, ..Default::default() };
+        let rates = [0.0, 0.2, 0.5];
+        let a = fault_rate_sweep(&s, &rates, base);
+        let b = fault_rate_sweep(&s, &rates, base);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.faults, y.faults, "seeded sweeps are deterministic");
+            assert_eq!(x.availability, y.availability);
+        }
+        assert_eq!(a[0].faults, 0, "rate 0 injects nothing");
+        assert_eq!(a[0].availability, 1.0);
+        assert!(a[1].faults > 0);
+        assert!(a[2].faults > a[1].faults, "more rate, more faults");
+    }
+
+    #[test]
+    fn render_includes_every_rate() {
+        let s = scheme();
+        let base = MonteCarloConfig { walks: 2, walk_len: 20, ..Default::default() };
+        let records = fault_rate_sweep(&s, &[0.0, 0.3], base);
+        let text = render_fault_sweep(&records);
+        assert!(text.contains("0.00"), "{text}");
+        assert!(text.contains("0.30"), "{text}");
+        assert!(text.contains("availability"), "{text}");
+    }
+}

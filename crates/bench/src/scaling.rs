@@ -34,11 +34,7 @@ pub struct ScalePoint {
 pub fn run_scaling(max_modules: usize, samples: usize, seed: u64) -> Vec<ScalePoint> {
     let mut out = Vec::new();
     for m in 2..=max_modules {
-        let cfg = GeneratorConfig {
-            modules: m..=m,
-            modes: 3..=3,
-            ..GeneratorConfig::default()
-        };
+        let cfg = GeneratorConfig { modules: m..=m, modes: 3..=3, ..GeneratorConfig::default() };
         let mut agg = ScalePoint {
             modules: m,
             total_modes: 0,
@@ -85,14 +81,8 @@ pub fn run_scaling(max_modules: usize, samples: usize, seed: u64) -> Vec<ScalePo
 
 /// Renders the scaling table.
 pub fn scaling_table(points: &[ScalePoint]) -> TextTable {
-    let mut t = TextTable::new([
-        "modules",
-        "modes",
-        "configs",
-        "base partitions",
-        "states",
-        "time (ms)",
-    ]);
+    let mut t =
+        TextTable::new(["modules", "modes", "configs", "base partitions", "states", "time (ms)"]);
     for p in points {
         t.row([
             p.modules.to_string(),

@@ -51,10 +51,7 @@ impl Histogram {
 
     /// `(lower_edge, count)` pairs.
     pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (self.min + i as f64 * self.bin_width, c))
+        self.counts.iter().enumerate().map(move |(i, &c)| (self.min + i as f64 * self.bin_width, c))
     }
 
     /// Renders label/count rows for the text harness.

@@ -110,11 +110,8 @@ pub struct SweepSummary {
 /// the x-axis ordering of the paper's Figs. 7/8.
 pub fn run_sweep(config: &SweepConfig) -> (Vec<SweepRecord>, SweepSummary) {
     let corpus = generate_corpus(&config.generator, config.designs, config.seed);
-    let library = if config.full_library {
-        DeviceLibrary::virtex5_full()
-    } else {
-        DeviceLibrary::virtex5()
-    };
+    let library =
+        if config.full_library { DeviceLibrary::virtex5_full() } else { DeviceLibrary::virtex5() };
     let records: Mutex<Vec<SweepRecord>> = Mutex::new(Vec::with_capacity(corpus.len()));
     let unsolvable = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
@@ -210,9 +207,7 @@ pub fn summarise(records: &[SweepRecord], unsolvable: usize) -> SweepSummary {
         better_total_vs_per_module: fraction(records, |r| r.proposed_total < r.per_module_total),
         better_total_vs_single: fraction(records, |r| r.proposed_total < r.single_total),
         better_worst_vs_per_module: fraction(records, |r| r.proposed_worst < r.per_module_worst),
-        better_or_equal_worst_vs_single: fraction(records, |r| {
-            r.proposed_worst <= r.single_worst
-        }),
+        better_or_equal_worst_vs_single: fraction(records, |r| r.proposed_worst <= r.single_worst),
         mean_solve_ms: crate::stats::mean(
             &records.iter().map(|r| r.solve_us as f64 / 1000.0).collect::<Vec<_>>(),
         ),

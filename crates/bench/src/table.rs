@@ -10,10 +10,7 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        TextTable {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -90,10 +87,7 @@ pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
     let mut out = String::new();
     for (label, v) in items {
         let bars = ((v / max) * width as f64).round() as usize;
-        out.push_str(&format!(
-            "{label:<label_w$} |{} {v:.0}\n",
-            "#".repeat(bars)
-        ));
+        out.push_str(&format!("{label:<label_w$} |{} {v:.0}\n", "#".repeat(bars)));
     }
     out
 }
@@ -135,10 +129,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales() {
-        let chart = bar_chart(
-            &[("a".to_string(), 10.0), ("bb".to_string(), 5.0)],
-            20,
-        );
+        let chart = bar_chart(&[("a".to_string(), 10.0), ("bb".to_string(), 5.0)], 20);
         let lines: Vec<&str> = chart.lines().collect();
         let hashes = |s: &str| s.matches('#').count();
         assert_eq!(hashes(lines[0]), 20);

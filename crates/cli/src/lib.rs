@@ -23,7 +23,7 @@ use prpart_core::report::scheme_report;
 use prpart_core::{Partitioner, SearchStrategy, TransitionSemantics};
 use prpart_design::Design;
 use prpart_flow::FlowPipeline;
-use prpart_runtime::{run_monte_carlo, MonteCarloConfig};
+use prpart_runtime::{run_monte_carlo, MonteCarloConfig, RecoveryPolicy};
 use prpart_synth::{generate_corpus, GeneratorConfig};
 use std::fmt::Write as _;
 
@@ -97,7 +97,8 @@ pub enum Command {
         out: String,
     },
     /// `prpart simulate <design> [target] --walks N --len L
-    /// [--profile-out FILE]`.
+    /// [--profile-out FILE] [--fault-rate R] [--fault-seed S]
+    /// [--max-retries K] [--safe-config NAME]`.
     Simulate {
         /// Design XML path.
         design: String,
@@ -110,6 +111,14 @@ pub enum Command {
         /// Write estimated transition weights here (feed back into
         /// `partition --weights`).
         profile_out: Option<String>,
+        /// Per-load fault probability (0.0 = fault-free simulator).
+        fault_rate: f64,
+        /// Base fault seed; walk `i` uses `fault_seed + i`.
+        fault_seed: u64,
+        /// Recovery policy: retries per region load (None = default).
+        max_retries: Option<u32>,
+        /// Configuration name to fall back to when a transition fails.
+        safe_config: Option<String>,
     },
     /// `prpart info <design.xml>`.
     Info {
@@ -161,6 +170,8 @@ USAGE:
   prpart generate [--count N] [--seed S] --out DIR
   prpart simulate <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
                   [--walks N] [--len L] [--profile-out FILE]
+                  [--fault-rate R] [--fault-seed S] [--max-retries K]
+                  [--safe-config NAME]
   prpart report <design.xml> <scheme.xml> [--simulate]
   prpart pareto <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
   prpart info <design.xml>
@@ -185,10 +196,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let Some(cmd) = it.next() else {
         return Ok(Command::Help);
     };
-    let flag_value = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| -> Result<String, CliError> {
-        it.next()
-            .cloned()
-            .ok_or(CliError { message: format!("{flag} needs a value") })
+    let flag_value = |flag: &str,
+                      it: &mut std::iter::Peekable<std::slice::Iter<String>>|
+     -> Result<String, CliError> {
+        it.next().cloned().ok_or(CliError { message: format!("{flag} needs a value") })
     };
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -217,7 +228,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 match a.as_str() {
                     "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
                     "--budget" => {
-                        target = Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
+                        target =
+                            Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
                     }
                     "--auto" => target = Some(Target::Auto),
                     "--strategy" => {
@@ -268,7 +280,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             match (design, device, out) {
-                (Some(design), Some(device), Some(out)) => Ok(Command::Flow { design, device, out }),
+                (Some(design), Some(device), Some(out)) => {
+                    Ok(Command::Flow { design, device, out })
+                }
                 _ => err("flow: need <design.xml> --device NAME --out DIR"),
             }
         }
@@ -301,11 +315,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut walks = 32usize;
             let mut len = 128usize;
             let mut profile_out = None;
+            let mut fault_rate = 0.0f64;
+            let mut fault_seed = 0xFA17u64;
+            let mut max_retries = None;
+            let mut safe_config = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
                     "--budget" => {
-                        target = Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
+                        target =
+                            Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
                     }
                     "--walks" => {
                         walks = flag_value("--walks", &mut it)?
@@ -318,6 +337,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .map_err(|_| CliError { message: "--len needs a number".into() })?
                     }
                     "--profile-out" => profile_out = Some(flag_value("--profile-out", &mut it)?),
+                    "--fault-rate" => {
+                        fault_rate =
+                            flag_value("--fault-rate", &mut it)?.parse().map_err(|_| CliError {
+                                message: "--fault-rate needs a number".into(),
+                            })?;
+                        if !(0.0..1.0).contains(&fault_rate) {
+                            return err(format!("--fault-rate {fault_rate} must be in [0, 1)"));
+                        }
+                    }
+                    "--fault-seed" => {
+                        fault_seed = flag_value("--fault-seed", &mut it)?.parse().map_err(|_| {
+                            CliError { message: "--fault-seed needs a number".into() }
+                        })?
+                    }
+                    "--max-retries" => {
+                        max_retries =
+                            Some(flag_value("--max-retries", &mut it)?.parse().map_err(|_| {
+                                CliError { message: "--max-retries needs a number".into() }
+                            })?)
+                    }
+                    "--safe-config" => safe_config = Some(flag_value("--safe-config", &mut it)?),
                     _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
                     other => return err(format!("unexpected argument '{other}'")),
                 }
@@ -326,7 +366,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let Some(target) = target else {
                 return err("simulate: choose --device or --budget");
             };
-            Ok(Command::Simulate { design, target, walks, len, profile_out })
+            Ok(Command::Simulate {
+                design,
+                target,
+                walks,
+                len,
+                profile_out,
+                fault_rate,
+                fault_seed,
+                max_retries,
+                safe_config,
+            })
         }
         "info" => match it.next() {
             Some(design) if !design.starts_with('-') => {
@@ -341,7 +391,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 match a.as_str() {
                     "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
                     "--budget" => {
-                        target = Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
+                        target =
+                            Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
                     }
                     _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
                     other => return err(format!("unexpected argument '{other}'")),
@@ -427,18 +478,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Pareto { design, target } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
-            let budget = budget_for(&target, &library)?
-                .expect("pareto always has a concrete target");
+            let budget =
+                budget_for(&target, &library)?.expect("pareto always has a concrete target");
             let outcome = Partitioner::new(budget)
                 .partition(&design)
                 .map_err(|e| CliError { message: e.to_string() })?;
             let mut out = String::new();
             let _ = writeln!(out, "{design} | budget {budget}");
-            let _ = writeln!(
-                out,
-                "time/area Pareto front ({} points):",
-                outcome.pareto_front.len()
-            );
+            let _ =
+                writeln!(out, "time/area Pareto front ({} points):", outcome.pareto_front.len());
             for (i, p) in outcome.pareto_front.iter().enumerate() {
                 let _ = writeln!(
                     out,
@@ -505,9 +553,10 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 Some(path) => {
                     let text = std::fs::read_to_string(&path)
                         .map_err(|e| CliError { message: format!("cannot read {path}: {e}") })?;
-                    Some(prpart_xmlio::schema::parse_weights(&text).map_err(|e| CliError {
-                        message: format!("{path}: {e}"),
-                    })?)
+                    Some(
+                        prpart_xmlio::schema::parse_weights(&text)
+                            .map_err(|e| CliError { message: format!("{path}: {e}") })?,
+                    )
                 }
             };
             let make = |budget: Resources| {
@@ -619,23 +668,59 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(format!("wrote {count} designs to {out}/\n"))
         }
-        Command::Simulate { design, target, walks, len, profile_out } => {
+        Command::Simulate {
+            design,
+            target,
+            walks,
+            len,
+            profile_out,
+            fault_rate,
+            fault_seed,
+            max_retries,
+            safe_config,
+        } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
-            let budget = budget_for(&target, &library)?
-                .expect("simulate always has a concrete target");
+            let budget =
+                budget_for(&target, &library)?.expect("simulate always has a concrete target");
             let best = Partitioner::new(budget)
                 .partition(&design)
                 .map_err(|e| CliError { message: e.to_string() })?
                 .best
                 .ok_or(CliError { message: "no feasible scheme".into() })?;
+            let safe_idx = match &safe_config {
+                None => None,
+                Some(name) => {
+                    Some(design.configurations().iter().position(|c| c.name == *name).ok_or_else(
+                        || CliError {
+                            message: format!("unknown configuration '{name}' for --safe-config"),
+                        },
+                    )?)
+                }
+            };
+            let mut policy = RecoveryPolicy::default();
+            if let Some(k) = max_retries {
+                policy.max_retries = k;
+            }
+            policy.safe_config = safe_idx;
             let report = run_monte_carlo(
                 &best.scheme,
-                MonteCarloConfig { walks, walk_len: len, ..Default::default() },
+                MonteCarloConfig {
+                    walks,
+                    walk_len: len,
+                    fault_rate,
+                    fault_seed,
+                    policy,
+                    ..Default::default()
+                },
             );
             let mut out = String::new();
             let _ = writeln!(out, "{design}");
-            let _ = writeln!(out, "scheme: {} regions, {} static partitions", best.metrics.num_regions, best.metrics.num_static);
+            let _ = writeln!(
+                out,
+                "scheme: {} regions, {} static partitions",
+                best.metrics.num_regions, best.metrics.num_static
+            );
             let _ = writeln!(
                 out,
                 "monte-carlo: {walks} walks x {len} transitions\n  total {} frames | mean {:.0} frames/transition | worst single hop {} frames\n  simulated reconfiguration time {:?}",
@@ -644,14 +729,29 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 report.worst_frames,
                 report.total_time,
             );
+            if fault_rate > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "reliability: availability {:.4} | {} faults | {} retries | {} failed transitions | {} scrubs | MTTR {:?}",
+                    report.availability,
+                    report.telemetry.faults,
+                    report.telemetry.retries,
+                    report.telemetry.transitions_failed,
+                    report.telemetry.scrubs,
+                    report.mean_time_to_recovery,
+                );
+            }
             if let Some(path) = profile_out {
                 // Profile the same uniform workload the Monte-Carlo used
                 // and write the estimated weights for `partition
                 // --weights`.
-                let mut env =
-                    prpart_runtime::UniformEnv::new(design.num_configurations(), 0x5EED);
-                let weights =
-                    prpart_runtime::estimate_weights(&mut env, design.num_configurations(), walks, len);
+                let mut env = prpart_runtime::UniformEnv::new(design.num_configurations(), 0x5EED);
+                let weights = prpart_runtime::estimate_weights(
+                    &mut env,
+                    design.num_configurations(),
+                    walks,
+                    len,
+                );
                 std::fs::write(
                     &path,
                     prpart_xmlio::schema::weights_to_xml(&weights).to_string_pretty(),
@@ -676,8 +776,8 @@ mod tests {
     fn parses_partition_variants() {
         let c = parse_args(&s(&["partition", "d.xml", "--auto"])).unwrap();
         assert!(matches!(c, Command::Partition { target: Target::Auto, .. }));
-        let c = parse_args(&s(&["partition", "d.xml", "--budget", "100,2,3", "--no-static"]))
-            .unwrap();
+        let c =
+            parse_args(&s(&["partition", "d.xml", "--budget", "100,2,3", "--no-static"])).unwrap();
         match c {
             Command::Partition { target: Target::Budget(b), no_static, .. } => {
                 assert_eq!(b, Resources::new(100, 2, 3));
@@ -719,9 +819,8 @@ mod tests {
     fn partition_and_simulate_roundtrip_through_files() {
         let dir = std::env::temp_dir().join("prpart-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let design = prpart_design::corpus::video_receiver(
-            prpart_design::corpus::VideoConfigSet::Original,
-        );
+        let design =
+            prpart_design::corpus::video_receiver(prpart_design::corpus::VideoConfigSet::Original);
         let path = dir.join("video.xml");
         std::fs::write(&path, prpart_xmlio::render_design(&design)).unwrap();
         let out = run(Command::Partition {
@@ -744,13 +843,104 @@ mod tests {
             walks: 4,
             len: 16,
             profile_out: Some(dir.join("weights.xml").to_string_lossy().into_owned()),
+            fault_rate: 0.0,
+            fault_seed: 0xFA17,
+            max_retries: None,
+            safe_config: None,
         })
         .unwrap();
         assert!(out.contains("monte-carlo"), "{out}");
+        assert!(
+            !out.contains("reliability:"),
+            "fault-free simulate must keep the legacy output: {out}"
+        );
         // The emitted weights parse back and have the right dimension.
         let wtext = std::fs::read_to_string(dir.join("weights.xml")).unwrap();
         let w = prpart_xmlio::schema::parse_weights(&wtext).unwrap();
         assert_eq!(w.num_configurations(), 8);
+    }
+
+    #[test]
+    fn parses_simulate_fault_flags() {
+        let c = parse_args(&s(&["simulate", "d.xml", "--device", "SX70T"])).unwrap();
+        match c {
+            Command::Simulate { fault_rate, fault_seed, max_retries, safe_config, .. } => {
+                assert_eq!(fault_rate, 0.0);
+                assert_eq!(fault_seed, 0xFA17);
+                assert_eq!(max_retries, None);
+                assert_eq!(safe_config, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse_args(&s(&[
+            "simulate",
+            "d.xml",
+            "--device",
+            "SX70T",
+            "--fault-rate",
+            "0.1",
+            "--fault-seed",
+            "7",
+            "--max-retries",
+            "5",
+            "--safe-config",
+            "c1",
+        ]))
+        .unwrap();
+        match c {
+            Command::Simulate { fault_rate, fault_seed, max_retries, safe_config, .. } => {
+                assert_eq!(fault_rate, 0.1);
+                assert_eq!(fault_seed, 7);
+                assert_eq!(max_retries, Some(5));
+                assert_eq!(safe_config.as_deref(), Some("c1"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse_args(&s(&["simulate", "d.xml", "--device", "X", "--fault-rate", "1.5"])).is_err(),
+            "rates outside [0, 1) are rejected"
+        );
+        assert!(parse_args(&s(&["simulate", "d.xml", "--device", "X", "--fault-rate", "-0.1"]))
+            .is_err());
+    }
+
+    #[test]
+    fn simulate_with_faults_reports_reliability() {
+        let dir = std::env::temp_dir().join("prpart-cli-faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design =
+            prpart_design::corpus::video_receiver(prpart_design::corpus::VideoConfigSet::Original);
+        let path = dir.join("video.xml");
+        std::fs::write(&path, prpart_xmlio::render_design(&design)).unwrap();
+        let safe_name = design.configurations()[0].name.clone();
+        let out = run(Command::Simulate {
+            design: path.to_string_lossy().into_owned(),
+            target: Target::Device("SX70T".into()),
+            walks: 4,
+            len: 32,
+            profile_out: None,
+            fault_rate: 0.2,
+            fault_seed: 42,
+            max_retries: Some(4),
+            safe_config: Some(safe_name),
+        })
+        .unwrap();
+        assert!(out.contains("reliability:"), "{out}");
+        assert!(out.contains("availability"), "{out}");
+        // An unknown safe configuration is a clean CLI error.
+        let err = run(Command::Simulate {
+            design: path.to_string_lossy().into_owned(),
+            target: Target::Device("SX70T".into()),
+            walks: 1,
+            len: 4,
+            profile_out: None,
+            fault_rate: 0.1,
+            fault_seed: 1,
+            max_retries: None,
+            safe_config: Some("no-such-config".into()),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("no-such-config"), "{err}");
     }
 
     #[test]
@@ -772,19 +962,15 @@ mod tests {
         assert!(out.contains("MY100"), "{out}");
 
         // Weighted partitioning through files.
-        let design = prpart_design::corpus::video_receiver(
-            prpart_design::corpus::VideoConfigSet::Original,
-        );
+        let design =
+            prpart_design::corpus::video_receiver(prpart_design::corpus::VideoConfigSet::Original);
         let design_path = dir.join("video.xml");
         std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
         let mut w = prpart_core::TransitionWeights::uniform(design.num_configurations());
         w.set(0, 3, 40.0);
         let weights_path = dir.join("weights.xml");
-        std::fs::write(
-            &weights_path,
-            prpart_xmlio::schema::weights_to_xml(&w).to_string_pretty(),
-        )
-        .unwrap();
+        std::fs::write(&weights_path, prpart_xmlio::schema::weights_to_xml(&w).to_string_pretty())
+            .unwrap();
         let out = run(Command::Partition {
             design: design_path.to_string_lossy().into_owned(),
             target: Target::Device("MY100".into()),
@@ -822,9 +1008,8 @@ mod tests {
     fn info_command_summarises_designs() {
         let dir = std::env::temp_dir().join("prpart-cli-info");
         std::fs::create_dir_all(&dir).unwrap();
-        let design = prpart_design::corpus::video_receiver(
-            prpart_design::corpus::VideoConfigSet::Original,
-        );
+        let design =
+            prpart_design::corpus::video_receiver(prpart_design::corpus::VideoConfigSet::Original);
         let path = dir.join("video.xml");
         std::fs::write(&path, prpart_xmlio::render_design(&design)).unwrap();
         let out = run(Command::Info { design: path.to_string_lossy().into_owned() }).unwrap();
@@ -837,9 +1022,8 @@ mod tests {
     fn pareto_command_prints_the_front() {
         let dir = std::env::temp_dir().join("prpart-cli-pareto");
         std::fs::create_dir_all(&dir).unwrap();
-        let design = prpart_design::corpus::video_receiver(
-            prpart_design::corpus::VideoConfigSet::Original,
-        );
+        let design =
+            prpart_design::corpus::video_receiver(prpart_design::corpus::VideoConfigSet::Original);
         let path = dir.join("video.xml");
         std::fs::write(&path, prpart_xmlio::render_design(&design)).unwrap();
         let out = run(Command::Pareto {
@@ -855,9 +1039,8 @@ mod tests {
     fn report_reloads_saved_schemes() {
         let dir = std::env::temp_dir().join("prpart-cli-report");
         std::fs::create_dir_all(&dir).unwrap();
-        let design = prpart_design::corpus::video_receiver(
-            prpart_design::corpus::VideoConfigSet::Original,
-        );
+        let design =
+            prpart_design::corpus::video_receiver(prpart_design::corpus::VideoConfigSet::Original);
         let design_path = dir.join("video.xml");
         std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
         let scheme_path = dir.join("scheme.xml");
@@ -897,12 +1080,9 @@ mod tests {
     fn generate_writes_designs() {
         let dir = std::env::temp_dir().join("prpart-cli-gen");
         let _ = std::fs::remove_dir_all(&dir);
-        let out = run(Command::Generate {
-            count: 3,
-            seed: 5,
-            out: dir.to_string_lossy().into_owned(),
-        })
-        .unwrap();
+        let out =
+            run(Command::Generate { count: 3, seed: 5, out: dir.to_string_lossy().into_owned() })
+                .unwrap();
         assert!(out.contains("wrote 3 designs"));
         let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
         assert_eq!(files.len(), 3);

@@ -11,10 +11,7 @@ fn prpart_bin() -> PathBuf {
 }
 
 fn run(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(prpart_bin())
-        .args(args)
-        .output()
-        .expect("prpart binary runs");
+    let out = Command::new(prpart_bin()).args(args).output().expect("prpart binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -40,7 +37,8 @@ fn cli_full_session() {
 
     // generate → info → partition → report round-trip.
     let gen_dir = dir.join("designs");
-    let (_, _, ok) = run(&["generate", "--count", "2", "--seed", "9", "--out", gen_dir.to_str().unwrap()]);
+    let (_, _, ok) =
+        run(&["generate", "--count", "2", "--seed", "9", "--out", gen_dir.to_str().unwrap()]);
     assert!(ok);
     let design = gen_dir.join("design_0000.xml");
     let (out, _, ok) = run(&["info", design.to_str().unwrap()]);

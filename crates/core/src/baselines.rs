@@ -162,10 +162,7 @@ mod tests {
                     .any(|&p| d.mode_label(s.partitions[p].modes[0]).starts_with("Video"))
             })
             .unwrap();
-        assert_eq!(
-            s.region_resources(video_region),
-            Resources::new(4700, 40, 65)
-        );
+        assert_eq!(s.region_resources(video_region), Resources::new(4700, 40, 65));
         // Unused Recovery.None got no partition: 13 singleton partitions.
         assert_eq!(s.partitions.len(), 13);
     }
@@ -193,14 +190,9 @@ mod tests {
         assert_eq!(s.total_reconfig_frames(sem), 0);
         assert_eq!(s.worst_reconfig_frames(sem), 0);
         // Area: sum of used modes (Recovery.None is zero anyway).
-        assert_eq!(
-            s.total_resources(Resources::ZERO),
-            d.all_modes_resources()
-        );
+        assert_eq!(s.total_resources(Resources::ZERO), d.all_modes_resources());
         // It exceeds the case-study budget, as the paper notes.
-        assert!(!s
-            .total_resources(d.static_overhead())
-            .fits_in(&corpus::VIDEO_RECEIVER_BUDGET));
+        assert!(!s.total_resources(d.static_overhead()).fits_in(&corpus::VIDEO_RECEIVER_BUDGET));
     }
 
     #[test]

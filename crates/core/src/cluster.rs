@@ -63,8 +63,7 @@ pub fn generate_base_partitions(
         let new_cliques = cliques_containing_edge(&growing, u, v, clique_limit)
             .map_err(|e| PartitionError::CliqueLimit(e.limit))?;
         for clique in new_cliques {
-            let modes: Vec<GlobalModeId> =
-                clique.iter().map(|&i| GlobalModeId(i as u32)).collect();
+            let modes: Vec<GlobalModeId> = clique.iter().map(|&i| GlobalModeId(i as u32)).collect();
             // Support filter: the whole group must co-occur somewhere.
             if matrix.support(&modes) == 0 {
                 continue;
@@ -101,8 +100,7 @@ mod tests {
 
         // Spot-check the frequency weights the paper prints.
         let find = |names: &[(&str, &str)]| -> &BasePartition {
-            let mut modes: Vec<_> =
-                names.iter().map(|(m, k)| d.mode_id(m, k).unwrap()).collect();
+            let mut modes: Vec<_> = names.iter().map(|(m, k)| d.mode_id(m, k).unwrap()).collect();
             modes.sort_unstable();
             parts
                 .iter()
@@ -115,14 +113,8 @@ mod tests {
         assert_eq!(find(&[("B", "B2"), ("C", "C3")]).frequency_weight, 2);
         assert_eq!(find(&[("A", "A3"), ("B", "B2")]).frequency_weight, 2);
         assert_eq!(find(&[("A", "A1"), ("B", "B1")]).frequency_weight, 1);
-        assert_eq!(
-            find(&[("A", "A3"), ("B", "B2"), ("C", "C3")]).frequency_weight,
-            1
-        );
-        assert_eq!(
-            find(&[("A", "A1"), ("B", "B1"), ("C", "C1")]).frequency_weight,
-            1
-        );
+        assert_eq!(find(&[("A", "A3"), ("B", "B2"), ("C", "C3")]).frequency_weight, 1);
+        assert_eq!(find(&[("A", "A1"), ("B", "B1"), ("C", "C1")]).frequency_weight, 1);
     }
 
     #[test]
@@ -141,8 +133,7 @@ mod tests {
     #[test]
     fn triples_are_exactly_the_configurations() {
         let (d, m, parts) = abc_partitions();
-        let triples: Vec<&BasePartition> =
-            parts.iter().filter(|p| p.num_modes() == 3).collect();
+        let triples: Vec<&BasePartition> = parts.iter().filter(|p| p.num_modes() == 3).collect();
         for t in &triples {
             assert!(m.support(&t.modes) >= 1);
             assert_eq!(t.frequency_weight, 1, "{}", t.label(&d));

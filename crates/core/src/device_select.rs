@@ -52,9 +52,8 @@ pub fn select_device(
     mut make_partitioner: impl FnMut(Resources) -> Partitioner,
 ) -> Result<DeviceChoice, PartitionError> {
     let required = minimum_requirement(design);
-    let start = library
-        .smallest_fitting(&required)
-        .ok_or(PartitionError::NoFeasibleDevice { required })?;
+    let start =
+        library.smallest_fitting(&required).ok_or(PartitionError::NoFeasibleDevice { required })?;
     let start_idx = library.index_of(start).expect("device from library");
     let mut last: Option<DeviceChoice> = None;
     for (escalations, device) in library.devices()[start_idx..].iter().enumerate() {
@@ -158,10 +157,7 @@ mod tests {
         let d = DesignBuilder::new("dsp-hungry")
             .module(
                 "X",
-                [
-                    ("x1", Resources::new(1500, 4, 150)),
-                    ("x2", Resources::new(1400, 4, 140)),
-                ],
+                [("x1", Resources::new(1500, 4, 150)), ("x2", Resources::new(1400, 4, 140))],
             )
             .module("Y", [("y1", Resources::new(300, 2, 20)), ("y2", Resources::new(200, 1, 10))])
             .configuration("c1", [("X", "x1"), ("Y", "y1")])

@@ -71,8 +71,8 @@ mod tests {
         let d = corpus::abc_example();
         let min = minimum_requirement(&d);
         for c in 0..d.num_configurations() {
-            let conf = TileCounts::for_resources(&d.config_resources(c)).capacity()
-                + d.static_overhead();
+            let conf =
+                TileCounts::for_resources(&d.config_resources(c)).capacity() + d.static_overhead();
             assert!(conf.fits_in(&min), "configuration {c} exceeds the minimum");
         }
     }

@@ -101,11 +101,7 @@ impl BasePartition {
     /// Human-readable label using the design's mode names, e.g.
     /// `"{A3, B2}"`.
     pub fn label(&self, design: &Design) -> String {
-        let names: Vec<String> = self
-            .modes
-            .iter()
-            .map(|&m| design.mode(m).name.clone())
-            .collect();
+        let names: Vec<String> = self.modes.iter().map(|&m| design.mode(m).name.clone()).collect();
         if names.len() == 1 {
             names.into_iter().next().unwrap()
         } else {

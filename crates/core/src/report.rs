@@ -79,9 +79,8 @@ mod tests {
     #[test]
     fn scheme_report_mentions_regions() {
         let d = corpus::abc_example();
-        let out = Partitioner::new(prpart_arch::Resources::new(1100, 20, 24))
-            .partition(&d)
-            .unwrap();
+        let out =
+            Partitioner::new(prpart_arch::Resources::new(1100, 20, 24)).partition(&d).unwrap();
         let best = out.best.unwrap();
         let report = scheme_report(&d, &best);
         assert!(report.contains("PRR1"), "{report}");

@@ -139,9 +139,7 @@ impl Scheme {
         partitions: Vec<BasePartition>,
         num_configurations: usize,
     ) -> Self {
-        let regions = (0..partitions.len())
-            .map(|i| Region { partitions: vec![i] })
-            .collect();
+        let regions = (0..partitions.len()).map(|i| Region { partitions: vec![i] }).collect();
         Scheme { partitions, regions, static_partitions: Vec::new(), num_configurations }
     }
 
@@ -168,18 +166,14 @@ impl Scheme {
     /// Summed requirement of the static partitions (their modes are all
     /// concurrently implemented).
     pub fn static_resources(&self) -> Resources {
-        self.static_partitions
-            .iter()
-            .map(|&p| self.partitions[p].resources)
-            .sum()
+        self.static_partitions.iter().map(|&p| self.partitions[p].resources).sum()
     }
 
     /// Total resource requirement: tile-quantised region capacities, plus
     /// static partitions, plus the design's static overhead.
     pub fn total_resources(&self, static_overhead: Resources) -> Resources {
-        let regions: Resources = (0..self.regions.len())
-            .map(|r| self.region_tiles(r).capacity())
-            .sum();
+        let regions: Resources =
+            (0..self.regions.len()).map(|r| self.region_tiles(r).capacity()).sum();
         regions + self.static_resources() + static_overhead
     }
 
@@ -320,11 +314,7 @@ impl Scheme {
             for (k, &a) in region.partitions.iter().enumerate() {
                 for &b in &region.partitions[k + 1..] {
                     if !self.partitions[a].compatible_with(&self.partitions[b]) {
-                        return Err(SchemeInvariantError::IncompatibleRegion {
-                            region: ri,
-                            a,
-                            b,
-                        });
+                        return Err(SchemeInvariantError::IncompatibleRegion { region: ri, a, b });
                     }
                 }
             }
@@ -359,19 +349,13 @@ impl Scheme {
     pub fn describe(&self, design: &Design) -> String {
         let mut out = String::new();
         if !self.static_partitions.is_empty() {
-            let labels: Vec<String> = self
-                .static_partitions
-                .iter()
-                .map(|&p| self.partitions[p].label(design))
-                .collect();
+            let labels: Vec<String> =
+                self.static_partitions.iter().map(|&p| self.partitions[p].label(design)).collect();
             out.push_str(&format!("static: {}\n", labels.join(", ")));
         }
         for (ri, region) in self.regions.iter().enumerate() {
-            let labels: Vec<String> = region
-                .partitions
-                .iter()
-                .map(|&p| self.partitions[p].label(design))
-                .collect();
+            let labels: Vec<String> =
+                region.partitions.iter().map(|&p| self.partitions[p].label(design)).collect();
             out.push_str(&format!("PRR{}: {}\n", ri + 1, labels.join(", ")));
         }
         out
@@ -380,11 +364,7 @@ impl Scheme {
 
 /// Does a region with endpoint states `a` (in configuration i) and `b`
 /// (in j) reconfigure under the given semantics?
-fn region_reconfigures(
-    a: Option<usize>,
-    b: Option<usize>,
-    semantics: TransitionSemantics,
-) -> bool {
+fn region_reconfigures(a: Option<usize>, b: Option<usize>, semantics: TransitionSemantics) -> bool {
     match (a, b) {
         (Some(x), Some(y)) => x != y,
         (None, None) => false,
@@ -430,11 +410,7 @@ mod tests {
 
     /// Builds a scheme over the abc example from singleton partitions of
     /// the given mode groups, grouping them into the given regions.
-    fn build_scheme(
-        d: &Design,
-        groups: &[&[(&str, &str)]],
-        statics: &[(&str, &str)],
-    ) -> Scheme {
+    fn build_scheme(d: &Design, groups: &[&[(&str, &str)]], statics: &[(&str, &str)]) -> Scheme {
         let m = ConnectivityMatrix::from_design(d);
         let mut partitions = Vec::new();
         let mut regions = Vec::new();
@@ -453,7 +429,12 @@ mod tests {
             static_partitions.push(partitions.len());
             partitions.push(crate::partition::BasePartition::from_modes(d, &m, vec![g]));
         }
-        Scheme { partitions, regions, static_partitions, num_configurations: d.num_configurations() }
+        Scheme {
+            partitions,
+            regions,
+            static_partitions,
+            num_configurations: d.num_configurations(),
+        }
     }
 
     /// One region per module over the abc example.
@@ -490,7 +471,10 @@ mod tests {
         let states = s.region_states(1);
         let b1_pool = 3; // insertion order: A1 A2 A3 B1 B2 ...
         let b2_pool = 4;
-        assert_eq!(states, vec![Some(b2_pool), Some(b1_pool), Some(b2_pool), Some(b2_pool), Some(b2_pool)]);
+        assert_eq!(
+            states,
+            vec![Some(b2_pool), Some(b1_pool), Some(b2_pool), Some(b2_pool), Some(b2_pool)]
+        );
         let _ = d;
     }
 
@@ -558,10 +542,7 @@ mod tests {
         let d = corpus::abc_example();
         let with_static = build_scheme(
             &d,
-            &[
-                &[("A", "A1"), ("A", "A2"), ("A", "A3")],
-                &[("C", "C1"), ("C", "C2"), ("C", "C3")],
-            ],
+            &[&[("A", "A1"), ("A", "A2"), ("A", "A3")], &[("C", "C1"), ("C", "C2"), ("C", "C3")]],
             &[("B", "B1"), ("B", "B2")],
         );
         let (_, no_static) = abc_per_module();
@@ -600,16 +581,10 @@ mod tests {
         let d = corpus::abc_example();
         // Incompatible: A1 and B1 co-occur in conf2.
         let bad = build_scheme(&d, &[&[("A", "A1"), ("B", "B1")]], &[]);
-        assert!(matches!(
-            bad.validate(&d),
-            Err(SchemeInvariantError::IncompatibleRegion { .. })
-        ));
+        assert!(matches!(bad.validate(&d), Err(SchemeInvariantError::IncompatibleRegion { .. })));
         // Uncovered modes: only module A placed.
         let partial = build_scheme(&d, &[&[("A", "A1"), ("A", "A2"), ("A", "A3")]], &[]);
-        assert!(matches!(
-            partial.validate(&d),
-            Err(SchemeInvariantError::UncoveredMode(_))
-        ));
+        assert!(matches!(partial.validate(&d), Err(SchemeInvariantError::UncoveredMode(_))));
         // Empty region.
         let mut s = partial.clone();
         s.regions.push(Region { partitions: vec![] });
@@ -617,10 +592,7 @@ mod tests {
         // Duplicate placement.
         let mut s = partial.clone();
         s.regions.push(Region { partitions: vec![0] });
-        assert!(matches!(
-            s.validate(&d),
-            Err(SchemeInvariantError::DuplicatePlacement(0))
-        ));
+        assert!(matches!(s.validate(&d), Err(SchemeInvariantError::DuplicatePlacement(0))));
     }
 
     #[test]

@@ -233,9 +233,7 @@ impl Partitioner {
                 if let Some(part) = translate(&previous.partitions[pi]) {
                     // Keep in this region only if compatible with the
                     // members already there; otherwise it opens its own.
-                    let compatible = members
-                        .iter()
-                        .all(|&m| pool[m].compatible_with(&part));
+                    let compatible = members.iter().all(|&m| pool[m].compatible_with(&part));
                     pool.push(part);
                     if compatible {
                         members.push(pool.len() - 1);
@@ -282,10 +280,7 @@ impl Partitioner {
         let mut seeded = State {
             groups: groups.iter().map(|g| Group::new(&ctx, g.clone())).collect(),
             statics: statics.clone(),
-            static_res: statics
-                .iter()
-                .map(|&p| pool[p].resources)
-                .sum(),
+            static_res: statics.iter().map(|&p| pool[p].resources).sum(),
             time: 0.0,
             area: Resources::ZERO,
         };
@@ -294,8 +289,7 @@ impl Partitioner {
         let mut stats = SearchStats::default();
         greedy_descent(&ctx, seeded, &mut best, &mut stats);
         outcome.states_evaluated += stats.states_evaluated;
-        let (seeded_best, seeded_front) =
-            best.into_evaluated(design, &self.budget, self.semantics);
+        let (seeded_best, seeded_front) = best.into_evaluated(design, &self.budget, self.semantics);
         if let Some(sb) = seeded_best {
             let better = match &outcome.best {
                 None => true,
@@ -550,8 +544,7 @@ struct State {
 
 impl State {
     fn initial(ctx: &Ctx<'_>) -> State {
-        let groups: Vec<Group> =
-            (0..ctx.pool.len()).map(|p| Group::new(ctx, vec![p])).collect();
+        let groups: Vec<Group> = (0..ctx.pool.len()).map(|p| Group::new(ctx, vec![p])).collect();
         let mut s = State {
             groups,
             statics: Vec::new(),
@@ -568,9 +561,8 @@ impl State {
             Objective::TotalTime => self.groups.iter().map(Group::time).sum(),
             Objective::WorstCase => worst_case_of_groups(ctx, &self.groups),
         };
-        self.area = self.groups.iter().map(|g| g.cap).sum::<Resources>()
-            + self.static_res
-            + ctx.overhead;
+        self.area =
+            self.groups.iter().map(|g| g.cap).sum::<Resources>() + self.static_res + ctx.overhead;
     }
 
     fn fits(&self, budget: &Resources) -> bool {
@@ -640,11 +632,7 @@ impl State {
     fn to_scheme(&self, ctx: &Ctx<'_>) -> Scheme {
         Scheme {
             partitions: ctx.pool.to_vec(),
-            regions: self
-                .groups
-                .iter()
-                .map(|g| Region { partitions: g.members.clone() })
-                .collect(),
+            regions: self.groups.iter().map(|g| Region { partitions: g.members.clone() }).collect(),
             static_partitions: self.statics.clone(),
             num_configurations: ctx.num_configs,
         }
@@ -741,10 +729,7 @@ impl PartialOrd for Key {
 
 impl Ord for Key {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .cmp(&other.0)
-            .then(self.1.total_cmp(&other.1))
-            .then(self.2.total_cmp(&other.2))
+        self.0.cmp(&other.0).then(self.1.total_cmp(&other.1)).then(self.2.total_cmp(&other.2))
     }
 }
 
@@ -794,8 +779,7 @@ impl Best {
             .iter()
             .any(|(t, a, _)| *t <= state.time && *a <= area && (*t < state.time || *a < area));
         if !dominated && !self.pareto.iter().any(|(t, a, _)| *t == state.time && *a == area) {
-            self.pareto
-                .retain(|(t, a, _)| !(state.time <= *t && area <= *a));
+            self.pareto.retain(|(t, a, _)| !(state.time <= *t && area <= *a));
             if self.pareto.len() < PARETO_CAP {
                 self.pareto.push((state.time, area, state.to_scheme(ctx)));
             }
@@ -815,8 +799,7 @@ impl Best {
         };
         let mut pareto = self.pareto;
         pareto.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let front: Vec<EvaluatedScheme> =
-            pareto.into_iter().map(|(_, _, s)| eval(s)).collect();
+        let front: Vec<EvaluatedScheme> = pareto.into_iter().map(|(_, _, s)| eval(s)).collect();
         (self.scheme.map(eval), front)
     }
 }
@@ -1018,9 +1001,7 @@ fn exhaustive(ctx: &Ctx<'_>, best: &mut Best, stats: &mut SearchStats) {
             return;
         }
         for g in 0..groups.len() {
-            let ok = groups[g]
-                .iter()
-                .all(|&p| ctx.pool[p].compatible_with(&ctx.pool[idx]));
+            let ok = groups[g].iter().all(|&p| ctx.pool[p].compatible_with(&ctx.pool[idx]));
             if ok {
                 groups[g].push(idx);
                 rec(ctx, idx + 1, n, groups, best, stats);
@@ -1109,9 +1090,7 @@ mod tests {
         // With unconstrained area the best scheme is the zero-time
         // starting point (or a static promotion of it).
         let d = corpus::abc_example();
-        let out = Partitioner::new(Resources::new(100_000, 1_000, 1_000))
-            .partition(&d)
-            .unwrap();
+        let out = Partitioner::new(Resources::new(100_000, 1_000, 1_000)).partition(&d).unwrap();
         let best = out.best.unwrap();
         assert_eq!(best.metrics.total_frames, 0);
     }
@@ -1167,10 +1146,7 @@ mod tests {
         let budget = abc_budget();
         let greedy = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
         let exact = Partitioner::new(budget)
-            .with_strategy(SearchStrategy::Exhaustive {
-                max_partitions: 10,
-                max_candidate_sets: 3,
-            })
+            .with_strategy(SearchStrategy::Exhaustive { max_partitions: 10, max_candidate_sets: 3 })
             .partition(&d)
             .unwrap()
             .best
@@ -1261,12 +1237,7 @@ mod tests {
         // and gains a new AV1 mode; one configuration changes.
         let original = corpus::video_receiver(corpus::VideoConfigSet::Original);
         let budget = corpus::VIDEO_RECEIVER_BUDGET;
-        let previous = Partitioner::new(budget)
-            .partition(&original)
-            .unwrap()
-            .best
-            .unwrap()
-            .scheme;
+        let previous = Partitioner::new(budget).partition(&original).unwrap().best.unwrap().scheme;
 
         let mut b = DesignBuilder::new("video-edited");
         for m in original.modules() {

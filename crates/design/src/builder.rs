@@ -69,10 +69,7 @@ impl DesignBuilder {
     ) -> Self {
         self.configurations.push((
             name.to_string(),
-            selection
-                .into_iter()
-                .map(|(m, k)| (m.to_string(), k.to_string()))
-                .collect(),
+            selection.into_iter().map(|(m, k)| (m.to_string(), k.to_string())).collect(),
         ));
         self
     }
@@ -105,12 +102,8 @@ impl DesignBuilder {
             }
         }
         // Resolve configurations.
-        let module_index: BTreeMap<&str, usize> = self
-            .modules
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (m.name.as_str(), i))
-            .collect();
+        let module_index: BTreeMap<&str, usize> =
+            self.modules.iter().enumerate().map(|(i, m)| (m.name.as_str(), i)).collect();
         let mut config_names = HashSet::new();
         let mut resolved: Vec<Configuration> = Vec::with_capacity(self.configurations.len());
         for (cname, picks) in &self.configurations {
@@ -119,19 +112,17 @@ impl DesignBuilder {
             }
             let mut selection: Vec<Option<u32>> = vec![None; self.modules.len()];
             for (mname, kname) in picks {
-                let &mi = module_index.get(mname.as_str()).ok_or_else(|| {
-                    DesignError::UnknownModule {
+                let &mi =
+                    module_index.get(mname.as_str()).ok_or_else(|| DesignError::UnknownModule {
                         configuration: cname.clone(),
                         module: mname.clone(),
-                    }
-                })?;
-                let ki = self.modules[mi].mode_index(kname).ok_or_else(|| {
-                    DesignError::UnknownMode {
+                    })?;
+                let ki =
+                    self.modules[mi].mode_index(kname).ok_or_else(|| DesignError::UnknownMode {
                         configuration: cname.clone(),
                         module: mname.clone(),
                         mode: kname.clone(),
-                    }
-                })?;
+                    })?;
                 if selection[mi].is_some() {
                     return Err(DesignError::ConflictingSelection {
                         configuration: cname.clone(),
@@ -185,10 +176,7 @@ mod tests {
     #[test]
     fn rejects_empty_designs() {
         assert_eq!(DesignBuilder::new("t").build().unwrap_err(), DesignError::NoModules);
-        let e = DesignBuilder::new("t")
-            .module("A", [("a1", Resources::ZERO)])
-            .build()
-            .unwrap_err();
+        let e = DesignBuilder::new("t").module("A", [("a1", Resources::ZERO)]).build().unwrap_err();
         assert_eq!(e, DesignError::NoConfigurations);
     }
 
@@ -226,10 +214,7 @@ mod tests {
 
     #[test]
     fn rejects_conflicting_and_empty_selections() {
-        let e = base()
-            .configuration("c", [("A", "a1"), ("A", "a2")])
-            .build()
-            .unwrap_err();
+        let e = base().configuration("c", [("A", "a1"), ("A", "a2")]).build().unwrap_err();
         assert!(matches!(e, DesignError::ConflictingSelection { .. }));
         let e = base().configuration("c", []).build().unwrap_err();
         assert_eq!(e, DesignError::EmptyConfiguration("c".into()));
@@ -265,15 +250,13 @@ mod tests {
             let modes: Vec<(&str, Resources)> = mode_names
                 .iter()
                 .enumerate()
-                .map(|(ki, n)| (*n, Resources::clbs((mi * 4 + ki
-                    ) as u32 + 1)))
+                .map(|(ki, n)| (*n, Resources::clbs((mi * 4 + ki) as u32 + 1)))
                 .collect();
             b = b.module(&format!("M{mi}"), modes);
         }
         for ci in 0..4 {
-            let picks: Vec<(String, String)> = (0..40)
-                .map(|mi| (format!("M{mi}"), format!("m{}", (mi + ci) % 4)))
-                .collect();
+            let picks: Vec<(String, String)> =
+                (0..40).map(|mi| (format!("M{mi}"), format!("m{}", (mi + ci) % 4))).collect();
             let refs: Vec<(&str, &str)> =
                 picks.iter().map(|(a, c)| (a.as_str(), c.as_str())).collect();
             b = b.configuration(&format!("c{ci}"), refs);

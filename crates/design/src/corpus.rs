@@ -31,10 +31,7 @@ pub fn abc_example() -> Design {
                 ("A3", Resources::new(150, 0, 4)),
             ],
         )
-        .module(
-            "B",
-            [("B1", Resources::new(400, 4, 8)), ("B2", Resources::new(120, 0, 0))],
-        )
+        .module("B", [("B1", Resources::new(400, 4, 8)), ("B2", Resources::new(120, 0, 0))])
         .module(
             "C",
             [
@@ -83,10 +80,7 @@ pub fn video_receiver(configs: VideoConfigSet) -> Design {
     // carries no extra static overhead.
     .module(
         "MatchedFilter",
-        [
-            ("Filter1", Resources::new(818, 0, 28)),
-            ("Filter2", Resources::new(500, 0, 34)),
-        ],
+        [("Filter1", Resources::new(818, 0, 28)), ("Filter2", Resources::new(500, 0, 34))],
     )
     .module(
         "Recovery",
@@ -97,10 +91,7 @@ pub fn video_receiver(configs: VideoConfigSet) -> Design {
             ("None", Resources::new(0, 0, 0)),
         ],
     )
-    .module(
-        "Demodulator",
-        [("BPSK", Resources::new(50, 0, 2)), ("QPSK", Resources::new(97, 0, 4))],
-    )
+    .module("Demodulator", [("BPSK", Resources::new(50, 0, 2)), ("QPSK", Resources::new(97, 0, 4))])
     .module(
         "Decoder",
         [
@@ -125,18 +116,19 @@ pub fn video_receiver(configs: VideoConfigSet) -> Design {
     let m = ["BPSK", "QPSK"];
     let d = ["Viterbi", "Turbo", "DPC"];
     let v = ["MPEG4", "MPEG2", "JPEG"];
-    let conf = |b: DesignBuilder, name: &str, fi: usize, ri: usize, mi: usize, di: usize, vi: usize| {
-        b.configuration(
-            name,
-            [
-                ("MatchedFilter", f[fi - 1]),
-                ("Recovery", r[ri - 1]),
-                ("Demodulator", m[mi - 1]),
-                ("Decoder", d[di - 1]),
-                ("Video", v[vi - 1]),
-            ],
-        )
-    };
+    let conf =
+        |b: DesignBuilder, name: &str, fi: usize, ri: usize, mi: usize, di: usize, vi: usize| {
+            b.configuration(
+                name,
+                [
+                    ("MatchedFilter", f[fi - 1]),
+                    ("Recovery", r[ri - 1]),
+                    ("Demodulator", m[mi - 1]),
+                    ("Decoder", d[di - 1]),
+                    ("Video", v[vi - 1]),
+                ],
+            )
+        };
 
     let b = match configs {
         VideoConfigSet::Original => {
@@ -205,25 +197,13 @@ pub fn cognitive_radio() -> Design {
         )
         .module(
             "Tx",
-            [
-                ("QpskTx", Resources::new(1200, 6, 32)),
-                ("OfdmTx", Resources::new(2600, 22, 88)),
-            ],
+            [("QpskTx", Resources::new(1200, 6, 32)), ("OfdmTx", Resources::new(2600, 22, 88))],
         )
         .module(
             "Rx",
-            [
-                ("QpskRx", Resources::new(1500, 8, 40)),
-                ("OfdmRx", Resources::new(3100, 26, 104)),
-            ],
+            [("QpskRx", Resources::new(1500, 8, 40)), ("OfdmRx", Resources::new(3100, 26, 104))],
         )
-        .module(
-            "Fec",
-            [
-                ("Conv", Resources::new(700, 2, 0)),
-                ("Ldpc", Resources::new(1900, 24, 8)),
-            ],
-        )
+        .module("Fec", [("Conv", Resources::new(700, 2, 0)), ("Ldpc", Resources::new(1900, 24, 8))])
         // Sensing configurations: the communication chain is absent.
         .configuration("sense-fast", [("Sensing", "EnergyDetect")])
         .configuration("sense-deep", [("Sensing", "Cyclostationary")])

@@ -159,7 +159,10 @@ impl Design {
     /// Fully-qualified display name of a mode, e.g. `"Decoder.Viterbi"`.
     pub fn mode_label(&self, mode: GlobalModeId) -> String {
         let (mi, ki) = self.mode_index[mode.idx()];
-        format!("{}.{}", self.modules[mi as usize].name, self.modules[mi as usize].modes[ki as usize].name)
+        format!(
+            "{}.{}",
+            self.modules[mi as usize].name, self.modules[mi as usize].modes[ki as usize].name
+        )
     }
 
     /// Global mode id for (module, mode-within-module).
@@ -192,9 +195,7 @@ impl Design {
             .selection
             .iter()
             .enumerate()
-            .filter_map(move |(mi, sel)| {
-                sel.map(|k| self.global_id(ModuleId(mi as u32), k))
-            })
+            .filter_map(move |(mi, sel)| sel.map(|k| self.global_id(ModuleId(mi as u32), k)))
     }
 
     /// Concurrent resource requirement of configuration `c` (sum over its
@@ -337,7 +338,8 @@ mod tests {
         // And it is tight: each component is achieved by some configuration.
         for kind in prpart_arch::ResourceKind::ALL {
             assert!(
-                (0..d.num_configurations()).any(|c| d.config_resources(c).get(kind) == min.get(kind)),
+                (0..d.num_configurations())
+                    .any(|c| d.config_resources(c).get(kind) == min.get(kind)),
                 "component {kind} not tight"
             );
         }

@@ -83,10 +83,9 @@ impl fmt::Display for DesignError {
             DesignError::DuplicateConfiguration(c) => {
                 write!(f, "duplicate configuration name '{c}'")
             }
-            DesignError::IdenticalConfigurations { first, second } => write!(
-                f,
-                "configurations '{first}' and '{second}' select identical mode sets"
-            ),
+            DesignError::IdenticalConfigurations { first, second } => {
+                write!(f, "configurations '{first}' and '{second}' select identical mode sets")
+            }
         }
     }
 }

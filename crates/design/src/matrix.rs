@@ -186,11 +186,7 @@ mod tests {
         ];
         for (c, row) in expect.iter().enumerate() {
             for (j, &bit) in row.iter().enumerate() {
-                assert_eq!(
-                    m.contains(c, GlobalModeId(j as u32)),
-                    bit == 1,
-                    "element ({c}, {j})"
-                );
+                assert_eq!(m.contains(c, GlobalModeId(j as u32)), bit == 1, "element ({c}, {j})");
             }
         }
     }

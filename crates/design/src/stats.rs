@@ -37,9 +37,8 @@ pub struct DesignStats {
 pub fn design_stats(design: &Design) -> DesignStats {
     let matrix = ConnectivityMatrix::from_design(design);
     let n = design.num_modes();
-    let used: Vec<bool> = (0..n)
-        .map(|m| matrix.node_weight(crate::design::GlobalModeId(m as u32)) > 0)
-        .collect();
+    let used: Vec<bool> =
+        (0..n).map(|m| matrix.node_weight(crate::design::GlobalModeId(m as u32)) > 0).collect();
     let used_modes = used.iter().filter(|&&u| u).count();
 
     // Maximum possible cross-module pairs among used modes.
@@ -55,11 +54,7 @@ pub fn design_stats(design: &Design) -> DesignStats {
     let cross_pairs = total_pairs - same_module_pairs;
 
     let edges = matrix.cooccurrence_graph().graph().num_edges();
-    let present: usize = design
-        .configurations()
-        .iter()
-        .map(|c| c.num_present())
-        .sum();
+    let present: usize = design.configurations().iter().map(|c| c.num_present()).sum();
 
     DesignStats {
         modules: design.modules().len(),

@@ -95,9 +95,8 @@ pub fn place_with_feedback(
             device.capacity.bram * scale / 100,
             device.capacity.dsp * scale / 100,
         );
-        let outcome = make_partitioner(budget)
-            .partition(design)
-            .map_err(FeedbackError::Partition)?;
+        let outcome =
+            make_partitioner(budget).partition(design).map_err(FeedbackError::Partition)?;
         let Some(evaluated) = outcome.best else {
             last_err = Some(FloorplanError::NoSpace { region: 0 });
             continue;
@@ -128,10 +127,7 @@ mod tests {
         let device = lib.by_name("LX30").unwrap();
         let planned = place_with_feedback(&d, device, Partitioner::new, 4).unwrap();
         assert!(!planned.floorplan.placements.is_empty());
-        planned
-            .floorplan
-            .check_non_overlapping()
-            .expect("placements must not overlap");
+        planned.floorplan.check_non_overlapping().expect("placements must not overlap");
     }
 
     #[test]
@@ -153,9 +149,6 @@ mod tests {
         let device = lib.by_name("SX70T").unwrap();
         let planned = place_with_feedback(&d, device, Partitioner::new, 4).unwrap();
         planned.floorplan.check_non_overlapping().unwrap();
-        assert_eq!(
-            planned.floorplan.placements.len(),
-            planned.evaluated.metrics.num_regions
-        );
+        assert_eq!(planned.floorplan.placements.len(), planned.evaluated.metrics.num_regions);
     }
 }

@@ -60,11 +60,7 @@ impl Floorplan {
 
     /// Fraction of the device's frames consumed by placed regions.
     pub fn utilisation(&self) -> f64 {
-        let used: u64 = self
-            .placements
-            .iter()
-            .map(|p| p.tiles(&self.geometry).frames())
-            .sum();
+        let used: u64 = self.placements.iter().map(|p| p.tiles(&self.geometry).frames()).sum();
         let total: u64 = self
             .geometry
             .columns()
@@ -184,9 +180,8 @@ impl Floorplanner {
         scheme: &Scheme,
         _static_overhead: Resources,
     ) -> Result<Floorplan, FloorplanError> {
-        let reqs: Vec<TileCounts> = (0..scheme.regions.len())
-            .map(|r| scheme.region_tiles(r))
-            .collect();
+        let reqs: Vec<TileCounts> =
+            (0..scheme.regions.len()).map(|r| scheme.region_tiles(r)).collect();
         self.place(&reqs)
     }
 
@@ -216,8 +211,11 @@ impl Floorplanner {
             if req.total_tiles() == 0 {
                 // Degenerate region (all-zero partition): a 1×1 CLB tile
                 // placeholder keeps it addressable.
-                let p = self
-                    .find_rect(&occupied, &TileCounts { clb_tiles: 1, ..TileCounts::ZERO }, ri)?;
+                let p = self.find_rect(
+                    &occupied,
+                    &TileCounts { clb_tiles: 1, ..TileCounts::ZERO },
+                    ri,
+                )?;
                 mark(&mut occupied, &p);
                 placements[ri] = Some(p);
                 continue;
@@ -268,20 +266,22 @@ impl Floorplanner {
                 let mut col_start = 0usize;
                 let mut col_end = 0usize;
                 let mut have = TileCounts::ZERO;
-                let add = |have: &mut TileCounts, col: usize, geometry: &DeviceGeometry| match geometry
-                    .column(col)
-                {
-                    BlockKind::Clb => have.clb_tiles += span,
-                    BlockKind::Bram => have.bram_tiles += span,
-                    BlockKind::Dsp => have.dsp_tiles += span,
-                };
-                let remove = |have: &mut TileCounts, col: usize, geometry: &DeviceGeometry| match geometry
-                    .column(col)
-                {
-                    BlockKind::Clb => have.clb_tiles -= span,
-                    BlockKind::Bram => have.bram_tiles -= span,
-                    BlockKind::Dsp => have.dsp_tiles -= span,
-                };
+                let add =
+                    |have: &mut TileCounts, col: usize, geometry: &DeviceGeometry| match geometry
+                        .column(col)
+                    {
+                        BlockKind::Clb => have.clb_tiles += span,
+                        BlockKind::Bram => have.bram_tiles += span,
+                        BlockKind::Dsp => have.dsp_tiles += span,
+                    };
+                let remove =
+                    |have: &mut TileCounts, col: usize, geometry: &DeviceGeometry| match geometry
+                        .column(col)
+                    {
+                        BlockKind::Clb => have.clb_tiles -= span,
+                        BlockKind::Bram => have.bram_tiles -= span,
+                        BlockKind::Dsp => have.dsp_tiles -= span,
+                    };
                 while col_start < cols {
                     // Grow until the requirement is met or we hit an
                     // occupied column / the right edge.
@@ -354,10 +354,7 @@ mod tests {
     fn small_geometry() -> DeviceGeometry {
         // 4 rows; pattern C C B C D C C B C C (8 CLB, 2 BRAM, 1 DSP cols).
         use BlockKind::*;
-        DeviceGeometry::new(
-            vec![Clb, Clb, Bram, Clb, Dsp, Clb, Clb, Bram, Clb, Clb],
-            4,
-        )
+        DeviceGeometry::new(vec![Clb, Clb, Bram, Clb, Dsp, Clb, Clb, Bram, Clb, Clb], 4)
     }
 
     #[test]
@@ -400,10 +397,7 @@ mod tests {
     fn oversized_region_is_rejected() {
         let fp = Floorplanner::new(small_geometry());
         let req = TileCounts { clb_tiles: 100, bram_tiles: 0, dsp_tiles: 0 };
-        assert_eq!(
-            fp.place(&[req]).unwrap_err(),
-            FloorplanError::RegionTooLarge { region: 0 }
-        );
+        assert_eq!(fp.place(&[req]).unwrap_err(), FloorplanError::RegionTooLarge { region: 0 });
     }
 
     #[test]
@@ -438,23 +432,16 @@ mod tests {
 
     #[test]
     fn obstacles_are_avoided() {
-        let fp = Floorplanner::new(small_geometry()).with_obstacles(vec![Obstacle {
-            cols: 0..4,
-            rows: 0..4,
-        }]);
+        let fp = Floorplanner::new(small_geometry())
+            .with_obstacles(vec![Obstacle { cols: 0..4, rows: 0..4 }]);
         let req = TileCounts { clb_tiles: 3, bram_tiles: 1, dsp_tiles: 0 };
         let plan = fp.place(&[req]).unwrap();
         let p = &plan.placements[0];
         assert!(p.cols.start >= 4, "placement {p:?} inside the obstacle");
         // A full-device obstacle leaves no space at all.
-        let blocked = Floorplanner::new(small_geometry()).with_obstacles(vec![Obstacle {
-            cols: 0..10,
-            rows: 0..4,
-        }]);
-        assert!(matches!(
-            blocked.place(&[req]).unwrap_err(),
-            FloorplanError::NoSpace { .. }
-        ));
+        let blocked = Floorplanner::new(small_geometry())
+            .with_obstacles(vec![Obstacle { cols: 0..10, rows: 0..4 }]);
+        assert!(matches!(blocked.place(&[req]).unwrap_err(), FloorplanError::NoSpace { .. }));
     }
 
     #[test]
@@ -480,25 +467,21 @@ mod tests {
 
     mod properties {
         use super::*;
-        use prpart_arch::BlockKind;
         use proptest::prelude::*;
+        use prpart_arch::BlockKind;
 
         fn arb_geometry() -> impl Strategy<Value = DeviceGeometry> {
-            (
-                proptest::collection::vec(0u8..3, 4..20),
-                2u32..6,
-            )
-                .prop_map(|(kinds, rows)| {
-                    let cols: Vec<BlockKind> = kinds
-                        .into_iter()
-                        .map(|k| match k {
-                            0 => BlockKind::Clb,
-                            1 => BlockKind::Bram,
-                            _ => BlockKind::Dsp,
-                        })
-                        .collect();
-                    DeviceGeometry::new(cols, rows)
-                })
+            (proptest::collection::vec(0u8..3, 4..20), 2u32..6).prop_map(|(kinds, rows)| {
+                let cols: Vec<BlockKind> = kinds
+                    .into_iter()
+                    .map(|k| match k {
+                        0 => BlockKind::Clb,
+                        1 => BlockKind::Bram,
+                        _ => BlockKind::Dsp,
+                    })
+                    .collect();
+                DeviceGeometry::new(cols, rows)
+            })
         }
 
         proptest! {

@@ -78,11 +78,8 @@ pub fn generate_partial_placed(
     region: usize,
     partition: usize,
 ) -> PartialBitstream {
-    let placement = floorplan
-        .placements
-        .iter()
-        .find(|p| p.region == region)
-        .expect("region is placed");
+    let placement =
+        floorplan.placements.iter().find(|p| p.region == region).expect("region is placed");
     let far = prpart_arch::frames_for_rect(
         &floorplan.geometry,
         placement.cols.clone(),
@@ -94,7 +91,12 @@ pub fn generate_partial_placed(
     generate_with_far(scheme, region, partition, far)
 }
 
-fn generate_with_far(scheme: &Scheme, region: usize, partition: usize, far: u32) -> PartialBitstream {
+fn generate_with_far(
+    scheme: &Scheme,
+    region: usize,
+    partition: usize,
+    far: u32,
+) -> PartialBitstream {
     let frames = scheme.region_frames(region);
     let words = frames * WORDS_PER_FRAME as u64;
     let mut buf = BytesMut::with_capacity((words as usize + 8) * 4);
@@ -176,7 +178,10 @@ pub fn verify(bs: &PartialBitstream) -> Result<(), String> {
     }
     let words = word(5) as u64;
     if words != bs.frames * WORDS_PER_FRAME as u64 {
-        return Err(format!("length mismatch: header {words} words, expected from {} frames", bs.frames));
+        return Err(format!(
+            "length mismatch: header {words} words, expected from {} frames",
+            bs.frames
+        ));
     }
     let payload_start = 24;
     let payload_end = d.len() - 4;
@@ -218,10 +223,7 @@ mod tests {
         let bs = generate_partial(&s, 0, s.regions[0].partitions[0]);
         assert_eq!(bs.frames, s.region_frames(0));
         // Framing: 6 header words + payload + CRC word.
-        assert_eq!(
-            bs.data.len() as u64,
-            24 + bs.frames * BYTES_PER_FRAME as u64 + 4
-        );
+        assert_eq!(bs.data.len() as u64, 24 + bs.frames * BYTES_PER_FRAME as u64 + 4);
         assert_eq!(bs.payload_bytes(), bs.frames * 164);
     }
 
@@ -244,10 +246,7 @@ mod tests {
         let mut bad = bs.data.to_vec();
         let mid = bad.len() / 2;
         bad[mid] ^= 0xFF;
-        let corrupted = PartialBitstream {
-            data: Bytes::from(bad),
-            ..bs.clone()
-        };
+        let corrupted = PartialBitstream { data: Bytes::from(bad), ..bs.clone() };
         let err = verify(&corrupted).unwrap_err();
         assert!(err.contains("CRC"), "{err}");
         // Break the sync word.
@@ -282,11 +281,7 @@ mod tests {
         for bs in &placed {
             verify(bs).unwrap();
             let far = prpart_arch::FrameAddress::unpack(far_of(bs));
-            let placement = plan
-                .placements
-                .iter()
-                .find(|p| p.region == bs.region)
-                .unwrap();
+            let placement = plan.placements.iter().find(|p| p.region == bs.region).unwrap();
             assert_eq!(far.major as usize, placement.cols.start);
             assert_eq!(far.row, placement.rows.start);
             assert_eq!(far.minor, 0, "streams start at the first minor frame");
@@ -296,7 +291,12 @@ mod tests {
             .placements
             .iter()
             .map(|p| {
-                far_of(&generate_partial_placed(&s, &plan, p.region, s.regions[p.region].partitions[0]))
+                far_of(&generate_partial_placed(
+                    &s,
+                    &plan,
+                    p.region,
+                    s.regions[p.region].partitions[0],
+                ))
             })
             .collect();
         fars.sort_unstable();
@@ -308,10 +308,7 @@ mod tests {
     fn full_bitstream_has_sync() {
         let (_, s) = case_study_scheme();
         let full = generate_full(&s, 100);
-        assert_eq!(
-            u32::from_be_bytes([full[4], full[5], full[6], full[7]]),
-            SYNC_WORD
-        );
+        assert_eq!(u32::from_be_bytes([full[4], full[5], full[6], full[7]]), SYNC_WORD);
         assert!(full.len() > 100 * 164);
     }
 }

@@ -36,10 +36,7 @@ impl RegionNetlist {
     /// The largest variant per resource kind — what the region must be
     /// sized for (Eq. 2).
     pub fn envelope(&self) -> Resources {
-        self.variants
-            .iter()
-            .map(|v| v.resources)
-            .fold(Resources::ZERO, Resources::max)
+        self.variants.iter().map(|v| v.resources).fold(Resources::ZERO, Resources::max)
     }
 }
 
@@ -101,9 +98,8 @@ mod tests {
     #[test]
     fn variant_labels_are_readable() {
         let d = corpus::abc_example();
-        let out = Partitioner::new(prpart_arch::Resources::new(1100, 20, 24))
-            .partition(&d)
-            .unwrap();
+        let out =
+            Partitioner::new(prpart_arch::Resources::new(1100, 20, 24)).partition(&d).unwrap();
         let s = out.best.unwrap().scheme;
         let nets = build_netlists(&d, &s);
         let any_label = &nets[0].variants[0].label;

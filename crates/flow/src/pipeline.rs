@@ -142,13 +142,8 @@ mod tests {
         // Consistency across artefacts.
         let nregions = artifacts.evaluated.metrics.num_regions;
         assert_eq!(artifacts.floorplan.placements.len(), nregions);
-        let nvariants: usize = artifacts
-            .evaluated
-            .scheme
-            .regions
-            .iter()
-            .map(|r| r.partitions.len())
-            .sum();
+        let nvariants: usize =
+            artifacts.evaluated.scheme.regions.iter().map(|r| r.partitions.len()).sum();
         assert_eq!(artifacts.wrappers.len(), nvariants);
         assert_eq!(artifacts.partial_bitstreams.len(), nvariants);
         assert_eq!(artifacts.netlists.len(), nregions);

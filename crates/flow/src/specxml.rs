@@ -45,9 +45,8 @@ pub fn design_from_spec_xml(root: &Element) -> Result<Design, SchemaError> {
         return schema_err(format!("expected <design-spec>, found <{}>", root.name));
     }
     let name = root.attr("name").unwrap_or("unnamed");
-    let estimator = SynthesisEstimator {
-        overhead_percent: attr_u32(root, "overhead-percent", 10)?,
-    };
+    let estimator =
+        SynthesisEstimator { overhead_percent: attr_u32(root, "overhead-percent", 10)? };
     let static_overhead = match root.child("static") {
         Some(st) => Resources::new(
             attr_u32(st, "clb", 0)?,
@@ -80,10 +79,7 @@ pub fn design_from_spec_xml(root: &Element) -> Result<Design, SchemaError> {
         .ok_or_else(|| SchemaError::Schema("missing <configurations>".into()))?;
     let mut configurations: Vec<(String, Vec<(String, String)>)> = Vec::new();
     for (ci, conf) in confs.children_named("configuration").enumerate() {
-        let cname = conf
-            .attr("name")
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("c{ci}"));
+        let cname = conf.attr("name").map(str::to_string).unwrap_or_else(|| format!("c{ci}"));
         let mut picks = Vec::new();
         for u in conf.children_named("use") {
             picks.push((
@@ -154,11 +150,8 @@ mod tests {
     fn spec_designs_partition_end_to_end() {
         let d = parse_design_or_spec(SPEC).unwrap();
         let budget = Resources::new(1600, 24, 32);
-        let best = prpart_core::Partitioner::new(budget)
-            .partition(&d)
-            .unwrap()
-            .best
-            .expect("feasible");
+        let best =
+            prpart_core::Partitioner::new(budget).partition(&d).unwrap().best.expect("feasible");
         best.scheme.validate(&d).unwrap();
     }
 
@@ -172,7 +165,8 @@ mod tests {
 
     #[test]
     fn spec_errors_are_positioned_and_typed() {
-        let bad = "<design-spec><module name='A'><mode name='a' luts='many'/></module></design-spec>";
+        let bad =
+            "<design-spec><module name='A'><mode name='a' luts='many'/></module></design-spec>";
         let err = parse_design_or_spec(bad).unwrap_err();
         assert!(err.to_string().contains("not a number"), "{err}");
         let no_modes = "<design-spec><module name='A'/><configurations/></design-spec>";

@@ -34,13 +34,7 @@ pub struct ModeSpec {
 impl ModeSpec {
     /// Convenience constructor.
     pub fn new(name: &str, luts: u32, registers: u32, multipliers: u32, memory_kbits: u32) -> Self {
-        ModeSpec {
-            name: name.to_string(),
-            luts,
-            registers,
-            multipliers,
-            memory_kbits,
-        }
+        ModeSpec { name: name.to_string(), luts, registers, multipliers, memory_kbits }
     }
 }
 
@@ -78,11 +72,7 @@ impl SynthesisEstimator {
         let cells = spec.luts.max(spec.registers);
         let clb_raw = cells.div_ceil(LUTS_PER_CLB);
         let clb = clb_raw + clb_raw * self.overhead_percent / 100;
-        Resources::new(
-            clb,
-            spec.memory_kbits.div_ceil(KBITS_PER_BRAM),
-            spec.multipliers,
-        )
+        Resources::new(clb, spec.memory_kbits.div_ceil(KBITS_PER_BRAM), spec.multipliers)
     }
 
     /// "Synthesises" a whole design from module specs plus configurations
@@ -98,11 +88,8 @@ impl SynthesisEstimator {
     ) -> Result<Design, DesignError> {
         let mut b = DesignBuilder::new(name).static_overhead(static_overhead);
         for m in modules {
-            let modes: Vec<(&str, Resources)> = m
-                .modes
-                .iter()
-                .map(|k| (k.name.as_str(), self.estimate(k)))
-                .collect();
+            let modes: Vec<(&str, Resources)> =
+                m.modes.iter().map(|k| (k.name.as_str(), self.estimate(k))).collect();
             b = b.module(&m.name, modes);
         }
         for (cname, picks) in configurations {
@@ -166,12 +153,17 @@ mod tests {
             },
         ];
         let configs = vec![
-            ("day".to_string(), vec![("Filter".into(), "low".into()), ("Codec".into(), "fast".into())]),
-            ("night".to_string(), vec![("Filter".into(), "high".into()), ("Codec".into(), "robust".into())]),
+            (
+                "day".to_string(),
+                vec![("Filter".into(), "low".into()), ("Codec".into(), "fast".into())],
+            ),
+            (
+                "night".to_string(),
+                vec![("Filter".into(), "high".into()), ("Codec".into(), "robust".into())],
+            ),
         ];
-        let d = est
-            .synthesise_design("radio", &modules, &configs, Resources::new(90, 8, 0))
-            .unwrap();
+        let d =
+            est.synthesise_design("radio", &modules, &configs, Resources::new(90, 8, 0)).unwrap();
         assert_eq!(d.num_modes(), 4);
         assert_eq!(d.num_configurations(), 2);
         // high mode: ceil(900/8)=113 +10% = 124 CLBs, 1 BRAM, 16 DSPs.

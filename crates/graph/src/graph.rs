@@ -166,11 +166,8 @@ impl WeightedGraph {
     /// weight; ties broken by `(u, v)` ascending for determinism. This is
     /// the insertion order of the paper's agglomerative loop.
     pub fn edges_by_weight_desc(&self) -> Vec<(usize, usize, u64)> {
-        let mut edges: Vec<(usize, usize, u64)> = self
-            .graph
-            .edges()
-            .map(|(u, v)| (u, v, self.weight(u, v)))
-            .collect();
+        let mut edges: Vec<(usize, usize, u64)> =
+            self.graph.edges().map(|(u, v)| (u, v, self.weight(u, v))).collect();
         edges.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
         edges
     }

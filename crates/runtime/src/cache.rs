@@ -136,6 +136,21 @@ impl BitstreamCache {
         self.order.push(key);
         self.used_bytes += bytes;
     }
+
+    /// Drops every cached bitstream of `region` (all partitions) and
+    /// returns how many entries were removed. Used when a region is
+    /// blacklisted in degraded mode: its bitstreams must never be
+    /// served again, and the space is better spent on healthy regions.
+    pub fn invalidate_region(&mut self, region: usize) -> usize {
+        let victims: Vec<(usize, usize)> =
+            self.entries.keys().copied().filter(|&(r, _)| r == region).collect();
+        for key in &victims {
+            let sz = self.entries.remove(key).expect("key just listed");
+            self.used_bytes -= sz;
+        }
+        self.order.retain(|&(r, _)| r != region);
+        victims.len()
+    }
 }
 
 /// Online first-order Markov predictor over configuration switches.
@@ -190,6 +205,9 @@ pub struct CachingManager {
     predictor: MarkovPredictor,
     states: Vec<Vec<Option<usize>>>,
     contents: Vec<Option<usize>>,
+    /// Regions blacklisted by degraded mode: never fetched, cached, or
+    /// prefetched.
+    blacklist: Vec<bool>,
     current: Option<usize>,
     stats: CachingStats,
 }
@@ -205,6 +223,7 @@ impl CachingManager {
         let states: Vec<Vec<Option<usize>>> =
             (0..scheme.regions.len()).map(|r| scheme.region_states(r)).collect();
         let contents = vec![None; scheme.regions.len()];
+        let blacklist = vec![false; scheme.regions.len()];
         let n = scheme.num_configurations;
         CachingManager {
             scheme,
@@ -214,9 +233,25 @@ impl CachingManager {
             predictor: MarkovPredictor::new(n),
             states,
             contents,
+            blacklist,
             current: None,
             stats: CachingStats::default(),
         }
+    }
+
+    /// Marks `region` as blacklisted (degraded mode): its cached
+    /// bitstreams are evicted immediately and neither demand loads nor
+    /// the prefetcher will ever touch it again. Returns how many cache
+    /// entries were invalidated.
+    pub fn blacklist_region(&mut self, region: usize) -> usize {
+        self.blacklist[region] = true;
+        self.contents[region] = None;
+        self.cache.invalidate_region(region)
+    }
+
+    /// Regions currently blacklisted, in index order.
+    pub fn blacklisted(&self) -> Vec<usize> {
+        (0..self.blacklist.len()).filter(|&r| self.blacklist[r]).collect()
     }
 
     /// The cache (for statistics).
@@ -234,8 +269,11 @@ impl CachingManager {
     }
 
     /// Loads needed for switching to `to`: (region, partition) pairs.
+    /// Blacklisted regions are excluded — this covers both demand loads
+    /// and the prefetcher, so degraded regions are never served.
     fn loads_for(&self, to: usize) -> Vec<(usize, usize)> {
         (0..self.scheme.regions.len())
+            .filter(|&r| !self.blacklist[r])
             .filter_map(|r| match self.states[r][to] {
                 Some(p) if self.contents[r] != Some(p) => Some((r, p)),
                 _ => None,
@@ -301,12 +339,7 @@ mod tests {
 
     fn scheme() -> Scheme {
         let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
-        Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
-            .partition(&d)
-            .unwrap()
-            .best
-            .unwrap()
-            .scheme
+        Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap().best.unwrap().scheme
     }
 
     #[test]
@@ -350,7 +383,15 @@ mod tests {
         let weights: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 (0..n)
-                    .map(|j| if i == j { 0.0 } else if (i, j) == (0, 3) || (i, j) == (3, 0) { 100.0 } else { 0.5 })
+                    .map(|j| {
+                        if i == j {
+                            0.0
+                        } else if (i, j) == (0, 3) || (i, j) == (3, 0) {
+                            100.0
+                        } else {
+                            0.5
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -369,12 +410,8 @@ mod tests {
         assert!(hits > misses * 3, "hit rate too low: {hits} hits / {misses} misses");
 
         // Tiny cache: everything misses.
-        let mut uncached = CachingManager::new(
-            s.clone(),
-            IcapController::default(),
-            MemoryModel::flash(),
-            1,
-        );
+        let mut uncached =
+            CachingManager::new(s.clone(), IcapController::default(), MemoryModel::flash(), 1);
         let t_uncached = uncached.run_walk(&walk, true);
         assert!(
             t_cached < t_uncached,
@@ -388,12 +425,8 @@ mod tests {
         // each): demand loads evict the other one, so only the
         // prefetcher can make the return switch hit.
         let s = scheme();
-        let mut m = CachingManager::new(
-            s,
-            IcapController::default(),
-            MemoryModel::ddr(),
-            2 * 1024 * 1024,
-        );
+        let mut m =
+            CachingManager::new(s, IcapController::default(), MemoryModel::ddr(), 2 * 1024 * 1024);
         // Teach the predictor 0 -> 2 -> 0 -> 2 ... (configs c1 and c3
         // differ exactly in the video decoder: V1 vs V3, ~1.5 MB each).
         for &c in &[0usize, 2, 0, 2, 0] {
@@ -415,11 +448,9 @@ mod tests {
         // equals the plain manager's for the same walk.
         let s = scheme();
         let walk: Vec<usize> = vec![0, 1, 2, 3, 4, 5, 6, 7, 0, 4, 2];
-        let mut plain = crate::manager::ConfigurationManager::new(
-            s.clone(),
-            IcapController::default(),
-        );
-        let (_, t_plain) = plain.run_walk(&walk, false);
+        let mut plain =
+            crate::manager::ConfigurationManager::new(s.clone(), IcapController::default());
+        let (_, t_plain) = plain.run_walk(&walk, false).unwrap();
         let mut caching = CachingManager::new(
             s,
             IcapController::default(),
@@ -428,5 +459,59 @@ mod tests {
         );
         caching.run_walk(&walk, false);
         assert_eq!(caching.stats().icap_time, t_plain);
+    }
+
+    #[test]
+    fn invalidate_region_drops_all_its_partitions() {
+        let mut c = BitstreamCache::new(100);
+        c.insert((0, 0), 20);
+        c.insert((0, 1), 20);
+        c.insert((1, 0), 20);
+        assert_eq!(c.used(), 60);
+        assert_eq!(c.invalidate_region(0), 2);
+        assert!(!c.contains((0, 0)));
+        assert!(!c.contains((0, 1)));
+        assert!(c.contains((1, 0)));
+        assert_eq!(c.used(), 20);
+        // The freed space is usable again and LRU order stays coherent.
+        c.insert((2, 0), 80);
+        assert!(c.contains((1, 0)));
+        assert!(c.contains((2, 0)));
+        assert_eq!(c.invalidate_region(7), 0, "unknown region is a no-op");
+    }
+
+    #[test]
+    fn blacklisted_region_is_never_cached_or_prefetched() {
+        let s = scheme();
+        let mut m = CachingManager::new(
+            s.clone(),
+            IcapController::default(),
+            MemoryModel::ddr(),
+            64 * 1024 * 1024,
+        );
+        // Warm the cache and the predictor on an oscillating workload.
+        for &c in &[0usize, 2, 0, 2, 0] {
+            m.transition(c);
+        }
+        // Blacklist a region that configuration 2 needs.
+        let region = (0..s.regions.len())
+            .find(|&r| s.region_states(r)[2].is_some() && s.region_frames(r) > 0)
+            .expect("config 2 needs a region");
+        m.blacklist_region(region);
+        assert_eq!(m.blacklisted(), vec![region]);
+        // Every partition the region can ever hold must be gone.
+        let partitions: Vec<usize> = s.region_states(region).into_iter().flatten().collect();
+        assert!(
+            !partitions.iter().any(|&p| m.cache().contains((region, p))),
+            "blacklisting must evict every cached bitstream of the region"
+        );
+        // Further transitions and prefetches never repopulate it.
+        for &c in &[2usize, 0, 2, 0, 2] {
+            m.transition(c);
+        }
+        assert!(
+            !partitions.iter().any(|&p| m.cache().contains((region, p))),
+            "prefetcher served a degraded region"
+        );
     }
 }

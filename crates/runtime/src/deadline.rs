@@ -6,9 +6,15 @@
 //! wrapper that checks every executed transition against a deadline and
 //! records violations — the measurable counterpart of designing with
 //! `Objective::WorstCase`.
+//!
+//! Under fault injection each violation also records how much of the
+//! transition time was recovery overhead, so misses can be attributed:
+//! a violation whose clean time fits the deadline was *caused* by
+//! retries ([`DeadlineMonitor::recovery_attributed_violations`]).
 
+use crate::error::RuntimeError;
 use crate::icap::IcapController;
-use crate::manager::ConfigurationManager;
+use crate::manager::{ConfigurationManager, RecoveryPolicy};
 use prpart_arch::IcapModel;
 use prpart_core::Scheme;
 use std::time::Duration;
@@ -24,6 +30,17 @@ pub struct Violation {
     pub took: Duration,
     /// The deadline that was missed.
     pub deadline: Duration,
+    /// The portion of `took` spent recovering from injected faults.
+    pub recovery_time: Duration,
+}
+
+impl Violation {
+    /// True when the transition would have met the deadline without its
+    /// recovery overhead: the miss is attributable to fault recovery,
+    /// not to the scheme's design.
+    pub fn attributed_to_recovery(&self) -> bool {
+        self.recovery_time > Duration::ZERO && self.took - self.recovery_time <= self.deadline
+    }
 }
 
 /// A configuration manager with a per-transition deadline.
@@ -38,8 +55,19 @@ pub struct DeadlineMonitor {
 impl DeadlineMonitor {
     /// Wraps a scheme with a per-transition reconfiguration deadline.
     pub fn new(scheme: Scheme, icap: IcapController, deadline: Duration) -> Self {
+        DeadlineMonitor::with_policy(scheme, icap, deadline, RecoveryPolicy::default())
+    }
+
+    /// Like [`new`](DeadlineMonitor::new) with an explicit recovery
+    /// policy for the underlying manager.
+    pub fn with_policy(
+        scheme: Scheme,
+        icap: IcapController,
+        deadline: Duration,
+        policy: RecoveryPolicy,
+    ) -> Self {
         DeadlineMonitor {
-            manager: ConfigurationManager::new(scheme, icap),
+            manager: ConfigurationManager::with_policy(scheme, icap, policy),
             deadline,
             violations: Vec::new(),
             transitions: 0,
@@ -61,6 +89,11 @@ impl DeadlineMonitor {
         &self.violations
     }
 
+    /// The wrapped manager (telemetry, degraded-mode state).
+    pub fn manager(&self) -> &ConfigurationManager {
+        &self.manager
+    }
+
     /// Violation rate over executed transitions.
     pub fn violation_rate(&self) -> f64 {
         if self.transitions == 0 {
@@ -70,30 +103,53 @@ impl DeadlineMonitor {
         }
     }
 
+    /// Violations that only missed the deadline because of fault
+    /// recovery overhead (retries, backoff, stalls, scrubs).
+    pub fn recovery_attributed_violations(&self) -> usize {
+        self.violations.iter().filter(|v| v.attributed_to_recovery()).count()
+    }
+
     /// Switches configuration, checking the deadline. Returns the
-    /// transition time and whether the deadline held.
-    pub fn transition(&mut self, to: usize) -> (Duration, bool) {
+    /// transition time and whether the deadline held, or the manager's
+    /// typed error when the transition failed outright (a failed
+    /// transition is counted but has no deadline verdict).
+    pub fn transition(&mut self, to: usize) -> Result<(Duration, bool), RuntimeError> {
         let from = self.manager.current();
-        let rec = self.manager.transition(to);
+        let rec = match self.manager.transition(to) {
+            Ok(rec) => rec,
+            Err(e) => {
+                self.transitions += 1;
+                return Err(e);
+            }
+        };
         let took = rec.time;
+        let recovery_time = rec.recovery_time;
         self.transitions += 1;
         let ok = took <= self.deadline;
         if !ok {
-            self.violations.push(Violation { from, to, took, deadline: self.deadline });
+            self.violations.push(Violation {
+                from,
+                to,
+                took,
+                deadline: self.deadline,
+                recovery_time,
+            });
         }
-        (took, ok)
+        Ok((took, ok))
     }
 
     /// Runs a walk (the first transition is the initial full load and is
-    /// exempt from the deadline, as on real systems).
-    pub fn run_walk(&mut self, walk: &[usize]) {
+    /// exempt from the deadline, as on real systems). Stops at the first
+    /// failed transition.
+    pub fn run_walk(&mut self, walk: &[usize]) -> Result<(), RuntimeError> {
         if walk.is_empty() {
-            return;
+            return Ok(());
         }
-        self.manager.transition(walk[0]);
+        self.manager.transition(walk[0])?;
         for &c in &walk[1..] {
-            self.transition(c);
+            self.transition(c)?;
         }
+        Ok(())
     }
 }
 
@@ -104,15 +160,14 @@ impl DeadlineMonitor {
 /// history; Eq. 11's frame-count worst case is the tile-model view of
 /// the same quantity.
 pub fn worst_transition_time(scheme: &Scheme, icap: &IcapModel) -> Duration {
-    (0..scheme.regions.len())
-        .map(|r| icap.time_for_frames(scheme.region_frames(r)))
-        .sum()
+    (0..scheme.regions.len()).map(|r| icap.time_for_frames(scheme.region_frames(r))).sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::env::{generate_walk, UniformEnv};
+    use crate::fault::FaultModel;
     use prpart_core::{Objective, Partitioner};
     use prpart_design::corpus;
 
@@ -135,32 +190,28 @@ mod tests {
         let (scheme, _) = schemes();
         // An impossible deadline: everything after the initial load
         // violates (self-transitions aside).
-        let mut m = DeadlineMonitor::new(
-            scheme,
-            IcapController::default(),
-            Duration::from_nanos(1),
-        );
+        let mut m =
+            DeadlineMonitor::new(scheme, IcapController::default(), Duration::from_nanos(1));
         let mut env = UniformEnv::new(8, 1);
         let walk = generate_walk(&mut env, 0, 50);
-        m.run_walk(&walk);
+        m.run_walk(&walk).unwrap();
         assert!(m.violation_rate() > 0.9);
         let v = &m.violations()[0];
         assert!(v.took > v.deadline);
         assert_eq!(v.deadline, Duration::from_nanos(1));
+        assert_eq!(v.recovery_time, Duration::ZERO, "no faults injected");
+        assert!(!v.attributed_to_recovery());
+        assert_eq!(m.recovery_attributed_violations(), 0);
     }
 
     #[test]
     fn generous_deadline_never_violates() {
         let (scheme, _) = schemes();
         let bound = worst_transition_time(&scheme, &IcapModel::virtex5());
-        let mut m = DeadlineMonitor::new(
-            scheme,
-            IcapController::default(),
-            bound,
-        );
+        let mut m = DeadlineMonitor::new(scheme, IcapController::default(), bound);
         let mut env = UniformEnv::new(8, 2);
         let walk = generate_walk(&mut env, 0, 200);
-        m.run_walk(&walk);
+        m.run_walk(&walk).unwrap();
         assert_eq!(m.violations().len(), 0, "bound {bound:?} must hold");
         assert!(m.transitions() >= 200);
     }
@@ -177,14 +228,42 @@ mod tests {
         let mut env = UniformEnv::new(8, 3);
         let walk = generate_walk(&mut env, 0, 500);
 
-        let mut worst_mon =
-            DeadlineMonitor::new(by_worst, IcapController::default(), deadline);
-        worst_mon.run_walk(&walk);
+        let mut worst_mon = DeadlineMonitor::new(by_worst, IcapController::default(), deadline);
+        worst_mon.run_walk(&walk).unwrap();
         assert_eq!(worst_mon.violations().len(), 0);
 
-        let mut total_mon =
-            DeadlineMonitor::new(by_total, IcapController::default(), deadline);
-        total_mon.run_walk(&walk);
+        let mut total_mon = DeadlineMonitor::new(by_total, IcapController::default(), deadline);
+        total_mon.run_walk(&walk).unwrap();
         assert!(worst_mon.violation_rate() <= total_mon.violation_rate());
+    }
+
+    #[test]
+    fn retry_caused_misses_are_attributed_to_recovery() {
+        // Deadline = the scheme's fault-free worst case: without faults
+        // it never violates; under heavy injection every violation is by
+        // construction caused by recovery overhead.
+        let (scheme, _) = schemes();
+        let icap_model = IcapModel::virtex5();
+        let deadline = worst_transition_time(&scheme, &icap_model);
+        let policy = RecoveryPolicy { max_retries: 10, ..RecoveryPolicy::default() };
+        let mut m = DeadlineMonitor::with_policy(
+            scheme,
+            IcapController::with_faults(icap_model, FaultModel::seeded(0.4, 5)),
+            deadline,
+            policy,
+        );
+        let mut env = UniformEnv::new(8, 4);
+        let walk = generate_walk(&mut env, 0, 500);
+        m.run_walk(&walk).expect("generous retries always recover at rate 0.4");
+        assert!(
+            !m.violations().is_empty(),
+            "rate 0.4 over 500 transitions must push some past the clean worst case"
+        );
+        for v in m.violations() {
+            assert!(v.recovery_time > Duration::ZERO);
+            assert!(v.attributed_to_recovery(), "{v:?}");
+        }
+        assert_eq!(m.recovery_attributed_violations(), m.violations().len());
+        assert!(m.manager().telemetry().faults > 0);
     }
 }

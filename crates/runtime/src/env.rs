@@ -69,10 +69,7 @@ impl MarkovEnv {
         let n = weights.len();
         for (i, row) in weights.iter().enumerate() {
             assert_eq!(row.len(), n, "row {i} has wrong length");
-            assert!(
-                row.iter().any(|&w| w > 0.0),
-                "row {i} has no positive weight"
-            );
+            assert!(row.iter().any(|&w| w > 0.0), "row {i} has no positive weight");
             assert!(row.iter().all(|&w| w >= 0.0), "negative weight in row {i}");
         }
         MarkovEnv { weights, rng: StdRng::seed_from_u64(seed) }
@@ -115,10 +112,7 @@ impl CognitiveRadioEnv {
     /// than the number of configurations).
     pub fn new(thresholds: Vec<f64>, seed: u64) -> Self {
         assert!(!thresholds.is_empty(), "need at least one threshold");
-        assert!(
-            thresholds.windows(2).all(|w| w[0] < w[1]),
-            "thresholds must ascend"
-        );
+        assert!(thresholds.windows(2).all(|w| w[0] < w[1]), "thresholds must ascend");
         let mid = (thresholds[0] + thresholds[thresholds.len() - 1]) / 2.0;
         CognitiveRadioEnv {
             snr_db: mid,
@@ -152,11 +146,7 @@ impl Environment for CognitiveRadioEnv {
 /// `start`, consecutive duplicates removed (a re-selected configuration
 /// causes no reconfiguration anyway, but compacting keeps walk lengths
 /// meaningful).
-pub fn generate_walk(
-    env: &mut dyn Environment,
-    start: usize,
-    len: usize,
-) -> Vec<usize> {
+pub fn generate_walk(env: &mut dyn Environment, start: usize, len: usize) -> Vec<usize> {
     let mut walk = Vec::with_capacity(len + 1);
     walk.push(start);
     let mut current = start;
@@ -201,14 +191,8 @@ mod tests {
     #[test]
     fn markov_follows_weights() {
         // Deterministic chain 0 → 1 → 2 → 0.
-        let mut env = MarkovEnv::new(
-            vec![
-                vec![0.0, 1.0, 0.0],
-                vec![0.0, 0.0, 1.0],
-                vec![1.0, 0.0, 0.0],
-            ],
-            7,
-        );
+        let mut env =
+            MarkovEnv::new(vec![vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0], vec![1.0, 0.0, 0.0]], 7);
         assert_eq!(env.next(0), 1);
         assert_eq!(env.next(1), 2);
         assert_eq!(env.next(2), 0);

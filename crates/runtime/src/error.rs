@@ -1,0 +1,81 @@
+//! Typed runtime errors.
+//!
+//! The runtime simulator fails loudly and typed, never with a panic:
+//! every way a reconfiguration can go wrong in the field maps to a
+//! [`RuntimeError`] variant callers can match on.
+
+use std::time::Duration;
+
+/// A failure of the reconfiguration runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The requested configuration index does not exist in the scheme.
+    ConfigurationOutOfRange {
+        /// The index that was requested.
+        requested: usize,
+        /// How many configurations the scheme has.
+        num_configurations: usize,
+    },
+    /// A region's reconfiguration kept failing after every recovery
+    /// step the policy allows (retries, backoff, scrub).
+    RegionFault {
+        /// The configuration being switched to.
+        config: usize,
+        /// The region whose load could not be completed.
+        region: usize,
+        /// Load attempts made (initial try plus retries).
+        attempts: u32,
+        /// Simulated time consumed by the failed recovery.
+        elapsed: Duration,
+    },
+    /// The requested configuration needs a region that has been
+    /// blacklisted in degraded mode.
+    RegionBlacklisted {
+        /// The configuration that was requested.
+        config: usize,
+        /// The blacklisted region it needs.
+        region: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::ConfigurationOutOfRange { requested, num_configurations } => write!(
+                f,
+                "configuration {requested} out of range (scheme has {num_configurations} configurations)"
+            ),
+            RuntimeError::RegionFault { config, region, attempts, elapsed } => write!(
+                f,
+                "region {region} failed reconfiguration to configuration {config} after {attempts} attempts ({elapsed:?} lost)"
+            ),
+            RuntimeError::RegionBlacklisted { config, region } => write!(
+                f,
+                "configuration {config} unavailable in degraded mode: needs blacklisted region {region}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = RuntimeError::ConfigurationOutOfRange { requested: 9, num_configurations: 4 };
+        assert!(e.to_string().contains("out of range"));
+        assert!(e.to_string().contains('9'));
+        let e = RuntimeError::RegionFault {
+            config: 1,
+            region: 2,
+            attempts: 4,
+            elapsed: Duration::from_micros(3),
+        };
+        assert!(e.to_string().contains("region 2"));
+        let e = RuntimeError::RegionBlacklisted { config: 5, region: 0 };
+        assert!(e.to_string().contains("degraded"));
+    }
+}

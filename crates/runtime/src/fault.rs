@@ -1,0 +1,249 @@
+//! Deterministic fault injection for the runtime simulator.
+//!
+//! Real PR deployments are not the ideal ICAP the paper's cost model
+//! assumes: partial bitstreams fail CRC checks, configuration memory is
+//! corrupted by single-event upsets, and the port occasionally stalls
+//! behind other bus traffic. This module models those failure modes as a
+//! *seeded, deterministic* [`FaultModel`] the [`crate::IcapController`]
+//! consults on every load attempt, so fault campaigns are exactly
+//! reproducible: the same seed and the same call sequence inject the
+//! same faults.
+//!
+//! Three fault classes are modelled:
+//!
+//! * **CRC/readback verification failures** ([`FaultKind::Crc`]) — the
+//!   load is rejected after burning the full transfer time and must be
+//!   retried (or scrubbed; see [`crate::RecoveryPolicy`]).
+//! * **Transient port stalls** ([`FaultKind::Stall`]) — the load
+//!   succeeds but takes a configurable extra latency.
+//! * **Persistent per-region faults** — an SEU-corrupted region fails
+//!   every load until it is scrubbed ([`FaultModel::scrub`]), the
+//!   recovery operation real systems use against configuration-memory
+//!   upsets.
+//!
+//! The zero-fault model ([`FaultModel::none`], or any model with rate
+//! `0.0` and no persistent faults) never draws from its generator, so
+//! the fault-free path is bit-identical to a simulator without fault
+//! injection at all.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// The kind of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// CRC/readback verification failure: the load is rejected (after
+    /// consuming the port for the full transfer) and must be retried.
+    Crc,
+    /// Transient port stall: the load succeeds after extra latency.
+    Stall,
+}
+
+/// A seeded, deterministic source of injected faults.
+///
+/// Sampling is driven by a SplitMix64 generator owned by the model, so
+/// a fixed seed plus a fixed sequence of load attempts reproduces the
+/// identical fault pattern — the property the determinism-guard tests
+/// lock down.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    /// Per-load-attempt transient fault probability in `[0, 1)`.
+    rate: f64,
+    /// Fraction of transient faults that are stalls rather than CRC
+    /// rejections.
+    stall_fraction: f64,
+    /// Extra latency added by one stall.
+    stall_latency: Duration,
+    /// Regions that fail every load until scrubbed.
+    persistent: BTreeSet<usize>,
+    /// SplitMix64 state.
+    state: u64,
+}
+
+impl FaultModel {
+    /// A model that never injects anything; the default for every
+    /// controller. Never touches its generator, so the fault-free path
+    /// stays byte-identical to a simulator without fault injection.
+    pub fn none() -> Self {
+        FaultModel::seeded(0.0, 0)
+    }
+
+    /// A model injecting transient faults with probability `rate` per
+    /// load attempt, driven by `seed`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= rate < 1.0` (a rate of 1.0 would make every
+    /// recovery unbounded by construction).
+    pub fn seeded(rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "fault rate {rate} outside [0, 1)");
+        FaultModel {
+            rate,
+            stall_fraction: 0.25,
+            stall_latency: Duration::from_micros(5),
+            persistent: BTreeSet::new(),
+            state: seed,
+        }
+    }
+
+    /// Sets the fraction of transient faults that are port stalls
+    /// (the rest are CRC rejections).
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= fraction <= 1.0`.
+    pub fn with_stall_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "stall fraction {fraction} outside [0, 1]");
+        self.stall_fraction = fraction;
+        self
+    }
+
+    /// Sets the extra latency one stall adds to a load.
+    pub fn with_stall_latency(mut self, latency: Duration) -> Self {
+        self.stall_latency = latency;
+        self
+    }
+
+    /// Marks `region` as persistently faulty: every load on it fails
+    /// CRC until the region is scrubbed.
+    pub fn with_persistent_region(mut self, region: usize) -> Self {
+        self.persistent.insert(region);
+        self
+    }
+
+    /// The per-load transient fault probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The extra latency one stall adds.
+    pub fn stall_latency(&self) -> Duration {
+        self.stall_latency
+    }
+
+    /// Regions currently marked persistently faulty.
+    pub fn persistent_regions(&self) -> Vec<usize> {
+        self.persistent.iter().copied().collect()
+    }
+
+    /// True when the model can never inject a fault (rate zero and no
+    /// persistent regions).
+    pub fn is_inert(&self) -> bool {
+        self.rate <= 0.0 && self.persistent.is_empty()
+    }
+
+    /// Samples the fault (if any) affecting one load attempt on
+    /// `region`. Persistent faults fire unconditionally and consume no
+    /// randomness; with a zero rate no randomness is consumed either.
+    pub fn sample_load(&mut self, region: usize) -> Option<FaultKind> {
+        if self.persistent.contains(&region) {
+            return Some(FaultKind::Crc);
+        }
+        if self.rate <= 0.0 {
+            return None;
+        }
+        if self.next_f64() >= self.rate {
+            return None;
+        }
+        if self.stall_fraction > 0.0 && self.next_f64() < self.stall_fraction {
+            Some(FaultKind::Stall)
+        } else {
+            Some(FaultKind::Crc)
+        }
+    }
+
+    /// Repairs a persistent fault on `region` (configuration-memory
+    /// scrubbing). A no-op when the region is healthy.
+    pub fn scrub(&mut self, region: usize) {
+        self.persistent.remove(&region);
+    }
+
+    /// SplitMix64: deterministic, dependency-free, full-period.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_model_never_faults() {
+        let mut m = FaultModel::none();
+        assert!(m.is_inert());
+        for r in 0..100 {
+            assert_eq!(m.sample_load(r % 7), None);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_fault_sequences() {
+        let mut a = FaultModel::seeded(0.4, 1234);
+        let mut b = FaultModel::seeded(0.4, 1234);
+        let sa: Vec<_> = (0..500).map(|i| a.sample_load(i % 5)).collect();
+        let sb: Vec<_> = (0..500).map(|i| b.sample_load(i % 5)).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|f| f.is_some()), "rate 0.4 must fire");
+        assert!(sa.iter().any(|f| f.is_none()), "rate 0.4 must also pass");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultModel::seeded(0.4, 1);
+        let mut b = FaultModel::seeded(0.4, 2);
+        let sa: Vec<_> = (0..500).map(|i| a.sample_load(i % 5)).collect();
+        let sb: Vec<_> = (0..500).map(|i| b.sample_load(i % 5)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn rate_roughly_matches_observed_frequency() {
+        let mut m = FaultModel::seeded(0.2, 99);
+        let n = 10_000;
+        let faults = (0..n).filter(|&i| m.sample_load(i % 3).is_some()).count();
+        let observed = faults as f64 / n as f64;
+        assert!((0.15..=0.25).contains(&observed), "observed fault rate {observed} far from 0.2");
+    }
+
+    #[test]
+    fn persistent_region_fails_until_scrubbed() {
+        let mut m = FaultModel::seeded(0.0, 7).with_persistent_region(2);
+        assert!(!m.is_inert());
+        assert_eq!(m.sample_load(2), Some(FaultKind::Crc));
+        assert_eq!(m.sample_load(2), Some(FaultKind::Crc));
+        assert_eq!(m.sample_load(1), None, "other regions unaffected");
+        m.scrub(2);
+        assert_eq!(m.sample_load(2), None, "scrub repairs the region");
+        assert!(m.is_inert());
+    }
+
+    #[test]
+    fn stall_fraction_splits_fault_kinds() {
+        let mut m = FaultModel::seeded(0.8, 5).with_stall_fraction(0.5);
+        let kinds: Vec<_> = (0..2000).filter_map(|_| m.sample_load(0)).collect();
+        assert!(kinds.iter().any(|&k| k == FaultKind::Stall));
+        assert!(kinds.iter().any(|&k| k == FaultKind::Crc));
+        let mut all_crc = FaultModel::seeded(0.8, 5).with_stall_fraction(0.0);
+        assert!((0..2000).filter_map(|_| all_crc.sample_load(0)).all(|k| k == FaultKind::Crc));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn certain_failure_rate_is_rejected() {
+        FaultModel::seeded(1.0, 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! ICAP controller model: timed bitstream loads with cumulative
-//! accounting.
+//! accounting and optional deterministic fault injection.
 
+use crate::fault::{FaultKind, FaultModel};
 use prpart_arch::IcapModel;
 use std::time::Duration;
 
@@ -15,14 +16,47 @@ pub struct IcapStats {
     pub bytes: u64,
     /// Total port busy time.
     pub busy: Duration,
+    /// Injected faults observed at the port (CRC rejections and
+    /// stalls).
+    pub faults: u64,
+    /// Port time consumed by CRC-rejected load attempts.
+    pub wasted: Duration,
+    /// Extra latency accumulated by transient port stalls.
+    pub stall_time: Duration,
+    /// Scrub operations performed.
+    pub scrubs: u64,
+}
+
+/// A successful (possibly stalled) load through the port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSuccess {
+    /// Total transfer time, including any stall latency.
+    pub time: Duration,
+    /// The stall portion of `time` (zero for a clean load).
+    pub stall: Duration,
+}
+
+/// A CRC-rejected load attempt: the port was busy for `wasted` but the
+/// region's configuration is now undefined and must be rewritten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadFault {
+    /// The fault kind (always [`FaultKind::Crc`] today; stalls do not
+    /// fail the load).
+    pub kind: FaultKind,
+    /// The region whose load was rejected.
+    pub region: usize,
+    /// Port time burned by the failed attempt.
+    pub wasted: Duration,
 }
 
 /// A simulated ICAP controller (paper ref \[15\] is the authors'
 /// open-source controller; this model reproduces its throughput
-/// behaviour).
+/// behaviour). An optional [`FaultModel`] injects deterministic CRC
+/// failures and port stalls into [`IcapController::try_load_frames`].
 #[derive(Debug, Clone)]
 pub struct IcapController {
     model: IcapModel,
+    faults: FaultModel,
     stats: IcapStats,
 }
 
@@ -33,9 +67,14 @@ impl Default for IcapController {
 }
 
 impl IcapController {
-    /// Creates a controller over a port model.
+    /// Creates a fault-free controller over a port model.
     pub fn new(model: IcapModel) -> Self {
-        IcapController { model, stats: IcapStats::default() }
+        IcapController::with_faults(model, FaultModel::none())
+    }
+
+    /// Creates a controller whose loads are subject to `faults`.
+    pub fn with_faults(model: IcapModel, faults: FaultModel) -> Self {
+        IcapController { model, faults, stats: IcapStats::default() }
     }
 
     /// The port model.
@@ -43,17 +82,81 @@ impl IcapController {
         &self.model
     }
 
-    /// Loads a partial bitstream of `frames` frames; returns the transfer
-    /// time and accounts it.
+    /// The fault model currently injected.
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.faults
+    }
+
+    /// Loads a partial bitstream of `frames` frames on the ideal
+    /// (fault-exempt) path; returns the transfer time and accounts it.
     pub fn load_frames(&mut self, frames: u64) -> Duration {
         let t = self.model.time_for_frames(frames);
         if frames > 0 {
-            self.stats.transfers += 1;
-            self.stats.frames += frames;
-            self.stats.bytes += frames * prpart_arch::tile::BYTES_PER_FRAME as u64;
-            self.stats.busy += t;
+            self.account_success(frames, t);
         }
         t
+    }
+
+    /// Attempts to load a partial bitstream of `frames` frames into
+    /// `region`, consulting the fault model.
+    ///
+    /// * Clean load — `Ok` with the plain transfer time.
+    /// * Stall — `Ok` with the stall latency added (and reported).
+    /// * CRC rejection — `Err`; the port was busy for the full transfer
+    ///   but the frames are **not** accounted as written, and the
+    ///   region's contents are now undefined.
+    ///
+    /// With an inert fault model this is exactly [`load_frames`]
+    /// (same accounting, same result), keeping the zero-fault path
+    /// byte-identical to the fault-unaware simulator.
+    ///
+    /// [`load_frames`]: IcapController::load_frames
+    pub fn try_load_frames(
+        &mut self,
+        region: usize,
+        frames: u64,
+    ) -> Result<LoadSuccess, LoadFault> {
+        if frames == 0 {
+            return Ok(LoadSuccess { time: Duration::ZERO, stall: Duration::ZERO });
+        }
+        let t = self.model.time_for_frames(frames);
+        match self.faults.sample_load(region) {
+            None => {
+                self.account_success(frames, t);
+                Ok(LoadSuccess { time: t, stall: Duration::ZERO })
+            }
+            Some(FaultKind::Stall) => {
+                let stall = self.faults.stall_latency();
+                self.account_success(frames, t + stall);
+                self.stats.faults += 1;
+                self.stats.stall_time += stall;
+                Ok(LoadSuccess { time: t + stall, stall })
+            }
+            Some(FaultKind::Crc) => {
+                self.stats.faults += 1;
+                self.stats.wasted += t;
+                self.stats.busy += t;
+                Err(LoadFault { kind: FaultKind::Crc, region, wasted: t })
+            }
+        }
+    }
+
+    /// Scrubs `region` (readback, verify, rewrite of its `frames`
+    /// frames): repairs a persistent fault in the fault model and
+    /// returns the port time consumed.
+    pub fn scrub(&mut self, region: usize, frames: u64) -> Duration {
+        let t = self.model.scrub_time_for_frames(frames);
+        self.stats.scrubs += 1;
+        self.stats.busy += t;
+        self.faults.scrub(region);
+        t
+    }
+
+    fn account_success(&mut self, frames: u64, time: Duration) {
+        self.stats.transfers += 1;
+        self.stats.frames += frames;
+        self.stats.bytes += frames * prpart_arch::tile::BYTES_PER_FRAME as u64;
+        self.stats.busy += time;
     }
 
     /// Cumulative statistics.
@@ -61,7 +164,7 @@ impl IcapController {
         self.stats
     }
 
-    /// Resets the statistics.
+    /// Resets the statistics (the fault model keeps its state).
     pub fn reset(&mut self) {
         self.stats = IcapStats::default();
     }
@@ -82,12 +185,18 @@ mod tests {
         assert_eq!(s.frames, 150);
         assert_eq!(s.bytes, 150 * 164);
         assert_eq!(s.busy, t1 + t2);
+        assert_eq!(s.faults, 0);
     }
 
     #[test]
     fn zero_frames_is_free() {
         let mut c = IcapController::default();
         assert_eq!(c.load_frames(0), Duration::ZERO);
+        assert_eq!(c.stats().transfers, 0);
+        assert_eq!(
+            c.try_load_frames(0, 0),
+            Ok(LoadSuccess { time: Duration::ZERO, stall: Duration::ZERO })
+        );
         assert_eq!(c.stats().transfers, 0);
     }
 
@@ -97,5 +206,74 @@ mod tests {
         c.load_frames(10);
         c.reset();
         assert_eq!(c.stats(), IcapStats::default());
+    }
+
+    #[test]
+    fn inert_try_load_matches_plain_load_exactly() {
+        let mut a = IcapController::default();
+        let mut b = IcapController::default();
+        for frames in [100u64, 50, 0, 7] {
+            let ta = a.load_frames(frames);
+            let ok = b.try_load_frames(3, frames).expect("inert model never faults");
+            assert_eq!(ok.time, ta);
+            assert_eq!(ok.stall, Duration::ZERO);
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn crc_rejection_burns_the_port_but_writes_nothing() {
+        let faults = FaultModel::seeded(0.0, 1).with_persistent_region(2);
+        let mut c = IcapController::with_faults(IcapModel::virtex5(), faults);
+        let err = c.try_load_frames(2, 100).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Crc);
+        assert_eq!(err.region, 2);
+        assert!(err.wasted > Duration::ZERO);
+        let s = c.stats();
+        assert_eq!(s.transfers, 0);
+        assert_eq!(s.frames, 0);
+        assert_eq!(s.faults, 1);
+        assert_eq!(s.wasted, err.wasted);
+        assert_eq!(s.busy, err.wasted);
+        // A healthy region still loads.
+        assert!(c.try_load_frames(1, 100).is_ok());
+        assert_eq!(c.stats().frames, 100);
+    }
+
+    #[test]
+    fn stalls_succeed_with_extra_latency() {
+        let faults = FaultModel::seeded(0.5, 9)
+            .with_stall_fraction(1.0)
+            .with_stall_latency(Duration::from_micros(50));
+        let mut c = IcapController::with_faults(IcapModel::virtex5(), faults);
+        let clean = IcapModel::virtex5().time_for_frames(100);
+        // With stall fraction 1.0 no load ever fails; about half stall.
+        let mut stalled = 0u64;
+        for _ in 0..100 {
+            let ok = c.try_load_frames(0, 100).expect("stalls do not fail the load");
+            if ok.stall > Duration::ZERO {
+                stalled += 1;
+                assert_eq!(ok.stall, Duration::from_micros(50));
+                assert_eq!(ok.time, clean + Duration::from_micros(50));
+            } else {
+                assert_eq!(ok.time, clean);
+            }
+        }
+        let s = c.stats();
+        assert!(stalled > 0, "rate 0.5 over 100 loads must stall at least once");
+        assert_eq!(s.frames, 100 * 100, "every load succeeded");
+        assert_eq!(s.faults, stalled);
+        assert_eq!(s.stall_time, Duration::from_micros(50) * stalled as u32);
+    }
+
+    #[test]
+    fn scrub_repairs_and_accounts() {
+        let faults = FaultModel::seeded(0.0, 1).with_persistent_region(0);
+        let mut c = IcapController::with_faults(IcapModel::virtex5(), faults);
+        assert!(c.try_load_frames(0, 10).is_err());
+        let t = c.scrub(0, 10);
+        assert!(t > Duration::ZERO);
+        assert_eq!(c.stats().scrubs, 1);
+        assert!(c.try_load_frames(0, 10).is_ok(), "scrub repairs the region");
     }
 }

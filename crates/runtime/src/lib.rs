@@ -27,6 +27,27 @@
 //!   as ref \[4\]).
 //! * [`deadline`] — per-transition deadline monitoring for the real-time
 //!   systems the paper's worst-case metric targets.
+//!
+//! ## Fault tolerance
+//!
+//! Real configuration ports fail: bitstream CRC checks reject corrupted
+//! transfers, radiation upsets flip configuration memory, and port
+//! arbitration stalls transfers. The runtime models all three:
+//!
+//! * [`fault::FaultModel`] — seeded, deterministic fault injection at
+//!   the port (CRC rejections, transient stalls, persistent per-region
+//!   faults).
+//! * [`manager::RecoveryPolicy`] — bounded retry with exponential
+//!   backoff, region scrubbing, safe-configuration fallback, and
+//!   degraded mode (blacklisting a persistently failing region while
+//!   serving every configuration that doesn't need it).
+//! * [`error::RuntimeError`] — every failure is a typed error; the
+//!   runtime never panics on a fault.
+//! * [`telemetry::ReliabilityTelemetry`] — availability, retry
+//!   histograms, per-region fault counts, and mean time to recovery.
+//!
+//! With no fault model installed (the default) the simulator's behaviour
+//! and accounting are identical to the fault-unaware version.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,15 +55,21 @@
 pub mod cache;
 pub mod deadline;
 pub mod env;
+pub mod error;
+pub mod fault;
 pub mod icap;
 pub mod manager;
 pub mod montecarlo;
 pub mod profiling;
+pub mod telemetry;
 
 pub use cache::{BitstreamCache, CachingManager, MarkovPredictor, MemoryModel};
 pub use deadline::{worst_transition_time, DeadlineMonitor};
 pub use env::{CognitiveRadioEnv, Environment, MarkovEnv, UniformEnv};
-pub use icap::IcapController;
-pub use manager::{ConfigurationManager, TransitionRecord};
+pub use error::RuntimeError;
+pub use fault::{FaultKind, FaultModel};
+pub use icap::{IcapController, IcapStats, LoadFault, LoadSuccess};
+pub use manager::{ConfigurationManager, RecoveryPolicy, TransitionRecord};
 pub use montecarlo::{run_monte_carlo, MonteCarloConfig, MonteCarloReport, WalkStats};
 pub use profiling::{estimate_weights, TransitionProfile};
+pub use telemetry::ReliabilityTelemetry;

@@ -1,23 +1,110 @@
 //! The configuration manager: the software on the paper's embedded
-//! processor that moves the system between configurations.
+//! processor that moves the system between configurations — now
+//! fault-tolerant: every region load can fail (see [`crate::fault`]),
+//! and a [`RecoveryPolicy`] decides how hard to fight back before
+//! degrading service.
 
+use crate::error::RuntimeError;
 use crate::icap::IcapController;
+use crate::telemetry::ReliabilityTelemetry;
 use prpart_core::Scheme;
 use std::time::Duration;
+
+/// How the manager recovers from reconfiguration faults.
+///
+/// The policy is applied per region load: bounded retries with
+/// exponential backoff, then (optionally) one configuration-memory
+/// scrub followed by a final reload. When a region exhausts recovery
+/// [`blacklist_threshold`] times in a row it is blacklisted and the
+/// manager enters *degraded mode*: configurations that need the region
+/// become unavailable, everything else keeps being served. A designated
+/// [`safe_config`] catches failed transitions when one is set.
+///
+/// [`blacklist_threshold`]: RecoveryPolicy::blacklist_threshold
+/// [`safe_config`]: RecoveryPolicy::safe_config
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Maximum retries per region load (0 = fail on the first fault).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `backoff_base * 2^k`, capped below.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff delay.
+    pub backoff_cap: Duration,
+    /// After retries are exhausted, scrub the region once and reload.
+    pub scrub: bool,
+    /// Fall back to this configuration when a transition fails.
+    pub safe_config: Option<usize>,
+    /// Consecutive recovery exhaustions before a region is blacklisted.
+    pub blacklist_threshold: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_base: Duration::from_micros(2),
+            backoff_cap: Duration::from_millis(1),
+            scrub: true,
+            safe_config: None,
+            blacklist_threshold: 2,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The backoff delay before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX);
+        (self.backoff_base * factor).min(self.backoff_cap)
+    }
+}
 
 /// One executed transition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransitionRecord {
     /// Configuration before (None at power-up).
     pub from: Option<usize>,
-    /// Configuration after.
+    /// Configuration actually reached.
     pub to: usize,
+    /// Configuration that was requested (differs from `to` only after a
+    /// safe-configuration fallback).
+    pub requested: usize,
     /// Regions actually reconfigured.
     pub regions_reconfigured: usize,
     /// Frames written.
     pub frames: u64,
-    /// Wall-clock reconfiguration time under the ICAP model.
+    /// Wall-clock reconfiguration time under the ICAP model, including
+    /// any recovery overhead.
     pub time: Duration,
+    /// Retry attempts spent recovering during this transition.
+    pub retries: u32,
+    /// Faults injected during this transition.
+    pub faults: u32,
+    /// The portion of `time` spent on recovery (failed attempts,
+    /// backoff, stalls, scrubs).
+    pub recovery_time: Duration,
+    /// True when the transition fell back to the safe configuration.
+    pub fell_back: bool,
+}
+
+/// Outcome of loading one region, including recovery accounting.
+struct RegionLoad {
+    /// Total simulated time, recovery included.
+    time: Duration,
+    /// The recovery portion of `time`.
+    recovery: Duration,
+    /// Retries spent.
+    retries: u32,
+    /// Faults hit.
+    faults: u32,
+}
+
+/// A failed region load after recovery was exhausted.
+struct RegionLoadFailure {
+    attempts: u32,
+    elapsed: Duration,
+    retries: u32,
+    faults: u32,
 }
 
 /// Tracks per-region contents and reconfigures through an
@@ -28,25 +115,56 @@ pub struct TransitionRecord {
 /// required partition is already loaded (including via a don't-care hop)
 /// costs nothing. Measured trajectory costs therefore bracket the model's
 /// optimistic/pessimistic estimates (DESIGN.md §5, ablation A3).
+///
+/// Reconfiguration is fallible: [`transition`] returns a typed
+/// [`RuntimeError`] instead of panicking, recovery follows the
+/// manager's [`RecoveryPolicy`], and reliability counters accumulate in
+/// a [`ReliabilityTelemetry`].
+///
+/// [`transition`]: ConfigurationManager::transition
 #[derive(Debug, Clone)]
 pub struct ConfigurationManager {
     scheme: Scheme,
     icap: IcapController,
+    policy: RecoveryPolicy,
     /// Per-region, per-configuration required partition (pool index).
     states: Vec<Vec<Option<usize>>>,
-    /// What each region currently holds.
+    /// What each region currently holds (None = unloaded or scrambled
+    /// by a failed load).
     contents: Vec<Option<usize>>,
+    /// Regions blacklisted by degraded mode.
+    blacklist: Vec<bool>,
+    /// Consecutive recovery exhaustions per region (reset on success).
+    consecutive_failures: Vec<u32>,
     current: Option<usize>,
     log: Vec<TransitionRecord>,
+    telemetry: ReliabilityTelemetry,
 }
 
 impl ConfigurationManager {
-    /// Creates a manager for a scheme; all regions start unloaded.
+    /// Creates a manager for a scheme with the default recovery policy;
+    /// all regions start unloaded.
     pub fn new(scheme: Scheme, icap: IcapController) -> Self {
+        ConfigurationManager::with_policy(scheme, icap, RecoveryPolicy::default())
+    }
+
+    /// Creates a manager with an explicit recovery policy.
+    pub fn with_policy(scheme: Scheme, icap: IcapController, policy: RecoveryPolicy) -> Self {
         let states: Vec<Vec<Option<usize>>> =
             (0..scheme.regions.len()).map(|r| scheme.region_states(r)).collect();
-        let contents = vec![None; scheme.regions.len()];
-        ConfigurationManager { scheme, icap, states, contents, current: None, log: Vec::new() }
+        let nregions = scheme.regions.len();
+        ConfigurationManager {
+            scheme,
+            icap,
+            policy,
+            states,
+            contents: vec![None; nregions],
+            blacklist: vec![false; nregions],
+            consecutive_failures: vec![0; nregions],
+            current: None,
+            log: Vec::new(),
+            telemetry: ReliabilityTelemetry::new(nregions),
+        }
     }
 
     /// The scheme being managed.
@@ -54,7 +172,13 @@ impl ConfigurationManager {
         &self.scheme
     }
 
-    /// The current configuration, if any.
+    /// The recovery policy in force.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// The current configuration, if any (None at power-up or after a
+    /// failed transition left the fabric in an undefined state).
     pub fn current(&self) -> Option<usize> {
         self.current
     }
@@ -69,70 +193,244 @@ impl ConfigurationManager {
         &self.icap
     }
 
+    /// Reliability counters accumulated so far.
+    pub fn telemetry(&self) -> &ReliabilityTelemetry {
+        &self.telemetry
+    }
+
+    /// Regions blacklisted by degraded mode, in index order.
+    pub fn blacklisted_regions(&self) -> Vec<usize> {
+        (0..self.blacklist.len()).filter(|&r| self.blacklist[r]).collect()
+    }
+
+    /// True once at least one region has been blacklisted.
+    pub fn is_degraded(&self) -> bool {
+        self.blacklist.iter().any(|&b| b)
+    }
+
+    /// True when `config` can be served: it needs no blacklisted
+    /// region. Out-of-range configurations are unavailable.
+    pub fn config_available(&self, config: usize) -> bool {
+        config < self.scheme.num_configurations
+            && (0..self.blacklist.len())
+                .all(|r| !(self.blacklist[r] && self.states[r][config].is_some()))
+    }
+
+    /// The configurations still servable in the current (possibly
+    /// degraded) state.
+    pub fn available_configurations(&self) -> Vec<usize> {
+        (0..self.scheme.num_configurations).filter(|&c| self.config_available(c)).collect()
+    }
+
     /// Switches the system to configuration `to`, reconfiguring exactly
-    /// the regions whose required partition is not already loaded.
-    /// Returns the record of what happened.
-    ///
-    /// # Panics
-    /// Panics if `to` is out of range.
-    pub fn transition(&mut self, to: usize) -> &TransitionRecord {
-        assert!(to < self.scheme.num_configurations, "configuration {to} out of range");
+    /// the regions whose required partition is not already loaded and
+    /// recovering from injected faults per the [`RecoveryPolicy`].
+    /// Returns the record of what happened, or a typed error when `to`
+    /// is out of range or recovery was exhausted (after falling back to
+    /// the safe configuration when one is set and still available).
+    pub fn transition(&mut self, to: usize) -> Result<&TransitionRecord, RuntimeError> {
+        if to >= self.scheme.num_configurations {
+            return Err(RuntimeError::ConfigurationOutOfRange {
+                requested: to,
+                num_configurations: self.scheme.num_configurations,
+            });
+        }
+        self.telemetry.transitions_attempted += 1;
+        match self.execute(to) {
+            Ok(record) => {
+                self.telemetry.transitions_completed += 1;
+                self.current = Some(to);
+                self.log.push(record);
+                Ok(self.log.last().expect("just pushed"))
+            }
+            Err(err) => {
+                // A failed switch leaves the fabric between
+                // configurations.
+                self.current = None;
+                if let Some(safe) = self.policy.safe_config {
+                    if safe != to && self.config_available(safe) {
+                        if let Ok(mut record) = self.execute(safe) {
+                            record.requested = to;
+                            record.fell_back = true;
+                            self.telemetry.fallbacks += 1;
+                            self.current = Some(safe);
+                            self.log.push(record);
+                            return Ok(self.log.last().expect("just pushed"));
+                        }
+                    }
+                }
+                self.telemetry.transitions_failed += 1;
+                Err(err)
+            }
+        }
+    }
+
+    /// Performs the region loads for a switch to `to`. On failure the
+    /// already-rewritten regions keep their new contents and the
+    /// failing region is left scrambled (`contents = None`).
+    fn execute(&mut self, to: usize) -> Result<TransitionRecord, RuntimeError> {
+        for r in 0..self.blacklist.len() {
+            if self.blacklist[r] && self.states[r][to].is_some() {
+                return Err(RuntimeError::RegionBlacklisted { config: to, region: r });
+            }
+        }
         let mut frames = 0u64;
         let mut time = Duration::ZERO;
         let mut nregions = 0usize;
+        let mut retries = 0u32;
+        let mut faults = 0u32;
+        let mut recovery = Duration::ZERO;
         for r in 0..self.scheme.regions.len() {
             if let Some(needed) = self.states[r][to] {
                 if self.contents[r] != Some(needed) {
                     let f = self.scheme.region_frames(r);
-                    frames += f;
-                    time += self.icap.load_frames(f);
-                    nregions += 1;
-                    self.contents[r] = Some(needed);
+                    match self.load_region(r, f) {
+                        Ok(load) => {
+                            frames += f;
+                            time += load.time;
+                            recovery += load.recovery;
+                            retries += load.retries;
+                            faults += load.faults;
+                            nregions += 1;
+                            self.contents[r] = Some(needed);
+                        }
+                        Err(failure) => {
+                            self.contents[r] = None;
+                            self.consecutive_failures[r] += 1;
+                            if self.consecutive_failures[r] >= self.policy.blacklist_threshold
+                                && !self.blacklist[r]
+                            {
+                                self.blacklist[r] = true;
+                                self.telemetry.blacklisted.push(r);
+                            }
+                            let _ = (failure.retries, failure.faults);
+                            return Err(RuntimeError::RegionFault {
+                                config: to,
+                                region: r,
+                                attempts: failure.attempts,
+                                elapsed: time + failure.elapsed,
+                            });
+                        }
+                    }
                 }
             }
             // Don't-care: the region keeps whatever it holds.
         }
-        let record = TransitionRecord {
+        Ok(TransitionRecord {
             from: self.current,
             to,
+            requested: to,
             regions_reconfigured: nregions,
             frames,
             time,
-        };
-        self.current = Some(to);
-        self.log.push(record);
-        self.log.last().expect("just pushed")
+            retries,
+            faults,
+            recovery_time: recovery,
+            fell_back: false,
+        })
+    }
+
+    /// Loads one region of `frames` frames with retry/backoff/scrub
+    /// recovery. Telemetry is updated as faults happen; the retry
+    /// histogram and MTTR are fed on successful recovery.
+    fn load_region(&mut self, region: usize, frames: u64) -> Result<RegionLoad, RegionLoadFailure> {
+        let mut attempts = 0u32; // failed attempts so far
+        let mut episode_faults = 0u32;
+        let mut total = Duration::ZERO;
+        let mut recovery = Duration::ZERO;
+        let mut scrubbed = false;
+        loop {
+            match self.icap.try_load_frames(region, frames) {
+                Ok(ok) => {
+                    total += ok.time;
+                    if ok.stall > Duration::ZERO {
+                        episode_faults += 1;
+                        self.telemetry.faults += 1;
+                        self.telemetry.stalls += 1;
+                        self.telemetry.region_faults[region] += 1;
+                        recovery += ok.stall;
+                    }
+                    if attempts > 0 || episode_faults > 0 {
+                        self.telemetry.record_episode(attempts, recovery);
+                    }
+                    self.consecutive_failures[region] = 0;
+                    return Ok(RegionLoad {
+                        time: total,
+                        recovery,
+                        retries: attempts,
+                        faults: episode_faults,
+                    });
+                }
+                Err(fault) => {
+                    episode_faults += 1;
+                    self.telemetry.faults += 1;
+                    self.telemetry.crc_errors += 1;
+                    self.telemetry.region_faults[region] += 1;
+                    total += fault.wasted;
+                    recovery += fault.wasted;
+                    if attempts < self.policy.max_retries {
+                        let backoff = self.policy.backoff(attempts);
+                        total += backoff;
+                        recovery += backoff;
+                        attempts += 1;
+                        self.telemetry.retries += 1;
+                        continue;
+                    }
+                    if self.policy.scrub && !scrubbed {
+                        let t = self.icap.scrub(region, frames);
+                        self.telemetry.scrubs += 1;
+                        total += t;
+                        recovery += t;
+                        scrubbed = true;
+                        attempts += 1;
+                        self.telemetry.retries += 1;
+                        continue;
+                    }
+                    return Err(RegionLoadFailure {
+                        attempts: attempts + 1, // count the initial try
+                        elapsed: total,
+                        retries: attempts,
+                        faults: episode_faults,
+                    });
+                }
+            }
+        }
     }
 
     /// Runs a whole configuration walk; returns (total frames, total
     /// time) excluding the initial load if `skip_first_load` is set (the
     /// usual convention: power-up is a full-bitstream load, not a
-    /// reconfiguration).
-    pub fn run_walk(&mut self, walk: &[usize], skip_first_load: bool) -> (u64, Duration) {
+    /// reconfiguration). Stops at the first failed transition.
+    pub fn run_walk(
+        &mut self,
+        walk: &[usize],
+        skip_first_load: bool,
+    ) -> Result<(u64, Duration), RuntimeError> {
         let mut frames = 0u64;
         let mut time = Duration::ZERO;
         for (i, &c) in walk.iter().enumerate() {
-            let rec = self.transition(c);
+            let rec = self.transition(c)?;
             if i == 0 && skip_first_load {
                 continue;
             }
             frames += rec.frames;
             time += rec.time;
         }
-        (frames, time)
+        Ok((frames, time))
     }
 
     /// The model's pairwise prediction for comparison (Eq. 8 in frames,
     /// optimistic semantics).
     pub fn predicted_frames(&self, from: usize, to: usize) -> u64 {
-        self.scheme
-            .transition_frames(from, to, prpart_core::TransitionSemantics::Optimistic)
+        self.scheme.transition_frames(from, to, prpart_core::TransitionSemantics::Optimistic)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultModel;
+    use prpart_arch::IcapModel;
     use prpart_core::Partitioner;
     use prpart_design::corpus;
 
@@ -142,20 +440,44 @@ mod tests {
         ConfigurationManager::new(out.best.unwrap().scheme, IcapController::default())
     }
 
+    fn disjoint_manager(policy: RecoveryPolicy, faults: FaultModel) -> ConfigurationManager {
+        // Disjoint configurations: per-module regions are don't-care in
+        // the *other* configuration, so blacklisting a region of one
+        // configuration leaves the other fully servable.
+        let d = corpus::special_case_single_mode();
+        let matrix = prpart_design::ConnectivityMatrix::from_design(&d);
+        let scheme = prpart_core::baselines::per_module(&d, &matrix);
+        ConfigurationManager::with_policy(
+            scheme,
+            IcapController::with_faults(IcapModel::virtex5(), faults),
+            policy,
+        )
+    }
+
+    /// A region (with nonzero frames) that configuration `c` needs.
+    fn region_needed_by(m: &ConfigurationManager, c: usize) -> usize {
+        (0..m.scheme().regions.len())
+            .find(|&r| m.scheme().region_states(r)[c].is_some() && m.scheme().region_frames(r) > 0)
+            .expect("configuration needs at least one real region")
+    }
+
     #[test]
     fn first_transition_loads_needed_regions() {
         let mut m = case_study_manager();
-        let rec = m.transition(0);
+        let rec = m.transition(0).unwrap();
         assert_eq!(rec.from, None);
         assert!(rec.frames > 0, "initial load populates regions");
+        assert_eq!(rec.requested, 0);
+        assert_eq!(rec.retries, 0);
+        assert!(!rec.fell_back);
         assert_eq!(m.current(), Some(0));
     }
 
     #[test]
     fn self_transition_is_free() {
         let mut m = case_study_manager();
-        m.transition(0);
-        let rec = m.transition(0);
+        m.transition(0).unwrap();
+        let rec = m.transition(0).unwrap();
         assert_eq!(rec.frames, 0);
         assert_eq!(rec.regions_reconfigured, 0);
         assert_eq!(rec.time, Duration::ZERO);
@@ -169,13 +491,13 @@ mod tests {
         // most once). See DESIGN.md §5 / ablation A3.
         use prpart_core::TransitionSemantics::{Optimistic, Pessimistic};
         let mut m = case_study_manager();
-        m.transition(0);
+        m.transition(0).unwrap();
         let c = m.scheme().num_configurations;
         for to in 1..c {
             let from = m.current().unwrap();
             let opt = m.scheme().transition_frames(from, to, Optimistic);
             let pess = m.scheme().transition_frames(from, to, Pessimistic);
-            let rec = m.transition(to);
+            let rec = m.transition(to).unwrap();
             assert!(
                 (opt..=pess).contains(&rec.frames),
                 "hop {from}->{to}: measured {} outside [{opt}, {pess}]",
@@ -189,12 +511,9 @@ mod tests {
         // Special-case design (disjoint configurations): per-module
         // regions are don't-care in the *other* configuration, so a
         // c1 → c2 → c1 walk only loads each region once.
-        let d = corpus::special_case_single_mode();
-        let matrix = prpart_design::ConnectivityMatrix::from_design(&d);
-        let scheme = prpart_core::baselines::per_module(&d, &matrix);
-        let mut m = ConfigurationManager::new(scheme, IcapController::default());
-        m.transition(0);
-        let back_and_forth = m.run_walk(&[1, 0, 1, 0], false);
+        let mut m = disjoint_manager(RecoveryPolicy::default(), FaultModel::none());
+        m.transition(0).unwrap();
+        let back_and_forth = m.run_walk(&[1, 0, 1, 0], false).unwrap();
         // After the first visit to each configuration, regions hold their
         // partitions forever: only the first two hops load anything.
         let loads: Vec<u64> = m.log().iter().map(|r| r.frames).collect();
@@ -206,7 +525,7 @@ mod tests {
     #[test]
     fn walk_accounting_sums_records() {
         let mut m = case_study_manager();
-        let (frames, time) = m.run_walk(&[0, 1, 2, 3, 0], true);
+        let (frames, time) = m.run_walk(&[0, 1, 2, 3, 0], true).unwrap();
         let log_frames: u64 = m.log()[1..].iter().map(|r| r.frames).sum();
         assert_eq!(frames, log_frames);
         assert!(time > Duration::ZERO);
@@ -214,8 +533,172 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_transition_panics() {
-        case_study_manager().transition(99);
+    fn out_of_range_transition_is_a_typed_error() {
+        let err = case_study_manager().transition(99).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::ConfigurationOutOfRange { requested: 99, num_configurations: 8 }
+        );
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn zero_fault_telemetry_stays_clean() {
+        let mut m = case_study_manager();
+        m.run_walk(&[0, 1, 2, 3, 4, 5, 6, 7, 0], false).unwrap();
+        let t = m.telemetry();
+        assert_eq!(t.transitions_attempted, 9);
+        assert_eq!(t.transitions_completed, 9);
+        assert_eq!(t.faults, 0);
+        assert_eq!(t.retries, 0);
+        assert_eq!(t.availability(), 1.0);
+        assert_eq!(t.mean_time_to_recovery(), Duration::ZERO);
+        assert!(!m.is_degraded());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        // A hefty transient rate with generous retries: every transition
+        // eventually completes, and the recovery shows up in telemetry
+        // and per-record accounting.
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let scheme = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+            .partition(&d)
+            .unwrap()
+            .best
+            .unwrap()
+            .scheme;
+        let policy = RecoveryPolicy { max_retries: 10, ..RecoveryPolicy::default() };
+        let mut m = ConfigurationManager::with_policy(
+            scheme,
+            IcapController::with_faults(IcapModel::virtex5(), FaultModel::seeded(0.3, 77)),
+            policy,
+        );
+        let walk: Vec<usize> = (0..8).chain(0..8).collect();
+        let (_, time) = m.run_walk(&walk, false).expect("10 retries at rate 0.3 always recover");
+        let t = m.telemetry();
+        assert!(t.faults > 0, "rate 0.3 over 16 transitions must fault");
+        assert!(t.retries > 0);
+        assert_eq!(t.availability(), 1.0, "everything recovered");
+        assert!(t.recovery_episodes > 0);
+        assert!(t.mean_time_to_recovery() > Duration::ZERO);
+        assert_eq!(t.retry_histogram.iter().sum::<u64>(), t.recovery_episodes);
+        let rec_recovery: Duration = m.log().iter().map(|r| r.recovery_time).sum();
+        assert!(rec_recovery > Duration::ZERO);
+        assert!(time >= rec_recovery, "recovery is part of measured time");
+    }
+
+    #[test]
+    fn persistent_fault_is_scrubbed_and_reloaded() {
+        let mut m = disjoint_manager(
+            RecoveryPolicy { max_retries: 1, scrub: true, ..RecoveryPolicy::default() },
+            FaultModel::none(),
+        );
+        m.transition(0).unwrap();
+        let r = region_needed_by(&m, 1);
+        // Corrupt the region between transitions (an SEU strike).
+        let mut faulty = disjoint_manager(
+            RecoveryPolicy { max_retries: 1, scrub: true, ..RecoveryPolicy::default() },
+            FaultModel::seeded(0.0, 1).with_persistent_region(r),
+        );
+        let rec = faulty.transition(1).expect("scrub repairs the persistent fault");
+        assert!(rec.retries >= 1);
+        assert!(rec.recovery_time > Duration::ZERO);
+        let t = faulty.telemetry();
+        assert!(t.scrubs >= 1, "recovery must have scrubbed");
+        assert_eq!(t.availability(), 1.0);
+        assert!(!faulty.is_degraded());
+        // Sanity: the healthy manager loads the same region fault-free.
+        assert!(m.transition(1).is_ok());
+    }
+
+    #[test]
+    fn exhausted_recovery_blacklists_and_degrades() {
+        // Persistent fault, no scrub: recovery can never succeed. With a
+        // threshold of 2 the second exhaustion blacklists the region.
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            scrub: false,
+            blacklist_threshold: 2,
+            safe_config: None,
+            ..RecoveryPolicy::default()
+        };
+        let mut m = disjoint_manager(policy, FaultModel::none());
+        m.transition(0).unwrap();
+        let r = region_needed_by(&m, 1);
+        let mut faulty =
+            disjoint_manager(policy, FaultModel::seeded(0.0, 1).with_persistent_region(r));
+        faulty.transition(0).expect("configuration 0 avoids the faulty region");
+
+        let err = faulty.transition(1).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::RegionFault { region, attempts: 2, .. } if region == r),
+            "{err}"
+        );
+        assert!(!faulty.is_degraded(), "below the blacklist threshold");
+        assert_eq!(faulty.current(), None, "fabric left between configurations");
+
+        let err = faulty.transition(1).unwrap_err();
+        assert!(matches!(err, RuntimeError::RegionFault { .. }), "{err}");
+        assert!(faulty.is_degraded(), "second exhaustion blacklists");
+        assert_eq!(faulty.blacklisted_regions(), vec![r]);
+        assert_eq!(faulty.telemetry().blacklisted, vec![r]);
+
+        // Degraded mode: configuration 1 is now refused up front…
+        let err = faulty.transition(1).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::RegionBlacklisted { region, config: 1 } if region == r),
+            "{err}"
+        );
+        // …but configuration 0 (which does not need the region) is
+        // still served.
+        assert!(faulty.config_available(0));
+        assert!(!faulty.config_available(1));
+        assert_eq!(faulty.available_configurations(), vec![0]);
+        faulty.transition(0).expect("degraded mode keeps serving configuration 0");
+        assert!(faulty.telemetry().availability() < 1.0);
+    }
+
+    #[test]
+    fn safe_config_fallback_catches_failed_transitions() {
+        let policy = RecoveryPolicy {
+            max_retries: 0,
+            scrub: false,
+            blacklist_threshold: 1,
+            safe_config: Some(0),
+            ..RecoveryPolicy::default()
+        };
+        let probe = disjoint_manager(policy, FaultModel::none());
+        let r = region_needed_by(&probe, 1);
+        let mut m = disjoint_manager(policy, FaultModel::seeded(0.0, 1).with_persistent_region(r));
+        m.transition(0).unwrap();
+        let rec = m.transition(1).expect("fallback must keep the system alive");
+        assert!(rec.fell_back);
+        assert_eq!(rec.requested, 1);
+        assert_eq!(rec.to, 0);
+        assert_eq!(m.current(), Some(0));
+        let t = m.telemetry();
+        assert_eq!(t.fallbacks, 1);
+        assert_eq!(t.transitions_failed, 0);
+        assert!(t.availability() < 1.0, "a fallback is not the requested configuration");
+        // The failing region is blacklisted (threshold 1), so the next
+        // request for configuration 1 short-circuits to the fallback.
+        assert!(m.is_degraded());
+        let rec = m.transition(1).expect("degraded fallback");
+        assert!(rec.fell_back);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RecoveryPolicy {
+            backoff_base: Duration::from_micros(2),
+            backoff_cap: Duration::from_micros(100),
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff(0), Duration::from_micros(2));
+        assert_eq!(p.backoff(1), Duration::from_micros(4));
+        assert_eq!(p.backoff(3), Duration::from_micros(16));
+        assert_eq!(p.backoff(10), Duration::from_micros(100), "capped");
+        assert_eq!(p.backoff(63), Duration::from_micros(100), "shift saturates");
     }
 }

@@ -6,11 +6,21 @@
 //! check the cost model's predictions against "hardware" (the simulated
 //! manager). Walks run on crossbeam scoped threads; each thread owns its
 //! manager, results merge under a parking_lot mutex.
+//!
+//! With a nonzero [`MonteCarloConfig::fault_rate`] every walk runs
+//! against a seeded [`crate::fault::FaultModel`] (walk `i` uses
+//! `fault_seed + i`, so reports are deterministic per seed) and the
+//! report gains fleet-level reliability figures: availability, retry and
+//! fault totals, and merged [`ReliabilityTelemetry`].
 
 use crate::env::{generate_walk, UniformEnv};
+use crate::error::RuntimeError;
+use crate::fault::FaultModel;
 use crate::icap::IcapController;
-use crate::manager::ConfigurationManager;
+use crate::manager::{ConfigurationManager, RecoveryPolicy};
+use crate::telemetry::ReliabilityTelemetry;
 use parking_lot::Mutex;
+use prpart_arch::IcapModel;
 use prpart_core::Scheme;
 use std::time::Duration;
 
@@ -25,6 +35,15 @@ pub struct WalkStats {
     pub time: Duration,
     /// Largest single transition, in frames.
     pub worst_frames: u64,
+    /// Retry attempts spent recovering from injected faults.
+    pub retries: u64,
+    /// Faults injected during the walk.
+    pub faults: u64,
+    /// Transitions that failed outright (recovery exhausted, no
+    /// fallback available).
+    pub failed_transitions: u64,
+    /// The portion of `time` spent recovering.
+    pub recovery_time: Duration,
 }
 
 /// Monte-Carlo parameters.
@@ -38,11 +57,25 @@ pub struct MonteCarloConfig {
     pub seed: u64,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Per-load fault probability (0.0 = the exact fault-free simulator).
+    pub fault_rate: f64,
+    /// Base fault seed; walk `i` uses `fault_seed + i`.
+    pub fault_seed: u64,
+    /// Recovery policy for every walk's manager.
+    pub policy: RecoveryPolicy,
 }
 
 impl Default for MonteCarloConfig {
     fn default() -> Self {
-        MonteCarloConfig { walks: 64, walk_len: 256, seed: 0x5EED, threads: 0 }
+        MonteCarloConfig {
+            walks: 64,
+            walk_len: 256,
+            seed: 0x5EED,
+            threads: 0,
+            fault_rate: 0.0,
+            fault_seed: 0xFA17,
+            policy: RecoveryPolicy::default(),
+        }
     }
 }
 
@@ -59,6 +92,18 @@ pub struct MonteCarloReport {
     pub worst_frames: u64,
     /// Total simulated reconfiguration time.
     pub total_time: Duration,
+    /// Total retry attempts across walks.
+    pub total_retries: u64,
+    /// Total injected faults across walks.
+    pub total_faults: u64,
+    /// Transitions that failed outright across walks.
+    pub failed_transitions: u64,
+    /// Fleet availability: completed transitions / attempted.
+    pub availability: f64,
+    /// Mean time to recovery across all recovery episodes.
+    pub mean_time_to_recovery: Duration,
+    /// Merged reliability telemetry of every walk's manager.
+    pub telemetry: ReliabilityTelemetry,
 }
 
 /// Runs uniform-random walks against a scheme in parallel and aggregates
@@ -70,7 +115,7 @@ pub fn run_monte_carlo(scheme: &Scheme, config: MonteCarloConfig) -> MonteCarloR
         config.threads
     }
     .min(config.walks.max(1));
-    let results: Mutex<Vec<(usize, WalkStats)>> =
+    let results: Mutex<Vec<(usize, WalkStats, ReliabilityTelemetry)>> =
         Mutex::new(Vec::with_capacity(config.walks));
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
@@ -81,22 +126,29 @@ pub fn run_monte_carlo(scheme: &Scheme, config: MonteCarloConfig) -> MonteCarloR
                 if i >= config.walks {
                     break;
                 }
-                let stats = run_one_walk(scheme, config.seed + i as u64, config.walk_len);
-                results.lock().push((i, stats));
+                let (stats, telemetry) = run_one_walk(scheme, &config, i);
+                results.lock().push((i, stats, telemetry));
             });
         }
     })
     .expect("monte carlo workers never panic");
 
-    let mut walks = results.into_inner();
-    walks.sort_by_key(|(i, _)| *i);
-    let walks: Vec<WalkStats> = walks.into_iter().map(|(_, s)| s).collect();
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(i, _, _)| *i);
+    let mut telemetry = ReliabilityTelemetry::new(scheme.regions.len());
+    let mut walks = Vec::with_capacity(collected.len());
+    for (_, s, t) in collected {
+        telemetry.merge(&t);
+        walks.push(s);
+    }
     let total_frames: u64 = walks.iter().map(|w| w.frames).sum();
     let total_transitions: u64 = walks.iter().map(|w| w.transitions).sum();
     let worst_frames = walks.iter().map(|w| w.worst_frames).max().unwrap_or(0);
     let total_time = walks.iter().map(|w| w.time).sum();
+    let total_retries = walks.iter().map(|w| w.retries).sum();
+    let total_faults = walks.iter().map(|w| w.faults).sum();
+    let failed_transitions = walks.iter().map(|w| w.failed_transitions).sum();
     MonteCarloReport {
-        walks,
         total_frames,
         mean_frames_per_transition: if total_transitions == 0 {
             0.0
@@ -105,26 +157,84 @@ pub fn run_monte_carlo(scheme: &Scheme, config: MonteCarloConfig) -> MonteCarloR
         },
         worst_frames,
         total_time,
+        total_retries,
+        total_faults,
+        failed_transitions,
+        availability: telemetry.availability(),
+        mean_time_to_recovery: telemetry.mean_time_to_recovery(),
+        telemetry,
+        walks,
     }
 }
 
-fn run_one_walk(scheme: &Scheme, seed: u64, len: usize) -> WalkStats {
+fn run_one_walk(
+    scheme: &Scheme,
+    config: &MonteCarloConfig,
+    index: usize,
+) -> (WalkStats, ReliabilityTelemetry) {
+    let seed = config.seed + index as u64;
     let mut env = UniformEnv::new(scheme.num_configurations, seed);
-    let walk = generate_walk(&mut env, (seed as usize) % scheme.num_configurations, len);
-    let mut manager = ConfigurationManager::new(scheme.clone(), IcapController::default());
-    manager.transition(walk[0]);
-    let mut frames = 0u64;
-    let mut time = Duration::ZERO;
-    let mut worst = 0u64;
-    let mut transitions = 0u64;
+    let walk =
+        generate_walk(&mut env, (seed as usize) % scheme.num_configurations, config.walk_len);
+    let faults = if config.fault_rate > 0.0 {
+        FaultModel::seeded(config.fault_rate, config.fault_seed + index as u64)
+    } else {
+        FaultModel::none()
+    };
+    let icap = IcapController::with_faults(IcapModel::virtex5(), faults);
+    let mut manager = ConfigurationManager::with_policy(scheme.clone(), icap, config.policy);
+    let mut stats = WalkStats {
+        transitions: 0,
+        frames: 0,
+        time: Duration::ZERO,
+        worst_frames: 0,
+        retries: 0,
+        faults: 0,
+        failed_transitions: 0,
+        recovery_time: Duration::ZERO,
+    };
+    // Initial load: not measured (power-up is a full-bitstream load),
+    // but a failure here still charges its recovery time.
+    apply(&mut stats, manager.transition(walk[0]), false);
     for &c in &walk[1..] {
-        let rec = manager.transition(c);
-        frames += rec.frames;
-        time += rec.time;
-        worst = worst.max(rec.frames);
-        transitions += 1;
+        apply(&mut stats, manager.transition(c), true);
+        stats.transitions += 1;
     }
-    WalkStats { transitions, frames, time, worst_frames: worst }
+    (stats, manager.telemetry().clone())
+}
+
+/// Folds one transition outcome into the walk stats. Failed transitions
+/// still cost their recovery time at the port; blacklisted refusals are
+/// free.
+fn apply(
+    stats: &mut WalkStats,
+    outcome: Result<&crate::manager::TransitionRecord, RuntimeError>,
+    measured: bool,
+) {
+    match outcome {
+        Ok(rec) => {
+            stats.retries += rec.retries as u64;
+            stats.faults += rec.faults as u64;
+            if measured {
+                stats.frames += rec.frames;
+                stats.time += rec.time;
+                stats.recovery_time += rec.recovery_time;
+                stats.worst_frames = stats.worst_frames.max(rec.frames);
+            }
+        }
+        Err(RuntimeError::RegionFault { attempts, elapsed, .. }) => {
+            stats.failed_transitions += 1;
+            stats.retries += attempts.saturating_sub(1) as u64;
+            stats.faults += attempts as u64;
+            if measured {
+                stats.time += elapsed;
+                stats.recovery_time += elapsed;
+            }
+        }
+        Err(_) => {
+            stats.failed_transitions += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -149,11 +259,13 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (proposed, _) = schemes();
-        let cfg = MonteCarloConfig { walks: 8, walk_len: 50, seed: 3, threads: 2 };
+        let cfg =
+            MonteCarloConfig { walks: 8, walk_len: 50, seed: 3, threads: 2, ..Default::default() };
         let a = run_monte_carlo(&proposed, cfg);
         let b = run_monte_carlo(&proposed, cfg);
         assert_eq!(a.walks, b.walks);
         assert_eq!(a.total_frames, b.total_frames);
+        assert_eq!(a.telemetry, b.telemetry);
     }
 
     #[test]
@@ -162,7 +274,13 @@ mod tests {
         // the proposed scheme reconfigures fewer frames than the
         // single-region scheme.
         let (proposed, single) = schemes();
-        let cfg = MonteCarloConfig { walks: 16, walk_len: 100, seed: 11, threads: 4 };
+        let cfg = MonteCarloConfig {
+            walks: 16,
+            walk_len: 100,
+            seed: 11,
+            threads: 4,
+            ..Default::default()
+        };
         let p = run_monte_carlo(&proposed, cfg);
         let s = run_monte_carlo(&single, cfg);
         assert!(
@@ -183,7 +301,13 @@ mod tests {
         let c = proposed.num_configurations as u64;
         let model_mean = proposed.total_reconfig_frames(TransitionSemantics::Optimistic) as f64
             / (c * (c - 1) / 2) as f64;
-        let cfg = MonteCarloConfig { walks: 32, walk_len: 200, seed: 1, threads: 0 };
+        let cfg = MonteCarloConfig {
+            walks: 32,
+            walk_len: 200,
+            seed: 1,
+            threads: 0,
+            ..Default::default()
+        };
         let report = run_monte_carlo(&proposed, cfg);
         let ratio = report.mean_frames_per_transition / model_mean;
         assert!(
@@ -200,22 +324,85 @@ mod tests {
     #[test]
     fn zero_walks_yield_an_empty_report() {
         let (proposed, _) = schemes();
-        let cfg = MonteCarloConfig { walks: 0, walk_len: 10, seed: 1, threads: 2 };
+        let cfg =
+            MonteCarloConfig { walks: 0, walk_len: 10, seed: 1, threads: 2, ..Default::default() };
         let r = run_monte_carlo(&proposed, cfg);
         assert!(r.walks.is_empty());
         assert_eq!(r.total_frames, 0);
         assert_eq!(r.mean_frames_per_transition, 0.0);
         assert_eq!(r.worst_frames, 0);
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.total_faults, 0);
     }
 
     #[test]
     fn report_totals_are_consistent() {
         let (proposed, _) = schemes();
-        let cfg = MonteCarloConfig { walks: 5, walk_len: 20, seed: 2, threads: 1 };
+        let cfg =
+            MonteCarloConfig { walks: 5, walk_len: 20, seed: 2, threads: 1, ..Default::default() };
         let r = run_monte_carlo(&proposed, cfg);
         assert_eq!(r.walks.len(), 5);
         assert_eq!(r.total_frames, r.walks.iter().map(|w| w.frames).sum::<u64>());
         assert_eq!(r.total_time, r.walks.iter().map(|w| w.time).sum::<Duration>());
         assert!(r.walks.iter().all(|w| w.transitions == 20));
+    }
+
+    #[test]
+    fn zero_fault_rate_is_byte_identical_to_the_fault_free_simulator() {
+        // The whole zero-fault path must not depend on fault_seed or the
+        // recovery policy: identical walks, totals, and telemetry.
+        let (proposed, _) = schemes();
+        let a = run_monte_carlo(
+            &proposed,
+            MonteCarloConfig { walks: 6, walk_len: 40, seed: 7, ..Default::default() },
+        );
+        let b = run_monte_carlo(
+            &proposed,
+            MonteCarloConfig {
+                walks: 6,
+                walk_len: 40,
+                seed: 7,
+                fault_rate: 0.0,
+                fault_seed: 0xDEAD_BEEF,
+                policy: RecoveryPolicy { max_retries: 9, ..RecoveryPolicy::default() },
+                ..Default::default()
+            },
+        );
+        assert_eq!(a.walks, b.walks);
+        assert_eq!(a.telemetry, b.telemetry);
+        assert_eq!(a.total_faults, 0);
+        assert_eq!(a.total_retries, 0);
+        assert_eq!(a.availability, 1.0);
+        assert_eq!(a.mean_time_to_recovery, Duration::ZERO);
+    }
+
+    #[test]
+    fn faults_cost_time_and_are_reproducible() {
+        let (proposed, _) = schemes();
+        let cfg = MonteCarloConfig {
+            walks: 8,
+            walk_len: 50,
+            seed: 3,
+            fault_rate: 0.2,
+            fault_seed: 42,
+            ..Default::default()
+        };
+        let faulty = run_monte_carlo(&proposed, cfg);
+        let again = run_monte_carlo(&proposed, cfg);
+        assert_eq!(faulty.walks, again.walks, "same fault seed, same walks");
+        assert_eq!(faulty.telemetry, again.telemetry);
+        assert!(faulty.total_faults > 0, "rate 0.2 over 400 transitions must fault");
+        assert!(faulty.total_retries > 0);
+        assert!(faulty.telemetry.recovery_episodes > 0);
+        assert!(faulty.mean_time_to_recovery > Duration::ZERO);
+
+        let clean = run_monte_carlo(&proposed, MonteCarloConfig { fault_rate: 0.0, ..cfg });
+        assert!(
+            faulty.total_time > clean.total_time,
+            "recovery overhead must show up in total time"
+        );
+
+        let other_seed = run_monte_carlo(&proposed, MonteCarloConfig { fault_seed: 43, ..cfg });
+        assert_ne!(faulty.telemetry, other_seed.telemetry, "different fault seeds must diverge");
     }
 }

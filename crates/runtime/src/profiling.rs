@@ -105,11 +105,7 @@ mod tests {
         // A chain that almost always cycles 0→1→2→0: the profiled weights
         // must put most mass on those pairs.
         let mut env = MarkovEnv::new(
-            vec![
-                vec![0.0, 100.0, 1.0],
-                vec![1.0, 0.0, 100.0],
-                vec![100.0, 1.0, 0.0],
-            ],
+            vec![vec![0.0, 100.0, 1.0], vec![1.0, 0.0, 100.0], vec![100.0, 1.0, 0.0]],
             42,
         );
         let w = estimate_weights(&mut env, 3, 8, 200);

@@ -1,0 +1,177 @@
+//! Reliability telemetry: the counters a fielded adaptive system would
+//! export to quantify how often reconfiguration faults occur and how
+//! expensive recovering from them is.
+//!
+//! Every [`crate::ConfigurationManager`] owns one
+//! [`ReliabilityTelemetry`]; the Monte-Carlo harness merges the
+//! telemetry of all walks into a fleet-level view
+//! ([`ReliabilityTelemetry::merge`]).
+
+use std::time::Duration;
+
+/// Cumulative reliability counters of a configuration manager.
+///
+/// All fields are integers or [`Duration`]s so two telemetry snapshots
+/// can be compared exactly — the determinism guard relies on `Eq`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReliabilityTelemetry {
+    /// Transitions requested (excluding out-of-range requests).
+    pub transitions_attempted: u64,
+    /// Transitions that reached the requested configuration.
+    pub transitions_completed: u64,
+    /// Transitions that fell back to the designated safe configuration.
+    pub fallbacks: u64,
+    /// Transitions that failed outright (typed error returned).
+    pub transitions_failed: u64,
+    /// Faults injected at the port, of any kind.
+    pub faults: u64,
+    /// CRC/readback verification failures among those.
+    pub crc_errors: u64,
+    /// Transient port stalls among those.
+    pub stalls: u64,
+    /// Retry attempts issued by the recovery policy.
+    pub retries: u64,
+    /// Scrub operations performed.
+    pub scrubs: u64,
+    /// `retry_histogram[k]` = recovery episodes resolved after exactly
+    /// `k` retries (index 0: a stall absorbed with no retry).
+    pub retry_histogram: Vec<u64>,
+    /// Per-region injected fault counts.
+    pub region_faults: Vec<u64>,
+    /// Load episodes that hit at least one fault but eventually
+    /// completed.
+    pub recovery_episodes: u64,
+    /// Total simulated time spent recovering (failed attempts, backoff,
+    /// stalls, scrubs) within successful episodes.
+    pub recovery_time: Duration,
+    /// Regions blacklisted by degraded mode, in blacklisting order.
+    pub blacklisted: Vec<usize>,
+}
+
+impl ReliabilityTelemetry {
+    /// Creates telemetry for a scheme with `num_regions` regions.
+    pub fn new(num_regions: usize) -> Self {
+        ReliabilityTelemetry {
+            region_faults: vec![0; num_regions],
+            ..ReliabilityTelemetry::default()
+        }
+    }
+
+    /// Fraction of attempted transitions that reached the requested
+    /// configuration (1.0 when nothing has been attempted yet). A safe
+    /// configuration fallback keeps the system alive but still counts
+    /// against availability.
+    pub fn availability(&self) -> f64 {
+        if self.transitions_attempted == 0 {
+            1.0
+        } else {
+            self.transitions_completed as f64 / self.transitions_attempted as f64
+        }
+    }
+
+    /// Mean time to recovery over successful recovery episodes.
+    pub fn mean_time_to_recovery(&self) -> Duration {
+        if self.recovery_episodes == 0 {
+            Duration::ZERO
+        } else {
+            self.recovery_time / self.recovery_episodes as u32
+        }
+    }
+
+    /// Records a recovery episode resolved after `retries` retries.
+    pub(crate) fn record_episode(&mut self, retries: u32, recovery_time: Duration) {
+        let idx = retries as usize;
+        if self.retry_histogram.len() <= idx {
+            self.retry_histogram.resize(idx + 1, 0);
+        }
+        self.retry_histogram[idx] += 1;
+        self.recovery_episodes += 1;
+        self.recovery_time += recovery_time;
+    }
+
+    /// Merges another manager's telemetry into this one (Monte-Carlo
+    /// aggregation). Histograms and per-region counters are summed
+    /// element-wise; blacklists are unioned.
+    pub fn merge(&mut self, other: &ReliabilityTelemetry) {
+        self.transitions_attempted += other.transitions_attempted;
+        self.transitions_completed += other.transitions_completed;
+        self.fallbacks += other.fallbacks;
+        self.transitions_failed += other.transitions_failed;
+        self.faults += other.faults;
+        self.crc_errors += other.crc_errors;
+        self.stalls += other.stalls;
+        self.retries += other.retries;
+        self.scrubs += other.scrubs;
+        if self.retry_histogram.len() < other.retry_histogram.len() {
+            self.retry_histogram.resize(other.retry_histogram.len(), 0);
+        }
+        for (i, v) in other.retry_histogram.iter().enumerate() {
+            self.retry_histogram[i] += v;
+        }
+        if self.region_faults.len() < other.region_faults.len() {
+            self.region_faults.resize(other.region_faults.len(), 0);
+        }
+        for (i, v) in other.region_faults.iter().enumerate() {
+            self.region_faults[i] += v;
+        }
+        self.recovery_episodes += other.recovery_episodes;
+        self.recovery_time += other.recovery_time;
+        for &r in &other.blacklisted {
+            if !self.blacklisted.contains(&r) {
+                self.blacklisted.push(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_of_fresh_telemetry_is_one() {
+        let t = ReliabilityTelemetry::new(3);
+        assert_eq!(t.availability(), 1.0);
+        assert_eq!(t.mean_time_to_recovery(), Duration::ZERO);
+        assert_eq!(t.region_faults, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn episodes_feed_the_histogram_and_mttr() {
+        let mut t = ReliabilityTelemetry::new(1);
+        t.record_episode(0, Duration::from_micros(2));
+        t.record_episode(2, Duration::from_micros(4));
+        t.record_episode(2, Duration::from_micros(6));
+        assert_eq!(t.retry_histogram, vec![1, 0, 2]);
+        assert_eq!(t.recovery_episodes, 3);
+        assert_eq!(t.mean_time_to_recovery(), Duration::from_micros(4));
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ReliabilityTelemetry::new(2);
+        a.transitions_attempted = 10;
+        a.transitions_completed = 9;
+        a.transitions_failed = 1;
+        a.region_faults = vec![1, 2];
+        a.record_episode(1, Duration::from_micros(10));
+        a.blacklisted.push(1);
+        let mut b = ReliabilityTelemetry::new(3);
+        b.transitions_attempted = 5;
+        b.transitions_completed = 5;
+        b.region_faults = vec![0, 1, 7];
+        b.record_episode(3, Duration::from_micros(2));
+        b.blacklisted.push(1);
+        b.blacklisted.push(2);
+        a.merge(&b);
+        assert_eq!(a.transitions_attempted, 15);
+        assert_eq!(a.transitions_completed, 14);
+        assert_eq!(a.region_faults, vec![1, 3, 7]);
+        assert_eq!(a.retry_histogram, vec![0, 1, 0, 1]);
+        assert_eq!(a.recovery_episodes, 2);
+        assert_eq!(a.recovery_time, Duration::from_micros(12));
+        assert_eq!(a.blacklisted, vec![1, 2]);
+        let availability = a.availability();
+        assert!((availability - 14.0 / 15.0).abs() < 1e-12);
+    }
+}

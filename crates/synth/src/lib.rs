@@ -41,12 +41,8 @@ pub enum CircuitClass {
 
 impl CircuitClass {
     /// All classes in corpus round-robin order.
-    pub const ALL: [CircuitClass; 4] = [
-        CircuitClass::Logic,
-        CircuitClass::Memory,
-        CircuitClass::Dsp,
-        CircuitClass::DspMemory,
-    ];
+    pub const ALL: [CircuitClass; 4] =
+        [CircuitClass::Logic, CircuitClass::Memory, CircuitClass::Dsp, CircuitClass::DspMemory];
 
     fn wants_bram(self) -> bool {
         matches!(self, CircuitClass::Memory | CircuitClass::DspMemory)
@@ -255,8 +251,7 @@ pub fn generate_corpus(
         .map(|i| {
             let class = CircuitClass::ALL[i % CircuitClass::ALL.len()];
             // SplitMix64-style per-design seed derivation.
-            let seed = corpus_seed
-                .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let seed = corpus_seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             SyntheticDesign { design: generate_design(config, class, seed), class, seed }
         })
         .collect()
@@ -340,11 +335,8 @@ mod tests {
             }
             // Every design still partitions.
             let min = prpart_core::feasibility::minimum_requirement(&d);
-            let budget = prpart_arch::Resources::new(
-                min.clb * 2,
-                min.bram * 2 + 8,
-                min.dsp * 2 + 8,
-            );
+            let budget =
+                prpart_arch::Resources::new(min.clb * 2, min.bram * 2 + 8, min.dsp * 2 + 8);
             let out = prpart_core::Partitioner::new(budget).partition(&d).unwrap();
             if let Some(best) = out.best {
                 best.scheme.validate(&d).unwrap();

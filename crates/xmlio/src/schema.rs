@@ -49,9 +49,9 @@ fn schema_err<T>(msg: impl Into<String>) -> Result<T, SchemaError> {
 fn parse_u32(el: &Element, attr: &str, default: u32) -> Result<u32, SchemaError> {
     match el.attr(attr) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| SchemaError::Schema(format!("<{}> {attr}=\"{v}\" is not a number", el.name))),
+        Some(v) => v.parse().map_err(|_| {
+            SchemaError::Schema(format!("<{}> {attr}=\"{v}\" is not a number", el.name))
+        }),
     }
 }
 
@@ -127,10 +127,7 @@ pub fn design_from_xml(root: &Element) -> Result<Design, SchemaError> {
         .child("configurations")
         .ok_or_else(|| SchemaError::Schema("missing <configurations>".into()))?;
     for (ci, conf) in confs.children_named("configuration").enumerate() {
-        let cname = conf
-            .attr("name")
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("c{ci}"));
+        let cname = conf.attr("name").map(str::to_string).unwrap_or_else(|| format!("c{ci}"));
         let mut picks: Vec<(String, String)> = Vec::new();
         for u in conf.children_named("use") {
             picks.push((
@@ -138,8 +135,7 @@ pub fn design_from_xml(root: &Element) -> Result<Design, SchemaError> {
                 u.require_attr("mode").map_err(SchemaError::Schema)?.to_string(),
             ));
         }
-        let refs: Vec<(&str, &str)> =
-            picks.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let refs: Vec<(&str, &str)> = picks.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
         builder = builder.configuration(&cname, refs);
     }
     Ok(builder.build()?)
@@ -243,10 +239,7 @@ pub fn weights_to_xml(weights: &TransitionWeights) -> Element {
             let w = weights.get(i, j);
             if w > 0.0 {
                 root = root.with_child(
-                    Element::new("pair")
-                        .with_attr("i", i)
-                        .with_attr("j", j)
-                        .with_attr("weight", w),
+                    Element::new("pair").with_attr("i", i).with_attr("j", j).with_attr("weight", w),
                 );
             }
         }
@@ -304,9 +297,11 @@ pub fn scheme_from_xml(design: &Design, root: &Element) -> Result<Scheme, Schema
         for u in el.children_named("use") {
             let module = u.require_attr("module").map_err(SchemaError::Schema)?;
             let mode = u.require_attr("mode").map_err(SchemaError::Schema)?;
-            modes.push(design.mode_id(module, mode).ok_or_else(|| {
-                SchemaError::Schema(format!("unknown mode {module}.{mode}"))
-            })?);
+            modes.push(
+                design
+                    .mode_id(module, mode)
+                    .ok_or_else(|| SchemaError::Schema(format!("unknown mode {module}.{mode}")))?,
+            );
         }
         if modes.is_empty() {
             return schema_err("<partition> lists no <use> children");
@@ -337,9 +332,7 @@ pub fn scheme_from_xml(design: &Design, root: &Element) -> Result<Scheme, Schema
         static_partitions,
         num_configurations: design.num_configurations(),
     };
-    scheme
-        .validate(design)
-        .map_err(|e| SchemaError::Schema(format!("invalid scheme: {e}")))?;
+    scheme.validate(design).map_err(|e| SchemaError::Schema(format!("invalid scheme: {e}")))?;
     Ok(scheme)
 }
 
@@ -390,7 +383,8 @@ mod tests {
 
     #[test]
     fn schema_errors_are_descriptive() {
-        let missing_confs = "<design name='x'><module name='A'><mode name='a' clb='1'/></module></design>";
+        let missing_confs =
+            "<design name='x'><module name='A'><mode name='a' clb='1'/></module></design>";
         let err = parse_design(missing_confs).unwrap_err();
         assert!(err.to_string().contains("configurations"), "{err}");
 
@@ -436,18 +430,24 @@ mod tests {
     fn weights_schema_rejects_garbage() {
         assert!(parse_weights("<weights/>").is_err(), "missing count");
         assert!(
-            parse_weights("<weights configurations=\"3\"><pair i=\"1\" j=\"1\" weight=\"2\"/></weights>")
-                .is_err(),
+            parse_weights(
+                "<weights configurations=\"3\"><pair i=\"1\" j=\"1\" weight=\"2\"/></weights>"
+            )
+            .is_err(),
             "diagonal pair"
         );
         assert!(
-            parse_weights("<weights configurations=\"3\"><pair i=\"0\" j=\"9\" weight=\"2\"/></weights>")
-                .is_err(),
+            parse_weights(
+                "<weights configurations=\"3\"><pair i=\"0\" j=\"9\" weight=\"2\"/></weights>"
+            )
+            .is_err(),
             "out of range"
         );
         assert!(
-            parse_weights("<weights configurations=\"3\"><pair i=\"0\" j=\"1\" weight=\"-1\"/></weights>")
-                .is_err(),
+            parse_weights(
+                "<weights configurations=\"3\"><pair i=\"0\" j=\"1\" weight=\"-1\"/></weights>"
+            )
+            .is_err(),
             "negative weight"
         );
     }
@@ -455,21 +455,15 @@ mod tests {
     #[test]
     fn scheme_roundtrips_through_xml() {
         let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
-        let best = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
-            .partition(&d)
-            .unwrap()
-            .best
-            .unwrap();
+        let best =
+            Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap().best.unwrap();
         let el = scheme_to_xml(&d, &best);
         let back = scheme_from_xml(&d, &el).unwrap();
         // Same structure: region membership and metrics agree.
         assert_eq!(back.regions.len(), best.scheme.regions.len());
         assert_eq!(back.static_partitions.len(), best.scheme.static_partitions.len());
         let sem = prpart_core::TransitionSemantics::Optimistic;
-        assert_eq!(
-            back.total_reconfig_frames(sem),
-            best.scheme.total_reconfig_frames(sem)
-        );
+        assert_eq!(back.total_reconfig_frames(sem), best.scheme.total_reconfig_frames(sem));
         assert_eq!(
             back.total_resources(d.static_overhead()),
             best.scheme.total_resources(d.static_overhead())
@@ -498,13 +492,7 @@ mod tests {
         let text = el.to_string_pretty();
         let back = parse(&text).unwrap();
         assert_eq!(back.name, "partitioning");
-        assert_eq!(
-            back.children_named("region").count(),
-            best.metrics.num_regions
-        );
-        assert_eq!(
-            back.attr("total-frames").unwrap(),
-            best.metrics.total_frames.to_string()
-        );
+        assert_eq!(back.children_named("region").count(), best.metrics.num_regions);
+        assert_eq!(back.attr("total-frames").unwrap(), best.metrics.total_frames.to_string());
     }
 }

@@ -74,16 +74,12 @@ impl Element {
 
     /// First value of the named attribute.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// The named attribute or an error mentioning the element.
     pub fn require_attr(&self, name: &str) -> Result<&str, String> {
-        self.attr(name)
-            .ok_or_else(|| format!("<{}> is missing attribute '{name}'", self.name))
+        self.attr(name).ok_or_else(|| format!("<{}> is missing attribute '{name}'", self.name))
     }
 
     /// First child element with the given tag name.
@@ -345,9 +341,7 @@ impl<'a> Parser<'a> {
                     // Collect a full UTF-8 sequence.
                     let start = self.pos;
                     self.bump();
-                    while self.pos < self.input.len()
-                        && (self.input[self.pos] & 0xC0) == 0x80
-                    {
+                    while self.pos < self.input.len() && (self.input[self.pos] & 0xC0) == 0x80 {
                         self.bump();
                     }
                     out.push_str(&String::from_utf8_lossy(&self.input[start..self.pos]));

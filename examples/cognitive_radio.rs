@@ -23,29 +23,21 @@ fn main() {
     let budget = corpus::VIDEO_RECEIVER_BUDGET;
     let matrix = ConnectivityMatrix::from_design(&design);
 
-    let proposed = Partitioner::new(budget)
-        .partition(&design)
-        .expect("feasible")
-        .best
-        .expect("scheme")
-        .scheme;
+    let proposed =
+        Partitioner::new(budget).partition(&design).expect("feasible").best.expect("scheme").scheme;
     let single = baselines::single_region(&design, &matrix);
 
     // One shared channel trace: SNR random walk with four thresholds
     // mapping to the five configurations.
     let mut env = CognitiveRadioEnv::new(vec![3.0, 8.0, 13.0, 18.0], 2013);
     let walk = generate_walk(&mut env, 0, 4000);
-    println!(
-        "channel trace: {} steps, final SNR {:.1} dB",
-        walk.len(),
-        env.snr_db()
-    );
+    println!("channel trace: {} steps, final SNR {:.1} dB", walk.len(), env.snr_db());
     let switches = walk.windows(2).filter(|w| w[0] != w[1]).count();
     println!("configuration switches in trace: {switches}\n");
 
     for (name, scheme) in [("proposed", &proposed), ("single-region", &single)] {
         let mut mgr = ConfigurationManager::new(scheme.clone(), IcapController::default());
-        let (frames, time) = mgr.run_walk(&walk, true);
+        let (frames, time) = mgr.run_walk(&walk, true).expect("fault-free walk");
         let stats = mgr.icap().stats();
         println!(
             "{name:>14}: {frames:>10} frames reconfigured | {:?} total | {} ICAP transfers",

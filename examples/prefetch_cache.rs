@@ -11,9 +11,7 @@
 
 use prpart::core::Partitioner;
 use prpart::design::corpus;
-use prpart::runtime::{
-    env::generate_walk, CachingManager, IcapController, MarkovEnv, MemoryModel,
-};
+use prpart::runtime::{env::generate_walk, CachingManager, IcapController, MarkovEnv, MemoryModel};
 
 fn main() {
     let design = corpus::cognitive_radio();
@@ -22,11 +20,7 @@ fn main() {
     // Partition for a budget that forces region sharing between the
     // mutually exclusive sensing/tx/rx chains.
     let budget = prpart::arch::Resources::new(6200, 64, 232);
-    let best = Partitioner::new(budget)
-        .partition(&design)
-        .expect("feasible")
-        .best
-        .expect("scheme");
+    let best = Partitioner::new(budget).partition(&design).expect("feasible").best.expect("scheme");
     println!("\npartitioning for {budget}:");
     print!("{}", best.scheme.describe(&design));
 

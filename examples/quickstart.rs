@@ -18,10 +18,7 @@ fn main() {
         .static_overhead(Resources::new(90, 8, 0))
         .module(
             "Filter",
-            [
-                ("short", Resources::new(400, 0, 8)),
-                ("long", Resources::new(900, 0, 16)),
-            ],
+            [("short", Resources::new(400, 0, 8)), ("long", Resources::new(900, 0, 16))],
         )
         .module(
             "Codec",
@@ -33,15 +30,21 @@ fn main() {
         )
         .module(
             "Equalizer",
-            [
-                ("bypass", Resources::new(60, 0, 0)),
-                ("adaptive", Resources::new(700, 2, 24)),
-            ],
+            [("bypass", Resources::new(60, 0, 0)), ("adaptive", Resources::new(700, 2, 24))],
         )
         .configuration("calm", [("Filter", "short"), ("Codec", "fast"), ("Equalizer", "bypass")])
-        .configuration("urban", [("Filter", "long"), ("Codec", "balanced"), ("Equalizer", "adaptive")])
-        .configuration("storm", [("Filter", "long"), ("Codec", "robust"), ("Equalizer", "adaptive")])
-        .configuration("indoor", [("Filter", "short"), ("Codec", "balanced"), ("Equalizer", "bypass")])
+        .configuration(
+            "urban",
+            [("Filter", "long"), ("Codec", "balanced"), ("Equalizer", "adaptive")],
+        )
+        .configuration(
+            "storm",
+            [("Filter", "long"), ("Codec", "robust"), ("Equalizer", "adaptive")],
+        )
+        .configuration(
+            "indoor",
+            [("Filter", "short"), ("Codec", "balanced"), ("Equalizer", "bypass")],
+        )
         .build()
         .expect("well-formed design");
 
@@ -65,12 +68,8 @@ fn main() {
 
     // ...and compare with the two traditional schemes.
     let matrix = ConnectivityMatrix::from_design(&design);
-    let base = baselines::evaluate_baselines(
-        &design,
-        &matrix,
-        &budget,
-        TransitionSemantics::Optimistic,
-    );
+    let base =
+        baselines::evaluate_baselines(&design, &matrix, &budget, TransitionSemantics::Optimistic);
     println!(
         "one module per region: total {} frames (fits: {})",
         base.per_module.metrics.total_frames, base.per_module.metrics.fits
@@ -82,8 +81,7 @@ fn main() {
     println!(
         "proposed:              total {} frames — {:.1}% below one-module-per-region",
         best.metrics.total_frames,
-        100.0 * (base.per_module.metrics.total_frames as f64
-            - best.metrics.total_frames as f64)
+        100.0 * (base.per_module.metrics.total_frames as f64 - best.metrics.total_frames as f64)
             / base.per_module.metrics.total_frames as f64
     );
 }

@@ -52,20 +52,16 @@ fn main() {
     // Deploy both behind a deadline the worst-case design can meet with
     // a little slack for per-region transfer overheads — placed *below*
     // the total-time design's largest transition.
-    let deadline = icap.time_for_frames(by_worst.metrics.worst_frames)
-        + std::time::Duration::from_micros(10);
+    let deadline =
+        icap.time_for_frames(by_worst.metrics.worst_frames) + std::time::Duration::from_micros(10);
     let mut env = UniformEnv::new(design.num_configurations(), 2013);
     let walk = generate_walk(&mut env, 0, 5000);
-    println!(
-        "deadline {deadline:?}, {}-transition uniform workload:",
-        walk.len() - 1
-    );
-    for (name, scheme) in [
-        ("total-time design", &by_total.scheme),
-        ("worst-case design", &by_worst.scheme),
-    ] {
+    println!("deadline {deadline:?}, {}-transition uniform workload:", walk.len() - 1);
+    for (name, scheme) in
+        [("total-time design", &by_total.scheme), ("worst-case design", &by_worst.scheme)]
+    {
         let mut mon = DeadlineMonitor::new(scheme.clone(), IcapController::default(), deadline);
-        mon.run_walk(&walk);
+        mon.run_walk(&walk).expect("fault-free walk");
         println!(
             "  {name:>18}: {} violations in {} transitions ({:.2}%)",
             mon.violations().len(),

@@ -66,7 +66,7 @@ fn main() {
     let mut results = Vec::new();
     for (name, scheme) in [("uniform", &plain.scheme), ("workload-aware", &weighted.scheme)] {
         let mut mgr = ConfigurationManager::new(scheme.clone(), IcapController::default());
-        let (frames, time) = mgr.run_walk(&walk, true);
+        let (frames, time) = mgr.run_walk(&walk, true).expect("fault-free walk");
         println!("  {name:>15}: {frames:>10} frames | {time:?}");
         results.push(frames);
     }
@@ -78,10 +78,8 @@ fn main() {
         plain.scheme.weighted_total(&weights, sem),
         weighted.scheme.weighted_total(&weights, sem),
     );
-    let (pw, ww) = (
-        plain.scheme.weighted_total(&weights, sem),
-        weighted.scheme.weighted_total(&weights, sem),
-    );
+    let (pw, ww) =
+        (plain.scheme.weighted_total(&weights, sem), weighted.scheme.weighted_total(&weights, sem));
     if ww < pw {
         println!(
             "the workload-aware scheme cuts the expected (weighted) cost by {:.2}%;\n\

@@ -4,7 +4,7 @@
 use prpart::arch::{DeviceLibrary, Resources};
 use prpart::core::device_select::{select_device, smallest_device_for_per_module};
 use prpart::core::feasibility::minimum_requirement;
-use prpart::core::{Partitioner, PartitionError};
+use prpart::core::{PartitionError, Partitioner};
 use prpart::design::DesignBuilder;
 use prpart::synth::{generate_corpus, GeneratorConfig};
 
@@ -67,10 +67,7 @@ fn growing_a_design_never_shrinks_the_device() {
         let d = build(scale);
         let choice = select_device(&d, &lib, Partitioner::new).unwrap();
         let idx = lib.index_of(&choice.device).unwrap();
-        assert!(
-            idx >= last_index,
-            "scale {scale}: device shrank from {last_index} to {idx}"
-        );
+        assert!(idx >= last_index, "scale {scale}: device shrank from {last_index} to {idx}");
         last_index = idx;
     }
 }
@@ -106,10 +103,7 @@ fn per_module_device_statistic_is_consistent() {
 fn infeasible_everywhere_reports_cleanly() {
     let lib = DeviceLibrary::virtex5();
     let d = DesignBuilder::new("monster")
-        .module(
-            "X",
-            [("huge", Resources::new(50_000, 0, 0)), ("small", Resources::new(10, 0, 0))],
-        )
+        .module("X", [("huge", Resources::new(50_000, 0, 0)), ("small", Resources::new(10, 0, 0))])
         .module("Y", [("y", Resources::new(10, 0, 0))])
         .configuration("c1", [("X", "huge"), ("Y", "y")])
         .configuration("c2", [("X", "small")])

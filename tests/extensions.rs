@@ -96,12 +96,7 @@ fn pareto_front_trades_time_for_area() {
 fn caching_manager_converges_to_icap_bound() {
     let design = corpus::cognitive_radio();
     let budget = Resources::new(6200, 64, 232);
-    let scheme = Partitioner::new(budget)
-        .partition(&design)
-        .unwrap()
-        .best
-        .unwrap()
-        .scheme;
+    let scheme = Partitioner::new(budget).partition(&design).unwrap().best.unwrap().scheme;
     let n = scheme.num_configurations;
     let mut env = prpart::runtime::UniformEnv::new(n, 3);
     let walk = generate_walk(&mut env, 0, 300);
@@ -119,7 +114,7 @@ fn caching_manager_converges_to_icap_bound() {
 
     // Same walk through the plain manager: identical ICAP frame count.
     let mut plain = ConfigurationManager::new(scheme, IcapController::default());
-    plain.run_walk(&walk, false);
+    plain.run_walk(&walk, false).expect("fault-free walk");
     assert_eq!(plain.icap().stats().busy, stats.icap_time);
 }
 

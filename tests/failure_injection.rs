@@ -1,11 +1,17 @@
 //! Failure injection: every layer must fail loudly and typed, never
-//! silently or with a panic, when fed hostile or degenerate input.
+//! silently or with a panic, when fed hostile or degenerate input —
+//! including the runtime under seeded reconfiguration fault storms.
 
+use proptest::prelude::*;
 use prpart::arch::{DeviceLibrary, Resources};
 use prpart::core::{PartitionError, Partitioner, TransitionSemantics};
 use prpart::design::{DesignBuilder, DesignError};
 use prpart::flow::{FlowError, FlowPipeline};
+use prpart::runtime::{
+    ConfigurationManager, FaultModel, IcapController, RecoveryPolicy, RuntimeError,
+};
 use prpart::xmlio;
+use std::time::Duration;
 
 #[test]
 fn malformed_xml_through_the_whole_flow() {
@@ -18,7 +24,10 @@ fn malformed_xml_through_the_whole_flow() {
         ("wrong root", "<devices/>"),
         ("mismatched tags", "<design><module></design></module>"),
         ("binaryish", "\u{0}\u{1}\u{2}<<<>>>"),
-        ("no configurations", "<design><module name='A'><mode name='a' clb='5'/></module></design>"),
+        (
+            "no configurations",
+            "<design><module name='A'><mode name='a' clb='5'/></module></design>",
+        ),
     ] {
         let err = pipeline.run_xml(doc).expect_err(label);
         assert!(matches!(err, FlowError::Parse(_)), "{label}: {err}");
@@ -36,14 +45,8 @@ fn degenerate_designs_are_rejected_or_handled() {
         .configuration("only", [("A", "a"), ("B", "b")])
         .build()
         .unwrap();
-    assert!(d
-        .validate()
-        .contains(&prpart::design::ValidationIssue::SingleConfiguration));
-    let best = Partitioner::new(Resources::new(400, 8, 8))
-        .partition(&d)
-        .unwrap()
-        .best
-        .unwrap();
+    assert!(d.validate().contains(&prpart::design::ValidationIssue::SingleConfiguration));
+    let best = Partitioner::new(Resources::new(400, 8, 8)).partition(&d).unwrap().best.unwrap();
     assert_eq!(best.metrics.total_frames, 0, "nothing to reconfigure");
     assert_eq!(best.metrics.worst_frames, 0);
 
@@ -60,11 +63,7 @@ fn degenerate_designs_are_rejected_or_handled() {
         .validate()
         .iter()
         .any(|i| matches!(i, prpart::design::ValidationIssue::UnusedModule(_))));
-    let best = Partitioner::new(Resources::new(400, 8, 8))
-        .partition(&d)
-        .unwrap()
-        .best
-        .unwrap();
+    let best = Partitioner::new(Resources::new(400, 8, 8)).partition(&d).unwrap().best.unwrap();
     // The ghost module's 4000 CLBs never enter the area.
     assert!(best.metrics.resources.clb < 400);
 }
@@ -74,10 +73,7 @@ fn builder_rejects_every_structural_violation_with_context() {
     let cases: Vec<(DesignError, &str)> = vec![
         (DesignBuilder::new("x").build().unwrap_err(), "no modules"),
         (
-            DesignBuilder::new("x")
-                .module("A", [("a", Resources::ZERO)])
-                .build()
-                .unwrap_err(),
+            DesignBuilder::new("x").module("A", [("a", Resources::ZERO)]).build().unwrap_err(),
             "no configurations",
         ),
         (
@@ -97,9 +93,8 @@ fn builder_rejects_every_structural_violation_with_context() {
 
 #[test]
 fn clique_budget_exhaustion_is_typed() {
-    let d = prpart::design::corpus::video_receiver(
-        prpart::design::corpus::VideoConfigSet::Original,
-    );
+    let d =
+        prpart::design::corpus::video_receiver(prpart::design::corpus::VideoConfigSet::Original);
     let mut p = Partitioner::new(prpart::design::corpus::VIDEO_RECEIVER_BUDGET);
     p.clique_limit = 3;
     let err = p.partition(&d).unwrap_err();
@@ -145,16 +140,132 @@ fn zero_resource_design_is_harmless() {
         .configuration("c2", [("A", "a2")])
         .build()
         .unwrap();
-    let best = Partitioner::new(Resources::new(200, 16, 8))
-        .partition(&d)
-        .unwrap()
-        .best
-        .unwrap();
+    let best = Partitioner::new(Resources::new(200, 16, 8)).partition(&d).unwrap().best.unwrap();
     assert_eq!(best.metrics.total_frames, 0);
     best.scheme.validate(&d).unwrap();
     // Pessimistic semantics agrees: zero-area regions cost nothing.
-    assert_eq!(
-        best.scheme.total_reconfig_frames(TransitionSemantics::Pessimistic),
-        0
-    );
+    assert_eq!(best.scheme.total_reconfig_frames(TransitionSemantics::Pessimistic), 0);
+}
+
+fn case_study_scheme() -> prpart::core::Scheme {
+    let d =
+        prpart::design::corpus::video_receiver(prpart::design::corpus::VideoConfigSet::Original);
+    Partitioner::new(prpart::design::corpus::VIDEO_RECEIVER_BUDGET)
+        .partition(&d)
+        .unwrap()
+        .best
+        .unwrap()
+        .scheme
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault storm: whatever the fault rate, seed, and recovery policy,
+    /// every transition terminates with a typed outcome — never a panic,
+    /// never an unbounded retry loop — and the telemetry stays coherent.
+    #[test]
+    fn prop_fault_storms_always_terminate_typed(
+        rate in 0.0f64..0.9,
+        fault_seed in 0u64..1_000,
+        walk_seed in 0u64..1_000,
+        max_retries in 0u32..4,
+        scrub in proptest::bool::ANY,
+        threshold in 1u32..4,
+        use_safe in proptest::bool::ANY,
+    ) {
+        let scheme = case_study_scheme();
+        let n = scheme.num_configurations;
+        let policy = RecoveryPolicy {
+            max_retries,
+            scrub,
+            blacklist_threshold: threshold,
+            safe_config: if use_safe { Some(0) } else { None },
+            ..RecoveryPolicy::default()
+        };
+        let faults = if rate > 0.0 {
+            FaultModel::seeded(rate, fault_seed)
+        } else {
+            FaultModel::none()
+        };
+        let mut mgr = ConfigurationManager::with_policy(
+            scheme,
+            IcapController::with_faults(prpart::arch::IcapModel::virtex5(), faults),
+            policy,
+        );
+        let mut env = prpart::runtime::UniformEnv::new(n, walk_seed);
+        let walk = prpart::runtime::env::generate_walk(&mut env, 0, 60);
+        for &c in &walk {
+            // Every outcome is a typed Ok/Err; recovery is bounded by
+            // the policy (retries + at most one scrub attempt).
+            match mgr.transition(c) {
+                Ok(rec) => {
+                    prop_assert!(rec.to < n);
+                    prop_assert!(rec.time >= rec.recovery_time);
+                }
+                Err(RuntimeError::RegionFault { attempts, .. }) => {
+                    prop_assert!(attempts <= max_retries + 2, "attempts {attempts} unbounded");
+                }
+                Err(RuntimeError::RegionBlacklisted { region, .. }) => {
+                    prop_assert!(mgr.blacklisted_regions().contains(&region));
+                }
+                Err(e @ RuntimeError::ConfigurationOutOfRange { .. }) => {
+                    prop_assert!(false, "walk stays in range: {e}");
+                }
+            }
+        }
+        let t = mgr.telemetry();
+        prop_assert_eq!(
+            t.transitions_attempted,
+            t.transitions_completed + t.fallbacks + t.transitions_failed,
+            "every attempt is completed, fell back, or failed"
+        );
+        prop_assert!((0.0..=1.0).contains(&t.availability()));
+        prop_assert_eq!(t.faults, t.crc_errors + t.stalls);
+        prop_assert_eq!(t.retry_histogram.iter().sum::<u64>(), t.recovery_episodes);
+        if rate == 0.0 {
+            prop_assert_eq!(t.faults, 0);
+            prop_assert_eq!(t.availability(), 1.0);
+            prop_assert_eq!(t.mean_time_to_recovery(), Duration::ZERO);
+        }
+    }
+
+    /// The per-region retry loop is bounded even under a guaranteed-
+    /// persistent fault, and the manager keeps answering after failures.
+    #[test]
+    fn prop_persistent_faults_never_hang(
+        region_pick in 0usize..8,
+        max_retries in 0u32..3,
+        threshold in 1u32..3,
+    ) {
+        let scheme = case_study_scheme();
+        let nregions = scheme.regions.len();
+        let region = region_pick % nregions;
+        let policy = RecoveryPolicy {
+            max_retries,
+            scrub: false, // recovery can never succeed
+            blacklist_threshold: threshold,
+            safe_config: None,
+            ..RecoveryPolicy::default()
+        };
+        let faults = FaultModel::seeded(0.0, 1).with_persistent_region(region);
+        let mut mgr = ConfigurationManager::with_policy(
+            scheme,
+            IcapController::with_faults(prpart::arch::IcapModel::virtex5(), faults),
+            policy,
+        );
+        let mut outcomes = 0usize;
+        for c in (0..mgr.scheme().num_configurations).cycle().take(30) {
+            match mgr.transition(c) {
+                Ok(_) => outcomes += 1,
+                Err(RuntimeError::RegionFault { attempts, .. }) => {
+                    assert!(attempts <= max_retries + 1);
+                    outcomes += 1;
+                }
+                Err(RuntimeError::RegionBlacklisted { .. }) => outcomes += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        prop_assert_eq!(outcomes, 30, "every request answered");
+    }
 }

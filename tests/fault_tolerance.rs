@@ -1,0 +1,224 @@
+//! Fault-tolerant runtime integration: determinism guards, zero-fault
+//! equivalence with the legacy simulator, the acceptance fault storm,
+//! and degraded-mode service.
+
+use prpart::arch::IcapModel;
+use prpart::core::{baselines, Partitioner, Scheme};
+use prpart::design::{corpus, ConnectivityMatrix};
+use prpart::runtime::{
+    run_monte_carlo, ConfigurationManager, FaultModel, IcapController, MonteCarloConfig,
+    RecoveryPolicy, RuntimeError,
+};
+use std::time::Duration;
+
+fn proposed_scheme() -> Scheme {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap().best.unwrap().scheme
+}
+
+/// `--fault-rate 0` must reproduce the fault-unaware simulator exactly:
+/// same walks, same totals, same telemetry — regardless of fault seed
+/// and recovery policy.
+#[test]
+fn zero_fault_rate_reproduces_the_golden_simulation() {
+    let scheme = proposed_scheme();
+    let golden = run_monte_carlo(
+        &scheme,
+        MonteCarloConfig { walks: 8, walk_len: 60, seed: 21, ..Default::default() },
+    );
+    let explicit = run_monte_carlo(
+        &scheme,
+        MonteCarloConfig {
+            walks: 8,
+            walk_len: 60,
+            seed: 21,
+            fault_rate: 0.0,
+            fault_seed: 0x1234_5678,
+            policy: RecoveryPolicy {
+                max_retries: 7,
+                safe_config: Some(0),
+                ..RecoveryPolicy::default()
+            },
+            ..Default::default()
+        },
+    );
+    assert_eq!(golden.walks, explicit.walks);
+    assert_eq!(golden.total_frames, explicit.total_frames);
+    assert_eq!(golden.total_time, explicit.total_time);
+    assert_eq!(golden.worst_frames, explicit.worst_frames);
+    assert_eq!(golden.telemetry, explicit.telemetry);
+    assert_eq!(golden.availability, 1.0);
+    assert_eq!(golden.total_faults, 0);
+    assert_eq!(golden.total_retries, 0);
+    assert_eq!(golden.failed_transitions, 0);
+    assert_eq!(golden.mean_time_to_recovery, Duration::ZERO);
+}
+
+/// Determinism guard: identical fault seeds give identical transition
+/// logs and telemetry, transition by transition.
+#[test]
+fn identical_fault_seeds_give_identical_logs_and_telemetry() {
+    let scheme = proposed_scheme();
+    let run = || {
+        let mut mgr = ConfigurationManager::with_policy(
+            scheme.clone(),
+            IcapController::with_faults(IcapModel::virtex5(), FaultModel::seeded(0.25, 99)),
+            RecoveryPolicy { max_retries: 6, ..RecoveryPolicy::default() },
+        );
+        let walk: Vec<usize> = (0..8).cycle().take(120).collect();
+        for &c in &walk {
+            let _ = mgr.transition(c);
+        }
+        (mgr.log().to_vec(), mgr.telemetry().clone(), mgr.icap().stats())
+    };
+    let (log_a, tel_a, stats_a) = run();
+    let (log_b, tel_b, stats_b) = run();
+    assert_eq!(log_a, log_b, "same fault seed must replay the same transitions");
+    assert_eq!(tel_a, tel_b);
+    assert_eq!(stats_a, stats_b);
+    assert!(tel_a.faults > 0, "rate 0.25 over 120 transitions must fault");
+
+    // And the Monte-Carlo harness is deterministic end to end.
+    let cfg = MonteCarloConfig {
+        walks: 8,
+        walk_len: 50,
+        seed: 5,
+        fault_rate: 0.3,
+        fault_seed: 77,
+        ..Default::default()
+    };
+    let a = run_monte_carlo(&scheme, cfg);
+    let b = run_monte_carlo(&scheme, cfg);
+    assert_eq!(a.walks, b.walks);
+    assert_eq!(a.telemetry, b.telemetry);
+    assert_eq!(a.availability, b.availability);
+}
+
+/// The acceptance storm: ≥1000 transitions under a hefty seeded fault
+/// rate with a stingy recovery policy. Availability must drop below
+/// 1.0 with nonzero retries, and nothing panics anywhere.
+#[test]
+fn acceptance_fault_storm_degrades_availability_without_panics() {
+    let scheme = proposed_scheme();
+    let report = run_monte_carlo(
+        &scheme,
+        MonteCarloConfig {
+            walks: 16,
+            walk_len: 100, // 1600 injected-fault transitions total
+            seed: 13,
+            fault_rate: 0.35,
+            fault_seed: 1234,
+            policy: RecoveryPolicy {
+                max_retries: 2,
+                scrub: false,
+                // Keep regions in service so every walk keeps attempting.
+                blacklist_threshold: u32::MAX,
+                safe_config: None,
+                ..RecoveryPolicy::default()
+            },
+            ..Default::default()
+        },
+    );
+    let attempted = report.telemetry.transitions_attempted;
+    assert!(attempted >= 1000, "storm too small: {attempted} transitions");
+    assert!(
+        report.availability < 1.0,
+        "rate 0.35 with 2 retries and no scrub must fail some transitions"
+    );
+    assert!(report.availability > 0.0);
+    assert!(report.total_retries > 0);
+    assert!(report.total_faults > 0);
+    assert!(report.failed_transitions > 0);
+    assert_eq!(
+        attempted,
+        report.telemetry.transitions_completed + report.telemetry.transitions_failed,
+        "no fallback configured: attempts either complete or fail"
+    );
+}
+
+/// Degraded mode end to end on the disjoint special-case design: a
+/// persistently failing region gets blacklisted, the configuration that
+/// needs it becomes unavailable, everything else keeps being served.
+#[test]
+fn degraded_mode_keeps_serving_unaffected_configurations() {
+    let d = corpus::special_case_single_mode();
+    let matrix = ConnectivityMatrix::from_design(&d);
+    let scheme = baselines::per_module(&d, &matrix);
+    let bad_region = (0..scheme.regions.len())
+        .find(|&r| scheme.region_states(r)[1].is_some() && scheme.region_frames(r) > 0)
+        .expect("configuration 1 needs a real region");
+
+    let policy = RecoveryPolicy {
+        max_retries: 1,
+        scrub: false,
+        blacklist_threshold: 1,
+        safe_config: None,
+        ..RecoveryPolicy::default()
+    };
+    let mut mgr = ConfigurationManager::with_policy(
+        scheme.clone(),
+        IcapController::with_faults(
+            IcapModel::virtex5(),
+            FaultModel::seeded(0.0, 1).with_persistent_region(bad_region),
+        ),
+        policy,
+    );
+    // Configurations that avoid the bad region load fine.
+    let others: Vec<usize> = (0..scheme.num_configurations)
+        .filter(|&c| scheme.region_states(bad_region)[c].is_none())
+        .collect();
+    assert!(!others.is_empty(), "disjoint design must have unaffected configurations");
+    mgr.transition(others[0]).expect("unaffected configuration loads cleanly");
+
+    // The first visit to configuration 1 exhausts recovery and, with
+    // threshold 1, blacklists the region.
+    let err = mgr.transition(1).unwrap_err();
+    assert!(matches!(err, RuntimeError::RegionFault { region, .. } if region == bad_region));
+    assert!(mgr.is_degraded());
+    assert_eq!(mgr.blacklisted_regions(), vec![bad_region]);
+
+    // Degraded mode: configuration 1 is refused up front, the others
+    // still work, and availability reflects the failures.
+    let err = mgr.transition(1).unwrap_err();
+    assert!(matches!(
+        err,
+        RuntimeError::RegionBlacklisted { config: 1, region } if region == bad_region
+    ));
+    assert!(!mgr.config_available(1));
+    for &c in &others {
+        assert!(mgr.config_available(c), "configuration {c} must stay available");
+        mgr.transition(c).expect("degraded mode keeps serving unaffected configurations");
+    }
+    let t = mgr.telemetry();
+    assert!(t.availability() < 1.0);
+    assert_eq!(t.blacklisted, vec![bad_region]);
+    assert!(t.region_faults[bad_region] > 0);
+}
+
+/// Scrubbing repairs a persistent (SEU-style) fault: with scrub enabled
+/// the same storm that blacklists above recovers completely.
+#[test]
+fn scrub_repairs_persistent_faults_end_to_end() {
+    let d = corpus::special_case_single_mode();
+    let matrix = ConnectivityMatrix::from_design(&d);
+    let scheme = baselines::per_module(&d, &matrix);
+    let bad_region = (0..scheme.regions.len())
+        .find(|&r| scheme.region_states(r)[1].is_some() && scheme.region_frames(r) > 0)
+        .expect("configuration 1 needs a real region");
+    let mut mgr = ConfigurationManager::with_policy(
+        scheme,
+        IcapController::with_faults(
+            IcapModel::virtex5(),
+            FaultModel::seeded(0.0, 1).with_persistent_region(bad_region),
+        ),
+        RecoveryPolicy { max_retries: 1, scrub: true, ..RecoveryPolicy::default() },
+    );
+    let rec = mgr.transition(1).expect("scrub must repair the persistent fault");
+    assert!(rec.retries >= 1);
+    assert!(rec.recovery_time > Duration::ZERO);
+    let t = mgr.telemetry();
+    assert!(t.scrubs >= 1);
+    assert_eq!(t.availability(), 1.0);
+    assert!(!mgr.is_degraded());
+    assert_eq!(mgr.icap().stats().scrubs, t.scrubs);
+}

@@ -3,9 +3,7 @@
 //! locked here. A change to any of these is a change to the reproduction
 //! itself and must be deliberate.
 
-use prpart::core::{
-    cluster::DEFAULT_CLIQUE_LIMIT, generate_base_partitions, Partitioner,
-};
+use prpart::core::{cluster::DEFAULT_CLIQUE_LIMIT, generate_base_partitions, Partitioner};
 use prpart::design::corpus::{self, VideoConfigSet};
 use prpart::design::ConnectivityMatrix;
 
@@ -16,10 +14,8 @@ fn golden_table1_partition_list() {
     let d = corpus::abc_example();
     let m = ConnectivityMatrix::from_design(&d);
     let parts = generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap();
-    let got: Vec<String> = parts
-        .iter()
-        .map(|p| format!("{} w={}", p.label(&d), p.frequency_weight))
-        .collect();
+    let got: Vec<String> =
+        parts.iter().map(|p| format!("{} w={}", p.label(&d), p.frequency_weight)).collect();
     let expect = [
         "C2 w=1",
         "A2 w=1",
@@ -88,11 +84,7 @@ fn golden_case_study_numbers() {
 #[test]
 fn golden_case_study_scheme_structure() {
     let d = corpus::video_receiver(VideoConfigSet::Original);
-    let best = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
-        .partition(&d)
-        .unwrap()
-        .best
-        .unwrap();
+    let best = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap().best.unwrap();
     let descr = best.scheme.describe(&d);
     assert_eq!(
         descr,

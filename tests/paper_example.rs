@@ -19,14 +19,8 @@ fn example_design_weights_and_table1() {
     assert_eq!(m.node_weight(d.mode_id("A", "A1").unwrap()), 2);
     assert_eq!(m.node_weight(d.mode_id("B", "B2").unwrap()), 4);
     // Edge weights from the paper's prose.
-    assert_eq!(
-        m.edge_weight(d.mode_id("A", "A1").unwrap(), d.mode_id("B", "B1").unwrap()),
-        1
-    );
-    assert_eq!(
-        m.edge_weight(d.mode_id("B", "B2").unwrap(), d.mode_id("C", "C3").unwrap()),
-        2
-    );
+    assert_eq!(m.edge_weight(d.mode_id("A", "A1").unwrap(), d.mode_id("B", "B1").unwrap()), 1);
+    assert_eq!(m.edge_weight(d.mode_id("B", "B2").unwrap(), d.mode_id("C", "C3").unwrap()), 2);
 
     // Table I: 26 base partitions, frequency weights as printed.
     let parts = generate_base_partitions(&d, &m, DEFAULT_CLIQUE_LIMIT).unwrap();

@@ -19,11 +19,7 @@ fn xml_roundtrip_feeds_the_flow() {
     let artifacts = FlowPipeline::new(device.clone()).run_xml(&xml).unwrap();
 
     // Scheme fits the device and validates against the design.
-    assert!(artifacts
-        .evaluated
-        .metrics
-        .resources
-        .fits_in(&device.capacity));
+    assert!(artifacts.evaluated.metrics.resources.fits_in(&device.capacity));
     artifacts.evaluated.scheme.validate(&artifacts.design).unwrap();
 
     // The floorplan covers each region's tile needs without overlap.
@@ -38,10 +34,7 @@ fn xml_roundtrip_feeds_the_flow() {
 
     // UCF references every region.
     for r in 0..artifacts.evaluated.metrics.num_regions {
-        assert!(
-            artifacts.ucf.contains(&format!("pblock_PRR{}", r + 1)),
-            "UCF missing region {r}"
-        );
+        assert!(artifacts.ucf.contains(&format!("pblock_PRR{}", r + 1)), "UCF missing region {r}");
     }
 
     // Bitstream sizes follow the frame model; ICAP timing is consistent.
@@ -66,8 +59,9 @@ fn flow_artifacts_drive_the_runtime() {
 
     let mut mgr =
         ConfigurationManager::new(artifacts.evaluated.scheme.clone(), IcapController::default());
-    let walk: Vec<usize> = (0..artifacts.evaluated.scheme.num_configurations).cycle().take(24).collect();
-    let (frames, time) = mgr.run_walk(&walk, true);
+    let walk: Vec<usize> =
+        (0..artifacts.evaluated.scheme.num_configurations).cycle().take(24).collect();
+    let (frames, time) = mgr.run_walk(&walk, true).expect("fault-free walk");
     assert!(frames > 0);
     assert!(time.as_micros() > 0);
     // The manager never reconfigures more than the scheme's worst case

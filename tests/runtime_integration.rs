@@ -12,12 +12,8 @@ use prpart::runtime::{
 
 fn proposed_scheme() -> (prpart::design::Design, prpart::core::Scheme) {
     let d = corpus::video_receiver(VideoConfigSet::Original);
-    let s = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
-        .partition(&d)
-        .unwrap()
-        .best
-        .unwrap()
-        .scheme;
+    let s =
+        Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap().best.unwrap().scheme;
     (d, s)
 }
 
@@ -27,12 +23,12 @@ fn measured_walk_cost_is_bracketed_by_model() {
     let mut env = UniformEnv::new(scheme.num_configurations, 99);
     let walk = generate_walk(&mut env, 0, 300);
     let mut mgr = ConfigurationManager::new(scheme.clone(), IcapController::default());
-    mgr.transition(walk[0]);
+    mgr.transition(walk[0]).unwrap();
     let mut measured = 0u64;
     let mut lower = 0u64;
     let mut upper = 0u64;
     for w in walk.windows(2) {
-        let rec = mgr.transition(w[1]);
+        let rec = mgr.transition(w[1]).unwrap();
         measured += rec.frames;
         lower += scheme.transition_frames(w[0], w[1], TransitionSemantics::Optimistic);
         upper += scheme.transition_frames(w[0], w[1], TransitionSemantics::Pessimistic);
@@ -71,13 +67,10 @@ fn proposed_beats_baselines_under_every_environment() {
     ];
     for (wi, walk) in walks.iter().enumerate() {
         let mut mp = ConfigurationManager::new(proposed.clone(), IcapController::default());
-        let (pf, _) = mp.run_walk(walk, true);
+        let (pf, _) = mp.run_walk(walk, true).expect("fault-free walk");
         let mut ms = ConfigurationManager::new(single.clone(), IcapController::default());
-        let (sf, _) = ms.run_walk(walk, true);
-        assert!(
-            pf <= sf,
-            "walk {wi}: proposed {pf} frames > single-region {sf}"
-        );
+        let (sf, _) = ms.run_walk(walk, true).expect("fault-free walk");
+        assert!(pf <= sf, "walk {wi}: proposed {pf} frames > single-region {sf}");
     }
 }
 
@@ -86,11 +79,11 @@ fn monte_carlo_parallel_equals_serial() {
     let (_, scheme) = proposed_scheme();
     let serial = run_monte_carlo(
         &scheme,
-        MonteCarloConfig { walks: 6, walk_len: 40, seed: 8, threads: 1 },
+        MonteCarloConfig { walks: 6, walk_len: 40, seed: 8, threads: 1, ..Default::default() },
     );
     let parallel = run_monte_carlo(
         &scheme,
-        MonteCarloConfig { walks: 6, walk_len: 40, seed: 8, threads: 4 },
+        MonteCarloConfig { walks: 6, walk_len: 40, seed: 8, threads: 4, ..Default::default() },
     );
     assert_eq!(serial.walks, parallel.walks);
     assert_eq!(serial.total_frames, parallel.total_frames);
