@@ -17,6 +17,7 @@
 //! | A1–A6 | ablations & extensions | [`ablation`] |
 //! | X3 | scalability study | [`scaling`] |
 //! | X6 | fault-rate vs availability sweep | [`reliability`] |
+//! | X7 | search throughput (sequential vs parallel) | [`search_throughput`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,9 +27,13 @@ pub mod casestudy;
 pub mod figures;
 pub mod reliability;
 pub mod scaling;
+pub mod search_throughput;
 pub mod stats;
 pub mod sweep;
 pub mod table;
 
 pub use reliability::{fault_rate_sweep, render_fault_sweep, FaultSweepRecord};
+pub use search_throughput::{
+    render_search_bench, run_search_bench, search_bench_json, SearchBenchConfig, SearchBenchRecord,
+};
 pub use sweep::{run_sweep, SweepConfig, SweepRecord, SweepSummary};

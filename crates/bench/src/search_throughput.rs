@@ -1,0 +1,257 @@
+//! Search-throughput benchmark (extension X7): wall time and search
+//! effort of the region-allocation engine, sequential vs parallel, on
+//! the synthetic scaling corpus.
+//!
+//! Every design is partitioned twice — once with one worker thread,
+//! once with the requested thread count — and the two outcomes are
+//! compared structurally. The engine guarantees byte-identical results
+//! for any thread count, so `identical` must be true on every record;
+//! the speedup column is what the parallel restarts buy. The pruned
+//! column counts states cut by the replay cut (greedy) and archive
+//! dominance pruning (beam) — work skipped *without* changing the
+//! result.
+//!
+//! [`search_bench_json`] renders the records as the `BENCH_search.json`
+//! artefact the CI bench-smoke step uploads.
+
+use crate::table::TextTable;
+use prpart_arch::Resources;
+use prpart_core::{PartitionOutcome, Partitioner};
+use prpart_synth::{generate_design, CircuitClass, GeneratorConfig};
+use std::fmt::Write as _;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SearchBenchConfig {
+    /// Largest design size; sizes run from 2 to this, inclusive.
+    pub max_modules: usize,
+    /// Designs (seeds) averaged per size.
+    pub samples: usize,
+    /// Base corpus seed.
+    pub seed: u64,
+    /// Parallel thread count to compare against sequential (0 = one
+    /// per core).
+    pub threads: usize,
+}
+
+impl Default for SearchBenchConfig {
+    fn default() -> Self {
+        SearchBenchConfig { max_modules: 8, samples: 3, seed: 2013, threads: 0 }
+    }
+}
+
+/// One design size's aggregated measurement.
+#[derive(Debug, Clone)]
+pub struct SearchBenchRecord {
+    /// Modules per design.
+    pub modules: usize,
+    /// Modes per design (total, averaged).
+    pub total_modes: usize,
+    /// Configurations (averaged).
+    pub configurations: usize,
+    /// States evaluated by the search (averaged).
+    pub states: u64,
+    /// States cut by replay/dominance pruning (averaged).
+    pub pruned: u64,
+    /// Sequential (1-thread) wall time, milliseconds (averaged).
+    pub seq_millis: f64,
+    /// Parallel wall time, milliseconds (averaged).
+    pub par_millis: f64,
+    /// True iff every sample's parallel outcome matched the sequential
+    /// one structurally.
+    pub identical: bool,
+}
+
+impl SearchBenchRecord {
+    /// Sequential/parallel wall-time ratio (>1 means parallel is
+    /// faster).
+    pub fn speedup(&self) -> f64 {
+        if self.par_millis > 0.0 {
+            self.seq_millis / self.par_millis
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A structural fingerprint of an outcome: best scheme, metrics, the
+/// whole Pareto front, and the search-effort counters. Two outcomes
+/// with equal fingerprints are the same result.
+fn fingerprint(design: &prpart_design::Design, out: &PartitionOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "sets {} states {} pruned {}",
+        out.candidate_sets_explored, out.states_evaluated, out.states_pruned
+    );
+    if let Some(b) = &out.best {
+        let _ = writeln!(
+            s,
+            "best {} {} {}\n{}",
+            b.metrics.total_frames,
+            b.metrics.worst_frames,
+            b.metrics.resources,
+            b.scheme.describe(design)
+        );
+    }
+    for p in &out.pareto_front {
+        let _ = writeln!(s, "front {} {}", p.metrics.total_frames, p.metrics.worst_frames);
+    }
+    s
+}
+
+/// Runs the sweep: each design is searched with 1 thread and with
+/// `cfg.threads`, under a permissive budget so the search itself is
+/// what's measured.
+pub fn run_search_bench(cfg: &SearchBenchConfig) -> Vec<SearchBenchRecord> {
+    let budget = Resources::new(120_000, 2_000, 2_000);
+    let mut out = Vec::new();
+    for m in 2..=cfg.max_modules.max(2) {
+        let gen = GeneratorConfig { modules: m..=m, modes: 3..=3, ..GeneratorConfig::default() };
+        let mut rec = SearchBenchRecord {
+            modules: m,
+            total_modes: 0,
+            configurations: 0,
+            states: 0,
+            pruned: 0,
+            seq_millis: 0.0,
+            par_millis: 0.0,
+            identical: true,
+        };
+        for s in 0..cfg.samples.max(1) {
+            let class = CircuitClass::ALL[s % CircuitClass::ALL.len()];
+            let design = generate_design(&gen, class, cfg.seed + (m * 100 + s) as u64);
+
+            let t0 = std::time::Instant::now();
+            let seq = Partitioner::new(budget)
+                .with_threads(1)
+                .partition(&design)
+                .expect("permissive budget is feasible");
+            rec.seq_millis += t0.elapsed().as_secs_f64() * 1000.0;
+
+            let t1 = std::time::Instant::now();
+            let par = Partitioner::new(budget)
+                .with_threads(cfg.threads)
+                .partition(&design)
+                .expect("permissive budget is feasible");
+            rec.par_millis += t1.elapsed().as_secs_f64() * 1000.0;
+
+            rec.identical &= fingerprint(&design, &seq) == fingerprint(&design, &par);
+            rec.total_modes += design.num_modes();
+            rec.configurations += design.num_configurations();
+            rec.states += seq.states_evaluated;
+            rec.pruned += seq.states_pruned;
+        }
+        let n = cfg.samples.max(1) as f64;
+        rec.total_modes = (rec.total_modes as f64 / n).round() as usize;
+        rec.configurations = (rec.configurations as f64 / n).round() as usize;
+        rec.states = (rec.states as f64 / n).round() as u64;
+        rec.pruned = (rec.pruned as f64 / n).round() as u64;
+        rec.seq_millis /= n;
+        rec.par_millis /= n;
+        out.push(rec);
+    }
+    out
+}
+
+/// Renders the sweep as a text table.
+pub fn render_search_bench(records: &[SearchBenchRecord]) -> String {
+    let mut t = TextTable::new([
+        "modules",
+        "modes",
+        "configs",
+        "states",
+        "pruned",
+        "seq (ms)",
+        "par (ms)",
+        "speedup",
+        "identical",
+    ]);
+    for r in records {
+        t.row([
+            r.modules.to_string(),
+            r.total_modes.to_string(),
+            r.configurations.to_string(),
+            r.states.to_string(),
+            r.pruned.to_string(),
+            format!("{:.2}", r.seq_millis),
+            format!("{:.2}", r.par_millis),
+            format!("{:.2}x", r.speedup()),
+            r.identical.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the sweep as the `BENCH_search.json` artefact (the
+/// workspace carries no JSON dependency, so this writes the document
+/// by hand — every value is a number or bool, so no escaping is
+/// needed).
+pub fn search_bench_json(records: &[SearchBenchRecord], threads: usize) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"search_throughput\",");
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"all_identical\": {},", records.iter().all(|r| r.identical));
+    s.push_str("  \"points\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"modules\": {}, \"modes\": {}, \"configs\": {}, \"states\": {}, \
+             \"pruned\": {}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"identical\": {}}}",
+            r.modules,
+            r.total_modes,
+            r.configurations,
+            r.states,
+            r.pruned,
+            r.seq_millis,
+            r.par_millis,
+            r.speedup(),
+            r.identical
+        );
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_outcomes_are_identical() {
+        let cfg = SearchBenchConfig { max_modules: 5, samples: 2, seed: 42, threads: 4 };
+        let records = run_search_bench(&cfg);
+        assert_eq!(records.len(), 4);
+        for r in &records {
+            assert!(r.identical, "modules={}: parallel diverged from sequential", r.modules);
+            assert!(r.states > 0);
+            assert!(r.seq_millis >= 0.0 && r.par_millis >= 0.0);
+        }
+        let table = render_search_bench(&records);
+        assert!(table.contains("speedup"), "{table}");
+    }
+
+    #[test]
+    fn json_artefact_is_well_formed_enough() {
+        let records = vec![SearchBenchRecord {
+            modules: 3,
+            total_modes: 9,
+            configurations: 6,
+            states: 120,
+            pruned: 14,
+            seq_millis: 1.5,
+            par_millis: 0.5,
+            identical: true,
+        }];
+        let json = search_bench_json(&records, 8);
+        assert!(json.contains("\"bench\": \"search_throughput\""));
+        assert!(json.contains("\"threads\": 8"));
+        assert!(json.contains("\"speedup\": 3.000"));
+        assert!(json.contains("\"all_identical\": true"));
+        // Balanced braces/brackets (hand-rolled writer sanity check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

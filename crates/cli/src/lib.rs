@@ -69,6 +69,8 @@ pub enum Command {
         /// Optional transition-weights XML path (workload-aware
         /// partitioning).
         weights: Option<String>,
+        /// Search worker threads (0 = one per core).
+        threads: usize,
     },
     /// `prpart flow <design> --device NAME --out DIR`.
     Flow {
@@ -78,6 +80,8 @@ pub enum Command {
         device: String,
         /// Output directory.
         out: String,
+        /// Search worker threads (0 = one per core).
+        threads: usize,
     },
     /// `prpart devices [--library FILE] [--full]`.
     Devices {
@@ -119,6 +123,8 @@ pub enum Command {
         max_retries: Option<u32>,
         /// Configuration name to fall back to when a transition fails.
         safe_config: Option<String>,
+        /// Search worker threads (0 = one per core).
+        threads: usize,
     },
     /// `prpart info <design.xml>`.
     Info {
@@ -131,6 +137,8 @@ pub enum Command {
         design: String,
         /// Target device or budget.
         target: Target,
+        /// Search worker threads (0 = one per core).
+        threads: usize,
     },
     /// `prpart report <design.xml> <scheme.xml> [--simulate]`.
     Report {
@@ -164,18 +172,23 @@ USAGE:
   prpart partition <design.xml> (--device NAME | --budget CLB,BRAM,DSP | --auto)
                    [--strategy greedy|beam|exhaustive] [--no-static]
                    [--pessimistic] [--xml-out FILE] [--library FILE]
-                   [--weights FILE]
-  prpart flow <design.xml> --device NAME --out DIR
+                   [--weights FILE] [--threads N]
+  prpart flow <design.xml> --device NAME --out DIR [--threads N]
   prpart devices [--library FILE] [--full]
   prpart generate [--count N] [--seed S] --out DIR
   prpart simulate <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
                   [--walks N] [--len L] [--profile-out FILE]
                   [--fault-rate R] [--fault-seed S] [--max-retries K]
-                  [--safe-config NAME]
+                  [--safe-config NAME] [--threads N]
   prpart report <design.xml> <scheme.xml> [--simulate]
   prpart pareto <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
+                [--threads N]
   prpart info <design.xml>
   prpart help
+
+`--threads N` fans the region-allocation search across N worker threads
+(0, the default, uses one per core). The result is byte-identical for
+every thread count; threads only change the wall time.
 ";
 
 fn parse_budget(s: &str) -> Result<Resources, CliError> {
@@ -224,6 +237,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut xml_out = None;
             let mut library = None;
             let mut weights = None;
+            let mut threads = 0usize;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
@@ -248,6 +262,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--xml-out" => xml_out = Some(flag_value("--xml-out", &mut it)?),
                     "--library" => library = Some(flag_value("--library", &mut it)?),
                     "--weights" => weights = Some(flag_value("--weights", &mut it)?),
+                    "--threads" => {
+                        threads = flag_value("--threads", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--threads needs a number".into() })?
+                    }
                     _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
                     other => return err(format!("unexpected argument '{other}'")),
                 }
@@ -265,23 +284,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 xml_out,
                 library,
                 weights,
+                threads,
             })
         }
         "flow" => {
             let mut design = None;
             let mut device = None;
             let mut out = None;
+            let mut threads = 0usize;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--device" => device = Some(flag_value("--device", &mut it)?),
                     "--out" => out = Some(flag_value("--out", &mut it)?),
+                    "--threads" => {
+                        threads = flag_value("--threads", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--threads needs a number".into() })?
+                    }
                     _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
                     other => return err(format!("unexpected argument '{other}'")),
                 }
             }
             match (design, device, out) {
                 (Some(design), Some(device), Some(out)) => {
-                    Ok(Command::Flow { design, device, out })
+                    Ok(Command::Flow { design, device, out, threads })
                 }
                 _ => err("flow: need <design.xml> --device NAME --out DIR"),
             }
@@ -319,6 +345,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut fault_seed = 0xFA17u64;
             let mut max_retries = None;
             let mut safe_config = None;
+            let mut threads = 0usize;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
@@ -358,6 +385,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             })?)
                     }
                     "--safe-config" => safe_config = Some(flag_value("--safe-config", &mut it)?),
+                    "--threads" => {
+                        threads = flag_value("--threads", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--threads needs a number".into() })?
+                    }
                     _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
                     other => return err(format!("unexpected argument '{other}'")),
                 }
@@ -376,6 +408,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 fault_seed,
                 max_retries,
                 safe_config,
+                threads,
             })
         }
         "info" => match it.next() {
@@ -387,6 +420,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "pareto" => {
             let mut design = None;
             let mut target = None;
+            let mut threads = 0usize;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
@@ -394,12 +428,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         target =
                             Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
                     }
+                    "--threads" => {
+                        threads = flag_value("--threads", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--threads needs a number".into() })?
+                    }
                     _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
                     other => return err(format!("unexpected argument '{other}'")),
                 }
             }
             match (design, target) {
-                (Some(design), Some(target)) => Ok(Command::Pareto { design, target }),
+                (Some(design), Some(target)) => Ok(Command::Pareto { design, target, threads }),
                 _ => err("pareto: need <design.xml> and --device or --budget"),
             }
         }
@@ -475,12 +514,13 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Pareto { design, target } => {
+        Command::Pareto { design, target, threads } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
             let budget =
                 budget_for(&target, &library)?.expect("pareto always has a concrete target");
             let outcome = Partitioner::new(budget)
+                .with_threads(threads)
                 .partition(&design)
                 .map_err(|e| CliError { message: e.to_string() })?;
             let mut out = String::new();
@@ -545,6 +585,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             xml_out,
             library,
             weights,
+            threads,
         } => {
             let library = load_library(&library, false)?;
             let design = load_design(&design)?;
@@ -560,7 +601,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 }
             };
             let make = |budget: Resources| {
-                let mut p = Partitioner::new(budget);
+                let mut p = Partitioner::new(budget).with_threads(threads);
                 if let Some(s) = strategy {
                     p = p.with_strategy(s);
                 }
@@ -613,7 +654,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Flow { design, device, out } => {
+        Command::Flow { design, device, out, threads } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
             let device = library
@@ -621,6 +662,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 .ok_or_else(|| CliError { message: format!("unknown device '{device}'") })?
                 .clone();
             let artifacts = FlowPipeline::new(device)
+                .with_threads(threads)
                 .run(design)
                 .map_err(|e| CliError { message: e.to_string() })?;
             let dir = std::path::Path::new(&out);
@@ -678,12 +720,14 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             fault_seed,
             max_retries,
             safe_config,
+            threads,
         } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
             let budget =
                 budget_for(&target, &library)?.expect("simulate always has a concrete target");
             let best = Partitioner::new(budget)
+                .with_threads(threads)
                 .partition(&design)
                 .map_err(|e| CliError { message: e.to_string() })?
                 .best
@@ -794,6 +838,27 @@ mod tests {
     }
 
     #[test]
+    fn parses_threads_flag() {
+        // Default is 0 (auto) everywhere the flag is accepted.
+        let c = parse_args(&s(&["partition", "d.xml", "--auto"])).unwrap();
+        assert!(matches!(c, Command::Partition { threads: 0, .. }));
+        let c = parse_args(&s(&["partition", "d.xml", "--auto", "--threads", "4"])).unwrap();
+        assert!(matches!(c, Command::Partition { threads: 4, .. }));
+        let c =
+            parse_args(&s(&["pareto", "d.xml", "--device", "SX70T", "--threads", "2"])).unwrap();
+        assert!(matches!(c, Command::Pareto { threads: 2, .. }));
+        let c =
+            parse_args(&s(&["flow", "d.xml", "--device", "SX70T", "--out", "o", "--threads", "8"]))
+                .unwrap();
+        assert!(matches!(c, Command::Flow { threads: 8, .. }));
+        let c =
+            parse_args(&s(&["simulate", "d.xml", "--device", "SX70T", "--threads", "1"])).unwrap();
+        assert!(matches!(c, Command::Simulate { threads: 1, .. }));
+        assert!(parse_args(&s(&["partition", "d.xml", "--auto", "--threads", "many"])).is_err());
+        assert!(parse_args(&s(&["partition", "d.xml", "--auto", "--threads"])).is_err());
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse_args(&s(&["partition", "d.xml"])).is_err(), "no target");
         assert!(parse_args(&s(&["partition", "--auto"])).is_err(), "no design");
@@ -832,6 +897,7 @@ mod tests {
             xml_out: Some(dir.join("report.xml").to_string_lossy().into_owned()),
             library: None,
             weights: None,
+            threads: 0,
         })
         .unwrap();
         assert!(out.contains("PRR1"), "{out}");
@@ -847,6 +913,7 @@ mod tests {
             fault_seed: 0xFA17,
             max_retries: None,
             safe_config: None,
+            threads: 0,
         })
         .unwrap();
         assert!(out.contains("monte-carlo"), "{out}");
@@ -923,6 +990,7 @@ mod tests {
             fault_seed: 42,
             max_retries: Some(4),
             safe_config: Some(safe_name),
+            threads: 0,
         })
         .unwrap();
         assert!(out.contains("reliability:"), "{out}");
@@ -938,6 +1006,7 @@ mod tests {
             fault_seed: 1,
             max_retries: None,
             safe_config: Some("no-such-config".into()),
+            threads: 0,
         })
         .unwrap_err();
         assert!(err.to_string().contains("no-such-config"), "{err}");
@@ -980,6 +1049,7 @@ mod tests {
             xml_out: None,
             library: Some(lib_path.to_string_lossy().into_owned()),
             weights: Some(weights_path.to_string_lossy().into_owned()),
+            threads: 0,
         })
         .unwrap();
         assert!(out.contains("PRR1"), "{out}");
@@ -999,6 +1069,7 @@ mod tests {
             xml_out: None,
             library: Some(lib_path.to_string_lossy().into_owned()),
             weights: Some(bad_path.to_string_lossy().into_owned()),
+            threads: 0,
         })
         .unwrap_err();
         assert!(err.to_string().contains("weights cover"), "{err}");
@@ -1029,6 +1100,7 @@ mod tests {
         let out = run(Command::Pareto {
             design: path.to_string_lossy().into_owned(),
             target: Target::Budget(prpart_design::corpus::VIDEO_RECEIVER_BUDGET),
+            threads: 0,
         })
         .unwrap();
         assert!(out.contains("Pareto front"), "{out}");
@@ -1053,6 +1125,7 @@ mod tests {
             xml_out: Some(scheme_path.to_string_lossy().into_owned()),
             library: None,
             weights: None,
+            threads: 0,
         })
         .unwrap();
         let out = run(Command::Report {

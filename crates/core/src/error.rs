@@ -39,6 +39,15 @@ pub enum PartitionError {
         /// Configurations the weight matrix covers.
         got: usize,
     },
+    /// A scheme description referenced a module/mode pair the design does
+    /// not define (e.g. a mode renamed or removed since the scheme was
+    /// written).
+    UnknownMode {
+        /// Module name as referenced.
+        module: String,
+        /// Mode name as referenced.
+        mode: String,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -61,6 +70,9 @@ impl fmt::Display for PartitionError {
                 f,
                 "transition weights cover {got} configurations but the design has {expected}"
             ),
+            PartitionError::UnknownMode { module, mode } => {
+                write!(f, "design defines no mode '{mode}' in module '{module}'")
+            }
         }
     }
 }

@@ -143,6 +143,49 @@ impl Scheme {
         Scheme { partitions, regions, static_partitions: Vec::new(), num_configurations }
     }
 
+    /// Builds a scheme from `(module, mode)` *names*: one singleton
+    /// partition per named mode, grouped into regions as given, plus the
+    /// named static modes. This is the safe entry point for schemes that
+    /// outlive the design they were written against (config files, saved
+    /// reports): a renamed or removed mode surfaces as
+    /// [`PartitionError::UnknownMode`] instead of a panic.
+    pub fn from_named_groups(
+        design: &Design,
+        groups: &[&[(&str, &str)]],
+        statics: &[(&str, &str)],
+    ) -> Result<Scheme, crate::error::PartitionError> {
+        let matrix = prpart_design::ConnectivityMatrix::from_design(design);
+        let resolve = |module: &str, mode: &str| {
+            design.mode_id(module, mode).ok_or_else(|| crate::error::PartitionError::UnknownMode {
+                module: module.to_string(),
+                mode: mode.to_string(),
+            })
+        };
+        let mut partitions = Vec::new();
+        let mut regions = Vec::new();
+        for group in groups {
+            let mut idxs = Vec::new();
+            for &(module, mode) in *group {
+                let g = resolve(module, mode)?;
+                idxs.push(partitions.len());
+                partitions.push(BasePartition::from_modes(design, &matrix, vec![g]));
+            }
+            regions.push(Region { partitions: idxs });
+        }
+        let mut static_partitions = Vec::new();
+        for &(module, mode) in statics {
+            let g = resolve(module, mode)?;
+            static_partitions.push(partitions.len());
+            partitions.push(BasePartition::from_modes(design, &matrix, vec![g]));
+        }
+        Ok(Scheme {
+            partitions,
+            regions,
+            static_partitions,
+            num_configurations: design.num_configurations(),
+        })
+    }
+
     /// Raw (un-quantised) requirement of region `r`: element-wise maximum
     /// over its partitions (Eq. 2).
     pub fn region_resources(&self, r: usize) -> Resources {
@@ -409,32 +452,10 @@ mod tests {
     use prpart_design::{corpus, ConnectivityMatrix, Design};
 
     /// Builds a scheme over the abc example from singleton partitions of
-    /// the given mode groups, grouping them into the given regions.
+    /// the given mode groups, grouping them into the given regions. All
+    /// names are known-good, so resolution cannot fail.
     fn build_scheme(d: &Design, groups: &[&[(&str, &str)]], statics: &[(&str, &str)]) -> Scheme {
-        let m = ConnectivityMatrix::from_design(d);
-        let mut partitions = Vec::new();
-        let mut regions = Vec::new();
-        for group in groups {
-            let mut idxs = Vec::new();
-            for (module, mode) in *group {
-                let g = d.mode_id(module, mode).unwrap();
-                idxs.push(partitions.len());
-                partitions.push(crate::partition::BasePartition::from_modes(d, &m, vec![g]));
-            }
-            regions.push(Region { partitions: idxs });
-        }
-        let mut static_partitions = Vec::new();
-        for (module, mode) in statics {
-            let g = d.mode_id(module, mode).unwrap();
-            static_partitions.push(partitions.len());
-            partitions.push(crate::partition::BasePartition::from_modes(d, &m, vec![g]));
-        }
-        Scheme {
-            partitions,
-            regions,
-            static_partitions,
-            num_configurations: d.num_configurations(),
-        }
+        Scheme::from_named_groups(d, groups, statics).expect("test names resolve")
     }
 
     /// One region per module over the abc example.
@@ -450,6 +471,25 @@ mod tests {
             &[],
         );
         (d, s)
+    }
+
+    #[test]
+    fn renamed_mode_yields_typed_error_not_panic() {
+        // A scheme written against an older design revision references
+        // "A4", since removed/renamed: the constructor must report the
+        // exact offending name as a PartitionError, not unwrap-panic.
+        let d = corpus::abc_example();
+        let err = Scheme::from_named_groups(&d, &[&[("A", "A1"), ("A", "A4")]], &[]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::PartitionError::UnknownMode {
+                module: "A".to_string(),
+                mode: "A4".to_string()
+            }
+        );
+        // Statics resolve through the same path.
+        let err = Scheme::from_named_groups(&d, &[], &[("Z", "A1")]).unwrap_err();
+        assert!(matches!(err, crate::error::PartitionError::UnknownMode { .. }));
     }
 
     #[test]

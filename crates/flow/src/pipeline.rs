@@ -72,12 +72,22 @@ pub struct FlowPipeline {
     pub device: Device,
     /// Maximum floorplan feedback retries.
     pub max_floorplan_retries: usize,
+    /// Worker threads for the partitioning search (0 = one per core).
+    /// The partitioning result is identical for any value; threads only
+    /// change how long stage 2 takes.
+    pub threads: usize,
 }
 
 impl FlowPipeline {
     /// Creates a pipeline for a device with default settings.
     pub fn new(device: Device) -> Self {
-        FlowPipeline { device, max_floorplan_retries: 4 }
+        FlowPipeline { device, max_floorplan_retries: 4, threads: 0 }
+    }
+
+    /// Sets the partitioning-search thread count (0 = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Runs the flow from design-entry XML text — either a
@@ -94,7 +104,7 @@ impl FlowPipeline {
         let planned = prpart_floorplan::place_with_feedback(
             &design,
             &self.device,
-            Partitioner::new,
+            |budget| Partitioner::new(budget).with_threads(self.threads),
             self.max_floorplan_retries,
         )
         .map_err(|e| match e {
@@ -152,6 +162,21 @@ mod tests {
         for bs in &artifacts.partial_bitstreams {
             crate::bitstream::verify(bs).unwrap();
         }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_flow_artifacts() {
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("SX70T").unwrap().clone();
+        let xml = render_design(&corpus::video_receiver(corpus::VideoConfigSet::Original));
+        let seq = FlowPipeline::new(device.clone()).with_threads(1).run_xml(&xml).unwrap();
+        let par = FlowPipeline::new(device).with_threads(4).run_xml(&xml).unwrap();
+        assert_eq!(
+            seq.evaluated.scheme.describe(&seq.design),
+            par.evaluated.scheme.describe(&par.design)
+        );
+        assert_eq!(seq.ucf, par.ucf);
+        assert_eq!(seq.full_bitstream, par.full_bitstream);
     }
 
     #[test]

@@ -175,6 +175,31 @@ impl BitSet {
     }
 }
 
+impl PartialOrd for BitSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BitSet {
+    /// A deterministic total order (block-lexicographic, then capacity),
+    /// consistent with `Eq`, so bitsets can serve directly as canonical
+    /// sort/dedup keys — e.g. the search's visited-state keys — with
+    /// word-parallel comparisons instead of element-list sorting.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let n = self.blocks.len().max(other.blocks.len());
+        for i in 0..n {
+            let a = self.blocks.get(i).copied().unwrap_or(0);
+            let b = other.blocks.get(i).copied().unwrap_or(0);
+            match a.cmp(&b) {
+                std::cmp::Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        self.nbits.cmp(&other.nbits)
+    }
+}
+
 impl fmt::Debug for BitSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_set().entries(self.iter()).finish()
@@ -260,6 +285,26 @@ mod tests {
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 64, 127]);
         assert_eq!(s.first(), Some(1));
         assert_eq!(BitSet::new(10).first(), None);
+    }
+
+    #[test]
+    fn total_order_is_consistent_with_eq() {
+        let mk = |els: &[usize]| BitSet::from_iter_with_capacity(128, els.iter().copied());
+        let a = mk(&[1, 3]);
+        let b = mk(&[1, 3]);
+        let c = mk(&[1, 4]);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(a, b);
+        assert_ne!(a.cmp(&c), std::cmp::Ordering::Equal);
+        // Antisymmetry and sortability.
+        assert_eq!(a.cmp(&c), c.cmp(&a).reverse());
+        let mut v = vec![c.clone(), a.clone(), b.clone()];
+        v.sort();
+        assert_eq!(v[0], v[1], "equal keys sort adjacent");
+        // Capacity participates only as a tiebreak on identical content.
+        let short = BitSet::from_iter_with_capacity(8, [1usize, 3]);
+        assert_ne!(short, a);
+        assert_ne!(short.cmp(&a), std::cmp::Ordering::Equal);
     }
 
     proptest! {

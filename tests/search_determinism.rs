@@ -1,0 +1,115 @@
+//! Cross-thread determinism of the region-allocation search.
+//!
+//! The engine fans restarts and candidate-set descents across worker
+//! threads but reduces the per-unit results in a fixed order, so the
+//! outcome is a pure function of the design and the budget — never of
+//! the thread count or scheduling. These tests lock that in end to end:
+//! the *entire* report (scheme structure, metrics, Pareto front, and
+//! search-effort counters) must be byte-identical for every thread
+//! count, on the paper's examples and on a generated corpus.
+
+use prpart::arch::Resources;
+use prpart::core::{PartitionOutcome, Partitioner, SearchStrategy};
+use prpart::design::{corpus, Design};
+use prpart::synth::{generate_corpus, GeneratorConfig};
+use std::fmt::Write as _;
+
+/// A permissive budget so every generated design is feasible and the
+/// search (not feasibility) is what's exercised.
+const WIDE: Resources = Resources::new(120_000, 2_000, 2_000);
+
+/// The full observable result of a search, as one string.
+fn report(design: &Design, out: &PartitionOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "sets {} states {} pruned {}",
+        out.candidate_sets_explored, out.states_evaluated, out.states_pruned
+    );
+    if let Some(b) = &out.best {
+        let _ = writeln!(
+            s,
+            "best total {} worst {} regions {} static {} res {}",
+            b.metrics.total_frames,
+            b.metrics.worst_frames,
+            b.metrics.num_regions,
+            b.metrics.num_static,
+            b.metrics.resources
+        );
+        s.push_str(&b.scheme.describe(design));
+    }
+    for p in &out.pareto_front {
+        let _ = writeln!(
+            s,
+            "front total {} worst {} res {}",
+            p.metrics.total_frames, p.metrics.worst_frames, p.metrics.resources
+        );
+    }
+    s
+}
+
+fn run(
+    design: &Design,
+    budget: Resources,
+    threads: usize,
+    strategy: Option<SearchStrategy>,
+) -> String {
+    let mut p = Partitioner::new(budget).with_threads(threads);
+    if let Some(s) = strategy {
+        p = p.with_strategy(s);
+    }
+    report(design, &p.partition(design).expect("budget is feasible"))
+}
+
+fn assert_thread_invariant(design: &Design, budget: Resources, strategy: Option<SearchStrategy>) {
+    let baseline = run(design, budget, 1, strategy);
+    assert!(!baseline.is_empty());
+    for threads in [2usize, 8] {
+        let got = run(design, budget, threads, strategy);
+        assert_eq!(
+            baseline,
+            got,
+            "{}: {threads}-thread report diverged from sequential",
+            design.name()
+        );
+    }
+}
+
+#[test]
+fn abc_example_reports_are_identical_across_thread_counts() {
+    assert_thread_invariant(&corpus::abc_example(), WIDE, None);
+}
+
+#[test]
+fn video_receiver_reports_are_identical_across_thread_counts() {
+    for cfgset in [corpus::VideoConfigSet::Original, corpus::VideoConfigSet::Modified] {
+        assert_thread_invariant(
+            &corpus::video_receiver(cfgset),
+            corpus::VIDEO_RECEIVER_BUDGET,
+            None,
+        );
+    }
+}
+
+#[test]
+fn beam_search_reports_are_identical_across_thread_counts() {
+    assert_thread_invariant(
+        &corpus::abc_example(),
+        WIDE,
+        Some(SearchStrategy::Beam { width: 16, max_candidate_sets: 6 }),
+    );
+    assert_thread_invariant(
+        &corpus::video_receiver(corpus::VideoConfigSet::Original),
+        corpus::VIDEO_RECEIVER_BUDGET,
+        Some(SearchStrategy::Beam { width: 16, max_candidate_sets: 6 }),
+    );
+}
+
+#[test]
+fn generated_corpus_reports_are_identical_across_thread_counts() {
+    let designs = generate_corpus(&GeneratorConfig::default(), 4, 0xD17E);
+    assert_eq!(designs.len(), 4);
+    for sd in &designs {
+        assert_thread_invariant(&sd.design, WIDE, None);
+    }
+}
