@@ -1,0 +1,814 @@
+//! The independent scheme proof-checker.
+//!
+//! [`ProofChecker`] certifies that an [`EvaluatedScheme`] really is what
+//! it claims to be: every used mode covered, every region's partitions
+//! pairwise compatible, the area and reconfiguration-time figures correct,
+//! and the fit verdict honest. It is a deliberately **naive, from-scratch
+//! re-implementation** of the paper's cost model (Eqs. 2–11):
+//!
+//! * mode occurrence and presence are re-derived straight from
+//!   [`Design::config_modes`] — never read from the pre-computed
+//!   connectivity matrix or the partitions' cached `presence` masks
+//!   (those caches are themselves *checked*, rule PC005);
+//! * every configuration pair is walked explicitly, one region at a time,
+//!   with no incremental evaluation, no memoisation, and no code shared
+//!   with `prpart_core::search` — the only shared dependency is the
+//!   tile-quantisation arithmetic of `prpart-arch`, which is the spec
+//!   both sides implement against.
+//!
+//! An engine bug therefore cannot hide by being consistently wrong on
+//! both sides, short of the same bug being written twice independently.
+//!
+//! Violations carry stable `PCxxx` rule IDs:
+//!
+//! | ID | Violation |
+//! |----|-----------|
+//! | PC001 | a used mode is covered by no placed partition |
+//! | PC002 | a pool partition is placed more than once |
+//! | PC003 | a region has no partitions |
+//! | PC004 | two partitions in one region are active in the same configuration |
+//! | PC005 | a pool partition is internally invalid (bad/duplicate modes, stale caches) |
+//! | PC006 | the scheme exceeds the device budget |
+//! | PC007 | claimed resources differ from the recomputed total |
+//! | PC008 | claimed total reconfiguration frames differ from the recomputed sum |
+//! | PC009 | claimed worst-case frames differ from the recomputed maximum |
+//! | PC010 | claimed structural counts or fit verdict are inconsistent |
+//!
+//! A clean run yields a [`Certificate`] recording every recomputed figure,
+//! renderable as text or JSON.
+
+use crate::diagnostics::{json_string, Diagnostic, Location, Severity};
+use prpart_arch::{Resources, TileCounts};
+use prpart_core::audit::SchemeAuditor;
+use prpart_core::{EvaluatedScheme, Scheme, TransitionSemantics};
+use prpart_design::Design;
+
+/// Independent verifier of partitioning results. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProofChecker {
+    /// Device budget the scheme claims to fit, when known. Without it the
+    /// fit rules (PC006, the fit half of PC010) are skipped.
+    pub budget: Option<Resources>,
+    /// Don't-care transition semantics the claimed times were computed
+    /// under. Must match the search's setting.
+    pub semantics: TransitionSemantics,
+}
+
+impl ProofChecker {
+    /// A checker with no budget and the default (paper) semantics.
+    pub fn new() -> Self {
+        ProofChecker::default()
+    }
+
+    /// Sets the device budget to verify fit against.
+    pub fn with_budget(mut self, budget: Resources) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the transition semantics the claims were computed under.
+    pub fn with_semantics(mut self, semantics: TransitionSemantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Certifies an evaluated scheme: structure, then every claimed
+    /// metric. Collects **all** violations rather than stopping at the
+    /// first.
+    pub fn certify(&self, design: &Design, evaluated: &EvaluatedScheme) -> CheckReport {
+        self.run(design, &evaluated.scheme, Some(&evaluated.metrics))
+    }
+
+    /// Certifies a bare scheme (structure and fit only — with no claimed
+    /// metrics there is nothing to cross-check, but the certificate still
+    /// reports the independently recomputed figures).
+    pub fn certify_scheme(&self, design: &Design, scheme: &Scheme) -> CheckReport {
+        self.run(design, scheme, None)
+    }
+
+    fn run(
+        &self,
+        design: &Design,
+        scheme: &Scheme,
+        claims: Option<&prpart_core::SchemeMetrics>,
+    ) -> CheckReport {
+        let mut v: Vec<Diagnostic> = Vec::new();
+        let num_modes = design.num_modes();
+        let num_configs = design.num_configurations();
+
+        // Ground truth, straight from the design: which modes each
+        // configuration selects.
+        let config_sets: Vec<Vec<bool>> = (0..num_configs)
+            .map(|c| {
+                let mut set = vec![false; num_modes];
+                for g in design.config_modes(c) {
+                    set[g.idx()] = true;
+                }
+                set
+            })
+            .collect();
+
+        if scheme.num_configurations != num_configs {
+            violation(
+                &mut v,
+                "PC010",
+                Location::Metrics,
+                format!(
+                    "scheme records {} configurations but the design has {num_configs}",
+                    scheme.num_configurations
+                ),
+            );
+        }
+
+        // Re-derive every pool partition from the design, distrusting the
+        // cached resources/presence (PC005 checks the caches).
+        let derived: Vec<DerivedPartition> = scheme
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(pi, part)| {
+                let mut modes_seen = vec![false; num_modes];
+                let mut modules_seen = vec![false; design.modules().len()];
+                let mut resources = Resources::ZERO;
+                let mut valid = true;
+                for &g in &part.modes {
+                    if g.idx() >= num_modes {
+                        violation(
+                            &mut v,
+                            "PC005",
+                            Location::Partition { index: pi },
+                            format!("references mode id {} outside the design", g.0),
+                        );
+                        valid = false;
+                        continue;
+                    }
+                    if modes_seen[g.idx()] {
+                        violation(
+                            &mut v,
+                            "PC005",
+                            Location::Partition { index: pi },
+                            format!("lists mode {} twice", design.mode_label(g)),
+                        );
+                        valid = false;
+                    }
+                    modes_seen[g.idx()] = true;
+                    let module = design.module_of(g);
+                    if modules_seen[module.idx()] {
+                        violation(
+                            &mut v,
+                            "PC005",
+                            Location::Partition { index: pi },
+                            format!(
+                                "holds two modes of module {} — same-module modes are mutually \
+                                 exclusive and cannot load together",
+                                design.modules()[module.idx()].name
+                            ),
+                        );
+                        valid = false;
+                    }
+                    modules_seen[module.idx()] = true;
+                    resources += design.mode(g).resources;
+                }
+                // Presence: configurations selecting any member mode.
+                let presence: Vec<bool> = (0..num_configs)
+                    .map(|c| {
+                        part.modes.iter().any(|g| g.idx() < num_modes && config_sets[c][g.idx()])
+                    })
+                    .collect();
+                if valid {
+                    if part.resources != resources {
+                        violation(
+                            &mut v,
+                            "PC005",
+                            Location::Partition { index: pi },
+                            format!(
+                                "caches resources {} but its modes sum to {resources}",
+                                part.resources
+                            ),
+                        );
+                    }
+                    let cached: Vec<bool> =
+                        (0..num_configs).map(|c| part.presence.contains(c)).collect();
+                    if cached != presence {
+                        violation(
+                            &mut v,
+                            "PC005",
+                            Location::Partition { index: pi },
+                            "cached presence mask disagrees with the configurations that \
+                             actually select its modes"
+                                .to_string(),
+                        );
+                    }
+                }
+                DerivedPartition { resources, presence, modes: modes_seen }
+            })
+            .collect();
+
+        // Placement: each pool partition at most once, regions non-empty.
+        let mut placed = vec![false; scheme.partitions.len()];
+        let mut place = |p: usize, at: Location, v: &mut Vec<Diagnostic>| {
+            if p >= placed.len() {
+                violation(
+                    &mut *v,
+                    "PC005",
+                    at,
+                    format!(
+                        "references pool index {p} outside the {}-partition pool",
+                        placed.len()
+                    ),
+                );
+                return false;
+            }
+            if placed[p] {
+                violation(&mut *v, "PC002", at, format!("places partition {p} more than once"));
+                return false;
+            }
+            placed[p] = true;
+            true
+        };
+        for (ri, region) in scheme.regions.iter().enumerate() {
+            if region.partitions.is_empty() {
+                violation(
+                    &mut v,
+                    "PC003",
+                    Location::Region { index: ri },
+                    "has no partitions".to_string(),
+                );
+            }
+            for &p in &region.partitions {
+                place(p, Location::Region { index: ri }, &mut v);
+            }
+        }
+        for &p in &scheme.static_partitions {
+            place(p, Location::StaticRegion, &mut v);
+        }
+
+        // Coverage (PC001): every mode of every configuration must be in
+        // some placed partition.
+        let mut covered = vec![false; num_modes];
+        for (p, d) in derived.iter().enumerate() {
+            if placed[p] {
+                for (m, present) in d.modes.iter().enumerate() {
+                    if *present {
+                        covered[m] = true;
+                    }
+                }
+            }
+        }
+        let mut uncovered_reported = vec![false; num_modes];
+        for (c, set) in config_sets.iter().enumerate() {
+            for m in 0..num_modes {
+                if set[m] && !covered[m] && !uncovered_reported[m] {
+                    uncovered_reported[m] = true;
+                    let g = prpart_design::GlobalModeId(m as u32);
+                    violation(
+                        &mut v,
+                        "PC001",
+                        mode_location(design, g),
+                        format!(
+                            "is selected by configuration '{}' but no placed partition hosts it",
+                            design.configurations()[c].name
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Compatibility (PC004): within a region, at most one partition
+        // may be active per configuration.
+        for (ri, region) in scheme.regions.iter().enumerate() {
+            for c in 0..num_configs {
+                let active: Vec<usize> = region
+                    .partitions
+                    .iter()
+                    .copied()
+                    .filter(|&p| p < derived.len() && derived[p].presence[c])
+                    .collect();
+                if active.len() > 1 {
+                    violation(
+                        &mut v,
+                        "PC004",
+                        Location::Region { index: ri },
+                        format!(
+                            "partitions {} and {} are both active in configuration '{}' — an \
+                             incompatible merge",
+                            active[0],
+                            active[1],
+                            design.configurations()[c].name
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Area (Eqs. 2–6): regions are sized for the element-wise max of
+        // their members, quantised to whole tiles; statics sum raw.
+        let region_frames: Vec<u64> = scheme
+            .regions
+            .iter()
+            .map(|region| {
+                let need = region
+                    .partitions
+                    .iter()
+                    .filter(|&&p| p < derived.len())
+                    .map(|&p| derived[p].resources)
+                    .fold(Resources::ZERO, Resources::max);
+                TileCounts::for_resources(&need).frames()
+            })
+            .collect();
+        let region_capacity: Resources = scheme
+            .regions
+            .iter()
+            .map(|region| {
+                let need = region
+                    .partitions
+                    .iter()
+                    .filter(|&&p| p < derived.len())
+                    .map(|&p| derived[p].resources)
+                    .fold(Resources::ZERO, Resources::max);
+                TileCounts::for_resources(&need).capacity()
+            })
+            .sum();
+        let static_sum: Resources = scheme
+            .static_partitions
+            .iter()
+            .filter(|&&p| p < derived.len())
+            .map(|&p| derived[p].resources)
+            .sum();
+        let total_resources = region_capacity + static_sum + design.static_overhead();
+
+        // Time (Eqs. 7–11), the long way: every unordered configuration
+        // pair, every region, no shortcuts.
+        let mut total_frames = 0u64;
+        let mut worst_frames = 0u64;
+        for i in 0..num_configs {
+            for j in i + 1..num_configs {
+                let mut pair_frames = 0u64;
+                for (ri, region) in scheme.regions.iter().enumerate() {
+                    let active_in = |c: usize| -> Option<usize> {
+                        region
+                            .partitions
+                            .iter()
+                            .copied()
+                            .find(|&p| p < derived.len() && derived[p].presence[c])
+                    };
+                    if reconfigures(active_in(i), active_in(j), self.semantics) {
+                        pair_frames += region_frames[ri];
+                    }
+                }
+                total_frames += pair_frames;
+                worst_frames = worst_frames.max(pair_frames);
+            }
+        }
+
+        // Fit (PC006) against the budget, when known.
+        if let Some(budget) = self.budget {
+            if !total_resources.fits_in(&budget) {
+                violation(
+                    &mut v,
+                    "PC006",
+                    Location::Metrics,
+                    format!("the scheme needs {total_resources} but the device offers {budget}"),
+                );
+            }
+        }
+
+        // Claims (PC007–PC010).
+        if let Some(m) = claims {
+            if m.resources != total_resources {
+                violation(
+                    &mut v,
+                    "PC007",
+                    Location::Metrics,
+                    format!("claims {} but the scheme needs {total_resources}", m.resources),
+                );
+            }
+            if m.total_frames != total_frames {
+                violation(
+                    &mut v,
+                    "PC008",
+                    Location::Metrics,
+                    format!(
+                        "claims {} total reconfiguration frames but the pairwise sum is \
+                         {total_frames}",
+                        m.total_frames
+                    ),
+                );
+            }
+            if m.worst_frames != worst_frames {
+                violation(
+                    &mut v,
+                    "PC009",
+                    Location::Metrics,
+                    format!(
+                        "claims a worst transition of {} frames but the recomputed worst is \
+                         {worst_frames}",
+                        m.worst_frames
+                    ),
+                );
+            }
+            if m.num_regions != scheme.regions.len() {
+                violation(
+                    &mut v,
+                    "PC010",
+                    Location::Metrics,
+                    format!(
+                        "claims {} regions but the scheme has {}",
+                        m.num_regions,
+                        scheme.regions.len()
+                    ),
+                );
+            }
+            if m.num_static != scheme.static_partitions.len() {
+                violation(
+                    &mut v,
+                    "PC010",
+                    Location::Metrics,
+                    format!(
+                        "claims {} static partitions but the scheme has {}",
+                        m.num_static,
+                        scheme.static_partitions.len()
+                    ),
+                );
+            }
+            if let Some(budget) = self.budget {
+                let fits = total_resources.fits_in(&budget);
+                if m.fits != fits {
+                    violation(
+                        &mut v,
+                        "PC010",
+                        Location::Metrics,
+                        format!("claims fits={} but the recomputed verdict is {fits}", m.fits),
+                    );
+                }
+            }
+        }
+
+        CheckReport {
+            violations: v,
+            certificate: Certificate {
+                design: design.name().to_string(),
+                num_regions: scheme.regions.len(),
+                num_static: scheme.static_partitions.len(),
+                num_partitions: scheme.partitions.len(),
+                configuration_pairs: num_configs * num_configs.saturating_sub(1) / 2,
+                resources: total_resources,
+                total_frames,
+                worst_frames,
+                budget: self.budget,
+                semantics: self.semantics,
+            },
+        }
+    }
+}
+
+/// Per-partition facts re-derived from the design.
+struct DerivedPartition {
+    /// Summed member-mode resources.
+    resources: Resources,
+    /// `presence[c]` iff configuration `c` selects any member mode.
+    presence: Vec<bool>,
+    /// `modes[m]` iff global mode `m` is a member.
+    modes: Vec<bool>,
+}
+
+fn mode_location(design: &Design, g: prpart_design::GlobalModeId) -> Location {
+    let module = design.module_of(g);
+    Location::Mode {
+        module: design.modules()[module.idx()].name.clone(),
+        mode: design.mode(g).name.clone(),
+    }
+}
+
+fn violation(out: &mut Vec<Diagnostic>, rule: &'static str, location: Location, message: String) {
+    out.push(Diagnostic { rule, severity: Severity::Error, location, message });
+}
+
+/// The don't-care transition rule, restated here on purpose: the checker
+/// must not call the engine's implementation of the thing it is checking.
+fn reconfigures(a: Option<usize>, b: Option<usize>, semantics: TransitionSemantics) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => x != y,
+        (None, None) => false,
+        _ => semantics == TransitionSemantics::Pessimistic,
+    }
+}
+
+/// What the checker established, in its own arithmetic. Only meaningful
+/// when the accompanying report has no violations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Design the scheme was certified against.
+    pub design: String,
+    /// Reconfigurable regions.
+    pub num_regions: usize,
+    /// Static promotions.
+    pub num_static: usize,
+    /// Pool partitions.
+    pub num_partitions: usize,
+    /// Unordered configuration pairs walked.
+    pub configuration_pairs: usize,
+    /// Recomputed total resource requirement (regions quantised + statics
+    /// + overhead).
+    pub resources: Resources,
+    /// Recomputed total reconfiguration frames (Eq. 10).
+    pub total_frames: u64,
+    /// Recomputed worst single transition (Eq. 11).
+    pub worst_frames: u64,
+    /// Budget the fit rules ran against, if any.
+    pub budget: Option<Resources>,
+    /// Semantics the times were recomputed under.
+    pub semantics: TransitionSemantics,
+}
+
+impl Certificate {
+    /// Human-readable certificate.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "certificate for '{}'\n  structure: {} region(s), {} static promotion(s), {} pool \
+             partition(s)\n  recomputed over {} configuration pair(s) ({:?} semantics):\n    \
+             resources {}\n    total {} frames, worst transition {} frames\n",
+            self.design,
+            self.num_regions,
+            self.num_static,
+            self.num_partitions,
+            self.configuration_pairs,
+            self.semantics,
+            self.resources,
+            self.total_frames,
+            self.worst_frames,
+        );
+        match self.budget {
+            Some(b) => out.push_str(&format!("  fits budget {b}\n")),
+            None => out.push_str("  no budget supplied; fit not checked\n"),
+        }
+        out
+    }
+
+    /// Machine-readable certificate.
+    pub fn render_json(&self) -> String {
+        let budget = match self.budget {
+            Some(b) => format!(r#"{{"clb":{},"bram":{},"dsp":{}}}"#, b.clb, b.bram, b.dsp),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                r#"{{"design":{},"regions":{},"static":{},"partitions":{},"#,
+                r#""configuration_pairs":{},"semantics":{},"#,
+                r#""resources":{{"clb":{},"bram":{},"dsp":{}}},"#,
+                r#""total_frames":{},"worst_frames":{},"budget":{}}}"#
+            ),
+            json_string(&self.design),
+            self.num_regions,
+            self.num_static,
+            self.num_partitions,
+            self.configuration_pairs,
+            json_string(&format!("{:?}", self.semantics).to_lowercase()),
+            self.resources.clb,
+            self.resources.bram,
+            self.resources.dsp,
+            self.total_frames,
+            self.worst_frames,
+            budget,
+        )
+    }
+}
+
+/// Outcome of a certification run: all violations found (empty means
+/// certified) plus the checker's own recomputed figures.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Every violation, in check order. Empty means the scheme is
+    /// certified.
+    pub violations: Vec<Diagnostic>,
+    /// The recomputed facts (meaningful as a certificate only when
+    /// `violations` is empty).
+    pub certificate: Certificate,
+}
+
+impl CheckReport {
+    /// True when no violation was found.
+    pub fn is_certified(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// True when some violation carries the given rule ID.
+    pub fn has_rule(&self, rule: &str) -> bool {
+        self.violations.iter().any(|d| d.rule == rule)
+    }
+
+    /// One line per violation, or the certificate when clean.
+    pub fn render_text(&self) -> String {
+        if self.is_certified() {
+            return self.certificate.render_text();
+        }
+        let mut out = String::new();
+        for d in &self.violations {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "'{}': {} violation(s); scheme NOT certified\n",
+            self.certificate.design,
+            self.violations.len()
+        ));
+        out
+    }
+
+    /// Machine-readable report: certification flag, violations, and the
+    /// recomputed figures.
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"certified":{},"violations":{},"recomputed":{}}}"#,
+            self.is_certified(),
+            crate::diagnostics::json_array(self.violations.iter().map(Diagnostic::to_json)),
+            self.certificate.render_json(),
+        )
+    }
+
+    /// Compact single-line summary used by the audit hook's error path.
+    pub fn summary_line(&self) -> String {
+        let rules: Vec<&str> = self.violations.iter().map(|d| d.rule).collect();
+        let detail = self.violations.first().map(|d| format!("; first: {d}")).unwrap_or_default();
+        format!("{} violation(s) [{}]{}", self.violations.len(), rules.join(", "), detail)
+    }
+}
+
+/// The engine-facing face of the checker: install with
+/// [`prpart_core::Partitioner::with_auditor`] via
+/// [`prpart_core::AuditorHandle::new`].
+impl SchemeAuditor for ProofChecker {
+    fn name(&self) -> &'static str {
+        "proof-checker"
+    }
+
+    fn audit(&self, design: &Design, evaluated: &EvaluatedScheme) -> Result<(), String> {
+        let report = self.certify(design, evaluated);
+        if report.is_certified() {
+            Ok(())
+        } else {
+            Err(report.summary_line())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_core::{Partitioner, Region};
+    use prpart_design::corpus;
+
+    fn checked_partition(design: &Design, budget: Resources) -> EvaluatedScheme {
+        Partitioner::new(budget).partition(design).unwrap().best.expect("feasible")
+    }
+
+    fn wide() -> Resources {
+        Resources::new(120_000, 2_000, 2_000)
+    }
+
+    #[test]
+    fn search_results_certify_clean() {
+        for design in [
+            corpus::abc_example(),
+            corpus::video_receiver(corpus::VideoConfigSet::Original),
+            corpus::video_receiver(corpus::VideoConfigSet::Modified),
+            corpus::special_case_single_mode(),
+        ] {
+            let evaluated = checked_partition(&design, wide());
+            let checker = ProofChecker::new().with_budget(wide());
+            let report = checker.certify(&design, &evaluated);
+            assert!(report.is_certified(), "{}", report.render_text());
+            assert_eq!(report.certificate.total_frames, evaluated.metrics.total_frames);
+            assert_eq!(report.certificate.worst_frames, evaluated.metrics.worst_frames);
+            assert_eq!(report.certificate.resources, evaluated.metrics.resources);
+        }
+    }
+
+    #[test]
+    fn uncovered_mode_rejected_with_pc001() {
+        let design = corpus::abc_example();
+        let mut evaluated = checked_partition(&design, wide());
+        // Drop a whole region: its modes become uncovered.
+        evaluated.scheme.regions.pop().expect("has regions");
+        let report = ProofChecker::new().certify(&design, &evaluated);
+        assert!(!report.is_certified());
+        assert!(report.has_rule("PC001"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn incompatible_merge_rejected_with_pc004() {
+        let design = corpus::abc_example();
+        // A1 and B1 co-occur in configuration 2: merging them is invalid.
+        let scheme =
+            Scheme::from_named_groups(&design, &[&[("A", "A1"), ("B", "B1")]], &[]).unwrap();
+        let report = ProofChecker::new().certify_scheme(&design, &scheme);
+        assert!(report.has_rule("PC004"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn over_area_rejected_with_pc006() {
+        let design = corpus::abc_example();
+        let evaluated = checked_partition(&design, wide());
+        let tight = Resources::new(1, 0, 0);
+        let report = ProofChecker::new().with_budget(tight).certify(&design, &evaluated);
+        assert!(report.has_rule("PC006"), "{}", report.render_text());
+        // The honest fits=true claim now also contradicts the verdict.
+        assert!(report.has_rule("PC010"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn missummed_time_rejected_with_pc008() {
+        let design = corpus::abc_example();
+        let mut evaluated = checked_partition(&design, wide());
+        evaluated.metrics.total_frames += 1;
+        let report = ProofChecker::new().certify(&design, &evaluated);
+        assert!(report.has_rule("PC008"), "{}", report.render_text());
+        assert!(!report.has_rule("PC009"));
+    }
+
+    #[test]
+    fn wrong_worst_case_rejected_with_pc009() {
+        let design = corpus::abc_example();
+        let mut evaluated = checked_partition(&design, wide());
+        evaluated.metrics.worst_frames = evaluated.metrics.worst_frames.wrapping_sub(1);
+        let report = ProofChecker::new().certify(&design, &evaluated);
+        assert!(report.has_rule("PC009"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn wrong_area_claim_rejected_with_pc007() {
+        let design = corpus::abc_example();
+        let mut evaluated = checked_partition(&design, wide());
+        evaluated.metrics.resources.clb += 1;
+        let report = ProofChecker::new().certify(&design, &evaluated);
+        assert!(report.has_rule("PC007"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn duplicate_placement_rejected_with_pc002() {
+        let design = corpus::abc_example();
+        let mut evaluated = checked_partition(&design, wide());
+        let dup = evaluated.scheme.regions[0].partitions[0];
+        evaluated.scheme.regions.push(Region { partitions: vec![dup] });
+        let report = ProofChecker::new().certify(&design, &evaluated);
+        assert!(report.has_rule("PC002"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn empty_region_rejected_with_pc003() {
+        let design = corpus::abc_example();
+        let mut evaluated = checked_partition(&design, wide());
+        evaluated.scheme.regions.push(Region { partitions: vec![] });
+        let report = ProofChecker::new().certify(&design, &evaluated);
+        assert!(report.has_rule("PC003"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn stale_partition_cache_rejected_with_pc005() {
+        let design = corpus::abc_example();
+        let mut evaluated = checked_partition(&design, wide());
+        evaluated.scheme.partitions[0].resources.clb += 7;
+        let report = ProofChecker::new().certify(&design, &evaluated);
+        assert!(report.has_rule("PC005"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn semantics_mismatch_is_detected() {
+        // Claims computed under Pessimistic don't certify under the
+        // checker's Optimistic reading (on a design with don't-cares).
+        let design = corpus::special_case_single_mode();
+        let evaluated = Partitioner::new(wide())
+            .with_semantics(TransitionSemantics::Pessimistic)
+            .partition(&design)
+            .unwrap()
+            .best
+            .expect("feasible");
+        let matching = ProofChecker::new().with_semantics(TransitionSemantics::Pessimistic);
+        assert!(matching.certify(&design, &evaluated).is_certified());
+    }
+
+    #[test]
+    fn auditor_face_reports_rule_ids() {
+        let design = corpus::abc_example();
+        let mut evaluated = checked_partition(&design, wide());
+        evaluated.metrics.total_frames += 10;
+        let checker = ProofChecker::new();
+        assert_eq!(checker.name(), "proof-checker");
+        let err = checker.audit(&design, &evaluated).unwrap_err();
+        assert!(err.contains("PC008"), "{err}");
+        evaluated.metrics.total_frames -= 10;
+        assert!(checker.audit(&design, &evaluated).is_ok());
+    }
+
+    #[test]
+    fn certificate_renders_text_and_json() {
+        let design = corpus::abc_example();
+        let evaluated = checked_partition(&design, wide());
+        let report = ProofChecker::new().with_budget(wide()).certify(&design, &evaluated);
+        let text = report.render_text();
+        assert!(text.contains("certificate for 'abc-example'"), "{text}");
+        let json = report.render_json();
+        assert!(json.contains(r#""certified":true"#), "{json}");
+        assert!(json.contains(r#""total_frames""#), "{json}");
+    }
+}

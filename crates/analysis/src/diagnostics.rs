@@ -1,0 +1,242 @@
+//! Shared diagnostic vocabulary for the linter and the proof-checker:
+//! severities, structural source locations, and the [`Diagnostic`] record
+//! with its human-text and JSON renderings.
+//!
+//! Parsed designs carry no file/line information, so a *location* here is
+//! structural: the named module, mode, or configuration (or scheme
+//! region/partition index) the finding is anchored to — stable across
+//! reformatting of the input file, and precise enough to act on.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: an optimisation opportunity or notable structure.
+    Info,
+    /// Suspicious: almost certainly a design-entry mistake, but the
+    /// pipeline still produces a defined answer.
+    Warning,
+    /// The input (or result) is defective: the search would waste work,
+    /// fail, or the claimed result is wrong.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Structural anchor of a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// The design as a whole.
+    Design,
+    /// One module, by name.
+    Module {
+        /// Module name.
+        module: String,
+    },
+    /// One mode, by qualified name.
+    Mode {
+        /// Owning module name.
+        module: String,
+        /// Mode name within the module.
+        mode: String,
+    },
+    /// One configuration, by name.
+    Configuration {
+        /// Configuration name.
+        configuration: String,
+    },
+    /// A pair of configurations, by name.
+    ConfigurationPair {
+        /// First configuration name.
+        first: String,
+        /// Second configuration name.
+        second: String,
+    },
+    /// A pair of modes, by qualified `Module.Mode` labels.
+    ModePair {
+        /// First qualified mode label.
+        first: String,
+        /// Second qualified mode label.
+        second: String,
+    },
+    /// One reconfigurable region of a scheme, by index (0-based).
+    Region {
+        /// Region index.
+        index: usize,
+    },
+    /// The static region of a scheme.
+    StaticRegion,
+    /// One pool partition of a scheme, by index.
+    Partition {
+        /// Pool index.
+        index: usize,
+    },
+    /// The claimed metrics of an evaluated scheme.
+    Metrics,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Design => write!(f, "design"),
+            Location::Module { module } => write!(f, "module {module}"),
+            Location::Mode { module, mode } => write!(f, "mode {module}.{mode}"),
+            Location::Configuration { configuration } => {
+                write!(f, "configuration {configuration}")
+            }
+            Location::ConfigurationPair { first, second } => {
+                write!(f, "configurations {first} and {second}")
+            }
+            Location::ModePair { first, second } => write!(f, "modes {first} and {second}"),
+            Location::Region { index } => write!(f, "region PRR{}", index + 1),
+            Location::StaticRegion => write!(f, "static region"),
+            Location::Partition { index } => write!(f, "partition {index}"),
+            Location::Metrics => write!(f, "claimed metrics"),
+        }
+    }
+}
+
+impl Location {
+    /// Renders the location as a JSON object (hand-rolled: the workspace
+    /// deliberately carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        match self {
+            Location::Design => r#"{"kind":"design"}"#.to_string(),
+            Location::Module { module } => {
+                format!(r#"{{"kind":"module","module":{}}}"#, json_string(module))
+            }
+            Location::Mode { module, mode } => format!(
+                r#"{{"kind":"mode","module":{},"mode":{}}}"#,
+                json_string(module),
+                json_string(mode)
+            ),
+            Location::Configuration { configuration } => format!(
+                r#"{{"kind":"configuration","configuration":{}}}"#,
+                json_string(configuration)
+            ),
+            Location::ConfigurationPair { first, second } => format!(
+                r#"{{"kind":"configuration-pair","first":{},"second":{}}}"#,
+                json_string(first),
+                json_string(second)
+            ),
+            Location::ModePair { first, second } => format!(
+                r#"{{"kind":"mode-pair","first":{},"second":{}}}"#,
+                json_string(first),
+                json_string(second)
+            ),
+            Location::Region { index } => format!(r#"{{"kind":"region","index":{index}}}"#),
+            Location::StaticRegion => r#"{"kind":"static-region"}"#.to_string(),
+            Location::Partition { index } => {
+                format!(r#"{{"kind":"partition","index":{index}}}"#)
+            }
+            Location::Metrics => r#"{"kind":"metrics"}"#.to_string(),
+        }
+    }
+}
+
+/// One finding: a stable rule ID, its severity, where it anchors, and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`PLxxx` for lint rules, `PCxxx` for
+    /// proof-checker rules). Machine consumers key on this.
+    pub rule: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Structural anchor.
+    pub location: Location,
+    /// Human-readable explanation with the concrete names and numbers.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.rule, self.location, self.message)
+    }
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"rule":{},"severity":{},"location":{},"message":{}}}"#,
+            json_string(self.rule),
+            json_string(&self.severity.to_string()),
+            self.location.to_json(),
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Escapes and quotes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a list of already-serialised JSON values as a JSON array.
+pub fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_below_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn diagnostic_renders_text_and_json() {
+        let d = Diagnostic {
+            rule: "PL001",
+            severity: Severity::Warning,
+            location: Location::Mode { module: "A".into(), mode: "A1".into() },
+            message: "mode occurs in no configuration".into(),
+        };
+        assert_eq!(d.to_string(), "warning[PL001] mode A.A1: mode occurs in no configuration");
+        let json = d.to_json();
+        assert!(json.contains(r#""rule":"PL001""#), "{json}");
+        assert!(json.contains(r#""kind":"mode""#), "{json}");
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_array(["1".to_string(), "2".to_string()]), "[1,2]");
+    }
+}

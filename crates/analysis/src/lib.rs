@@ -1,0 +1,61 @@
+//! # prpart-analysis — static analysis for PR partitioning
+//!
+//! Two engines that bracket the partitioning pipeline (see
+//! `docs/static_analysis.md`):
+//!
+//! * **The design linter** ([`lint`]) catches bad *inputs* before search:
+//!   a registry of rules with stable `PLxxx` IDs and error/warning/info
+//!   severities, anchored to the module, mode, or configuration at fault.
+//!   Run it with [`lint_design`]; surface it as `prpart lint`.
+//! * **The proof-checker** ([`check`]) catches bad *outputs* after search:
+//!   a deliberately naive, from-scratch re-implementation of the paper's
+//!   coverage, compatibility, area, and reconfiguration-time rules
+//!   (Eqs. 2–11) that certifies any [`prpart_core::EvaluatedScheme`]
+//!   without sharing a line of evaluation code with the search engine.
+//!   Violations carry stable `PCxxx` IDs; clean runs yield a
+//!   [`Certificate`]. Surface it as `prpart check`, or install it into
+//!   the engine itself via [`prpart_core::Partitioner::with_auditor`] —
+//!   release builds then certify every final answer, debug builds every
+//!   accepted search state.
+//!
+//! Both engines emit human text and hand-rolled machine-readable JSON
+//! (the workspace carries no JSON dependency by design).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod check;
+pub mod diagnostics;
+pub mod lint;
+
+pub use check::{Certificate, CheckReport, ProofChecker};
+pub use diagnostics::{Diagnostic, Location, Severity};
+pub use lint::{lint_design, rules, LintOptions, LintReport, LintRule};
+
+use prpart_core::AuditorHandle;
+
+/// A ready-to-install engine auditor: the proof-checker wrapped for
+/// [`prpart_core::Partitioner::with_auditor`].
+pub fn auditor(checker: ProofChecker) -> AuditorHandle {
+    AuditorHandle::new(checker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_arch::Resources;
+    use prpart_core::Partitioner;
+    use prpart_design::corpus;
+
+    #[test]
+    fn engine_with_installed_auditor_accepts_honest_results() {
+        let design = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let budget = Resources::new(120_000, 2_000, 2_000);
+        let checker = ProofChecker::new().with_budget(budget);
+        let outcome = Partitioner::new(budget)
+            .with_auditor(auditor(checker))
+            .partition(&design)
+            .expect("honest results certify");
+        assert!(outcome.best.is_some());
+    }
+}

@@ -1,0 +1,616 @@
+//! The design linter: a registry of input-quality rules run over a
+//! [`Design`] before (or instead of) partitioning.
+//!
+//! Each rule has a stable `PLxxx` identifier, a severity, and a one-line
+//! summary; [`rules`] exposes the registry as data so documentation and
+//! `prpart lint --rules` can enumerate it without running anything. Rules
+//! re-derive everything they need from the design itself (mode occurrence
+//! counts, per-configuration mode sets) — the linter never consults the
+//! search pipeline, so its verdicts are meaningful even when the pipeline
+//! is the thing under suspicion.
+//!
+//! | ID | Severity | Finding |
+//! |----|----------|---------|
+//! | PL001 | warning | unreachable mode (occurs in no configuration) |
+//! | PL002 | warning | unused module (no mode ever selected) |
+//! | PL003 | error | duplicate configurations (identical mode sets) |
+//! | PL004 | warning | subsumed configuration (strict subset of another) |
+//! | PL005 | error | mode cannot fit the device even alone |
+//! | PL006 | error | empty configuration (degenerate matrix row) |
+//! | PL007 | info | static-region candidate (mode in every configuration) |
+//! | PL008 | info | perfectly correlated modes (identical presence, mergeable) |
+//! | PL009 | warning | zero-resource mode |
+//! | PL010 | warning | single configuration (nothing ever reconfigures) |
+
+use crate::diagnostics::{json_array, json_string, Diagnostic, Location, Severity};
+use prpart_arch::{Resources, TileCounts};
+use prpart_design::{Design, GlobalModeId};
+
+/// Linter inputs beyond the design itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOptions {
+    /// Reconfigurable-resource budget of the target device, when known.
+    /// Enables the fit rules (PL005); without it they are skipped.
+    pub budget: Option<Resources>,
+}
+
+/// One registered lint rule.
+pub struct LintRule {
+    /// Stable identifier (`PL001`…).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Severity of its findings.
+    pub severity: Severity,
+    /// One-line description of what it flags and why it matters.
+    pub summary: &'static str,
+    check: fn(&LintCtx<'_>, &mut Vec<Diagnostic>),
+}
+
+impl std::fmt::Debug for LintRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LintRule")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("severity", &self.severity)
+            .finish()
+    }
+}
+
+/// Facts every rule may need, derived once from the design.
+struct LintCtx<'a> {
+    design: &'a Design,
+    budget: Option<Resources>,
+    /// Per-mode occurrence count over configurations (matrix column sum).
+    occurrences: Vec<u32>,
+    /// Per-mode presence: `presence[m][c]` iff configuration `c` selects
+    /// global mode `m` (the connectivity matrix, recomputed naively).
+    presence: Vec<Vec<bool>>,
+}
+
+impl<'a> LintCtx<'a> {
+    fn new(design: &'a Design, options: &LintOptions) -> Self {
+        let num_modes = design.num_modes();
+        let num_configs = design.num_configurations();
+        let mut occurrences = vec![0u32; num_modes];
+        let mut presence = vec![vec![false; num_configs]; num_modes];
+        for (c, _) in design.configurations().iter().enumerate() {
+            for g in design.config_modes(c) {
+                occurrences[g.idx()] += 1;
+                presence[g.idx()][c] = true;
+            }
+        }
+        LintCtx { design, budget: options.budget, occurrences, presence }
+    }
+
+    fn mode_location(&self, g: GlobalModeId) -> Location {
+        let module = self.design.module_of(g);
+        Location::Mode {
+            module: self.design.modules()[module.idx()].name.clone(),
+            mode: self.design.mode(g).name.clone(),
+        }
+    }
+}
+
+/// The rule registry, in rule-ID order.
+pub fn rules() -> &'static [LintRule] {
+    const RULES: &[LintRule] = &[
+        LintRule {
+            id: "PL001",
+            name: "unreachable-mode",
+            severity: Severity::Warning,
+            summary: "a mode occurs in no configuration: the matrix column is empty and the \
+                      search will never place it",
+            check: check_unreachable_modes,
+        },
+        LintRule {
+            id: "PL002",
+            name: "unused-module",
+            severity: Severity::Warning,
+            summary: "no configuration selects any mode of this module",
+            check: check_unused_modules,
+        },
+        LintRule {
+            id: "PL003",
+            name: "duplicate-configuration",
+            severity: Severity::Error,
+            summary: "two configurations select identical mode sets, double-counting every \
+                      transition in the cost model",
+            check: check_duplicate_configurations,
+        },
+        LintRule {
+            id: "PL004",
+            name: "subsumed-configuration",
+            severity: Severity::Warning,
+            summary: "a configuration's mode set is a strict subset of another's, so it adds \
+                      no coverage constraint of its own",
+            check: check_subsumed_configurations,
+        },
+        LintRule {
+            id: "PL005",
+            name: "mode-exceeds-device",
+            severity: Severity::Error,
+            summary: "a used mode's tile-quantised area plus the static overhead exceeds the \
+                      device budget: every scheme containing it is infeasible",
+            check: check_modes_exceed_device,
+        },
+        LintRule {
+            id: "PL006",
+            name: "empty-configuration",
+            severity: Severity::Error,
+            summary: "a configuration selects no modes at all (degenerate matrix row)",
+            check: check_empty_configurations,
+        },
+        LintRule {
+            id: "PL007",
+            name: "static-candidate",
+            severity: Severity::Info,
+            summary: "a mode is present in every configuration: it never reconfigures and is \
+                      a natural static-region promotion",
+            check: check_static_candidates,
+        },
+        LintRule {
+            id: "PL008",
+            name: "correlated-modes",
+            severity: Severity::Info,
+            summary: "two modes of different modules share an identical presence set: they \
+                      always co-occur and are mergeable into one base partition",
+            check: check_correlated_modes,
+        },
+        LintRule {
+            id: "PL009",
+            name: "zero-resource-mode",
+            severity: Severity::Warning,
+            summary: "a mode declares zero resources (free to host anywhere; often a \
+                      placeholder left in by mistake)",
+            check: check_zero_resource_modes,
+        },
+        LintRule {
+            id: "PL010",
+            name: "single-configuration",
+            severity: Severity::Warning,
+            summary: "the design has a single configuration: nothing ever reconfigures and \
+                      partial reconfiguration buys nothing",
+            check: check_single_configuration,
+        },
+    ];
+    RULES
+}
+
+/// Looks up a rule by ID.
+pub fn rule(id: &str) -> Option<&'static LintRule> {
+    rules().iter().find(|r| r.id == id)
+}
+
+/// Runs every registered rule over the design.
+pub fn lint_design(design: &Design, options: &LintOptions) -> LintReport {
+    let ctx = LintCtx::new(design, options);
+    let mut diagnostics = Vec::new();
+    for rule in rules() {
+        (rule.check)(&ctx, &mut diagnostics);
+    }
+    LintReport { design: design.name().to_string(), diagnostics }
+}
+
+/// The linter's output: every finding, in rule order.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Name of the linted design.
+    pub design: String,
+    /// All findings, grouped by rule in registry order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of findings at the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// True if any finding is an error: the design should not be searched
+    /// as-is.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Human-readable report: one line per finding plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s), {} note(s)\n",
+            self.design,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// Machine-readable report.
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"design":{},"errors":{},"warnings":{},"notes":{},"diagnostics":{}}}"#,
+            json_string(&self.design),
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+            json_array(self.diagnostics.iter().map(Diagnostic::to_json)),
+        )
+    }
+}
+
+fn push(out: &mut Vec<Diagnostic>, id: &'static str, location: Location, message: String) {
+    let rule = rule(id).expect("rule IDs in checks match the registry");
+    out.push(Diagnostic { rule: rule.id, severity: rule.severity, location, message });
+}
+
+fn check_unreachable_modes(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for m in 0..ctx.design.num_modes() {
+        if ctx.occurrences[m] == 0 {
+            let g = GlobalModeId(m as u32);
+            push(
+                out,
+                "PL001",
+                ctx.mode_location(g),
+                "occurs in no configuration; it can never be active and the search ignores it"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_unused_modules(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for (mi, module) in ctx.design.modules().iter().enumerate() {
+        let all_unused = ctx
+            .design
+            .modes_of(prpart_design::ModuleId(mi as u32))
+            .all(|g| ctx.occurrences[g.idx()] == 0);
+        if all_unused {
+            push(
+                out,
+                "PL002",
+                Location::Module { module: module.name.clone() },
+                "no configuration selects any of its modes".to_string(),
+            );
+        }
+    }
+}
+
+fn check_duplicate_configurations(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let configs = ctx.design.configurations();
+    for i in 0..configs.len() {
+        for j in i + 1..configs.len() {
+            if configs[i].selection == configs[j].selection {
+                push(
+                    out,
+                    "PL003",
+                    Location::ConfigurationPair {
+                        first: configs[i].name.clone(),
+                        second: configs[j].name.clone(),
+                    },
+                    "select identical mode sets; every transition between or through them is \
+                     double-counted"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+fn check_subsumed_configurations(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let configs = ctx.design.configurations();
+    let subset = |a: &[Option<u32>], b: &[Option<u32>]| -> bool {
+        a.iter().zip(b).all(|(x, y)| match x {
+            None => true,
+            Some(_) => x == y,
+        })
+    };
+    for i in 0..configs.len() {
+        for j in 0..configs.len() {
+            if i == j || configs[i].selection == configs[j].selection {
+                continue;
+            }
+            if subset(&configs[i].selection, &configs[j].selection) {
+                push(
+                    out,
+                    "PL004",
+                    Location::ConfigurationPair {
+                        first: configs[i].name.clone(),
+                        second: configs[j].name.clone(),
+                    },
+                    format!(
+                        "'{}' selects a strict subset of '{}': it adds no coverage or \
+                         compatibility constraint, only transition cost",
+                        configs[i].name, configs[j].name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_modes_exceed_device(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(budget) = ctx.budget else { return };
+    let overhead = ctx.design.static_overhead();
+    for m in 0..ctx.design.num_modes() {
+        if ctx.occurrences[m] == 0 {
+            continue; // Unreachable modes are PL001's finding.
+        }
+        let g = GlobalModeId(m as u32);
+        let res = ctx.design.mode(g).resources;
+        let need = TileCounts::for_resources(&res).capacity() + overhead;
+        if !need.fits_in(&budget) {
+            push(
+                out,
+                "PL005",
+                ctx.mode_location(g),
+                format!(
+                    "needs {need} once tile-quantised (with static overhead) but the device \
+                     offers {budget}: every scheme containing this mode is infeasible"
+                ),
+            );
+        }
+    }
+}
+
+fn check_empty_configurations(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for c in ctx.design.configurations() {
+        if c.num_present() == 0 {
+            push(
+                out,
+                "PL006",
+                Location::Configuration { configuration: c.name.clone() },
+                "selects no modes at all; its connectivity-matrix row is empty".to_string(),
+            );
+        }
+    }
+}
+
+fn check_static_candidates(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let num_configs = ctx.design.num_configurations() as u32;
+    if num_configs < 2 {
+        return; // With one configuration everything is static (PL010).
+    }
+    for m in 0..ctx.design.num_modes() {
+        if ctx.occurrences[m] == num_configs {
+            let g = GlobalModeId(m as u32);
+            push(
+                out,
+                "PL007",
+                ctx.mode_location(g),
+                "is present in every configuration: it never reconfigures, so promoting it \
+                 into the static region costs no flexibility"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_correlated_modes(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let d = ctx.design;
+    for a in 0..d.num_modes() {
+        if ctx.occurrences[a] == 0 {
+            continue;
+        }
+        for b in a + 1..d.num_modes() {
+            let (ga, gb) = (GlobalModeId(a as u32), GlobalModeId(b as u32));
+            if d.module_of(ga) == d.module_of(gb) {
+                continue; // Same-module modes are mutually exclusive by construction.
+            }
+            if ctx.presence[a] == ctx.presence[b] {
+                push(
+                    out,
+                    "PL008",
+                    Location::ModePair { first: d.mode_label(ga), second: d.mode_label(gb) },
+                    "share an identical presence set: they always co-occur, so one base \
+                     partition can host both and reconfigure them together"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+fn check_zero_resource_modes(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for m in 0..ctx.design.num_modes() {
+        let g = GlobalModeId(m as u32);
+        if ctx.design.mode(g).resources.is_zero() {
+            push(
+                out,
+                "PL009",
+                ctx.mode_location(g),
+                "declares zero resources; if this is not an intentionally-empty mode it will \
+                 silently cost nothing everywhere"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_single_configuration(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.design.num_configurations() == 1 {
+        push(
+            out,
+            "PL010",
+            Location::Design,
+            "has a single configuration: there are no transitions to optimise and a fully \
+             static implementation is equivalent"
+                .to_string(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_arch::Resources;
+    use prpart_design::{corpus, Design, DesignBuilder};
+
+    fn ids(report: &LintReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn registry_is_sorted_unique_and_self_describing() {
+        let rs = rules();
+        assert_eq!(rs.len(), 10);
+        for w in rs.windows(2) {
+            assert!(w[0].id < w[1].id, "{} !< {}", w[0].id, w[1].id);
+        }
+        for r in rs {
+            assert!(r.id.starts_with("PL"), "{}", r.id);
+            assert!(!r.summary.is_empty());
+            assert!(rule(r.id).is_some());
+        }
+        assert!(rule("PL999").is_none());
+    }
+
+    #[test]
+    fn clean_design_yields_only_known_advisories() {
+        // The paper's abc example is clean apart from structure notes.
+        let d = corpus::abc_example();
+        let report = lint_design(&d, &LintOptions::default());
+        assert!(!report.has_errors(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn unreachable_mode_and_unused_module_flagged() {
+        let d = DesignBuilder::new("t")
+            .module("A", [("a1", Resources::clbs(10)), ("a2", Resources::clbs(20))])
+            .module("Ghost", [("g1", Resources::clbs(5))])
+            .module("B", [("b1", Resources::clbs(30))])
+            .configuration("c1", [("A", "a1"), ("B", "b1")])
+            .configuration("c2", [("A", "a2"), ("B", "b1")])
+            .build()
+            .unwrap();
+        let report = lint_design(&d, &LintOptions::default());
+        assert!(ids(&report).contains(&"PL001"), "{}", report.render_text());
+        assert!(ids(&report).contains(&"PL002"), "{}", report.render_text());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|di| di.rule == "PL002"
+                && di.location == Location::Module { module: "Ghost".into() }));
+    }
+
+    #[test]
+    fn subsumed_configuration_flagged() {
+        let d = DesignBuilder::new("t")
+            .module("A", [("a1", Resources::clbs(10))])
+            .module("B", [("b1", Resources::clbs(30))])
+            .configuration("full", [("A", "a1"), ("B", "b1")])
+            .configuration("partial", [("A", "a1")])
+            .build()
+            .unwrap();
+        let report = lint_design(&d, &LintOptions::default());
+        let diag = report.diagnostics.iter().find(|di| di.rule == "PL004").expect("PL004 fires");
+        assert_eq!(
+            diag.location,
+            Location::ConfigurationPair { first: "partial".into(), second: "full".into() }
+        );
+    }
+
+    #[test]
+    fn oversized_mode_flagged_only_with_budget() {
+        let d = DesignBuilder::new("t")
+            .module("A", [("small", Resources::clbs(10)), ("huge", Resources::clbs(100_000))])
+            .module("B", [("b1", Resources::clbs(30))])
+            .configuration("c1", [("A", "small"), ("B", "b1")])
+            .configuration("c2", [("A", "huge")])
+            .build()
+            .unwrap();
+        let no_budget = lint_design(&d, &LintOptions::default());
+        assert!(!ids(&no_budget).contains(&"PL005"));
+        let tight = LintOptions { budget: Some(Resources::new(1_000, 100, 100)) };
+        let report = lint_design(&d, &tight);
+        let diag = report.diagnostics.iter().find(|di| di.rule == "PL005").expect("PL005 fires");
+        assert_eq!(diag.location, Location::Mode { module: "A".into(), mode: "huge".into() });
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn static_candidate_and_correlated_modes_flagged() {
+        let d = DesignBuilder::new("t")
+            .module("Ctl", [("only", Resources::clbs(10))])
+            .module("X", [("x1", Resources::clbs(20)), ("x2", Resources::clbs(25))])
+            .module("Y", [("y1", Resources::clbs(30)), ("y2", Resources::clbs(35))])
+            .configuration("c1", [("Ctl", "only"), ("X", "x1"), ("Y", "y1")])
+            .configuration("c2", [("Ctl", "only"), ("X", "x2"), ("Y", "y2")])
+            .build()
+            .unwrap();
+        let report = lint_design(&d, &LintOptions::default());
+        // Ctl.only is in every configuration.
+        assert!(report.diagnostics.iter().any(|di| di.rule == "PL007"
+            && di.location == Location::Mode { module: "Ctl".into(), mode: "only".into() }));
+        // x1/y1 and x2/y2 are perfectly correlated.
+        let pl008: Vec<_> = report.diagnostics.iter().filter(|di| di.rule == "PL008").collect();
+        assert!(pl008
+            .iter()
+            .any(|di| di.location
+                == Location::ModePair { first: "X.x1".into(), second: "Y.y1".into() }));
+        assert!(pl008
+            .iter()
+            .any(|di| di.location
+                == Location::ModePair { first: "X.x2".into(), second: "Y.y2".into() }));
+    }
+
+    #[test]
+    fn zero_resource_mode_flagged_in_video_receiver() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let report = lint_design(&d, &LintOptions::default());
+        assert!(report.diagnostics.iter().any(|di| di.rule == "PL009"
+            && di.location == Location::Mode { module: "Recovery".into(), mode: "None".into() }));
+    }
+
+    #[test]
+    fn degenerate_shapes_flagged_on_raw_designs() {
+        use prpart_design::{Configuration, Mode, Module};
+        // Raw construction bypasses the builder's rejection, exactly the
+        // deserialised-input case the linter exists for.
+        let modules = vec![Module {
+            name: "A".into(),
+            modes: vec![Mode { name: "a1".into(), resources: Resources::clbs(10) }],
+        }];
+        let configurations = vec![
+            Configuration { name: "c1".into(), selection: vec![Some(0)] },
+            Configuration { name: "c2".into(), selection: vec![Some(0)] },
+            Configuration { name: "empty".into(), selection: vec![None] },
+        ];
+        let d = Design::from_raw_parts("raw".into(), Resources::ZERO, modules, configurations);
+        let report = lint_design(&d, &LintOptions::default());
+        assert!(report.diagnostics.iter().any(|di| di.rule == "PL003"
+            && di.location
+                == Location::ConfigurationPair { first: "c1".into(), second: "c2".into() }));
+        assert!(report.diagnostics.iter().any(|di| di.rule == "PL006"
+            && di.location == Location::Configuration { configuration: "empty".into() }));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn single_configuration_flagged() {
+        let d = DesignBuilder::new("t")
+            .module("A", [("a1", Resources::clbs(10))])
+            .configuration("only", [("A", "a1")])
+            .build()
+            .unwrap();
+        let report = lint_design(&d, &LintOptions::default());
+        assert!(ids(&report).contains(&"PL010"));
+        // And no static-candidate noise for the trivial case.
+        assert!(!ids(&report).contains(&"PL007"));
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let report = lint_design(&d, &LintOptions::default());
+        let text = report.render_text();
+        assert!(text.contains("warning[PL009] mode Recovery.None"), "{text}");
+        let json = report.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains(r#""rule":"PL009""#), "{json}");
+    }
+}

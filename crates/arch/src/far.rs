@@ -114,6 +114,7 @@ pub fn frames_for_rect(
 mod tests {
     use super::*;
     use crate::geometry::BlockKind::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -161,6 +162,7 @@ mod tests {
         assert!(frames.iter().all(|f| f.major == 1 && f.row == 2));
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #[test]
         fn prop_pack_unpack(row in 0u32..32, major in 0u32..256, minor in 0u32..128, bram in any::<bool>()) {

@@ -172,6 +172,7 @@ impl fmt::Display for DeviceGeometry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -218,6 +219,7 @@ mod tests {
         DeviceGeometry::new(vec![BlockKind::Clb], 0);
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 

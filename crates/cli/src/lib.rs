@@ -17,10 +17,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use prpart_analysis::{lint_design, LintOptions, ProofChecker};
 use prpart_arch::{DeviceLibrary, Resources};
 use prpart_core::device_select::select_device;
 use prpart_core::report::scheme_report;
-use prpart_core::{Partitioner, SearchStrategy, TransitionSemantics};
+use prpart_core::{
+    EvaluatedScheme, Partitioner, SchemeMetrics, SearchStrategy, TransitionSemantics,
+};
 use prpart_design::Design;
 use prpart_flow::FlowPipeline;
 use prpart_runtime::{run_monte_carlo, MonteCarloConfig, RecoveryPolicy};
@@ -140,6 +143,33 @@ pub enum Command {
         /// Search worker threads (0 = one per core).
         threads: usize,
     },
+    /// `prpart lint <design.xml> [--device NAME | --budget ...] [--json]`.
+    Lint {
+        /// Design XML path.
+        design: String,
+        /// Optional target whose budget enables the device-fit rules.
+        target: Option<Target>,
+        /// Optional device-library XML path.
+        library: Option<String>,
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
+    },
+    /// `prpart check <design.xml> <scheme.xml> [--device NAME |
+    /// --budget ...] [--pessimistic] [--json]`.
+    Check {
+        /// Design XML path.
+        design: String,
+        /// Partitioning report XML (from `partition --xml-out`).
+        scheme: String,
+        /// Optional target whose budget enables the fit rules.
+        target: Option<Target>,
+        /// Optional device-library XML path.
+        library: Option<String>,
+        /// The report's times were computed under pessimistic semantics.
+        pessimistic: bool,
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
+    },
     /// `prpart report <design.xml> <scheme.xml> [--simulate]`.
     Report {
         /// Design XML path.
@@ -183,8 +213,18 @@ USAGE:
   prpart report <design.xml> <scheme.xml> [--simulate]
   prpart pareto <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
                 [--threads N]
+  prpart lint <design.xml> [--device NAME | --budget CLB,BRAM,DSP]
+              [--library FILE] [--json]
+  prpart check <design.xml> <scheme.xml> [--device NAME | --budget CLB,BRAM,DSP]
+               [--library FILE] [--pessimistic] [--json]
   prpart info <design.xml>
   prpart help
+
+`lint` runs the static design linter (rules PL001..) before any search;
+it exits non-zero when an error-severity finding is present. `check`
+re-verifies a saved partitioning report with the independent
+proof-checker (rules PC001..) and exits non-zero unless the scheme
+certifies clean. See docs/static_analysis.md.
 
 `--threads N` fans the region-allocation search across N worker threads
 (0, the default, uses one per core). The result is byte-identical for
@@ -442,6 +482,56 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 _ => err("pareto: need <design.xml> and --device or --budget"),
             }
         }
+        "lint" => {
+            let mut design = None;
+            let mut target = None;
+            let mut library = None;
+            let mut json = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
+                    "--budget" => {
+                        target =
+                            Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
+                    }
+                    "--library" => library = Some(flag_value("--library", &mut it)?),
+                    "--json" => json = true,
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            let Some(design) = design else { return err("lint: missing <design.xml>") };
+            Ok(Command::Lint { design, target, library, json })
+        }
+        "check" => {
+            let mut design = None;
+            let mut scheme = None;
+            let mut target = None;
+            let mut library = None;
+            let mut pessimistic = false;
+            let mut json = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
+                    "--budget" => {
+                        target =
+                            Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
+                    }
+                    "--library" => library = Some(flag_value("--library", &mut it)?),
+                    "--pessimistic" => pessimistic = true,
+                    "--json" => json = true,
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    _ if scheme.is_none() && !a.starts_with('-') => scheme = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            match (design, scheme) {
+                (Some(design), Some(scheme)) => {
+                    Ok(Command::Check { design, scheme, target, library, pessimistic, json })
+                }
+                _ => err("check: need <design.xml> <scheme.xml>"),
+            }
+        }
         "report" => {
             let mut design = None;
             let mut scheme = None;
@@ -521,6 +611,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 budget_for(&target, &library)?.expect("pareto always has a concrete target");
             let outcome = Partitioner::new(budget)
                 .with_threads(threads)
+                .with_auditor(prpart_analysis::auditor(ProofChecker::new().with_budget(budget)))
                 .partition(&design)
                 .map_err(|e| CliError { message: e.to_string() })?;
             let mut out = String::new();
@@ -535,6 +626,74 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 );
             }
             Ok(out)
+        }
+        Command::Lint { design, target, library, json } => {
+            let library = load_library(&library, false)?;
+            let design = load_design(&design)?;
+            let budget = match &target {
+                None => None,
+                Some(t) => budget_for(t, &library)?,
+            };
+            let report = lint_design(&design, &LintOptions { budget });
+            let rendered = if json {
+                let mut j = report.render_json();
+                j.push('\n');
+                j
+            } else {
+                report.render_text()
+            };
+            if report.has_errors() {
+                Err(CliError { message: rendered })
+            } else {
+                Ok(rendered)
+            }
+        }
+        Command::Check { design, scheme, target, library, pessimistic, json } => {
+            let library = load_library(&library, false)?;
+            let design = load_design(&design)?;
+            let budget = match &target {
+                None => None,
+                Some(t) => budget_for(t, &library)?,
+            };
+            let text = std::fs::read_to_string(&scheme)
+                .map_err(|e| CliError { message: format!("cannot read {scheme}: {e}") })?;
+            let doc = prpart_xmlio::parse(&text)
+                .map_err(|e| CliError { message: format!("{scheme}: {e}") })?;
+            // Deliberately the *raw* loader: a defective report must reach
+            // the checker, not be filtered out by loader validation.
+            let loaded = prpart_xmlio::schema::raw_scheme_from_xml(&design, &doc)
+                .map_err(|e| CliError { message: format!("{scheme}: {e}") })?;
+            let claims = prpart_xmlio::schema::claimed_metrics_from_xml(&doc)
+                .map_err(|e| CliError { message: format!("{scheme}: {e}") })?;
+            let mut checker = ProofChecker::new();
+            if let Some(b) = budget {
+                checker = checker.with_budget(b);
+            }
+            if pessimistic {
+                checker = checker.with_semantics(TransitionSemantics::Pessimistic);
+            }
+            let metrics = SchemeMetrics {
+                resources: claims.resources,
+                total_frames: claims.total_frames,
+                worst_frames: claims.worst_frames,
+                num_regions: loaded.regions.len(),
+                num_static: loaded.static_partitions.len(),
+                fits: budget.is_none_or(|b| claims.resources.fits_in(&b)),
+            };
+            let evaluated = EvaluatedScheme { scheme: loaded, metrics };
+            let report = checker.certify(&design, &evaluated);
+            let rendered = if json {
+                let mut j = report.render_json();
+                j.push('\n');
+                j
+            } else {
+                report.render_text()
+            };
+            if report.is_certified() {
+                Ok(rendered)
+            } else {
+                Err(CliError { message: rendered })
+            }
         }
         Command::Report { design, scheme, simulate } => {
             let design = load_design(&design)?;
@@ -608,13 +767,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 if no_static {
                     p = p.without_static_promotion();
                 }
+                let mut checker = ProofChecker::new().with_budget(budget);
                 if pessimistic {
                     p = p.with_semantics(TransitionSemantics::Pessimistic);
+                    checker = checker.with_semantics(TransitionSemantics::Pessimistic);
                 }
                 if let Some(w) = &weights {
                     p = p.with_transition_weights(w.clone());
                 }
-                p
+                p.with_auditor(prpart_analysis::auditor(checker))
             };
             let mut out = String::new();
             let best = match budget_for(&target, &library)? {
@@ -728,6 +889,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 budget_for(&target, &library)?.expect("simulate always has a concrete target");
             let best = Partitioner::new(budget)
                 .with_threads(threads)
+                .with_auditor(prpart_analysis::auditor(ProofChecker::new().with_budget(budget)))
                 .partition(&design)
                 .map_err(|e| CliError { message: e.to_string() })?
                 .best
@@ -1147,6 +1309,160 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown mode"), "{err}");
+    }
+
+    #[test]
+    fn parses_lint_and_check() {
+        let c = parse_args(&s(&["lint", "d.xml"])).unwrap();
+        assert!(matches!(c, Command::Lint { target: None, json: false, .. }));
+        let c = parse_args(&s(&["lint", "d.xml", "--device", "SX70T", "--json"])).unwrap();
+        assert!(matches!(c, Command::Lint { target: Some(Target::Device(_)), json: true, .. }));
+        assert!(parse_args(&s(&["lint"])).is_err(), "lint needs a design");
+        let c = parse_args(&s(&["check", "d.xml", "s.xml", "--budget", "1,2,3"])).unwrap();
+        match c {
+            Command::Check { design, scheme, target, pessimistic, json, .. } => {
+                assert_eq!(design, "d.xml");
+                assert_eq!(scheme, "s.xml");
+                assert_eq!(target, Some(Target::Budget(Resources::new(1, 2, 3))));
+                assert!(!pessimistic && !json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse_args(&s(&["check", "d.xml", "s.xml", "--pessimistic", "--json"])).unwrap();
+        assert!(matches!(c, Command::Check { pessimistic: true, json: true, .. }));
+        assert!(parse_args(&s(&["check", "d.xml"])).is_err(), "check needs a scheme");
+    }
+
+    #[test]
+    fn lint_flags_findings_and_sets_exit_status() {
+        let dir = std::env::temp_dir().join("prpart-cli-lint");
+        std::fs::create_dir_all(&dir).unwrap();
+        // The video receiver carries a known unreachable mode
+        // (Recovery.None): warnings only, so the command succeeds.
+        let design =
+            prpart_design::corpus::video_receiver(prpart_design::corpus::VideoConfigSet::Original);
+        let path = dir.join("video.xml");
+        std::fs::write(&path, prpart_xmlio::render_design(&design)).unwrap();
+        let out = run(Command::Lint {
+            design: path.to_string_lossy().into_owned(),
+            target: None,
+            library: None,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("PL001"), "{out}");
+        assert!(out.contains("Recovery"), "{out}");
+
+        // Against a device too small for a mode, PL005 is an error and
+        // the command fails (non-zero exit in main).
+        let err = run(Command::Lint {
+            design: path.to_string_lossy().into_owned(),
+            target: Some(Target::Budget(Resources::new(40, 2, 2))),
+            library: None,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("PL005"), "{err}");
+
+        // JSON mode emits the machine-readable report.
+        let out = run(Command::Lint {
+            design: path.to_string_lossy().into_owned(),
+            target: None,
+            library: None,
+            json: true,
+        })
+        .unwrap();
+        assert!(out.contains(r#""diagnostics""#), "{out}");
+        assert!(out.trim_end().ends_with('}'), "{out}");
+    }
+
+    /// The seeded-defect corpus, driven end-to-end through the CLI: a
+    /// saved report is mutated in XML and `prpart check` must reject each
+    /// mutation with the right rule ID (ISSUE acceptance criterion).
+    #[test]
+    fn check_certifies_honest_reports_and_rejects_mutations() {
+        let dir = std::env::temp_dir().join("prpart-cli-check");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::abc_example();
+        let design_path = dir.join("abc.xml");
+        std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
+        let scheme_path = dir.join("scheme.xml");
+        run(Command::Partition {
+            design: design_path.to_string_lossy().into_owned(),
+            target: Target::Budget(Resources::new(100_000, 1_000, 1_000)),
+            strategy: None,
+            no_static: false,
+            pessimistic: false,
+            xml_out: Some(scheme_path.to_string_lossy().into_owned()),
+            library: None,
+            weights: None,
+            threads: 0,
+        })
+        .unwrap();
+        let check = |scheme: &std::path::Path, budget: Option<Resources>| {
+            run(Command::Check {
+                design: design_path.to_string_lossy().into_owned(),
+                scheme: scheme.to_string_lossy().into_owned(),
+                target: budget.map(Target::Budget),
+                library: None,
+                pessimistic: false,
+                json: false,
+            })
+        };
+        // The honest report certifies clean.
+        let out = check(&scheme_path, Some(Resources::new(100_000, 1_000, 1_000))).unwrap();
+        assert!(out.contains("certificate for"), "{out}");
+        let honest = std::fs::read_to_string(&scheme_path).unwrap();
+
+        // Defect 1 — uncovered mode: delete a <region> element wholesale.
+        let open = honest.find("<region").expect("has regions");
+        let close = honest[open..].find("</region>").expect("closed") + open + "</region>".len();
+        let mutated = format!("{}{}", &honest[..open], &honest[close..]);
+        let p = dir.join("uncovered.xml");
+        std::fs::write(&p, mutated).unwrap();
+        let err = check(&p, None).unwrap_err();
+        assert!(err.to_string().contains("PC001"), "{err}");
+
+        // Defect 2 — incompatible merge: a region holding two partitions
+        // that are active in the same configuration (A1+B1 co-occur).
+        let merged = honest.replace(
+            "</partitioning>",
+            "<region><partition weight=\"1\">\
+             <use module=\"A\" mode=\"A1\"/></partition>\
+             <partition weight=\"1\"><use module=\"B\" mode=\"B1\"/></partition>\
+             </region></partitioning>",
+        );
+        let p = dir.join("incompatible.xml");
+        std::fs::write(&p, merged).unwrap();
+        let err = check(&p, None).unwrap_err();
+        assert!(err.to_string().contains("PC004"), "{err}");
+
+        // Defect 3 — mis-summed reconfiguration time: corrupt the claimed
+        // total-frames attribute.
+        let open = honest.find("total-frames=\"").expect("claims total") + "total-frames=\"".len();
+        let close = honest[open..].find('"').expect("quoted") + open;
+        let claimed: u64 = honest[open..close].parse().unwrap();
+        let lied = format!("{}{}{}", &honest[..open], claimed + 1, &honest[close..]);
+        let p = dir.join("missummed.xml");
+        std::fs::write(&p, lied).unwrap();
+        let err = check(&p, None).unwrap_err();
+        assert!(err.to_string().contains("PC008"), "{err}");
+
+        // Defect 4 — over-area: the honest report cannot fit a tiny device.
+        let err = check(&scheme_path, Some(Resources::new(10, 0, 0))).unwrap_err();
+        assert!(err.to_string().contains("PC006"), "{err}");
+
+        // JSON mode reports certification machine-readably.
+        let out = run(Command::Check {
+            design: design_path.to_string_lossy().into_owned(),
+            scheme: scheme_path.to_string_lossy().into_owned(),
+            target: None,
+            library: None,
+            pessimistic: false,
+            json: true,
+        })
+        .unwrap();
+        assert!(out.contains(r#""certified":true"#), "{out}");
     }
 
     #[test]

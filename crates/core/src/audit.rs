@@ -1,0 +1,100 @@
+//! The scheme-audit hook: an inversion-of-control seam through which an
+//! *independent* verifier (one that shares no evaluation code with
+//! [`crate::search`]) certifies search results.
+//!
+//! The search engine cannot depend on its own checker — the whole point
+//! of an independent proof-checker is that it lives outside this crate
+//! and re-derives every property from first principles. Instead, the
+//! [`Partitioner`](crate::Partitioner) carries an optional
+//! [`AuditorHandle`]; when present:
+//!
+//! * **release builds** audit every *final* answer — the best scheme and
+//!   every Pareto-front entry — before [`crate::search::PartitionOutcome`]
+//!   is returned, surfacing violations as
+//!   [`PartitionError::AuditFailed`](crate::error::PartitionError);
+//! * **debug builds** additionally audit every *accepted* search state
+//!   (each state that becomes the incumbent best or enters the Pareto
+//!   archive), panicking at the exact acceptance that produced an
+//!   uncertifiable state — the earliest possible observation point for a
+//!   search bug.
+//!
+//! The canonical implementation is `prpart_analysis::ProofChecker`.
+
+use crate::scheme::EvaluatedScheme;
+use prpart_design::Design;
+use std::fmt;
+use std::sync::Arc;
+
+/// An independent verifier of evaluated schemes.
+///
+/// Implementations must re-derive coverage, compatibility, area and
+/// reconfiguration-time from the design and the scheme structure alone —
+/// never by calling back into the search's incremental evaluation.
+pub trait SchemeAuditor: Send + Sync {
+    /// A short name for diagnostics (e.g. `"proof-checker"`).
+    fn name(&self) -> &'static str {
+        "auditor"
+    }
+
+    /// Certifies one evaluated scheme against its design. Returns a
+    /// human-readable description of every violation on failure.
+    fn audit(&self, design: &Design, evaluated: &EvaluatedScheme) -> Result<(), String>;
+}
+
+/// A cloneable, debuggable handle to a shared [`SchemeAuditor`], so the
+/// [`Partitioner`](crate::Partitioner) can keep deriving `Clone`.
+#[derive(Clone)]
+pub struct AuditorHandle(pub Arc<dyn SchemeAuditor>);
+
+impl AuditorHandle {
+    /// Wraps an auditor in a shareable handle.
+    pub fn new(auditor: impl SchemeAuditor + 'static) -> Self {
+        AuditorHandle(Arc::new(auditor))
+    }
+}
+
+impl fmt::Debug for AuditorHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AuditorHandle({})", self.0.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Rejector;
+    impl SchemeAuditor for Rejector {
+        fn name(&self) -> &'static str {
+            "rejector"
+        }
+        fn audit(&self, _design: &Design, _evaluated: &EvaluatedScheme) -> Result<(), String> {
+            Err("always rejects".into())
+        }
+    }
+
+    #[test]
+    fn handle_reports_auditor_name() {
+        let h = AuditorHandle::new(Rejector);
+        assert_eq!(format!("{h:?}"), "AuditorHandle(rejector)");
+        let h2 = h.clone();
+        assert_eq!(h2.0.name(), "rejector");
+    }
+
+    /// A rejecting auditor stops the engine on both profiles, at
+    /// different points by design: debug builds panic at the first
+    /// accepted search state, release builds surface the final-answer
+    /// audit as [`crate::PartitionError::AuditFailed`].
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "rejected an accepted search state"))]
+    fn rejecting_auditor_fails_partitioning() {
+        use crate::Partitioner;
+        use prpart_design::corpus;
+        let d = corpus::abc_example();
+        let err = Partitioner::new(prpart_arch::Resources::new(100_000, 1_000, 1_000))
+            .with_auditor(AuditorHandle::new(Rejector))
+            .partition(&d)
+            .unwrap_err();
+        assert!(matches!(err, crate::PartitionError::AuditFailed { .. }), "{err}");
+    }
+}

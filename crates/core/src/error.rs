@@ -48,6 +48,16 @@ pub enum PartitionError {
         /// Mode name as referenced.
         mode: String,
     },
+    /// An installed [`SchemeAuditor`](crate::audit::SchemeAuditor)
+    /// rejected a result the search was about to return. This always
+    /// indicates an engine bug (or a misbehaving auditor), never a bad
+    /// input: infeasible inputs are rejected earlier with typed errors.
+    AuditFailed {
+        /// Name of the auditor that rejected the result.
+        auditor: &'static str,
+        /// The auditor's description of every violation found.
+        details: String,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -72,6 +82,9 @@ impl fmt::Display for PartitionError {
             ),
             PartitionError::UnknownMode { module, mode } => {
                 write!(f, "design defines no mode '{mode}' in module '{module}'")
+            }
+            PartitionError::AuditFailed { auditor, details } => {
+                write!(f, "{auditor} rejected the search result: {details}")
             }
         }
     }

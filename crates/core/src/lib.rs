@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod baselines;
 pub mod cluster;
 pub mod covering;
@@ -45,6 +46,7 @@ pub mod scheme;
 pub mod search;
 pub mod weights;
 
+pub use audit::{AuditorHandle, SchemeAuditor};
 pub use cluster::generate_base_partitions;
 pub use covering::{cover, CandidateSets};
 pub use error::PartitionError;

@@ -48,6 +48,7 @@
 //! exact replay), and beam search declines to expand children dominated
 //! on both area and time by its Pareto archive.
 
+use crate::audit::AuditorHandle;
 use crate::cluster::{generate_base_partitions, DEFAULT_CLIQUE_LIMIT};
 use crate::covering::CandidateSets;
 use crate::error::PartitionError;
@@ -169,6 +170,11 @@ pub struct Partitioner {
     /// reduced in a fixed order, so any thread count yields byte-identical
     /// output.
     pub threads: usize,
+    /// Optional independent result verifier (see [`crate::audit`]). When
+    /// installed, every final answer is certified before being returned
+    /// (release builds) and every accepted search state is certified as
+    /// it is accepted (debug builds).
+    pub auditor: Option<AuditorHandle>,
 }
 
 impl Partitioner {
@@ -183,6 +189,7 @@ impl Partitioner {
             transition_weights: None,
             objective: Objective::TotalTime,
             threads: 0,
+            auditor: None,
         }
     }
 
@@ -223,6 +230,12 @@ impl Partitioner {
     /// fast the same answer arrives.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Installs an independent result verifier (see [`crate::audit`]).
+    pub fn with_auditor(mut self, auditor: AuditorHandle) -> Self {
+        self.auditor = Some(auditor);
         self
     }
 
@@ -301,9 +314,9 @@ impl Partitioner {
                 covered[m.idx()] = true;
             }
         }
-        for m in 0..design.num_modes() {
+        for (m, covered) in covered.iter().enumerate() {
             let g = prpart_design::GlobalModeId(m as u32);
-            if !covered[m] && matrix.node_weight(g) > 0 {
+            if !covered && matrix.node_weight(g) > 0 {
                 pool.push(BasePartition::from_modes(design, &matrix, vec![g]));
                 groups.push(vec![pool.len() - 1]);
             }
@@ -338,6 +351,7 @@ impl Partitioner {
                 outcome.pareto_front = seeded_front;
             }
         }
+        self.audit_outcome(design, &outcome.best, &outcome.pareto_front)?;
         Ok(outcome)
     }
 
@@ -383,6 +397,7 @@ impl Partitioner {
         stats.candidate_sets_explored = sets.len();
 
         let (best, pareto_front) = best.into_evaluated(design, &self.budget, self.semantics);
+        self.audit_outcome(design, &best, &pareto_front)?;
         Ok(PartitionOutcome {
             best,
             pareto_front,
@@ -392,9 +407,10 @@ impl Partitioner {
         })
     }
 
-    fn make_ctx<'a>(&'a self, design: &Design, pool: &'a [BasePartition]) -> Ctx<'a> {
+    fn make_ctx<'a>(&'a self, design: &'a Design, pool: &'a [BasePartition]) -> Ctx<'a> {
         Ctx {
             pool,
+            design,
             num_configs: design.num_configurations(),
             budget: self.budget,
             overhead: design.static_overhead(),
@@ -402,8 +418,29 @@ impl Partitioner {
             allow_static: self.allow_static_promotion,
             weights: self.transition_weights.as_ref(),
             objective: self.objective,
+            auditor: self.auditor.as_ref(),
             merge_cache: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Certifies a finished answer (best scheme plus every Pareto-front
+    /// entry) through the installed auditor, if any. Called on every path
+    /// that returns a [`PartitionOutcome`], in release and debug builds
+    /// alike.
+    fn audit_outcome(
+        &self,
+        design: &Design,
+        best: &Option<EvaluatedScheme>,
+        front: &[EvaluatedScheme],
+    ) -> Result<(), PartitionError> {
+        let Some(handle) = &self.auditor else { return Ok(()) };
+        for evaluated in best.iter().chain(front.iter()) {
+            handle.0.audit(design, evaluated).map_err(|details| PartitionError::AuditFailed {
+                auditor: handle.0.name(),
+                details,
+            })?;
+        }
+        Ok(())
     }
 
     /// Runs every unit and returns the per-unit results **in unit order**.
@@ -604,6 +641,7 @@ const MERGE_CACHE_CAP: usize = 1 << 16;
 /// Shared search context for one candidate partition set.
 struct Ctx<'a> {
     pool: &'a [BasePartition],
+    design: &'a Design,
     num_configs: usize,
     budget: Resources,
     overhead: Resources,
@@ -611,6 +649,7 @@ struct Ctx<'a> {
     allow_static: bool,
     weights: Option<&'a TransitionWeights>,
     objective: Objective,
+    auditor: Option<&'a AuditorHandle>,
     /// Transposition table for merged groups, keyed by the merged member
     /// list (which — given the deterministic left-to-right merge
     /// construction — is the canonical content of the resulting group).
@@ -636,6 +675,38 @@ impl Ctx<'_> {
             cache.insert(key, g.clone());
         }
         g
+    }
+
+    /// Debug-build self-check on an accepted state: cross-checks the
+    /// incrementally maintained totals against the full
+    /// [`Scheme::metrics`] evaluation and, when an auditor is installed,
+    /// certifies the state through it — observing a search bug at the
+    /// exact acceptance that introduced it rather than in the final
+    /// answer. Never called in release builds (the caller gates on
+    /// `cfg!(debug_assertions)`).
+    fn debug_audit(&self, state: &State) {
+        let scheme = state.to_scheme(self);
+        let metrics = scheme.metrics(self.overhead, &self.budget, self.semantics);
+        assert_eq!(
+            state.area, metrics.resources,
+            "incremental area diverged from the full evaluation"
+        );
+        if self.weights.is_none() {
+            let full = match self.objective {
+                Objective::TotalTime => metrics.total_frames,
+                Objective::WorstCase => metrics.worst_frames,
+            };
+            assert_eq!(
+                state.time, full as f64,
+                "incremental time diverged from the full evaluation"
+            );
+        }
+        if let Some(handle) = self.auditor {
+            let evaluated = EvaluatedScheme { scheme, metrics };
+            if let Err(details) = handle.0.audit(self.design, &evaluated) {
+                panic!("{} rejected an accepted search state: {details}", handle.0.name());
+            }
+        }
     }
 }
 
@@ -1079,19 +1150,23 @@ impl Best {
             return;
         }
         let area = state.area.total_primitives();
-        if self.scheme.is_none()
+        let improved = self.scheme.is_none()
             || state.time < self.time
-            || (state.time == self.time && area < self.area)
-        {
+            || (state.time == self.time && area < self.area);
+        if improved {
             self.scheme = Some(state.to_scheme(ctx));
             self.time = state.time;
             self.area = area;
         }
-        self.pareto_insert(state.time, area, || state.to_scheme(ctx));
+        let archived = self.pareto_insert(state.time, area, || state.to_scheme(ctx));
+        if cfg!(debug_assertions) && (improved || archived) {
+            ctx.debug_audit(state);
+        }
     }
 
     /// Pareto maintenance: drop if dominated; evict what it dominates.
-    fn pareto_insert(&mut self, time: f64, area: u64, make: impl FnOnce() -> Scheme) {
+    /// Returns whether the point entered the archive.
+    fn pareto_insert(&mut self, time: f64, area: u64, make: impl FnOnce() -> Scheme) -> bool {
         let dominated = self
             .pareto
             .iter()
@@ -1100,8 +1175,10 @@ impl Best {
             self.pareto.retain(|(t, a, _)| !(time <= *t && area <= *a));
             if self.pareto.len() < PARETO_CAP {
                 self.pareto.push((time, area, make()));
+                return true;
             }
         }
+        false
     }
 
     /// Folds another tracker in. Merging per-unit trackers in unit order
@@ -1218,10 +1295,9 @@ fn greedy_restart_chunk(
     scored.sort_by_key(|&(k, _)| k);
     scored.truncate(max_first_moves.max(1));
     let start = chunk * RESTART_CHUNK;
-    let end = (start + RESTART_CHUNK).min(scored.len());
     let mut visited: HashSet<StateKey> = HashSet::new();
-    for k in start..end {
-        let undo = state.apply_mut(ctx, scored[k].1);
+    for &(_, mv) in scored.iter().skip(start).take(RESTART_CHUNK) {
+        let undo = state.apply_mut(ctx, mv);
         greedy_descent(ctx, state, best, stats, &mut visited);
         state.undo(undo);
     }
@@ -1628,7 +1704,7 @@ mod tests {
 
         let mut b = DesignBuilder::new("video-edited");
         for m in original.modules() {
-            let modes: Vec<(&str, prpart_arch::Resources)> = m
+            let modes: Vec<(&str, Resources)> = m
                 .modes
                 .iter()
                 .filter(|k| k.name != "JPEG")
@@ -1636,7 +1712,7 @@ mod tests {
                 .collect();
             if m.name == "Video" {
                 let mut modes = modes;
-                modes.push(("AV1", prpart_arch::Resources::new(3500, 24, 40)));
+                modes.push(("AV1", Resources::new(3500, 24, 40)));
                 b = b.module(&m.name, modes);
             } else {
                 b = b.module(&m.name, modes);
@@ -1772,9 +1848,7 @@ mod tests {
         let budget = corpus::VIDEO_RECEIVER_BUDGET;
         let plain = Partitioner::new(budget).partition(&d).unwrap().best.unwrap();
         let weighted = Partitioner::new(budget)
-            .with_transition_weights(crate::weights::TransitionWeights::uniform(
-                d.num_configurations(),
-            ))
+            .with_transition_weights(TransitionWeights::uniform(d.num_configurations()))
             .partition(&d)
             .unwrap()
             .best
@@ -1790,7 +1864,7 @@ mod tests {
         let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
         let budget = corpus::VIDEO_RECEIVER_BUDGET;
         let n = d.num_configurations();
-        let mut w = crate::weights::TransitionWeights::zero(n);
+        let mut w = TransitionWeights::zero(n);
         for i in 0..n {
             for j in i + 1..n {
                 w.set(i, j, 0.01);
@@ -1818,7 +1892,7 @@ mod tests {
     fn wrong_weight_dimension_is_rejected() {
         let d = corpus::abc_example();
         let err = Partitioner::new(abc_budget())
-            .with_transition_weights(crate::weights::TransitionWeights::uniform(3))
+            .with_transition_weights(TransitionWeights::uniform(3))
             .partition(&d)
             .unwrap_err();
         assert!(matches!(err, PartitionError::WeightsDimension { expected: 5, got: 3 }));

@@ -114,6 +114,42 @@ impl Design {
         Design { name, static_overhead, modules, configurations, mode_index, mode_offset }
     }
 
+    /// Builds a design from raw parts **without** the builder's structural
+    /// validation. For tooling that must represent whatever it was given —
+    /// deserialised reports, fuzzers, and above all the design linter,
+    /// whose job is to diagnose exactly the degenerate shapes
+    /// [`crate::DesignBuilder`] would reject (duplicate or empty
+    /// configurations, unused modules). Selections must still index into
+    /// `modules` coherently; use the builder for anything that feeds the
+    /// partitioning pipeline.
+    pub fn from_raw_parts(
+        name: String,
+        static_overhead: Resources,
+        modules: Vec<Module>,
+        configurations: Vec<Configuration>,
+    ) -> Self {
+        for c in &configurations {
+            assert_eq!(
+                c.selection.len(),
+                modules.len(),
+                "configuration '{}' selection width must match the module count",
+                c.name
+            );
+            for (mi, sel) in c.selection.iter().enumerate() {
+                if let Some(k) = sel {
+                    assert!(
+                        (*k as usize) < modules[mi].modes.len(),
+                        "configuration '{}' selects mode {k} of module '{}' which has {} modes",
+                        c.name,
+                        modules[mi].name,
+                        modules[mi].modes.len()
+                    );
+                }
+            }
+        }
+        Design::from_parts(name, static_overhead, modules, configurations)
+    }
+
     /// Design name.
     pub fn name(&self) -> &str {
         &self.name
@@ -361,7 +397,7 @@ mod tests {
         // Recovery.None is a zero-resource mode in Table II.
         assert!(issues.iter().any(|i| matches!(
             i,
-            crate::ValidationIssue::ZeroResourceMode { module, mode }
+            ValidationIssue::ZeroResourceMode { module, mode }
                 if module == "Recovery" && mode == "None"
         )));
     }
@@ -371,6 +407,6 @@ mod tests {
         let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
         let dec = &d.modules()[d.module_id("Decoder").unwrap().idx()];
         // Viterbi 630/2/0, Turbo 748/15/4, DPC 234/2/0 → max 748/15/4.
-        assert_eq!(dec.max_mode_resources(), prpart_arch::Resources::new(748, 15, 4));
+        assert_eq!(dec.max_mode_resources(), Resources::new(748, 15, 4));
     }
 }

@@ -161,7 +161,7 @@ mod tests {
     use super::*;
     use crate::corpus;
 
-    fn abc() -> (crate::Design, ConnectivityMatrix) {
+    fn abc() -> (Design, ConnectivityMatrix) {
         let d = corpus::abc_example();
         let m = ConnectivityMatrix::from_design(&d);
         (d, m)

@@ -465,6 +465,7 @@ mod tests {
         let _ = Floorplanner::new(small_geometry()).with_max_aspect(0.5);
     }
 
+    #[cfg(feature = "heavy-tests")]
     mod properties {
         use super::*;
         use proptest::prelude::*;

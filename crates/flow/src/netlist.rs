@@ -98,8 +98,7 @@ mod tests {
     #[test]
     fn variant_labels_are_readable() {
         let d = corpus::abc_example();
-        let out =
-            Partitioner::new(prpart_arch::Resources::new(1100, 20, 24)).partition(&d).unwrap();
+        let out = Partitioner::new(Resources::new(1100, 20, 24)).partition(&d).unwrap();
         let s = out.best.unwrap().scheme;
         let nets = build_netlists(&d, &s);
         let any_label = &nets[0].variants[0].label;

@@ -4,6 +4,7 @@ use crate::bitstream::{self, PartialBitstream};
 use crate::netlist::{build_netlists, RegionNetlist};
 use crate::wrapper::{self, Wrapper};
 use bytes::Bytes;
+use prpart_analysis::ProofChecker;
 use prpart_arch::{frames_for, Device};
 use prpart_core::{EvaluatedScheme, PartitionError, Partitioner};
 use prpart_design::Design;
@@ -20,6 +21,9 @@ pub enum FlowError {
     Partition(PartitionError),
     /// Floorplanning (stage 5) failed even with feedback.
     Floorplan(FeedbackError),
+    /// The independent proof-checker refused to certify the partitioning
+    /// result; no artefacts are emitted from an uncertified scheme.
+    Certification(String),
 }
 
 impl fmt::Display for FlowError {
@@ -28,6 +32,7 @@ impl fmt::Display for FlowError {
             FlowError::Parse(e) => write!(f, "design entry: {e}"),
             FlowError::Partition(e) => write!(f, "partitioning: {e}"),
             FlowError::Floorplan(e) => write!(f, "floorplanning: {e}"),
+            FlowError::Certification(e) => write!(f, "certification: {e}"),
         }
     }
 }
@@ -100,11 +105,17 @@ impl FlowPipeline {
 
     /// Runs the flow from an already-built design.
     pub fn run(&self, design: Design) -> Result<FlowArtifacts, FlowError> {
-        // Stages 2 + 5 with the feedback loop.
+        // Stages 2 + 5 with the feedback loop. The search carries the
+        // proof-checker as its auditor: debug builds certify every
+        // accepted state, release builds every final answer.
         let planned = prpart_floorplan::place_with_feedback(
             &design,
             &self.device,
-            |budget| Partitioner::new(budget).with_threads(self.threads),
+            |budget| {
+                Partitioner::new(budget)
+                    .with_threads(self.threads)
+                    .with_auditor(prpart_analysis::auditor(ProofChecker::new().with_budget(budget)))
+            },
             self.max_floorplan_retries,
         )
         .map_err(|e| match e {
@@ -113,6 +124,14 @@ impl FlowPipeline {
         })?;
         let evaluated = planned.evaluated;
         let floorplan = planned.floorplan;
+        // The scheme that feeds stages 3–7 must certify against the
+        // device the artefacts are for — independently of whatever budget
+        // the feedback loop last searched with.
+        let report =
+            ProofChecker::new().with_budget(self.device.capacity).certify(&design, &evaluated);
+        if !report.is_certified() {
+            return Err(FlowError::Certification(report.summary_line()));
+        }
         // Stage 6: constraints.
         let ucf = emit_ucf(&floorplan, design.name());
         // Stages 3, 4, 7.
@@ -160,7 +179,7 @@ mod tests {
         assert!(artifacts.ucf.contains("AREA_GROUP"));
         assert!(artifacts.total_partial_bytes() > 0);
         for bs in &artifacts.partial_bitstreams {
-            crate::bitstream::verify(bs).unwrap();
+            bitstream::verify(bs).unwrap();
         }
     }
 

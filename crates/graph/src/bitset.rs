@@ -218,6 +218,7 @@ impl FromIterator<usize> for BitSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -298,7 +299,7 @@ mod tests {
         assert_ne!(a.cmp(&c), std::cmp::Ordering::Equal);
         // Antisymmetry and sortability.
         assert_eq!(a.cmp(&c), c.cmp(&a).reverse());
-        let mut v = vec![c.clone(), a.clone(), b.clone()];
+        let mut v = [c.clone(), a.clone(), b.clone()];
         v.sort();
         assert_eq!(v[0], v[1], "equal keys sort adjacent");
         // Capacity participates only as a tiebreak on identical content.
@@ -307,6 +308,7 @@ mod tests {
         assert_ne!(short.cmp(&a), std::cmp::Ordering::Equal);
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #[test]
         fn prop_matches_std_hashset(values in proptest::collection::vec(0usize..200, 0..60)) {

@@ -158,6 +158,7 @@ fn bron_kerbosch(g: &Graph, r: &mut Vec<usize>, p: BitSet, x: BitSet, out: &mut 
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     fn paper_example_graph() -> Graph {
@@ -262,6 +263,7 @@ mod tests {
         assert_eq!(max.len(), 5);
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 

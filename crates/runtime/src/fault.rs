@@ -235,8 +235,8 @@ mod tests {
     fn stall_fraction_splits_fault_kinds() {
         let mut m = FaultModel::seeded(0.8, 5).with_stall_fraction(0.5);
         let kinds: Vec<_> = (0..2000).filter_map(|_| m.sample_load(0)).collect();
-        assert!(kinds.iter().any(|&k| k == FaultKind::Stall));
-        assert!(kinds.iter().any(|&k| k == FaultKind::Crc));
+        assert!(kinds.contains(&FaultKind::Stall));
+        assert!(kinds.contains(&FaultKind::Crc));
         let mut all_crc = FaultModel::seeded(0.8, 5).with_stall_fraction(0.0);
         assert!((0..2000).filter_map(|_| all_crc.sample_load(0)).all(|k| k == FaultKind::Crc));
     }

@@ -260,6 +260,7 @@ pub fn generate_corpus(
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -335,8 +336,7 @@ mod tests {
             }
             // Every design still partitions.
             let min = prpart_core::feasibility::minimum_requirement(&d);
-            let budget =
-                prpart_arch::Resources::new(min.clb * 2, min.bram * 2 + 8, min.dsp * 2 + 8);
+            let budget = Resources::new(min.clb * 2, min.bram * 2 + 8, min.dsp * 2 + 8);
             let out = prpart_core::Partitioner::new(budget).partition(&d).unwrap();
             if let Some(best) = out.best {
                 best.scheme.validate(&d).unwrap();
@@ -379,6 +379,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -284,9 +284,44 @@ pub fn parse_weights(text: &str) -> Result<TransitionWeights, SchemaError> {
     weights_from_xml(&parse(text)?)
 }
 
-/// Rebuilds a scheme from a partitioning report (the inverse of
-/// [`scheme_to_xml`]), against the design it was produced for.
-pub fn scheme_from_xml(design: &Design, root: &Element) -> Result<Scheme, SchemaError> {
+/// The metrics a `<partitioning>` report *claims* for itself, read back
+/// verbatim from its attributes. Kept separate from the scheme so a
+/// verifier (`prpart check`) can compare the claims against figures it
+/// recomputes independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClaimedMetrics {
+    /// Claimed total reconfiguration frames (Eq. 10).
+    pub total_frames: u64,
+    /// Claimed worst single transition, in frames (Eq. 11).
+    pub worst_frames: u64,
+    /// Claimed total resource requirement.
+    pub resources: Resources,
+}
+
+/// Reads the claimed metrics off a `<partitioning>` report.
+pub fn claimed_metrics_from_xml(root: &Element) -> Result<ClaimedMetrics, SchemaError> {
+    if root.name != "partitioning" {
+        return schema_err(format!("expected <partitioning>, found <{}>", root.name));
+    }
+    let parse_u64 = |attr: &str| -> Result<u64, SchemaError> {
+        root.require_attr(attr)
+            .map_err(SchemaError::Schema)?
+            .parse()
+            .map_err(|_| SchemaError::Schema(format!("<partitioning> {attr} must be a number")))
+    };
+    Ok(ClaimedMetrics {
+        total_frames: parse_u64("total-frames")?,
+        worst_frames: parse_u64("worst-frames")?,
+        resources: resources_of(root)?,
+    })
+}
+
+/// Rebuilds a scheme from a partitioning report **without** checking the
+/// scheme invariants — the report is represented exactly as written, be
+/// it valid or not. This is the entry point for verification tooling
+/// (`prpart check`), whose whole purpose is to judge defective reports;
+/// use [`scheme_from_xml`] anywhere the scheme feeds real work.
+pub fn raw_scheme_from_xml(design: &Design, root: &Element) -> Result<Scheme, SchemaError> {
     if root.name != "partitioning" {
         return schema_err(format!("expected <partitioning>, found <{}>", root.name));
     }
@@ -326,17 +361,24 @@ pub fn scheme_from_xml(design: &Design, root: &Element) -> Result<Scheme, Schema
         }
         regions.push(Region { partitions: members });
     }
-    let scheme = Scheme {
+    Ok(Scheme {
         partitions,
         regions,
         static_partitions,
         num_configurations: design.num_configurations(),
-    };
+    })
+}
+
+/// Rebuilds a scheme from a partitioning report (the inverse of
+/// [`scheme_to_xml`]), against the design it was produced for. Rejects
+/// reports violating the scheme invariants.
+pub fn scheme_from_xml(design: &Design, root: &Element) -> Result<Scheme, SchemaError> {
+    let scheme = raw_scheme_from_xml(design, root)?;
     scheme.validate(design).map_err(|e| SchemaError::Schema(format!("invalid scheme: {e}")))?;
     Ok(scheme)
 }
 
-fn partition_el(design: &Design, p: &prpart_core::BasePartition) -> Element {
+fn partition_el(design: &Design, p: &BasePartition) -> Element {
     let mut el = Element::new("partition").with_attr("weight", p.frequency_weight);
     for &m in &p.modes {
         let (module, mode) = {
@@ -415,7 +457,7 @@ mod tests {
 
     #[test]
     fn weights_roundtrip() {
-        let mut w = prpart_core::TransitionWeights::zero(5);
+        let mut w = TransitionWeights::zero(5);
         w.set(0, 3, 40.0);
         w.set(1, 2, 2.5);
         let text = weights_to_xml(&w).to_string_pretty();

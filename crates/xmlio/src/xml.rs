@@ -444,6 +444,7 @@ pub fn parse(input: &str) -> Result<Element, XmlError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -521,6 +522,7 @@ mod tests {
         assert!(err.contains("<mode>") && err.contains("clb"));
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -36,7 +36,7 @@ fn main() {
     let device = library.by_name("FX30T").expect("library device").clone();
     println!("--- running flow for {device} ---\n");
 
-    let artifacts = FlowPipeline::new(device).run_xml(&xml).expect("flow succeeds");
+    let artifacts = FlowPipeline::new(device).run_xml(xml).expect("flow succeeds");
 
     println!(
         "partitioning: {} regions, {} static partitions, total {} frames",

@@ -15,6 +15,8 @@
 //! * [`design`] — PR design model and connectivity matrix.
 //! * [`core`] — **the paper's algorithm**: clustering, covering,
 //!   region-allocation search, cost model, baselines, device selection.
+//! * [`analysis`] — static analysis: the design linter and the
+//!   independent scheme proof-checker (see `docs/static_analysis.md`).
 //! * [`synth`] — the §V synthetic-design generator.
 //! * [`xmlio`] — XML design entry and reports.
 //! * [`floorplan`] — column-grid floorplanner with feedback.
@@ -50,6 +52,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use prpart_analysis as analysis;
 pub use prpart_arch as arch;
 pub use prpart_core as core;
 pub use prpart_design as design;

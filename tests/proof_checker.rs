@@ -1,0 +1,165 @@
+//! Cross-validation of the search engine against the independent
+//! proof-checker, plus the seeded-defect corpus.
+//!
+//! Two directions, both required by the static-analysis design (see
+//! `docs/static_analysis.md`):
+//!
+//! * **soundness of the engine** — every result the golden and
+//!   determinism suites lock in must certify clean through the checker's
+//!   from-scratch re-implementation of the cost model, and the
+//!   certificate's figures must equal the engine's claimed metrics;
+//! * **sensitivity of the checker** — a corpus of deliberately defective
+//!   schemes (one seeded defect each) must every one be rejected with the
+//!   right `PCxxx` rule ID.
+
+use prpart::analysis::{lint_design, LintOptions, ProofChecker};
+use prpart::arch::Resources;
+use prpart::core::{
+    EvaluatedScheme, Partitioner, Region, Scheme, SearchStrategy, TransitionSemantics,
+};
+use prpart::design::{corpus, Design};
+use prpart::synth::{generate_corpus, GeneratorConfig};
+
+const WIDE: Resources = Resources::new(120_000, 2_000, 2_000);
+
+fn best_for(design: &Design, budget: Resources) -> EvaluatedScheme {
+    Partitioner::new(budget).partition(design).unwrap().best.expect("feasible")
+}
+
+/// Every golden-suite search result certifies clean, and the certificate
+/// reproduces the locked case-study numbers independently.
+#[test]
+fn golden_results_certify_clean() {
+    let budget = corpus::VIDEO_RECEIVER_BUDGET;
+    let checker = ProofChecker::new().with_budget(budget);
+
+    let original = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let best = best_for(&original, budget);
+    let report = checker.certify(&original, &best);
+    assert!(report.is_certified(), "{}", report.render_text());
+    assert_eq!(report.certificate.total_frames, 237_140);
+    assert_eq!(report.certificate.worst_frames, 12_662);
+    assert_eq!(report.certificate.num_regions, 4);
+    assert_eq!(report.certificate.num_static, 3);
+
+    let modified = corpus::video_receiver(corpus::VideoConfigSet::Modified);
+    let best = best_for(&modified, budget);
+    let report = checker.certify(&modified, &best);
+    assert!(report.is_certified(), "{}", report.render_text());
+    assert_eq!(report.certificate.total_frames, 90_056);
+    assert_eq!(report.certificate.num_static, 2);
+}
+
+/// Every point of every Pareto front, every strategy, and both
+/// semantics certify — across the paper examples and a synthetic corpus,
+/// at several thread counts (the determinism suite's axes).
+#[test]
+fn search_results_certify_across_corpus_strategies_and_threads() {
+    let mut designs: Vec<Design> = vec![
+        corpus::abc_example(),
+        corpus::video_receiver(corpus::VideoConfigSet::Original),
+        corpus::special_case_single_mode(),
+    ];
+    designs
+        .extend(generate_corpus(&GeneratorConfig::default(), 6, 77).into_iter().map(|s| s.design));
+
+    let strategies =
+        [SearchStrategy::default(), SearchStrategy::Beam { width: 8, max_candidate_sets: 4 }];
+    for design in &designs {
+        for strategy in strategies {
+            for semantics in [TransitionSemantics::Optimistic, TransitionSemantics::Pessimistic] {
+                for threads in [1usize, 4] {
+                    let out = Partitioner::new(WIDE)
+                        .with_strategy(strategy)
+                        .with_semantics(semantics)
+                        .with_threads(threads)
+                        .partition(design)
+                        .unwrap();
+                    let checker = ProofChecker::new().with_budget(WIDE).with_semantics(semantics);
+                    for evaluated in out.best.iter().chain(out.pareto_front.iter()) {
+                        let report = checker.certify(design, evaluated);
+                        assert!(
+                            report.is_certified(),
+                            "{}: {}",
+                            design.name(),
+                            report.render_text()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The engine runs happily with the checker installed as its auditor —
+/// in debug builds this certifies every accepted search state.
+#[test]
+fn installed_auditor_is_silent_on_honest_searches() {
+    for design in [corpus::abc_example(), corpus::video_receiver(corpus::VideoConfigSet::Original)]
+    {
+        let out = Partitioner::new(WIDE)
+            .with_auditor(prpart::analysis::auditor(ProofChecker::new().with_budget(WIDE)))
+            .partition(&design)
+            .unwrap();
+        assert!(out.best.is_some());
+    }
+}
+
+/// The seeded-defect corpus: each mutation must be caught by exactly the
+/// rule that names its defect class.
+#[test]
+fn seeded_defects_are_rejected_with_the_right_rule() {
+    let design = corpus::abc_example();
+    let honest = best_for(&design, WIDE);
+    let checker = ProofChecker::new().with_budget(WIDE);
+    assert!(checker.certify(&design, &honest).is_certified());
+
+    // Uncovered mode: drop a region, orphaning its modes. PC001.
+    let mut mutant = honest.clone();
+    mutant.scheme.regions.pop().expect("has regions");
+    let report = checker.certify(&design, &mutant);
+    assert!(report.has_rule("PC001"), "{}", report.render_text());
+
+    // Incompatible merge: A1 and B1 co-occur, one region cannot hold
+    // both. PC004.
+    let merged = Scheme::from_named_groups(&design, &[&[("A", "A1"), ("B", "B1")]], &[]).unwrap();
+    let report = checker.certify_scheme(&design, &merged);
+    assert!(report.has_rule("PC004"), "{}", report.render_text());
+
+    // Over-area region: honest scheme, hostile budget. PC006.
+    let tight = ProofChecker::new().with_budget(Resources::new(8, 0, 0));
+    let report = tight.certify(&design, &honest);
+    assert!(report.has_rule("PC006"), "{}", report.render_text());
+
+    // Mis-summed reconfiguration time. PC008.
+    let mut mutant = honest.clone();
+    mutant.metrics.total_frames += 1;
+    let report = checker.certify(&design, &mutant);
+    assert!(report.has_rule("PC008"), "{}", report.render_text());
+
+    // Duplicate placement. PC002.
+    let mut mutant = honest.clone();
+    let dup = mutant.scheme.regions[0].partitions[0];
+    mutant.scheme.regions.push(Region { partitions: vec![dup] });
+    let report = checker.certify(&design, &mutant);
+    assert!(report.has_rule("PC002"), "{}", report.render_text());
+}
+
+/// The linter runs clean of errors on every corpus and generated design
+/// (warnings are legitimate: the video receiver ships a known-unreachable
+/// mode).
+#[test]
+fn linter_passes_the_repo_corpus() {
+    let mut designs: Vec<Design> = vec![
+        corpus::abc_example(),
+        corpus::video_receiver(corpus::VideoConfigSet::Original),
+        corpus::video_receiver(corpus::VideoConfigSet::Modified),
+        corpus::special_case_single_mode(),
+    ];
+    designs
+        .extend(generate_corpus(&GeneratorConfig::default(), 4, 11).into_iter().map(|s| s.design));
+    for design in &designs {
+        let report = lint_design(design, &LintOptions { budget: Some(WIDE) });
+        assert!(!report.has_errors(), "{}: {}", design.name(), report.render_text());
+    }
+}

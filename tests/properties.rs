@@ -1,5 +1,10 @@
 //! Property-based integration tests: algorithm invariants over randomly
 //! generated designs and budgets.
+//!
+//! Needs the real `proptest` crate — gated behind `--features heavy-tests`
+//! so registry-less environments still run the default suite.
+
+#![cfg(feature = "heavy-tests")]
 
 use proptest::prelude::*;
 use prpart::arch::{frames_for, Resources, TileCounts};
