@@ -1,0 +1,66 @@
+//! X8: budgeted-search profile — anytime quality of the resilient
+//! search as the unit budget grows, plus the invariant checks (monotone
+//! non-worsening quality; the final level reproduces the unbudgeted
+//! run).
+//!
+//! Usage: `budget_profile [modules] [seed] [--quick] [--out FILE]`
+//! (defaults: 6, 2013, FILE `BENCH_budget.json`). `--quick` shrinks the
+//! design for CI smoke runs.
+
+use prpart_bench::budgeted::{budget_profile_json, render_budget_profile, run_budget_profile};
+use prpart_bench::BudgetProfileConfig;
+
+fn main() {
+    let mut cfg = BudgetProfileConfig::default();
+    let mut out_path = String::from("BENCH_budget.json");
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cfg.modules = 4,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if let Some(v) = positional.first().and_then(|s| s.parse().ok()) {
+        cfg.modules = v;
+    }
+    if let Some(v) = positional.get(1).and_then(|s| s.parse().ok()) {
+        cfg.seed = v;
+    }
+
+    let records = run_budget_profile(&cfg);
+    println!(
+        "budget profile: {} modules, seed {}, {} unit-budget levels (1 thread)\n",
+        cfg.modules,
+        cfg.seed,
+        records.len()
+    );
+    println!("{}", render_budget_profile(&records));
+    println!(
+        "\nbest total = best total reconfiguration time (frames) found\n\
+         within the unit budget; '-' = no feasible scheme yet. The final\n\
+         level must be a complete sweep."
+    );
+
+    let json = budget_profile_json(&records);
+    std::fs::write(&out_path, json).expect("write bench artefact");
+    println!("wrote {out_path}");
+
+    // Invariants (also enforced by the library tests): monotone quality
+    // and a complete final level.
+    let mut last = u64::MAX;
+    for r in &records {
+        if let Some(total) = r.best_total {
+            if total > last {
+                eprintln!("FAIL: quality regressed at {} units", r.units);
+                std::process::exit(1);
+            }
+            last = total;
+        }
+    }
+    if !records.last().map(|r| r.outcome.is_complete()).unwrap_or(false) {
+        eprintln!("FAIL: final budget level did not complete the sweep");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Budgeted-search profile (extension X8): anytime quality under a
+//! truncated sweep.
+//!
+//! The resilient search (DESIGN.md §10) may stop early — deadline,
+//! state/unit budget, or cancellation — and return the certified best
+//! scheme found so far. This experiment measures what that truncation
+//! costs: a design is partitioned repeatedly with the unit budget raised
+//! one work unit at a time (`--threads 1`, so truncation lands at an
+//! exact, deterministic unit boundary), and the best total
+//! reconfiguration time is recorded at each level. Because work units
+//! merge in a fixed order, the curve is monotone: more budget never
+//! worsens the answer, and the final level reproduces the unbudgeted
+//! run exactly.
+//!
+//! [`budget_profile_json`] renders the records as the
+//! `BENCH_budget.json` artefact.
+
+use crate::table::TextTable;
+use prpart_arch::Resources;
+use prpart_core::{Partitioner, SearchBudget, SearchOutcome};
+use prpart_synth::{generate_design, CircuitClass, GeneratorConfig};
+use std::fmt::Write as _;
+
+/// Profile parameters.
+#[derive(Debug, Clone)]
+pub struct BudgetProfileConfig {
+    /// Modules in the profiled design.
+    pub modules: usize,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl Default for BudgetProfileConfig {
+    fn default() -> Self {
+        BudgetProfileConfig { modules: 6, seed: 2013 }
+    }
+}
+
+/// One budget level's measurement.
+#[derive(Debug, Clone)]
+pub struct BudgetProfileRecord {
+    /// Unit budget (`max_units`) for this run.
+    pub units: usize,
+    /// Units actually completed.
+    pub units_completed: usize,
+    /// States evaluated under this budget.
+    pub states: u64,
+    /// Best total reconfiguration time (frames), if any feasible scheme
+    /// was found within the budget.
+    pub best_total: Option<u64>,
+    /// How the run ended.
+    pub outcome: SearchOutcome,
+}
+
+/// Runs the profile: one unbudgeted reference run to learn the unit
+/// count, then one run per unit-budget level from 1 to that count.
+pub fn run_budget_profile(cfg: &BudgetProfileConfig) -> Vec<BudgetProfileRecord> {
+    let budget = Resources::new(120_000, 2_000, 2_000);
+    let gen = GeneratorConfig {
+        modules: cfg.modules..=cfg.modules,
+        modes: 3..=3,
+        ..GeneratorConfig::default()
+    };
+    let design = generate_design(&gen, CircuitClass::ALL[0], cfg.seed);
+    let full = Partitioner::new(budget)
+        .with_threads(1)
+        .partition(&design)
+        .expect("permissive budget is feasible");
+    let mut out = Vec::new();
+    for units in 1..=full.units_total {
+        let run = Partitioner::new(budget)
+            .with_threads(1)
+            .with_search_budget(SearchBudget::new().with_max_units(units))
+            .partition(&design)
+            .expect("a truncated sweep is not an error");
+        out.push(BudgetProfileRecord {
+            units,
+            units_completed: run.units_completed,
+            states: run.states_evaluated,
+            best_total: run.best.as_ref().map(|b| b.metrics.total_frames),
+            outcome: run.search_outcome,
+        });
+    }
+    out
+}
+
+/// Renders the profile as a text table.
+pub fn render_budget_profile(records: &[BudgetProfileRecord]) -> String {
+    let mut t = TextTable::new(["units", "completed", "states", "best total", "outcome"]);
+    for r in records {
+        t.row([
+            r.units.to_string(),
+            r.units_completed.to_string(),
+            r.states.to_string(),
+            r.best_total.map_or_else(|| "-".to_string(), |v| v.to_string()),
+            r.outcome.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the profile as the `BENCH_budget.json` artefact (hand-rolled
+/// like `BENCH_search.json`; every value is a number, bool, or a fixed
+/// outcome word, so no escaping is needed).
+pub fn budget_profile_json(records: &[BudgetProfileRecord]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"budget_profile\",");
+    let _ = writeln!(
+        s,
+        "  \"final_complete\": {},",
+        records.last().is_some_and(|r| r.outcome.is_complete())
+    );
+    s.push_str("  \"points\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"units\": {}, \"completed\": {}, \"states\": {}, \"best_total\": {}, \
+             \"outcome\": \"{}\"}}",
+            r.units,
+            r.units_completed,
+            r.states,
+            r.best_total.map_or_else(|| "null".to_string(), |v| v.to_string()),
+            r.outcome
+        );
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_is_monotone_and_the_final_level_matches_the_full_run() {
+        let cfg = BudgetProfileConfig { modules: 4, seed: 7 };
+        let records = run_budget_profile(&cfg);
+        assert!(!records.is_empty());
+        // More budget never worsens the best total.
+        let mut last = u64::MAX;
+        for r in &records {
+            if let Some(total) = r.best_total {
+                assert!(total <= last, "quality regressed at {} units: {total} > {last}", r.units);
+                last = total;
+            }
+        }
+        // The final level covers every unit and reproduces the
+        // unbudgeted answer.
+        let final_rec = records.last().unwrap();
+        assert!(final_rec.outcome.is_complete(), "{:?}", final_rec.outcome);
+        let budget = Resources::new(120_000, 2_000, 2_000);
+        let gen = GeneratorConfig { modules: 4..=4, modes: 3..=3, ..GeneratorConfig::default() };
+        let design = generate_design(&gen, CircuitClass::ALL[0], 7);
+        let full = Partitioner::new(budget).with_threads(1).partition(&design).unwrap();
+        assert_eq!(final_rec.best_total, full.best.map(|b| b.metrics.total_frames));
+        assert_eq!(final_rec.states, full.states_evaluated);
+    }
+
+    #[test]
+    fn artefacts_render() {
+        let records = vec![
+            BudgetProfileRecord {
+                units: 1,
+                units_completed: 1,
+                states: 40,
+                best_total: None,
+                outcome: SearchOutcome::BudgetExhausted,
+            },
+            BudgetProfileRecord {
+                units: 2,
+                units_completed: 2,
+                states: 90,
+                best_total: Some(1234),
+                outcome: SearchOutcome::Complete,
+            },
+        ];
+        let table = render_budget_profile(&records);
+        assert!(table.contains("budget-exhausted"), "{table}");
+        assert!(table.contains("1234"), "{table}");
+        let json = budget_profile_json(&records);
+        assert!(json.contains("\"bench\": \"budget_profile\""));
+        assert!(json.contains("\"best_total\": null"));
+        assert!(json.contains("\"final_complete\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

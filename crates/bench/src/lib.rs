@@ -18,11 +18,13 @@
 //! | X3 | scalability study | [`scaling`] |
 //! | X6 | fault-rate vs availability sweep | [`reliability`] |
 //! | X7 | search throughput (sequential vs parallel) | [`search_throughput`] |
+//! | X8 | budgeted-search anytime quality | [`budgeted`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod budgeted;
 pub mod casestudy;
 pub mod figures;
 pub mod reliability;
@@ -32,6 +34,10 @@ pub mod stats;
 pub mod sweep;
 pub mod table;
 
+pub use budgeted::{
+    budget_profile_json, render_budget_profile, run_budget_profile, BudgetProfileConfig,
+    BudgetProfileRecord,
+};
 pub use reliability::{fault_rate_sweep, render_fault_sweep, FaultSweepRecord};
 pub use search_throughput::{
     render_search_bench, run_search_bench, search_bench_json, SearchBenchConfig, SearchBenchRecord,

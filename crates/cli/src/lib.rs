@@ -20,12 +20,16 @@
 use prpart_analysis::{lint_design, LintOptions, ProofChecker};
 use prpart_arch::{DeviceLibrary, Resources};
 use prpart_core::device_select::select_device;
-use prpart_core::report::scheme_report;
+use prpart_core::report::{outcome_summary, scheme_report};
 use prpart_core::{
-    EvaluatedScheme, Partitioner, SchemeMetrics, SearchStrategy, TransitionSemantics,
+    CheckpointConfig, EvaluatedScheme, Partitioner, SchemeMetrics, SearchBudget, SearchStrategy,
+    TransitionSemantics,
 };
 use prpart_design::Design;
 use prpart_flow::FlowPipeline;
+
+pub use prpart_core::CancelToken;
+
 use prpart_runtime::{run_monte_carlo, MonteCarloConfig, RecoveryPolicy};
 use prpart_synth::{generate_corpus, GeneratorConfig};
 use std::fmt::Write as _;
@@ -74,6 +78,8 @@ pub enum Command {
         weights: Option<String>,
         /// Search worker threads (0 = one per core).
         threads: usize,
+        /// Budget / checkpoint / resume flags.
+        resilience: ResilienceArgs,
     },
     /// `prpart flow <design> --device NAME --out DIR`.
     Flow {
@@ -85,6 +91,8 @@ pub enum Command {
         out: String,
         /// Search worker threads (0 = one per core).
         threads: usize,
+        /// Wall-clock deadline for the partitioning search, in seconds.
+        deadline_secs: Option<f64>,
     },
     /// `prpart devices [--library FILE] [--full]`.
     Devices {
@@ -194,6 +202,57 @@ pub enum Target {
     Auto,
 }
 
+/// Resilience flags for long-running searches: cooperative budgets plus
+/// checkpoint/resume. Defaults to no limits and no checkpointing, which
+/// leaves the output byte-identical to the pre-resilience CLI.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResilienceArgs {
+    /// `--deadline SECS` — wall-clock budget for the search.
+    pub deadline_secs: Option<f64>,
+    /// `--max-states N` — state-evaluation budget.
+    pub max_states: Option<u64>,
+    /// `--max-units N` — work-unit budget (deterministic truncation at
+    /// `--threads 1`).
+    pub max_units: Option<usize>,
+    /// `--checkpoint FILE` — snapshot completed units here.
+    pub checkpoint: Option<String>,
+    /// `--checkpoint-every N` — flush interval in units (0 = default).
+    pub checkpoint_every: usize,
+    /// `--resume FILE` — replay a checkpoint instead of starting cold.
+    pub resume: Option<String>,
+}
+
+impl ResilienceArgs {
+    /// Builds the core [`SearchBudget`], wiring in the process-level
+    /// cancel token (Ctrl-C) when one is installed.
+    fn budget(&self, cancel: Option<CancelToken>) -> SearchBudget {
+        let mut budget = SearchBudget::new();
+        if let Some(secs) = self.deadline_secs {
+            budget = budget.with_deadline(std::time::Duration::from_secs_f64(secs));
+        }
+        if let Some(n) = self.max_states {
+            budget = budget.with_max_states(n);
+        }
+        if let Some(n) = self.max_units {
+            budget = budget.with_max_units(n);
+        }
+        if let Some(token) = cancel {
+            budget = budget.with_cancel(token);
+        }
+        budget
+    }
+
+    fn checkpoint_config(&self) -> Option<CheckpointConfig> {
+        self.checkpoint.as_ref().map(|path| {
+            let mut config = CheckpointConfig::new(path);
+            if self.checkpoint_every > 0 {
+                config = config.with_every(self.checkpoint_every);
+            }
+            config
+        })
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 prpart — automated partitioning for partial reconfiguration (Vipin & Fahmy, IPDPSW 2013)
@@ -203,7 +262,10 @@ USAGE:
                    [--strategy greedy|beam|exhaustive] [--no-static]
                    [--pessimistic] [--xml-out FILE] [--library FILE]
                    [--weights FILE] [--threads N]
+                   [--deadline SECS] [--max-states N] [--max-units N]
+                   [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
   prpart flow <design.xml> --device NAME --out DIR [--threads N]
+              [--deadline SECS]
   prpart devices [--library FILE] [--full]
   prpart generate [--count N] [--seed S] --out DIR
   prpart simulate <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
@@ -229,6 +291,13 @@ certifies clean. See docs/static_analysis.md.
 `--threads N` fans the region-allocation search across N worker threads
 (0, the default, uses one per core). The result is byte-identical for
 every thread count; threads only change the wall time.
+
+`--deadline`/`--max-states`/`--max-units` bound the search without
+failing it: a tripped budget (or Ctrl-C) still prints the certified
+best-so-far scheme with the truncation noted. `--checkpoint FILE`
+snapshots completed work every `--checkpoint-every N` units (atomic
+write, CRC-guarded); `--resume FILE` replays the snapshot and produces
+output byte-identical to an uninterrupted run. See docs/resilience.md.
 ";
 
 fn parse_budget(s: &str) -> Result<Resources, CliError> {
@@ -278,6 +347,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut library = None;
             let mut weights = None;
             let mut threads = 0usize;
+            let mut resilience = ResilienceArgs::default();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
@@ -307,6 +377,37 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|_| CliError { message: "--threads needs a number".into() })?
                     }
+                    "--deadline" => {
+                        let secs: f64 = flag_value("--deadline", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--deadline needs seconds".into() })?;
+                        if !secs.is_finite() || secs < 0.0 {
+                            return err("--deadline must be a non-negative number of seconds");
+                        }
+                        resilience.deadline_secs = Some(secs);
+                    }
+                    "--max-states" => {
+                        resilience.max_states =
+                            Some(flag_value("--max-states", &mut it)?.parse().map_err(|_| {
+                                CliError { message: "--max-states needs a number".into() }
+                            })?)
+                    }
+                    "--max-units" => {
+                        resilience.max_units =
+                            Some(flag_value("--max-units", &mut it)?.parse().map_err(|_| {
+                                CliError { message: "--max-units needs a number".into() }
+                            })?)
+                    }
+                    "--checkpoint" => {
+                        resilience.checkpoint = Some(flag_value("--checkpoint", &mut it)?)
+                    }
+                    "--checkpoint-every" => {
+                        resilience.checkpoint_every =
+                            flag_value("--checkpoint-every", &mut it)?.parse().map_err(|_| {
+                                CliError { message: "--checkpoint-every needs a number".into() }
+                            })?
+                    }
+                    "--resume" => resilience.resume = Some(flag_value("--resume", &mut it)?),
                     _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
                     other => return err(format!("unexpected argument '{other}'")),
                 }
@@ -315,6 +416,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let Some(target) = target else {
                 return err("partition: choose --device, --budget or --auto");
             };
+            if resilience.resume.is_some() && target == Target::Auto {
+                return err("partition: --resume cannot be combined with --auto (a checkpoint is \
+                     bound to one concrete budget)");
+            }
             Ok(Command::Partition {
                 design,
                 target,
@@ -325,6 +430,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 library,
                 weights,
                 threads,
+                resilience,
             })
         }
         "flow" => {
@@ -332,6 +438,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut device = None;
             let mut out = None;
             let mut threads = 0usize;
+            let mut deadline_secs = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--device" => device = Some(flag_value("--device", &mut it)?),
@@ -341,13 +448,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|_| CliError { message: "--threads needs a number".into() })?
                     }
+                    "--deadline" => {
+                        let secs: f64 = flag_value("--deadline", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--deadline needs seconds".into() })?;
+                        if !secs.is_finite() || secs < 0.0 {
+                            return err("--deadline must be a non-negative number of seconds");
+                        }
+                        deadline_secs = Some(secs);
+                    }
                     _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
                     other => return err(format!("unexpected argument '{other}'")),
                 }
             }
             match (design, device, out) {
                 (Some(design), Some(device), Some(out)) => {
-                    Ok(Command::Flow { design, device, out, threads })
+                    Ok(Command::Flow { design, device, out, threads, deadline_secs })
                 }
                 _ => err("flow: need <design.xml> --device NAME --out DIR"),
             }
@@ -587,6 +703,14 @@ fn budget_for(target: &Target, library: &DeviceLibrary) -> Result<Option<Resourc
 
 /// Executes a command, returning the text to print.
 pub fn run(cmd: Command) -> Result<String, CliError> {
+    run_with_cancel(cmd, None)
+}
+
+/// Executes a command with an optional cancellation token wired into the
+/// long-running searches (the binary connects it to Ctrl-C). A cancelled
+/// search is not an error: the partial result is reported with the
+/// truncation noted.
+pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
         Command::Info { design } => {
@@ -745,6 +869,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             library,
             weights,
             threads,
+            resilience,
         } => {
             let library = load_library(&library, false)?;
             let design = load_design(&design)?;
@@ -760,7 +885,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 }
             };
             let make = |budget: Resources| {
-                let mut p = Partitioner::new(budget).with_threads(threads);
+                let mut p = Partitioner::new(budget)
+                    .with_threads(threads)
+                    .with_search_budget(resilience.budget(cancel.clone()));
+                if let Some(config) = resilience.checkpoint_config() {
+                    p = p.with_checkpoint(config);
+                }
                 if let Some(s) = strategy {
                     p = p.with_strategy(s);
                 }
@@ -780,17 +910,30 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let mut out = String::new();
             let best = match budget_for(&target, &library)? {
                 Some(budget) => {
-                    let result = make(budget)
-                        .partition(&design)
-                        .map_err(|e| CliError { message: e.to_string() })?;
+                    let partitioner = make(budget);
+                    let result = match &resilience.resume {
+                        Some(path) => partitioner.resume_from(&design, std::path::Path::new(path)),
+                        None => partitioner.partition(&design),
+                    }
+                    .map_err(|e| CliError { message: e.to_string() })?;
                     let _ = writeln!(
                         out,
                         "{design} | budget {budget} | {} candidate sets, {} states",
                         result.candidate_sets_explored, result.states_evaluated
                     );
-                    result.best.ok_or(CliError {
-                        message: "no feasible scheme beyond a single region; try a larger device"
-                            .into(),
+                    if let Some(line) = outcome_summary(&result) {
+                        let _ = writeln!(out, "{line}");
+                    }
+                    result.best.ok_or_else(|| CliError {
+                        message: if result.search_outcome.is_complete() {
+                            "no feasible scheme beyond a single region; try a larger device".into()
+                        } else {
+                            format!(
+                                "search {} before any feasible scheme was found; resume from \
+                                 a checkpoint or raise the budget",
+                                result.search_outcome
+                            )
+                        },
                     })?
                 }
                 None => {
@@ -801,6 +944,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         "{design} | selected device {} ({} escalations)",
                         choice.device, choice.escalations
                     );
+                    if let Some(line) = outcome_summary(&choice.outcome) {
+                        let _ = writeln!(out, "{line}");
+                    }
                     choice.outcome.best.ok_or(CliError {
                         message: "no feasible scheme found on any library device".into(),
                     })?
@@ -815,15 +961,24 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Flow { design, device, out, threads } => {
+        Command::Flow { design, device, out, threads, deadline_secs } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
             let device = library
                 .by_name(&device)
                 .ok_or_else(|| CliError { message: format!("unknown device '{device}'") })?
                 .clone();
+            let mut search_budget = SearchBudget::new();
+            if let Some(secs) = deadline_secs {
+                search_budget =
+                    search_budget.with_deadline(std::time::Duration::from_secs_f64(secs));
+            }
+            if let Some(token) = cancel.clone() {
+                search_budget = search_budget.with_cancel(token);
+            }
             let artifacts = FlowPipeline::new(device)
                 .with_threads(threads)
+                .with_search_budget(search_budget)
                 .run(design)
                 .map_err(|e| CliError { message: e.to_string() })?;
             let dir = std::path::Path::new(&out);
@@ -854,6 +1009,13 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 artifacts.total_partial_bytes(),
                 artifacts.floorplan_retries,
             );
+            if !artifacts.search_outcome.is_complete() {
+                let _ = writeln!(
+                    summary,
+                    "search {}: certified best-so-far scheme",
+                    artifacts.search_outcome
+                );
+            }
             let _ = writeln!(summary, "artefacts in {out}/");
             summary.push_str(&artifacts.floorplan.render());
             summary.push('\n');
@@ -1021,6 +1183,105 @@ mod tests {
     }
 
     #[test]
+    fn truncated_partition_checkpoints_and_resume_matches_the_full_run() {
+        let dir = std::env::temp_dir().join("prpart-cli-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::abc_example();
+        let design_path = dir.join("abc.xml").to_string_lossy().into_owned();
+        std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
+        let checkpoint = dir.join("abc.checkpoint").to_string_lossy().into_owned();
+        let target = Target::Budget(Resources::new(1100, 20, 24));
+        let base = |resilience: ResilienceArgs| Command::Partition {
+            design: design_path.clone(),
+            target: target.clone(),
+            strategy: None,
+            no_static: false,
+            pessimistic: false,
+            xml_out: None,
+            library: None,
+            weights: None,
+            threads: 1,
+            resilience,
+        };
+
+        let full = run(base(ResilienceArgs::default())).unwrap();
+
+        let truncated = run(base(ResilienceArgs {
+            max_units: Some(1),
+            checkpoint: Some(checkpoint.clone()),
+            checkpoint_every: 1,
+            ..Default::default()
+        }))
+        .unwrap();
+        assert!(truncated.contains("budget-exhausted"), "{truncated}");
+        assert!(truncated.contains("best-so-far"), "{truncated}");
+
+        let resumed =
+            run(base(ResilienceArgs { resume: Some(checkpoint.clone()), ..Default::default() }))
+                .unwrap();
+        // A resumed run that completes the sweep is byte-identical to an
+        // uninterrupted one — replayed units leave no trace in the report.
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn parses_resilience_flags() {
+        let c = parse_args(&s(&[
+            "partition",
+            "d.xml",
+            "--device",
+            "SX70T",
+            "--deadline",
+            "2.5",
+            "--max-states",
+            "5000",
+            "--max-units",
+            "3",
+            "--checkpoint",
+            "cp.txt",
+            "--checkpoint-every",
+            "2",
+        ]))
+        .unwrap();
+        match c {
+            Command::Partition { resilience, .. } => {
+                assert_eq!(resilience.deadline_secs, Some(2.5));
+                assert_eq!(resilience.max_states, Some(5000));
+                assert_eq!(resilience.max_units, Some(3));
+                assert_eq!(resilience.checkpoint.as_deref(), Some("cp.txt"));
+                assert_eq!(resilience.checkpoint_every, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse_args(&s(&["partition", "d.xml", "--device", "SX70T", "--resume", "cp.txt"]))
+            .unwrap();
+        assert!(matches!(
+            c,
+            Command::Partition { ref resilience, .. } if resilience.resume.as_deref() == Some("cp.txt")
+        ));
+        let c = parse_args(&s(&[
+            "flow",
+            "d.xml",
+            "--device",
+            "SX70T",
+            "--out",
+            "o",
+            "--deadline",
+            "9",
+        ]))
+        .unwrap();
+        assert!(matches!(c, Command::Flow { deadline_secs: Some(d), .. } if d == 9.0));
+
+        // Invalid values and combinations are clean parse errors.
+        assert!(parse_args(&s(&["partition", "d.xml", "--auto", "--deadline", "-1"])).is_err());
+        assert!(parse_args(&s(&["partition", "d.xml", "--auto", "--deadline", "NaN"])).is_err());
+        assert!(parse_args(&s(&["partition", "d.xml", "--auto", "--max-states", "x"])).is_err());
+        let err =
+            parse_args(&s(&["partition", "d.xml", "--auto", "--resume", "cp.txt"])).unwrap_err();
+        assert!(err.message.contains("--auto"), "{err:?}");
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse_args(&s(&["partition", "d.xml"])).is_err(), "no target");
         assert!(parse_args(&s(&["partition", "--auto"])).is_err(), "no design");
@@ -1060,6 +1321,7 @@ mod tests {
             library: None,
             weights: None,
             threads: 0,
+            resilience: Default::default(),
         })
         .unwrap();
         assert!(out.contains("PRR1"), "{out}");
@@ -1212,6 +1474,7 @@ mod tests {
             library: Some(lib_path.to_string_lossy().into_owned()),
             weights: Some(weights_path.to_string_lossy().into_owned()),
             threads: 0,
+            resilience: Default::default(),
         })
         .unwrap();
         assert!(out.contains("PRR1"), "{out}");
@@ -1232,6 +1495,7 @@ mod tests {
             library: Some(lib_path.to_string_lossy().into_owned()),
             weights: Some(bad_path.to_string_lossy().into_owned()),
             threads: 0,
+            resilience: Default::default(),
         })
         .unwrap_err();
         assert!(err.to_string().contains("weights cover"), "{err}");
@@ -1288,6 +1552,7 @@ mod tests {
             library: None,
             weights: None,
             threads: 0,
+            resilience: Default::default(),
         })
         .unwrap();
         let out = run(Command::Report {
@@ -1397,6 +1662,7 @@ mod tests {
             library: None,
             weights: None,
             threads: 0,
+            resilience: Default::default(),
         })
         .unwrap();
         let check = |scheme: &std::path::Path, budget: Option<Resources>| {

@@ -1,8 +1,71 @@
-//! `prpart` binary: thin shim over [`prpart_cli`].
+//! `prpart` binary: thin shim over [`prpart_cli`], plus process-level
+//! Ctrl-C wiring. The library stays `forbid(unsafe_code)`; the one line of
+//! FFI needed to install a signal handler lives here in the binary.
+
+use prpart_cli::CancelToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// SIGINT → sticky flag. The handler itself only stores an atomic (the
+/// async-signal-safe subset); a watcher thread translates the flag into a
+/// cooperative [`CancelToken`] cancellation so an interrupted sweep still
+/// reduces its completed units and prints a certified best-so-far report.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sigint {
+    use super::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler; returns `false` if the OS refused it.
+    pub fn install() -> bool {
+        const SIG_ERR: usize = usize::MAX;
+        let handler = on_sigint as extern "C" fn(i32) as usize;
+        let previous = unsafe { signal(SIGINT, handler) };
+        previous != SIG_ERR
+    }
+
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() -> bool {
+        false
+    }
+
+    pub fn interrupted() -> bool {
+        false
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match prpart_cli::parse_args(&args).and_then(prpart_cli::run) {
+    let cancel = if sigint::install() {
+        let token = CancelToken::new();
+        let watcher = token.clone();
+        std::thread::spawn(move || {
+            while !sigint::interrupted() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            watcher.cancel();
+        });
+        Some(token)
+    } else {
+        None
+    };
+    match prpart_cli::parse_args(&args).and_then(|cmd| prpart_cli::run_with_cancel(cmd, cancel)) {
         Ok(text) => print!("{text}"),
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,318 @@
+//! Cooperative search budgets: wall-clock deadlines, state/unit limits, and
+//! external cancellation.
+//!
+//! The region-allocation search explores a candidate-set × restart space that
+//! grows combinatorially with design size. A [`SearchBudget`] bounds that
+//! exploration without turning truncation into an error: when any limit trips,
+//! the search stops charging new states, finishes reducing the work it has
+//! already completed, and returns the certified best-so-far scheme tagged with
+//! a [`SearchOutcome`] describing *why* it stopped. See `docs/resilience.md`
+//! for the full semantics.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation handle shared between the caller and the search.
+///
+/// Cancelling is sticky and idempotent: once [`CancelToken::cancel`] has been
+/// called, every clone observes `is_cancelled() == true` forever. The search
+/// polls the token cooperatively (roughly every few dozen evaluated states),
+/// so cancellation latency is bounded by the cost of a handful of state
+/// evaluations, not by a whole work unit.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Safe to call from any thread, any number of
+    /// times (e.g. from a Ctrl-C handler).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Returns `true` once [`cancel`](Self::cancel) has been called on any
+    /// clone of this token.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Limits on a single [`Partitioner::partition`](crate::Partitioner) run.
+///
+/// All limits are optional and independent; the default budget is unlimited.
+/// Budgets bound *work*, not *results*: an exhausted budget still yields the
+/// best scheme found so far (see [`SearchOutcome`]).
+#[derive(Debug, Clone, Default)]
+pub struct SearchBudget {
+    /// Wall-clock deadline measured from the start of the search.
+    pub deadline: Option<Duration>,
+    /// Maximum number of states to evaluate across all work units.
+    pub max_states: Option<u64>,
+    /// Maximum number of work units to execute (units beyond the limit are
+    /// skipped and counted). With one thread this truncates the sweep at an
+    /// exact, deterministic unit boundary — the lever the resume-determinism
+    /// tests use.
+    pub max_units: Option<usize>,
+    /// External cancellation handle (e.g. wired to Ctrl-C).
+    pub cancel: Option<CancelToken>,
+}
+
+impl SearchBudget {
+    /// An unlimited budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a wall-clock deadline for the whole search.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds the total number of evaluated states.
+    pub fn with_max_states(mut self, max_states: u64) -> Self {
+        self.max_states = Some(max_states);
+        self
+    }
+
+    /// Bounds the number of executed work units.
+    pub fn with_max_units(mut self, max_units: usize) -> Self {
+        self.max_units = Some(max_units);
+        self
+    }
+
+    /// Attaches an external cancel token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Returns `true` when no limit is configured at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_states.is_none()
+            && self.max_units.is_none()
+            && self.cancel.is_none()
+    }
+}
+
+/// Why a search run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchOutcome {
+    /// Every work unit ran to completion.
+    Complete,
+    /// The wall-clock deadline expired before the sweep finished.
+    DeadlineExceeded,
+    /// A state or unit budget was exhausted before the sweep finished.
+    BudgetExhausted,
+    /// The external cancel token fired before the sweep finished.
+    Cancelled,
+}
+
+impl SearchOutcome {
+    /// `true` only for [`SearchOutcome::Complete`].
+    pub fn is_complete(self) -> bool {
+        matches!(self, SearchOutcome::Complete)
+    }
+}
+
+impl std::fmt::Display for SearchOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            SearchOutcome::Complete => "complete",
+            SearchOutcome::DeadlineExceeded => "deadline-exceeded",
+            SearchOutcome::BudgetExhausted => "budget-exhausted",
+            SearchOutcome::Cancelled => "cancelled",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Trip causes, ordered so the first cause to fire wins (`compare_exchange`
+/// from `TRIP_NONE`).
+const TRIP_NONE: u8 = 0;
+const TRIP_DEADLINE: u8 = 1;
+const TRIP_STATES: u8 = 2;
+const TRIP_CANCELLED: u8 = 3;
+
+/// Shared runtime view of a [`SearchBudget`]: one clock per search run,
+/// polled cooperatively by every worker.
+///
+/// The clock is cheap when unarmed (a single branch per charge) and cheap when
+/// armed: the state counter is a relaxed atomic increment, and the expensive
+/// checks (reading `Instant::now`, the cancel flag) run every
+/// [`POLL_INTERVAL`] charged states.
+#[derive(Debug)]
+pub(crate) struct BudgetClock {
+    armed: bool,
+    start: Instant,
+    deadline: Option<Duration>,
+    max_states: Option<u64>,
+    cancel: Option<CancelToken>,
+    states: AtomicU64,
+    tripped: AtomicU8,
+}
+
+/// How many charged states between deadline/cancel polls.
+const POLL_INTERVAL: u64 = 32;
+
+impl BudgetClock {
+    /// Builds a clock for the given budget; unlimited budgets produce an
+    /// unarmed clock whose checks compile down to a single branch.
+    pub(crate) fn new(budget: &SearchBudget) -> Self {
+        let armed =
+            budget.deadline.is_some() || budget.max_states.is_some() || budget.cancel.is_some();
+        Self {
+            armed,
+            start: Instant::now(),
+            deadline: budget.deadline,
+            max_states: budget.max_states,
+            cancel: budget.cancel.clone(),
+            states: AtomicU64::new(0),
+            tripped: AtomicU8::new(TRIP_NONE),
+        }
+    }
+
+    /// A clock that never trips (used by contexts built outside a budgeted
+    /// run, e.g. unit tests poking at `make_ctx` directly).
+    #[cfg(test)]
+    pub(crate) fn unarmed() -> Self {
+        Self::new(&SearchBudget::default())
+    }
+
+    /// Records one evaluated state and polls the limits. Returns `true` when
+    /// the search should stop.
+    pub(crate) fn charge_state(&self) -> bool {
+        if !self.armed {
+            return false;
+        }
+        let n = self.states.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = self.max_states {
+            if n > limit {
+                self.trip(TRIP_STATES);
+            }
+        }
+        if n.is_multiple_of(POLL_INTERVAL) {
+            self.poll();
+        }
+        self.tripped()
+    }
+
+    /// Polls deadline and cancel token without charging a state.
+    pub(crate) fn poll(&self) -> bool {
+        if !self.armed {
+            return false;
+        }
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                self.trip(TRIP_CANCELLED);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if self.start.elapsed() >= deadline {
+                self.trip(TRIP_DEADLINE);
+            }
+        }
+        self.tripped()
+    }
+
+    /// `true` once any limit has tripped.
+    pub(crate) fn tripped(&self) -> bool {
+        self.armed && self.tripped.load(Ordering::Relaxed) != TRIP_NONE
+    }
+
+    /// The outcome corresponding to the *first* limit that tripped, if any.
+    pub(crate) fn trip_outcome(&self) -> Option<SearchOutcome> {
+        match self.tripped.load(Ordering::SeqCst) {
+            TRIP_DEADLINE => Some(SearchOutcome::DeadlineExceeded),
+            TRIP_STATES => Some(SearchOutcome::BudgetExhausted),
+            TRIP_CANCELLED => Some(SearchOutcome::Cancelled),
+            _ => None,
+        }
+    }
+
+    fn trip(&self, cause: u8) {
+        // First trip wins; later causes are ignored so the reported outcome
+        // names the limit that actually stopped the search.
+        let _ = self.tripped.compare_exchange(TRIP_NONE, cause, Ordering::SeqCst, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_sticky_and_shared_between_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn default_budget_is_unlimited_and_never_trips() {
+        let budget = SearchBudget::new();
+        assert!(budget.is_unlimited());
+        let clock = BudgetClock::new(&budget);
+        for _ in 0..1000 {
+            assert!(!clock.charge_state());
+        }
+        assert!(!clock.poll());
+        assert_eq!(clock.trip_outcome(), None);
+    }
+
+    #[test]
+    fn state_budget_trips_after_the_limit() {
+        let clock = BudgetClock::new(&SearchBudget::new().with_max_states(10));
+        let mut stopped_at = None;
+        for i in 1..=100u64 {
+            if clock.charge_state() {
+                stopped_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(stopped_at, Some(11));
+        assert_eq!(clock.trip_outcome(), Some(SearchOutcome::BudgetExhausted));
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_first_poll() {
+        let clock = BudgetClock::new(&SearchBudget::new().with_deadline(Duration::ZERO));
+        assert!(clock.poll());
+        assert_eq!(clock.trip_outcome(), Some(SearchOutcome::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancelled_token_trips_and_first_cause_wins() {
+        let token = CancelToken::new();
+        token.cancel();
+        let clock =
+            BudgetClock::new(&SearchBudget::new().with_deadline(Duration::ZERO).with_cancel(token));
+        assert!(clock.poll());
+        // Cancel is checked before the deadline inside poll(), so it is the
+        // first cause recorded even though both limits are expired.
+        assert_eq!(clock.trip_outcome(), Some(SearchOutcome::Cancelled));
+        assert_eq!(clock.trip_outcome(), Some(SearchOutcome::Cancelled));
+    }
+
+    #[test]
+    fn outcome_display_is_stable() {
+        assert_eq!(SearchOutcome::Complete.to_string(), "complete");
+        assert_eq!(SearchOutcome::DeadlineExceeded.to_string(), "deadline-exceeded");
+        assert_eq!(SearchOutcome::BudgetExhausted.to_string(), "budget-exhausted");
+        assert_eq!(SearchOutcome::Cancelled.to_string(), "cancelled");
+        assert!(SearchOutcome::Complete.is_complete());
+        assert!(!SearchOutcome::Cancelled.is_complete());
+    }
+}

@@ -1,0 +1,523 @@
+//! Checkpoint/resume for the region-allocation search.
+//!
+//! A checkpoint is a versioned, CRC-guarded text snapshot of the *completed*
+//! work units of a sweep, written atomically (temp file + rename) every N
+//! units. Only fully completed units are recorded: a resumed run replays
+//! their stored results in unit order and re-executes everything else, so the
+//! final report is byte-identical to an uninterrupted run at any thread
+//! count. See `docs/resilience.md` for the format specification.
+//!
+//! Schemes are stored as *shapes* — region member-index lists plus the
+//! static set — because the partition pool of each unit is deterministically
+//! rebuilt from the design and the partitioner settings; a fingerprint of
+//! both guards against resuming with a mismatched design or configuration.
+
+use crate::scheme::{Region, Scheme};
+use crate::PartitionError;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Current checkpoint format version tag (first line of every file).
+pub(crate) const FORMAT_HEADER: &str = "prpart-checkpoint v1";
+
+/// Where and how often to snapshot a search run.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path; the parent directory must exist. The file is
+    /// replaced atomically (temp + rename), never partially written.
+    pub path: PathBuf,
+    /// Flush a snapshot every this many completed units (and always once at
+    /// the end of the sweep). Clamped to at least 1.
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// Snapshots to `path` every 4 completed units.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into(), every: 4 }
+    }
+
+    /// Overrides the flush interval (clamped to at least 1).
+    pub fn with_every(mut self, every: usize) -> Self {
+        self.every = every.max(1);
+        self
+    }
+}
+
+/// The shape of a scheme relative to its unit's partition pool: region
+/// member-index lists plus the static set. Together with the rebuilt pool
+/// this reconstructs the full [`Scheme`] exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SchemeShape {
+    pub regions: Vec<Vec<usize>>,
+    pub statics: Vec<usize>,
+}
+
+impl SchemeShape {
+    pub(crate) fn of(scheme: &Scheme) -> Self {
+        Self {
+            regions: scheme.regions.iter().map(|r| r.partitions.clone()).collect(),
+            statics: scheme.static_partitions.clone(),
+        }
+    }
+
+    /// Largest pool index referenced by this shape, if any.
+    pub(crate) fn max_index(&self) -> Option<usize> {
+        self.regions.iter().flatten().chain(self.statics.iter()).copied().max()
+    }
+
+    /// Rebuilds the full scheme against a freshly reconstructed pool. The
+    /// caller validates pool bounds up front (see `Partitioner::resume_from`).
+    pub(crate) fn into_scheme(
+        self,
+        pool: &[crate::partition::BasePartition],
+        num_configurations: usize,
+    ) -> Scheme {
+        Scheme {
+            partitions: pool.to_vec(),
+            regions: self.regions.into_iter().map(|partitions| Region { partitions }).collect(),
+            static_partitions: self.statics,
+            num_configurations,
+        }
+    }
+
+    fn encode(&self) -> String {
+        let join = |ids: &[usize]| ids.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+        let regions = if self.regions.is_empty() {
+            "-".to_string()
+        } else {
+            self.regions.iter().map(|r| join(r)).collect::<Vec<_>>().join(";")
+        };
+        let statics = if self.statics.is_empty() { "-".to_string() } else { join(&self.statics) };
+        format!("{regions}|{statics}")
+    }
+
+    fn decode(text: &str) -> Result<Self, String> {
+        let (regions_text, statics_text) =
+            text.split_once('|').ok_or_else(|| format!("malformed shape '{text}'"))?;
+        let parse_ids = |part: &str| -> Result<Vec<usize>, String> {
+            part.split(',')
+                .map(|id| id.parse::<usize>().map_err(|_| format!("bad pool index '{id}'")))
+                .collect()
+        };
+        let regions = if regions_text == "-" {
+            Vec::new()
+        } else {
+            regions_text.split(';').map(parse_ids).collect::<Result<Vec<_>, _>>()?
+        };
+        let statics = if statics_text == "-" { Vec::new() } else { parse_ids(statics_text)? };
+        Ok(Self { regions, statics })
+    }
+}
+
+/// A (time, area, shape) point — either a unit's best scheme or one entry of
+/// its Pareto front. The f64 time is stored as raw bits so the round trip is
+/// exact.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SchemePoint {
+    pub time_bits: u64,
+    pub area: u64,
+    pub shape: SchemeShape,
+}
+
+impl SchemePoint {
+    fn encode(&self, tag: &str) -> String {
+        format!("{tag} {:016x} {} {}", self.time_bits, self.area, self.shape.encode())
+    }
+
+    fn decode(rest: &str) -> Result<Self, String> {
+        let mut parts = rest.splitn(3, ' ');
+        let time_bits = parts
+            .next()
+            .and_then(|t| u64::from_str_radix(t, 16).ok())
+            .ok_or_else(|| format!("bad time bits in '{rest}'"))?;
+        let area = parts
+            .next()
+            .and_then(|a| a.parse::<u64>().ok())
+            .ok_or_else(|| format!("bad area in '{rest}'"))?;
+        let shape =
+            SchemeShape::decode(parts.next().ok_or_else(|| format!("missing shape in '{rest}'"))?)?;
+        Ok(Self { time_bits, area, shape })
+    }
+}
+
+/// Everything a completed unit contributed to the reduction: its counters,
+/// its best feasible scheme (if any), and its local Pareto entries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct UnitSnapshot {
+    pub states: u64,
+    pub pruned: u64,
+    pub best: Option<SchemePoint>,
+    pub front: Vec<SchemePoint>,
+}
+
+/// A parsed and validated checkpoint file.
+#[derive(Debug, Clone)]
+pub(crate) struct LoadedCheckpoint {
+    pub fingerprint: u64,
+    pub units_total: usize,
+    pub units: BTreeMap<usize, UnitSnapshot>,
+}
+
+/// FNV-1a 64-bit hash, used to fingerprint the (design, settings) pair a
+/// checkpoint belongs to.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    pub(crate) fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        // Length-delimit so ("ab","c") and ("a","bc") hash differently.
+        self.write_u64(s.len() as u64);
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Bitwise CRC-32 (IEEE polynomial, reflected), std-only.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn serialize(
+    fingerprint: u64,
+    units_total: usize,
+    units: &BTreeMap<usize, UnitSnapshot>,
+) -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "{FORMAT_HEADER}");
+    let _ = writeln!(body, "fingerprint {fingerprint:016x}");
+    let _ = writeln!(body, "units {units_total}");
+    for (idx, snap) in units {
+        let _ = writeln!(body, "unit {idx}");
+        let _ = writeln!(body, "states {} pruned {}", snap.states, snap.pruned);
+        match &snap.best {
+            Some(point) => {
+                let _ = writeln!(body, "{}", point.encode("best"));
+            }
+            None => {
+                let _ = writeln!(body, "best none");
+            }
+        }
+        for point in &snap.front {
+            let _ = writeln!(body, "{}", point.encode("front"));
+        }
+        let _ = writeln!(body, "end");
+    }
+    let crc = crc32(body.as_bytes());
+    let _ = writeln!(body, "crc32 {crc:08x}");
+    body
+}
+
+fn parse(text: &str) -> Result<LoadedCheckpoint, String> {
+    let Some((body, tail)) = text.rsplit_once("crc32 ") else {
+        return Err("missing crc32 trailer".into());
+    };
+    let stored_crc = u32::from_str_radix(tail.trim(), 16)
+        .map_err(|_| format!("bad crc32 value '{}'", tail.trim()))?;
+    let actual_crc = crc32(body.as_bytes());
+    if stored_crc != actual_crc {
+        return Err(format!(
+            "crc mismatch: file says {stored_crc:08x}, content hashes to {actual_crc:08x}"
+        ));
+    }
+
+    let mut lines = body.lines();
+    match lines.next() {
+        Some(header) if header == FORMAT_HEADER => {}
+        Some(other) => return Err(format!("unsupported format '{other}'")),
+        None => return Err("empty checkpoint".into()),
+    }
+    let fingerprint = lines
+        .next()
+        .and_then(|l| l.strip_prefix("fingerprint "))
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or("missing or malformed fingerprint line")?;
+    let units_total = lines
+        .next()
+        .and_then(|l| l.strip_prefix("units "))
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or("missing or malformed units line")?;
+
+    let mut units = BTreeMap::new();
+    while let Some(line) = lines.next() {
+        let idx = line
+            .strip_prefix("unit ")
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| format!("expected 'unit <idx>', got '{line}'"))?;
+        if idx >= units_total {
+            return Err(format!("unit index {idx} out of range (units {units_total})"));
+        }
+        let counters = lines.next().ok_or("truncated unit record")?;
+        let rest = counters
+            .strip_prefix("states ")
+            .ok_or_else(|| format!("expected counters, got '{counters}'"))?;
+        let (states_text, pruned_text) = rest
+            .split_once(" pruned ")
+            .ok_or_else(|| format!("malformed counters '{counters}'"))?;
+        let states =
+            states_text.parse::<u64>().map_err(|_| format!("bad states count '{states_text}'"))?;
+        let pruned =
+            pruned_text.parse::<u64>().map_err(|_| format!("bad pruned count '{pruned_text}'"))?;
+
+        let best_line = lines.next().ok_or("truncated unit record")?;
+        let best = if best_line == "best none" {
+            None
+        } else {
+            let rest = best_line
+                .strip_prefix("best ")
+                .ok_or_else(|| format!("expected best line, got '{best_line}'"))?;
+            Some(SchemePoint::decode(rest)?)
+        };
+
+        let mut front = Vec::new();
+        loop {
+            let line = lines.next().ok_or("truncated unit record")?;
+            if line == "end" {
+                break;
+            }
+            let rest = line
+                .strip_prefix("front ")
+                .ok_or_else(|| format!("expected front entry or end, got '{line}'"))?;
+            front.push(SchemePoint::decode(rest)?);
+        }
+        if units.insert(idx, UnitSnapshot { states, pruned, best, front }).is_some() {
+            return Err(format!("duplicate record for unit {idx}"));
+        }
+    }
+    Ok(LoadedCheckpoint { fingerprint, units_total, units })
+}
+
+fn write_atomic(path: &Path, content: &str) -> Result<(), String> {
+    let mut temp = path.as_os_str().to_owned();
+    temp.push(".tmp");
+    let temp = PathBuf::from(temp);
+    std::fs::write(&temp, content).map_err(|e| format!("write {}: {e}", temp.display()))?;
+    std::fs::rename(&temp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&temp);
+        format!("rename {} -> {}: {e}", temp.display(), path.display())
+    })
+}
+
+/// Loads and validates a checkpoint file (version, CRC, structure). The
+/// fingerprint is checked by the caller against the current run.
+pub(crate) fn load(path: &Path) -> Result<LoadedCheckpoint, PartitionError> {
+    let text = std::fs::read_to_string(path).map_err(|e| PartitionError::Checkpoint {
+        path: path.display().to_string(),
+        detail: format!("read failed: {e}"),
+    })?;
+    parse(&text)
+        .map_err(|detail| PartitionError::Checkpoint { path: path.display().to_string(), detail })
+}
+
+/// Accumulates completed-unit snapshots during a sweep and flushes them to
+/// disk every `every` records. Thread-safe: workers record under a mutex and
+/// the first I/O error is latched and surfaced after the reduction.
+pub(crate) struct CheckpointWriter {
+    path: PathBuf,
+    every: usize,
+    fingerprint: u64,
+    units_total: usize,
+    state: Mutex<WriterState>,
+}
+
+#[derive(Debug)]
+struct WriterState {
+    units: BTreeMap<usize, UnitSnapshot>,
+    unflushed: usize,
+    written: bool,
+    error: Option<String>,
+}
+
+impl CheckpointWriter {
+    pub(crate) fn new(config: &CheckpointConfig, fingerprint: u64, units_total: usize) -> Self {
+        Self {
+            path: config.path.clone(),
+            every: config.every.max(1),
+            fingerprint,
+            units_total,
+            state: Mutex::new(WriterState {
+                units: BTreeMap::new(),
+                unflushed: 0,
+                written: false,
+                error: None,
+            }),
+        }
+    }
+
+    /// Seeds the writer with units restored from a loaded checkpoint so a
+    /// resumed run's snapshots remain a superset of the original's.
+    pub(crate) fn preload(&self, units: &BTreeMap<usize, UnitSnapshot>) {
+        let mut state = self.state.lock();
+        for (&idx, snap) in units {
+            state.units.insert(idx, snap.clone());
+        }
+    }
+
+    /// Records one completed unit, flushing if the interval is reached.
+    pub(crate) fn record(&self, idx: usize, snapshot: UnitSnapshot) {
+        let mut state = self.state.lock();
+        state.units.insert(idx, snapshot);
+        state.unflushed += 1;
+        if state.unflushed >= self.every {
+            self.flush_locked(&mut state);
+        }
+    }
+
+    /// Final flush; returns the first I/O error seen over the whole sweep.
+    /// Always leaves a file behind — a sweep interrupted before its first
+    /// completed unit writes an empty (but valid, resumable) snapshot.
+    pub(crate) fn finish(&self) -> Result<(), PartitionError> {
+        let mut state = self.state.lock();
+        if state.unflushed > 0 || !state.written {
+            self.flush_locked(&mut state);
+        }
+        match state.error.take() {
+            Some(detail) => {
+                Err(PartitionError::Checkpoint { path: self.path.display().to_string(), detail })
+            }
+            None => Ok(()),
+        }
+    }
+
+    fn flush_locked(&self, state: &mut WriterState) {
+        let content = serialize(self.fingerprint, self.units_total, &state.units);
+        if let Err(detail) = write_atomic(&self.path, &content) {
+            if state.error.is_none() {
+                state.error = Some(detail);
+            }
+        }
+        state.written = true;
+        state.unflushed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_units() -> BTreeMap<usize, UnitSnapshot> {
+        let shape = SchemeShape { regions: vec![vec![0, 2], vec![1]], statics: vec![3] };
+        let best = SchemePoint { time_bits: 1.25f64.to_bits(), area: 420, shape: shape.clone() };
+        let mut units = BTreeMap::new();
+        units.insert(
+            0,
+            UnitSnapshot {
+                states: 17,
+                pruned: 3,
+                best: Some(best.clone()),
+                front: vec![
+                    best,
+                    SchemePoint {
+                        time_bits: 2.5f64.to_bits(),
+                        area: 300,
+                        shape: SchemeShape { regions: vec![], statics: vec![0] },
+                    },
+                ],
+            },
+        );
+        units.insert(2, UnitSnapshot { states: 5, pruned: 0, best: None, front: vec![] });
+        units
+    }
+
+    #[test]
+    fn serialize_parse_round_trips_exactly() {
+        let units = sample_units();
+        let text = serialize(0xdead_beef_cafe_f00d, 7, &units);
+        let loaded = parse(&text).expect("round trip parses");
+        assert_eq!(loaded.fingerprint, 0xdead_beef_cafe_f00d);
+        assert_eq!(loaded.units_total, 7);
+        assert_eq!(loaded.units, units);
+        // Re-serialising the parse result is byte-identical.
+        assert_eq!(serialize(loaded.fingerprint, loaded.units_total, &loaded.units), text);
+    }
+
+    #[test]
+    fn corrupted_content_fails_the_crc_check() {
+        let text = serialize(1, 3, &sample_units());
+        let corrupted = text.replacen("states 17", "states 18", 1);
+        let err = parse(&corrupted).expect_err("corruption detected");
+        assert!(err.contains("crc mismatch"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn unknown_version_and_out_of_range_units_are_rejected() {
+        let good = serialize(1, 3, &sample_units());
+        let bad_version = good.replacen("v1", "v99", 1);
+        // Recompute the CRC so only the version differs.
+        let body = bad_version.rsplit_once("crc32 ").unwrap().0;
+        let retagged = format!("{body}crc32 {:08x}\n", crc32(body.as_bytes()));
+        let err = parse(&retagged).expect_err("version rejected");
+        assert!(err.contains("unsupported format"), "unexpected error: {err}");
+
+        let overflow = serialize(1, 1, &sample_units());
+        let body = overflow.rsplit_once("crc32 ").unwrap().0;
+        let retagged = format!("{body}crc32 {:08x}\n", crc32(body.as_bytes()));
+        let err = parse(&retagged).expect_err("unit out of range");
+        assert!(err.contains("out of range"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn writer_flushes_atomically_and_loader_validates() {
+        let dir = std::env::temp_dir().join(format!("prpart-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit-writer.ckpt");
+        let config = CheckpointConfig::new(&path).with_every(1);
+        let writer = CheckpointWriter::new(&config, 42, 3);
+        for (idx, snap) in sample_units() {
+            writer.record(idx, snap);
+        }
+        writer.finish().expect("flush succeeds");
+        let loaded = load(&path).expect("loads back");
+        assert_eq!(loaded.fingerprint, 42);
+        assert_eq!(loaded.units, sample_units());
+        // No temp file left behind.
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_maps_failures_to_checkpoint_errors() {
+        let missing = Path::new("/nonexistent/prpart.ckpt");
+        match load(missing) {
+            Err(PartitionError::Checkpoint { path, detail }) => {
+                assert!(path.contains("nonexistent"));
+                assert!(detail.contains("read failed"));
+            }
+            other => panic!("expected checkpoint error, got {other:?}"),
+        }
+    }
+}

@@ -48,6 +48,15 @@ pub enum PartitionError {
         /// Mode name as referenced.
         mode: String,
     },
+    /// A checkpoint file could not be read, written, or validated (I/O
+    /// failure, CRC mismatch, unsupported version, or a fingerprint that
+    /// does not match the current design and settings).
+    Checkpoint {
+        /// The checkpoint file involved.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
     /// An installed [`SchemeAuditor`](crate::audit::SchemeAuditor)
     /// rejected a result the search was about to return. This always
     /// indicates an engine bug (or a misbehaving auditor), never a bad
@@ -82,6 +91,9 @@ impl fmt::Display for PartitionError {
             ),
             PartitionError::UnknownMode { module, mode } => {
                 write!(f, "design defines no mode '{mode}' in module '{module}'")
+            }
+            PartitionError::Checkpoint { path, detail } => {
+                write!(f, "checkpoint {path}: {detail}")
             }
             PartitionError::AuditFailed { auditor, details } => {
                 write!(f, "{auditor} rejected the search result: {details}")

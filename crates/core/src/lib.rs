@@ -35,6 +35,8 @@
 
 pub mod audit;
 pub mod baselines;
+pub mod budget;
+pub mod checkpoint;
 pub mod cluster;
 pub mod covering;
 pub mod device_select;
@@ -47,10 +49,12 @@ pub mod search;
 pub mod weights;
 
 pub use audit::{AuditorHandle, SchemeAuditor};
+pub use budget::{CancelToken, SearchBudget, SearchOutcome};
+pub use checkpoint::CheckpointConfig;
 pub use cluster::generate_base_partitions;
 pub use covering::{cover, CandidateSets};
 pub use error::PartitionError;
 pub use partition::BasePartition;
 pub use scheme::{EvaluatedScheme, Region, Scheme, SchemeMetrics, TransitionSemantics};
-pub use search::{Objective, PartitionOutcome, Partitioner, SearchStrategy};
+pub use search::{Objective, PartitionOutcome, Partitioner, PoisonedUnit, SearchStrategy};
 pub use weights::TransitionWeights;

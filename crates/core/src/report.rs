@@ -1,7 +1,8 @@
 //! Human-readable reports: scheme tables in the style of the paper's
-//! Tables III–V.
+//! Tables III–V, plus the truncation summary for anytime results.
 
 use crate::scheme::{EvaluatedScheme, SchemeMetrics};
+use crate::search::PartitionOutcome;
 use prpart_design::Design;
 
 /// A named row of the scheme-comparison table (paper Table IV).
@@ -51,6 +52,33 @@ pub fn scheme_report(design: &Design, evaluated: &EvaluatedScheme) -> String {
     out
 }
 
+/// One line summarising a truncated or degraded sweep, or `None` for a
+/// clean complete run — so reports of complete runs stay byte-identical
+/// to what they were before budgets existed.
+pub fn outcome_summary(outcome: &PartitionOutcome) -> Option<String> {
+    if outcome.search_outcome.is_complete() && outcome.poisoned_units.is_empty() {
+        return None;
+    }
+    let mut line = format!(
+        "search {}: {}/{} units completed",
+        outcome.search_outcome, outcome.units_completed, outcome.units_total
+    );
+    if outcome.units_partial > 0 {
+        line.push_str(&format!(", {} partial", outcome.units_partial));
+    }
+    if outcome.units_skipped > 0 {
+        line.push_str(&format!(", {} skipped", outcome.units_skipped));
+    }
+    if outcome.units_resumed > 0 {
+        line.push_str(&format!(", {} resumed", outcome.units_resumed));
+    }
+    if !outcome.poisoned_units.is_empty() {
+        line.push_str(&format!(", {} poisoned", outcome.poisoned_units.len()));
+    }
+    line.push_str(" | best-so-far result");
+    Some(line)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +113,22 @@ mod tests {
         let report = scheme_report(&d, &best);
         assert!(report.contains("PRR1"), "{report}");
         assert!(report.contains("frames"), "{report}");
+    }
+
+    #[test]
+    fn outcome_summary_is_silent_for_complete_runs_and_loud_for_truncated() {
+        let d = corpus::abc_example();
+        let budget = prpart_arch::Resources::new(1100, 20, 24);
+        let complete = Partitioner::new(budget).partition(&d).unwrap();
+        assert_eq!(outcome_summary(&complete), None);
+
+        let truncated = Partitioner::new(budget)
+            .with_threads(1)
+            .with_search_budget(crate::budget::SearchBudget::new().with_max_units(1))
+            .partition(&d)
+            .unwrap();
+        let line = outcome_summary(&truncated).expect("truncation must be reported");
+        assert!(line.contains("budget-exhausted"), "{line}");
+        assert!(line.contains("skipped"), "{line}");
     }
 }

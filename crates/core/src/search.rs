@@ -49,6 +49,11 @@
 //! on both area and time by its Pareto archive.
 
 use crate::audit::AuditorHandle;
+use crate::budget::{BudgetClock, SearchBudget, SearchOutcome};
+use crate::checkpoint::{
+    self, CheckpointConfig, CheckpointWriter, Fnv64, LoadedCheckpoint, SchemePoint, SchemeShape,
+    UnitSnapshot,
+};
 use crate::cluster::{generate_base_partitions, DEFAULT_CLIQUE_LIMIT};
 use crate::covering::CandidateSets;
 use crate::error::PartitionError;
@@ -61,7 +66,9 @@ use prpart_arch::{frames_for, Resources, TileCounts};
 use prpart_design::{ConnectivityMatrix, Design};
 use prpart_graph::BitSet;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// What the search minimises.
@@ -175,6 +182,18 @@ pub struct Partitioner {
     /// (release builds) and every accepted search state is certified as
     /// it is accepted (debug builds).
     pub auditor: Option<AuditorHandle>,
+    /// Cooperative limits on the search (unlimited by default). An
+    /// exhausted budget is not an error: the best-so-far scheme is
+    /// returned with [`PartitionOutcome::search_outcome`] recording why
+    /// the sweep stopped. See [`crate::budget`].
+    pub search_budget: SearchBudget,
+    /// Optional checkpointing of completed work units (see
+    /// [`crate::checkpoint`] and [`Partitioner::resume_from`]).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Fault-injection hook for tests: work units whose index is listed
+    /// here panic at the start of execution, exercising the per-unit
+    /// panic isolation without touching the search code itself.
+    pub injected_unit_panics: Vec<usize>,
 }
 
 impl Partitioner {
@@ -190,6 +209,9 @@ impl Partitioner {
             objective: Objective::TotalTime,
             threads: 0,
             auditor: None,
+            search_budget: SearchBudget::default(),
+            checkpoint: None,
+            injected_unit_panics: Vec::new(),
         }
     }
 
@@ -236,6 +258,29 @@ impl Partitioner {
     /// Installs an independent result verifier (see [`crate::audit`]).
     pub fn with_auditor(mut self, auditor: AuditorHandle) -> Self {
         self.auditor = Some(auditor);
+        self
+    }
+
+    /// Bounds the search with a cooperative [`SearchBudget`] (deadline,
+    /// state/unit limits, cancel token). Budgets never cause errors; a
+    /// tripped limit yields the certified best-so-far scheme with the
+    /// truncation recorded in the outcome.
+    pub fn with_search_budget(mut self, budget: SearchBudget) -> Self {
+        self.search_budget = budget;
+        self
+    }
+
+    /// Snapshots completed work units to a checkpoint file so an
+    /// interrupted sweep can be resumed with [`Partitioner::resume_from`].
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Test hook: makes the listed work units panic on execution, to
+    /// exercise panic isolation end to end.
+    pub fn with_injected_unit_panics(mut self, units: Vec<usize>) -> Self {
+        self.injected_unit_panics = units;
         self
     }
 
@@ -322,7 +367,8 @@ impl Partitioner {
             }
         }
 
-        let ctx = self.make_ctx(design, &pool);
+        let clock = BudgetClock::new(&self.search_budget);
+        let ctx = self.make_ctx(design, &pool, &clock);
         let mut seeded = State {
             groups: groups.iter().map(|g| Group::new(&ctx, g.clone())).collect(),
             statics: statics.clone(),
@@ -359,6 +405,29 @@ impl Partitioner {
     /// region allocation. Returns the best feasible scheme found (if any)
     /// and search statistics.
     pub fn partition(&self, design: &Design) -> Result<PartitionOutcome, PartitionError> {
+        self.run_search(design, None)
+    }
+
+    /// Resumes an interrupted sweep from a checkpoint written by a
+    /// previous run with the same design and settings (guarded by a
+    /// fingerprint). Completed units are replayed from the snapshot and
+    /// everything else is executed; because the reduction is unit-ordered
+    /// either way, the result is byte-identical to an uninterrupted run
+    /// at any thread count.
+    pub fn resume_from(
+        &self,
+        design: &Design,
+        path: &Path,
+    ) -> Result<PartitionOutcome, PartitionError> {
+        let loaded = checkpoint::load(path)?;
+        self.run_search(design, Some((path, loaded)))
+    }
+
+    fn run_search(
+        &self,
+        design: &Design,
+        resume: Option<(&Path, LoadedCheckpoint)>,
+    ) -> Result<PartitionOutcome, PartitionError> {
         check_feasibility(design, &self.budget)?;
         if let Some(w) = &self.transition_weights {
             if w.num_configurations() != design.num_configurations() {
@@ -388,13 +457,74 @@ impl Partitioner {
             CandidateSets::new(&matrix, &parts).take(max_sets.max(1)).collect();
         let units = build_units(runner, sets.len());
 
+        let fingerprint = self.fingerprint(design);
+        let restored = match resume {
+            Some((path, loaded)) => {
+                validate_snapshot(path, &loaded, fingerprint, &units, &sets)?;
+                loaded.units
+            }
+            None => BTreeMap::new(),
+        };
+
+        let clock = BudgetClock::new(&self.search_budget);
+        let writer = self
+            .checkpoint
+            .as_ref()
+            .map(|cfg| CheckpointWriter::new(cfg, fingerprint, units.len()));
+        if let Some(w) = &writer {
+            w.preload(&restored);
+        }
+
+        let results = self.execute_units(
+            design,
+            &parts,
+            &sets,
+            runner,
+            &units,
+            &clock,
+            &restored,
+            writer.as_ref(),
+        );
+
         let mut best = Best::new();
         let mut stats = SearchStats::default();
-        for (unit_best, unit_stats) in self.execute_units(design, &parts, &sets, runner, &units) {
-            best.merge(unit_best);
-            stats.merge(&unit_stats);
+        let mut units_completed = 0;
+        let mut units_partial = 0;
+        let mut units_skipped = 0;
+        let mut units_resumed = 0;
+        let mut poisoned_units = Vec::new();
+        for (i, result) in results.into_iter().enumerate() {
+            match result {
+                UnitResult::Done { best: b, stats: s, resumed } => {
+                    best.merge(b);
+                    stats.merge(&s);
+                    units_completed += 1;
+                    if resumed {
+                        units_resumed += 1;
+                    }
+                }
+                UnitResult::Partial { best: b, stats: s } => {
+                    best.merge(b);
+                    stats.merge(&s);
+                    units_partial += 1;
+                }
+                UnitResult::Skipped => units_skipped += 1,
+                UnitResult::Poisoned { message } => {
+                    poisoned_units.push(PoisonedUnit { unit: i, message })
+                }
+            }
         }
         stats.candidate_sets_explored = sets.len();
+        if let Some(w) = &writer {
+            w.finish()?;
+        }
+
+        let search_outcome = clock.trip_outcome().unwrap_or(if units_skipped > 0 {
+            // No clock limit fired, so skips can only come from max_units.
+            SearchOutcome::BudgetExhausted
+        } else {
+            SearchOutcome::Complete
+        });
 
         let (best, pareto_front) = best.into_evaluated(design, &self.budget, self.semantics);
         self.audit_outcome(design, &best, &pareto_front)?;
@@ -404,10 +534,98 @@ impl Partitioner {
             candidate_sets_explored: stats.candidate_sets_explored,
             states_evaluated: stats.states_evaluated,
             states_pruned: stats.states_pruned,
+            search_outcome,
+            units_total: units.len(),
+            units_completed,
+            units_partial,
+            units_skipped,
+            units_resumed,
+            poisoned_units,
         })
     }
 
-    fn make_ctx<'a>(&'a self, design: &'a Design, pool: &'a [BasePartition]) -> Ctx<'a> {
+    /// Fingerprint of the (design, settings) pair a checkpoint belongs
+    /// to. Covers everything that shapes the unit list or any unit's
+    /// result; deliberately excludes threads, auditor, budget limits and
+    /// the checkpoint config itself — none of which change what a
+    /// completed unit computes.
+    fn fingerprint(&self, design: &Design) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(design.name());
+        let res = |h: &mut Fnv64, r: Resources| {
+            h.write_u64(u64::from(r.clb));
+            h.write_u64(u64::from(r.bram));
+            h.write_u64(u64::from(r.dsp));
+        };
+        res(&mut h, design.static_overhead());
+        h.write_u64(design.modules().len() as u64);
+        for module in design.modules() {
+            h.write_str(&module.name);
+            h.write_u64(module.modes.len() as u64);
+            for mode in &module.modes {
+                h.write_str(&mode.name);
+                res(&mut h, mode.resources);
+            }
+        }
+        h.write_u64(design.configurations().len() as u64);
+        for config in design.configurations() {
+            h.write_str(&config.name);
+            for sel in &config.selection {
+                h.write_u64(sel.map_or(0, |k| u64::from(k) + 1));
+            }
+        }
+        res(&mut h, self.budget);
+        h.write_u64(match self.semantics {
+            TransitionSemantics::Optimistic => 0,
+            TransitionSemantics::Pessimistic => 1,
+        });
+        match self.strategy {
+            SearchStrategy::GreedyRestarts { max_candidate_sets, max_first_moves } => {
+                h.write_u64(1);
+                h.write_u64(max_candidate_sets as u64);
+                h.write_u64(max_first_moves as u64);
+            }
+            SearchStrategy::Beam { width, max_candidate_sets } => {
+                h.write_u64(2);
+                h.write_u64(width as u64);
+                h.write_u64(max_candidate_sets as u64);
+            }
+            SearchStrategy::Annealing { iterations, seed, max_candidate_sets } => {
+                h.write_u64(3);
+                h.write_u64(iterations as u64);
+                h.write_u64(seed);
+                h.write_u64(max_candidate_sets as u64);
+            }
+            SearchStrategy::Exhaustive { max_partitions, max_candidate_sets } => {
+                h.write_u64(4);
+                h.write_u64(max_partitions as u64);
+                h.write_u64(max_candidate_sets as u64);
+            }
+        }
+        h.write_u64(self.clique_limit as u64);
+        h.write_u64(u64::from(self.allow_static_promotion));
+        h.write_u64(match self.objective {
+            Objective::TotalTime => 0,
+            Objective::WorstCase => 1,
+        });
+        if let Some(w) = &self.transition_weights {
+            let n = w.num_configurations();
+            h.write_u64(n as u64);
+            for i in 0..n {
+                for j in 0..n {
+                    h.write_u64(w.get(i, j).to_bits());
+                }
+            }
+        }
+        h.finish()
+    }
+
+    fn make_ctx<'a>(
+        &'a self,
+        design: &'a Design,
+        pool: &'a [BasePartition],
+        clock: &'a BudgetClock,
+    ) -> Ctx<'a> {
         Ctx {
             pool,
             design,
@@ -419,6 +637,7 @@ impl Partitioner {
             weights: self.transition_weights.as_ref(),
             objective: self.objective,
             auditor: self.auditor.as_ref(),
+            clock,
             merge_cache: RefCell::new(HashMap::new()),
         }
     }
@@ -447,6 +666,7 @@ impl Partitioner {
     /// Multi-threaded execution hands units to workers through an atomic
     /// counter and sorts the collected results back into unit order, so
     /// the reduction downstream sees exactly the sequential ordering.
+    #[allow(clippy::too_many_arguments)]
     fn execute_units(
         &self,
         design: &Design,
@@ -454,14 +674,24 @@ impl Partitioner {
         sets: &[Vec<usize>],
         runner: Runner,
         units: &[UnitSpec],
-    ) -> Vec<(Best, SearchStats)> {
+        clock: &BudgetClock,
+        restored: &BTreeMap<usize, UnitSnapshot>,
+        writer: Option<&CheckpointWriter>,
+    ) -> Vec<UnitResult> {
+        // Counts units actually *executed* (not restored or skipped), so
+        // `SearchBudget::max_units` truncates at an exact unit boundary.
+        let executed = AtomicUsize::new(0);
+        let exec = |i: usize| {
+            self.exec_one(
+                i, &units[i], design, parts, sets, runner, clock, restored, writer, &executed,
+            )
+        };
         let threads = resolve_threads(self.threads).min(units.len().max(1));
         if threads <= 1 {
-            return units.iter().map(|u| self.run_unit(design, parts, sets, runner, u)).collect();
+            return (0..units.len()).map(exec).collect();
         }
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<(usize, Best, SearchStats)>> =
-            Mutex::new(Vec::with_capacity(units.len()));
+        let results: Mutex<Vec<(usize, UnitResult)>> = Mutex::new(Vec::with_capacity(units.len()));
         crossbeam::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| loop {
@@ -469,15 +699,69 @@ impl Partitioner {
                     if i >= units.len() {
                         break;
                     }
-                    let (b, s) = self.run_unit(design, parts, sets, runner, &units[i]);
-                    results.lock().push((i, b, s));
+                    let r = exec(i);
+                    results.lock().push((i, r));
                 });
             }
         })
-        .expect("search workers do not panic");
+        .expect("search workers isolate unit panics and never unwind");
         let mut collected = results.into_inner();
-        collected.sort_by_key(|&(i, _, _)| i);
-        collected.into_iter().map(|(_, b, s)| (b, s)).collect()
+        collected.sort_by_key(|&(i, _)| i);
+        collected.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Executes (or restores, or skips) one unit. Gate order: restored
+    /// snapshot → budget clock → unit budget → panic-isolated execution.
+    /// A unit that finishes after the clock tripped is reported
+    /// [`UnitResult::Partial`]: its results merge (they are valid states)
+    /// but are not checkpointed, which is conservative and sound — a
+    /// resumed run simply re-executes it.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_one(
+        &self,
+        i: usize,
+        unit: &UnitSpec,
+        design: &Design,
+        parts: &[BasePartition],
+        sets: &[Vec<usize>],
+        runner: Runner,
+        clock: &BudgetClock,
+        restored: &BTreeMap<usize, UnitSnapshot>,
+        writer: Option<&CheckpointWriter>,
+        executed: &AtomicUsize,
+    ) -> UnitResult {
+        if let Some(snapshot) = restored.get(&i) {
+            let pool: Vec<BasePartition> =
+                sets[unit.set].iter().map(|&p| parts[p].clone()).collect();
+            let (best, stats) = restore_unit(snapshot, &pool, design.num_configurations());
+            return UnitResult::Done { best, stats, resumed: true };
+        }
+        if clock.poll() {
+            return UnitResult::Skipped;
+        }
+        if let Some(limit) = self.search_budget.max_units {
+            if executed.fetch_add(1, Ordering::Relaxed) >= limit {
+                return UnitResult::Skipped;
+            }
+        }
+        let inject = self.injected_unit_panics.contains(&i);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            assert!(!inject, "injected panic in unit {i}");
+            self.run_unit(design, parts, sets, runner, unit, clock)
+        }));
+        match outcome {
+            Ok((best, stats)) => {
+                if clock.tripped() {
+                    UnitResult::Partial { best, stats }
+                } else {
+                    if let Some(w) = writer {
+                        w.record(i, snapshot_unit(&best, &stats));
+                    }
+                    UnitResult::Done { best, stats, resumed: false }
+                }
+            }
+            Err(payload) => UnitResult::Poisoned { message: panic_message(payload.as_ref()) },
+        }
     }
 
     /// Runs one unit: builds the candidate-set pool and context locally
@@ -490,9 +774,10 @@ impl Partitioner {
         sets: &[Vec<usize>],
         runner: Runner,
         unit: &UnitSpec,
+        clock: &BudgetClock,
     ) -> (Best, SearchStats) {
         let pool: Vec<BasePartition> = sets[unit.set].iter().map(|&i| parts[i].clone()).collect();
-        let ctx = self.make_ctx(design, &pool);
+        let ctx = self.make_ctx(design, &pool, clock);
         let mut best = Best::new();
         let mut stats = SearchStats::default();
         let mut initial = State::initial(&ctx);
@@ -544,6 +829,125 @@ fn resolve_threads(threads: usize) -> usize {
     } else {
         threads
     }
+}
+
+/// What happened to one work unit during a sweep.
+enum UnitResult {
+    /// Ran to completion (or was restored from a checkpoint).
+    Done { best: Best, stats: SearchStats, resumed: bool },
+    /// Finished executing after the budget clock tripped: its results
+    /// merge but it is neither checkpointed nor counted complete.
+    Partial { best: Best, stats: SearchStats },
+    /// Never executed (budget tripped or unit budget exhausted).
+    Skipped,
+    /// Panicked; isolated and recorded, the sweep continues.
+    Poisoned { message: String },
+}
+
+/// A work unit that panicked during a sweep, recorded in
+/// [`PartitionOutcome::poisoned_units`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonedUnit {
+    /// Index of the unit in the sweep's ordered unit list.
+    pub unit: usize,
+    /// The panic payload, when it was a string (the usual case).
+    pub message: String,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unit panicked with a non-string payload".to_string()
+    }
+}
+
+/// Rejects a loaded checkpoint that does not belong to this exact
+/// (design, settings) pair or whose stored shapes cannot index the pools
+/// the current run would rebuild. Validating everything up front keeps
+/// the restore path inside the sweep infallible.
+fn validate_snapshot(
+    path: &Path,
+    loaded: &LoadedCheckpoint,
+    fingerprint: u64,
+    units: &[UnitSpec],
+    sets: &[Vec<usize>],
+) -> Result<(), PartitionError> {
+    let fail =
+        |detail: String| PartitionError::Checkpoint { path: path.display().to_string(), detail };
+    if loaded.fingerprint != fingerprint {
+        return Err(fail(format!(
+            "fingerprint mismatch: checkpoint is for {:016x} but this design and \
+             configuration hash to {fingerprint:016x}",
+            loaded.fingerprint
+        )));
+    }
+    if loaded.units_total != units.len() {
+        return Err(fail(format!(
+            "unit count mismatch: checkpoint has {} units but this run would execute {}",
+            loaded.units_total,
+            units.len()
+        )));
+    }
+    for (&idx, snapshot) in &loaded.units {
+        // The loader already bounds idx by units_total.
+        let pool_len = sets[units[idx].set].len();
+        for point in snapshot.best.iter().chain(snapshot.front.iter()) {
+            if point.shape.max_index().is_some_and(|m| m >= pool_len) {
+                return Err(fail(format!(
+                    "unit {idx} references pool index {} but its pool has {pool_len} partitions",
+                    point.shape.max_index().unwrap_or(0),
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Captures a completed unit's contribution as a checkpoint snapshot.
+fn snapshot_unit(best: &Best, stats: &SearchStats) -> UnitSnapshot {
+    let point = |time: f64, area: u64, scheme: &Scheme| SchemePoint {
+        time_bits: time.to_bits(),
+        area,
+        shape: SchemeShape::of(scheme),
+    };
+    UnitSnapshot {
+        states: stats.states_evaluated,
+        pruned: stats.states_pruned,
+        best: best.scheme.as_ref().map(|s| point(best.time, best.area, s)),
+        front: best.pareto.iter().map(|(t, a, s)| point(*t, *a, s)).collect(),
+    }
+}
+
+/// Rebuilds a unit's exact contribution from its snapshot: the restored
+/// [`Best`] (scheme, tie-break keys, Pareto entries *in stored order*)
+/// merges identically to the one the original execution produced, which
+/// is what makes resumed output byte-identical.
+fn restore_unit(
+    snapshot: &UnitSnapshot,
+    pool: &[BasePartition],
+    num_configurations: usize,
+) -> (Best, SearchStats) {
+    let scheme = |point: &SchemePoint| point.shape.clone().into_scheme(pool, num_configurations);
+    let mut best = Best::new();
+    if let Some(point) = &snapshot.best {
+        best.scheme = Some(scheme(point));
+        best.time = f64::from_bits(point.time_bits);
+        best.area = point.area;
+    }
+    best.pareto = snapshot
+        .front
+        .iter()
+        .map(|point| (f64::from_bits(point.time_bits), point.area, scheme(point)))
+        .collect();
+    let stats = SearchStats {
+        candidate_sets_explored: 0,
+        states_evaluated: snapshot.states,
+        states_pruned: snapshot.pruned,
+    };
+    (best, stats)
 }
 
 #[derive(Clone, Copy)]
@@ -617,6 +1021,25 @@ pub struct PartitionOutcome {
     /// replay), plus beam children dominated on both area and time by
     /// the Pareto archive. Neither cut can change any reported result.
     pub states_pruned: u64,
+    /// Why the sweep ended: [`SearchOutcome::Complete`] for a full run,
+    /// otherwise the budget limit or cancellation that truncated it. A
+    /// truncated outcome is still certified (auditor, proof-checker) —
+    /// it is the best result of the work that did run.
+    pub search_outcome: SearchOutcome,
+    /// Work units the sweep was divided into.
+    pub units_total: usize,
+    /// Units that ran to completion (including restored ones).
+    pub units_completed: usize,
+    /// Units that finished after the budget tripped: merged into the
+    /// result but not checkpointed.
+    pub units_partial: usize,
+    /// Units never executed because a budget tripped first.
+    pub units_skipped: usize,
+    /// Units replayed from a checkpoint instead of executed.
+    pub units_resumed: usize,
+    /// Units that panicked; each is isolated and recorded while the rest
+    /// of the sweep continues.
+    pub poisoned_units: Vec<PoisonedUnit>,
 }
 
 #[derive(Default)]
@@ -650,6 +1073,9 @@ struct Ctx<'a> {
     weights: Option<&'a TransitionWeights>,
     objective: Objective,
     auditor: Option<&'a AuditorHandle>,
+    /// The run's shared budget clock; polled cooperatively by every
+    /// strategy at state granularity.
+    clock: &'a BudgetClock,
     /// Transposition table for merged groups, keyed by the merged member
     /// list (which — given the deterministic left-to-right merge
     /// construction — is the canonical content of the resulting group).
@@ -658,6 +1084,15 @@ struct Ctx<'a> {
 }
 
 impl Ctx<'_> {
+    /// Counts one evaluated state and charges it against the budget
+    /// clock. Returns `true` when the search should stop; with no budget
+    /// configured this is exactly the old `states_evaluated += 1` and
+    /// never stops, so unbudgeted runs are byte-identical to before.
+    fn note_state(&self, stats: &mut SearchStats) -> bool {
+        stats.states_evaluated += 1;
+        self.clock.charge_state()
+    }
+
     /// Merges two groups, memoised: greedy descent previews every
     /// merge pair at every step, and all pairs not touching the group
     /// changed by the previous step recur verbatim — as do the first
@@ -1242,8 +1677,11 @@ fn greedy_descent(
             stats.states_pruned += 1;
             break;
         }
-        stats.states_evaluated += 1;
+        let stop = ctx.note_state(stats);
         best.consider(ctx, state);
+        if stop {
+            break;
+        }
         let moves = state.moves(ctx);
         if moves.is_empty() {
             break;
@@ -1281,8 +1719,11 @@ fn greedy_restart_chunk(
     stats: &mut SearchStats,
 ) {
     if chunk == 0 {
-        stats.states_evaluated += 1;
+        let stop = ctx.note_state(stats);
         best.consider(ctx, state);
+        if stop {
+            return;
+        }
     }
     let mut scored: Vec<(Key, Move)> = state
         .moves(ctx)
@@ -1297,6 +1738,9 @@ fn greedy_restart_chunk(
     let start = chunk * RESTART_CHUNK;
     let mut visited: HashSet<StateKey> = HashSet::new();
     for &(_, mv) in scored.iter().skip(start).take(RESTART_CHUNK) {
+        if ctx.clock.tripped() {
+            break;
+        }
         let undo = state.apply_mut(ctx, mv);
         greedy_descent(ctx, state, best, stats, &mut visited);
         state.undo(undo);
@@ -1309,8 +1753,11 @@ fn greedy_restart_chunk(
 /// never expanded further.
 fn beam(ctx: &Ctx<'_>, initial: State, width: usize, best: &mut Best, stats: &mut SearchStats) {
     let width = width.max(1);
-    stats.states_evaluated += 1;
+    let stop = ctx.note_state(stats);
     best.consider(ctx, &initial);
+    if stop {
+        return;
+    }
     let mut archive = ParetoArchive::new();
     archive.insert((initial.area, initial.time));
     let mut frontier = vec![initial];
@@ -1320,12 +1767,18 @@ fn beam(ctx: &Ctx<'_>, initial: State, width: usize, best: &mut Best, stats: &mu
         let mut children: Vec<(State, Key)> = Vec::new();
         for s in &frontier {
             for mv in s.moves(ctx) {
+                if ctx.clock.tripped() {
+                    return;
+                }
                 let child = s.apply(ctx, mv);
                 if !seen.insert(child.canonical_key()) {
                     continue;
                 }
-                stats.states_evaluated += 1;
+                let stop = ctx.note_state(stats);
                 best.consider(ctx, &child);
+                if stop {
+                    return;
+                }
                 let point = (child.area, child.time);
                 if archive.dominates(&point) {
                     stats.states_pruned += 1;
@@ -1367,8 +1820,11 @@ fn annealing(
     use rand::{RngExt, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let mut state = initial;
-    stats.states_evaluated += 1;
+    let stop = ctx.note_state(stats);
     best.consider(ctx, &state);
+    if stop {
+        return;
+    }
 
     let e0 = energy(&state, &ctx.budget).max(1.0);
     let t_start = e0 * 0.05;
@@ -1378,6 +1834,9 @@ fn annealing(
     let mut temperature = t_start;
 
     for _ in 0..iterations {
+        if ctx.clock.tripped() {
+            return;
+        }
         temperature *= decay;
         let proposal: Option<State> = match rng.random_range(0u8..4) {
             // Merge a random compatible pair.
@@ -1429,12 +1888,15 @@ fn annealing(
             }
         };
         let Some(candidate) = proposal else { continue };
-        stats.states_evaluated += 1;
+        let stop = ctx.note_state(stats);
         let de = energy(&candidate, &ctx.budget) - energy(&state, &ctx.budget);
         let accept = de <= 0.0 || rng.random_range(0.0..1.0) < (-de / temperature).exp();
         if accept {
             best.consider(ctx, &candidate);
             state = candidate;
+        }
+        if stop {
+            return;
         }
     }
 }
@@ -1454,10 +1916,16 @@ fn exhaustive(ctx: &Ctx<'_>, best: &mut Best, stats: &mut SearchStats) {
         best: &mut Best,
         stats: &mut SearchStats,
     ) {
+        if ctx.clock.tripped() {
+            return;
+        }
         if idx == n {
             let state = build_state(ctx, groups);
-            stats.states_evaluated += 1;
+            let stop = ctx.note_state(stats);
             best.consider(ctx, &state);
+            if stop {
+                return;
+            }
             if ctx.allow_static {
                 promote_greedily(ctx, state, best, stats);
             }
@@ -1507,8 +1975,11 @@ fn exhaustive(ctx: &Ctx<'_>, best: &mut Best, stats: &mut SearchStats) {
             }
             if let Some((_, mv)) = best_mv {
                 state.apply_mut(ctx, mv);
-                stats.states_evaluated += 1;
+                let stop = ctx.note_state(stats);
                 best.consider(ctx, &state);
+                if stop {
+                    return;
+                }
                 improved = true;
             }
             if !improved {
@@ -1965,7 +2436,8 @@ mod tests {
         let parts = generate_base_partitions(&d, &matrix, DEFAULT_CLIQUE_LIMIT).unwrap();
         let sets: Vec<Vec<usize>> = CandidateSets::new(&matrix, &parts).take(1).collect();
         let pool: Vec<BasePartition> = sets[0].iter().map(|&i| parts[i].clone()).collect();
-        let ctx = p.make_ctx(&d, &pool);
+        let clock = BudgetClock::unarmed();
+        let ctx = p.make_ctx(&d, &pool, &clock);
         let mut state = State::initial(&ctx);
 
         fn snapshot(s: &State) -> (StateKey, u64, Resources, Resources) {
@@ -1993,7 +2465,8 @@ mod tests {
         let parts = generate_base_partitions(&d, &matrix, DEFAULT_CLIQUE_LIMIT).unwrap();
         let sets: Vec<Vec<usize>> = CandidateSets::new(&matrix, &parts).take(1).collect();
         let pool: Vec<BasePartition> = sets[0].iter().map(|&i| parts[i].clone()).collect();
-        let ctx = p.make_ctx(&d, &pool);
+        let clock = BudgetClock::unarmed();
+        let ctx = p.make_ctx(&d, &pool, &clock);
         let mut state = State::initial(&ctx);
         // Repeatedly take the first available move; uniform costs are
         // integers, so incremental and recomputed totals agree exactly.
@@ -2056,5 +2529,186 @@ mod tests {
         // descents converge onto shared tails) while the golden best
         // stays locked elsewhere (tests/golden.rs).
         assert!(out.states_pruned > 0, "expected the replay cut to engage");
+    }
+
+    // ---- resilience: budgets, cancellation, panics, checkpoints -------
+
+    use crate::budget::{CancelToken, SearchBudget, SearchOutcome};
+    use crate::checkpoint::CheckpointConfig;
+    use std::time::Duration;
+
+    fn scratch_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("prpart-search-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn unbudgeted_run_reports_complete_with_full_unit_accounting() {
+        let d = corpus::abc_example();
+        let out = Partitioner::new(abc_budget()).partition(&d).unwrap();
+        assert_eq!(out.search_outcome, SearchOutcome::Complete);
+        assert!(out.search_outcome.is_complete());
+        assert!(out.units_total > 0);
+        assert_eq!(out.units_completed, out.units_total);
+        assert_eq!(out.units_partial, 0);
+        assert_eq!(out.units_skipped, 0);
+        assert_eq!(out.units_resumed, 0);
+        assert!(out.poisoned_units.is_empty());
+    }
+
+    #[test]
+    fn zero_deadline_yields_an_anytime_result_not_an_error() {
+        let d = corpus::abc_example();
+        let out = Partitioner::new(abc_budget())
+            .with_search_budget(SearchBudget::new().with_deadline(Duration::ZERO))
+            .partition(&d)
+            .unwrap();
+        assert_eq!(out.search_outcome, SearchOutcome::DeadlineExceeded);
+        assert_eq!(out.units_skipped, out.units_total, "nothing should run past a zero deadline");
+        assert!(out.best.is_none());
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_cancelled_outcome() {
+        let d = corpus::abc_example();
+        let token = CancelToken::new();
+        token.cancel();
+        let out = Partitioner::new(abc_budget())
+            .with_search_budget(SearchBudget::new().with_cancel(token))
+            .partition(&d)
+            .unwrap();
+        assert_eq!(out.search_outcome, SearchOutcome::Cancelled);
+        assert_eq!(out.units_skipped, out.units_total);
+    }
+
+    #[test]
+    fn state_budget_truncates_with_bounded_overshoot() {
+        let d = corpus::abc_example();
+        let full = Partitioner::new(abc_budget()).partition(&d).unwrap();
+        let limit = 40u64;
+        assert!(full.states_evaluated > limit, "limit must actually bind");
+        let out = Partitioner::new(abc_budget())
+            .with_threads(1)
+            .with_search_budget(SearchBudget::new().with_max_states(limit))
+            .partition(&d)
+            .unwrap();
+        assert_eq!(out.search_outcome, SearchOutcome::BudgetExhausted);
+        assert!(out.states_evaluated > 0);
+        // The stop is cooperative: each strategy may finish charging the
+        // state in flight, so allow a small overshoot but nothing more.
+        assert!(
+            out.states_evaluated <= limit + 256,
+            "evaluated {} states against a limit of {limit}",
+            out.states_evaluated
+        );
+        assert!(out.units_partial + out.units_skipped > 0);
+    }
+
+    #[test]
+    fn max_units_truncates_at_an_exact_unit_boundary() {
+        let d = corpus::abc_example();
+        let full = Partitioner::new(abc_budget()).with_threads(1).partition(&d).unwrap();
+        assert!(full.units_total > 2, "need a multi-unit sweep");
+        let out = Partitioner::new(abc_budget())
+            .with_threads(1)
+            .with_search_budget(SearchBudget::new().with_max_units(2))
+            .partition(&d)
+            .unwrap();
+        assert_eq!(out.search_outcome, SearchOutcome::BudgetExhausted);
+        assert_eq!(out.units_completed, 2);
+        assert_eq!(out.units_skipped, full.units_total - 2);
+        // With one thread the executed prefix is exactly units 0..2.
+        assert_eq!(out.units_total, full.units_total);
+    }
+
+    #[test]
+    fn injected_unit_panic_is_isolated_and_recorded() {
+        let d = corpus::abc_example();
+        for threads in [1, 4] {
+            let out = Partitioner::new(abc_budget())
+                .with_threads(threads)
+                .with_injected_unit_panics(vec![0])
+                .partition(&d)
+                .unwrap();
+            assert_eq!(out.poisoned_units.len(), 1, "threads={threads}");
+            assert_eq!(out.poisoned_units[0].unit, 0);
+            assert!(out.poisoned_units[0].message.contains("injected panic"));
+            // The rest of the sweep survives and still finds a scheme.
+            assert_eq!(out.search_outcome, SearchOutcome::Complete);
+            assert_eq!(out.units_completed, out.units_total - 1);
+            let best = out.best.expect("other units still find the scheme");
+            best.scheme.validate(&d).unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_the_result_and_resume_replays_all_units() {
+        let d = corpus::abc_example();
+        let baseline = Partitioner::new(abc_budget()).with_threads(1).partition(&d).unwrap();
+        let path = scratch_path("complete.ckpt");
+        let p = Partitioner::new(abc_budget())
+            .with_threads(1)
+            .with_checkpoint(CheckpointConfig::new(&path).with_every(1));
+        let ck = p.partition(&d).unwrap();
+        assert_eq!(fingerprint(&d, &ck), fingerprint(&d, &baseline));
+        // Resuming from a complete checkpoint replays every unit and
+        // still produces byte-identical output.
+        let resumed = p.resume_from(&d, &path).unwrap();
+        assert_eq!(fingerprint(&d, &resumed), fingerprint(&d, &baseline));
+        assert_eq!(resumed.units_resumed, resumed.units_total);
+        assert_eq!(resumed.search_outcome, SearchOutcome::Complete);
+    }
+
+    #[test]
+    fn resume_after_unit_truncation_is_byte_identical_to_uninterrupted() {
+        let d = corpus::abc_example();
+        let baseline = Partitioner::new(abc_budget()).with_threads(1).partition(&d).unwrap();
+        let path = scratch_path("truncated.ckpt");
+        let truncated = Partitioner::new(abc_budget())
+            .with_threads(1)
+            .with_search_budget(SearchBudget::new().with_max_units(1))
+            .with_checkpoint(CheckpointConfig::new(&path).with_every(1))
+            .partition(&d)
+            .unwrap();
+        assert_eq!(truncated.units_completed, 1);
+        for threads in [1, 4] {
+            let resumed = Partitioner::new(abc_budget())
+                .with_threads(threads)
+                .resume_from(&d, &path)
+                .unwrap();
+            assert_eq!(
+                fingerprint(&d, &resumed),
+                fingerprint(&d, &baseline),
+                "threads={threads} resume diverged"
+            );
+            assert_eq!(resumed.units_resumed, 1);
+            assert_eq!(resumed.search_outcome, SearchOutcome::Complete);
+        }
+    }
+
+    #[test]
+    fn mismatched_or_corrupt_checkpoints_are_rejected() {
+        let d = corpus::abc_example();
+        let path = scratch_path("mismatch.ckpt");
+        Partitioner::new(abc_budget())
+            .with_checkpoint(CheckpointConfig::new(&path))
+            .partition(&d)
+            .unwrap();
+        // Different settings (budget) → different fingerprint.
+        let err =
+            Partitioner::new(Resources::new(1200, 20, 24)).resume_from(&d, &path).unwrap_err();
+        match err {
+            PartitionError::Checkpoint { detail, .. } => {
+                assert!(detail.contains("fingerprint mismatch"), "got: {detail}")
+            }
+            other => panic!("expected checkpoint error, got {other:?}"),
+        }
+        // Flipped content → CRC failure.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupt_path = scratch_path("corrupt.ckpt");
+        std::fs::write(&corrupt_path, text.replacen("unit 0", "unit 1", 1)).unwrap();
+        let err = Partitioner::new(abc_budget()).resume_from(&d, &corrupt_path).unwrap_err();
+        assert!(matches!(err, PartitionError::Checkpoint { .. }), "got {err:?}");
     }
 }

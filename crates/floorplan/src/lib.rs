@@ -32,7 +32,7 @@ pub use placer::{Floorplan, FloorplanError, Floorplanner, Obstacle, Placement};
 pub use ucf::emit_ucf;
 
 use prpart_arch::{Device, Resources};
-use prpart_core::{EvaluatedScheme, PartitionError, Partitioner};
+use prpart_core::{EvaluatedScheme, PartitionError, Partitioner, SearchOutcome};
 use prpart_design::Design;
 
 /// Outcome of the partition-then-floorplan feedback loop.
@@ -44,6 +44,9 @@ pub struct PlannedDesign {
     pub floorplan: Floorplan,
     /// How many budget tightenings were needed (0 = first attempt).
     pub retries: usize,
+    /// Why the (last) partitioning search ended: `Complete` for a full
+    /// sweep, or the budget/cancel cause for an anytime best-so-far scheme.
+    pub search_outcome: SearchOutcome,
 }
 
 /// Error from the feedback loop.
@@ -97,13 +100,14 @@ pub fn place_with_feedback(
         );
         let outcome =
             make_partitioner(budget).partition(design).map_err(FeedbackError::Partition)?;
+        let search_outcome = outcome.search_outcome;
         let Some(evaluated) = outcome.best else {
             last_err = Some(FloorplanError::NoSpace { region: 0 });
             continue;
         };
         match planner.place_scheme(&evaluated.scheme, design.static_overhead()) {
             Ok(floorplan) => {
-                return Ok(PlannedDesign { evaluated, floorplan, retries: retry });
+                return Ok(PlannedDesign { evaluated, floorplan, retries: retry, search_outcome });
             }
             Err(e) => last_err = Some(e),
         }

@@ -6,7 +6,7 @@ use crate::wrapper::{self, Wrapper};
 use bytes::Bytes;
 use prpart_analysis::ProofChecker;
 use prpart_arch::{frames_for, Device};
-use prpart_core::{EvaluatedScheme, PartitionError, Partitioner};
+use prpart_core::{EvaluatedScheme, PartitionError, Partitioner, SearchBudget, SearchOutcome};
 use prpart_design::Design;
 use prpart_floorplan::{emit_ucf, FeedbackError, Floorplan};
 use prpart_xmlio::SchemaError;
@@ -60,6 +60,10 @@ pub struct FlowArtifacts {
     pub full_bitstream: Bytes,
     /// Feedback retries the floorplanner needed.
     pub floorplan_retries: usize,
+    /// Why the partitioning search ended. Anything other than
+    /// [`SearchOutcome::Complete`] means the scheme is a certified
+    /// best-so-far answer from a truncated sweep, not a full-sweep optimum.
+    pub search_outcome: SearchOutcome,
 }
 
 impl FlowArtifacts {
@@ -81,17 +85,32 @@ pub struct FlowPipeline {
     /// The partitioning result is identical for any value; threads only
     /// change how long stage 2 takes.
     pub threads: usize,
+    /// Budget for the partitioning search (unlimited by default). When a
+    /// limit trips, the flow continues with the certified best-so-far
+    /// scheme and stamps the cause in [`FlowArtifacts::search_outcome`].
+    pub search_budget: SearchBudget,
 }
 
 impl FlowPipeline {
     /// Creates a pipeline for a device with default settings.
     pub fn new(device: Device) -> Self {
-        FlowPipeline { device, max_floorplan_retries: 4, threads: 0 }
+        FlowPipeline {
+            device,
+            max_floorplan_retries: 4,
+            threads: 0,
+            search_budget: SearchBudget::new(),
+        }
     }
 
     /// Sets the partitioning-search thread count (0 = one per core).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Bounds the partitioning search (deadline, state budget, cancel token).
+    pub fn with_search_budget(mut self, search_budget: SearchBudget) -> Self {
+        self.search_budget = search_budget;
         self
     }
 
@@ -114,6 +133,7 @@ impl FlowPipeline {
             |budget| {
                 Partitioner::new(budget)
                     .with_threads(self.threads)
+                    .with_search_budget(self.search_budget.clone())
                     .with_auditor(prpart_analysis::auditor(ProofChecker::new().with_budget(budget)))
             },
             self.max_floorplan_retries,
@@ -150,6 +170,7 @@ impl FlowPipeline {
             partial_bitstreams,
             full_bitstream,
             floorplan_retries: planned.retries,
+            search_outcome: planned.search_outcome,
         })
     }
 }
@@ -196,6 +217,35 @@ mod tests {
         );
         assert_eq!(seq.ucf, par.ucf);
         assert_eq!(seq.full_bitstream, par.full_bitstream);
+    }
+
+    #[test]
+    fn unbudgeted_flow_is_stamped_complete() {
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("SX70T").unwrap().clone();
+        let xml = render_design(&corpus::video_receiver(corpus::VideoConfigSet::Original));
+        let artifacts = FlowPipeline::new(device).run_xml(&xml).unwrap();
+        assert!(artifacts.search_outcome.is_complete());
+    }
+
+    #[test]
+    fn budget_truncated_flow_still_certifies_its_best_so_far_scheme() {
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("SX70T").unwrap().clone();
+        let xml = render_design(&corpus::video_receiver(corpus::VideoConfigSet::Original));
+        // Enough states to find at least one feasible scheme, small enough
+        // that the sweep cannot finish.
+        let artifacts = FlowPipeline::new(device)
+            .with_threads(1)
+            .with_search_budget(SearchBudget::new().with_max_states(600))
+            .run_xml(&xml)
+            .unwrap();
+        assert!(!artifacts.search_outcome.is_complete(), "{:?}", artifacts.search_outcome);
+        // The certification gate ran on the way out (run() errors on an
+        // uncertified scheme), so reaching here means the anytime scheme
+        // was independently proof-checked.
+        assert!(artifacts.evaluated.metrics.fits);
+        assert!(!artifacts.partial_bitstreams.is_empty());
     }
 
     #[test]

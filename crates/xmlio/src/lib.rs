@@ -39,4 +39,7 @@ pub mod schema;
 pub mod xml;
 
 pub use schema::{design_from_xml, design_to_xml, parse_design, render_design, SchemaError};
-pub use xml::{parse, Element, Node, XmlError};
+pub use xml::{
+    parse, Element, Node, XmlError, XmlErrorKind, MAX_ATTRIBUTES, MAX_DOCUMENT_BYTES,
+    MAX_NESTING_DEPTH,
+};

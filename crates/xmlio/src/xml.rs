@@ -9,9 +9,35 @@
 
 use std::fmt;
 
+/// Hard input limits. Design-entry documents are tiny (kilobytes); these
+/// bounds exist so hostile or corrupt inputs fail with a typed error
+/// instead of exhausting memory or the stack.
+/// Maximum accepted document size in bytes.
+pub const MAX_DOCUMENT_BYTES: usize = 16 * 1024 * 1024;
+/// Maximum element nesting depth (the parser recurses once per level).
+pub const MAX_NESTING_DEPTH: usize = 64;
+/// Maximum attributes on a single element.
+pub const MAX_ATTRIBUTES: usize = 512;
+
+/// Classifies an [`XmlError`]: a plain syntax error, or one of the
+/// resource limits above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Malformed input (the pre-limits error class).
+    Syntax,
+    /// Input exceeds [`MAX_DOCUMENT_BYTES`].
+    DocumentTooLarge,
+    /// Nesting exceeds [`MAX_NESTING_DEPTH`].
+    TooDeep,
+    /// An element carries more than [`MAX_ATTRIBUTES`] attributes.
+    TooManyAttributes,
+}
+
 /// A parse error with 1-based line/column position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XmlError {
+    /// Error class (syntax vs. a specific resource limit).
+    pub kind: XmlErrorKind,
     /// What went wrong.
     pub message: String,
     /// 1-based line.
@@ -187,15 +213,20 @@ struct Parser<'a> {
     pos: usize,
     line: usize,
     col: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { input: input.as_bytes(), pos: 0, line: 1, col: 1 }
+        Parser { input: input.as_bytes(), pos: 0, line: 1, col: 1, depth: 0 }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
-        Err(XmlError { message: message.into(), line: self.line, column: self.col })
+        self.err_kind(XmlErrorKind::Syntax, message)
+    }
+
+    fn err_kind<T>(&self, kind: XmlErrorKind, message: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError { kind, message: message.into(), line: self.line, column: self.col })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -351,6 +382,19 @@ impl<'a> Parser<'a> {
     }
 
     fn element(&mut self) -> Result<Element, XmlError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return self.err_kind(
+                XmlErrorKind::TooDeep,
+                format!("element nesting exceeds {MAX_NESTING_DEPTH} levels"),
+            );
+        }
+        let result = self.element_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn element_inner(&mut self) -> Result<Element, XmlError> {
         self.expect(b'<')?;
         let name = self.name()?;
         let mut el = Element::new(&name);
@@ -367,6 +411,12 @@ impl<'a> Parser<'a> {
                     break;
                 }
                 Some(_) => {
+                    if el.attributes.len() >= MAX_ATTRIBUTES {
+                        return self.err_kind(
+                            XmlErrorKind::TooManyAttributes,
+                            format!("<{name}> carries more than {MAX_ATTRIBUTES} attributes"),
+                        );
+                    }
                     let aname = self.name()?;
                     self.skip_ws();
                     self.expect(b'=')?;
@@ -427,7 +477,23 @@ impl<'a> Parser<'a> {
 }
 
 /// Parses a document into its root element.
+///
+/// Inputs are bounded: documents over [`MAX_DOCUMENT_BYTES`], elements
+/// nested deeper than [`MAX_NESTING_DEPTH`], or elements with more than
+/// [`MAX_ATTRIBUTES`] attributes are rejected with a typed
+/// [`XmlErrorKind`] instead of exhausting memory or the call stack.
 pub fn parse(input: &str) -> Result<Element, XmlError> {
+    if input.len() > MAX_DOCUMENT_BYTES {
+        return Err(XmlError {
+            kind: XmlErrorKind::DocumentTooLarge,
+            message: format!(
+                "document is {} bytes; the limit is {MAX_DOCUMENT_BYTES}",
+                input.len()
+            ),
+            line: 1,
+            column: 1,
+        });
+    }
     let mut p = Parser::new(input);
     p.skip_misc()?;
     if p.peek() != Some(b'<') {
@@ -513,6 +579,64 @@ mod tests {
         assert_eq!(back.attr("name"), Some("video & audio"));
         assert_eq!(back.child("module").unwrap().attr("name"), Some("<M>"));
         assert_eq!(back.child("note").unwrap().text(), "a < b");
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting_without_overflowing() {
+        // Far beyond any plausible stack: the guard must fire at depth
+        // MAX_NESTING_DEPTH + 1, long before recursion becomes dangerous.
+        let deep = "<a>".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::TooDeep, "{err}");
+        assert!(err.message.contains("nesting"), "{err}");
+
+        // Just over the limit also trips it...
+        let over = format!(
+            "{}{}",
+            "<a>".repeat(MAX_NESTING_DEPTH + 1),
+            "</a>".repeat(MAX_NESTING_DEPTH + 1)
+        );
+        assert_eq!(parse(&over).unwrap_err().kind, XmlErrorKind::TooDeep);
+
+        // ...while a document at a healthy real-world depth still parses.
+        let ok = format!("{}{}", "<a>".repeat(60), "</a>".repeat(60));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn attribute_count_limit_is_enforced() {
+        let mut doc = String::from("<a");
+        for i in 0..=MAX_ATTRIBUTES {
+            doc.push_str(&format!(" k{i}=\"v\""));
+        }
+        doc.push_str("/>");
+        let err = parse(&doc).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::TooManyAttributes, "{err}");
+
+        let mut ok = String::from("<a");
+        for i in 0..100 {
+            ok.push_str(&format!(" k{i}=\"v\""));
+        }
+        ok.push_str("/>");
+        assert_eq!(parse(&ok).unwrap().attributes.len(), 100);
+    }
+
+    #[test]
+    fn oversized_documents_are_rejected_up_front() {
+        // Padding is whitespace so the document would otherwise be valid:
+        // only the size limit rejects it.
+        let mut doc = String::with_capacity(MAX_DOCUMENT_BYTES + 16);
+        doc.push_str("<a/>");
+        doc.extend(std::iter::repeat_n(' ', MAX_DOCUMENT_BYTES + 1 - doc.len()));
+        let err = parse(&doc).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::DocumentTooLarge, "{err}");
+        assert!(err.message.contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors_keep_the_syntax_kind() {
+        assert_eq!(parse("<a>").unwrap_err().kind, XmlErrorKind::Syntax);
+        assert_eq!(parse("<a x=\"1\" x=\"2\"/>").unwrap_err().kind, XmlErrorKind::Syntax);
     }
 
     #[test]

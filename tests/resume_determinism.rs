@@ -1,0 +1,146 @@
+//! Checkpoint/resume determinism of the resilient search.
+//!
+//! The contract (DESIGN.md §10): a search interrupted at *any* unit
+//! boundary, checkpointed, and resumed — at any thread count — produces
+//! a final report byte-identical to an uninterrupted run. These tests
+//! interrupt a seeded search at every checkpoint boundary (via the
+//! deterministic `max_units` lever with one thread), resume from the
+//! snapshot with one and several threads, and compare full reports.
+
+use prpart::arch::Resources;
+use prpart::core::{
+    CheckpointConfig, PartitionOutcome, Partitioner, SearchBudget, SearchOutcome, SearchStrategy,
+};
+use prpart::design::{corpus, Design};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The paper's running example, with a budget that makes it feasible.
+const ABC_BUDGET: Resources = Resources::new(1100, 20, 24);
+
+/// The full observable result of a search, as one string.
+fn report(design: &Design, out: &PartitionOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "sets {} states {} pruned {}",
+        out.candidate_sets_explored, out.states_evaluated, out.states_pruned
+    );
+    if let Some(b) = &out.best {
+        let _ = writeln!(
+            s,
+            "best total {} worst {} regions {} static {} res {}",
+            b.metrics.total_frames,
+            b.metrics.worst_frames,
+            b.metrics.num_regions,
+            b.metrics.num_static,
+            b.metrics.resources
+        );
+        s.push_str(&b.scheme.describe(design));
+    }
+    for p in &out.pareto_front {
+        let _ = writeln!(s, "front {} {}", p.metrics.total_frames, p.metrics.worst_frames);
+    }
+    s
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prpart-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn make(strategy: Option<SearchStrategy>) -> Partitioner {
+    let mut p = Partitioner::new(ABC_BUDGET);
+    if let Some(s) = strategy {
+        p = p.with_strategy(s);
+    }
+    p
+}
+
+/// Interrupts the search at every possible unit boundary, resumes at
+/// one and several threads, and demands a byte-identical final report.
+fn resume_is_byte_identical_at_every_boundary(strategy: Option<SearchStrategy>, tag: &str) {
+    let design = corpus::abc_example();
+    let baseline = make(strategy).with_threads(1).partition(&design).unwrap();
+    let expected = report(&design, &baseline);
+    assert!(baseline.search_outcome.is_complete());
+    assert!(baseline.units_total >= 2, "need several units to interrupt between");
+
+    for k in 0..baseline.units_total {
+        let path = scratch(&format!("{tag}-{k}.checkpoint"));
+        let truncated = make(strategy)
+            .with_threads(1)
+            .with_search_budget(SearchBudget::new().with_max_units(k))
+            .with_checkpoint(CheckpointConfig::new(&path).with_every(1))
+            .partition(&design)
+            .unwrap();
+        assert_eq!(truncated.search_outcome, SearchOutcome::BudgetExhausted, "k={k}");
+        assert_eq!(truncated.units_completed, k, "k={k}");
+
+        for threads in [1usize, 4] {
+            let resumed = make(strategy).with_threads(threads).resume_from(&design, &path).unwrap();
+            assert!(resumed.search_outcome.is_complete(), "k={k} threads={threads}");
+            assert_eq!(resumed.units_resumed, k, "k={k} threads={threads}");
+            assert_eq!(
+                report(&design, &resumed),
+                expected,
+                "resume diverged at boundary {k} with {threads} threads ({tag})"
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_resume_is_byte_identical_at_every_boundary() {
+    resume_is_byte_identical_at_every_boundary(None, "greedy");
+}
+
+#[test]
+fn beam_resume_is_byte_identical_at_every_boundary() {
+    resume_is_byte_identical_at_every_boundary(
+        Some(SearchStrategy::Beam { width: 4, max_candidate_sets: 4 }),
+        "beam",
+    );
+}
+
+/// A run interrupted by a *state* budget (not a clean unit boundary)
+/// checkpoints only its complete units; resuming still reproduces the
+/// uninterrupted answer because partial units are re-run from scratch.
+#[test]
+fn resume_after_state_budget_interruption_matches_the_full_run() {
+    let design = corpus::abc_example();
+    let baseline = make(None).with_threads(1).partition(&design).unwrap();
+    let expected = report(&design, &baseline);
+
+    let path = scratch("state-budget.checkpoint");
+    let truncated = make(None)
+        .with_threads(1)
+        .with_search_budget(SearchBudget::new().with_max_states(40))
+        .with_checkpoint(CheckpointConfig::new(&path).with_every(1))
+        .partition(&design)
+        .unwrap();
+    assert!(!truncated.search_outcome.is_complete());
+
+    let resumed = make(None).with_threads(1).resume_from(&design, &path).unwrap();
+    assert!(resumed.search_outcome.is_complete());
+    assert_eq!(report(&design, &resumed), expected);
+}
+
+/// Resuming a finished checkpoint replays every unit and still matches.
+#[test]
+fn resume_of_a_complete_checkpoint_is_a_pure_replay() {
+    let design = corpus::abc_example();
+    let path = scratch("complete.checkpoint");
+    let full = make(None)
+        .with_threads(1)
+        .with_checkpoint(CheckpointConfig::new(&path).with_every(1))
+        .partition(&design)
+        .unwrap();
+    assert!(full.search_outcome.is_complete());
+
+    let resumed = make(None).with_threads(4).resume_from(&design, &path).unwrap();
+    assert_eq!(resumed.units_resumed, full.units_total);
+    assert_eq!(resumed.states_evaluated, full.states_evaluated);
+    assert_eq!(report(&design, &resumed), report(&design, &full));
+}
