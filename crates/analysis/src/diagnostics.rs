@@ -82,6 +82,11 @@ pub enum Location {
     },
     /// The claimed metrics of an evaluated scheme.
     Metrics,
+    /// One artifact of a flow store, by file name.
+    Artifact {
+        /// Artifact file name inside the store.
+        name: String,
+    },
 }
 
 impl fmt::Display for Location {
@@ -101,6 +106,7 @@ impl fmt::Display for Location {
             Location::StaticRegion => write!(f, "static region"),
             Location::Partition { index } => write!(f, "partition {index}"),
             Location::Metrics => write!(f, "claimed metrics"),
+            Location::Artifact { name } => write!(f, "artifact {name}"),
         }
     }
 }
@@ -139,6 +145,9 @@ impl Location {
                 format!(r#"{{"kind":"partition","index":{index}}}"#)
             }
             Location::Metrics => r#"{"kind":"metrics"}"#.to_string(),
+            Location::Artifact { name } => {
+                format!(r#"{{"kind":"artifact","name":{}}}"#, json_string(name))
+            }
         }
     }
 }

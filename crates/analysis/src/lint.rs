@@ -21,6 +21,13 @@
 //! | PL008 | info | perfectly correlated modes (identical presence, mergeable) |
 //! | PL009 | warning | zero-resource mode |
 //! | PL010 | warning | single configuration (nothing ever reconfigures) |
+//! | PL011 | error | store manifest inconsistent with the certified scheme |
+//!
+//! PL011 is special: its subject is a flow-store manifest, not the design
+//! document, so [`lint_design`] never fires it. The flow calls the
+//! dedicated [`lint_store_manifest`] entry point with the (region,
+//! partition) pairs the certified scheme demands and the pairs the
+//! manifest actually lists.
 
 use crate::diagnostics::{json_array, json_string, Diagnostic, Location, Severity};
 use prpart_arch::{Resources, TileCounts};
@@ -173,9 +180,21 @@ pub fn rules() -> &'static [LintRule] {
                       partial reconfiguration buys nothing",
             check: check_single_configuration,
         },
+        LintRule {
+            id: "PL011",
+            name: "store-manifest-mismatch",
+            severity: Severity::Error,
+            summary: "a flow-store manifest's partial-bitstream set disagrees with the \
+                      certified scheme (missing or extra (region, partition) bitstreams)",
+            check: check_nothing, // design-independent; see lint_store_manifest
+        },
     ];
     RULES
 }
+
+/// PL011 anchors to store manifests, not designs, so its design check is
+/// empty; [`lint_store_manifest`] is its real entry point.
+fn check_nothing(_ctx: &LintCtx<'_>, _out: &mut Vec<Diagnostic>) {}
 
 /// Looks up a rule by ID.
 pub fn rule(id: &str) -> Option<&'static LintRule> {
@@ -190,6 +209,48 @@ pub fn lint_design(design: &Design, options: &LintOptions) -> LintReport {
         (rule.check)(&ctx, &mut diagnostics);
     }
     LintReport { design: design.name().to_string(), diagnostics }
+}
+
+/// Runs PL011 over a flow-store manifest: `expected` is the sorted
+/// (region, partition) pair set the certified scheme demands, `present`
+/// the pairs the manifest's partial-bitstream artifacts actually cover.
+/// Every missing pair (an unreconstructable configuration) and every
+/// extra pair (an orphan bitstream no certified scheme vouches for) is
+/// an error anchored at the artifact's store name.
+pub fn lint_store_manifest(
+    design: &str,
+    expected: &[(usize, usize)],
+    present: &[(usize, usize)],
+) -> LintReport {
+    let name_of = |&(r, p): &(usize, usize)| format!("rr{}_p{}.bit", r + 1, p);
+    let mut diagnostics = Vec::new();
+    for pair in expected.iter().filter(|pair| !present.contains(pair)) {
+        push(
+            &mut diagnostics,
+            "PL011",
+            Location::Artifact { name: name_of(pair) },
+            format!(
+                "the certified scheme hosts partition {} in region PRR{} but the manifest \
+                 lists no bitstream for it",
+                pair.1,
+                pair.0 + 1
+            ),
+        );
+    }
+    for pair in present.iter().filter(|pair| !expected.contains(pair)) {
+        push(
+            &mut diagnostics,
+            "PL011",
+            Location::Artifact { name: name_of(pair) },
+            format!(
+                "the manifest lists a bitstream for partition {} in region PRR{} that the \
+                 certified scheme never loads",
+                pair.1,
+                pair.0 + 1
+            ),
+        );
+    }
+    LintReport { design: design.to_string(), diagnostics }
 }
 
 /// The linter's output: every finding, in rule order.
@@ -457,7 +518,7 @@ mod tests {
     #[test]
     fn registry_is_sorted_unique_and_self_describing() {
         let rs = rules();
-        assert_eq!(rs.len(), 10);
+        assert_eq!(rs.len(), 11);
         for w in rs.windows(2) {
             assert!(w[0].id < w[1].id, "{} !< {}", w[0].id, w[1].id);
         }
@@ -601,6 +662,39 @@ mod tests {
         assert!(ids(&report).contains(&"PL010"));
         // And no static-candidate noise for the trivial case.
         assert!(!ids(&report).contains(&"PL007"));
+    }
+
+    #[test]
+    fn store_manifest_lint_flags_missing_and_extra_bitstreams() {
+        let expected = [(0, 0), (0, 2), (1, 1)];
+        // Consistent set: silent.
+        let clean = lint_store_manifest("t", &expected, &[(0, 0), (0, 2), (1, 1)]);
+        assert!(clean.diagnostics.is_empty(), "{}", clean.render_text());
+        assert!(!clean.has_errors());
+        // Missing one, one orphan.
+        let report = lint_store_manifest("t", &expected, &[(0, 0), (1, 1), (2, 5)]);
+        assert!(report.has_errors());
+        assert_eq!(report.count(Severity::Error), 2);
+        assert!(report.diagnostics.iter().all(|d| d.rule == "PL011"));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.location == Location::Artifact { name: "rr1_p2.bit".into() }
+                && d.message.contains("no bitstream")));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.location == Location::Artifact { name: "rr3_p5.bit".into() }
+                && d.message.contains("never loads")));
+        let text = report.render_text();
+        assert!(text.contains("error[PL011] artifact rr1_p2.bit"), "{text}");
+    }
+
+    #[test]
+    fn pl011_never_fires_from_lint_design() {
+        let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let report = lint_design(&d, &LintOptions::default());
+        assert!(!ids(&report).contains(&"PL011"));
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! X9: flow-chaos benchmark — convergence of the transactional artifact
+//! store under seeded storage and stage chaos (`docs/artifact_store.md`).
+//!
+//! Each seed runs the full flow through a store whose writes tear,
+//! truncate, bit-flip, or vanish at a configurable rate (plus transient
+//! stage failures), retrying whole flow attempts until the store
+//! commits. Three invariants are checked on every seed and reported per
+//! row — a violation anywhere fails the benchmark binary:
+//!
+//! 1. the flow only ever ends in certified artifacts or a typed error,
+//! 2. an on-disk manifest always parses (commits are atomic, never torn),
+//! 3. the converged store is byte-identical to a fault-free run's.
+
+use crate::table::TextTable;
+use prpart_arch::Device;
+use prpart_design::Design;
+use prpart_flow::store::{ArtifactStore, StoreFaultModel};
+use prpart_flow::{FlowError, FlowPipeline, Manifest};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Chaos-run parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosBenchConfig {
+    /// Independent chaos trials (one store each).
+    pub trials: usize,
+    /// Base fault seed; trial `i` uses `seed + i`.
+    pub seed: u64,
+    /// Per-write storage fault probability, in `[0, 1)`.
+    pub write_rate: f64,
+    /// Per-stage transient failure probability, in `[0, 1)`.
+    pub stage_rate: f64,
+    /// Flow attempts allowed per trial before giving up.
+    pub max_attempts: usize,
+}
+
+impl Default for ChaosBenchConfig {
+    fn default() -> Self {
+        ChaosBenchConfig {
+            trials: 8,
+            seed: 2013,
+            write_rate: 0.5,
+            stage_rate: 0.25,
+            max_attempts: 25,
+        }
+    }
+}
+
+/// One chaos trial's outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosRecord {
+    /// The trial's fault seed.
+    pub seed: u64,
+    /// Flow attempts until the store committed.
+    pub attempts: usize,
+    /// Artifact writes performed across all attempts.
+    pub writes: u64,
+    /// Write attempts burned by injected storage faults.
+    pub write_retries: u64,
+    /// Stage attempts burned by injected transient stage failures.
+    pub stage_retries: u64,
+    /// Artifacts re-read clean and reused across attempts.
+    pub reused: u64,
+    /// Corrupt artifacts quarantined and regenerated.
+    pub quarantined: u64,
+    /// Torn manifests discarded on open (must stay 0 — commits are atomic).
+    pub manifests_discarded: u64,
+    /// Wall time of the whole trial.
+    pub millis: f64,
+    /// Did the trial commit within the attempt bound?
+    pub converged: bool,
+    /// Was every failure along the way a typed store error?
+    pub errors_typed: bool,
+    /// Did every intermediate on-disk manifest parse clean?
+    pub manifest_intact: bool,
+    /// Is the converged store byte-identical to the fault-free one?
+    pub byte_identical: bool,
+}
+
+impl ChaosRecord {
+    /// All three invariants held and the trial converged.
+    pub fn clean(&self) -> bool {
+        self.converged
+            && self.errors_typed
+            && self.manifest_intact
+            && self.byte_identical
+            && self.manifests_discarded == 0
+    }
+}
+
+fn store_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                if let Ok(bytes) = std::fs::read(entry.path()) {
+                    out.insert(entry.file_name().to_string_lossy().into_owned(), bytes);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn manifest_parses_if_present(dir: &Path) -> bool {
+    match std::fs::read(dir.join("manifest")) {
+        Ok(bytes) => match String::from_utf8(bytes) {
+            Ok(text) => Manifest::parse(&text).is_ok(),
+            Err(_) => false,
+        },
+        Err(_) => true, // absent is fine; torn is not
+    }
+}
+
+/// Runs the chaos trials for `design` on `device`, with stores rooted
+/// under `scratch` (one subdirectory per trial, removed on success).
+pub fn run_chaos_bench(
+    design: &Design,
+    device: &Device,
+    scratch: &Path,
+    cfg: &ChaosBenchConfig,
+) -> Vec<ChaosRecord> {
+    let pipeline = FlowPipeline::new(device.clone()).with_threads(1);
+
+    // Fault-free reference.
+    let ref_dir = scratch.join("chaos-reference");
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let mut ref_store = ArtifactStore::open(&ref_dir).expect("open reference store");
+    pipeline.run_with_store(design.clone(), &mut ref_store).expect("fault-free flow commits");
+    let reference = store_bytes(&ref_dir);
+
+    let mut records = Vec::with_capacity(cfg.trials);
+    for trial in 0..cfg.trials {
+        let seed = cfg.seed + trial as u64;
+        let dir = scratch.join(format!("chaos-trial-{seed}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let start = Instant::now();
+        let mut attempts = 0usize;
+        let mut converged = false;
+        let mut errors_typed = true;
+        let mut manifest_intact = true;
+        let mut writes = 0u64;
+        let mut write_retries = 0u64;
+        let mut stage_retries = 0u64;
+        let mut reused = 0u64;
+        let mut quarantined = 0u64;
+        let mut manifests_discarded = 0u64;
+        while attempts < cfg.max_attempts {
+            attempts += 1;
+            // A fresh fault pattern per attempt, deterministic per trial.
+            let faults =
+                StoreFaultModel::seeded(cfg.write_rate, seed.wrapping_mul(1009) + attempts as u64)
+                    .with_stage_rate(cfg.stage_rate);
+            let mut store =
+                ArtifactStore::open(&dir).expect("open trial store").with_faults(faults);
+            let outcome = pipeline.run_with_store(design.clone(), &mut store);
+            let s = store.stats();
+            writes += s.writes;
+            write_retries += s.write_retries;
+            stage_retries += s.stage_retries;
+            reused += s.reused;
+            quarantined += s.quarantined;
+            manifests_discarded += s.manifests_discarded;
+            match outcome {
+                Ok(_) => {
+                    converged = true;
+                    break;
+                }
+                Err(FlowError::Store(_)) | Err(FlowError::Io { .. }) => {}
+                Err(_) => errors_typed = false,
+            }
+            if !manifest_parses_if_present(&dir) {
+                manifest_intact = false;
+            }
+        }
+        let byte_identical = converged && store_bytes(&dir) == reference;
+        if !manifest_parses_if_present(&dir) {
+            manifest_intact = false;
+        }
+        let record = ChaosRecord {
+            seed,
+            attempts,
+            writes,
+            write_retries,
+            stage_retries,
+            reused,
+            quarantined,
+            manifests_discarded,
+            millis: start.elapsed().as_secs_f64() * 1000.0,
+            converged,
+            errors_typed,
+            manifest_intact,
+            byte_identical,
+        };
+        if record.clean() {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        records.push(record);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    records
+}
+
+/// Renders the trials as a text table.
+pub fn render_chaos_bench(records: &[ChaosRecord]) -> String {
+    let mut t = TextTable::new([
+        "seed",
+        "attempts",
+        "writes",
+        "write retries",
+        "stage retries",
+        "reused",
+        "quarantined",
+        "ms",
+        "clean",
+    ]);
+    for r in records {
+        t.row([
+            r.seed.to_string(),
+            r.attempts.to_string(),
+            r.writes.to_string(),
+            r.write_retries.to_string(),
+            r.stage_retries.to_string(),
+            r.reused.to_string(),
+            r.quarantined.to_string(),
+            format!("{:.1}", r.millis),
+            r.clean().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the trials as the `BENCH_chaos.json` artifact.
+pub fn chaos_bench_json(records: &[ChaosRecord], cfg: &ChaosBenchConfig) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"flow_chaos\",");
+    let _ = writeln!(s, "  \"write_rate\": {},", cfg.write_rate);
+    let _ = writeln!(s, "  \"stage_rate\": {},", cfg.stage_rate);
+    let _ = writeln!(s, "  \"all_clean\": {},", records.iter().all(|r| r.clean()));
+    s.push_str("  \"trials\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"seed\": {}, \"attempts\": {}, \"writes\": {}, \"write_retries\": {}, \
+             \"stage_retries\": {}, \"reused\": {}, \"quarantined\": {}, \
+             \"manifests_discarded\": {}, \"ms\": {:.1}, \"converged\": {}, \
+             \"errors_typed\": {}, \"manifest_intact\": {}, \"byte_identical\": {}}}",
+            r.seed,
+            r.attempts,
+            r.writes,
+            r.write_retries,
+            r.stage_retries,
+            r.reused,
+            r.quarantined,
+            r.manifests_discarded,
+            r.millis,
+            r.converged,
+            r.errors_typed,
+            r.manifest_intact,
+            r.byte_identical
+        );
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_arch::DeviceLibrary;
+    use prpart_design::corpus;
+
+    #[test]
+    fn quick_chaos_run_is_clean_and_deterministic() {
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("LX30").unwrap().clone();
+        let scratch =
+            std::env::temp_dir().join(format!("prpart-bench-chaos-{}", std::process::id()));
+        let cfg = ChaosBenchConfig { trials: 2, ..Default::default() };
+        let records = run_chaos_bench(&corpus::abc_example(), &device, &scratch, &cfg);
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert!(r.clean(), "{r:?}");
+            assert!(r.attempts <= cfg.max_attempts);
+        }
+        let json = chaos_bench_json(&records, &cfg);
+        assert!(json.contains("\"all_clean\": true"), "{json}");
+        let table = render_chaos_bench(&records);
+        assert!(table.contains("quarantined"), "{table}");
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+}

@@ -26,6 +26,7 @@
 pub mod ablation;
 pub mod budgeted;
 pub mod casestudy;
+pub mod chaos;
 pub mod figures;
 pub mod reliability;
 pub mod scaling;
@@ -37,6 +38,9 @@ pub mod table;
 pub use budgeted::{
     budget_profile_json, render_budget_profile, run_budget_profile, BudgetProfileConfig,
     BudgetProfileRecord,
+};
+pub use chaos::{
+    chaos_bench_json, render_chaos_bench, run_chaos_bench, ChaosBenchConfig, ChaosRecord,
 };
 pub use reliability::{fault_rate_sweep, render_fault_sweep, FaultSweepRecord};
 pub use search_throughput::{

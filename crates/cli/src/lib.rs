@@ -26,7 +26,7 @@ use prpart_core::{
     TransitionSemantics,
 };
 use prpart_design::Design;
-use prpart_flow::FlowPipeline;
+use prpart_flow::{ArtifactStore, FlowPipeline, StoreFaultModel};
 
 pub use prpart_core::CancelToken;
 
@@ -81,14 +81,21 @@ pub enum Command {
         /// Budget / checkpoint / resume flags.
         resilience: ResilienceArgs,
     },
-    /// `prpart flow <design> --device NAME --out DIR`.
+    /// `prpart flow <design> --device NAME [--out DIR] [--store DIR]`.
     Flow {
         /// Design XML path.
         design: String,
         /// Device name.
         device: String,
-        /// Output directory.
-        out: String,
+        /// Plain output directory (optional when `--store` is given).
+        out: Option<String>,
+        /// Transactional artifact store directory: atomic digest-guarded
+        /// writes, crash-consistent manifest, resume on rerun.
+        store: Option<String>,
+        /// Seeded storage fault-injection rate in `[0, 1)` (store only).
+        store_fault_rate: f64,
+        /// Seed of the storage fault model.
+        store_fault_seed: u64,
         /// Search worker threads (0 = one per core).
         threads: usize,
         /// Wall-clock deadline for the partitioning search, in seconds.
@@ -264,8 +271,9 @@ USAGE:
                    [--weights FILE] [--threads N]
                    [--deadline SECS] [--max-states N] [--max-units N]
                    [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
-  prpart flow <design.xml> --device NAME --out DIR [--threads N]
-              [--deadline SECS]
+  prpart flow <design.xml> --device NAME (--out DIR | --store DIR)
+              [--store-fault-rate R] [--store-fault-seed S]
+              [--threads N] [--deadline SECS]
   prpart devices [--library FILE] [--full]
   prpart generate [--count N] [--seed S] --out DIR
   prpart simulate <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
@@ -298,6 +306,14 @@ best-so-far scheme with the truncation noted. `--checkpoint FILE`
 snapshots completed work every `--checkpoint-every N` units (atomic
 write, CRC-guarded); `--resume FILE` replays the snapshot and produces
 output byte-identical to an uninterrupted run. See docs/resilience.md.
+
+`flow --store DIR` routes the flow through a transactional artifact
+store: every artifact lands atomically with a content digest and the
+CRC-guarded manifest is committed last, so a run killed at any point
+reruns to byte-identical artifacts, reusing everything already
+committed and quarantining (then regenerating) anything corrupt.
+`--store-fault-rate R` / `--store-fault-seed S` inject seeded storage
+faults to exercise that recovery path. See docs/artifact_store.md.
 ";
 
 fn parse_budget(s: &str) -> Result<Resources, CliError> {
@@ -437,12 +453,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut design = None;
             let mut device = None;
             let mut out = None;
+            let mut store = None;
+            let mut store_fault_rate = 0.0f64;
+            let mut store_fault_seed = 1u64;
             let mut threads = 0usize;
             let mut deadline_secs = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--device" => device = Some(flag_value("--device", &mut it)?),
                     "--out" => out = Some(flag_value("--out", &mut it)?),
+                    "--store" => store = Some(flag_value("--store", &mut it)?),
+                    "--store-fault-rate" => {
+                        let rate: f64 =
+                            flag_value("--store-fault-rate", &mut it)?.parse().map_err(|_| {
+                                CliError { message: "--store-fault-rate needs a number".into() }
+                            })?;
+                        if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+                            return err("--store-fault-rate must be in [0, 1)");
+                        }
+                        store_fault_rate = rate;
+                    }
+                    "--store-fault-seed" => {
+                        store_fault_seed =
+                            flag_value("--store-fault-seed", &mut it)?.parse().map_err(|_| {
+                                CliError { message: "--store-fault-seed needs an integer".into() }
+                            })?
+                    }
                     "--threads" => {
                         threads = flag_value("--threads", &mut it)?
                             .parse()
@@ -461,11 +497,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     other => return err(format!("unexpected argument '{other}'")),
                 }
             }
-            match (design, device, out) {
-                (Some(design), Some(device), Some(out)) => {
-                    Ok(Command::Flow { design, device, out, threads, deadline_secs })
+            match (design, device) {
+                (Some(design), Some(device)) if out.is_some() || store.is_some() => {
+                    Ok(Command::Flow {
+                        design,
+                        device,
+                        out,
+                        store,
+                        store_fault_rate,
+                        store_fault_seed,
+                        threads,
+                        deadline_secs,
+                    })
                 }
-                _ => err("flow: need <design.xml> --device NAME --out DIR"),
+                _ => err("flow: need <design.xml> --device NAME and --out DIR and/or --store DIR"),
             }
         }
         "generate" => {
@@ -961,7 +1006,16 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
             }
             Ok(out)
         }
-        Command::Flow { design, device, out, threads, deadline_secs } => {
+        Command::Flow {
+            design,
+            device,
+            out,
+            store,
+            store_fault_rate,
+            store_fault_seed,
+            threads,
+            deadline_secs,
+        } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
             let device = library
@@ -976,29 +1030,51 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
             if let Some(token) = cancel.clone() {
                 search_budget = search_budget.with_cancel(token);
             }
-            let artifacts = FlowPipeline::new(device)
-                .with_threads(threads)
-                .with_search_budget(search_budget)
-                .run(design)
-                .map_err(|e| CliError { message: e.to_string() })?;
-            let dir = std::path::Path::new(&out);
-            std::fs::create_dir_all(dir)
-                .map_err(|e| CliError { message: format!("cannot create {out}: {e}") })?;
-            std::fs::write(dir.join("constraints.ucf"), &artifacts.ucf)
-                .map_err(|e| CliError { message: e.to_string() })?;
-            for w in &artifacts.wrappers {
-                std::fs::write(dir.join(format!("{}.v", w.module_name)), &w.source)
+            let pipeline =
+                FlowPipeline::new(device).with_threads(threads).with_search_budget(search_budget);
+            let mut store_summary = None;
+            let artifacts = match &store {
+                Some(dir) => {
+                    let mut st = ArtifactStore::open(std::path::Path::new(dir))
+                        .map_err(|e| CliError { message: e.to_string() })?;
+                    if store_fault_rate > 0.0 {
+                        st = st.with_faults(StoreFaultModel::seeded(
+                            store_fault_rate,
+                            store_fault_seed,
+                        ));
+                    }
+                    let artifacts = pipeline
+                        .run_with_store(design, &mut st)
+                        .map_err(|e| CliError { message: e.to_string() })?;
+                    let s = st.stats();
+                    store_summary = Some(format!(
+                        "store {dir}/: {} writes ({} retried), {} reused, {} regenerated, {} quarantined",
+                        s.writes, s.write_retries, s.reused, s.regenerated, s.quarantined,
+                    ));
+                    artifacts
+                }
+                None => pipeline.run(design).map_err(|e| CliError { message: e.to_string() })?,
+            };
+            if let Some(out) = &out {
+                let dir = std::path::Path::new(out);
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| CliError { message: format!("cannot create {out}: {e}") })?;
+                std::fs::write(dir.join("constraints.ucf"), &artifacts.ucf)
+                    .map_err(|e| CliError { message: e.to_string() })?;
+                for w in &artifacts.wrappers {
+                    std::fs::write(dir.join(format!("{}.v", w.module_name)), &w.source)
+                        .map_err(|e| CliError { message: e.to_string() })?;
+                }
+                for bs in &artifacts.partial_bitstreams {
+                    std::fs::write(
+                        dir.join(format!("rr{}_p{}.bit", bs.region + 1, bs.partition)),
+                        &bs.data,
+                    )
+                    .map_err(|e| CliError { message: e.to_string() })?;
+                }
+                std::fs::write(dir.join("full.bit"), &artifacts.full_bitstream)
                     .map_err(|e| CliError { message: e.to_string() })?;
             }
-            for bs in &artifacts.partial_bitstreams {
-                std::fs::write(
-                    dir.join(format!("rr{}_p{}.bit", bs.region + 1, bs.partition)),
-                    &bs.data,
-                )
-                .map_err(|e| CliError { message: e.to_string() })?;
-            }
-            std::fs::write(dir.join("full.bit"), &artifacts.full_bitstream)
-                .map_err(|e| CliError { message: e.to_string() })?;
             let mut summary = String::new();
             let _ = writeln!(
                 summary,
@@ -1016,7 +1092,12 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
                     artifacts.search_outcome
                 );
             }
-            let _ = writeln!(summary, "artefacts in {out}/");
+            if let Some(line) = store_summary {
+                let _ = writeln!(summary, "{line}");
+            }
+            if let Some(out) = &out {
+                let _ = writeln!(summary, "artefacts in {out}/");
+            }
             summary.push_str(&artifacts.floorplan.render());
             summary.push('\n');
             Ok(summary)
@@ -1279,6 +1360,85 @@ mod tests {
         let err =
             parse_args(&s(&["partition", "d.xml", "--auto", "--resume", "cp.txt"])).unwrap_err();
         assert!(err.message.contains("--auto"), "{err:?}");
+    }
+
+    #[test]
+    fn parses_store_flags() {
+        let c = parse_args(&s(&[
+            "flow",
+            "d.xml",
+            "--device",
+            "LX30",
+            "--store",
+            "st",
+            "--store-fault-rate",
+            "0.25",
+            "--store-fault-seed",
+            "7",
+        ]))
+        .unwrap();
+        match c {
+            Command::Flow { out, store, store_fault_rate, store_fault_seed, .. } => {
+                assert_eq!(out, None, "--out is optional with --store");
+                assert_eq!(store.as_deref(), Some("st"));
+                assert_eq!(store_fault_rate, 0.25);
+                assert_eq!(store_fault_seed, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --out and --store can coexist (plain copies plus the store).
+        let c =
+            parse_args(&s(&["flow", "d.xml", "--device", "LX30", "--out", "o", "--store", "st"]))
+                .unwrap();
+        assert!(
+            matches!(c, Command::Flow { ref out, ref store, .. } if out.is_some() && store.is_some())
+        );
+        // Rate outside [0, 1) and a flow with no destination are clean errors.
+        assert!(parse_args(&s(&[
+            "flow",
+            "d.xml",
+            "--device",
+            "LX30",
+            "--store",
+            "st",
+            "--store-fault-rate",
+            "1.0",
+        ]))
+        .is_err());
+        assert!(
+            parse_args(&s(&["flow", "d.xml", "--device", "LX30"])).is_err(),
+            "need --out or --store"
+        );
+    }
+
+    #[test]
+    fn flow_through_store_commits_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("prpart-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::abc_example();
+        let path = dir.join("abc.xml");
+        std::fs::write(&path, prpart_xmlio::render_design(&design)).unwrap();
+        let store = dir.join("store").to_string_lossy().into_owned();
+        let cmd = || Command::Flow {
+            design: path.to_string_lossy().into_owned(),
+            device: "LX30".into(),
+            out: None,
+            store: Some(store.clone()),
+            store_fault_rate: 0.0,
+            store_fault_seed: 1,
+            threads: 1,
+            deadline_secs: None,
+        };
+        let first = run(cmd()).unwrap();
+        assert!(first.contains("store "), "{first}");
+        assert!(first.contains("0 reused"), "{first}");
+        assert!(std::path::Path::new(&store).join("manifest").exists());
+        // A rerun over the committed store regenerates nothing.
+        let second = run(cmd()).unwrap();
+        assert!(second.contains("0 regenerated"), "{second}");
+        assert!(second.contains("flow complete"), "{second}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -205,7 +205,7 @@ impl Floorplanner {
         let mut order: Vec<usize> = (0..requirements.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(requirements[i].frames()));
 
-        let mut placements: Vec<Option<Placement>> = vec![None; requirements.len()];
+        let mut placements: Vec<Placement> = Vec::with_capacity(requirements.len());
         for &ri in &order {
             let req = &requirements[ri];
             if req.total_tiles() == 0 {
@@ -217,17 +217,18 @@ impl Floorplanner {
                     ri,
                 )?;
                 mark(&mut occupied, &p);
-                placements[ri] = Some(p);
+                placements.push(p);
                 continue;
             }
             let p = self.find_rect(&occupied, req, ri)?;
             mark(&mut occupied, &p);
-            placements[ri] = Some(p);
+            placements.push(p);
         }
-        Ok(Floorplan {
-            geometry: self.geometry.clone(),
-            placements: placements.into_iter().map(|p| p.expect("all placed")).collect(),
-        })
+        // `order` is a permutation of the input indices and every
+        // placement carries its region, so sorting restores input order
+        // without ever passing through a fallible Option.
+        placements.sort_unstable_by_key(|p| p.region);
+        Ok(Floorplan { geometry: self.geometry.clone(), placements })
     }
 
     /// Finds the free rectangle with the least wasted frames that covers

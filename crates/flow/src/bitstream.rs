@@ -16,6 +16,29 @@ use prpart_floorplan::Floorplan;
 /// The Xilinx sync word opening every configuration stream.
 pub const SYNC_WORD: u32 = 0xAA99_5566;
 
+/// A bitstream-generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// The floorplan holds no placement for a region the scheme hosts
+    /// partitions in — the FAR word cannot be derived.
+    UnplacedRegion {
+        /// The region without a placement.
+        region: usize,
+    },
+}
+
+impl std::fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitstreamError::UnplacedRegion { region } => {
+                write!(f, "region PRR{} has no placement in the floorplan", region + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
 /// CRC-32 (IEEE 802.3, reflected) over a byte slice.
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
@@ -77,9 +100,12 @@ pub fn generate_partial_placed(
     floorplan: &Floorplan,
     region: usize,
     partition: usize,
-) -> PartialBitstream {
-    let placement =
-        floorplan.placements.iter().find(|p| p.region == region).expect("region is placed");
+) -> Result<PartialBitstream, BitstreamError> {
+    let placement = floorplan
+        .placements
+        .iter()
+        .find(|p| p.region == region)
+        .ok_or(BitstreamError::UnplacedRegion { region })?;
     let far = prpart_arch::frames_for_rect(
         &floorplan.geometry,
         placement.cols.clone(),
@@ -88,7 +114,7 @@ pub fn generate_partial_placed(
     .first()
     .map(|f| f.pack())
     .unwrap_or(0);
-    generate_with_far(scheme, region, partition, far)
+    Ok(generate_with_far(scheme, region, partition, far))
 }
 
 fn generate_with_far(
@@ -130,14 +156,17 @@ pub fn generate_all(scheme: &Scheme) -> Vec<PartialBitstream> {
 }
 
 /// [`generate_all`] with floorplan-derived frame addresses.
-pub fn generate_all_placed(scheme: &Scheme, floorplan: &Floorplan) -> Vec<PartialBitstream> {
+pub fn generate_all_placed(
+    scheme: &Scheme,
+    floorplan: &Floorplan,
+) -> Result<Vec<PartialBitstream>, BitstreamError> {
     let mut out = Vec::new();
     for (ri, region) in scheme.regions.iter().enumerate() {
         for &p in &region.partitions {
-            out.push(generate_partial_placed(scheme, floorplan, ri, p));
+            out.push(generate_partial_placed(scheme, floorplan, ri, p)?);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Reads the FAR word back out of a generated bitstream.
@@ -277,7 +306,7 @@ mod tests {
         let geometry = lib.by_name("SX70T").unwrap().geometry();
         let planner = prpart_floorplan::Floorplanner::new(geometry);
         let plan = planner.place_scheme(&s, d.static_overhead()).unwrap();
-        let placed = generate_all_placed(&s, &plan);
+        let placed = generate_all_placed(&s, &plan).unwrap();
         for bs in &placed {
             verify(bs).unwrap();
             let far = prpart_arch::FrameAddress::unpack(far_of(bs));
@@ -291,17 +320,35 @@ mod tests {
             .placements
             .iter()
             .map(|p| {
-                far_of(&generate_partial_placed(
-                    &s,
-                    &plan,
-                    p.region,
-                    s.regions[p.region].partitions[0],
-                ))
+                far_of(
+                    &generate_partial_placed(
+                        &s,
+                        &plan,
+                        p.region,
+                        s.regions[p.region].partitions[0],
+                    )
+                    .unwrap(),
+                )
             })
             .collect();
         fars.sort_unstable();
         fars.dedup();
         assert_eq!(fars.len(), plan.placements.len());
+    }
+
+    #[test]
+    fn unplaced_region_is_a_typed_error_not_a_panic() {
+        let (d, s) = case_study_scheme();
+        let lib = prpart_arch::DeviceLibrary::virtex5();
+        let geometry = lib.by_name("SX70T").unwrap().geometry();
+        let mut plan = prpart_floorplan::Floorplanner::new(geometry)
+            .place_scheme(&s, d.static_overhead())
+            .unwrap();
+        plan.placements.retain(|p| p.region != 0);
+        let err = generate_partial_placed(&s, &plan, 0, s.regions[0].partitions[0]).unwrap_err();
+        assert_eq!(err, BitstreamError::UnplacedRegion { region: 0 });
+        assert!(err.to_string().contains("PRR1"));
+        assert!(generate_all_placed(&s, &plan).is_err());
     }
 
     #[test]

@@ -29,9 +29,14 @@ pub mod bitstream;
 pub mod netlist;
 pub mod pipeline;
 pub mod specxml;
+pub mod store;
 pub mod synthesis;
 pub mod wrapper;
 
 pub use pipeline::{FlowArtifacts, FlowError, FlowPipeline};
 pub use specxml::parse_design_or_spec;
+pub use store::{
+    ArtifactKind, ArtifactStore, Manifest, ManifestEntry, StoreError, StoreFaultKind,
+    StoreFaultModel, StoreStats,
+};
 pub use synthesis::{ModeSpec, ModuleSpec, SynthesisEstimator};

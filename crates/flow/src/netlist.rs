@@ -38,6 +38,25 @@ impl RegionNetlist {
     pub fn envelope(&self) -> Resources {
         self.variants.iter().map(|v| v.resources).fold(Resources::ZERO, Resources::max)
     }
+
+    /// Deterministic text form of the record — the bytes the artifact
+    /// store persists for this region.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("netlist region rr{}\n", self.region + 1));
+        for p in &self.ports {
+            out.push_str(&format!("port {p}\n"));
+        }
+        for v in &self.variants {
+            out.push_str(&format!(
+                "variant p{} clb={} bram={} dsp={} label={}\n",
+                v.partition, v.resources.clb, v.resources.bram, v.resources.dsp, v.label
+            ));
+        }
+        let env = self.envelope();
+        out.push_str(&format!("envelope clb={} bram={} dsp={}\n", env.clb, env.bram, env.dsp));
+        out
+    }
 }
 
 /// Builds the netlist records for every region of a scheme.

@@ -1,16 +1,21 @@
 //! The end-to-end flow pipeline (paper Fig. 2): XML in, artefacts out.
 
-use crate::bitstream::{self, PartialBitstream};
+use crate::bitstream::{self, BitstreamError, PartialBitstream};
 use crate::netlist::{build_netlists, RegionNetlist};
+use crate::store::{self, ArtifactKind, ArtifactStore, Manifest, ManifestEntry, StoreError};
 use crate::wrapper::{self, Wrapper};
 use bytes::Bytes;
 use prpart_analysis::ProofChecker;
 use prpart_arch::{frames_for, Device};
-use prpart_core::{EvaluatedScheme, PartitionError, Partitioner, SearchBudget, SearchOutcome};
+use prpart_core::{
+    EvaluatedScheme, PartitionError, Partitioner, SearchBudget, SearchOutcome, TransitionSemantics,
+};
 use prpart_design::Design;
-use prpart_floorplan::{emit_ucf, FeedbackError, Floorplan};
+use prpart_floorplan::{emit_ucf, FeedbackError, Floorplan, Floorplanner};
 use prpart_xmlio::SchemaError;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
 
 /// A pipeline failure, tagged by stage.
 #[derive(Debug)]
@@ -24,6 +29,19 @@ pub enum FlowError {
     /// The independent proof-checker refused to certify the partitioning
     /// result; no artefacts are emitted from an uncertified scheme.
     Certification(String),
+    /// Bitstream generation (stage 7) failed.
+    Bitstream(BitstreamError),
+    /// The artifact store failed (write verification exhausted, corrupt
+    /// manifest fingerprint, stage retries exhausted, ...).
+    Store(StoreError),
+    /// A plain filesystem operation outside the store failed; the root
+    /// cause is preserved for [`std::error::Error::source`].
+    Io {
+        /// The path the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -33,11 +51,26 @@ impl fmt::Display for FlowError {
             FlowError::Partition(e) => write!(f, "partitioning: {e}"),
             FlowError::Floorplan(e) => write!(f, "floorplanning: {e}"),
             FlowError::Certification(e) => write!(f, "certification: {e}"),
+            FlowError::Bitstream(e) => write!(f, "bitstream generation: {e}"),
+            FlowError::Store(e) => write!(f, "artifact store: {e}"),
+            FlowError::Io { path, source } => write!(f, "i/o on {}: {source}", path.display()),
         }
     }
 }
 
-impl std::error::Error for FlowError {}
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Parse(e) => Some(e),
+            FlowError::Partition(e) => Some(e),
+            FlowError::Floorplan(e) => Some(e),
+            FlowError::Certification(_) => None,
+            FlowError::Bitstream(e) => Some(e),
+            FlowError::Store(e) => Some(e),
+            FlowError::Io { source, .. } => Some(source),
+        }
+    }
+}
 
 /// Everything the flow produces for one design on one device.
 #[derive(Debug)]
@@ -122,13 +155,92 @@ impl FlowPipeline {
         self.run(design)
     }
 
+    /// [`run_xml`](Self::run_xml) through a transactional artifact store
+    /// (see [`run_with_store`](Self::run_with_store)).
+    pub fn run_xml_with_store(
+        &self,
+        xml_text: &str,
+        store: &mut ArtifactStore,
+    ) -> Result<FlowArtifacts, FlowError> {
+        let design = crate::specxml::parse_design_or_spec(xml_text).map_err(FlowError::Parse)?;
+        self.run_with_store(design, store)
+    }
+
     /// Runs the flow from an already-built design.
     pub fn run(&self, design: Design) -> Result<FlowArtifacts, FlowError> {
-        // Stages 2 + 5 with the feedback loop. The search carries the
-        // proof-checker as its auditor: debug builds certify every
-        // accepted state, release builds every final answer.
+        let (evaluated, floorplan, retries, outcome) = self.search_and_certify(&design)?;
+        self.emit(design, evaluated, floorplan, retries, outcome)
+    }
+
+    /// Runs the flow *through* a transactional artifact store: every
+    /// artifact lands on disk atomically with a content digest, and the
+    /// digest-guarded manifest is committed last. The call is a
+    /// transaction — killed at any point and rerun, the store converges
+    /// to bytes identical to an uninterrupted run (every stage is
+    /// deterministic in (design, device)).
+    ///
+    /// A committed store is also a resume point: the certified scheme is
+    /// reloaded (digest-verified, re-validated, re-certified) and only
+    /// missing or corrupt artifacts are regenerated — corrupt ones are
+    /// quarantined first, never overwritten blindly.
+    pub fn run_with_store(
+        &self,
+        design: Design,
+        store: &mut ArtifactStore,
+    ) -> Result<FlowArtifacts, FlowError> {
+        let design_xml = prpart_xmlio::render_design(&design);
+        let fingerprint = store::design_fingerprint(&design_xml, &self.device);
+        let manifest = store.load_manifest().map_err(FlowError::Store)?;
+        if let Some(m) = &manifest {
+            if m.fingerprint != fingerprint {
+                return Err(FlowError::Store(StoreError::FingerprintMismatch {
+                    expected: fingerprint,
+                    found: m.fingerprint,
+                }));
+            }
+        }
+        // Resume: a committed manifest carries the certified scheme; if
+        // its bytes verify, re-validate and re-certify it, and recompute
+        // the floorplan (the feedback loop's final answer *is* a plain
+        // placement of the final scheme, so this reproduces it exactly).
+        // Anything short of that falls back to a fresh search — storage
+        // can lose work, never change the answer.
+        let resumed = manifest.as_ref().and_then(|m| self.try_resume(&design, m, store));
+        let (evaluated, floorplan, retries, outcome) = match resumed {
+            Some(parts) => parts,
+            None => {
+                store.stage_gate("partition-floorplan").map_err(FlowError::Store)?;
+                let (evaluated, _, retries, outcome) = self.search_and_certify(&design)?;
+                // Canonicalise the scheme through the same XML round-trip
+                // a resume performs: partition-pool numbering then depends
+                // only on the document, so a fresh run and a resumed run
+                // name and seed every artifact identically.
+                let evaluated = self.canonicalize(&design, &evaluated)?;
+                let floorplan = Floorplanner::new(self.device.geometry())
+                    .place_scheme(&evaluated.scheme, design.static_overhead())
+                    .map_err(|e| {
+                        FlowError::Floorplan(FeedbackError::Unplaceable { attempts: 1, last: e })
+                    })?;
+                (evaluated, floorplan, retries, outcome)
+            }
+        };
+        store.stage_gate("artifact-generation").map_err(FlowError::Store)?;
+        let artifacts = self.emit(design, evaluated, floorplan, retries, outcome)?;
+        self.persist(&artifacts, fingerprint, store)?;
+        Ok(artifacts)
+    }
+
+    /// Stages 2 + 5 with the feedback loop, then the independent
+    /// certification gate.
+    fn search_and_certify(
+        &self,
+        design: &Design,
+    ) -> Result<(EvaluatedScheme, Floorplan, usize, SearchOutcome), FlowError> {
+        // The search carries the proof-checker as its auditor: debug
+        // builds certify every accepted state, release builds every
+        // final answer.
         let planned = prpart_floorplan::place_with_feedback(
-            &design,
+            design,
             &self.device,
             |budget| {
                 Partitioner::new(budget)
@@ -142,22 +254,32 @@ impl FlowPipeline {
             FeedbackError::Partition(pe) => FlowError::Partition(pe),
             other => FlowError::Floorplan(other),
         })?;
-        let evaluated = planned.evaluated;
-        let floorplan = planned.floorplan;
         // The scheme that feeds stages 3–7 must certify against the
         // device the artefacts are for — independently of whatever budget
         // the feedback loop last searched with.
-        let report =
-            ProofChecker::new().with_budget(self.device.capacity).certify(&design, &evaluated);
+        let report = ProofChecker::new()
+            .with_budget(self.device.capacity)
+            .certify(design, &planned.evaluated);
         if !report.is_certified() {
             return Err(FlowError::Certification(report.summary_line()));
         }
-        // Stage 6: constraints.
+        Ok((planned.evaluated, planned.floorplan, planned.retries, planned.search_outcome))
+    }
+
+    /// Stages 3, 4, 6, 7 from a certified scheme and its floorplan.
+    fn emit(
+        &self,
+        design: Design,
+        evaluated: EvaluatedScheme,
+        floorplan: Floorplan,
+        floorplan_retries: usize,
+        search_outcome: SearchOutcome,
+    ) -> Result<FlowArtifacts, FlowError> {
         let ucf = emit_ucf(&floorplan, design.name());
-        // Stages 3, 4, 7.
         let wrappers = wrapper::generate_all(&design, &evaluated.scheme);
         let netlists = build_netlists(&design, &evaluated.scheme);
-        let partial_bitstreams = bitstream::generate_all_placed(&evaluated.scheme, &floorplan);
+        let partial_bitstreams = bitstream::generate_all_placed(&evaluated.scheme, &floorplan)
+            .map_err(FlowError::Bitstream)?;
         let static_frames = frames_for(&design.static_overhead());
         let full_bitstream = bitstream::generate_full(&evaluated.scheme, static_frames);
         Ok(FlowArtifacts {
@@ -169,10 +291,170 @@ impl FlowPipeline {
             netlists,
             partial_bitstreams,
             full_bitstream,
-            floorplan_retries: planned.retries,
-            search_outcome: planned.search_outcome,
+            floorplan_retries,
+            search_outcome,
         })
     }
+
+    /// Round-trips a certified scheme through its XML document form. The
+    /// document is the durable representation, so making it the single
+    /// source of partition-pool numbering keeps every derived artifact
+    /// name and payload seed stable across fresh runs and resumes.
+    fn canonicalize(
+        &self,
+        design: &Design,
+        evaluated: &EvaluatedScheme,
+    ) -> Result<EvaluatedScheme, FlowError> {
+        let xml = prpart_xmlio::schema::scheme_to_xml(design, evaluated).to_string_pretty();
+        let root = prpart_xmlio::parse(&xml).map_err(|e| FlowError::Parse(e.into()))?;
+        let scheme =
+            prpart_xmlio::schema::scheme_from_xml(design, &root).map_err(FlowError::Parse)?;
+        let metrics = scheme.metrics(
+            design.static_overhead(),
+            &self.device.capacity,
+            TransitionSemantics::default(),
+        );
+        Ok(EvaluatedScheme { scheme, metrics })
+    }
+
+    /// Attempts to resume from a committed manifest. `None` means "do a
+    /// fresh search" — every failure on this path (corrupt bytes, stale
+    /// schema, failed certification, unplaceable scheme) degrades to
+    /// regeneration, never to wrong output.
+    fn try_resume(
+        &self,
+        design: &Design,
+        manifest: &Manifest,
+        store: &mut ArtifactStore,
+    ) -> Option<(EvaluatedScheme, Floorplan, usize, SearchOutcome)> {
+        let entry = manifest.entries.get(SCHEME_NAME)?;
+        if entry.kind != ArtifactKind::Scheme {
+            return None;
+        }
+        // read_verified quarantines corrupt bytes as a side effect.
+        let bytes = store.read_verified(SCHEME_NAME, entry).ok()?;
+        let text = String::from_utf8(bytes).ok()?;
+        let root = prpart_xmlio::parse(&text).ok()?;
+        let scheme = prpart_xmlio::schema::scheme_from_xml(design, &root).ok()?;
+        let metrics = scheme.metrics(
+            design.static_overhead(),
+            &self.device.capacity,
+            TransitionSemantics::default(),
+        );
+        let evaluated = EvaluatedScheme { scheme, metrics };
+        let report =
+            ProofChecker::new().with_budget(self.device.capacity).certify(design, &evaluated);
+        if !report.is_certified() {
+            return None;
+        }
+        let floorplan = Floorplanner::new(self.device.geometry())
+            .place_scheme(&evaluated.scheme, design.static_overhead())
+            .ok()?;
+        let outcome = parse_outcome(&manifest.outcome)?;
+        Some((evaluated, floorplan, manifest.retries, outcome))
+    }
+
+    /// Writes every artifact through the store (reusing files whose
+    /// digests already match), audits the artifact set against the
+    /// certified scheme (lint PL011), and commits the manifest last.
+    fn persist(
+        &self,
+        artifacts: &FlowArtifacts,
+        fingerprint: u64,
+        store: &mut ArtifactStore,
+    ) -> Result<(), FlowError> {
+        let scheme_xml =
+            prpart_xmlio::schema::scheme_to_xml(&artifacts.design, &artifacts.evaluated)
+                .to_string_pretty();
+        let mut planned: Vec<(String, ArtifactKind, Vec<u8>)> = Vec::new();
+        planned.push((SCHEME_NAME.to_string(), ArtifactKind::Scheme, scheme_xml.into_bytes()));
+        planned.push((UCF_NAME.to_string(), ArtifactKind::Ucf, artifacts.ucf.clone().into_bytes()));
+        for w in &artifacts.wrappers {
+            planned.push((
+                format!("{}.v", w.module_name),
+                ArtifactKind::Wrapper,
+                w.source.clone().into_bytes(),
+            ));
+        }
+        for n in &artifacts.netlists {
+            planned.push((
+                format!("rr{}.netlist", n.region + 1),
+                ArtifactKind::Netlist,
+                n.render().into_bytes(),
+            ));
+        }
+        for b in &artifacts.partial_bitstreams {
+            planned.push((
+                store::partial_name(b.region, b.partition),
+                ArtifactKind::Partial,
+                b.data.to_vec(),
+            ));
+        }
+        planned.push((
+            FULL_NAME.to_string(),
+            ArtifactKind::Full,
+            artifacts.full_bitstream.to_vec(),
+        ));
+
+        let mut entries = BTreeMap::new();
+        for (name, kind, bytes) in planned {
+            let entry = if store.matches(&name, &bytes) {
+                store.note_reused();
+                ManifestEntry { kind, len: bytes.len() as u64, digest: store::digest64(&bytes) }
+            } else {
+                store.note_regenerated();
+                store.write_verified(&name, kind, &bytes).map_err(FlowError::Store)?
+            };
+            if entries.insert(name.clone(), entry).is_some() {
+                return Err(FlowError::Store(StoreError::DuplicateArtifact { name }));
+            }
+        }
+
+        let manifest = Manifest {
+            fingerprint,
+            outcome: artifacts.search_outcome.to_string(),
+            retries: artifacts.floorplan_retries,
+            entries,
+        };
+        // PL011: the manifest's partial-bitstream set must match the
+        // certified scheme exactly before it may become the commit point.
+        let mut expected: Vec<(usize, usize)> = Vec::new();
+        for (ri, region) in artifacts.evaluated.scheme.regions.iter().enumerate() {
+            for &p in &region.partitions {
+                expected.push((ri, p));
+            }
+        }
+        expected.sort_unstable();
+        let report = prpart_analysis::lint_store_manifest(
+            artifacts.design.name(),
+            &expected,
+            &manifest.partial_pairs(),
+        );
+        if report.has_errors() {
+            return Err(FlowError::Store(StoreError::InconsistentManifest {
+                detail: report.render_text(),
+            }));
+        }
+        store.commit_manifest(&manifest).map_err(FlowError::Store)
+    }
+}
+
+/// Store name of the certified scheme artifact.
+pub const SCHEME_NAME: &str = "scheme.xml";
+/// Store name of the UCF constraints artifact.
+pub const UCF_NAME: &str = "constraints.ucf";
+/// Store name of the full power-on bitstream artifact.
+pub const FULL_NAME: &str = "full.bit";
+
+/// Inverse of [`SearchOutcome`]'s display form (manifest round-trip).
+fn parse_outcome(text: &str) -> Option<SearchOutcome> {
+    Some(match text {
+        "complete" => SearchOutcome::Complete,
+        "deadline-exceeded" => SearchOutcome::DeadlineExceeded,
+        "budget-exhausted" => SearchOutcome::BudgetExhausted,
+        "cancelled" => SearchOutcome::Cancelled,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -181,6 +463,8 @@ mod tests {
     use prpart_arch::DeviceLibrary;
     use prpart_design::corpus;
     use prpart_xmlio::render_design;
+    use std::collections::BTreeMap;
+    use std::path::{Path, PathBuf};
 
     #[test]
     fn full_pipeline_from_xml() {
@@ -246,6 +530,120 @@ mod tests {
         // was independently proof-checked.
         assert!(artifacts.evaluated.metrics.fits);
         assert!(!artifacts.partial_bitstreams.is_empty());
+    }
+
+    fn store_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("prpart-pipeline-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Reads every committed file of a store (manifest included, the
+    /// quarantine directory excluded) for byte-for-byte comparison.
+    fn store_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+        let mut out = BTreeMap::new();
+        for entry in std::fs::read_dir(dir).unwrap().flatten() {
+            if entry.file_type().unwrap().is_file() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                out.insert(name, std::fs::read(entry.path()).unwrap());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn store_flow_commits_manifest_and_resume_reuses_everything() {
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("LX30").unwrap().clone();
+        let xml = render_design(&corpus::abc_example());
+        let dir = store_dir("resume");
+        let pipeline = FlowPipeline::new(device);
+
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let first = pipeline.run_xml_with_store(&xml, &mut store).unwrap();
+        let manifest = store.load_manifest().unwrap().expect("committed");
+        assert_eq!(manifest.entries.len() as u64 + 1, store.stats().writes, "entries + manifest");
+        assert!(manifest.entries.contains_key(SCHEME_NAME));
+        assert!(manifest.entries.contains_key(UCF_NAME));
+        assert!(manifest.entries.contains_key(FULL_NAME));
+        assert_eq!(manifest.partial_pairs().len(), first.partial_bitstreams.len());
+        assert_eq!(store.stats().reused, 0);
+        let clean = store_bytes(&dir);
+
+        // Rerun on the committed store: the scheme resumes (no fresh
+        // search side effects observable), every artifact digest matches,
+        // nothing is rewritten, and bytes are identical.
+        let mut store2 = ArtifactStore::open(&dir).unwrap();
+        let second = pipeline.run_xml_with_store(&xml, &mut store2).unwrap();
+        assert_eq!(store2.stats().regenerated, 0, "{:?}", store2.stats());
+        assert!(store2.stats().reused > 0);
+        assert_eq!(first.ucf, second.ucf);
+        assert_eq!(first.full_bitstream, second.full_bitstream);
+        assert_eq!(first.search_outcome, second.search_outcome);
+        assert_eq!(first.floorplan_retries, second.floorplan_retries);
+        assert_eq!(store_bytes(&dir), clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_quarantined_and_regenerated_identically() {
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("LX30").unwrap().clone();
+        let xml = render_design(&corpus::abc_example());
+        let dir = store_dir("requarantine");
+        let pipeline = FlowPipeline::new(device);
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        pipeline.run_xml_with_store(&xml, &mut store).unwrap();
+        let clean = store_bytes(&dir);
+
+        // Corrupt one partial bitstream on disk.
+        let victim = clean.keys().find(|n| n.ends_with(".bit") && n.starts_with("rr")).unwrap();
+        let mut bad = clean[victim].clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        std::fs::write(dir.join(victim), &bad).unwrap();
+
+        let mut store2 = ArtifactStore::open(&dir).unwrap();
+        pipeline.run_xml_with_store(&xml, &mut store2).unwrap();
+        assert_eq!(store2.stats().regenerated, 1, "only the corrupt artifact is rewritten");
+        assert_eq!(store_bytes(&dir), clean, "regeneration converges to identical bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_of_different_design_is_refused() {
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("SX70T").unwrap().clone();
+        let dir = store_dir("fingerprint");
+        let abc = render_design(&corpus::abc_example());
+        let video = render_design(&corpus::video_receiver(corpus::VideoConfigSet::Original));
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        FlowPipeline::new(lib.by_name("LX30").unwrap().clone())
+            .run_xml_with_store(&abc, &mut store)
+            .unwrap();
+        let mut store2 = ArtifactStore::open(&dir).unwrap();
+        let err = FlowPipeline::new(device).run_xml_with_store(&video, &mut store2).unwrap_err();
+        assert!(matches!(err, FlowError::Store(StoreError::FingerprintMismatch { .. })), "{err}");
+        use std::error::Error as _;
+        assert!(err.source().is_some(), "store errors chain their cause");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flow_error_variants_all_expose_sources() {
+        use std::error::Error as _;
+        let io = FlowError::Io {
+            path: PathBuf::from("/nope"),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(io.source().is_some());
+        assert!(io.to_string().contains("/nope"));
+        let cert = FlowError::Certification("refused".into());
+        assert!(cert.source().is_none());
+        let bs = FlowError::Bitstream(BitstreamError::UnplacedRegion { region: 2 });
+        assert!(bs.source().is_some());
+        assert!(bs.to_string().contains("PRR3"));
     }
 
     #[test]

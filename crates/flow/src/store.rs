@@ -1,0 +1,1047 @@
+//! Transactional artifact store: the crash-consistent contract between
+//! the design-time flow and the runtime.
+//!
+//! The paper's flow (Fig. 2) ends with a pile of files — wrappers,
+//! netlists, UCF constraints, partial bitstreams — that the runtime
+//! later feeds to the ICAP. Between those two moments anything can
+//! happen: the flow process is killed, a write is torn, a bit rots.
+//! This module makes the hand-off transactional:
+//!
+//! * **Atomic writes** — every artifact is written to a temp file,
+//!   fsynced, then renamed into place; a crash never leaves a
+//!   half-written file under an artifact name.
+//! * **Content digests** — every artifact is recorded in the manifest
+//!   with its length and FNV-1a 64 digest; every read re-verifies both.
+//! * **A crash-consistent journal** — the manifest (`manifest`, format
+//!   [`FORMAT_HEADER`]) is versioned, CRC-32-guarded, stamped with a
+//!   fingerprint of the (design, device) pair, and written *last*: it is
+//!   the commit point of the whole flow. A torn manifest fails its CRC
+//!   and is discarded, never half-trusted.
+//! * **Quarantine** — an artifact that fails verification is renamed
+//!   into `quarantine/`, never deleted (post-mortems want the bytes)
+//!   and never served.
+//! * **Seeded fault injection** — [`StoreFaultModel`] injects torn
+//!   writes, truncations, bit flips, dropped files, transient stage
+//!   failures, and simulated crashes, deterministically per seed, so
+//!   chaos campaigns are exactly reproducible (the same idiom as the
+//!   runtime's `FaultModel`).
+//!
+//! Because every flow stage is deterministic in (design, device), a
+//! store left in *any* crash state converges to byte-identical contents
+//! when the flow is re-run — see `docs/artifact_store.md`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Current manifest format version tag (first line of the file).
+pub const FORMAT_HEADER: &str = "prpart-store v1";
+
+/// Manifest file name inside the store root.
+pub const MANIFEST_NAME: &str = "manifest";
+
+/// Quarantine subdirectory name inside the store root.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// FNV-1a 64-bit digest of a byte slice — the store's content digest.
+pub fn digest64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bitwise CRC-32 (IEEE polynomial, reflected) guarding the manifest.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Fingerprint of the (design, device) pair a store belongs to, mixing
+/// the rendered design XML with the device identity so a store can never
+/// be resumed against different inputs.
+pub fn design_fingerprint(design_xml: &str, device: &prpart_arch::Device) -> u64 {
+    let mut h = digest64(design_xml.as_bytes());
+    for v in [
+        design_xml.len() as u64,
+        device.name.len() as u64,
+        digest64(device.name.as_bytes()),
+        u64::from(device.capacity.clb),
+        u64::from(device.capacity.bram),
+        u64::from(device.capacity.dsp),
+        u64::from(device.rows),
+    ] {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The kind of an injected storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFaultKind {
+    /// Only a prefix of the bytes reaches the disk.
+    TornWrite,
+    /// The tail of the file is cut off.
+    Truncation,
+    /// A single bit of the payload flips.
+    BitFlip,
+    /// The file never materialises at all.
+    MissingFile,
+}
+
+/// A seeded, deterministic source of storage and stage faults (SplitMix64,
+/// the same generator idiom as the runtime `FaultModel`): the same seed
+/// plus the same call sequence injects the same faults.
+#[derive(Debug, Clone)]
+pub struct StoreFaultModel {
+    /// Per-write corruption probability in `[0, 1)`.
+    rate: f64,
+    /// Per-stage-attempt transient failure probability in `[0, 1)`.
+    stage_rate: f64,
+    /// Simulated-crash trigger: the Nth write call aborts mid-write.
+    crash_after: Option<u64>,
+    /// Write calls observed so far (drives `crash_after`).
+    writes_seen: u64,
+    /// SplitMix64 state.
+    state: u64,
+}
+
+impl StoreFaultModel {
+    /// A model that never injects anything; the default for every store.
+    /// Never touches its generator, so the fault-free path is identical
+    /// to a store without fault injection at all.
+    pub fn none() -> Self {
+        StoreFaultModel::seeded(0.0, 0)
+    }
+
+    /// A model corrupting writes with probability `rate`, driven by `seed`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= rate < 1.0` (a rate of 1.0 would make every
+    /// bounded retry fail by construction).
+    pub fn seeded(rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "store fault rate {rate} outside [0, 1)");
+        StoreFaultModel { rate, stage_rate: 0.0, crash_after: None, writes_seen: 0, state: seed }
+    }
+
+    /// Sets the transient per-stage failure probability (synthesis or
+    /// floorplan stage flaking out and needing a retry).
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= rate < 1.0`.
+    pub fn with_stage_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "stage fault rate {rate} outside [0, 1)");
+        self.stage_rate = rate;
+        self
+    }
+
+    /// Arms a simulated crash: the `n`th write call (1-based) aborts after
+    /// the temp file is written but before the rename — exactly the torn
+    /// state a `SIGKILL` leaves behind.
+    pub fn with_crash_after(mut self, n: u64) -> Self {
+        self.crash_after = Some(n);
+        self
+    }
+
+    /// True when the model can never inject anything.
+    pub fn is_inert(&self) -> bool {
+        self.rate <= 0.0 && self.stage_rate <= 0.0 && self.crash_after.is_none()
+    }
+
+    /// Samples the fault (if any) affecting one write attempt. A zero
+    /// rate consumes no randomness.
+    pub fn sample_write(&mut self) -> Option<StoreFaultKind> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        if self.next_f64() >= self.rate {
+            return None;
+        }
+        Some(match self.next_u64() % 4 {
+            0 => StoreFaultKind::TornWrite,
+            1 => StoreFaultKind::Truncation,
+            2 => StoreFaultKind::BitFlip,
+            _ => StoreFaultKind::MissingFile,
+        })
+    }
+
+    /// Samples one stage attempt: true = the stage transiently fails and
+    /// should be retried. A zero rate consumes no randomness.
+    pub fn sample_stage(&mut self) -> bool {
+        self.stage_rate > 0.0 && self.next_f64() < self.stage_rate
+    }
+
+    /// Counts a write call and reports whether the armed crash fires now.
+    fn crash_fires(&mut self) -> bool {
+        self.writes_seen += 1;
+        self.crash_after == Some(self.writes_seen)
+    }
+
+    /// A deterministic draw (used to pick corruption offsets).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Default for StoreFaultModel {
+    fn default() -> Self {
+        StoreFaultModel::none()
+    }
+}
+
+/// A failure of the artifact store. Every variant is typed; I/O errors
+/// keep their root cause for [`std::error::Error::source`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure on a concrete path.
+    Io {
+        /// The path the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A write kept failing read-back verification after every allowed
+    /// retry (persistent media corruption).
+    WriteUnverifiable {
+        /// Artifact name.
+        name: String,
+        /// Write attempts made.
+        attempts: u32,
+    },
+    /// An artifact failed its digest/length check on read; the file has
+    /// been moved to quarantine.
+    CorruptArtifact {
+        /// Artifact name.
+        name: String,
+        /// What disagreed (length or digest, expected vs found).
+        detail: String,
+    },
+    /// A manifest-listed artifact is missing from the store.
+    MissingArtifact {
+        /// Artifact name.
+        name: String,
+    },
+    /// The store belongs to a different (design, device) pair.
+    FingerprintMismatch {
+        /// Fingerprint of the current inputs.
+        expected: u64,
+        /// Fingerprint stamped in the manifest.
+        found: u64,
+    },
+    /// A flow stage kept failing transiently after every allowed retry.
+    StageExhausted {
+        /// Stage name.
+        stage: String,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// Two artifacts were registered under one name (a flow bug, caught
+    /// before it can silently drop bytes).
+    DuplicateArtifact {
+        /// The colliding name.
+        name: String,
+    },
+    /// The manifest the flow was about to commit disagrees with the
+    /// certified scheme (the PL011 audit refused it).
+    InconsistentManifest {
+        /// The audit findings, one per line.
+        detail: String,
+    },
+    /// An armed simulated crash fired (chaos testing only): the store is
+    /// now in a torn state, exactly as after `SIGKILL`.
+    SimulatedCrash {
+        /// Write calls completed before the crash.
+        writes: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "i/o on {}: {source}", path.display()),
+            StoreError::WriteUnverifiable { name, attempts } => {
+                write!(f, "artifact '{name}' failed write verification {attempts} times")
+            }
+            StoreError::CorruptArtifact { name, detail } => {
+                write!(f, "artifact '{name}' is corrupt ({detail}); quarantined")
+            }
+            StoreError::MissingArtifact { name } => {
+                write!(f, "artifact '{name}' is listed in the manifest but missing")
+            }
+            StoreError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "store belongs to different inputs: manifest fingerprint {found:016x}, \
+                 current inputs {expected:016x}"
+            ),
+            StoreError::StageExhausted { stage, attempts } => {
+                write!(f, "stage '{stage}' failed transiently {attempts} times")
+            }
+            StoreError::DuplicateArtifact { name } => {
+                write!(f, "two artifacts registered under the name '{name}'")
+            }
+            StoreError::InconsistentManifest { detail } => {
+                write!(f, "manifest inconsistent with the certified scheme:\n{detail}")
+            }
+            StoreError::SimulatedCrash { writes } => {
+                write!(f, "simulated crash after {writes} writes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// What an artifact is, recorded in the manifest so consumers can select
+/// by role without parsing names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// The certified partitioning scheme (`scheme.xml`).
+    Scheme,
+    /// UCF constraints.
+    Ucf,
+    /// A Verilog wrapper.
+    Wrapper,
+    /// A region netlist record.
+    Netlist,
+    /// A partial bitstream for one (region, partition).
+    Partial,
+    /// The full power-on bitstream.
+    Full,
+}
+
+impl ArtifactKind {
+    /// Stable text tag used in the manifest.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArtifactKind::Scheme => "scheme",
+            ArtifactKind::Ucf => "ucf",
+            ArtifactKind::Wrapper => "wrapper",
+            ArtifactKind::Netlist => "netlist",
+            ArtifactKind::Partial => "partial",
+            ArtifactKind::Full => "full",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "scheme" => ArtifactKind::Scheme,
+            "ucf" => ArtifactKind::Ucf,
+            "wrapper" => ArtifactKind::Wrapper,
+            "netlist" => ArtifactKind::Netlist,
+            "partial" => ArtifactKind::Partial,
+            "full" => ArtifactKind::Full,
+            _ => return None,
+        })
+    }
+}
+
+/// One manifest record: what the artifact is and what bytes it must hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Artifact role.
+    pub kind: ArtifactKind,
+    /// Exact byte length.
+    pub len: u64,
+    /// FNV-1a 64 digest of the bytes.
+    pub digest: u64,
+}
+
+/// The store's journal: the versioned, CRC-guarded, fingerprint-stamped
+/// record of every certified artifact. Written atomically and *last* —
+/// committing the manifest commits the flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Fingerprint of the (design, device) pair (see
+    /// [`design_fingerprint`]).
+    pub fingerprint: u64,
+    /// Why the partitioning search ended (`SearchOutcome` display form).
+    pub outcome: String,
+    /// Floorplan feedback retries the flow needed.
+    pub retries: usize,
+    /// Every artifact, by name.
+    pub entries: BTreeMap<String, ManifestEntry>,
+}
+
+impl Manifest {
+    /// Serialises the manifest, CRC trailer included.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(FORMAT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        out.push_str(&format!("outcome {}\n", self.outcome));
+        out.push_str(&format!("retries {}\n", self.retries));
+        for (name, e) in &self.entries {
+            out.push_str(&format!(
+                "artifact {} {} {:016x} {}\n",
+                e.kind.as_str(),
+                e.len,
+                e.digest,
+                name
+            ));
+        }
+        let crc = crc32(out.as_bytes());
+        out.push_str(&format!("crc32 {crc:08x}\n"));
+        out
+    }
+
+    /// Parses and validates a manifest: version header, structure, and
+    /// CRC trailer. Any defect is an `Err` — a torn manifest is never
+    /// half-trusted.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let body = text.strip_suffix('\n').unwrap_or(text);
+        let (body, trailer) =
+            body.rsplit_once('\n').ok_or_else(|| "manifest too short".to_string())?;
+        let crc_text = trailer
+            .strip_prefix("crc32 ")
+            .ok_or_else(|| format!("missing crc32 trailer, found '{trailer}'"))?;
+        let declared =
+            u32::from_str_radix(crc_text, 16).map_err(|_| format!("bad crc '{crc_text}'"))?;
+        let mut guarded = String::with_capacity(body.len() + 1);
+        guarded.push_str(body);
+        guarded.push('\n');
+        let actual = crc32(guarded.as_bytes());
+        if declared != actual {
+            return Err(format!("crc mismatch: stored {declared:08x}, computed {actual:08x}"));
+        }
+        let mut lines = body.lines();
+        let header = lines.next().ok_or_else(|| "empty manifest".to_string())?;
+        if header != FORMAT_HEADER {
+            return Err(format!("unsupported format '{header}'"));
+        }
+        let mut fingerprint = None;
+        let mut outcome = None;
+        let mut retries = None;
+        let mut entries = BTreeMap::new();
+        for line in lines {
+            let (key, rest) =
+                line.split_once(' ').ok_or_else(|| format!("malformed line '{line}'"))?;
+            match key {
+                "fingerprint" => {
+                    fingerprint = Some(
+                        u64::from_str_radix(rest, 16)
+                            .map_err(|_| format!("bad fingerprint '{rest}'"))?,
+                    )
+                }
+                "outcome" => outcome = Some(rest.to_string()),
+                "retries" => {
+                    retries = Some(rest.parse().map_err(|_| format!("bad retries '{rest}'"))?)
+                }
+                "artifact" => {
+                    let mut parts = rest.splitn(4, ' ');
+                    let kind = parts
+                        .next()
+                        .and_then(ArtifactKind::parse)
+                        .ok_or_else(|| format!("bad artifact kind in '{line}'"))?;
+                    let len = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad artifact length in '{line}'"))?;
+                    let digest = parts
+                        .next()
+                        .and_then(|v| u64::from_str_radix(v, 16).ok())
+                        .ok_or_else(|| format!("bad artifact digest in '{line}'"))?;
+                    let name =
+                        parts.next().ok_or_else(|| format!("missing artifact name in '{line}'"))?;
+                    if name.is_empty() || name.contains('/') || name.contains("..") {
+                        return Err(format!("illegal artifact name '{name}'"));
+                    }
+                    if entries
+                        .insert(name.to_string(), ManifestEntry { kind, len, digest })
+                        .is_some()
+                    {
+                        return Err(format!("duplicate artifact '{name}'"));
+                    }
+                }
+                other => return Err(format!("unknown key '{other}'")),
+            }
+        }
+        Ok(Manifest {
+            fingerprint: fingerprint.ok_or_else(|| "missing fingerprint".to_string())?,
+            outcome: outcome.ok_or_else(|| "missing outcome".to_string())?,
+            retries: retries.ok_or_else(|| "missing retries".to_string())?,
+            entries,
+        })
+    }
+
+    /// The (region, partition) pairs of the partial-bitstream artifacts,
+    /// parsed from their `rr{R}_p{P}.bit` names, sorted.
+    pub fn partial_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs: Vec<(usize, usize)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.kind == ArtifactKind::Partial)
+            .filter_map(|(name, _)| parse_partial_name(name))
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+/// The canonical store name of the partial bitstream for one
+/// (region, partition) pair — shared with the runtime loader.
+pub fn partial_name(region: usize, partition: usize) -> String {
+    format!("rr{}_p{}.bit", region + 1, partition)
+}
+
+/// Inverse of [`partial_name`].
+pub fn parse_partial_name(name: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix("rr")?.strip_suffix(".bit")?;
+    let (r, p) = rest.split_once("_p")?;
+    let region: usize = r.parse().ok()?;
+    Some((region.checked_sub(1)?, p.parse().ok()?))
+}
+
+/// Cumulative store accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Successful artifact writes (manifest included).
+    pub writes: u64,
+    /// Write attempts repeated after a failed read-back verification.
+    pub write_retries: u64,
+    /// Artifacts whose on-disk bytes already matched and were kept as-is.
+    pub reused: u64,
+    /// Artifacts that had to be (re)generated and written.
+    pub regenerated: u64,
+    /// Files moved to quarantine after failing verification.
+    pub quarantined: u64,
+    /// Manifests discarded as torn/corrupt on load.
+    pub manifests_discarded: u64,
+    /// Transient stage failures absorbed by retry.
+    pub stage_retries: u64,
+}
+
+/// The persistent, transactional artifact store.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    faults: StoreFaultModel,
+    stats: StoreStats,
+    max_write_attempts: u32,
+    backoff_base: Duration,
+}
+
+impl ArtifactStore {
+    /// Bounded write/stage retry attempts (initial try included).
+    pub const MAX_ATTEMPTS: u32 = 5;
+
+    /// Opens (creating if needed) a store rooted at `root`. Stray
+    /// `*.tmp` files from a previous crash are removed so a resumed
+    /// store converges to the same bytes as a clean one.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|source| StoreError::Io { path: root.clone(), source })?;
+        let qdir = root.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&qdir)
+            .map_err(|source| StoreError::Io { path: qdir.clone(), source })?;
+        let listing = std::fs::read_dir(&root)
+            .map_err(|source| StoreError::Io { path: root.clone(), source })?;
+        for entry in listing.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        Ok(ArtifactStore {
+            root,
+            faults: StoreFaultModel::none(),
+            stats: StoreStats::default(),
+            max_write_attempts: Self::MAX_ATTEMPTS,
+            backoff_base: Duration::from_millis(1),
+        })
+    }
+
+    /// Installs a fault model (chaos testing).
+    pub fn with_faults(mut self, faults: StoreFaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the bounded write/stage retry attempts (clamped to ≥ 1).
+    pub fn with_max_write_attempts(mut self, attempts: u32) -> Self {
+        self.max_write_attempts = attempts.max(1);
+        self
+    }
+
+    /// Overrides the retry backoff base (doubles per retry, capped at
+    /// 32× the base).
+    pub fn with_backoff_base(mut self, base: Duration) -> Self {
+        self.backoff_base = base;
+        self
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Cumulative accounting.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The installed fault model (for stage-gate sampling).
+    pub fn fault_model_mut(&mut self) -> &mut StoreFaultModel {
+        &mut self.faults
+    }
+
+    /// Absolute path of an artifact.
+    pub fn path_of(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(5);
+        self.backoff_base * factor
+    }
+
+    /// Runs one bounded-retry stage gate: samples the fault model per
+    /// attempt and absorbs transient stage failures with backoff; only a
+    /// fault on every allowed attempt surfaces as an error.
+    pub fn stage_gate(&mut self, stage: &str) -> Result<(), StoreError> {
+        for attempt in 0..self.max_write_attempts {
+            if !self.faults.sample_stage() {
+                return Ok(());
+            }
+            self.stats.stage_retries += 1;
+            std::thread::sleep(self.backoff(attempt));
+        }
+        Err(StoreError::StageExhausted {
+            stage: stage.to_string(),
+            attempts: self.max_write_attempts,
+        })
+    }
+
+    /// True when the on-disk artifact already holds exactly `bytes`
+    /// (length and digest match). Never errors: any read problem just
+    /// means "not reusable".
+    pub fn matches(&self, name: &str, bytes: &[u8]) -> bool {
+        match std::fs::read(self.path_of(name)) {
+            Ok(found) => found.len() == bytes.len() && digest64(&found) == digest64(bytes),
+            Err(_) => false,
+        }
+    }
+
+    /// Writes an artifact through the transactional path: temp file,
+    /// fsync, rename, read-back verification, bounded retry with
+    /// backoff. Returns the manifest entry for the committed bytes.
+    pub fn write_verified(
+        &mut self,
+        name: &str,
+        kind: ArtifactKind,
+        bytes: &[u8],
+    ) -> Result<ManifestEntry, StoreError> {
+        let path = self.path_of(name);
+        let tmp = self.root.join(format!("{name}.tmp"));
+        let expected = ManifestEntry { kind, len: bytes.len() as u64, digest: digest64(bytes) };
+        for attempt in 0..self.max_write_attempts {
+            if attempt > 0 {
+                self.stats.write_retries += 1;
+                std::thread::sleep(self.backoff(attempt));
+            }
+            if self.faults.crash_fires() {
+                // A simulated kill between the temp write and the rename:
+                // the most adversarial torn state an atomic writer allows.
+                let _ = std::fs::write(&tmp, bytes);
+                return Err(StoreError::SimulatedCrash { writes: self.faults.writes_seen - 1 });
+            }
+            let fault = self.faults.sample_write();
+            let written: Option<Vec<u8>> = match fault {
+                None => Some(bytes.to_vec()),
+                Some(StoreFaultKind::TornWrite) => Some(bytes[..bytes.len() / 2].to_vec()),
+                Some(StoreFaultKind::Truncation) => {
+                    Some(bytes[..bytes.len().saturating_sub(7)].to_vec())
+                }
+                Some(StoreFaultKind::BitFlip) => {
+                    let mut bad = bytes.to_vec();
+                    if !bad.is_empty() {
+                        let pos = (self.faults.next_u64() as usize) % bad.len();
+                        let bit = (self.faults.next_u64() % 8) as u8;
+                        bad[pos] ^= 1 << bit;
+                    }
+                    Some(bad)
+                }
+                Some(StoreFaultKind::MissingFile) => None,
+            };
+            match written {
+                Some(data) => {
+                    let mut f = std::fs::File::create(&tmp)
+                        .map_err(|source| StoreError::Io { path: tmp.clone(), source })?;
+                    f.write_all(&data)
+                        .map_err(|source| StoreError::Io { path: tmp.clone(), source })?;
+                    f.sync_all().map_err(|source| StoreError::Io { path: tmp.clone(), source })?;
+                    drop(f);
+                    std::fs::rename(&tmp, &path)
+                        .map_err(|source| StoreError::Io { path: path.clone(), source })?;
+                }
+                None => {
+                    // The write was dropped entirely; make sure no stale
+                    // file survives to be mistaken for the new bytes.
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+            // Read-back verification closes the loop on silent corruption.
+            if self.matches(name, bytes) {
+                self.stats.writes += 1;
+                return Ok(expected);
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+        Err(StoreError::WriteUnverifiable {
+            name: name.to_string(),
+            attempts: self.max_write_attempts,
+        })
+    }
+
+    /// Reads an artifact and re-verifies its digest and length against
+    /// the manifest entry. A mismatch quarantines the file and returns a
+    /// typed error — corrupt bytes are never handed out.
+    pub fn read_verified(
+        &mut self,
+        name: &str,
+        entry: &ManifestEntry,
+    ) -> Result<Vec<u8>, StoreError> {
+        let path = self.path_of(name);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingArtifact { name: name.to_string() })
+            }
+            Err(source) => return Err(StoreError::Io { path, source }),
+        };
+        let (len, digest) = (bytes.len() as u64, digest64(&bytes));
+        if len != entry.len || digest != entry.digest {
+            self.quarantine(name);
+            return Err(StoreError::CorruptArtifact {
+                name: name.to_string(),
+                detail: format!(
+                    "length {len} digest {digest:016x}, manifest says length {} digest {:016x}",
+                    entry.len, entry.digest
+                ),
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Moves an artifact into `quarantine/` under a unique name. The
+    /// bytes are preserved for post-mortems, never served again.
+    pub fn quarantine(&mut self, name: &str) {
+        let src = self.path_of(name);
+        let dst = self.root.join(QUARANTINE_DIR).join(format!("{name}.{}", self.stats.quarantined));
+        if std::fs::rename(&src, &dst).is_ok() {
+            self.stats.quarantined += 1;
+        }
+    }
+
+    /// Counts an artifact kept as-is (digest already matched).
+    pub fn note_reused(&mut self) {
+        self.stats.reused += 1;
+    }
+
+    /// Counts an artifact that had to be (re)generated.
+    pub fn note_regenerated(&mut self) {
+        self.stats.regenerated += 1;
+    }
+
+    /// Atomically commits the manifest — the transaction's commit point.
+    /// Everything the manifest lists must already be durable on disk.
+    pub fn commit_manifest(&mut self, manifest: &Manifest) -> Result<(), StoreError> {
+        let text = manifest.serialize();
+        self.write_verified(MANIFEST_NAME, ArtifactKind::Scheme, text.as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads the manifest, if a valid one is committed. A torn or
+    /// corrupt manifest is moved aside and reported as absent — the flow
+    /// then regenerates; it never trusts half a journal.
+    pub fn load_manifest(&mut self) -> Result<Option<Manifest>, StoreError> {
+        let path = self.path_of(MANIFEST_NAME);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => return Err(StoreError::Io { path, source }),
+        };
+        match Manifest::parse(&text) {
+            Ok(m) => Ok(Some(m)),
+            Err(_) => {
+                self.quarantine(MANIFEST_NAME);
+                self.stats.manifests_discarded += 1;
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("prpart-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_manifest() -> Manifest {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            "scheme.xml".to_string(),
+            ManifestEntry { kind: ArtifactKind::Scheme, len: 10, digest: 0xabcd },
+        );
+        entries.insert(
+            partial_name(0, 3),
+            ManifestEntry { kind: ArtifactKind::Partial, len: 999, digest: 0x1234_5678_9abc_def0 },
+        );
+        Manifest {
+            fingerprint: 0xdead_beef_cafe_f00d,
+            outcome: "complete".to_string(),
+            retries: 1,
+            entries,
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        assert_eq!(digest64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest64(b"abc"), digest64(b"abc"));
+        assert_ne!(digest64(b"abc"), digest64(b"abd"));
+    }
+
+    #[test]
+    fn manifest_roundtrips_exactly() {
+        let m = sample_manifest();
+        let text = m.serialize();
+        assert!(text.starts_with(FORMAT_HEADER));
+        let back = Manifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.partial_pairs(), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn torn_or_tampered_manifest_is_rejected() {
+        let text = sample_manifest().serialize();
+        // Truncation (torn write).
+        for cut in [1, text.len() / 2, text.len() - 2] {
+            assert!(Manifest::parse(&text[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        // Single-character tamper.
+        let mut bad = text.clone().into_bytes();
+        bad[FORMAT_HEADER.len() + 14] ^= 1;
+        assert!(Manifest::parse(std::str::from_utf8(&bad).unwrap()).is_err());
+        // Wrong version.
+        let other = text.replace("v1", "v9");
+        assert!(Manifest::parse(&other).is_err());
+    }
+
+    #[test]
+    fn partial_names_roundtrip() {
+        assert_eq!(partial_name(0, 0), "rr1_p0.bit");
+        assert_eq!(parse_partial_name("rr1_p0.bit"), Some((0, 0)));
+        assert_eq!(parse_partial_name("rr12_p7.bit"), Some((11, 7)));
+        assert_eq!(parse_partial_name("rr0_p7.bit"), None, "region index is 1-based");
+        assert_eq!(parse_partial_name("full.bit"), None);
+        assert_eq!(parse_partial_name("rr1_p0"), None);
+    }
+
+    #[test]
+    fn write_read_roundtrip_verifies() {
+        let dir = tmpdir("roundtrip");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let entry = store.write_verified("a.txt", ArtifactKind::Ucf, b"hello artifact").unwrap();
+        assert_eq!(entry.len, 14);
+        let back = store.read_verified("a.txt", &entry).unwrap();
+        assert_eq!(back, b"hello artifact");
+        assert!(store.matches("a.txt", b"hello artifact"));
+        assert!(!store.matches("a.txt", b"hello artifacT"));
+        assert_eq!(store.stats().writes, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_read_quarantines_and_errors() {
+        let dir = tmpdir("corrupt");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let entry = store.write_verified("b.bit", ArtifactKind::Partial, b"payload bytes").unwrap();
+        // Flip one bit on disk behind the store's back.
+        let path = store.path_of("b.bit");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[3] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = store.read_verified("b.bit", &entry).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptArtifact { .. }), "{err}");
+        assert_eq!(store.stats().quarantined, 1);
+        assert!(!path.exists(), "corrupt artifact must leave the store");
+        assert!(dir.join(QUARANTINE_DIR).join("b.bit.0").exists(), "bytes preserved");
+        // And a second read reports it missing, not corrupt.
+        let err = store.read_verified("b.bit", &entry).unwrap_err();
+        assert!(matches!(err, StoreError::MissingArtifact { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_artifact_is_rejected() {
+        let dir = tmpdir("trunc");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let entry =
+            store.write_verified("c.bit", ArtifactKind::Partial, b"0123456789abcdef").unwrap();
+        let path = store.path_of("c.bit");
+        std::fs::write(&path, b"0123456789").unwrap();
+        let err = store.read_verified("c.bit", &entry).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptArtifact { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_writes_are_retried_to_success_deterministically() {
+        let dir = tmpdir("faulty");
+        let mut store = ArtifactStore::open(&dir)
+            .unwrap()
+            .with_faults(StoreFaultModel::seeded(0.6, 42))
+            .with_backoff_base(Duration::ZERO);
+        let mut retries = 0;
+        for i in 0..20 {
+            let name = format!("f{i}.bit");
+            let body = vec![i as u8; 64];
+            let entry = store.write_verified(&name, ArtifactKind::Partial, &body).unwrap();
+            assert_eq!(store.read_verified(&name, &entry).unwrap(), body);
+        }
+        retries += store.stats().write_retries;
+        assert!(retries > 0, "rate 0.6 over 20 writes must inject something");
+
+        // Same seed, same faults, same retry count.
+        let dir2 = tmpdir("faulty2");
+        let mut store2 = ArtifactStore::open(&dir2)
+            .unwrap()
+            .with_faults(StoreFaultModel::seeded(0.6, 42))
+            .with_backoff_base(Duration::ZERO);
+        for i in 0..20 {
+            let body = vec![i as u8; 64];
+            store2.write_verified(&format!("f{i}.bit"), ArtifactKind::Partial, &body).unwrap();
+        }
+        assert_eq!(store2.stats().write_retries, retries);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn simulated_crash_leaves_tmp_not_artifact_and_reopen_cleans_it() {
+        let dir = tmpdir("crash");
+        let mut store = ArtifactStore::open(&dir)
+            .unwrap()
+            .with_faults(StoreFaultModel::none().with_crash_after(2));
+        store.write_verified("one", ArtifactKind::Ucf, b"first").unwrap();
+        let err = store.write_verified("two", ArtifactKind::Ucf, b"second").unwrap_err();
+        assert!(matches!(err, StoreError::SimulatedCrash { writes: 1 }), "{err}");
+        assert!(dir.join("one").exists());
+        assert!(!dir.join("two").exists(), "crashed write must not commit");
+        assert!(dir.join("two.tmp").exists(), "crash leaves the torn temp file");
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert!(!dir.join("two.tmp").exists(), "reopen sweeps stray temp files");
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_manifest_is_discarded_not_trusted() {
+        let dir = tmpdir("manifest");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let m = sample_manifest();
+        store.commit_manifest(&m).unwrap();
+        assert_eq!(store.load_manifest().unwrap(), Some(m.clone()));
+        // Tear it.
+        let text = m.serialize();
+        std::fs::write(store.path_of(MANIFEST_NAME), &text[..text.len() / 2]).unwrap();
+        assert_eq!(store.load_manifest().unwrap(), None);
+        assert_eq!(store.stats().manifests_discarded, 1);
+        assert!(!store.path_of(MANIFEST_NAME).exists(), "torn manifest moved aside");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stage_gate_absorbs_transients_and_bounds_retries() {
+        let dir = tmpdir("stage");
+        let mut store = ArtifactStore::open(&dir)
+            .unwrap()
+            .with_faults(StoreFaultModel::seeded(0.0, 7).with_stage_rate(0.3))
+            .with_backoff_base(Duration::ZERO);
+        let passed = (0..50).filter(|_| store.stage_gate("partition").is_ok()).count();
+        // Per-gate exhaustion probability at rate 0.3 is 0.3^5 ≈ 0.24%;
+        // the seed makes the exact count reproducible.
+        assert!(passed >= 45, "rate 0.3 with 5 attempts passes almost every gate: {passed}/50");
+        assert!(store.stats().stage_retries > 0);
+        // Rate pinned near 1 exhausts the bounded retries.
+        let mut nasty = ArtifactStore::open(&dir)
+            .unwrap()
+            .with_faults(StoreFaultModel::seeded(0.0, 7).with_stage_rate(0.999))
+            .with_backoff_base(Duration::ZERO);
+        let mut saw_exhausted = false;
+        for _ in 0..20 {
+            if let Err(StoreError::StageExhausted { stage, attempts }) =
+                nasty.stage_gate("floorplan")
+            {
+                assert_eq!(stage, "floorplan");
+                assert_eq!(attempts, ArtifactStore::MAX_ATTEMPTS);
+                saw_exhausted = true;
+            }
+        }
+        assert!(saw_exhausted, "rate 0.999 must exhaust at least once in 20 gates");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_rate_model_is_inert_and_draws_nothing() {
+        let mut m = StoreFaultModel::none();
+        assert!(m.is_inert());
+        for _ in 0..100 {
+            assert_eq!(m.sample_write(), None);
+            assert!(!m.sample_stage());
+        }
+        assert_eq!(m.state, 0, "inert model never touches its generator");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn certain_corruption_rate_is_rejected() {
+        StoreFaultModel::seeded(1.0, 0);
+    }
+
+    #[test]
+    fn fingerprint_separates_designs_and_devices() {
+        let lib = prpart_arch::DeviceLibrary::virtex5();
+        let a = lib.by_name("SX70T").unwrap();
+        let b = lib.by_name("LX20T").unwrap();
+        let fp = design_fingerprint("<design/>", a);
+        assert_eq!(fp, design_fingerprint("<design/>", a));
+        assert_ne!(fp, design_fingerprint("<design x='1'/>", a));
+        assert_ne!(fp, design_fingerprint("<design/>", b));
+    }
+}

@@ -137,6 +137,19 @@ impl BitstreamCache {
         self.used_bytes += bytes;
     }
 
+    /// Evicts one entry (verify-on-load found it corrupt, or it is being
+    /// superseded). Returns true if it was cached.
+    pub fn evict(&mut self, key: (usize, usize)) -> bool {
+        match self.entries.remove(&key) {
+            Some(sz) => {
+                self.used_bytes -= sz;
+                self.order.retain(|&k| k != key);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drops every cached bitstream of `region` (all partitions) and
     /// returns how many entries were removed. Used when a region is
     /// blacklisted in degraded mode: its bitstreams must never be

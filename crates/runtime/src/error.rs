@@ -36,6 +36,34 @@ pub enum RuntimeError {
         /// The blacklisted region it needs.
         region: usize,
     },
+    /// The artifact store (or its manifest) could not be used at all.
+    /// The detail is the rendered store error (kept as text so this enum
+    /// stays `Eq`-comparable in tests and telemetry).
+    StoreUnavailable {
+        /// Rendered cause.
+        detail: String,
+    },
+    /// No verified bitstream exists for a (region, partition) the scheme
+    /// needs — missing from the manifest, or quarantined on read and not
+    /// regenerable at runtime.
+    BitstreamUnavailable {
+        /// The region to be reconfigured.
+        region: usize,
+        /// The partition the scheme wants loaded there.
+        partition: usize,
+        /// Rendered cause.
+        detail: String,
+    },
+    /// A bitstream failed structural verification on load. It was never
+    /// fed to the ICAP.
+    BitstreamCorrupt {
+        /// The region it would have configured.
+        region: usize,
+        /// The partition it claims to implement.
+        partition: usize,
+        /// What the verifier rejected.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -52,6 +80,19 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::RegionBlacklisted { config, region } => write!(
                 f,
                 "configuration {config} unavailable in degraded mode: needs blacklisted region {region}"
+            ),
+            RuntimeError::StoreUnavailable { detail } => {
+                write!(f, "artifact store unavailable: {detail}")
+            }
+            RuntimeError::BitstreamUnavailable { region, partition, detail } => write!(
+                f,
+                "no verified bitstream for partition {partition} in region PRR{}: {detail}",
+                region + 1
+            ),
+            RuntimeError::BitstreamCorrupt { region, partition, detail } => write!(
+                f,
+                "bitstream for partition {partition} in region PRR{} failed verification (not loaded): {detail}",
+                region + 1
             ),
         }
     }

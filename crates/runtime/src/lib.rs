@@ -45,6 +45,12 @@
 //!   runtime never panics on a fault.
 //! * [`telemetry::ReliabilityTelemetry`] — availability, retry
 //!   histograms, per-region fault counts, and mean time to recovery.
+//! * [`loader::VerifiedBitstreamLoader`] — the runtime end of the flow's
+//!   transactional artifact store (`docs/artifact_store.md`): every
+//!   bitstream is digest-checked against the committed manifest and
+//!   structurally re-verified at serve time, corrupt cache entries are
+//!   evicted and reloaded, corrupt store copies quarantined — bad frames
+//!   never reach the ICAP ([`loader::StoreBackedManager`]).
 //!
 //! With no fault model installed (the default) the simulator's behaviour
 //! and accounting are identical to the fault-unaware version.
@@ -58,6 +64,7 @@ pub mod env;
 pub mod error;
 pub mod fault;
 pub mod icap;
+pub mod loader;
 pub mod manager;
 pub mod montecarlo;
 pub mod profiling;
@@ -69,6 +76,7 @@ pub use env::{CognitiveRadioEnv, Environment, MarkovEnv, UniformEnv};
 pub use error::RuntimeError;
 pub use fault::{FaultKind, FaultModel};
 pub use icap::{IcapController, IcapStats, LoadFault, LoadSuccess};
+pub use loader::{LoaderStats, StoreBackedManager, VerifiedBitstreamLoader};
 pub use manager::{ConfigurationManager, RecoveryPolicy, TransitionRecord};
 pub use montecarlo::{run_monte_carlo, MonteCarloConfig, MonteCarloReport, WalkStats};
 pub use profiling::{estimate_weights, TransitionProfile};

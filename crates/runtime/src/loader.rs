@@ -1,0 +1,484 @@
+//! Store-backed verified bitstream loading: the runtime end of the
+//! transactional artifact store.
+//!
+//! The flow persists every partial bitstream (digest-guarded) in an
+//! [`ArtifactStore`]; at runtime the [`VerifiedBitstreamLoader`] is the
+//! only path from that store to the configuration port. Its invariant:
+//! **no bitstream that fails [`prpart_flow::bitstream::verify`] is ever
+//! served.** Every serve re-verifies the in-memory copy, so a corrupted
+//! cache entry (radiation upset, DMA scribble — injected in tests via
+//! [`VerifiedBitstreamLoader::corrupt_cached`]) is evicted and reloaded
+//! from the store rather than fed to the ICAP; a corrupted *store* copy
+//! is quarantined by the store layer and surfaces as a typed
+//! [`RuntimeError`], never as bad frames on the port.
+//!
+//! [`StoreBackedManager`] closes the loop: it couples the loader to an
+//! [`IcapController`] so a load request touches the port only after its
+//! bitstream has been verified end to end.
+
+use crate::cache::BitstreamCache;
+use crate::error::RuntimeError;
+use crate::icap::IcapController;
+use bytes::Bytes;
+use prpart_arch::tile::BYTES_PER_FRAME;
+use prpart_flow::bitstream::{self, PartialBitstream};
+use prpart_flow::store::{self, ArtifactKind, ArtifactStore, Manifest, StoreError};
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::Duration;
+
+/// Framing overhead of a partial bitstream: 24-byte header plus 4-byte
+/// CRC trailer.
+const FRAMING_BYTES: usize = 28;
+
+/// Cumulative counters of a [`VerifiedBitstreamLoader`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoaderStats {
+    /// Bitstreams served to callers (each one verified at serve time).
+    pub served: u64,
+    /// Serves satisfied by an in-memory copy that re-verified clean.
+    pub cache_hits: u64,
+    /// Reads from the backing store (cold misses and corruption
+    /// recoveries alike).
+    pub reloads: u64,
+    /// Verification failures caught before anything was served — each
+    /// one is a bitstream that would otherwise have reached the ICAP.
+    pub verify_failures: u64,
+    /// Store artifacts quarantined on read because their bytes no
+    /// longer matched the manifest digest.
+    pub quarantined: u64,
+}
+
+/// Serves digest- and structure-verified partial bitstreams out of an
+/// [`ArtifactStore`], with an in-memory copy tracked by a
+/// [`BitstreamCache`] for LRU accounting.
+#[derive(Debug)]
+pub struct VerifiedBitstreamLoader {
+    store: ArtifactStore,
+    manifest: Manifest,
+    payloads: HashMap<(usize, usize), PartialBitstream>,
+    cache: BitstreamCache,
+    stats: LoaderStats,
+}
+
+impl VerifiedBitstreamLoader {
+    /// Opens the store at `root` and loads its committed manifest.
+    ///
+    /// Fails with [`RuntimeError::StoreUnavailable`] if the store cannot
+    /// be opened or carries no (valid) manifest — a store the flow never
+    /// committed has nothing trustworthy to serve.
+    pub fn open(root: &Path, cache_capacity_bytes: u64) -> Result<Self, RuntimeError> {
+        let mut store = ArtifactStore::open(root)
+            .map_err(|e| RuntimeError::StoreUnavailable { detail: e.to_string() })?;
+        let manifest = match store.load_manifest() {
+            Ok(Some(m)) => m,
+            Ok(None) => {
+                return Err(RuntimeError::StoreUnavailable {
+                    detail: format!(
+                        "no committed manifest at {} (flow incomplete or manifest quarantined)",
+                        root.display()
+                    ),
+                })
+            }
+            Err(e) => return Err(RuntimeError::StoreUnavailable { detail: e.to_string() }),
+        };
+        Ok(VerifiedBitstreamLoader::from_parts(store, manifest, cache_capacity_bytes))
+    }
+
+    /// Wraps an already-open store and manifest.
+    pub fn from_parts(store: ArtifactStore, manifest: Manifest, cache_capacity_bytes: u64) -> Self {
+        VerifiedBitstreamLoader {
+            store,
+            manifest,
+            payloads: HashMap::new(),
+            cache: BitstreamCache::new(cache_capacity_bytes),
+            stats: LoaderStats::default(),
+        }
+    }
+
+    /// The manifest this loader trusts.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Every `(region, partition)` pair the store claims to hold a
+    /// partial bitstream for, sorted.
+    pub fn available(&self) -> Vec<(usize, usize)> {
+        self.manifest.partial_pairs()
+    }
+
+    /// Cumulative loader counters.
+    pub fn stats(&self) -> LoaderStats {
+        self.stats
+    }
+
+    /// The LRU bookkeeping cache.
+    pub fn cache(&self) -> &BitstreamCache {
+        &self.cache
+    }
+
+    /// The backing store (mutable — tests inject storage faults through
+    /// [`ArtifactStore::fault_model_mut`]).
+    pub fn store_mut(&mut self) -> &mut ArtifactStore {
+        &mut self.store
+    }
+
+    /// Serves the verified partial bitstream for `partition` in
+    /// `region`.
+    ///
+    /// A cached copy is re-verified before every serve; if it fails, it
+    /// is evicted and the store copy is read (digest-checked) instead.
+    /// Every returned bitstream has passed
+    /// [`bitstream::verify`] on the exact bytes returned.
+    pub fn fetch(
+        &mut self,
+        region: usize,
+        partition: usize,
+    ) -> Result<&PartialBitstream, RuntimeError> {
+        let key = (region, partition);
+        let mut cached_ok = false;
+        if self.cache.contains(key) {
+            match self.payloads.get(&key) {
+                Some(bs) => match bitstream::verify(bs) {
+                    Ok(()) => cached_ok = true,
+                    Err(_) => {
+                        // In-memory corruption: drop the copy and fall
+                        // back to the digest-guarded store.
+                        self.stats.verify_failures += 1;
+                        self.cache.evict(key);
+                        self.payloads.remove(&key);
+                    }
+                },
+                None => {
+                    self.cache.evict(key);
+                }
+            }
+        }
+        if cached_ok {
+            self.stats.cache_hits += 1;
+            self.cache.lookup(key);
+        } else {
+            let bs = self.reload(region, partition)?;
+            self.cache.insert(key, bs.data.len() as u64);
+            self.payloads.insert(key, bs);
+        }
+        self.stats.served += 1;
+        match self.payloads.get(&key) {
+            Some(bs) => Ok(bs),
+            None => Err(RuntimeError::BitstreamUnavailable {
+                region,
+                partition,
+                detail: "internal: payload table out of sync with cache".to_string(),
+            }),
+        }
+    }
+
+    /// Reads, digest-checks, and structurally verifies the store copy.
+    fn reload(
+        &mut self,
+        region: usize,
+        partition: usize,
+    ) -> Result<PartialBitstream, RuntimeError> {
+        let name = store::partial_name(region, partition);
+        let entry = match self.manifest.entries.get(&name) {
+            Some(e) if e.kind == ArtifactKind::Partial => *e,
+            Some(e) => {
+                return Err(RuntimeError::BitstreamUnavailable {
+                    region,
+                    partition,
+                    detail: format!("manifest lists {name} as a {} artifact", e.kind.as_str()),
+                })
+            }
+            None => {
+                return Err(RuntimeError::BitstreamUnavailable {
+                    region,
+                    partition,
+                    detail: format!("{name} is not listed in the store manifest"),
+                })
+            }
+        };
+        let bytes = match self.store.read_verified(&name, &entry) {
+            Ok(b) => b,
+            Err(e @ StoreError::CorruptArtifact { .. }) => {
+                // The store has already moved the bad file to its
+                // quarantine directory; at runtime there is no producer
+                // stage to re-run, so the pair is simply unavailable.
+                self.stats.quarantined += 1;
+                return Err(RuntimeError::BitstreamUnavailable {
+                    region,
+                    partition,
+                    detail: e.to_string(),
+                });
+            }
+            Err(e @ StoreError::MissingArtifact { .. }) => {
+                return Err(RuntimeError::BitstreamUnavailable {
+                    region,
+                    partition,
+                    detail: e.to_string(),
+                })
+            }
+            Err(e) => return Err(RuntimeError::StoreUnavailable { detail: e.to_string() }),
+        };
+        if bytes.len() < FRAMING_BYTES {
+            self.stats.verify_failures += 1;
+            return Err(RuntimeError::BitstreamCorrupt {
+                region,
+                partition,
+                detail: format!("{} bytes is shorter than the framing alone", bytes.len()),
+            });
+        }
+        let frames = ((bytes.len() - FRAMING_BYTES) / BYTES_PER_FRAME as usize) as u64;
+        let bs = PartialBitstream { region, partition, frames, data: Bytes::from(bytes) };
+        if let Err(detail) = bitstream::verify(&bs) {
+            // Unreachable when the manifest digest matched (the flow only
+            // commits verified artifacts), but the serve-path invariant
+            // does not rest on that assumption.
+            self.stats.verify_failures += 1;
+            return Err(RuntimeError::BitstreamCorrupt { region, partition, detail });
+        }
+        self.stats.reloads += 1;
+        Ok(bs)
+    }
+
+    /// Fault-injection hook: flips one bit of the cached copy for
+    /// `(region, partition)`. Returns `false` if nothing is cached there
+    /// or `byte` is out of range. The next [`fetch`](Self::fetch) must
+    /// detect the damage and recover from the store.
+    pub fn corrupt_cached(&mut self, region: usize, partition: usize, byte: usize) -> bool {
+        match self.payloads.get_mut(&(region, partition)) {
+            Some(bs) if byte < bs.data.len() => {
+                let mut v = bs.data.to_vec();
+                v[byte] ^= 0x01;
+                bs.data = Bytes::from(v);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A configuration manager that only ever feeds the ICAP bitstreams the
+/// [`VerifiedBitstreamLoader`] has verified end to end: digest-checked
+/// against the flow's manifest and structurally verified at serve time.
+#[derive(Debug)]
+pub struct StoreBackedManager {
+    loader: VerifiedBitstreamLoader,
+    icap: IcapController,
+    max_attempts: u32,
+    requests: usize,
+    total_time: Duration,
+}
+
+impl StoreBackedManager {
+    /// Couples a loader to a port controller. Port-level CRC rejections
+    /// are retried up to 3 times by default.
+    pub fn new(loader: VerifiedBitstreamLoader, icap: IcapController) -> Self {
+        StoreBackedManager {
+            loader,
+            icap,
+            max_attempts: 3,
+            requests: 0,
+            total_time: Duration::ZERO,
+        }
+    }
+
+    /// Overrides the per-load port retry bound (clamped to at least 1).
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// The loader.
+    pub fn loader(&self) -> &VerifiedBitstreamLoader {
+        &self.loader
+    }
+
+    /// The loader (mutable — for fault-injection hooks in tests).
+    pub fn loader_mut(&mut self) -> &mut VerifiedBitstreamLoader {
+        &mut self.loader
+    }
+
+    /// The port controller's statistics.
+    pub fn icap_stats(&self) -> crate::icap::IcapStats {
+        self.icap.stats()
+    }
+
+    /// Total simulated port time across all completed loads.
+    pub fn total_time(&self) -> Duration {
+        self.total_time
+    }
+
+    /// Loads `partition` into `region`: fetches the verified bitstream,
+    /// then drives the port, retrying port-level CRC rejections up to
+    /// the attempt bound. The port is not touched at all unless the
+    /// bitstream verified — an integrity failure costs zero port time.
+    pub fn load(&mut self, region: usize, partition: usize) -> Result<Duration, RuntimeError> {
+        let request = self.requests;
+        self.requests += 1;
+        let frames = self.loader.fetch(region, partition)?.frames;
+        let mut elapsed = Duration::ZERO;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.icap.try_load_frames(region, frames) {
+                Ok(ok) => {
+                    elapsed += ok.time;
+                    self.total_time += elapsed;
+                    return Ok(elapsed);
+                }
+                Err(fault) => {
+                    elapsed += fault.wasted;
+                    if attempt >= self.max_attempts {
+                        self.total_time += elapsed;
+                        return Err(RuntimeError::RegionFault {
+                            config: request,
+                            region,
+                            attempts: attempt,
+                            elapsed,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_arch::DeviceLibrary;
+    use prpart_design::corpus;
+    use prpart_flow::FlowPipeline;
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("prpart-loader-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Runs the flow through a store at `dir` and returns the store dir.
+    fn populated_store(tag: &str) -> std::path::PathBuf {
+        let dir = store_dir(tag);
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("LX30").unwrap().clone();
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        FlowPipeline::new(device)
+            .run_with_store(corpus::abc_example(), &mut store)
+            .expect("flow through store succeeds");
+        dir
+    }
+
+    #[test]
+    fn serves_every_manifest_pair_and_hits_cache_on_reuse() {
+        let dir = populated_store("serve");
+        let mut loader = VerifiedBitstreamLoader::open(&dir, u64::MAX).unwrap();
+        let pairs = loader.available();
+        assert!(!pairs.is_empty());
+        for &(r, p) in &pairs {
+            let bs = loader.fetch(r, p).unwrap();
+            assert_eq!((bs.region, bs.partition), (r, p));
+            bitstream::verify(bs).unwrap();
+        }
+        let cold = loader.stats();
+        assert_eq!(cold.reloads, pairs.len() as u64);
+        assert_eq!(cold.cache_hits, 0);
+        for &(r, p) in &pairs {
+            loader.fetch(r, p).unwrap();
+        }
+        let warm = loader.stats();
+        assert_eq!(warm.cache_hits, pairs.len() as u64);
+        assert_eq!(warm.reloads, cold.reloads, "warm serves touch no storage");
+        assert_eq!(warm.verify_failures, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_is_evicted_and_reloaded_from_store() {
+        let dir = populated_store("cachebit");
+        let mut loader = VerifiedBitstreamLoader::open(&dir, u64::MAX).unwrap();
+        let (r, p) = loader.available()[0];
+        let clean = loader.fetch(r, p).unwrap().data.to_vec();
+        assert!(loader.corrupt_cached(r, p, clean.len() / 2));
+        let healed = loader.fetch(r, p).unwrap();
+        assert_eq!(healed.data.to_vec(), clean, "reload restores the exact bytes");
+        let s = loader.stats();
+        assert_eq!(s.verify_failures, 1, "the corruption was caught");
+        assert_eq!(s.reloads, 2, "cold load plus one recovery reload");
+        assert_eq!(s.quarantined, 0, "the store copy was never corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_copy_is_quarantined_and_reported_typed() {
+        let dir = populated_store("storebit");
+        let mut loader = VerifiedBitstreamLoader::open(&dir, u64::MAX).unwrap();
+        let (r, p) = loader.available()[0];
+        // Corrupt the store copy before anything is cached.
+        let path = dir.join(store::partial_name(r, p));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = loader.fetch(r, p).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::BitstreamUnavailable { region, partition, .. }
+                if region == r && partition == p),
+            "{err}"
+        );
+        assert_eq!(loader.stats().quarantined, 1);
+        assert_eq!(loader.stats().served, 0, "nothing unverified was served");
+        assert!(!path.exists(), "the bad file was moved to quarantine");
+        // Other pairs are unaffected.
+        if let Some(&(r2, p2)) = loader.available().iter().find(|&&k| k != (r, p)) {
+            loader.fetch(r2, p2).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_pair_is_a_typed_miss() {
+        let dir = populated_store("miss");
+        let mut loader = VerifiedBitstreamLoader::open(&dir, u64::MAX).unwrap();
+        let err = loader.fetch(999, 999).unwrap_err();
+        assert!(matches!(err, RuntimeError::BitstreamUnavailable { region: 999, .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_store_is_refused() {
+        let dir = store_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = VerifiedBitstreamLoader::open(&dir, u64::MAX).unwrap_err();
+        assert!(matches!(err, RuntimeError::StoreUnavailable { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manager_never_drives_the_port_with_an_unverified_bitstream() {
+        let dir = populated_store("manager");
+        let loader = VerifiedBitstreamLoader::open(&dir, u64::MAX).unwrap();
+        let mut mgr = StoreBackedManager::new(loader, IcapController::default());
+        let (r, p) = mgr.loader().available()[0];
+        let t = mgr.load(r, p).unwrap();
+        assert!(t > Duration::ZERO);
+        let clean_port = mgr.icap_stats();
+        assert_eq!(clean_port.transfers, 1);
+        // Corrupt the cached copy: the next load must fail *before* the
+        // port sees a single frame.
+        let len = mgr.loader_mut().fetch(r, p).unwrap().data.len();
+        assert!(mgr.loader_mut().corrupt_cached(r, p, len / 3));
+        // Also corrupt the store copy so recovery has nowhere to go.
+        let path = dir.join(store::partial_name(r, p));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x04; // header damage: digest check rejects it
+        std::fs::write(&path, &bytes).unwrap();
+        let err = mgr.load(r, p).unwrap_err();
+        assert!(matches!(err, RuntimeError::BitstreamUnavailable { .. }), "{err}");
+        assert_eq!(
+            mgr.icap_stats(),
+            clean_port,
+            "integrity failure cost zero port time and zero frames"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

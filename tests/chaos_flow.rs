@@ -1,0 +1,211 @@
+//! Chaos harness for the transactional artifact store
+//! (`docs/artifact_store.md`).
+//!
+//! Three invariants are asserted under seeded storage and stage chaos:
+//!
+//! 1. **Kill-resume determinism** — a flow killed at *any* write
+//!    boundary and rerun converges to artifacts byte-identical to an
+//!    uninterrupted run.
+//! 2. **The manifest is never torn** — whenever a manifest file exists
+//!    on disk it parses clean (header, CRC, fingerprint all intact).
+//! 3. **Nothing unverified is ever served** — every bitstream the store
+//!    or the runtime loader hands out passes `bitstream::verify`; a
+//!    flow under chaos either ends in certified artifacts or a typed
+//!    error, never a panic and never silent corruption.
+
+use prpart::arch::DeviceLibrary;
+use prpart::design::corpus;
+use prpart::flow::bitstream;
+use prpart::flow::{ArtifactStore, FlowError, FlowPipeline, Manifest, StoreFaultModel};
+use prpart::runtime::{RuntimeError, VerifiedBitstreamLoader};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn chaos_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("prpart-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn pipeline() -> FlowPipeline {
+    let lib = DeviceLibrary::virtex5();
+    FlowPipeline::new(lib.by_name("LX30").unwrap().clone()).with_threads(1)
+}
+
+/// Every committed top-level file of a store, for byte-for-byte diffs.
+/// The quarantine directory is deliberately excluded: quarantined debris
+/// is allowed to differ, committed artifacts are not.
+fn store_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap().flatten() {
+        if entry.file_type().unwrap().is_file() {
+            out.insert(
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            );
+        }
+    }
+    out
+}
+
+/// Invariant 2: if a manifest file exists at all, it parses clean.
+fn assert_manifest_not_torn(dir: &Path) {
+    let path = dir.join("manifest");
+    if let Ok(bytes) = std::fs::read(&path) {
+        let text = String::from_utf8(bytes).expect("manifest is UTF-8");
+        Manifest::parse(&text).expect("on-disk manifest always parses: commits are atomic");
+    }
+}
+
+/// Invariant 3 for a committed store: every listed partial re-reads
+/// clean and passes structural verification.
+fn assert_store_certified(dir: &Path) {
+    let mut store = ArtifactStore::open(dir).unwrap();
+    let manifest = store.load_manifest().unwrap().expect("store is committed");
+    for (name, entry) in manifest.entries.clone() {
+        let bytes = store.read_verified(&name, &entry).expect("committed artifact re-reads clean");
+        assert_eq!(bytes.len() as u64, entry.len);
+    }
+    let mut loader = VerifiedBitstreamLoader::open(dir, u64::MAX).unwrap();
+    for (r, p) in loader.available() {
+        let bs = loader.fetch(r, p).expect("committed bitstream serves");
+        bitstream::verify(bs).expect("served bitstream verifies");
+    }
+}
+
+/// A clean reference store: the uninterrupted flow over `abc_example`.
+fn reference_store(tag: &str) -> (PathBuf, BTreeMap<String, Vec<u8>>, u64) {
+    let dir = chaos_dir(tag);
+    let mut store = ArtifactStore::open(&dir).unwrap();
+    pipeline().run_with_store(corpus::abc_example(), &mut store).unwrap();
+    let writes = store.stats().writes;
+    let bytes = store_bytes(&dir);
+    (dir, bytes, writes)
+}
+
+#[test]
+fn killed_at_every_write_boundary_resumes_byte_identical() {
+    let (clean_dir, clean, writes) = reference_store("kill-ref");
+    assert!(writes >= 2, "the flow writes artifacts plus a manifest");
+
+    // Kill the flow at every single write boundary: the k-th write tears
+    // (temp file written, rename skipped — the state a SIGKILL between
+    // write and rename leaves behind) and the process "dies" with a
+    // typed error. A fault-free rerun must converge to the reference.
+    for k in 1..=writes {
+        let dir = chaos_dir(&format!("kill-{k}"));
+        let mut store = ArtifactStore::open(&dir)
+            .unwrap()
+            .with_faults(StoreFaultModel::none().with_crash_after(k));
+        let err = pipeline().run_with_store(corpus::abc_example(), &mut store).unwrap_err();
+        assert!(matches!(err, FlowError::Store(_)), "crash surfaces typed: {err}");
+        assert_manifest_not_torn(&dir);
+
+        // "Restart the process": a fresh, fault-free store over the same
+        // directory. Stray temp files are swept on open.
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        pipeline().run_with_store(corpus::abc_example(), &mut store).unwrap();
+        assert_eq!(
+            store_bytes(&dir),
+            clean,
+            "kill after write {k}/{writes}: resumed store must be byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}
+
+#[test]
+fn seeded_storage_chaos_converges_to_certified_artifacts() {
+    let (clean_dir, clean, _) = reference_store("chaos-ref");
+
+    for seed in [3u64, 17, 99] {
+        let dir = chaos_dir(&format!("storm-{seed}"));
+        let mut converged = false;
+        for attempt in 0..20u64 {
+            // Torn writes, truncations, bit flips, missing files at a
+            // high rate, plus transient stage failures. The seed varies
+            // per attempt so retries explore different fault patterns.
+            let faults = StoreFaultModel::seeded(0.55, seed.wrapping_mul(1000) + attempt)
+                .with_stage_rate(0.3);
+            let mut store = ArtifactStore::open(&dir).unwrap().with_faults(faults);
+            match pipeline().run_with_store(corpus::abc_example(), &mut store) {
+                Ok(artifacts) => {
+                    // Invariant 3: nothing unverified is served.
+                    for bs in &artifacts.partial_bitstreams {
+                        bitstream::verify(bs).unwrap();
+                    }
+                    converged = true;
+                    break;
+                }
+                Err(e) => {
+                    // Invariant: failures under chaos are typed store
+                    // errors, never panics or silent half-results.
+                    assert!(matches!(e, FlowError::Store(_) | FlowError::Io { .. }), "{e}");
+                }
+            }
+            // Invariant 2 holds after every failed attempt.
+            assert_manifest_not_torn(&dir);
+        }
+        assert!(converged, "seed {seed}: bounded retries under chaos must converge");
+        assert_manifest_not_torn(&dir);
+        assert_store_certified(&dir);
+        assert_eq!(
+            store_bytes(&dir),
+            clean,
+            "seed {seed}: chaos-built store is byte-identical to the clean one"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}
+
+#[test]
+fn runtime_serve_loop_under_cache_chaos_never_serves_unverified() {
+    let (dir, _, _) = reference_store("serve");
+    let mut loader = VerifiedBitstreamLoader::open(&dir, u64::MAX).unwrap();
+    let pairs = loader.available();
+    assert!(!pairs.is_empty());
+
+    // SplitMix64, same generator the fault models use.
+    let mut state = 0xDEADu64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    for _ in 0..200 {
+        let (r, p) = pairs[(next() % pairs.len() as u64) as usize];
+        if next() % 3 == 0 {
+            // Upset a cached copy (ignored if the pair isn't cached yet).
+            let _ = loader.corrupt_cached(r, p, (next() % 64) as usize);
+        }
+        match loader.fetch(r, p) {
+            Ok(bs) => bitstream::verify(bs).expect("served bitstream always verifies"),
+            Err(e) => panic!("store copies are pristine, recovery must succeed: {e}"),
+        }
+    }
+    let s = loader.stats();
+    assert!(s.verify_failures > 0, "the chaos loop injected real corruption");
+    assert_eq!(s.quarantined, 0, "store copies stayed pristine");
+    assert_eq!(s.served, 200);
+
+    // Now corrupt a store copy as well: the loader must answer with a
+    // typed error — the invariant is "verified or refused", never "bad
+    // bytes served".
+    let (r, p) = pairs[0];
+    let path = dir.join(format!("rr{}_p{}.bit", r + 1, p));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let len = loader.fetch(r, p).unwrap().data.len();
+    assert!(loader.corrupt_cached(r, p, len - 1));
+    let err = loader.fetch(r, p).unwrap_err();
+    assert!(matches!(err, RuntimeError::BitstreamUnavailable { .. }), "{err}");
+    assert_eq!(loader.stats().quarantined, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -222,3 +222,116 @@ fn scrub_repairs_persistent_faults_end_to_end() {
     assert!(!mgr.is_degraded());
     assert_eq!(mgr.icap().stats().scrubs, t.scrubs);
 }
+
+// ---------------------------------------------------------------------
+// Store-integrity extensions: end-to-end bitstream integrity between
+// the flow's transactional artifact store and the runtime loader (see
+// docs/artifact_store.md).
+
+mod store_integrity {
+    use prpart::arch::DeviceLibrary;
+    use prpart::design::corpus;
+    use prpart::flow::store::{digest64, partial_name};
+    use prpart::flow::{ArtifactStore, FlowPipeline};
+    use prpart::runtime::VerifiedBitstreamLoader;
+    use std::path::PathBuf;
+
+    fn store_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("prpart-ft-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn committed_store(tag: &str) -> PathBuf {
+        let dir = store_dir(tag);
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("LX30").unwrap().clone();
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        FlowPipeline::new(device)
+            .with_threads(1)
+            .run_with_store(corpus::abc_example(), &mut store)
+            .unwrap();
+        dir
+    }
+
+    /// The content digest round-trips through the store: what was
+    /// written is what is read, digest and all.
+    #[test]
+    fn digest_round_trips_through_write_and_read() {
+        let dir = store_dir("digest");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let payload = b"digest round trip payload".to_vec();
+        let entry =
+            store.write_verified("x.bit", prpart::flow::ArtifactKind::Partial, &payload).unwrap();
+        assert_eq!(entry.digest, digest64(&payload));
+        assert_eq!(entry.len, payload.len() as u64);
+        let back = store.read_verified("x.bit", &entry).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(digest64(&back), entry.digest);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A single flipped bit anywhere in a stored artifact is rejected
+    /// on read and the file is quarantined.
+    #[test]
+    fn single_bit_flip_is_rejected_on_read() {
+        let dir = store_dir("bitflip");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let payload = vec![0xA5u8; 400];
+        let entry =
+            store.write_verified("y.bit", prpart::flow::ArtifactKind::Partial, &payload).unwrap();
+        let path = store.path_of("y.bit");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[123] ^= 0x01; // one bit
+        std::fs::write(&path, &bytes).unwrap();
+        let err = store.read_verified("y.bit", &entry).unwrap_err();
+        assert!(err.to_string().contains("y.bit"), "{err}");
+        assert!(!path.exists(), "corrupt file quarantined, not served");
+        assert_eq!(store.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A truncated artifact (torn tail) is rejected on read.
+    #[test]
+    fn truncated_artifact_is_rejected_on_read() {
+        let dir = store_dir("trunc");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        let payload = vec![0x5Au8; 400];
+        let entry =
+            store.write_verified("z.bit", prpart::flow::ArtifactKind::Partial, &payload).unwrap();
+        let path = store.path_of("z.bit");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(store.read_verified("z.bit", &entry).is_err());
+        assert!(!path.exists(), "truncated file quarantined");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A corrupt in-memory cache entry is evicted and transparently
+    /// reloaded from the digest-guarded store — the LRU bookkeeping
+    /// reflects the eviction and the served bytes are the originals.
+    #[test]
+    fn cache_eviction_and_reload_on_corrupt_entry() {
+        let dir = committed_store("evict");
+        let mut loader = VerifiedBitstreamLoader::open(&dir, u64::MAX).unwrap();
+        let (r, p) = loader.available()[0];
+        let clean = loader.fetch(r, p).unwrap().data.to_vec();
+        let used_before = loader.cache().used();
+        assert!(used_before > 0);
+
+        // Flip a bit that structural verification covers (the CRC
+        // trailer), then fetch again: evict + reload, byte-identical.
+        assert!(loader.corrupt_cached(r, p, clean.len() - 1));
+        let healed = loader.fetch(r, p).unwrap().data.to_vec();
+        assert_eq!(healed, clean);
+        assert_eq!(loader.cache().used(), used_before, "reload reinstates the entry");
+        let s = loader.stats();
+        assert_eq!(s.verify_failures, 1);
+        assert_eq!(s.reloads, 2);
+        assert_eq!(s.quarantined, 0, "the store copy was never touched");
+        // The store copy on disk is still the committed one.
+        let on_disk = std::fs::read(dir.join(partial_name(r, p))).unwrap();
+        assert_eq!(on_disk, clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
