@@ -87,6 +87,11 @@ pub enum Location {
         /// Artifact file name inside the store.
         name: String,
     },
+    /// One metric of an observability registry, by registered name.
+    Metric {
+        /// Registered metric name.
+        name: String,
+    },
 }
 
 impl fmt::Display for Location {
@@ -107,6 +112,7 @@ impl fmt::Display for Location {
             Location::Partition { index } => write!(f, "partition {index}"),
             Location::Metrics => write!(f, "claimed metrics"),
             Location::Artifact { name } => write!(f, "artifact {name}"),
+            Location::Metric { name } => write!(f, "metric {name}"),
         }
     }
 }
@@ -147,6 +153,9 @@ impl Location {
             Location::Metrics => r#"{"kind":"metrics"}"#.to_string(),
             Location::Artifact { name } => {
                 format!(r#"{{"kind":"artifact","name":{}}}"#, json_string(name))
+            }
+            Location::Metric { name } => {
+                format!(r#"{{"kind":"metric","name":{}}}"#, json_string(name))
             }
         }
     }

@@ -30,7 +30,10 @@ pub mod lint;
 
 pub use check::{Certificate, CheckReport, ProofChecker};
 pub use diagnostics::{Diagnostic, Location, Severity};
-pub use lint::{lint_design, lint_store_manifest, rules, LintOptions, LintReport, LintRule};
+pub use lint::{
+    lint_design, lint_metric_registrations, lint_store_manifest, rules, LintOptions, LintReport,
+    LintRule,
+};
 
 use prpart_core::AuditorHandle;
 

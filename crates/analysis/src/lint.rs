@@ -22,12 +22,16 @@
 //! | PL009 | warning | zero-resource mode |
 //! | PL010 | warning | single configuration (nothing ever reconfigures) |
 //! | PL011 | error | store manifest inconsistent with the certified scheme |
+//! | PL012 | error | metric name registered more than once (kind or bound conflict) |
 //!
-//! PL011 is special: its subject is a flow-store manifest, not the design
-//! document, so [`lint_design`] never fires it. The flow calls the
-//! dedicated [`lint_store_manifest`] entry point with the (region,
-//! partition) pairs the certified scheme demands and the pairs the
-//! manifest actually lists.
+//! PL011 and PL012 are special: their subjects are a flow-store manifest
+//! and an observability registry respectively, not the design document,
+//! so [`lint_design`] never fires them. The flow calls the dedicated
+//! [`lint_store_manifest`] entry point with the (region, partition)
+//! pairs the certified scheme demands and the pairs the manifest
+//! actually lists; the CLI's metrics export calls
+//! [`lint_metric_registrations`] with the registration counts of a
+//! metrics snapshot.
 
 use crate::diagnostics::{json_array, json_string, Diagnostic, Location, Severity};
 use prpart_arch::{Resources, TileCounts};
@@ -188,12 +192,22 @@ pub fn rules() -> &'static [LintRule] {
                       certified scheme (missing or extra (region, partition) bitstreams)",
             check: check_nothing, // design-independent; see lint_store_manifest
         },
+        LintRule {
+            id: "PL012",
+            name: "duplicate-metric-registration",
+            severity: Severity::Error,
+            summary: "a metric name was registered more than once with conflicting parameters \
+                      (kind or histogram bounds): updates silently land on the first \
+                      registration and the snapshot misrepresents the rest",
+            check: check_nothing, // design-independent; see lint_metric_registrations
+        },
     ];
     RULES
 }
 
-/// PL011 anchors to store manifests, not designs, so its design check is
-/// empty; [`lint_store_manifest`] is its real entry point.
+/// PL011 and PL012 anchor to store manifests and metric registries, not
+/// designs, so their design checks are empty; [`lint_store_manifest`]
+/// and [`lint_metric_registrations`] are their real entry points.
 fn check_nothing(_ctx: &LintCtx<'_>, _out: &mut Vec<Diagnostic>) {}
 
 /// Looks up a rule by ID.
@@ -251,6 +265,30 @@ pub fn lint_store_manifest(
         );
     }
     LintReport { design: design.to_string(), diagnostics }
+}
+
+/// Runs PL012 over an observability registry's registration table:
+/// `registrations` pairs each metric name with the number of *distinct*
+/// registrations the registry recorded for it (a benign re-acquire with
+/// identical parameters does not count). Exactly one registration per
+/// name is healthy; anything higher means two call sites disagree on the
+/// metric's kind or histogram bounds, so one of them is silently
+/// misreported. Takes plain data so instrumented crates need not depend
+/// on the analysis crate (the PL011 pattern).
+pub fn lint_metric_registrations(subject: &str, registrations: &[(String, u64)]) -> LintReport {
+    let mut diagnostics = Vec::new();
+    for (name, count) in registrations.iter().filter(|(_, count)| *count != 1) {
+        push(
+            &mut diagnostics,
+            "PL012",
+            Location::Metric { name: name.clone() },
+            format!(
+                "registered {count} times with conflicting parameters; every call site must \
+                 agree on one kind and one set of histogram bounds"
+            ),
+        );
+    }
+    LintReport { design: subject.to_string(), diagnostics }
 }
 
 /// The linter's output: every finding, in rule order.
@@ -518,7 +556,7 @@ mod tests {
     #[test]
     fn registry_is_sorted_unique_and_self_describing() {
         let rs = rules();
-        assert_eq!(rs.len(), 11);
+        assert_eq!(rs.len(), 12);
         for w in rs.windows(2) {
             assert!(w[0].id < w[1].id, "{} !< {}", w[0].id, w[1].id);
         }
@@ -695,6 +733,29 @@ mod tests {
         let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
         let report = lint_design(&d, &LintOptions::default());
         assert!(!ids(&report).contains(&"PL011"));
+        assert!(!ids(&report).contains(&"PL012"));
+    }
+
+    #[test]
+    fn metric_registration_lint_flags_conflicts_only() {
+        let clean = lint_metric_registrations(
+            "metrics",
+            &[("search.states_evaluated".into(), 1), ("flow.retries".into(), 1)],
+        );
+        assert!(clean.diagnostics.is_empty(), "{}", clean.render_text());
+        let report = lint_metric_registrations(
+            "metrics",
+            &[("search.states_evaluated".into(), 1), ("search.unit.nanos".into(), 3)],
+        );
+        assert!(report.has_errors());
+        assert_eq!(report.count(Severity::Error), 1);
+        assert_eq!(
+            report.diagnostics[0].location,
+            Location::Metric { name: "search.unit.nanos".into() }
+        );
+        let text = report.render_text();
+        assert!(text.contains("error[PL012] metric search.unit.nanos"), "{text}");
+        assert!(text.contains("registered 3 times"), "{text}");
     }
 
     #[test]

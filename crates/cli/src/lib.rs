@@ -30,7 +30,8 @@ use prpart_flow::{ArtifactStore, FlowPipeline, StoreFaultModel};
 
 pub use prpart_core::CancelToken;
 
-use prpart_runtime::{run_monte_carlo, MonteCarloConfig, RecoveryPolicy};
+use prpart_obs::ObsHandle;
+use prpart_runtime::{run_monte_carlo, run_monte_carlo_observed, MonteCarloConfig, RecoveryPolicy};
 use prpart_synth::{generate_corpus, GeneratorConfig};
 use std::fmt::Write as _;
 
@@ -80,6 +81,8 @@ pub enum Command {
         threads: usize,
         /// Budget / checkpoint / resume flags.
         resilience: ResilienceArgs,
+        /// Metrics / span-profile export flags.
+        obs: ObsArgs,
     },
     /// `prpart flow <design> --device NAME [--out DIR] [--store DIR]`.
     Flow {
@@ -100,6 +103,8 @@ pub enum Command {
         threads: usize,
         /// Wall-clock deadline for the partitioning search, in seconds.
         deadline_secs: Option<f64>,
+        /// Metrics / span-profile export flags.
+        obs: ObsArgs,
     },
     /// `prpart devices [--library FILE] [--full]`.
     Devices {
@@ -143,6 +148,22 @@ pub enum Command {
         safe_config: Option<String>,
         /// Search worker threads (0 = one per core).
         threads: usize,
+        /// Metrics / span-profile export flags (`--flame-out` here,
+        /// since `--profile-out` already means transition weights).
+        obs: ObsArgs,
+    },
+    /// `prpart metrics <design> (--device NAME | --budget ...)
+    /// [--format prom] [--threads N]`: partition with instrumentation on
+    /// and print the metrics snapshot to stdout.
+    Metrics {
+        /// Design XML path.
+        design: String,
+        /// Target device or budget.
+        target: Target,
+        /// Search worker threads (0 = one per core).
+        threads: usize,
+        /// Emit Prometheus text format instead of versioned JSON.
+        prom: bool,
     },
     /// `prpart info <design.xml>`.
     Info {
@@ -260,6 +281,99 @@ impl ResilienceArgs {
     }
 }
 
+/// Observability flags shared by `partition`, `flow` and `simulate`.
+/// All default to off, which keeps every instrumented path disabled and
+/// the command output byte-identical to the pre-observability CLI.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsArgs {
+    /// `--metrics-out FILE` — write a metrics snapshot here after the
+    /// command finishes.
+    pub metrics_out: Option<String>,
+    /// `--format prom` — emit the snapshot in Prometheus text
+    /// exposition format instead of the default versioned JSON.
+    pub prom: bool,
+    /// `--profile-out FILE` (`--flame-out` on `simulate`, whose
+    /// `--profile-out` already means transition weights) — write the
+    /// collapsed-stack span profile here (flamegraph.pl input).
+    pub profile_out: Option<String>,
+}
+
+impl ObsArgs {
+    /// True when any observability output was requested, i.e. the
+    /// instrumentation must actually record.
+    fn active(&self) -> bool {
+        self.metrics_out.is_some() || self.profile_out.is_some()
+    }
+
+    /// The handle the command should instrument with: recording only
+    /// when an output was requested.
+    fn handle(&self) -> ObsHandle {
+        if self.active() {
+            ObsHandle::enabled()
+        } else {
+            ObsHandle::disabled()
+        }
+    }
+
+    /// Parses the shared flags; returns true when `flag` was consumed.
+    /// `--profile-out` is claimed by the caller on `simulate`, which
+    /// passes the collapsed-stack path under `--flame-out` instead.
+    fn parse_flag(
+        &mut self,
+        flag: &str,
+        it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+        profile_flag: &str,
+    ) -> Result<bool, CliError> {
+        let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+            it.next().cloned().ok_or(CliError { message: format!("{flag} needs a value") })
+        };
+        match flag {
+            "--metrics-out" => self.metrics_out = Some(value(it)?),
+            "--format" => {
+                self.prom = match value(it)?.as_str() {
+                    "json" => false,
+                    "prom" => true,
+                    other => return err(format!("unknown metrics format '{other}'")),
+                }
+            }
+            f if f == profile_flag => self.profile_out = Some(value(it)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Renders the metrics snapshot of `obs`, first gating it through the
+/// PL012 registration lint: a kind or bucket-bound conflict means the
+/// numbers are silently wrong, so the export fails instead of lying.
+fn render_metrics(obs: &ObsHandle, prom: bool) -> Result<String, CliError> {
+    let snapshot = obs.snapshot();
+    let registrations: Vec<(String, u64)> =
+        snapshot.registrations.iter().map(|(name, r)| (name.clone(), r.registrations)).collect();
+    let report = prpart_analysis::lint_metric_registrations("metrics", &registrations);
+    if report.has_errors() {
+        return Err(CliError { message: report.render_text() });
+    }
+    Ok(if prom { snapshot.to_prometheus() } else { snapshot.to_json() })
+}
+
+/// Writes the requested observability outputs and notes them in the
+/// command summary. A no-op with inactive [`ObsArgs`].
+fn write_obs_outputs(obs: &ObsHandle, args: &ObsArgs, out: &mut String) -> Result<(), CliError> {
+    if let Some(path) = &args.metrics_out {
+        let text = render_metrics(obs, args.prom)?;
+        std::fs::write(path, text)
+            .map_err(|e| CliError { message: format!("cannot write {path}: {e}") })?;
+        let _ = writeln!(out, "metrics written to {path}");
+    }
+    if let Some(path) = &args.profile_out {
+        std::fs::write(path, obs.collapsed_profile())
+            .map_err(|e| CliError { message: format!("cannot write {path}: {e}") })?;
+        let _ = writeln!(out, "span profile written to {path}");
+    }
+    Ok(())
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 prpart — automated partitioning for partial reconfiguration (Vipin & Fahmy, IPDPSW 2013)
@@ -271,15 +385,20 @@ USAGE:
                    [--weights FILE] [--threads N]
                    [--deadline SECS] [--max-states N] [--max-units N]
                    [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+                   [--metrics-out FILE] [--format json|prom] [--profile-out FILE]
   prpart flow <design.xml> --device NAME (--out DIR | --store DIR)
               [--store-fault-rate R] [--store-fault-seed S]
               [--threads N] [--deadline SECS]
+              [--metrics-out FILE] [--format json|prom] [--profile-out FILE]
   prpart devices [--library FILE] [--full]
   prpart generate [--count N] [--seed S] --out DIR
   prpart simulate <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
                   [--walks N] [--len L] [--profile-out FILE]
                   [--fault-rate R] [--fault-seed S] [--max-retries K]
                   [--safe-config NAME] [--threads N]
+                  [--metrics-out FILE] [--format json|prom] [--flame-out FILE]
+  prpart metrics <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
+                 [--format json|prom] [--threads N]
   prpart report <design.xml> <scheme.xml> [--simulate]
   prpart pareto <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
                 [--threads N]
@@ -314,6 +433,18 @@ reruns to byte-identical artifacts, reusing everything already
 committed and quarantining (then regenerating) anything corrupt.
 `--store-fault-rate R` / `--store-fault-seed S` inject seeded storage
 faults to exercise that recovery path. See docs/artifact_store.md.
+
+`--metrics-out FILE` writes a metrics snapshot (search counters, stage
+span timings, runtime reliability) after the command; `--format prom`
+switches it from versioned JSON to Prometheus text format.
+`--profile-out FILE` (on `simulate`: `--flame-out FILE`, since its
+`--profile-out` already means transition weights) writes the
+collapsed-stack span profile flamegraph.pl understands. With none of
+these flags the instrumentation is disabled and the output is
+byte-identical to not having it. `prpart metrics` partitions with
+instrumentation on and prints the snapshot to stdout. Every export is
+gated by lint rule PL012 (each metric name registered exactly once).
+See docs/observability.md.
 ";
 
 fn parse_budget(s: &str) -> Result<Resources, CliError> {
@@ -364,7 +495,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut weights = None;
             let mut threads = 0usize;
             let mut resilience = ResilienceArgs::default();
+            let mut obs = ObsArgs::default();
             while let Some(a) = it.next() {
+                if obs.parse_flag(a.as_str(), &mut it, "--profile-out")? {
+                    continue;
+                }
                 match a.as_str() {
                     "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
                     "--budget" => {
@@ -447,6 +582,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 weights,
                 threads,
                 resilience,
+                obs,
             })
         }
         "flow" => {
@@ -458,7 +594,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut store_fault_seed = 1u64;
             let mut threads = 0usize;
             let mut deadline_secs = None;
+            let mut obs = ObsArgs::default();
             while let Some(a) = it.next() {
+                if obs.parse_flag(a.as_str(), &mut it, "--profile-out")? {
+                    continue;
+                }
                 match a.as_str() {
                     "--device" => device = Some(flag_value("--device", &mut it)?),
                     "--out" => out = Some(flag_value("--out", &mut it)?),
@@ -508,6 +648,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         store_fault_seed,
                         threads,
                         deadline_secs,
+                        obs,
                     })
                 }
                 _ => err("flow: need <design.xml> --device NAME and --out DIR and/or --store DIR"),
@@ -547,7 +688,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut max_retries = None;
             let mut safe_config = None;
             let mut threads = 0usize;
+            let mut obs = ObsArgs::default();
             while let Some(a) = it.next() {
+                if obs.parse_flag(a.as_str(), &mut it, "--flame-out")? {
+                    continue;
+                }
                 match a.as_str() {
                     "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
                     "--budget" => {
@@ -610,7 +755,42 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 max_retries,
                 safe_config,
                 threads,
+                obs,
             })
+        }
+        "metrics" => {
+            let mut design = None;
+            let mut target = None;
+            let mut threads = 0usize;
+            let mut prom = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
+                    "--budget" => {
+                        target =
+                            Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
+                    }
+                    "--format" => {
+                        prom = match flag_value("--format", &mut it)?.as_str() {
+                            "json" => false,
+                            "prom" => true,
+                            other => return err(format!("unknown metrics format '{other}'")),
+                        }
+                    }
+                    "--threads" => {
+                        threads = flag_value("--threads", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--threads needs a number".into() })?
+                    }
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            let Some(design) = design else { return err("metrics: missing <design.xml>") };
+            let Some(target) = target else {
+                return err("metrics: choose --device or --budget");
+            };
+            Ok(Command::Metrics { design, target, threads, prom })
         }
         "info" => match it.next() {
             Some(design) if !design.starts_with('-') => {
@@ -915,6 +1095,7 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
             weights,
             threads,
             resilience,
+            obs,
         } => {
             let library = load_library(&library, false)?;
             let design = load_design(&design)?;
@@ -929,9 +1110,11 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
                     )
                 }
             };
+            let obs_handle = obs.handle();
             let make = |budget: Resources| {
                 let mut p = Partitioner::new(budget)
                     .with_threads(threads)
+                    .with_obs(obs_handle.clone())
                     .with_search_budget(resilience.budget(cancel.clone()));
                 if let Some(config) = resilience.checkpoint_config() {
                     p = p.with_checkpoint(config);
@@ -1004,6 +1187,7 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
                     .map_err(|e| CliError { message: format!("cannot write {path}: {e}") })?;
                 let _ = writeln!(out, "report written to {path}");
             }
+            write_obs_outputs(&obs_handle, &obs, &mut out)?;
             Ok(out)
         }
         Command::Flow {
@@ -1015,6 +1199,7 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
             store_fault_seed,
             threads,
             deadline_secs,
+            obs,
         } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
@@ -1030,8 +1215,11 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
             if let Some(token) = cancel.clone() {
                 search_budget = search_budget.with_cancel(token);
             }
-            let pipeline =
-                FlowPipeline::new(device).with_threads(threads).with_search_budget(search_budget);
+            let obs_handle = obs.handle();
+            let pipeline = FlowPipeline::new(device)
+                .with_threads(threads)
+                .with_obs(obs_handle.clone())
+                .with_search_budget(search_budget);
             let mut store_summary = None;
             let artifacts = match &store {
                 Some(dir) => {
@@ -1098,6 +1286,7 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
             if let Some(out) = &out {
                 let _ = writeln!(summary, "artefacts in {out}/");
             }
+            write_obs_outputs(&obs_handle, &obs, &mut summary)?;
             summary.push_str(&artifacts.floorplan.render());
             summary.push('\n');
             Ok(summary)
@@ -1125,13 +1314,16 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
             max_retries,
             safe_config,
             threads,
+            obs,
         } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
             let budget =
                 budget_for(&target, &library)?.expect("simulate always has a concrete target");
+            let obs_handle = obs.handle();
             let best = Partitioner::new(budget)
                 .with_threads(threads)
+                .with_obs(obs_handle.clone())
                 .with_auditor(prpart_analysis::auditor(ProofChecker::new().with_budget(budget)))
                 .partition(&design)
                 .map_err(|e| CliError { message: e.to_string() })?
@@ -1152,7 +1344,7 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
                 policy.max_retries = k;
             }
             policy.safe_config = safe_idx;
-            let report = run_monte_carlo(
+            let report = run_monte_carlo_observed(
                 &best.scheme,
                 MonteCarloConfig {
                     walks,
@@ -1162,6 +1354,7 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
                     policy,
                     ..Default::default()
                 },
+                &obs_handle,
             );
             let mut out = String::new();
             let _ = writeln!(out, "{design}");
@@ -1207,6 +1400,25 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
                 )
                 .map_err(|e| CliError { message: format!("cannot write {path}: {e}") })?;
                 let _ = writeln!(out, "estimated transition weights written to {path}");
+            }
+            write_obs_outputs(&obs_handle, &obs, &mut out)?;
+            Ok(out)
+        }
+        Command::Metrics { design, target, threads, prom } => {
+            let library = load_library(&None, false)?;
+            let design = load_design(&design)?;
+            let budget =
+                budget_for(&target, &library)?.expect("metrics always has a concrete target");
+            let obs = ObsHandle::enabled();
+            Partitioner::new(budget)
+                .with_threads(threads)
+                .with_obs(obs.clone())
+                .with_auditor(prpart_analysis::auditor(ProofChecker::new().with_budget(budget)))
+                .partition(&design)
+                .map_err(|e| CliError { message: e.to_string() })?;
+            let mut out = render_metrics(&obs, prom)?;
+            if !out.ends_with('\n') {
+                out.push('\n');
             }
             Ok(out)
         }
@@ -1283,6 +1495,7 @@ mod tests {
             weights: None,
             threads: 1,
             resilience,
+            obs: Default::default(),
         };
 
         let full = run(base(ResilienceArgs::default())).unwrap();
@@ -1429,6 +1642,7 @@ mod tests {
             store_fault_seed: 1,
             threads: 1,
             deadline_secs: None,
+            obs: Default::default(),
         };
         let first = run(cmd()).unwrap();
         assert!(first.contains("store "), "{first}");
@@ -1482,6 +1696,7 @@ mod tests {
             weights: None,
             threads: 0,
             resilience: Default::default(),
+            obs: Default::default(),
         })
         .unwrap();
         assert!(out.contains("PRR1"), "{out}");
@@ -1498,6 +1713,7 @@ mod tests {
             max_retries: None,
             safe_config: None,
             threads: 0,
+            obs: Default::default(),
         })
         .unwrap();
         assert!(out.contains("monte-carlo"), "{out}");
@@ -1575,6 +1791,7 @@ mod tests {
             max_retries: Some(4),
             safe_config: Some(safe_name),
             threads: 0,
+            obs: Default::default(),
         })
         .unwrap();
         assert!(out.contains("reliability:"), "{out}");
@@ -1591,6 +1808,7 @@ mod tests {
             max_retries: None,
             safe_config: Some("no-such-config".into()),
             threads: 0,
+            obs: Default::default(),
         })
         .unwrap_err();
         assert!(err.to_string().contains("no-such-config"), "{err}");
@@ -1635,6 +1853,7 @@ mod tests {
             weights: Some(weights_path.to_string_lossy().into_owned()),
             threads: 0,
             resilience: Default::default(),
+            obs: Default::default(),
         })
         .unwrap();
         assert!(out.contains("PRR1"), "{out}");
@@ -1656,6 +1875,7 @@ mod tests {
             weights: Some(bad_path.to_string_lossy().into_owned()),
             threads: 0,
             resilience: Default::default(),
+            obs: Default::default(),
         })
         .unwrap_err();
         assert!(err.to_string().contains("weights cover"), "{err}");
@@ -1713,6 +1933,7 @@ mod tests {
             weights: None,
             threads: 0,
             resilience: Default::default(),
+            obs: Default::default(),
         })
         .unwrap();
         let out = run(Command::Report {
@@ -1823,6 +2044,7 @@ mod tests {
             weights: None,
             threads: 0,
             resilience: Default::default(),
+            obs: Default::default(),
         })
         .unwrap();
         let check = |scheme: &std::path::Path, budget: Option<Resources>| {
@@ -1889,6 +2111,168 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains(r#""certified":true"#), "{out}");
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let c = parse_args(&s(&[
+            "partition",
+            "d.xml",
+            "--auto",
+            "--metrics-out",
+            "m.json",
+            "--profile-out",
+            "p.txt",
+            "--format",
+            "prom",
+        ]))
+        .unwrap();
+        match c {
+            Command::Partition { obs, .. } => {
+                assert_eq!(obs.metrics_out.as_deref(), Some("m.json"));
+                assert_eq!(obs.profile_out.as_deref(), Some("p.txt"));
+                assert!(obs.prom);
+                assert!(obs.active());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults are off: no outputs, JSON format, inactive.
+        let c = parse_args(&s(&["flow", "d.xml", "--device", "X", "--out", "o"])).unwrap();
+        assert!(matches!(c, Command::Flow { ref obs, .. } if !obs.active() && !obs.prom));
+        // On simulate, --profile-out keeps its legacy meaning (transition
+        // weights); the span profile rides under --flame-out.
+        let c = parse_args(&s(&[
+            "simulate",
+            "d.xml",
+            "--device",
+            "X",
+            "--profile-out",
+            "w.xml",
+            "--flame-out",
+            "f.txt",
+        ]))
+        .unwrap();
+        match c {
+            Command::Simulate { profile_out, obs, .. } => {
+                assert_eq!(profile_out.as_deref(), Some("w.xml"));
+                assert_eq!(obs.profile_out.as_deref(), Some("f.txt"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The metrics subcommand.
+        let c = parse_args(&s(&["metrics", "d.xml", "--device", "X", "--format", "prom"])).unwrap();
+        assert!(matches!(c, Command::Metrics { prom: true, .. }));
+        let c = parse_args(&s(&["metrics", "d.xml", "--budget", "1,2,3"])).unwrap();
+        assert!(matches!(c, Command::Metrics { prom: false, .. }));
+        assert!(parse_args(&s(&["metrics", "d.xml"])).is_err(), "needs a target");
+        assert!(parse_args(&s(&["metrics", "--device", "X"])).is_err(), "needs a design");
+        // Unknown formats are clean parse errors.
+        assert!(parse_args(&s(&["partition", "d.xml", "--auto", "--format", "xml"])).is_err());
+        assert!(parse_args(&s(&["metrics", "d.xml", "--device", "X", "--format", "x"])).is_err());
+    }
+
+    #[test]
+    fn partition_exports_metrics_and_profile() {
+        let dir = std::env::temp_dir().join(format!("prpart-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::abc_example();
+        let design_path = dir.join("abc.xml");
+        std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
+        let metrics_path = dir.join("metrics.json");
+        let profile_path = dir.join("profile.folded");
+        let out = run(Command::Partition {
+            design: design_path.to_string_lossy().into_owned(),
+            target: Target::Budget(Resources::new(100_000, 1_000, 1_000)),
+            strategy: None,
+            no_static: false,
+            pessimistic: false,
+            xml_out: None,
+            library: None,
+            weights: None,
+            threads: 1,
+            resilience: Default::default(),
+            obs: ObsArgs {
+                metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+                prom: false,
+                profile_out: Some(profile_path.to_string_lossy().into_owned()),
+            },
+        })
+        .unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+        assert!(out.contains("span profile written to"), "{out}");
+        let json = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(json.contains(r#""version": 1"#), "{json}");
+        assert!(json.contains("search.candidate_sets_explored"), "{json}");
+        assert!(json.contains("search.greedy.states_evaluated"), "{json}");
+        // Every line of the collapsed profile is `path nanos`, rooted at
+        // the search span.
+        let profile = std::fs::read_to_string(&profile_path).unwrap();
+        assert!(profile.lines().any(|l| l.starts_with("search ")), "{profile}");
+        for line in profile.lines() {
+            let (_, nanos) = line.rsplit_once(' ').expect("path nanos");
+            nanos.parse::<u64>().expect("numeric nanos");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_command_prints_snapshot_in_both_formats() {
+        let dir = std::env::temp_dir().join(format!("prpart-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::abc_example();
+        let design_path = dir.join("abc.xml");
+        std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
+        let cmd = |prom| Command::Metrics {
+            design: design_path.to_string_lossy().into_owned(),
+            target: Target::Budget(Resources::new(100_000, 1_000, 1_000)),
+            threads: 1,
+            prom,
+        };
+        let json = run(cmd(false)).unwrap();
+        assert!(json.contains(r#""version": 1"#), "{json}");
+        assert!(json.contains(r#""registrations""#), "{json}");
+        let prom = run(cmd(true)).unwrap();
+        assert!(prom.contains("# TYPE prpart_search_candidate_sets_explored counter"), "{prom}");
+        assert!(prom.contains("prpart_search_unit_nanos_bucket"), "{prom}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_with_faults_exports_runtime_metrics() {
+        let dir = std::env::temp_dir().join(format!("prpart-cli-simobs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let design =
+            prpart_design::corpus::video_receiver(prpart_design::corpus::VideoConfigSet::Original);
+        let design_path = dir.join("video.xml");
+        std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
+        let metrics_path = dir.join("metrics.json");
+        let flame_path = dir.join("sim.folded");
+        let out = run(Command::Simulate {
+            design: design_path.to_string_lossy().into_owned(),
+            target: Target::Device("SX70T".into()),
+            walks: 4,
+            len: 16,
+            profile_out: None,
+            fault_rate: 0.2,
+            fault_seed: 42,
+            max_retries: Some(4),
+            safe_config: None,
+            threads: 1,
+            obs: ObsArgs {
+                metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+                prom: false,
+                profile_out: Some(flame_path.to_string_lossy().into_owned()),
+            },
+        })
+        .unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+        let json = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(json.contains("runtime.walks"), "{json}");
+        assert!(json.contains("runtime.faults.injected"), "{json}");
+        assert!(json.contains("runtime.recovery.retries_to_resolve"), "{json}");
+        let flame = std::fs::read_to_string(&flame_path).unwrap();
+        assert!(flame.lines().any(|l| l.starts_with("simulate ")), "{flame}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

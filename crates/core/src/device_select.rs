@@ -52,9 +52,13 @@ pub fn select_device(
     mut make_partitioner: impl FnMut(Resources) -> Partitioner,
 ) -> Result<DeviceChoice, PartitionError> {
     let required = minimum_requirement(design);
-    let start =
-        library.smallest_fitting(&required).ok_or(PartitionError::NoFeasibleDevice { required })?;
-    let start_idx = library.index_of(start).expect("device from library");
+    // `smallest_fitting` is first-fit over the size order, so finding the
+    // position directly gives both the start device and its index.
+    let start_idx = library
+        .devices()
+        .iter()
+        .position(|d| d.fits(&required))
+        .ok_or(PartitionError::NoFeasibleDevice { required })?;
     let mut last: Option<DeviceChoice> = None;
     for (escalations, device) in library.devices()[start_idx..].iter().enumerate() {
         // Libraries need not be monotone in every resource (a larger-by-
@@ -72,8 +76,10 @@ pub fn select_device(
         last = Some(choice);
     }
     // Library exhausted without an alternative arrangement: return the
-    // last (largest) attempt.
-    Ok(last.expect("at least one device was tried"))
+    // last (largest) attempt. The start device fits by construction, so
+    // at least one device was always tried; an empty `last` can only
+    // mean the fit checks disagreed with each other.
+    last.ok_or(PartitionError::NoFeasibleDevice { required })
 }
 
 /// The smallest device that can hold the one-module-per-region baseline —

@@ -57,6 +57,13 @@ pub enum PartitionError {
         /// What went wrong.
         detail: String,
     },
+    /// An internal engine invariant failed — e.g. a search worker
+    /// thread panicked outside the per-unit panic isolation. Always an
+    /// engine bug, never a bad input.
+    Internal {
+        /// Description of the violated invariant.
+        detail: String,
+    },
     /// An installed [`SchemeAuditor`](crate::audit::SchemeAuditor)
     /// rejected a result the search was about to return. This always
     /// indicates an engine bug (or a misbehaving auditor), never a bad
@@ -94,6 +101,9 @@ impl fmt::Display for PartitionError {
             }
             PartitionError::Checkpoint { path, detail } => {
                 write!(f, "checkpoint {path}: {detail}")
+            }
+            PartitionError::Internal { detail } => {
+                write!(f, "internal engine invariant violated: {detail}")
             }
             PartitionError::AuditFailed { auditor, details } => {
                 write!(f, "{auditor} rejected the search result: {details}")

@@ -101,11 +101,11 @@ impl BasePartition {
     /// Human-readable label using the design's mode names, e.g.
     /// `"{A3, B2}"`.
     pub fn label(&self, design: &Design) -> String {
-        let names: Vec<String> = self.modes.iter().map(|&m| design.mode(m).name.clone()).collect();
-        if names.len() == 1 {
-            names.into_iter().next().unwrap()
-        } else {
-            format!("{{{}}}", names.join(", "))
+        let mut names: Vec<String> =
+            self.modes.iter().map(|&m| design.mode(m).name.clone()).collect();
+        match names.as_mut_slice() {
+            [single] => std::mem::take(single),
+            _ => format!("{{{}}}", names.join(", ")),
         }
     }
 }

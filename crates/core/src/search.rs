@@ -65,6 +65,7 @@ use parking_lot::Mutex;
 use prpart_arch::{frames_for, Resources, TileCounts};
 use prpart_design::{ConnectivityMatrix, Design};
 use prpart_graph::BitSet;
+use prpart_obs::{Counter, Gauge, Histogram, ObsHandle};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -194,6 +195,10 @@ pub struct Partitioner {
     /// here panic at the start of execution, exercising the per-unit
     /// panic isolation without touching the search code itself.
     pub injected_unit_panics: Vec<usize>,
+    /// Observability sink (disabled by default). When disabled every
+    /// instrumented point is a no-op — no clock reads, no atomics — so
+    /// the search behaves byte-identically to an un-instrumented build.
+    pub obs: ObsHandle,
 }
 
 impl Partitioner {
@@ -212,7 +217,15 @@ impl Partitioner {
             search_budget: SearchBudget::default(),
             checkpoint: None,
             injected_unit_panics: Vec::new(),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Installs an observability sink; search-side counters, span
+    /// timings and budget-poll latencies are recorded through it.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Replaces the search strategy.
@@ -368,7 +381,8 @@ impl Partitioner {
         }
 
         let clock = BudgetClock::new(&self.search_budget);
-        let ctx = self.make_ctx(design, &pool, &clock);
+        let sobs = SearchObs::new(&self.obs, self.strategy);
+        let ctx = self.make_ctx(design, &pool, &clock, &sobs);
         let mut seeded = State {
             groups: groups.iter().map(|g| Group::new(&ctx, g.clone())).collect(),
             statics: statics.clone(),
@@ -428,6 +442,8 @@ impl Partitioner {
         design: &Design,
         resume: Option<(&Path, LoadedCheckpoint)>,
     ) -> Result<PartitionOutcome, PartitionError> {
+        let sobs = SearchObs::new(&self.obs, self.strategy);
+        let _search_span = self.obs.span("search");
         check_feasibility(design, &self.budget)?;
         if let Some(w) = &self.transition_weights {
             if w.num_configurations() != design.num_configurations() {
@@ -484,7 +500,8 @@ impl Partitioner {
             &clock,
             &restored,
             writer.as_ref(),
-        );
+            &sobs,
+        )?;
 
         let mut best = Best::new();
         let mut stats = SearchStats::default();
@@ -515,6 +532,14 @@ impl Partitioner {
             }
         }
         stats.candidate_sets_explored = sets.len();
+        sobs.states_evaluated.add(stats.states_evaluated);
+        sobs.states_pruned.add(stats.states_pruned);
+        sobs.candidate_sets.add(sets.len() as u64);
+        sobs.units_completed.add(units_completed as u64);
+        sobs.units_partial.add(units_partial as u64);
+        sobs.units_skipped.add(units_skipped as u64);
+        sobs.units_resumed.add(units_resumed as u64);
+        sobs.units_poisoned.add(poisoned_units.len() as u64);
         if let Some(w) = &writer {
             w.finish()?;
         }
@@ -546,9 +571,9 @@ impl Partitioner {
 
     /// Fingerprint of the (design, settings) pair a checkpoint belongs
     /// to. Covers everything that shapes the unit list or any unit's
-    /// result; deliberately excludes threads, auditor, budget limits and
-    /// the checkpoint config itself — none of which change what a
-    /// completed unit computes.
+    /// result; deliberately excludes threads, auditor, budget limits,
+    /// the observability sink and the checkpoint config itself — none of
+    /// which change what a completed unit computes.
     fn fingerprint(&self, design: &Design) -> u64 {
         let mut h = Fnv64::new();
         h.write_str(design.name());
@@ -625,6 +650,7 @@ impl Partitioner {
         design: &'a Design,
         pool: &'a [BasePartition],
         clock: &'a BudgetClock,
+        obs: &'a SearchObs,
     ) -> Ctx<'a> {
         Ctx {
             pool,
@@ -638,6 +664,7 @@ impl Partitioner {
             objective: self.objective,
             auditor: self.auditor.as_ref(),
             clock,
+            obs,
             merge_cache: RefCell::new(HashMap::new()),
         }
     }
@@ -677,21 +704,25 @@ impl Partitioner {
         clock: &BudgetClock,
         restored: &BTreeMap<usize, UnitSnapshot>,
         writer: Option<&CheckpointWriter>,
-    ) -> Vec<UnitResult> {
+        sobs: &SearchObs,
+    ) -> Result<Vec<UnitResult>, PartitionError> {
         // Counts units actually *executed* (not restored or skipped), so
         // `SearchBudget::max_units` truncates at an exact unit boundary.
         let executed = AtomicUsize::new(0);
         let exec = |i: usize| {
             self.exec_one(
-                i, &units[i], design, parts, sets, runner, clock, restored, writer, &executed,
+                i, &units[i], design, parts, sets, runner, clock, restored, writer, &executed, sobs,
             )
         };
         let threads = resolve_threads(self.threads).min(units.len().max(1));
         if threads <= 1 {
-            return (0..units.len()).map(exec).collect();
+            return Ok((0..units.len()).map(exec).collect());
         }
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<(usize, UnitResult)>> = Mutex::new(Vec::with_capacity(units.len()));
+        // Per-unit execution is panic-isolated, so a worker unwinding here
+        // would be an engine bug; surface it as a typed error instead of
+        // propagating the panic into the caller.
         crossbeam::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| loop {
@@ -704,10 +735,15 @@ impl Partitioner {
                 });
             }
         })
-        .expect("search workers isolate unit panics and never unwind");
+        .map_err(|payload| PartitionError::Internal {
+            detail: format!(
+                "a search worker panicked outside unit isolation: {}",
+                panic_message(payload.as_ref())
+            ),
+        })?;
         let mut collected = results.into_inner();
         collected.sort_by_key(|&(i, _)| i);
-        collected.into_iter().map(|(_, r)| r).collect()
+        Ok(collected.into_iter().map(|(_, r)| r).collect())
     }
 
     /// Executes (or restores, or skips) one unit. Gate order: restored
@@ -729,6 +765,7 @@ impl Partitioner {
         restored: &BTreeMap<usize, UnitSnapshot>,
         writer: Option<&CheckpointWriter>,
         executed: &AtomicUsize,
+        sobs: &SearchObs,
     ) -> UnitResult {
         if let Some(snapshot) = restored.get(&i) {
             let pool: Vec<BasePartition> =
@@ -736,7 +773,10 @@ impl Partitioner {
             let (best, stats) = restore_unit(snapshot, &pool, design.num_configurations());
             return UnitResult::Done { best, stats, resumed: true };
         }
-        if clock.poll() {
+        let poll_start = sobs.now();
+        let tripped = clock.poll();
+        sobs.record_poll(poll_start);
+        if tripped {
             return UnitResult::Skipped;
         }
         if let Some(limit) = self.search_budget.max_units {
@@ -745,10 +785,14 @@ impl Partitioner {
             }
         }
         let inject = self.injected_unit_panics.contains(&i);
+        let unit_start = sobs.now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             assert!(!inject, "injected panic in unit {i}");
-            self.run_unit(design, parts, sets, runner, unit, clock)
+            self.run_unit(design, parts, sets, runner, unit, clock, sobs)
         }));
+        if sobs.handle.is_enabled() {
+            sobs.unit_nanos.record(sobs.now().saturating_sub(unit_start));
+        }
         match outcome {
             Ok((best, stats)) => {
                 if clock.tripped() {
@@ -767,6 +811,7 @@ impl Partitioner {
     /// Runs one unit: builds the candidate-set pool and context locally
     /// (the merge transposition table is per-unit, so workers never share
     /// mutable state) and executes the strategy slice the unit names.
+    #[allow(clippy::too_many_arguments)]
     fn run_unit(
         &self,
         design: &Design,
@@ -775,9 +820,10 @@ impl Partitioner {
         runner: Runner,
         unit: &UnitSpec,
         clock: &BudgetClock,
+        sobs: &SearchObs,
     ) -> (Best, SearchStats) {
         let pool: Vec<BasePartition> = sets[unit.set].iter().map(|&i| parts[i].clone()).collect();
-        let ctx = self.make_ctx(design, &pool, clock);
+        let ctx = self.make_ctx(design, &pool, clock, sobs);
         let mut best = Best::new();
         let mut stats = SearchStats::default();
         let mut initial = State::initial(&ctx);
@@ -1057,6 +1103,73 @@ impl SearchStats {
     }
 }
 
+/// Pre-acquired metric handles for one search run. Handles are acquired
+/// once per run (so each name registers exactly once — PL012) and then
+/// updated lock-free; with observability disabled every handle is
+/// detached and every update is a no-op.
+#[derive(Clone, Default)]
+struct SearchObs {
+    handle: ObsHandle,
+    states_evaluated: Counter,
+    states_pruned: Counter,
+    candidate_sets: Counter,
+    merge_evaluations: Counter,
+    merge_cache_hits: Counter,
+    undo_depth_max: Gauge,
+    units_completed: Counter,
+    units_partial: Counter,
+    units_skipped: Counter,
+    units_resumed: Counter,
+    units_poisoned: Counter,
+    unit_nanos: Histogram,
+    budget_poll_nanos: Histogram,
+}
+
+impl SearchObs {
+    fn new(handle: &ObsHandle, strategy: SearchStrategy) -> SearchObs {
+        let s = strategy_label(strategy);
+        SearchObs {
+            handle: handle.clone(),
+            states_evaluated: handle.counter(&format!("search.{s}.states_evaluated")),
+            states_pruned: handle.counter(&format!("search.{s}.states_pruned")),
+            candidate_sets: handle.counter("search.candidate_sets_explored"),
+            merge_evaluations: handle.counter("search.merge.evaluations"),
+            merge_cache_hits: handle.counter("search.merge.cache_hits"),
+            undo_depth_max: handle.gauge("search.undo_depth.max"),
+            units_completed: handle.counter("search.units.completed"),
+            units_partial: handle.counter("search.units.partial"),
+            units_skipped: handle.counter("search.units.skipped"),
+            units_resumed: handle.counter("search.units.resumed"),
+            units_poisoned: handle.counter("search.units.poisoned"),
+            unit_nanos: handle.duration_histogram("search.unit.nanos"),
+            budget_poll_nanos: handle.duration_histogram("search.budget_poll.nanos"),
+        }
+    }
+
+    /// Clock reading for a paired before/after measurement; 0 (and no
+    /// clock read at all) when disabled.
+    fn now(&self) -> u64 {
+        self.handle.now_nanos()
+    }
+
+    /// Records one budget-poll latency measured from `start`.
+    fn record_poll(&self, start: u64) {
+        if self.handle.is_enabled() {
+            self.budget_poll_nanos.record(self.now().saturating_sub(start));
+        }
+    }
+}
+
+/// Stable metric-name segment for a strategy.
+fn strategy_label(strategy: SearchStrategy) -> &'static str {
+    match strategy {
+        SearchStrategy::GreedyRestarts { .. } => "greedy",
+        SearchStrategy::Beam { .. } => "beam",
+        SearchStrategy::Annealing { .. } => "annealing",
+        SearchStrategy::Exhaustive { .. } => "exhaustive",
+    }
+}
+
 /// Cap on memoised merged groups per unit, bounding worst-case memory on
 /// pathological pools; past it, merges are computed without caching.
 const MERGE_CACHE_CAP: usize = 1 << 16;
@@ -1076,6 +1189,9 @@ struct Ctx<'a> {
     /// The run's shared budget clock; polled cooperatively by every
     /// strategy at state granularity.
     clock: &'a BudgetClock,
+    /// Pre-acquired metric handles; all no-ops when observability is
+    /// disabled.
+    obs: &'a SearchObs,
     /// Transposition table for merged groups, keyed by the merged member
     /// list (which — given the deterministic left-to-right merge
     /// construction — is the canonical content of the resulting group).
@@ -1090,7 +1206,14 @@ impl Ctx<'_> {
     /// never stops, so unbudgeted runs are byte-identical to before.
     fn note_state(&self, stats: &mut SearchStats) -> bool {
         stats.states_evaluated += 1;
-        self.clock.charge_state()
+        if self.obs.handle.is_enabled() {
+            let start = self.obs.now();
+            let stop = self.clock.charge_state();
+            self.obs.record_poll(start);
+            stop
+        } else {
+            self.clock.charge_state()
+        }
     }
 
     /// Merges two groups, memoised: greedy descent previews every
@@ -1102,8 +1225,10 @@ impl Ctx<'_> {
         key.extend_from_slice(&a.members);
         key.extend_from_slice(&b.members);
         if let Some(g) = self.merge_cache.borrow().get(&key) {
+            self.obs.merge_cache_hits.incr();
             return g.clone();
         }
+        self.obs.merge_evaluations.incr();
         let g = Group::new(self, key.clone());
         let mut cache = self.merge_cache.borrow_mut();
         if cache.len() < MERGE_CACHE_CAP {
@@ -1690,12 +1815,17 @@ fn greedy_descent(
             let (area, time) = state.preview(ctx, m);
             (state_key(area, time, &ctx.budget), m)
         });
-        let (key, mv) = scored.min_by(|(a, _), (b, _)| a.cmp(b)).expect("non-empty");
+        // `moves` was checked non-empty above, but spell the empty case
+        // out instead of panicking on it.
+        let Some((key, mv)) = scored.min_by(|(a, _), (b, _)| a.cmp(b)) else {
+            break;
+        };
         // Once feasible, stop when no move strictly improves time.
         if state.fits(&ctx.budget) && (key.0 != 0 || key.1 >= state.time) {
             break;
         }
         undos.push(state.apply_mut(ctx, mv));
+        ctx.obs.undo_depth_max.record_max(undos.len() as i64);
     }
     while let Some(u) = undos.pop() {
         state.undo(u);
@@ -2437,7 +2567,8 @@ mod tests {
         let sets: Vec<Vec<usize>> = CandidateSets::new(&matrix, &parts).take(1).collect();
         let pool: Vec<BasePartition> = sets[0].iter().map(|&i| parts[i].clone()).collect();
         let clock = BudgetClock::unarmed();
-        let ctx = p.make_ctx(&d, &pool, &clock);
+        let sobs = SearchObs::default();
+        let ctx = p.make_ctx(&d, &pool, &clock, &sobs);
         let mut state = State::initial(&ctx);
 
         fn snapshot(s: &State) -> (StateKey, u64, Resources, Resources) {
@@ -2466,7 +2597,8 @@ mod tests {
         let sets: Vec<Vec<usize>> = CandidateSets::new(&matrix, &parts).take(1).collect();
         let pool: Vec<BasePartition> = sets[0].iter().map(|&i| parts[i].clone()).collect();
         let clock = BudgetClock::unarmed();
-        let ctx = p.make_ctx(&d, &pool, &clock);
+        let sobs = SearchObs::default();
+        let ctx = p.make_ctx(&d, &pool, &clock, &sobs);
         let mut state = State::initial(&ctx);
         // Repeatedly take the first available move; uniform costs are
         // integers, so incremental and recomputed totals agree exactly.

@@ -12,6 +12,7 @@ use prpart_core::{
 };
 use prpart_design::Design;
 use prpart_floorplan::{emit_ucf, FeedbackError, Floorplan, Floorplanner};
+use prpart_obs::ObsHandle;
 use prpart_xmlio::SchemaError;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -122,6 +123,11 @@ pub struct FlowPipeline {
     /// limit trips, the flow continues with the certified best-so-far
     /// scheme and stamps the cause in [`FlowArtifacts::search_outcome`].
     pub search_budget: SearchBudget,
+    /// Observability sink (disabled by default): per-stage spans,
+    /// floorplan-retry counters and store write/retry/quarantine
+    /// mirrors. Disabled, every instrumentation point is a no-op and the
+    /// flow output is byte-identical to an un-instrumented build.
+    pub obs: ObsHandle,
 }
 
 impl FlowPipeline {
@@ -132,7 +138,15 @@ impl FlowPipeline {
             max_floorplan_retries: 4,
             threads: 0,
             search_budget: SearchBudget::new(),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Installs an observability sink; it is forwarded to the
+    /// partitioning search, so one handle observes the whole flow.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Sets the partitioning-search thread count (0 = one per core).
@@ -151,7 +165,7 @@ impl FlowPipeline {
     /// pre-synthesised `<design>` or an op-level `<design-spec>`
     /// (synthesised by the stage-1 estimator on the way in).
     pub fn run_xml(&self, xml_text: &str) -> Result<FlowArtifacts, FlowError> {
-        let design = crate::specxml::parse_design_or_spec(xml_text).map_err(FlowError::Parse)?;
+        let design = self.parse(xml_text)?;
         self.run(design)
     }
 
@@ -162,8 +176,14 @@ impl FlowPipeline {
         xml_text: &str,
         store: &mut ArtifactStore,
     ) -> Result<FlowArtifacts, FlowError> {
-        let design = crate::specxml::parse_design_or_spec(xml_text).map_err(FlowError::Parse)?;
+        let design = self.parse(xml_text)?;
         self.run_with_store(design, store)
+    }
+
+    /// Stage 0: design entry.
+    fn parse(&self, xml_text: &str) -> Result<Design, FlowError> {
+        let _span = self.obs.span("flow.parse");
+        crate::specxml::parse_design_or_spec(xml_text).map_err(FlowError::Parse)
     }
 
     /// Runs the flow from an already-built design.
@@ -206,6 +226,10 @@ impl FlowPipeline {
         // Anything short of that falls back to a fresh search — storage
         // can lose work, never change the answer.
         let resumed = manifest.as_ref().and_then(|m| self.try_resume(&design, m, store));
+        self.obs.event(
+            "flow.store",
+            &[("decision", if resumed.is_some() { "resume" } else { "fresh-search" })],
+        );
         let (evaluated, floorplan, retries, outcome) = match resumed {
             Some(parts) => parts,
             None => {
@@ -215,6 +239,7 @@ impl FlowPipeline {
                 // a resume performs: partition-pool numbering then depends
                 // only on the document, so a fresh run and a resumed run
                 // name and seed every artifact identically.
+                let _span = self.obs.span("flow.floorplan");
                 let evaluated = self.canonicalize(&design, &evaluated)?;
                 let floorplan = Floorplanner::new(self.device.geometry())
                     .place_scheme(&evaluated.scheme, design.static_overhead())
@@ -227,7 +252,22 @@ impl FlowPipeline {
         store.stage_gate("artifact-generation").map_err(FlowError::Store)?;
         let artifacts = self.emit(design, evaluated, floorplan, retries, outcome)?;
         self.persist(&artifacts, fingerprint, store)?;
+        self.mirror_store_stats(store);
         Ok(artifacts)
+    }
+
+    /// Mirrors the store's cumulative write/retry/quarantine statistics
+    /// onto the shared registry (gauges: the store owns the counts).
+    fn mirror_store_stats(&self, store: &ArtifactStore) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let stats = store.stats();
+        self.obs.gauge("flow.store.writes").set(stats.writes as i64);
+        self.obs.gauge("flow.store.write_retries").set(stats.write_retries as i64);
+        self.obs.gauge("flow.store.reused").set(stats.reused as i64);
+        self.obs.gauge("flow.store.regenerated").set(stats.regenerated as i64);
+        self.obs.gauge("flow.store.quarantined").set(stats.quarantined as i64);
     }
 
     /// Stages 2 + 5 with the feedback loop, then the independent
@@ -239,24 +279,32 @@ impl FlowPipeline {
         // The search carries the proof-checker as its auditor: debug
         // builds certify every accepted state, release builds every
         // final answer.
-        let planned = prpart_floorplan::place_with_feedback(
-            design,
-            &self.device,
-            |budget| {
-                Partitioner::new(budget)
-                    .with_threads(self.threads)
-                    .with_search_budget(self.search_budget.clone())
-                    .with_auditor(prpart_analysis::auditor(ProofChecker::new().with_budget(budget)))
-            },
-            self.max_floorplan_retries,
-        )
-        .map_err(|e| match e {
-            FeedbackError::Partition(pe) => FlowError::Partition(pe),
-            other => FlowError::Floorplan(other),
-        })?;
+        let planned = {
+            let _span = self.obs.span("flow.partition");
+            prpart_floorplan::place_with_feedback(
+                design,
+                &self.device,
+                |budget| {
+                    Partitioner::new(budget)
+                        .with_threads(self.threads)
+                        .with_search_budget(self.search_budget.clone())
+                        .with_obs(self.obs.clone())
+                        .with_auditor(prpart_analysis::auditor(
+                            ProofChecker::new().with_budget(budget),
+                        ))
+                },
+                self.max_floorplan_retries,
+            )
+            .map_err(|e| match e {
+                FeedbackError::Partition(pe) => FlowError::Partition(pe),
+                other => FlowError::Floorplan(other),
+            })?
+        };
+        self.obs.counter("flow.floorplan.retries").add(planned.retries as u64);
         // The scheme that feeds stages 3–7 must certify against the
         // device the artefacts are for — independently of whatever budget
         // the feedback loop last searched with.
+        let _span = self.obs.span("flow.certify");
         let report = ProofChecker::new()
             .with_budget(self.device.capacity)
             .certify(design, &planned.evaluated);
@@ -275,11 +323,15 @@ impl FlowPipeline {
         floorplan_retries: usize,
         search_outcome: SearchOutcome,
     ) -> Result<FlowArtifacts, FlowError> {
+        let _span = self.obs.span("flow.emit");
         let ucf = emit_ucf(&floorplan, design.name());
         let wrappers = wrapper::generate_all(&design, &evaluated.scheme);
         let netlists = build_netlists(&design, &evaluated.scheme);
-        let partial_bitstreams = bitstream::generate_all_placed(&evaluated.scheme, &floorplan)
-            .map_err(FlowError::Bitstream)?;
+        let partial_bitstreams = {
+            let _span = self.obs.span("bitstreams");
+            bitstream::generate_all_placed(&evaluated.scheme, &floorplan)
+                .map_err(FlowError::Bitstream)?
+        };
         let static_frames = frames_for(&design.static_overhead());
         let full_bitstream = bitstream::generate_full(&evaluated.scheme, static_frames);
         Ok(FlowArtifacts {
@@ -363,6 +415,7 @@ impl FlowPipeline {
         fingerprint: u64,
         store: &mut ArtifactStore,
     ) -> Result<(), FlowError> {
+        let _span = self.obs.span("flow.persist");
         let scheme_xml =
             prpart_xmlio::schema::scheme_to_xml(&artifacts.design, &artifacts.evaluated)
                 .to_string_pretty();

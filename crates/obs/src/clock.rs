@@ -1,0 +1,106 @@
+//! Pluggable monotonic clocks.
+//!
+//! Production code times spans with [`WallClock`]; tests substitute a
+//! [`MockClock`] so recorded durations — and therefore metric
+//! snapshots — are reproducible across runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary (per-clock) origin. Must be
+    /// monotonically non-decreasing.
+    fn now_nanos(&self) -> u64;
+}
+
+/// Wall clock backed by [`Instant`], with the origin fixed at
+/// construction so readings start near zero.
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose origin is now.
+    pub fn new() -> Self {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        // u64 nanoseconds cover ~584 years of process uptime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic clock for tests.
+///
+/// Every [`Clock::now_nanos`] read returns the current value and then
+/// advances it by a fixed step (zero by default), so a fixed sequence
+/// of clock reads yields a fixed sequence of timestamps regardless of
+/// host speed.
+pub struct MockClock {
+    now: AtomicU64,
+    step: u64,
+}
+
+impl MockClock {
+    /// A mock clock pinned at zero; advance it manually with
+    /// [`MockClock::advance`].
+    pub fn new() -> Self {
+        MockClock { now: AtomicU64::new(0), step: 0 }
+    }
+
+    /// A mock clock that self-advances by `step` nanoseconds on every
+    /// read, giving each timed operation a deterministic non-zero
+    /// duration.
+    pub fn with_step(step: u64) -> Self {
+        MockClock { now: AtomicU64::new(0), step }
+    }
+
+    /// Advances the clock by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.now.fetch_add(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Default for MockClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MockClock {
+    fn now_nanos(&self) -> u64 {
+        self.now.fetch_add(self.step, Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_steps_and_advances() {
+        let c = MockClock::with_step(10);
+        assert_eq!(c.now_nanos(), 0);
+        assert_eq!(c.now_nanos(), 10);
+        c.advance(100);
+        assert_eq!(c.now_nanos(), 120);
+    }
+}

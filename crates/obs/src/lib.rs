@@ -1,0 +1,365 @@
+//! Dependency-free observability for the prpart workspace.
+//!
+//! The paper's tool flow spends its time in three places — the
+//! region-allocation search, the implementation flow, and the runtime
+//! reconfiguration simulator — and until this crate existed only the
+//! runtime recorded anything. `prpart-obs` provides the shared
+//! measurement substrate:
+//!
+//! * a [`Registry`] of named counters, gauges and monotonic histograms
+//!   with *fixed* bucket boundaries, so two runs under the same seed and
+//!   clock produce byte-identical snapshots;
+//! * hierarchical [`span`](ObsHandle::span) timers over a pluggable
+//!   [`Clock`] ([`WallClock`] in production, [`MockClock`] in tests);
+//! * a structured JSON-lines event sink;
+//! * export as a versioned JSON [`MetricsSnapshot`], Prometheus text
+//!   format, and a collapsed-stack profile consumable by flamegraph
+//!   tools.
+//!
+//! Everything hangs off an [`ObsHandle`]. A disabled handle
+//! ([`ObsHandle::disabled`]) is a `None` internally: every operation is
+//! a no-op that reads no clock and takes no lock, so instrumented code
+//! paths stay byte-identical to their un-instrumented behaviour.
+//!
+//! ```
+//! use prpart_obs::{MockClock, ObsHandle};
+//! use std::sync::Arc;
+//!
+//! let obs = ObsHandle::with_clock(Arc::new(MockClock::with_step(10)));
+//! let states = obs.counter("search.states_evaluated");
+//! {
+//!     let _span = obs.span("unit");
+//!     states.add(3);
+//! }
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.counter("search.states_evaluated"), Some(3));
+//! ```
+
+mod clock;
+mod registry;
+mod snapshot;
+
+pub use clock::{Clock, MockClock, WallClock};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, Registration, Registry,
+    DEFAULT_DURATION_BOUNDS_NANOS,
+};
+pub use snapshot::{json_escape, MetricsSnapshot, SNAPSHOT_VERSION};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+thread_local! {
+    /// Active span names on this thread, root first. Span paths are the
+    /// `;`-joined stack, which is exactly the collapsed-stack frame
+    /// format flamegraph tools consume.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timing for one collapsed span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathTiming {
+    /// Number of completed spans with this exact path.
+    pub calls: u64,
+    /// Total nanoseconds spent in spans with this exact path
+    /// (including time spent in child spans).
+    pub nanos: u64,
+}
+
+struct ObsCore {
+    clock: Arc<dyn Clock>,
+    registry: Registry,
+    /// Collapsed-stack profile: full span path -> aggregate timing.
+    profile: Mutex<BTreeMap<String, PathTiming>>,
+    /// JSON-lines event log (already serialised, one JSON object per
+    /// entry).
+    events: Mutex<Vec<String>>,
+}
+
+/// Shared handle to the observability pipeline.
+///
+/// Cloning is cheap (an `Arc` bump). The default handle is disabled.
+#[derive(Clone, Default)]
+pub struct ObsHandle {
+    inner: Option<Arc<ObsCore>>,
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHandle").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl ObsHandle {
+    /// A handle on which every operation is a no-op.
+    pub fn disabled() -> Self {
+        ObsHandle { inner: None }
+    }
+
+    /// An enabled handle over the wall clock.
+    pub fn enabled() -> Self {
+        Self::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// An enabled handle over an explicit clock (tests pass a
+    /// [`MockClock`] so recorded durations are reproducible).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        ObsHandle {
+            inner: Some(Arc::new(ObsCore {
+                clock,
+                registry: Registry::new(),
+                profile: Mutex::new(BTreeMap::new()),
+                events: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or re-acquires) the counter `name`. On a disabled
+    /// handle the returned counter is detached and increments nothing.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(core) => core.registry.counter(name),
+            None => Counter::detached(),
+        }
+    }
+
+    /// Registers (or re-acquires) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(core) => core.registry.gauge(name),
+            None => Gauge::detached(),
+        }
+    }
+
+    /// Registers (or re-acquires) the histogram `name` with the given
+    /// fixed upper bucket bounds (must be strictly increasing; an
+    /// implicit `+Inf` bucket is appended).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        match &self.inner {
+            Some(core) => core.registry.histogram(name, bounds),
+            None => Histogram::detached(),
+        }
+    }
+
+    /// Registers (or re-acquires) a duration histogram over the default
+    /// nanosecond bounds ([`DEFAULT_DURATION_BOUNDS_NANOS`]).
+    pub fn duration_histogram(&self, name: &str) -> Histogram {
+        self.histogram(name, &DEFAULT_DURATION_BOUNDS_NANOS)
+    }
+
+    /// Current clock reading in nanoseconds, or 0 when disabled.
+    ///
+    /// Instrumented code uses paired `now_nanos` reads to time an
+    /// operation only when enabled; a disabled handle performs no clock
+    /// read at all.
+    pub fn now_nanos(&self) -> u64 {
+        match &self.inner {
+            Some(core) => core.clock.now_nanos(),
+            None => 0,
+        }
+    }
+
+    /// Opens a hierarchical span named `name` on this thread. The span
+    /// closes when the returned guard drops, adding its duration to the
+    /// collapsed-stack profile under the `;`-joined path of all open
+    /// spans. Disabled handles return an inert guard without touching
+    /// the clock or the thread-local stack.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.inner {
+            Some(core) => {
+                SPAN_STACK.with(|s| s.borrow_mut().push(name.to_string()));
+                SpanGuard { core: Some(Arc::clone(core)), start: core.clock.now_nanos() }
+            }
+            None => SpanGuard { core: None, start: 0 },
+        }
+    }
+
+    /// Appends a structured event (`kind` plus key/value fields) to the
+    /// JSON-lines sink. Field order is preserved as given.
+    pub fn event(&self, kind: &str, fields: &[(&str, &str)]) {
+        let Some(core) = &self.inner else { return };
+        let ts = core.clock.now_nanos();
+        let mut line = String::new();
+        let mut events = core.events.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = events.len() as u64;
+        let _ =
+            write!(line, "{{\"seq\":{seq},\"ts_nanos\":{ts},\"kind\":\"{}\"", json_escape(kind));
+        for (k, v) in fields {
+            let _ = write!(line, ",\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        line.push('}');
+        events.push(line);
+    }
+
+    /// All events recorded so far, one JSON object per line.
+    pub fn events_jsonl(&self) -> String {
+        match &self.inner {
+            Some(core) => {
+                let events = core.events.lock().unwrap_or_else(|e| e.into_inner());
+                let mut out = String::new();
+                for line in events.iter() {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                out
+            }
+            None => String::new(),
+        }
+    }
+
+    /// Captures a deterministic snapshot of every registered metric,
+    /// the registration table and the collapsed-stack profile. A
+    /// disabled handle yields an empty snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(core) => {
+                let profile = core.profile.lock().unwrap_or_else(|e| e.into_inner());
+                core.registry.snapshot(profile.clone())
+            }
+            None => MetricsSnapshot::empty(),
+        }
+    }
+
+    /// Collapsed-stack profile in the format flamegraph tools consume:
+    /// one `path value` line per span path, where `value` is the total
+    /// nanoseconds spent under that path. Lines are sorted by path so
+    /// the dump is deterministic.
+    pub fn collapsed_profile(&self) -> String {
+        let Some(core) = &self.inner else {
+            return String::new();
+        };
+        let profile = core.profile.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (path, t) in profile.iter() {
+            let _ = writeln!(out, "{} {}", path, t.nanos);
+        }
+        out
+    }
+}
+
+/// RAII guard for an open span; see [`ObsHandle::span`].
+#[must_use = "a span records its duration when dropped"]
+pub struct SpanGuard {
+    core: Option<Arc<ObsCore>>,
+    start: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(core) = self.core.take() else { return };
+        let elapsed = core.clock.now_nanos().saturating_sub(self.start);
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join(";");
+            stack.pop();
+            path
+        });
+        let mut profile = core.profile.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = profile.entry(path).or_default();
+        entry.calls += 1;
+        entry.nanos += elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = ObsHandle::disabled();
+        let c = obs.counter("x");
+        c.add(5);
+        obs.gauge("g").set(7);
+        obs.histogram("h", &[1, 2]).record(1);
+        obs.event("e", &[("k", "v")]);
+        {
+            let _s = obs.span("root");
+        }
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.now_nanos(), 0);
+        assert_eq!(obs.events_jsonl(), "");
+        assert_eq!(obs.collapsed_profile(), "");
+        let snap = obs.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.profile.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let obs = ObsHandle::with_clock(Arc::new(MockClock::new()));
+        let c = obs.counter("search.states");
+        c.incr();
+        c.add(4);
+        let g = obs.gauge("depth");
+        g.set(3);
+        g.record_max(9);
+        g.record_max(2);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("search.states"), Some(5));
+        assert_eq!(snap.gauge("depth"), Some(9));
+    }
+
+    #[test]
+    fn spans_build_collapsed_paths() {
+        let clock = Arc::new(MockClock::with_step(100));
+        let obs = ObsHandle::with_clock(clock);
+        {
+            let _root = obs.span("flow");
+            {
+                let _child = obs.span("parse");
+            }
+            {
+                let _child = obs.span("emit");
+            }
+        }
+        let profile = obs.collapsed_profile();
+        let lines: Vec<&str> = profile.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("flow "));
+        assert!(lines[1].starts_with("flow;emit "));
+        assert!(lines[2].starts_with("flow;parse "));
+        // Each span saw exactly one clock step between open and close
+        // except the root, which also absorbed the children's reads.
+        assert_eq!(lines[1], "flow;emit 100");
+        assert_eq!(lines[2], "flow;parse 100");
+        assert_eq!(lines[0], "flow 500");
+    }
+
+    #[test]
+    fn mock_clock_makes_snapshots_reproducible() {
+        let run = || {
+            let obs = ObsHandle::with_clock(Arc::new(MockClock::with_step(7)));
+            let h = obs.duration_histogram("unit.nanos");
+            for _ in 0..3 {
+                let s = obs.now_nanos();
+                let e = obs.now_nanos();
+                h.record(e - s);
+            }
+            obs.counter("n").add(3);
+            obs.snapshot().to_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn events_are_json_lines() {
+        let obs = ObsHandle::with_clock(Arc::new(MockClock::with_step(5)));
+        obs.event("stage", &[("name", "parse")]);
+        obs.event("stage", &[("name", "emit\"x")]);
+        let log = obs.events_jsonl();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"seq\":0,\"ts_nanos\":0,\"kind\":\"stage\",\"name\":\"parse\"}");
+        assert!(lines[1].contains("emit\\\"x"));
+    }
+}

@@ -1,0 +1,353 @@
+//! The metrics registry: named counters, gauges and fixed-bound
+//! histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap atomics
+//! behind `Arc`s; instrumented code acquires them once and increments
+//! lock-free afterwards. The registry records a registration table so
+//! the PL012 lint can verify that every metric name is registered
+//! exactly once — re-acquiring a name with *identical* parameters
+//! returns the existing metric without counting as a new registration,
+//! while a kind or bucket-bound conflict is recorded and flagged.
+
+use crate::snapshot::MetricsSnapshot;
+use crate::PathTiming;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default duration-histogram upper bounds in nanoseconds: 1µs, 10µs,
+/// 100µs, 1ms, 10ms, 100ms, 1s, 10s (an implicit `+Inf` bucket
+/// follows). Fixed boundaries keep snapshots deterministic.
+pub const DEFAULT_DURATION_BOUNDS_NANOS: [u64; 8] =
+    [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000];
+
+/// The kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricKind {
+    /// Monotonically increasing `u64`.
+    Counter,
+    /// Last-write-wins (or running-max) `i64`.
+    Gauge,
+    /// Fixed-bound monotonic histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Stable lower-case name used in snapshots.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One row of the registration table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    /// Kind the name was first registered as.
+    pub kind: MetricKind,
+    /// Number of distinct registrations of this name. `1` is healthy;
+    /// anything higher means the same name was re-registered with a
+    /// conflicting kind or conflicting histogram bounds (PL012).
+    pub registrations: u64,
+}
+
+/// Handle to a registered counter. Detached handles (from a disabled
+/// [`crate::ObsHandle`]) silently drop every update.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub(crate) fn detached() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when detached).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to a registered gauge.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    pub(crate) fn detached() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` exceeds the current value
+    /// (running maximum, e.g. peak undo-stack depth).
+    pub fn record_max(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when detached).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramCore {
+    /// Strictly increasing upper bounds; an implicit `+Inf` bucket is
+    /// stored at `buckets[bounds.len()]`.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Handle to a registered fixed-bound histogram.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    pub(crate) fn detached() -> Self {
+        Histogram(None)
+    }
+
+    /// Records `v` into the first bucket whose upper bound is >= `v`
+    /// (the `+Inf` bucket if none is).
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records the value `v` as if it occurred `n` times — one atomic
+    /// update instead of `n` (used when importing pre-aggregated
+    /// histograms, e.g. the runtime's retry histogram).
+    pub fn record_n(&self, v: u64, n: u64) {
+        let Some(h) = &self.0 else { return };
+        if n == 0 {
+            return;
+        }
+        let idx = h.bounds.partition_point(|&b| b < v);
+        h.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        h.count.fetch_add(n, Ordering::Relaxed);
+        h.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+    }
+
+    /// Number of recorded values (0 when detached).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time view of one histogram, used in snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (the `+Inf` bucket is implicit).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (last is `+Inf`).
+    pub buckets: Vec<u64>,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+struct RegState {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicI64>>,
+    histograms: BTreeMap<String, Arc<HistogramCore>>,
+    registrations: BTreeMap<String, Registration>,
+}
+
+/// Named-metric registry; see the module docs.
+pub struct Registry {
+    state: Mutex<RegState>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry {
+            state: Mutex::new(RegState {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                registrations: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a registration attempt of `name` as `kind`;
+    /// `matches_existing` says whether an identically-parameterised
+    /// metric already exists (in which case the attempt is a benign
+    /// re-acquire, not a new registration).
+    fn note_registration(
+        regs: &mut BTreeMap<String, Registration>,
+        name: &str,
+        kind: MetricKind,
+        matches_existing: bool,
+    ) {
+        match regs.get_mut(name) {
+            Some(r) => {
+                if !matches_existing {
+                    r.registrations += 1;
+                }
+            }
+            None => {
+                regs.insert(name.to_string(), Registration { kind, registrations: 1 });
+            }
+        }
+    }
+
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        let mut s = self.lock();
+        let existed = s.counters.contains_key(name);
+        let conflicting = !existed && s.registrations.contains_key(name);
+        let cell = Arc::clone(
+            s.counters.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        );
+        Self::note_registration(
+            &mut s.registrations,
+            name,
+            MetricKind::Counter,
+            existed && !conflicting,
+        );
+        Counter(Some(cell))
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Gauge {
+        let mut s = self.lock();
+        let existed = s.gauges.contains_key(name);
+        let conflicting = !existed && s.registrations.contains_key(name);
+        let cell = Arc::clone(
+            s.gauges.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicI64::new(0))),
+        );
+        Self::note_registration(
+            &mut s.registrations,
+            name,
+            MetricKind::Gauge,
+            existed && !conflicting,
+        );
+        Gauge(Some(cell))
+    }
+
+    pub(crate) fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut s = self.lock();
+        let same_params = s.histograms.get(name).is_some_and(|h| h.bounds == bounds);
+        let cell = Arc::clone(s.histograms.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })
+        }));
+        Self::note_registration(&mut s.registrations, name, MetricKind::Histogram, same_params);
+        Histogram(Some(cell))
+    }
+
+    pub(crate) fn snapshot(&self, profile: BTreeMap<String, PathTiming>) -> MetricsSnapshot {
+        let s = self.lock();
+        MetricsSnapshot {
+            version: crate::SNAPSHOT_VERSION,
+            counters: s
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: s.gauges.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect(),
+            histograms: s
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            buckets: h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: h.sum.load(Ordering::Relaxed),
+                        },
+                    )
+                })
+                .collect(),
+            registrations: s.registrations.iter().map(|(k, r)| (k.clone(), r.clone())).collect(),
+            profile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reacquiring_a_metric_is_not_a_new_registration() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        let snap = r.snapshot(BTreeMap::new());
+        let reg = &snap.registrations[0];
+        assert_eq!(reg.0, "x");
+        assert_eq!(reg.1.registrations, 1);
+    }
+
+    #[test]
+    fn kind_conflicts_bump_the_registration_count() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+        let snap = r.snapshot(BTreeMap::new());
+        assert_eq!(snap.registrations[0].1.registrations, 2);
+        assert_eq!(snap.registrations[0].1.kind, MetricKind::Counter);
+    }
+
+    #[test]
+    fn histogram_bound_conflicts_bump_the_registration_count() {
+        let r = Registry::new();
+        r.histogram("h", &[1, 2, 3]);
+        r.histogram("h", &[1, 2, 3]);
+        r.histogram("h", &[1, 2]);
+        let snap = r.snapshot(BTreeMap::new());
+        assert_eq!(snap.registrations[0].1.registrations, 2);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[10, 100]);
+        h.record(5);
+        h.record(10);
+        h.record(11);
+        h.record(1_000);
+        assert_eq!(h.count(), 4);
+        let snap = r.snapshot(BTreeMap::new());
+        let hs = &snap.histograms[0].1;
+        assert_eq!(hs.buckets, vec![2, 1, 1]);
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.sum, 1_026);
+    }
+}

@@ -1,0 +1,274 @@
+//! Deterministic metric snapshots and their export formats.
+//!
+//! A [`MetricsSnapshot`] is a point-in-time copy of every registered
+//! metric, sorted by name, and serialises to:
+//!
+//! * a versioned JSON document ([`MetricsSnapshot::to_json`]) — the
+//!   `--metrics-out` format, stable enough to diff byte-for-byte across
+//!   runs under a fixed seed and [`crate::MockClock`];
+//! * Prometheus text exposition format
+//!   ([`MetricsSnapshot::to_prometheus`]) for scraping pipelines.
+
+use crate::registry::{HistogramSnapshot, Registration};
+use crate::PathTiming;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version of the JSON snapshot schema. Bump when the document shape
+/// changes; consumers (CI's metrics-smoke job) check this field.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Point-in-time copy of the registry; all vectors are sorted by
+/// metric name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Counter name -> value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name -> value.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram name -> bucket snapshot.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Metric name -> registration record (PL012 input).
+    pub registrations: Vec<(String, Registration)>,
+    /// Collapsed span path -> aggregate timing.
+    pub profile: BTreeMap<String, PathTiming>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot of a disabled handle: current schema version, no
+    /// metrics.
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            registrations: Vec::new(),
+            profile: BTreeMap::new(),
+        }
+    }
+
+    /// Value of the counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Value of the gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Bucket snapshot of the histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Serialises the snapshot as a pretty-printed, deterministic JSON
+    /// document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"version\": {},", self.version);
+        let _ = writeln!(out, "  \"tool\": \"prpart\",");
+
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{}\": {v}", json_escape(name));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{}\": {v}", json_escape(name));
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    \"{}\": {{\"bounds\": {}, \"buckets\": {}, \"count\": {}, \"sum\": {}}}",
+                json_escape(name),
+                json_u64_array(&h.bounds),
+                json_u64_array(&h.buckets),
+                h.count,
+                h.sum
+            );
+        }
+        out.push_str(if self.histograms.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"registrations\": {");
+        for (i, (name, r)) in self.registrations.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    \"{}\": {{\"kind\": \"{}\", \"count\": {}}}",
+                json_escape(name),
+                r.kind.as_str(),
+                r.registrations
+            );
+        }
+        out.push_str(if self.registrations.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"profile\": {");
+        for (i, (path, t)) in self.profile.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    \"{}\": {{\"calls\": {}, \"nanos\": {}}}",
+                json_escape(path),
+                t.calls,
+                t.nanos
+            );
+        }
+        out.push_str(if self.profile.is_empty() { "}\n" } else { "\n  }\n" });
+
+        out.push_str("}\n");
+        out
+    }
+
+    /// Serialises the snapshot in Prometheus text exposition format.
+    /// Metric names are prefixed `prpart_` and non-alphanumeric
+    /// characters become `_`; histograms expand to cumulative
+    /// `_bucket{le=...}` series plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+                cumulative += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+}
+
+fn json_u64_array(xs: &[u64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{x}");
+    }
+    s.push(']');
+    s
+}
+
+fn prom_name(name: &str) -> String {
+    let mut n = String::from("prpart_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            n.push(c);
+        } else {
+            n.push('_');
+        }
+    }
+    n
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricKind;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            counters: vec![("a.count".to_string(), 3)],
+            gauges: vec![("g".to_string(), -2)],
+            histograms: vec![(
+                "h".to_string(),
+                HistogramSnapshot {
+                    bounds: vec![10, 100],
+                    buckets: vec![1, 2, 1],
+                    count: 4,
+                    sum: 250,
+                },
+            )],
+            registrations: vec![(
+                "a.count".to_string(),
+                Registration { kind: MetricKind::Counter, registrations: 1 },
+            )],
+            profile: BTreeMap::from([(
+                "flow;parse".to_string(),
+                PathTiming { calls: 2, nanos: 99 },
+            )]),
+        }
+    }
+
+    #[test]
+    fn json_has_version_and_all_sections() {
+        let j = sample().to_json();
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\"a.count\": 3"));
+        assert!(j.contains("\"g\": -2"));
+        assert!(j.contains("\"bounds\": [10, 100]"));
+        assert!(j.contains("\"kind\": \"counter\""));
+        assert!(j.contains("\"flow;parse\": {\"calls\": 2, \"nanos\": 99}"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shape() {
+        let j = MetricsSnapshot::empty().to_json();
+        assert!(j.contains("\"counters\": {}"));
+        assert!(j.contains("\"profile\": {}"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE prpart_h histogram"));
+        assert!(p.contains("prpart_h_bucket{le=\"10\"} 1"));
+        assert!(p.contains("prpart_h_bucket{le=\"100\"} 3"));
+        assert!(p.contains("prpart_h_bucket{le=\"+Inf\"} 4"));
+        assert!(p.contains("prpart_h_sum 250"));
+        assert!(p.contains("prpart_h_count 4"));
+        assert!(p.contains("prpart_a_count 3"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

@@ -78,6 +78,8 @@ pub use fault::{FaultKind, FaultModel};
 pub use icap::{IcapController, IcapStats, LoadFault, LoadSuccess};
 pub use loader::{LoaderStats, StoreBackedManager, VerifiedBitstreamLoader};
 pub use manager::{ConfigurationManager, RecoveryPolicy, TransitionRecord};
-pub use montecarlo::{run_monte_carlo, MonteCarloConfig, MonteCarloReport, WalkStats};
+pub use montecarlo::{
+    run_monte_carlo, run_monte_carlo_observed, MonteCarloConfig, MonteCarloReport, WalkStats,
+};
 pub use profiling::{estimate_weights, TransitionProfile};
 pub use telemetry::ReliabilityTelemetry;

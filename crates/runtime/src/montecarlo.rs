@@ -22,6 +22,7 @@ use crate::telemetry::ReliabilityTelemetry;
 use parking_lot::Mutex;
 use prpart_arch::IcapModel;
 use prpart_core::Scheme;
+use prpart_obs::ObsHandle;
 use std::time::Duration;
 
 /// Per-walk measurements.
@@ -165,6 +166,27 @@ pub fn run_monte_carlo(scheme: &Scheme, config: MonteCarloConfig) -> MonteCarloR
         telemetry,
         walks,
     }
+}
+
+/// [`run_monte_carlo`] under an observability handle: the whole
+/// simulation runs inside a `simulate` span, fleet totals land on the
+/// registry as `runtime.walks`/`runtime.frames` counters, and the
+/// merged [`ReliabilityTelemetry`] is exported through
+/// [`ReliabilityTelemetry::export_to`]. With a disabled handle this is
+/// exactly [`run_monte_carlo`].
+pub fn run_monte_carlo_observed(
+    scheme: &Scheme,
+    config: MonteCarloConfig,
+    obs: &ObsHandle,
+) -> MonteCarloReport {
+    let report = {
+        let _span = obs.span("simulate");
+        run_monte_carlo(scheme, config)
+    };
+    obs.counter("runtime.walks").add(report.walks.len() as u64);
+    obs.counter("runtime.frames").add(report.total_frames);
+    report.telemetry.export_to(obs);
+    report
 }
 
 fn run_one_walk(

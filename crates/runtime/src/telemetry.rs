@@ -89,6 +89,43 @@ impl ReliabilityTelemetry {
         self.recovery_time += recovery_time;
     }
 
+    /// Publishes this telemetry onto a shared observability registry
+    /// under `runtime.*` metric names, migrating the bespoke struct onto
+    /// the workspace-wide substrate: scalar counters map to registry
+    /// counters, the retry histogram becomes a fixed-bound
+    /// `runtime.recovery.retries_to_resolve` histogram (value =
+    /// retries an episode needed), per-region fault counts become
+    /// indexed counters, and recovery time / blacklist size become
+    /// gauges.
+    ///
+    /// Counters accumulate across exports, so export a given telemetry
+    /// snapshot exactly once per registry (the Monte-Carlo harness
+    /// exports only the merged fleet telemetry).
+    pub fn export_to(&self, obs: &prpart_obs::ObsHandle) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("runtime.transitions.attempted").add(self.transitions_attempted);
+        obs.counter("runtime.transitions.completed").add(self.transitions_completed);
+        obs.counter("runtime.transitions.fallbacks").add(self.fallbacks);
+        obs.counter("runtime.transitions.failed").add(self.transitions_failed);
+        obs.counter("runtime.faults.injected").add(self.faults);
+        obs.counter("runtime.faults.crc_errors").add(self.crc_errors);
+        obs.counter("runtime.faults.stalls").add(self.stalls);
+        obs.counter("runtime.recovery.retries").add(self.retries);
+        obs.counter("runtime.recovery.scrubs").add(self.scrubs);
+        obs.counter("runtime.recovery.episodes").add(self.recovery_episodes);
+        obs.gauge("runtime.recovery.time_nanos").set(self.recovery_time.as_nanos() as i64);
+        obs.gauge("runtime.blacklisted.regions").set(self.blacklisted.len() as i64);
+        let retries = obs.histogram("runtime.recovery.retries_to_resolve", &[0, 1, 2, 4, 8, 16]);
+        for (k, &episodes) in self.retry_histogram.iter().enumerate() {
+            retries.record_n(k as u64, episodes);
+        }
+        for (region, &faults) in self.region_faults.iter().enumerate() {
+            obs.counter(&format!("runtime.region_faults.{region}")).add(faults);
+        }
+    }
+
     /// Merges another manager's telemetry into this one (Monte-Carlo
     /// aggregation). Histograms and per-region counters are summed
     /// element-wise; blacklists are unioned.

@@ -383,8 +383,12 @@ fn partition_el(design: &Design, p: &BasePartition) -> Element {
     for &m in &p.modes {
         let (module, mode) = {
             let label = design.mode_label(m);
-            let mut it = label.splitn(2, '.');
-            (it.next().unwrap().to_string(), it.next().unwrap_or("").to_string())
+            // `split_once` avoids the iterator dance: a label without a
+            // '.' is all module, empty mode.
+            match label.split_once('.') {
+                Some((module, mode)) => (module.to_string(), mode.to_string()),
+                None => (label, String::new()),
+            }
         };
         el = el.with_child(Element::new("use").with_attr("module", module).with_attr("mode", mode));
     }

@@ -22,6 +22,8 @@
 //! * [`floorplan`] — column-grid floorplanner with feedback.
 //! * [`flow`] — the end-to-end tool flow (Fig. 2).
 //! * [`runtime`] — configuration manager, environments, Monte-Carlo.
+//! * [`obs`] — observability: metrics registry, span timers, profiles
+//!   (see `docs/observability.md`).
 //!
 //! ## Quickstart
 //!
@@ -59,6 +61,7 @@ pub use prpart_design as design;
 pub use prpart_floorplan as floorplan;
 pub use prpart_flow as flow;
 pub use prpart_graph as graph;
+pub use prpart_obs as obs;
 pub use prpart_runtime as runtime;
 pub use prpart_synth as synth;
 pub use prpart_xmlio as xmlio;

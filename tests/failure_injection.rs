@@ -217,6 +217,15 @@ proptest! {
                 Err(e @ RuntimeError::ConfigurationOutOfRange { .. }) => {
                     prop_assert!(false, "walk stays in range: {e}");
                 }
+                // Store-backed errors cannot occur: this manager loads
+                // from the in-memory pool, not an artifact store.
+                Err(
+                    e @ (RuntimeError::StoreUnavailable { .. }
+                    | RuntimeError::BitstreamUnavailable { .. }
+                    | RuntimeError::BitstreamCorrupt { .. }),
+                ) => {
+                    prop_assert!(false, "no store in this simulation: {e}");
+                }
             }
         }
         let t = mgr.telemetry();

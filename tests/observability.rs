@@ -1,0 +1,149 @@
+//! Observability acceptance: instrumentation never perturbs results,
+//! disabled handles are free, and enabled runs under a mock clock are
+//! reproducible down to the serialised snapshot byte.
+
+use prpart::arch::DeviceLibrary;
+use prpart::core::Partitioner;
+use prpart::design::corpus::{self, VideoConfigSet};
+use prpart::flow::FlowPipeline;
+use prpart::obs::{MockClock, ObsHandle};
+use prpart::runtime::{run_monte_carlo, run_monte_carlo_observed, MonteCarloConfig};
+use std::sync::Arc;
+
+fn lint_registrations(
+    subject: &str,
+    snap: &prpart::obs::MetricsSnapshot,
+) -> prpart::analysis::LintReport {
+    let regs: Vec<(String, u64)> =
+        snap.registrations.iter().map(|(name, r)| (name.clone(), r.registrations)).collect();
+    let report = prpart::analysis::lint_metric_registrations(subject, &regs);
+    if report.has_errors() {
+        eprintln!("{}", report.render_text());
+    }
+    report
+}
+
+fn observed_partitioner(obs: ObsHandle) -> Partitioner {
+    let mut p = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).with_obs(obs);
+    // One worker: span nesting and mock-clock reads interleave in a
+    // single fixed order, so even durations reproduce exactly.
+    p.threads = 1;
+    p
+}
+
+#[test]
+fn enabled_runs_under_mock_clock_snapshot_identically() {
+    let run = || {
+        let obs = ObsHandle::with_clock(Arc::new(MockClock::with_step(10)));
+        let design = corpus::video_receiver(VideoConfigSet::Original);
+        let outcome = observed_partitioner(obs.clone()).partition(&design).unwrap();
+        (obs.snapshot(), obs.collapsed_profile(), outcome)
+    };
+    let (snap_a, profile_a, outcome) = run();
+    let (snap_b, profile_b, _) = run();
+
+    // Byte-identical across runs: same JSON, same Prometheus text, same
+    // collapsed-stack profile.
+    assert_eq!(snap_a.to_json(), snap_b.to_json());
+    assert_eq!(snap_a.to_prometheus(), snap_b.to_prometheus());
+    assert_eq!(profile_a, profile_b);
+    assert!(!profile_a.is_empty());
+
+    // The counters agree with the outcome's own accounting.
+    assert_eq!(
+        snap_a.counter("search.candidate_sets_explored"),
+        Some(outcome.candidate_sets_explored as u64)
+    );
+    assert_eq!(snap_a.counter("search.units.completed"), Some(outcome.units_completed as u64));
+    let states: u64 = snap_a
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("search.") && name.ends_with(".states_evaluated"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(states, outcome.states_evaluated);
+
+    // Every metric registered exactly once (PL012 invariant).
+    assert!(!lint_registrations("obs", &snap_a).has_errors());
+}
+
+#[test]
+fn disabled_and_enabled_observability_leave_flow_artifacts_byte_identical() {
+    let xml = prpart::xmlio::render_design(&corpus::video_receiver(VideoConfigSet::Original));
+    let device = DeviceLibrary::virtex5().by_name("SX70T").unwrap().clone();
+    let run = |pipeline: FlowPipeline| pipeline.run_xml(&xml).unwrap();
+
+    let baseline = run(FlowPipeline::new(device.clone()));
+    let disabled = run(FlowPipeline::new(device.clone()).with_obs(ObsHandle::disabled()));
+    let enabled_obs = ObsHandle::enabled();
+    let enabled = run(FlowPipeline::new(device).with_obs(enabled_obs.clone()));
+
+    for other in [&disabled, &enabled] {
+        assert_eq!(baseline.ucf, other.ucf);
+        assert_eq!(baseline.full_bitstream, other.full_bitstream);
+        assert_eq!(baseline.evaluated.scheme, other.evaluated.scheme);
+        assert_eq!(baseline.evaluated.metrics, other.evaluated.metrics);
+        assert_eq!(baseline.partial_bitstreams.len(), other.partial_bitstreams.len());
+        for (a, b) in baseline.partial_bitstreams.iter().zip(&other.partial_bitstreams) {
+            assert_eq!(a.data, b.data, "region {} partition bitstream differs", a.region);
+        }
+    }
+
+    // The enabled run actually recorded the flow stages.
+    let profile = enabled_obs.collapsed_profile();
+    for stage in ["flow.parse", "flow.partition", "flow.certify", "flow.emit"] {
+        assert!(
+            profile.lines().any(|l| l.starts_with(&format!("{stage} "))),
+            "missing span {stage} in:\n{profile}"
+        );
+    }
+    // The search span nests under the flow's partition stage.
+    assert!(profile.contains("flow.partition;search "));
+}
+
+#[test]
+fn runtime_telemetry_exports_onto_the_shared_registry() {
+    let design = corpus::video_receiver(VideoConfigSet::Original);
+    let scheme = Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET)
+        .partition(&design)
+        .unwrap()
+        .best
+        .unwrap()
+        .scheme;
+    let config = MonteCarloConfig {
+        walks: 4,
+        walk_len: 40,
+        seed: 11,
+        threads: 1,
+        fault_rate: 0.2,
+        fault_seed: 7,
+        ..Default::default()
+    };
+
+    let obs = ObsHandle::with_clock(Arc::new(MockClock::with_step(1)));
+    let observed = run_monte_carlo_observed(&scheme, config, &obs);
+    let plain = run_monte_carlo(&scheme, config);
+
+    // Observation does not change the simulation.
+    assert_eq!(observed.total_frames, plain.total_frames);
+    assert_eq!(observed.telemetry.faults, plain.telemetry.faults);
+
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("runtime.walks"), Some(observed.walks.len() as u64));
+    assert_eq!(snap.counter("runtime.frames"), Some(observed.total_frames));
+    assert_eq!(
+        snap.counter("runtime.transitions.attempted"),
+        Some(observed.telemetry.transitions_attempted)
+    );
+    assert_eq!(snap.counter("runtime.faults.injected"), Some(observed.telemetry.faults));
+    let (_, retries) = snap
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "runtime.recovery.retries_to_resolve")
+        .expect("retry histogram exported");
+    assert_eq!(
+        retries.count, observed.telemetry.recovery_episodes,
+        "one histogram sample per recovery episode"
+    );
+    assert!(!lint_registrations("runtime", &snap).has_errors());
+}
