@@ -43,6 +43,48 @@ use prpart_core::audit::SchemeAuditor;
 use prpart_core::{EvaluatedScheme, Scheme, TransitionSemantics};
 use prpart_design::Design;
 
+/// One rule of the proof-checker: a stable ID plus a one-line statement
+/// of the violation it reports. Every finding is error severity — a
+/// scheme either proves out or it doesn't. The registry is data so docs
+/// and tests can be checked against it (see `tests/registry_sync.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckRule {
+    /// Stable identifier (`PCxxx`).
+    pub id: &'static str,
+    /// One-line description of the violation.
+    pub summary: &'static str,
+}
+
+const RULES: &[CheckRule] = &[
+    CheckRule { id: "PC001", summary: "a used mode is covered by no placed partition" },
+    CheckRule { id: "PC002", summary: "a pool partition is placed more than once" },
+    CheckRule { id: "PC003", summary: "a region has no partitions" },
+    CheckRule {
+        id: "PC004",
+        summary: "two partitions in one region are active in the same configuration",
+    },
+    CheckRule {
+        id: "PC005",
+        summary: "a pool partition is internally invalid (bad/duplicate modes, stale caches)",
+    },
+    CheckRule { id: "PC006", summary: "the scheme exceeds the device budget" },
+    CheckRule { id: "PC007", summary: "claimed resources differ from the recomputed total" },
+    CheckRule {
+        id: "PC008",
+        summary: "claimed total reconfiguration frames differ from the recomputed sum",
+    },
+    CheckRule {
+        id: "PC009",
+        summary: "claimed worst-case frames differ from the recomputed maximum",
+    },
+    CheckRule { id: "PC010", summary: "claimed structural counts or fit verdict are inconsistent" },
+];
+
+/// The full PC rule registry, in ID order.
+pub fn check_rules() -> &'static [CheckRule] {
+    RULES
+}
+
 /// Independent verifier of partitioning results. See the module docs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProofChecker {

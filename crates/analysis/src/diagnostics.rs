@@ -257,4 +257,77 @@ mod tests {
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
         assert_eq!(json_array(["1".to_string(), "2".to_string()]), "[1,2]");
     }
+
+    /// Every C0 control character must leave as an escape — the named
+    /// short forms for the common three, `\u00XX` for the rest — so no
+    /// raw control byte can ever reach a JSON consumer.
+    #[test]
+    fn json_string_escapes_every_control_character() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let escaped = json_string(&c.to_string());
+            let expected = match c {
+                '\n' => "\"\\n\"".to_string(),
+                '\r' => "\"\\r\"".to_string(),
+                '\t' => "\"\\t\"".to_string(),
+                _ => format!("\"\\u{code:04x}\""),
+            };
+            assert_eq!(escaped, expected, "control char U+{code:04X}");
+        }
+        // DEL and C1 controls are not JSON-special; they pass through.
+        assert_eq!(json_string("\u{7f}"), "\"\u{7f}\"");
+    }
+
+    /// Quotes and backslashes escape in every position, including
+    /// adjacent and repeated — the classic double-escape mistakes.
+    #[test]
+    fn json_string_escapes_quotes_and_backslashes_everywhere() {
+        assert_eq!(json_string(r#"""#), r#""\"""#);
+        assert_eq!(json_string(r"\"), r#""\\""#);
+        assert_eq!(json_string(r#"\""#), r#""\\\"""#);
+        assert_eq!(json_string(r"\\"), r#""\\\\""#);
+        assert_eq!(json_string(r#"a\"b"#), r#""a\\\"b""#);
+        assert_eq!(json_string("\"\"\""), r#""\"\"\"""#);
+    }
+
+    /// Non-ASCII survives unescaped (JSON strings are Unicode; only
+    /// controls, quotes, and backslashes need escaping), and the result
+    /// round-trips through a diagnostic's message untouched.
+    #[test]
+    fn json_string_passes_non_ascii_through() {
+        for s in ["αβγ", "日本語モジュール", "Ärger", "🙂 emoji", "mixed\tπ\n✓"] {
+            let escaped = json_string(s);
+            assert!(escaped.starts_with('"') && escaped.ends_with('"'));
+            let inner = &escaped[1..escaped.len() - 1];
+            assert_eq!(
+                inner.replace("\\t", "\t").replace("\\n", "\n"),
+                *s,
+                "non-ASCII must not be mangled"
+            );
+        }
+        let d = Diagnostic {
+            rule: "PL001",
+            severity: Severity::Warning,
+            location: Location::Module { module: "Декодер\u{1}\"x\\y".into() },
+            message: "ошибка\nπ≈3.14159".into(),
+        };
+        let json = d.to_json();
+        assert!(json.contains(r#""module":"Декодер\u0001\"x\\y""#), "{json}");
+        assert!(json.contains(r#""message":"ошибка\nπ≈3.14159""#), "{json}");
+        assert!(!json.contains('\u{1}'), "raw control byte leaked: {json}");
+    }
+
+    /// An empty report renders stably: no finding lines, just the
+    /// zero-count summary, and well-formed JSON with an empty array —
+    /// the shape machine consumers key on.
+    #[test]
+    fn empty_report_rendering_is_stable() {
+        let report = crate::LintReport { design: "empty \"design\"".into(), diagnostics: vec![] };
+        assert_eq!(report.render_text(), "empty \"design\": 0 error(s), 0 warning(s), 0 note(s)\n");
+        assert_eq!(
+            report.render_json(),
+            r#"{"design":"empty \"design\"","errors":0,"warnings":0,"notes":0,"diagnostics":[]}"#
+        );
+        assert_eq!(json_array(std::iter::empty()), "[]");
+    }
 }

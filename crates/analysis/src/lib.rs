@@ -1,6 +1,6 @@
 //! # prpart-analysis — static analysis for PR partitioning
 //!
-//! Two engines that bracket the partitioning pipeline (see
+//! Three engines that bracket the partitioning pipeline (see
 //! `docs/static_analysis.md`):
 //!
 //! * **The design linter** ([`lint`]) catches bad *inputs* before search:
@@ -17,8 +17,16 @@
 //!   the engine itself via [`prpart_core::Partitioner::with_auditor`] —
 //!   release builds then certify every final answer, debug builds every
 //!   accepted search state.
+//! * **The transition certifier** ([`transition`]) model-checks the
+//!   *dynamic behaviour* a certified scheme implies: the complete
+//!   configuration-transition graph, per-transition frame predictions
+//!   and wall-clock bounds against an optional deadline, serialized
+//!   single-ICAP feasibility, and degraded-mode reachability under
+//!   blacklist subsets up to a bounded depth. Findings carry stable
+//!   `TCxxx` IDs; clean runs yield a versioned
+//!   [`TransitionCertificate`]. Surface it as `prpart certify`.
 //!
-//! Both engines emit human text and hand-rolled machine-readable JSON
+//! All engines emit human text and hand-rolled machine-readable JSON
 //! (the workspace carries no JSON dependency by design).
 
 #![warn(missing_docs)]
@@ -27,12 +35,17 @@
 pub mod check;
 pub mod diagnostics;
 pub mod lint;
+pub mod transition;
 
-pub use check::{Certificate, CheckReport, ProofChecker};
+pub use check::{check_rules, Certificate, CheckReport, CheckRule, ProofChecker};
 pub use diagnostics::{Diagnostic, Location, Severity};
 pub use lint::{
     lint_design, lint_metric_registrations, lint_store_manifest, rules, LintOptions, LintReport,
     LintRule,
+};
+pub use transition::{
+    transition_rule, transition_rules, TransitionCertificate, TransitionCertifier, TransitionEdge,
+    TransitionReport, TransitionRule, CERTIFICATE_VERSION,
 };
 
 use prpart_core::AuditorHandle;

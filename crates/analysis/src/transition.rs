@@ -1,0 +1,1103 @@
+//! The transition-system certifier: static model checking of
+//! reconfiguration schedules, deadlines, and degraded-mode reachability.
+//!
+//! The paper's search minimises reconfiguration time summed over *all*
+//! configuration pairs precisely because transition order is unknown at
+//! design time (§IV). [`TransitionCertifier`] takes that seriously: from a
+//! `Scheme` + `Design` + [`IcapModel`] it statically constructs the
+//! complete configuration-transition graph — every ordered pair — and
+//! model-checks it before any runtime exists. Like the proof-checker it
+//! re-derives region occupancy straight from [`Design::config_modes`],
+//! distrusting every cache, and only shares the tile-quantisation
+//! arithmetic of `prpart-arch` with the engine.
+//!
+//! Per ordered transition it verifies the exact region set and frame
+//! count against the engine's shared prediction path
+//! ([`Scheme::predicted_frames`]), bounds the worst-case wall-clock cost
+//! of the serialized single-ICAP schedule against an optional deadline
+//! (the static counterpart of the runtime's `DeadlineMonitor`), and
+//! checks the serialized frame-address layout for disjointness. The
+//! headline analysis is **degraded-mode reachability**: for every
+//! blacklist subset of regions up to a configurable depth `k` it
+//! enumerates which configurations survive and proves the designated
+//! safe configuration remains reachable — turning `RecoveryPolicy`'s
+//! fallback from a hope into a verified property.
+//!
+//! Violations carry stable `TCxxx` rule IDs:
+//!
+//! | ID | Severity | Name | What it verifies |
+//! |----|----------|------|------------------|
+//! | TC001 | error | frame-prediction-mismatch | a transition's independently recomputed frame count differs from the engine's shared prediction path |
+//! | TC002 | error | region-set-mismatch | a transition's independently derived reconfiguring-region set differs from the scheme's transition query |
+//! | TC003 | error | frame-accounting-mismatch | a region's claimed frame count differs from the tile-quantised recomputation |
+//! | TC004 | error | frame-range-overlap | a region's serialized frame-address range cannot hold its recomputed frames and spills into its successor |
+//! | TC005 | warning | zero-frame-reconfiguration | an active region has zero frames: its partial bitstream is an empty, unaddressable ICAP transaction |
+//! | TC006 | error | deadline-exceeded | a transition's worst-case serialized time bound exceeds the per-design deadline |
+//! | TC007 | error | safe-config-unreachable | a blacklist subset within depth k makes the designated safe configuration unavailable |
+//! | TC008 | warning | degraded-total-outage | a blacklist subset within depth k leaves no configuration available at all |
+//! | TC009 | error | degenerate-icap-model | the ICAP model has a zero clock or zero port width, so every time bound is meaningless |
+//! | TC010 | error | configuration-count-mismatch | the scheme's configuration count differs from the design's |
+//!
+//! A clean run yields a versioned [`TransitionCertificate`], renderable
+//! as text or machine-checkable JSON; the runtime cross-validates it
+//! (every observed transition time must be dominated by its static
+//! bound, every runtime blacklist state must have been predicted — see
+//! `tests/transition_certifier.rs`).
+
+use crate::diagnostics::{json_array, json_string, Diagnostic, Location, Severity};
+use prpart_arch::{IcapModel, Resources, TileCounts};
+use prpart_core::{Scheme, TransitionSemantics};
+use prpart_design::Design;
+use prpart_obs::ObsHandle;
+use std::time::Duration;
+
+/// Version stamped into every emitted certificate; bump on any schema
+/// change so downstream checkers can refuse what they don't understand.
+pub const CERTIFICATE_VERSION: u32 = 1;
+
+/// One rule of the transition certifier: a stable ID, a severity, and a
+/// one-line summary. The registry is data so docs and tests can be
+/// checked against it (see `tests/registry_sync.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct TransitionRule {
+    /// Stable identifier (`TCxxx`).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Severity every finding of this rule carries.
+    pub severity: Severity,
+    /// One-line description of what the rule verifies.
+    pub summary: &'static str,
+}
+
+const RULES: &[TransitionRule] = &[
+    TransitionRule {
+        id: "TC001",
+        name: "frame-prediction-mismatch",
+        severity: Severity::Error,
+        summary: "a transition's independently recomputed frame count differs from the engine's \
+                  shared prediction path",
+    },
+    TransitionRule {
+        id: "TC002",
+        name: "region-set-mismatch",
+        severity: Severity::Error,
+        summary: "a transition's independently derived reconfiguring-region set differs from the \
+                  scheme's transition query",
+    },
+    TransitionRule {
+        id: "TC003",
+        name: "frame-accounting-mismatch",
+        severity: Severity::Error,
+        summary: "a region's claimed frame count differs from the tile-quantised recomputation",
+    },
+    TransitionRule {
+        id: "TC004",
+        name: "frame-range-overlap",
+        severity: Severity::Error,
+        summary: "a region's serialized frame-address range cannot hold its recomputed frames \
+                  and spills into its successor",
+    },
+    TransitionRule {
+        id: "TC005",
+        name: "zero-frame-reconfiguration",
+        severity: Severity::Warning,
+        summary: "an active region has zero frames: its partial bitstream is an empty, \
+                  unaddressable ICAP transaction",
+    },
+    TransitionRule {
+        id: "TC006",
+        name: "deadline-exceeded",
+        severity: Severity::Error,
+        summary: "a transition's worst-case serialized time bound exceeds the per-design deadline",
+    },
+    TransitionRule {
+        id: "TC007",
+        name: "safe-config-unreachable",
+        severity: Severity::Error,
+        summary: "a blacklist subset within depth k makes the designated safe configuration \
+                  unavailable",
+    },
+    TransitionRule {
+        id: "TC008",
+        name: "degraded-total-outage",
+        severity: Severity::Warning,
+        summary: "a blacklist subset within depth k leaves no configuration available at all",
+    },
+    TransitionRule {
+        id: "TC009",
+        name: "degenerate-icap-model",
+        severity: Severity::Error,
+        summary: "the ICAP model has a zero clock or zero port width, so every time bound is \
+                  meaningless",
+    },
+    TransitionRule {
+        id: "TC010",
+        name: "configuration-count-mismatch",
+        severity: Severity::Error,
+        summary: "the scheme's configuration count differs from the design's",
+    },
+];
+
+/// The full TC rule registry, in ID order.
+pub fn transition_rules() -> &'static [TransitionRule] {
+    RULES
+}
+
+/// Looks up one rule by its stable ID.
+pub fn transition_rule(id: &str) -> Option<&'static TransitionRule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+fn push(out: &mut Vec<Diagnostic>, id: &'static str, location: Location, message: String) {
+    let severity = transition_rule(id).map_or(Severity::Error, |r| r.severity);
+    out.push(Diagnostic { rule: id, severity, location, message });
+}
+
+/// Static model checker of a scheme's configuration-transition system.
+/// See the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct TransitionCertifier {
+    /// ICAP timing model the wall-clock bounds are computed under.
+    pub icap: IcapModel,
+    /// Optional per-design deadline every transition bound must meet
+    /// (TC006). `None` skips the deadline rule but still records bounds.
+    pub deadline: Option<Duration>,
+    /// Maximum blacklist-subset size explored by the degraded-mode
+    /// analysis (clamped to the region count).
+    pub blacklist_depth: usize,
+    /// Designated safe configuration whose reachability must survive
+    /// every explored blacklist subset (TC007); the static counterpart
+    /// of `RecoveryPolicy::safe_config`.
+    pub safe_config: Option<usize>,
+}
+
+impl Default for TransitionCertifier {
+    fn default() -> Self {
+        TransitionCertifier {
+            icap: IcapModel::virtex5(),
+            deadline: None,
+            blacklist_depth: 1,
+            safe_config: None,
+        }
+    }
+}
+
+impl TransitionCertifier {
+    /// A certifier with the Virtex-5 ICAP, no deadline, blacklist depth
+    /// 1, and no designated safe configuration.
+    pub fn new() -> Self {
+        TransitionCertifier::default()
+    }
+
+    /// Sets the ICAP timing model.
+    pub fn with_icap(mut self, icap: IcapModel) -> Self {
+        self.icap = icap;
+        self
+    }
+
+    /// Sets the per-design transition deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the degraded-mode exploration depth.
+    pub fn with_blacklist_depth(mut self, depth: usize) -> Self {
+        self.blacklist_depth = depth;
+        self
+    }
+
+    /// Designates the safe configuration (by index).
+    pub fn with_safe_config(mut self, config: usize) -> Self {
+        self.safe_config = Some(config);
+        self
+    }
+
+    /// Certifies the scheme's complete transition system. Collects
+    /// **all** findings rather than stopping at the first.
+    pub fn certify(&self, design: &Design, scheme: &Scheme) -> TransitionReport {
+        let mut v: Vec<Diagnostic> = Vec::new();
+        let num_configs = design.num_configurations();
+        let num_modes = design.num_modes();
+        let num_regions = scheme.regions.len();
+
+        // TC009: with a degenerate port every bound below is meaningless;
+        // compute frames anyway, but pin all times to zero.
+        let icap_ok = self.icap.clock_hz > 0 && self.icap.bytes_per_cycle > 0;
+        if !icap_ok {
+            push(
+                &mut v,
+                "TC009",
+                Location::Design,
+                format!(
+                    "ICAP model is degenerate ({} Hz, {} bytes/cycle); no time bound can be \
+                     established",
+                    self.icap.clock_hz, self.icap.bytes_per_cycle
+                ),
+            );
+        }
+        let time_for = |frames: u64| -> Duration {
+            if icap_ok {
+                self.icap.time_for_frames(frames)
+            } else {
+                Duration::ZERO
+            }
+        };
+
+        // TC010 + structural sanity. The engine's own transition queries
+        // are only consulted when they are safe to call: matching
+        // configuration count, in-pool member indices, in-range presence
+        // caches. Otherwise the certifier still builds the graph from its
+        // independent derivation alone.
+        if scheme.num_configurations != num_configs {
+            push(
+                &mut v,
+                "TC010",
+                Location::Design,
+                format!(
+                    "scheme records {} configurations but the design has {num_configs}; the \
+                     transition graph would be built over the wrong state space",
+                    scheme.num_configurations
+                ),
+            );
+        }
+        let pool_ok = scheme
+            .regions
+            .iter()
+            .flat_map(|r| r.partitions.iter())
+            .all(|&p| p < scheme.partitions.len());
+        let presence_ok =
+            scheme.partitions.iter().all(|p| p.presence.iter().all(|c| c < num_configs));
+        let engine_comparable = scheme.num_configurations == num_configs && pool_ok && presence_ok;
+
+        // Ground truth, straight from the design: which modes each
+        // configuration selects, hence which partition occupies each
+        // region in each configuration (`None` = don't-care).
+        let config_sets: Vec<Vec<bool>> = (0..num_configs)
+            .map(|c| {
+                let mut set = vec![false; num_modes];
+                for g in design.config_modes(c) {
+                    set[g.idx()] = true;
+                }
+                set
+            })
+            .collect();
+        let derived: Vec<(Resources, Vec<bool>)> = scheme
+            .partitions
+            .iter()
+            .map(|part| {
+                let resources = part
+                    .modes
+                    .iter()
+                    .filter(|g| g.idx() < num_modes)
+                    .map(|&g| design.mode(g).resources)
+                    .sum();
+                let presence: Vec<bool> = (0..num_configs)
+                    .map(|c| {
+                        part.modes.iter().any(|g| g.idx() < num_modes && config_sets[c][g.idx()])
+                    })
+                    .collect();
+                (resources, presence)
+            })
+            .collect();
+        let states: Vec<Vec<Option<usize>>> = scheme
+            .regions
+            .iter()
+            .map(|region| {
+                (0..num_configs)
+                    .map(|c| {
+                        region
+                            .partitions
+                            .iter()
+                            .copied()
+                            .find(|&p| p < derived.len() && derived[p].1[c])
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Region frame accounting (Eqs. 3–6, recomputed) and the
+        // serialized frame-address layout (TC003/TC004/TC005). Regions
+        // are laid out back to back at the extent the scheme *claims*;
+        // a claim smaller than the recomputed need means the region's
+        // ICAP transactions spill into its successor's range.
+        let recomputed_frames: Vec<u64> = scheme
+            .regions
+            .iter()
+            .map(|region| {
+                let need = region
+                    .partitions
+                    .iter()
+                    .filter(|&&p| p < derived.len())
+                    .map(|&p| derived[p].0)
+                    .fold(Resources::ZERO, Resources::max);
+                TileCounts::for_resources(&need).frames()
+            })
+            .collect();
+        let claimed_frames: Vec<u64> = if engine_comparable {
+            (0..num_regions).map(|r| scheme.region_frames(r)).collect()
+        } else {
+            recomputed_frames.clone()
+        };
+        let mut offset = 0u64;
+        for r in 0..num_regions {
+            if claimed_frames[r] != recomputed_frames[r] {
+                push(
+                    &mut v,
+                    "TC003",
+                    Location::Region { index: r },
+                    format!(
+                        "claims {} frames but its members recompute to {}",
+                        claimed_frames[r], recomputed_frames[r]
+                    ),
+                );
+            }
+            if claimed_frames[r] < recomputed_frames[r] && r + 1 < num_regions {
+                push(
+                    &mut v,
+                    "TC004",
+                    Location::Region { index: r },
+                    format!(
+                        "serialized frame range [{offset}, {}) cannot hold {} recomputed \
+                         frames; its transactions spill into PRR{}'s range",
+                        offset + claimed_frames[r],
+                        recomputed_frames[r],
+                        r + 2
+                    ),
+                );
+            }
+            offset = offset.saturating_add(claimed_frames[r]);
+            if recomputed_frames[r] == 0 {
+                if let Some(c) = (0..num_configs).find(|&c| states[r][c].is_some()) {
+                    push(
+                        &mut v,
+                        "TC005",
+                        Location::Region { index: r },
+                        format!(
+                            "has zero frames yet is active in configuration '{}'; its partial \
+                             bitstream is an empty ICAP transaction no port can address",
+                            design.configurations()[c].name
+                        ),
+                    );
+                }
+            }
+        }
+
+        // The transition graph: every ordered pair, since order is
+        // unknown at design time. Per edge, the *must* set (optimistic:
+        // both endpoints defined and different — what the runtime always
+        // reloads) and the *may* set (target defined, source state not
+        // provably identical — what any history could force). The may
+        // set prices the worst-case serialized single-ICAP schedule.
+        let config_name = |c: usize| design.configurations()[c].name.clone();
+        let mut edges: Vec<TransitionEdge> = Vec::new();
+        let mut worst_bound = Duration::ZERO;
+        for from in 0..num_configs {
+            for to in 0..num_configs {
+                if from == to {
+                    continue;
+                }
+                let must: Vec<usize> = (0..num_regions)
+                    .filter(|&r| matches!((states[r][from], states[r][to]), (Some(x), Some(y)) if x != y))
+                    .collect();
+                let may: Vec<usize> = (0..num_regions)
+                    .filter(|&r| states[r][to].is_some() && states[r][from] != states[r][to])
+                    .collect();
+                let frames: u64 = must.iter().map(|&r| recomputed_frames[r]).sum();
+                let bound: Duration = may.iter().map(|&r| time_for(recomputed_frames[r])).sum();
+                if engine_comparable {
+                    let predicted = scheme.predicted_frames(from, to);
+                    if predicted != frames {
+                        push(
+                            &mut v,
+                            "TC001",
+                            Location::ConfigurationPair {
+                                first: config_name(from),
+                                second: config_name(to),
+                            },
+                            format!(
+                                "the engine predicts {predicted} frames but the independent \
+                                 recomputation gives {frames}"
+                            ),
+                        );
+                    }
+                    let engine_set =
+                        scheme.transition_regions(from, to, TransitionSemantics::Optimistic);
+                    if engine_set != must {
+                        push(
+                            &mut v,
+                            "TC002",
+                            Location::ConfigurationPair {
+                                first: config_name(from),
+                                second: config_name(to),
+                            },
+                            format!(
+                                "the engine reconfigures regions {engine_set:?} but the \
+                                 independent derivation requires {must:?}"
+                            ),
+                        );
+                    }
+                }
+                if let Some(deadline) = self.deadline {
+                    if icap_ok && bound > deadline {
+                        push(
+                            &mut v,
+                            "TC006",
+                            Location::ConfigurationPair {
+                                first: config_name(from),
+                                second: config_name(to),
+                            },
+                            format!(
+                                "worst-case serialized bound {bound:?} exceeds the deadline \
+                                 {deadline:?}"
+                            ),
+                        );
+                    }
+                }
+                worst_bound = worst_bound.max(bound);
+                edges.push(TransitionEdge { from, to, regions: must, frames, bound });
+            }
+        }
+        let full_load_bound: Duration =
+            (0..num_regions).map(|r| time_for(recomputed_frames[r])).sum();
+
+        // Degraded-mode reachability: which configurations survive each
+        // blacklist subset up to depth k. `region_users[r]` is derived
+        // independently; a configuration survives a subset iff it needs
+        // none of its regions. Outage reporting sticks to *minimal*
+        // subsets — a superset of a reported outage adds nothing.
+        let region_users: Vec<Vec<usize>> = (0..num_regions)
+            .map(|r| (0..num_configs).filter(|&c| states[r][c].is_some()).collect())
+            .collect();
+        let depth = self.blacklist_depth.min(num_regions);
+        if let Some(s) = self.safe_config {
+            if s >= num_configs {
+                push(
+                    &mut v,
+                    "TC007",
+                    Location::Design,
+                    format!(
+                        "designated safe configuration {s} does not exist (the design has \
+                         {num_configs})"
+                    ),
+                );
+            } else if depth >= 1 {
+                for (r, region_states) in states.iter().enumerate() {
+                    if region_states[s].is_some() {
+                        push(
+                            &mut v,
+                            "TC007",
+                            Location::Region { index: r },
+                            format!(
+                                "the designated safe configuration '{}' needs this region; \
+                                 blacklisting it alone makes the fallback unreachable",
+                                config_name(s)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        let mut subsets_examined = 0u64;
+        let mut min_available = num_configs;
+        let mut outages: Vec<Vec<usize>> = Vec::new();
+        let mut subset = Vec::new();
+        enumerate_subsets(num_regions, depth, 0, &mut subset, &mut |b: &[usize]| {
+            subsets_examined += 1;
+            if outages.iter().any(|o| o.iter().all(|r| b.contains(r))) {
+                return;
+            }
+            let available =
+                (0..num_configs).filter(|&c| b.iter().all(|&r| states[r][c].is_none())).count();
+            min_available = min_available.min(available);
+            if available == 0 {
+                let names: Vec<String> = b.iter().map(|&r| format!("PRR{}", r + 1)).collect();
+                push(
+                    &mut v,
+                    "TC008",
+                    Location::Design,
+                    format!(
+                        "blacklisting {{{}}} leaves no configuration available — total outage \
+                         within depth {depth}",
+                        names.join(", ")
+                    ),
+                );
+                outages.push(b.to_vec());
+            }
+        });
+
+        TransitionReport {
+            diagnostics: v,
+            certificate: TransitionCertificate {
+                version: CERTIFICATE_VERSION,
+                design: design.name().to_string(),
+                configurations: num_configs,
+                regions: num_regions,
+                icap: self.icap,
+                deadline: self.deadline,
+                blacklist_depth: depth,
+                safe_config: self.safe_config,
+                region_frames: recomputed_frames,
+                region_users,
+                edges,
+                worst_bound,
+                full_load_bound,
+                subsets_examined,
+                min_degraded_available: min_available,
+            },
+        }
+    }
+
+    /// [`TransitionCertifier::certify`] under a `certify` span, with the
+    /// graph size and finding count exported to the metrics registry
+    /// (`certify.states` / `certify.edges` / `certify.violations`).
+    pub fn certify_observed(
+        &self,
+        design: &Design,
+        scheme: &Scheme,
+        obs: &ObsHandle,
+    ) -> TransitionReport {
+        let report = {
+            let _span = obs.span("certify");
+            self.certify(design, scheme)
+        };
+        obs.counter("certify.states").add(report.certificate.configurations as u64);
+        obs.counter("certify.edges").add(report.certificate.edges.len() as u64);
+        obs.counter("certify.violations").add(report.count(Severity::Error) as u64);
+        report
+    }
+}
+
+/// Calls `visit` with every non-empty subset of `0..n` of size ≤ `depth`,
+/// in size-lexicographic order (all singletons, then pairs, …) so outage
+/// minimality falls out of visit order.
+fn enumerate_subsets(
+    n: usize,
+    depth: usize,
+    _start: usize,
+    scratch: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    fn combos(
+        n: usize,
+        size: usize,
+        start: usize,
+        scratch: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        if scratch.len() == size {
+            visit(scratch);
+            return;
+        }
+        for r in start..n {
+            scratch.push(r);
+            combos(n, size, r + 1, scratch, visit);
+            scratch.pop();
+        }
+    }
+    for size in 1..=depth.min(n) {
+        combos(n, size, 0, scratch, visit);
+    }
+}
+
+/// One ordered edge of the configuration-transition graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionEdge {
+    /// Source configuration index.
+    pub from: usize,
+    /// Target configuration index.
+    pub to: usize,
+    /// Regions that *must* reconfigure (independently derived, optimistic
+    /// semantics — the runtime's actual reload set), ascending.
+    pub regions: Vec<usize>,
+    /// Frames of the must set — what [`Scheme::predicted_frames`] must
+    /// report for this edge.
+    pub frames: u64,
+    /// Worst-case wall-clock bound of the serialized single-ICAP
+    /// schedule, over every region any history could force to reload.
+    pub bound: Duration,
+}
+
+/// What the certifier established about the transition system. Only
+/// meaningful as a certificate when the accompanying report has no
+/// error-severity findings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionCertificate {
+    /// Schema version ([`CERTIFICATE_VERSION`]).
+    pub version: u32,
+    /// Design the scheme was certified against.
+    pub design: String,
+    /// Configurations (graph states).
+    pub configurations: usize,
+    /// Reconfigurable regions.
+    pub regions: usize,
+    /// ICAP timing model the bounds were computed under.
+    pub icap: IcapModel,
+    /// Deadline the bounds were checked against, if any.
+    pub deadline: Option<Duration>,
+    /// Effective degraded-mode exploration depth (after clamping).
+    pub blacklist_depth: usize,
+    /// Designated safe configuration, if any.
+    pub safe_config: Option<usize>,
+    /// Recomputed per-region frame counts.
+    pub region_frames: Vec<u64>,
+    /// Per region, the configurations that need it (ascending) — the
+    /// basis of every degraded-mode verdict.
+    pub region_users: Vec<Vec<usize>>,
+    /// Every ordered transition, `from`-major.
+    pub edges: Vec<TransitionEdge>,
+    /// Largest per-transition bound in the graph.
+    pub worst_bound: Duration,
+    /// Bound on a full (power-on) configuration load: every region,
+    /// serialized — the static twin of the runtime's
+    /// `worst_transition_time`.
+    pub full_load_bound: Duration,
+    /// Blacklist subsets the degraded-mode analysis enumerated.
+    pub subsets_examined: u64,
+    /// Fewest configurations left available under any examined subset.
+    pub min_degraded_available: usize,
+}
+
+impl TransitionCertificate {
+    /// The edge record for `from` → `to`, if both are graph states.
+    pub fn edge(&self, from: usize, to: usize) -> Option<&TransitionEdge> {
+        self.edges.iter().find(|e| e.from == from && e.to == to)
+    }
+
+    /// The static time bound for `from` → `to`.
+    pub fn bound(&self, from: usize, to: usize) -> Option<Duration> {
+        self.edge(from, to).map(|e| e.bound)
+    }
+
+    /// Configurations that survive blacklisting `blacklist` (indices
+    /// outside the region range are ignored) — the static prediction the
+    /// runtime's degraded mode is validated against.
+    pub fn degraded_available(&self, blacklist: &[usize]) -> Vec<usize> {
+        (0..self.configurations)
+            .filter(|&c| {
+                blacklist
+                    .iter()
+                    .filter(|&&r| r < self.region_users.len())
+                    .all(|&r| !self.region_users[r].contains(&c))
+            })
+            .collect()
+    }
+
+    /// Human-readable certificate.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "transition certificate v{} for '{}'\n  graph: {} configuration(s), {} ordered \
+             transition(s), {} region(s)\n  worst transition bound {:?}, full-load bound {:?}\n",
+            self.version,
+            self.design,
+            self.configurations,
+            self.edges.len(),
+            self.regions,
+            self.worst_bound,
+            self.full_load_bound,
+        );
+        match self.deadline {
+            Some(d) => out.push_str(&format!("  every transition meets the {d:?} deadline\n")),
+            None => out.push_str("  no deadline supplied; bounds recorded, not gated\n"),
+        }
+        out.push_str(&format!(
+            "  degraded mode: depth {}, {} subset(s) examined, at worst {} configuration(s) \
+             stay available\n",
+            self.blacklist_depth, self.subsets_examined, self.min_degraded_available
+        ));
+        match self.safe_config {
+            Some(s) => out.push_str(&format!("  safe configuration: index {s}\n")),
+            None => out.push_str("  no safe configuration designated\n"),
+        }
+        out
+    }
+
+    /// Machine-checkable certificate (versioned JSON).
+    pub fn render_json(&self) -> String {
+        let deadline = match self.deadline {
+            Some(d) => format!("{}", d.as_nanos()),
+            None => "null".to_string(),
+        };
+        let safe = match self.safe_config {
+            Some(s) => format!("{s}"),
+            None => "null".to_string(),
+        };
+        let edges = json_array(self.edges.iter().map(|e| {
+            format!(
+                r#"{{"from":{},"to":{},"regions":{},"frames":{},"bound_nanos":{}}}"#,
+                e.from,
+                e.to,
+                json_array(e.regions.iter().map(|r| r.to_string())),
+                e.frames,
+                e.bound.as_nanos()
+            )
+        }));
+        format!(
+            concat!(
+                r#"{{"version":{},"design":{},"configurations":{},"regions":{},"#,
+                r#""icap":{{"clock_hz":{},"bytes_per_cycle":{},"overhead_ns":{}}},"#,
+                r#""deadline_nanos":{},"blacklist_depth":{},"safe_config":{},"#,
+                r#""region_frames":{},"region_users":{},"edges":{},"#,
+                r#""worst_bound_nanos":{},"full_load_bound_nanos":{},"#,
+                r#""subsets_examined":{},"min_degraded_available":{}}}"#
+            ),
+            self.version,
+            json_string(&self.design),
+            self.configurations,
+            self.regions,
+            self.icap.clock_hz,
+            self.icap.bytes_per_cycle,
+            self.icap.overhead_ns,
+            deadline,
+            self.blacklist_depth,
+            safe,
+            json_array(self.region_frames.iter().map(|f| f.to_string())),
+            json_array(
+                self.region_users.iter().map(|us| json_array(us.iter().map(|c| c.to_string())))
+            ),
+            edges,
+            self.worst_bound.as_nanos(),
+            self.full_load_bound.as_nanos(),
+            self.subsets_examined,
+            self.min_degraded_available,
+        )
+    }
+}
+
+/// Outcome of a transition-certification run: every finding plus the
+/// certifier's own model of the transition system.
+#[derive(Debug, Clone)]
+pub struct TransitionReport {
+    /// Every finding, in check order (severity per the rule registry).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The certifier's model (a certificate only when no error-severity
+    /// finding accompanies it).
+    pub certificate: TransitionCertificate,
+}
+
+impl TransitionReport {
+    /// True when no *error*-severity finding was raised (warnings don't
+    /// block certification, matching the linter's contract).
+    pub fn is_certified(&self) -> bool {
+        !self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// True when some finding carries the given rule ID.
+    pub fn has_rule(&self, rule: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Findings one per line (if any), then the certificate or the
+    /// rejection line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        if self.is_certified() {
+            out.push_str(&self.certificate.render_text());
+        } else {
+            out.push_str(&format!(
+                "'{}': {} error(s); transition system NOT certified\n",
+                self.certificate.design,
+                self.count(Severity::Error)
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable report: certification flag, findings, and the
+    /// versioned certificate.
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"certified":{},"diagnostics":{},"certificate":{}}}"#,
+            self.is_certified(),
+            json_array(self.diagnostics.iter().map(Diagnostic::to_json)),
+            self.certificate.render_json(),
+        )
+    }
+
+    /// Compact single-line summary used by the flow gate's error path.
+    pub fn summary_line(&self) -> String {
+        let errors: Vec<&str> = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.rule)
+            .collect();
+        let detail = self
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map(|d| format!("; first: {d}"))
+            .unwrap_or_default();
+        format!("{} error(s) [{}]{}", errors.len(), errors.join(", "), detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prpart_core::{Partitioner, Scheme};
+    use prpart_design::corpus;
+
+    fn wide() -> Resources {
+        Resources::new(120_000, 2_000, 2_000)
+    }
+
+    fn certified_scheme(design: &Design) -> Scheme {
+        Partitioner::new(wide()).partition(design).unwrap().best.expect("feasible").scheme
+    }
+
+    #[test]
+    fn registry_is_sorted_unique_and_tc_prefixed() {
+        let rs = transition_rules();
+        assert_eq!(rs.len(), 10);
+        for w in rs.windows(2) {
+            assert!(w[0].id < w[1].id, "registry must be ID-sorted");
+        }
+        for r in rs {
+            assert!(r.id.starts_with("TC"), "{}", r.id);
+            assert!(!r.summary.is_empty());
+            assert!(!r.name.is_empty());
+        }
+        assert!(transition_rule("TC001").is_some());
+        assert!(transition_rule("TC999").is_none());
+    }
+
+    #[test]
+    fn search_results_certify_clean() {
+        for design in [
+            corpus::abc_example(),
+            corpus::video_receiver(corpus::VideoConfigSet::Original),
+            corpus::video_receiver(corpus::VideoConfigSet::Modified),
+            corpus::special_case_single_mode(),
+        ] {
+            let scheme = certified_scheme(&design);
+            let report = TransitionCertifier::new().certify(&design, &scheme);
+            assert!(report.is_certified(), "{}", report.render_text());
+            assert_eq!(report.count(Severity::Error), 0);
+            let cert = &report.certificate;
+            assert_eq!(cert.version, CERTIFICATE_VERSION);
+            assert_eq!(cert.configurations, design.num_configurations());
+            let c = cert.configurations;
+            assert_eq!(cert.edges.len(), c * c.saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn edges_agree_with_engine_prediction_and_symmetric_frames() {
+        let design = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let scheme = certified_scheme(&design);
+        let cert = TransitionCertifier::new().certify(&design, &scheme).certificate;
+        for e in &cert.edges {
+            assert_eq!(e.frames, scheme.predicted_frames(e.from, e.to));
+            // The must set is symmetric; the time bound need not be.
+            let back = cert.edge(e.to, e.from).expect("graph is complete");
+            assert_eq!(e.frames, back.frames);
+            assert!(e.bound >= time_of(&cert, &e.regions));
+        }
+        assert!(cert.worst_bound <= cert.full_load_bound);
+    }
+
+    fn time_of(cert: &TransitionCertificate, regions: &[usize]) -> Duration {
+        regions.iter().map(|&r| cert.icap.time_for_frames(cert.region_frames[r])).sum()
+    }
+
+    #[test]
+    fn corrupt_presence_cache_rejected_with_tc001_tc002() {
+        let design = corpus::abc_example();
+        let groups: &[&[(&str, &str)]] = &[
+            &[("A", "A1"), ("A", "A2"), ("A", "A3")],
+            &[("B", "B1"), ("B", "B2")],
+            &[("C", "C1"), ("C", "C2"), ("C", "C3")],
+        ];
+        let mut scheme = Scheme::from_named_groups(&design, groups, &[]).expect("valid grouping");
+        // Strip partition 0 (mode A1) of its modes: the independent
+        // derivation now sees region A empty wherever A1 was selected,
+        // while the engine keeps trusting the stale presence cache — the
+        // prediction paths split on every transition touching A1.
+        scheme.partitions[0].modes.clear();
+        let report = TransitionCertifier::new().certify(&design, &scheme);
+        assert!(!report.is_certified());
+        assert!(report.has_rule("TC002"), "{}", report.render_text());
+        assert!(report.has_rule("TC001"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn inflated_resource_cache_rejected_with_tc003() {
+        let design = corpus::abc_example();
+        let mut scheme = certified_scheme(&design);
+        let p = scheme.regions[0].partitions[0];
+        scheme.partitions[p].resources += Resources::new(10_000, 0, 0);
+        let report = TransitionCertifier::new().certify(&design, &scheme);
+        assert!(!report.is_certified());
+        assert!(report.has_rule("TC003"), "{}", report.render_text());
+        assert!(!report.has_rule("TC004"), "an inflated claim cannot spill");
+    }
+
+    #[test]
+    fn understated_resource_cache_spills_with_tc004() {
+        let design = corpus::abc_example();
+        let mut scheme = certified_scheme(&design);
+        // Understate the *first* region's extent so its recomputed frames
+        // no longer fit before the next region's range.
+        let p = scheme.regions[0].partitions[0];
+        scheme.partitions[p].resources = Resources::ZERO;
+        let report = TransitionCertifier::new().certify(&design, &scheme);
+        assert!(report.has_rule("TC003"), "{}", report.render_text());
+        assert!(report.has_rule("TC004"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn zero_frame_active_region_flagged_tc005_as_warning() {
+        // A zero-resource mode that a configuration actually selects: its
+        // region is active somewhere yet has zero frames.
+        let design = prpart_design::DesignBuilder::new("zero-frame")
+            .module("M", [("M1", Resources::new(100, 0, 0)), ("M2", Resources::new(200, 0, 0))])
+            .module("Z", [("Off", Resources::ZERO)])
+            .configuration("c1", [("M", "M1"), ("Z", "Off")])
+            .configuration("c2", [("M", "M2")])
+            .build()
+            .expect("well-formed");
+        let groups: &[&[(&str, &str)]] = &[&[("M", "M1"), ("M", "M2")], &[("Z", "Off")]];
+        let scheme = Scheme::from_named_groups(&design, groups, &[]).expect("valid grouping");
+        let report = TransitionCertifier::new().certify(&design, &scheme);
+        assert!(report.has_rule("TC005"), "{}", report.render_text());
+        assert!(report.is_certified(), "TC005 is a warning: {}", report.render_text());
+    }
+
+    #[test]
+    fn impossible_deadline_rejected_with_tc006() {
+        let design = corpus::abc_example();
+        let scheme = certified_scheme(&design);
+        let report = TransitionCertifier::new()
+            .with_deadline(Duration::from_nanos(1))
+            .certify(&design, &scheme);
+        assert!(!report.is_certified());
+        assert!(report.has_rule("TC006"), "{}", report.render_text());
+        // A deadline above the worst bound certifies clean.
+        let generous = report.certificate.worst_bound + Duration::from_nanos(1);
+        let report = TransitionCertifier::new().with_deadline(generous).certify(&design, &scheme);
+        assert!(report.is_certified(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn region_backed_safe_config_rejected_with_tc007() {
+        let design = corpus::special_case_single_mode();
+        let matrix = prpart_design::ConnectivityMatrix::from_design(&design);
+        let scheme = prpart_core::baselines::per_module(&design, &matrix);
+        let report = TransitionCertifier::new().with_safe_config(0).certify(&design, &scheme);
+        assert!(!report.is_certified());
+        assert!(report.has_rule("TC007"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn static_safe_config_verified_reachable() {
+        // Promote the safe configuration's modules to static: it then
+        // needs no region and survives every blacklist subset.
+        let design = corpus::special_case_single_mode();
+        let groups: &[&[(&str, &str)]] =
+            &[&[("Ethernet", "E1")], &[("FPU", "P1")], &[("CRC", "R1")]];
+        let statics: &[(&str, &str)] = &[("CAN", "C1"), ("FIR", "F1")];
+        let scheme = Scheme::from_named_groups(&design, groups, statics).expect("valid grouping");
+        let report = TransitionCertifier::new()
+            .with_safe_config(0)
+            .with_blacklist_depth(scheme.regions.len())
+            .certify(&design, &scheme);
+        assert!(!report.has_rule("TC007"), "{}", report.render_text());
+        assert!(report.is_certified(), "{}", report.render_text());
+        // Depth covered the full power set over regions.
+        assert_eq!(report.certificate.subsets_examined, (1u64 << scheme.regions.len()) - 1);
+    }
+
+    #[test]
+    fn shared_region_outage_flagged_tc008_as_warning() {
+        // Every configuration uses module A, so blacklisting A's region
+        // is a total outage — reported, but a warning, not a rejection.
+        let design = corpus::abc_example();
+        let matrix = prpart_design::ConnectivityMatrix::from_design(&design);
+        let scheme = prpart_core::baselines::per_module(&design, &matrix);
+        let report = TransitionCertifier::new().certify(&design, &scheme);
+        assert!(report.has_rule("TC008"), "{}", report.render_text());
+        assert!(report.is_certified(), "{}", report.render_text());
+        assert_eq!(report.certificate.min_degraded_available, 0);
+    }
+
+    #[test]
+    fn degenerate_icap_rejected_with_tc009() {
+        let design = corpus::abc_example();
+        let scheme = certified_scheme(&design);
+        let broken = IcapModel { clock_hz: 0, bytes_per_cycle: 4, overhead_ns: 0 };
+        let report = TransitionCertifier::new().with_icap(broken).certify(&design, &scheme);
+        assert!(!report.is_certified());
+        assert!(report.has_rule("TC009"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn configuration_count_mismatch_rejected_with_tc010() {
+        let design = corpus::abc_example();
+        let mut scheme = certified_scheme(&design);
+        scheme.num_configurations += 1;
+        let report = TransitionCertifier::new().certify(&design, &scheme);
+        assert!(!report.is_certified());
+        assert!(report.has_rule("TC010"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn degraded_available_matches_enumeration() {
+        let design = corpus::video_receiver(corpus::VideoConfigSet::Original);
+        let scheme = certified_scheme(&design);
+        let cert = TransitionCertifier::new().certify(&design, &scheme).certificate;
+        assert_eq!(cert.degraded_available(&[]), (0..cert.configurations).collect::<Vec<_>>());
+        for r in 0..cert.regions {
+            for &c in &cert.degraded_available(&[r]) {
+                assert!(!cert.region_users[r].contains(&c));
+            }
+        }
+        // Out-of-range regions are ignored, not a panic.
+        assert_eq!(cert.degraded_available(&[usize::MAX]).len(), cert.configurations);
+    }
+
+    #[test]
+    fn json_certificate_is_versioned_and_complete() {
+        let design = corpus::abc_example();
+        let scheme = certified_scheme(&design);
+        let report = TransitionCertifier::new()
+            .with_deadline(Duration::from_millis(50))
+            .certify(&design, &scheme);
+        let json = report.render_json();
+        assert!(json.starts_with(r#"{"certified":true"#), "{json}");
+        assert!(json.contains(r#""version":1"#));
+        assert!(json.contains(r#""deadline_nanos":50000000"#));
+        assert!(json.contains(r#""edges":["#));
+        assert!(json.contains(r#""subsets_examined":"#));
+        let text = report.render_text();
+        assert!(text.contains("transition certificate v1"), "{text}");
+    }
+
+    #[test]
+    fn observed_certification_exports_graph_counters() {
+        let design = corpus::abc_example();
+        let scheme = certified_scheme(&design);
+        let obs = ObsHandle::enabled();
+        let report = TransitionCertifier::new().certify_observed(&design, &scheme, &obs);
+        let snap = obs.snapshot();
+        let counter = |name: &str| {
+            snap.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        assert_eq!(counter("certify.states"), report.certificate.configurations as u64);
+        assert_eq!(counter("certify.edges"), report.certificate.edges.len() as u64);
+        assert_eq!(counter("certify.violations"), 0);
+        // The disabled handle stays a no-op.
+        let disabled = ObsHandle::disabled();
+        TransitionCertifier::new().certify_observed(&design, &scheme, &disabled);
+    }
+}

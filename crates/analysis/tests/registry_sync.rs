@@ -1,0 +1,128 @@
+//! Registry ↔ documentation sync: the rule tables in
+//! `docs/static_analysis.md` and in the module doc-comments must match
+//! the `rules()` / `check_rules()` / `transition_rules()` registries
+//! exactly, so neither the docs nor the doc-comments can silently
+//! drift when a rule is added or reclassified.
+
+use prpart_analysis::{check_rules, rules, transition_rules, Severity};
+use std::collections::BTreeMap;
+
+const LINT_SRC: &str = include_str!("../src/lint.rs");
+const CHECK_SRC: &str = include_str!("../src/check.rs");
+const TRANSITION_SRC: &str = include_str!("../src/transition.rs");
+const DOCS: &str = include_str!("../../../docs/static_analysis.md");
+
+fn severity_word(s: Severity) -> &'static str {
+    match s {
+        Severity::Info => "info",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// Extracts `| <PREFIXnnn> | col | col | ... |` rows from markdown text
+/// (doc-comment `//!` prefixes are stripped first), keyed by rule ID.
+fn table_rows(text: &str, prefix: &str) -> BTreeMap<String, Vec<String>> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim_start().trim_start_matches("//!").trim();
+        let Some(body) = line.strip_prefix('|') else { continue };
+        let cells: Vec<String> =
+            body.trim_end_matches('|').split('|').map(|c| c.trim().to_string()).collect();
+        let Some(first) = cells.first() else { continue };
+        if first.starts_with(prefix) && first.len() == prefix.len() + 3 {
+            let old = out.insert(first.clone(), cells[1..].to_vec());
+            assert!(old.is_none(), "duplicate table row for {first}");
+        }
+    }
+    out
+}
+
+#[test]
+fn lint_module_doc_table_matches_registry() {
+    let rows = table_rows(LINT_SRC, "PL");
+    assert_eq!(
+        rows.keys().cloned().collect::<Vec<_>>(),
+        rules().iter().map(|r| r.id.to_string()).collect::<Vec<_>>(),
+        "lint.rs doc table and registry list different rule IDs"
+    );
+    for r in rules() {
+        let cells = &rows[r.id];
+        assert_eq!(cells[0], severity_word(r.severity), "{}: severity drifted in lint.rs", r.id);
+    }
+}
+
+#[test]
+fn lint_docs_table_matches_registry() {
+    let rows = table_rows(DOCS, "PL");
+    assert_eq!(
+        rows.keys().cloned().collect::<Vec<_>>(),
+        rules().iter().map(|r| r.id.to_string()).collect::<Vec<_>>(),
+        "docs/static_analysis.md PL table and registry list different rule IDs"
+    );
+    for r in rules() {
+        let cells = &rows[r.id];
+        assert_eq!(cells[0], severity_word(r.severity), "{}: severity drifted in docs", r.id);
+        assert_eq!(cells[1], r.name, "{}: name drifted in docs", r.id);
+    }
+}
+
+#[test]
+fn check_module_doc_table_matches_registry() {
+    let rows = table_rows(CHECK_SRC, "PC");
+    assert_eq!(
+        rows.keys().cloned().collect::<Vec<_>>(),
+        check_rules().iter().map(|r| r.id.to_string()).collect::<Vec<_>>(),
+        "check.rs doc table and registry list different rule IDs"
+    );
+    for r in check_rules() {
+        assert_eq!(rows[r.id][0], r.summary, "{}: summary drifted in check.rs", r.id);
+    }
+}
+
+#[test]
+fn check_docs_table_matches_registry() {
+    let rows = table_rows(DOCS, "PC");
+    assert_eq!(
+        rows.keys().cloned().collect::<Vec<_>>(),
+        check_rules().iter().map(|r| r.id.to_string()).collect::<Vec<_>>(),
+        "docs/static_analysis.md PC table and registry list different rule IDs"
+    );
+}
+
+#[test]
+fn transition_module_doc_table_matches_registry() {
+    let rows = table_rows(TRANSITION_SRC, "TC");
+    assert_eq!(
+        rows.keys().cloned().collect::<Vec<_>>(),
+        transition_rules().iter().map(|r| r.id.to_string()).collect::<Vec<_>>(),
+        "transition.rs doc table and registry list different rule IDs"
+    );
+    for r in transition_rules() {
+        let cells = &rows[r.id];
+        assert_eq!(
+            cells[0],
+            severity_word(r.severity),
+            "{}: severity drifted in transition.rs",
+            r.id
+        );
+        assert_eq!(cells[1], r.name, "{}: name drifted in transition.rs", r.id);
+        assert_eq!(cells[2], r.summary, "{}: summary drifted in transition.rs", r.id);
+    }
+}
+
+#[test]
+fn transition_docs_table_matches_registry() {
+    let rows = table_rows(DOCS, "TC");
+    assert_eq!(
+        rows.keys().cloned().collect::<Vec<_>>(),
+        transition_rules().iter().map(|r| r.id.to_string()).collect::<Vec<_>>(),
+        "docs/static_analysis.md TC table and registry list different rule IDs"
+    );
+    for r in transition_rules() {
+        let cells = &rows[r.id];
+        assert_eq!(cells[0], severity_word(r.severity), "{}: severity drifted in docs", r.id);
+        assert_eq!(cells[1], r.name, "{}: name drifted in docs", r.id);
+        assert_eq!(cells[2], r.summary, "{}: summary drifted in docs", r.id);
+    }
+}

@@ -1,0 +1,45 @@
+//! X10: certifier scaling — transition-certifier wall-time as the
+//! configuration count grows (the complete transition graph is
+//! quadratic in configurations), plus the invariant checks (every size
+//! certifies clean with a complete edge set).
+//!
+//! Usage: `certify_scaling [max_configs] [--quick] [--out FILE]`
+//! (defaults: 64, FILE `BENCH_certify.json`). `--quick` caps the study
+//! at 16 configurations for CI smoke runs.
+
+use prpart_bench::CertifyScalingConfig;
+use prpart_bench::{certify_scaling_json, render_certify_scaling, run_certify_scaling};
+
+fn main() {
+    let mut cfg = CertifyScalingConfig::default();
+    let mut out_path = String::from("BENCH_certify.json");
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cfg.sizes.retain(|&c| c <= 16),
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if let Some(max) = positional.first().and_then(|s| s.parse::<usize>().ok()) {
+        cfg.sizes.retain(|&c| c <= max);
+    }
+
+    let records = run_certify_scaling(&cfg);
+    println!(
+        "certify scaling: {} size(s) up to {} configurations, blacklist depth {}\n",
+        records.len(),
+        records.last().map_or(0, |r| r.configurations),
+        cfg.blacklist_depth
+    );
+    println!("{}", render_certify_scaling(&records));
+    println!(
+        "\ntime is one full certification: the complete C·(C−1) transition\n\
+         graph, frame accounting per region, and degraded-mode subsets."
+    );
+
+    let json = certify_scaling_json(&records);
+    std::fs::write(&out_path, json).expect("write bench artefact");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,178 @@
+//! Certifier scaling study (extension X10): transition-certifier
+//! wall-time versus configuration count.
+//!
+//! The certifier's transition graph is complete — `C·(C−1)` ordered
+//! edges for `C` configurations — so its cost is quadratic in the
+//! configuration count and linear in the region count per edge. This
+//! experiment builds a family of binary-encoded designs with exact
+//! configuration counts (each of `m` two-mode modules contributes one
+//! selection bit, so `C = 2^m`), partitions each with the deterministic
+//! per-module baseline, and measures one full certification per size.
+//!
+//! [`certify_scaling_json`] renders the records as the
+//! `BENCH_certify.json` artefact.
+
+use crate::table::TextTable;
+use prpart_analysis::TransitionCertifier;
+use prpart_arch::Resources;
+use prpart_core::Scheme;
+use prpart_design::{Design, DesignBuilder};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Scaling-study parameters.
+#[derive(Debug, Clone)]
+pub struct CertifyScalingConfig {
+    /// Configuration counts to measure, each a power of two.
+    pub sizes: Vec<usize>,
+    /// Blacklist-subset depth the certifier explores at every size.
+    pub blacklist_depth: usize,
+}
+
+impl Default for CertifyScalingConfig {
+    fn default() -> Self {
+        CertifyScalingConfig { sizes: vec![4, 8, 16, 32, 64], blacklist_depth: 1 }
+    }
+}
+
+/// One size's measurement.
+#[derive(Debug, Clone)]
+pub struct CertifyScalingRecord {
+    /// Configurations in the design.
+    pub configurations: usize,
+    /// Reconfigurable regions in the certified scheme.
+    pub regions: usize,
+    /// Ordered transition edges in the certificate.
+    pub edges: usize,
+    /// Blacklist subsets examined for degraded-mode reachability.
+    pub subsets: u64,
+    /// Wall time of one certification, in milliseconds.
+    pub millis: f64,
+}
+
+/// Builds the binary-encoded design with exactly `configs`
+/// configurations (`configs` must be a power of two ≥ 2): module `i`'s
+/// mode selection is bit `i` of the configuration index.
+pub fn binary_design(configs: usize) -> Design {
+    assert!(configs >= 2 && configs.is_power_of_two(), "need a power of two, got {configs}");
+    let bits = configs.trailing_zeros() as usize;
+    let mut b = DesignBuilder::new("certify-scaling").static_overhead(Resources::new(90, 8, 0));
+    for i in 0..bits {
+        b = b.module(
+            &format!("M{i}"),
+            [
+                ("a", Resources::new(100 + 10 * i as u32, 2, 0)),
+                ("b", Resources::new(150 + 10 * i as u32, 0, 2)),
+            ],
+        );
+    }
+    for c in 0..configs {
+        let selection: Vec<(String, &str)> =
+            (0..bits).map(|i| (format!("M{i}"), if c >> i & 1 == 0 { "a" } else { "b" })).collect();
+        let named: Vec<(&str, &str)> = selection.iter().map(|(m, s)| (m.as_str(), *s)).collect();
+        b = b.configuration(&format!("c{c}"), named);
+    }
+    b.build().expect("binary design is valid")
+}
+
+/// The deterministic per-module scheme the study certifies: each
+/// module's mode pair shares one region.
+fn per_module_scheme(design: &Design) -> Scheme {
+    let matrix = prpart_design::ConnectivityMatrix::from_design(design);
+    prpart_core::baselines::per_module(design, &matrix)
+}
+
+/// Runs the study: one certification per configured size. Panics if any
+/// certification fails or the edge count disagrees with the complete
+/// graph — a bench artefact from a broken certifier is worthless.
+pub fn run_certify_scaling(cfg: &CertifyScalingConfig) -> Vec<CertifyScalingRecord> {
+    let mut out = Vec::new();
+    for &configs in &cfg.sizes {
+        let design = binary_design(configs);
+        let scheme = per_module_scheme(&design);
+        let certifier = TransitionCertifier::new().with_blacklist_depth(cfg.blacklist_depth);
+        let start = Instant::now();
+        let report = certifier.certify(&design, &scheme);
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        assert!(report.is_certified(), "{}", report.render_text());
+        let cert = report.certificate;
+        assert_eq!(cert.edges.len(), configs * (configs - 1), "complete transition graph");
+        out.push(CertifyScalingRecord {
+            configurations: configs,
+            regions: cert.regions,
+            edges: cert.edges.len(),
+            subsets: cert.subsets_examined,
+            millis,
+        });
+    }
+    out
+}
+
+/// Renders the study as a text table.
+pub fn render_certify_scaling(records: &[CertifyScalingRecord]) -> String {
+    let mut t = TextTable::new(["configs", "regions", "edges", "subsets", "time (ms)"]);
+    for r in records {
+        t.row([
+            r.configurations.to_string(),
+            r.regions.to_string(),
+            r.edges.to_string(),
+            r.subsets.to_string(),
+            format!("{:.3}", r.millis),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the study as the `BENCH_certify.json` artefact (hand-rolled
+/// like `BENCH_budget.json`; every value is a number, so no escaping is
+/// needed).
+pub fn certify_scaling_json(records: &[CertifyScalingRecord]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"certify_scaling\",");
+    let _ = writeln!(s, "  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"configurations\": {}, \"regions\": {}, \"edges\": {}, \
+             \"subsets\": {}, \"millis\": {:.3}}}{}",
+            r.configurations,
+            r.regions,
+            r.edges,
+            r.subsets,
+            r.millis,
+            if i + 1 < records.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_design_has_exact_configuration_count() {
+        for c in [2usize, 4, 8, 16] {
+            let d = binary_design(c);
+            assert_eq!(d.num_configurations(), c);
+            assert_eq!(d.modules().len(), c.trailing_zeros() as usize);
+        }
+    }
+
+    #[test]
+    fn quick_study_certifies_every_size_with_complete_graphs() {
+        let cfg = CertifyScalingConfig { sizes: vec![4, 8], blacklist_depth: 1 };
+        let records = run_certify_scaling(&cfg);
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(r.edges, r.configurations * (r.configurations - 1));
+            assert!(r.regions > 0);
+            assert!(r.subsets >= r.regions as u64, "depth 1 examines every singleton");
+        }
+        let json = certify_scaling_json(&records);
+        assert!(json.contains("\"bench\": \"certify_scaling\""));
+        assert!(json.contains("\"configurations\": 8"));
+    }
+}

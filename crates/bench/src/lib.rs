@@ -19,6 +19,7 @@
 //! | X6 | fault-rate vs availability sweep | [`reliability`] |
 //! | X7 | search throughput (sequential vs parallel) | [`search_throughput`] |
 //! | X8 | budgeted-search anytime quality | [`budgeted`] |
+//! | X10 | certifier wall-time vs configuration count | [`certify`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +27,7 @@
 pub mod ablation;
 pub mod budgeted;
 pub mod casestudy;
+pub mod certify;
 pub mod chaos;
 pub mod figures;
 pub mod reliability;
@@ -38,6 +40,10 @@ pub mod table;
 pub use budgeted::{
     budget_profile_json, render_budget_profile, run_budget_profile, BudgetProfileConfig,
     BudgetProfileRecord,
+};
+pub use certify::{
+    certify_scaling_json, render_certify_scaling, run_certify_scaling, CertifyScalingConfig,
+    CertifyScalingRecord,
 };
 pub use chaos::{
     chaos_bench_json, render_chaos_bench, run_chaos_bench, ChaosBenchConfig, ChaosRecord,

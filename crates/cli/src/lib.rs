@@ -17,7 +17,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use prpart_analysis::{lint_design, LintOptions, ProofChecker};
+use prpart_analysis::{lint_design, LintOptions, ProofChecker, TransitionCertifier};
 use prpart_arch::{DeviceLibrary, Resources};
 use prpart_core::device_select::select_device;
 use prpart_core::report::{outcome_summary, scheme_report};
@@ -204,6 +204,22 @@ pub enum Command {
         /// The report's times were computed under pessimistic semantics.
         pessimistic: bool,
         /// Emit machine-readable JSON instead of text.
+        json: bool,
+    },
+    /// `prpart certify <design.xml> <scheme.xml> [--deadline SECS]
+    /// [--blacklist-depth K] [--safe-config NAME] [--format json|text]`.
+    Certify {
+        /// Design XML path.
+        design: String,
+        /// Partitioning report XML (from `partition --xml-out`).
+        scheme: String,
+        /// Per-transition worst-case deadline in seconds (TC006).
+        deadline: Option<f64>,
+        /// Blacklist-subset depth for degraded-mode reachability.
+        blacklist_depth: Option<usize>,
+        /// Safe configuration whose reachability must be proven (TC007).
+        safe_config: Option<String>,
+        /// Emit the machine-checkable JSON certificate instead of text.
         json: bool,
     },
     /// `prpart report <design.xml> <scheme.xml> [--simulate]`.
@@ -406,6 +422,9 @@ USAGE:
               [--library FILE] [--json]
   prpart check <design.xml> <scheme.xml> [--device NAME | --budget CLB,BRAM,DSP]
                [--library FILE] [--pessimistic] [--json]
+  prpart certify <design.xml> <scheme.xml> [--deadline SECS]
+                 [--blacklist-depth K] [--safe-config NAME]
+                 [--format json|text]
   prpart info <design.xml>
   prpart help
 
@@ -413,7 +432,13 @@ USAGE:
 it exits non-zero when an error-severity finding is present. `check`
 re-verifies a saved partitioning report with the independent
 proof-checker (rules PC001..) and exits non-zero unless the scheme
-certifies clean. See docs/static_analysis.md.
+certifies clean. `certify` model-checks the complete
+configuration-transition graph (rules TC001..): frame predictions,
+worst-case transition-time bounds against `--deadline`, single-ICAP
+serialization, and degraded-mode reachability for every region
+blacklist up to `--blacklist-depth` (with `--safe-config` reachability
+proven). `--format json` emits the versioned machine-checkable
+certificate. See docs/static_analysis.md.
 
 `--threads N` fans the region-allocation search across N worker threads
 (0, the default, uses one per core). The result is byte-identical for
@@ -873,6 +898,59 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 _ => err("check: need <design.xml> <scheme.xml>"),
             }
         }
+        "certify" => {
+            let mut design = None;
+            let mut scheme = None;
+            let mut deadline = None;
+            let mut blacklist_depth = None;
+            let mut safe_config = None;
+            let mut json = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--deadline" => {
+                        let secs: f64 = flag_value("--deadline", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--deadline needs seconds".into() })?;
+                        if !secs.is_finite() || secs < 0.0 {
+                            return err("--deadline must be a non-negative number of seconds");
+                        }
+                        deadline = Some(secs);
+                    }
+                    "--blacklist-depth" => {
+                        blacklist_depth =
+                            Some(flag_value("--blacklist-depth", &mut it)?.parse().map_err(
+                                |_| CliError { message: "--blacklist-depth needs a number".into() },
+                            )?);
+                    }
+                    "--safe-config" => safe_config = Some(flag_value("--safe-config", &mut it)?),
+                    "--format" => {
+                        json = match flag_value("--format", &mut it)?.as_str() {
+                            "json" => true,
+                            "text" => false,
+                            other => {
+                                return err(format!(
+                                    "certify: unknown format '{other}' (json|text)"
+                                ))
+                            }
+                        };
+                    }
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    _ if scheme.is_none() && !a.starts_with('-') => scheme = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            match (design, scheme) {
+                (Some(design), Some(scheme)) => Ok(Command::Certify {
+                    design,
+                    scheme,
+                    deadline,
+                    blacklist_depth,
+                    safe_config,
+                    json,
+                }),
+                _ => err("certify: need <design.xml> <scheme.xml>"),
+            }
+        }
         "report" => {
             let mut design = None;
             let mut scheme = None;
@@ -1031,6 +1109,45 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
             };
             let evaluated = EvaluatedScheme { scheme: loaded, metrics };
             let report = checker.certify(&design, &evaluated);
+            let rendered = if json {
+                let mut j = report.render_json();
+                j.push('\n');
+                j
+            } else {
+                report.render_text()
+            };
+            if report.is_certified() {
+                Ok(rendered)
+            } else {
+                Err(CliError { message: rendered })
+            }
+        }
+        Command::Certify { design, scheme, deadline, blacklist_depth, safe_config, json } => {
+            let design = load_design(&design)?;
+            let text = std::fs::read_to_string(&scheme)
+                .map_err(|e| CliError { message: format!("cannot read {scheme}: {e}") })?;
+            let doc = prpart_xmlio::parse(&text)
+                .map_err(|e| CliError { message: format!("{scheme}: {e}") })?;
+            // Like `check`, the *raw* loader: a defective report must
+            // reach the certifier, not be filtered out by validation.
+            let loaded = prpart_xmlio::schema::raw_scheme_from_xml(&design, &doc)
+                .map_err(|e| CliError { message: format!("{scheme}: {e}") })?;
+            let mut certifier = TransitionCertifier::new();
+            if let Some(secs) = deadline {
+                certifier = certifier.with_deadline(std::time::Duration::from_secs_f64(secs));
+            }
+            if let Some(k) = blacklist_depth {
+                certifier = certifier.with_blacklist_depth(k);
+            }
+            if let Some(name) = &safe_config {
+                let idx = design.configurations().iter().position(|c| c.name == *name).ok_or_else(
+                    || CliError {
+                        message: format!("unknown configuration '{name}' for --safe-config"),
+                    },
+                )?;
+                certifier = certifier.with_safe_config(idx);
+            }
+            let report = certifier.certify(&design, &loaded);
             let rendered = if json {
                 let mut j = report.render_json();
                 j.push('\n');
@@ -2111,6 +2228,94 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains(r#""certified":true"#), "{out}");
+    }
+
+    #[test]
+    fn parses_certify_flags() {
+        let c = parse_args(&s(&[
+            "certify",
+            "d.xml",
+            "r.xml",
+            "--deadline",
+            "0.5",
+            "--blacklist-depth",
+            "2",
+            "--safe-config",
+            "conf1",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Certify { design, scheme, deadline, blacklist_depth, safe_config, json } => {
+                assert_eq!(design, "d.xml");
+                assert_eq!(scheme, "r.xml");
+                assert_eq!(deadline, Some(0.5));
+                assert_eq!(blacklist_depth, Some(2));
+                assert_eq!(safe_config.as_deref(), Some("conf1"));
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&s(&["certify", "d.xml"])).is_err());
+        assert!(parse_args(&s(&["certify", "d.xml", "r.xml", "--format", "xml"])).is_err());
+        assert!(parse_args(&s(&["certify", "d.xml", "r.xml", "--deadline", "-1"])).is_err());
+    }
+
+    /// `prpart certify` end-to-end: a saved report earns a transition
+    /// certificate (ISSUE acceptance criterion), `--format json` emits
+    /// the versioned machine-checkable document, an impossible
+    /// `--deadline` is rejected with TC006, and a safe configuration
+    /// that depends on a reconfigurable region is rejected with TC007.
+    #[test]
+    fn certify_emits_certificate_and_rejects_violations() {
+        let dir = std::env::temp_dir().join("prpart-cli-certify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::abc_example();
+        let design_path = dir.join("abc.xml");
+        std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
+        let scheme_path = dir.join("scheme.xml");
+        run(Command::Partition {
+            design: design_path.to_string_lossy().into_owned(),
+            target: Target::Budget(Resources::new(100_000, 1_000, 1_000)),
+            strategy: None,
+            no_static: false,
+            pessimistic: false,
+            xml_out: Some(scheme_path.to_string_lossy().into_owned()),
+            library: None,
+            weights: None,
+            threads: 0,
+            resilience: Default::default(),
+            obs: Default::default(),
+        })
+        .unwrap();
+        let certify = |deadline: Option<f64>, safe: Option<&str>, json: bool| {
+            run(Command::Certify {
+                design: design_path.to_string_lossy().into_owned(),
+                scheme: scheme_path.to_string_lossy().into_owned(),
+                deadline,
+                blacklist_depth: None,
+                safe_config: safe.map(str::to_owned),
+                json,
+            })
+        };
+        let out = certify(None, None, false).unwrap();
+        assert!(out.contains("transition certificate"), "{out}");
+        let j = certify(None, None, true).unwrap();
+        assert!(j.contains(r#""certified":true"#), "{j}");
+        assert!(j.contains(r#""version":"#), "{j}");
+        assert!(j.contains(r#""worst_bound_nanos":"#), "{j}");
+
+        let err = certify(Some(1e-9), None, false).unwrap_err();
+        assert!(err.to_string().contains("TC006"), "{err}");
+
+        // Every abc configuration selects a mode in every module, so any
+        // safe configuration depends on a reconfigurable region.
+        let err = certify(None, Some("conf1"), false).unwrap_err();
+        assert!(err.to_string().contains("TC007"), "{err}");
+
+        let err = certify(None, Some("no-such-config"), false).unwrap_err();
+        assert!(err.to_string().contains("unknown configuration"), "{err}");
     }
 
     #[test]

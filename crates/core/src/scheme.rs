@@ -233,17 +233,36 @@ impl Scheme {
         states
     }
 
+    /// Regions (by index) that reconfigure when switching configuration
+    /// `i` → `j` under `semantics`. Symmetric in `i` and `j`; this is the
+    /// single region-selection path behind [`Scheme::transition_frames`]
+    /// and the runtime's frame prediction.
+    pub fn transition_regions(
+        &self,
+        i: usize,
+        j: usize,
+        semantics: TransitionSemantics,
+    ) -> Vec<usize> {
+        (0..self.regions.len())
+            .filter(|&r| {
+                let states = self.region_states(r);
+                region_reconfigures(states[i], states[j], semantics)
+            })
+            .collect()
+    }
+
     /// Frames written when switching configuration `i` → `j` (Eq. 8 with
     /// `tcon_r` in frames). Symmetric in `i` and `j`.
     pub fn transition_frames(&self, i: usize, j: usize, semantics: TransitionSemantics) -> u64 {
-        let mut total = 0;
-        for r in 0..self.regions.len() {
-            let states = self.region_states(r);
-            if region_reconfigures(states[i], states[j], semantics) {
-                total += self.region_frames(r);
-            }
-        }
-        total
+        self.transition_regions(i, j, semantics).into_iter().map(|r| self.region_frames(r)).sum()
+    }
+
+    /// The runtime's frame prediction for an actual `from` → `to` switch:
+    /// optimistic semantics (Eq. 8), because at run time a don't-care
+    /// region keeps whatever it holds. `ConfigurationManager` and the
+    /// transition certifier both call this one path.
+    pub fn predicted_frames(&self, from: usize, to: usize) -> u64 {
+        self.transition_frames(from, to, TransitionSemantics::Optimistic)
     }
 
     /// Total reconfiguration time over all unordered configuration pairs,

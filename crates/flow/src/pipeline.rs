@@ -5,7 +5,7 @@ use crate::netlist::{build_netlists, RegionNetlist};
 use crate::store::{self, ArtifactKind, ArtifactStore, Manifest, ManifestEntry, StoreError};
 use crate::wrapper::{self, Wrapper};
 use bytes::Bytes;
-use prpart_analysis::ProofChecker;
+use prpart_analysis::{ProofChecker, TransitionCertificate, TransitionCertifier};
 use prpart_arch::{frames_for, Device};
 use prpart_core::{
     EvaluatedScheme, PartitionError, Partitioner, SearchBudget, SearchOutcome, TransitionSemantics,
@@ -92,6 +92,12 @@ pub struct FlowArtifacts {
     pub partial_bitstreams: Vec<PartialBitstream>,
     /// The full power-on bitstream.
     pub full_bitstream: Bytes,
+    /// The transition-system certificate: the statically model-checked
+    /// configuration-transition graph (frame counts, worst-case time
+    /// bounds, degraded-mode reachability) the scheme was certified
+    /// against. Persisted as `certificate.json` so the store manifest
+    /// records its digest.
+    pub transition_certificate: TransitionCertificate,
     /// Feedback retries the floorplanner needed.
     pub floorplan_retries: usize,
     /// Why the partitioning search ended. Anything other than
@@ -311,6 +317,17 @@ impl FlowPipeline {
         if !report.is_certified() {
             return Err(FlowError::Certification(report.summary_line()));
         }
+        // Second gate: the transition-system certifier model-checks the
+        // complete configuration-transition graph (frame predictions,
+        // worst-case time bounds, degraded-mode reachability).
+        let transitions = TransitionCertifier::new().certify_observed(
+            design,
+            &planned.evaluated.scheme,
+            &self.obs,
+        );
+        if !transitions.is_certified() {
+            return Err(FlowError::Certification(transitions.summary_line()));
+        }
         Ok((planned.evaluated, planned.floorplan, planned.retries, planned.search_outcome))
     }
 
@@ -334,6 +351,14 @@ impl FlowPipeline {
         };
         let static_frames = frames_for(&design.static_overhead());
         let full_bitstream = bitstream::generate_full(&evaluated.scheme, static_frames);
+        // The persisted certificate must describe exactly the scheme the
+        // artefacts were generated from (canonicalised on the store
+        // path), so it is recomputed here rather than threaded through
+        // from the search-time gate.
+        let transitions = TransitionCertifier::new().certify(&design, &evaluated.scheme);
+        if !transitions.is_certified() {
+            return Err(FlowError::Certification(transitions.summary_line()));
+        }
         Ok(FlowArtifacts {
             design,
             evaluated,
@@ -343,6 +368,7 @@ impl FlowPipeline {
             netlists,
             partial_bitstreams,
             full_bitstream,
+            transition_certificate: transitions.certificate,
             floorplan_retries,
             search_outcome,
         })
@@ -399,6 +425,12 @@ impl FlowPipeline {
         if !report.is_certified() {
             return None;
         }
+        // A stored scheme whose transition graph no longer certifies is
+        // treated like any other stale artifact: fall back to a fresh
+        // search rather than resume from it.
+        if !TransitionCertifier::new().certify(design, &evaluated.scheme).is_certified() {
+            return None;
+        }
         let floorplan = Floorplanner::new(self.device.geometry())
             .place_scheme(&evaluated.scheme, design.static_overhead())
             .ok()?;
@@ -447,6 +479,11 @@ impl FlowPipeline {
             FULL_NAME.to_string(),
             ArtifactKind::Full,
             artifacts.full_bitstream.to_vec(),
+        ));
+        planned.push((
+            CERTIFICATE_NAME.to_string(),
+            ArtifactKind::Certificate,
+            artifacts.transition_certificate.render_json().into_bytes(),
         ));
 
         let mut entries = BTreeMap::new();
@@ -498,6 +535,8 @@ pub const SCHEME_NAME: &str = "scheme.xml";
 pub const UCF_NAME: &str = "constraints.ucf";
 /// Store name of the full power-on bitstream artifact.
 pub const FULL_NAME: &str = "full.bit";
+/// Store name of the transition-system certificate artifact.
+pub const CERTIFICATE_NAME: &str = "certificate.json";
 
 /// Inverse of [`SearchOutcome`]'s display form (manifest round-trip).
 fn parse_outcome(text: &str) -> Option<SearchOutcome> {
@@ -620,6 +659,11 @@ mod tests {
         assert!(manifest.entries.contains_key(SCHEME_NAME));
         assert!(manifest.entries.contains_key(UCF_NAME));
         assert!(manifest.entries.contains_key(FULL_NAME));
+        let cert_entry = manifest.entries.get(CERTIFICATE_NAME).expect("certificate in manifest");
+        assert_eq!(cert_entry.kind, ArtifactKind::Certificate);
+        let cert_json = first.transition_certificate.render_json();
+        assert_eq!(cert_entry.digest, store::digest64(cert_json.as_bytes()));
+        assert_eq!(std::fs::read(dir.join(CERTIFICATE_NAME)).unwrap(), cert_json.into_bytes());
         assert_eq!(manifest.partial_pairs().len(), first.partial_bitstreams.len());
         assert_eq!(store.stats().reused, 0);
         let clean = store_bytes(&dir);

@@ -334,6 +334,8 @@ pub enum ArtifactKind {
     Partial,
     /// The full power-on bitstream.
     Full,
+    /// The transition-system certificate (`certificate.json`).
+    Certificate,
 }
 
 impl ArtifactKind {
@@ -346,6 +348,7 @@ impl ArtifactKind {
             ArtifactKind::Netlist => "netlist",
             ArtifactKind::Partial => "partial",
             ArtifactKind::Full => "full",
+            ArtifactKind::Certificate => "certificate",
         }
     }
 
@@ -357,6 +360,7 @@ impl ArtifactKind {
             "netlist" => ArtifactKind::Netlist,
             "partial" => ArtifactKind::Partial,
             "full" => ArtifactKind::Full,
+            "certificate" => ArtifactKind::Certificate,
             _ => return None,
         })
     }

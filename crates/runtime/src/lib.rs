@@ -79,7 +79,8 @@ pub use icap::{IcapController, IcapStats, LoadFault, LoadSuccess};
 pub use loader::{LoaderStats, StoreBackedManager, VerifiedBitstreamLoader};
 pub use manager::{ConfigurationManager, RecoveryPolicy, TransitionRecord};
 pub use montecarlo::{
-    run_monte_carlo, run_monte_carlo_observed, MonteCarloConfig, MonteCarloReport, WalkStats,
+    run_monte_carlo, run_monte_carlo_observed, run_monte_carlo_traced, DegradedState,
+    MonteCarloConfig, MonteCarloReport, ObservedTransition, RuntimeTrace, WalkStats,
 };
 pub use profiling::{estimate_weights, TransitionProfile};
 pub use telemetry::ReliabilityTelemetry;

@@ -87,6 +87,17 @@ pub struct TransitionRecord {
     pub fell_back: bool,
 }
 
+impl TransitionRecord {
+    /// The fault-free portion of [`TransitionRecord::time`]: what the
+    /// transition cost at the port with every recovery episode removed.
+    /// This is the quantity the static certifier's per-transition bound
+    /// dominates (recovery time is unbounded by design: it scales with
+    /// the retry budget, not the scheme).
+    pub fn clean_time(&self) -> Duration {
+        self.time.saturating_sub(self.recovery_time)
+    }
+}
+
 /// Outcome of loading one region, including recovery accounting.
 struct RegionLoad {
     /// Total simulated time, recovery included.
@@ -420,9 +431,11 @@ impl ConfigurationManager {
     }
 
     /// The model's pairwise prediction for comparison (Eq. 8 in frames,
-    /// optimistic semantics).
+    /// optimistic semantics) — delegates to the scheme's shared
+    /// prediction path so the runtime and the static certifier can never
+    /// disagree by construction.
     pub fn predicted_frames(&self, from: usize, to: usize) -> u64 {
-        self.scheme.transition_frames(from, to, prpart_core::TransitionSemantics::Optimistic)
+        self.scheme.predicted_frames(from, to)
     }
 }
 

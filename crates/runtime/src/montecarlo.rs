@@ -127,8 +127,8 @@ pub fn run_monte_carlo(scheme: &Scheme, config: MonteCarloConfig) -> MonteCarloR
                 if i >= config.walks {
                     break;
                 }
-                let (stats, telemetry) = run_one_walk(scheme, &config, i);
-                results.lock().push((i, stats, telemetry));
+                let (stats, manager) = run_one_walk(scheme, &config, i);
+                results.lock().push((i, stats, manager.telemetry().clone()));
             });
         }
     })
@@ -136,9 +136,35 @@ pub fn run_monte_carlo(scheme: &Scheme, config: MonteCarloConfig) -> MonteCarloR
 
     let mut collected = results.into_inner();
     collected.sort_by_key(|(i, _, _)| *i);
+    aggregate(scheme, collected.into_iter().map(|(_, s, t)| (s, t)).collect())
+}
+
+/// [`run_monte_carlo`] plus a [`RuntimeTrace`] for cross-validation
+/// against the static transition certifier. Walks run serially (same
+/// walk/fault seeds, so the report is identical to the parallel run);
+/// the trace keeps per-ordered-pair maxima and every distinct degraded
+/// (blacklist) state any walk ended in.
+pub fn run_monte_carlo_traced(
+    scheme: &Scheme,
+    config: MonteCarloConfig,
+) -> (MonteCarloReport, RuntimeTrace) {
+    let mut collected = Vec::with_capacity(config.walks);
+    let mut trace = RuntimeTrace::default();
+    for i in 0..config.walks {
+        let (stats, manager) = run_one_walk(scheme, &config, i);
+        trace.absorb(&manager);
+        collected.push((stats, manager.telemetry().clone()));
+    }
+    (aggregate(scheme, collected), trace)
+}
+
+fn aggregate(
+    scheme: &Scheme,
+    collected: Vec<(WalkStats, ReliabilityTelemetry)>,
+) -> MonteCarloReport {
     let mut telemetry = ReliabilityTelemetry::new(scheme.regions.len());
     let mut walks = Vec::with_capacity(collected.len());
-    for (_, s, t) in collected {
+    for (s, t) in collected {
         telemetry.merge(&t);
         walks.push(s);
     }
@@ -189,11 +215,81 @@ pub fn run_monte_carlo_observed(
     report
 }
 
+/// One runtime-observed ordered transition, folded to its maxima — the
+/// exact shape the static certifier's per-edge bound must dominate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedTransition {
+    /// Source configuration.
+    pub from: usize,
+    /// Configuration actually reached (after any fallback).
+    pub to: usize,
+    /// Times this ordered pair was executed.
+    pub occurrences: u64,
+    /// Largest frame count observed for the pair.
+    pub max_frames: u64,
+    /// Largest fault-free time observed for the pair
+    /// ([`crate::manager::TransitionRecord::clean_time`]).
+    pub max_clean_time: Duration,
+}
+
+/// A degraded (blacklist) state some walk ended in, with the
+/// availability the runtime computed under it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedState {
+    /// Blacklisted regions, ascending.
+    pub blacklist: Vec<usize>,
+    /// Configurations the manager still considered servable.
+    pub available: Vec<usize>,
+}
+
+/// Everything the runtime observed that the static transition
+/// certificate makes claims about. Built by [`run_monte_carlo_traced`].
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeTrace {
+    /// Per-ordered-pair maxima over every measured hop (the unmeasured
+    /// power-up load is excluded, matching the walk stats).
+    pub transitions: Vec<ObservedTransition>,
+    /// Every distinct blacklist state reached, with its availability.
+    pub degraded_states: Vec<DegradedState>,
+}
+
+impl RuntimeTrace {
+    fn absorb(&mut self, manager: &ConfigurationManager) {
+        for rec in manager.log() {
+            let Some(from) = rec.from else { continue };
+            let clean = rec.clean_time();
+            match self.transitions.iter_mut().find(|t| t.from == from && t.to == rec.to) {
+                Some(t) => {
+                    t.occurrences += 1;
+                    t.max_frames = t.max_frames.max(rec.frames);
+                    t.max_clean_time = t.max_clean_time.max(clean);
+                }
+                None => self.transitions.push(ObservedTransition {
+                    from,
+                    to: rec.to,
+                    occurrences: 1,
+                    max_frames: rec.frames,
+                    max_clean_time: clean,
+                }),
+            }
+        }
+        if manager.is_degraded() {
+            let state = DegradedState {
+                blacklist: manager.blacklisted_regions(),
+                available: manager.available_configurations(),
+            };
+            if !self.degraded_states.contains(&state) {
+                self.degraded_states.push(state);
+            }
+        }
+    }
+}
+
 fn run_one_walk(
     scheme: &Scheme,
     config: &MonteCarloConfig,
     index: usize,
-) -> (WalkStats, ReliabilityTelemetry) {
+) -> (WalkStats, ConfigurationManager) {
     let seed = config.seed + index as u64;
     let mut env = UniformEnv::new(scheme.num_configurations, seed);
     let walk =
@@ -222,7 +318,7 @@ fn run_one_walk(
         apply(&mut stats, manager.transition(c), true);
         stats.transitions += 1;
     }
-    (stats, manager.telemetry().clone())
+    (stats, manager)
 }
 
 /// Folds one transition outcome into the walk stats. Failed transitions

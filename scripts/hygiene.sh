@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Source hygiene: hold the line on `unwrap()` / `expect(` / `panic!(`
+# in non-test code.
+#
+# Counts occurrences across every tracked `.rs` file, truncating each
+# file at its first `#[cfg(test)]` (the repo convention keeps unit tests
+# at the bottom of the file) and skipping dedicated test trees
+# (`tests/`, `benches/`). The count is compared against the baseline
+# below: anything *above* it fails CI, so new panicking call sites
+# cannot land silently. When legitimate refactoring lowers the count,
+# ratchet the baseline down to match.
+#
+# Usage: scripts/hygiene.sh [--print]   (--print lists per-file counts)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The ratchet. Lower is better; raising it needs a review that agrees
+# the new call site genuinely cannot fail.
+BASELINE=98
+
+print_mode=false
+[ "${1:-}" = "--print" ] && print_mode=true
+
+total=0
+while IFS= read -r f; do
+    case "$f" in
+        tests/*|*/tests/*|*/benches/*) continue ;;
+    esac
+    # Truncate at the first `#[cfg(test)]`, then count panicking calls.
+    n=$(awk '/^[[:space:]]*#\[cfg\(test\)\]/ { exit } { print }' "$f" \
+        | grep -c -E '\.unwrap\(\)|\.expect\(|panic!\(' || true)
+    if [ "$n" -gt 0 ]; then
+        total=$((total + n))
+        if $print_mode; then
+            printf '%5d %s\n' "$n" "$f"
+        fi
+    fi
+done < <(git ls-files '*.rs')
+
+echo "hygiene: $total panicking call site(s) in non-test code (baseline $BASELINE)"
+if [ "$total" -gt "$BASELINE" ]; then
+    echo "FAIL: new unwrap()/expect()/panic!() in non-test code." >&2
+    echo "Run 'scripts/hygiene.sh --print' to locate them; prefer typed" >&2
+    echo "errors, or ratchet BASELINE only with a review that agrees the" >&2
+    echo "call site cannot fail." >&2
+    exit 1
+fi

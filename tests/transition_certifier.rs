@@ -1,0 +1,172 @@
+//! Cross-validation of the static transition-system certifier against
+//! the runtime simulator: every claim the certificate makes (worst-case
+//! transition-time bounds, frame predictions, degraded-mode
+//! availability) must dominate or predict what Monte-Carlo walks
+//! actually observe.
+
+use prpart::analysis::{TransitionCertificate, TransitionCertifier};
+use prpart::arch::IcapModel;
+use prpart::core::{Partitioner, Scheme};
+use prpart::design::{corpus, Design};
+use prpart::runtime::{
+    run_monte_carlo_traced, worst_transition_time, MonteCarloConfig, RecoveryPolicy,
+};
+use std::time::Duration;
+
+fn certified(design: &Design, scheme: &Scheme) -> TransitionCertificate {
+    let report = TransitionCertifier::new().certify(design, scheme);
+    assert!(report.is_certified(), "{}", report.render_text());
+    report.certificate
+}
+
+fn paper_scheme() -> (Design, Scheme) {
+    let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
+    let s =
+        Partitioner::new(corpus::VIDEO_RECEIVER_BUDGET).partition(&d).unwrap().best.unwrap().scheme;
+    (d, s)
+}
+
+/// ISSUE acceptance criterion: the paper example certifies with zero
+/// violations. (TC008 *warnings* are expected and correct: every
+/// video-receiver configuration uses every region, so any single-region
+/// outage is a total outage — a fact worth surfacing, not an error.)
+#[test]
+fn paper_example_certifies_with_zero_violations() {
+    let (design, scheme) = paper_scheme();
+    let report = TransitionCertifier::new().certify(&design, &scheme);
+    assert!(report.is_certified(), "{}", report.render_text());
+    assert_eq!(report.count(prpart::analysis::Severity::Error), 0, "{}", report.render_text());
+    assert!(
+        report.diagnostics.iter().all(|d| d.rule == "TC008"),
+        "only the expected outage warnings: {}",
+        report.render_text()
+    );
+    let c = report.certificate;
+    let n = design.num_configurations();
+    assert_eq!(c.edges.len(), n * (n - 1));
+}
+
+/// ISSUE acceptance criterion: the static per-transition bound dominates
+/// every transition time the runtime ever observes, across ≥ 3 distinct
+/// Monte-Carlo seeds, on both the paper example and the special case.
+#[test]
+fn static_bounds_dominate_every_observed_transition_time() {
+    let cases = [paper_scheme(), {
+        let d = corpus::special_case_single_mode();
+        let m = prpart::design::ConnectivityMatrix::from_design(&d);
+        let s = prpart::core::baselines::per_module(&d, &m);
+        (d, s)
+    }];
+    for (design, scheme) in &cases {
+        let cert = certified(design, scheme);
+        for seed in [11u64, 222, 3333] {
+            let (_, trace) = run_monte_carlo_traced(
+                scheme,
+                MonteCarloConfig { walks: 8, walk_len: 120, seed, ..Default::default() },
+            );
+            assert!(!trace.transitions.is_empty());
+            for t in &trace.transitions {
+                let edge = cert.edge(t.from, t.to).expect("edge for every observed pair");
+                let bound = cert.bound(t.from, t.to).expect("bound for every observed pair");
+                assert!(
+                    t.max_clean_time <= bound,
+                    "{}: observed {}→{} took {:?}, static bound {:?}",
+                    design.name(),
+                    t.from,
+                    t.to,
+                    t.max_clean_time,
+                    bound
+                );
+                // The optimistic prediction is the history-free floor;
+                // history can only add don't-care region reloads.
+                assert!(
+                    t.max_frames >= edge.frames,
+                    "{}: observed {} frames on {}→{}, predicted at least {}",
+                    design.name(),
+                    t.max_frames,
+                    t.from,
+                    t.to,
+                    edge.frames
+                );
+                assert!(t.max_clean_time <= cert.worst_bound);
+            }
+        }
+    }
+}
+
+/// The certificate's full-load bound is exactly the runtime deadline
+/// monitor's static worst case, and every edge bound sits under it.
+#[test]
+fn certificate_bounds_agree_with_the_deadline_monitor() {
+    let (design, scheme) = paper_scheme();
+    let cert = certified(&design, &scheme);
+    assert_eq!(cert.full_load_bound, worst_transition_time(&scheme, &IcapModel::virtex5()));
+    assert!(cert.worst_bound <= cert.full_load_bound);
+    for e in &cert.edges {
+        assert!(e.bound <= cert.worst_bound);
+    }
+}
+
+/// Degraded-mode prediction: under a fault storm harsh enough to
+/// blacklist regions, every blacklist state the runtime actually lands
+/// in (within the certified depth) serves exactly the configuration set
+/// the certificate computed statically.
+#[test]
+fn runtime_blacklist_states_match_certified_degraded_availability() {
+    let (design, scheme) = paper_scheme();
+    let depth = scheme.regions.len();
+    let report = TransitionCertifier::new().with_blacklist_depth(depth).certify(&design, &scheme);
+    let cert = report.certificate;
+    let (_, trace) = run_monte_carlo_traced(
+        &scheme,
+        MonteCarloConfig {
+            walks: 24,
+            walk_len: 80,
+            seed: 7,
+            fault_rate: 0.45,
+            fault_seed: 4242,
+            policy: RecoveryPolicy {
+                max_retries: 0,
+                scrub: false,
+                blacklist_threshold: 1,
+                safe_config: None,
+                backoff_base: Duration::ZERO,
+                backoff_cap: Duration::ZERO,
+            },
+            ..Default::default()
+        },
+    );
+    assert!(
+        !trace.degraded_states.is_empty(),
+        "storm must blacklist at least one region to exercise the prediction"
+    );
+    for state in &trace.degraded_states {
+        assert!(state.blacklist.len() <= depth);
+        assert_eq!(
+            cert.degraded_available(&state.blacklist),
+            state.available,
+            "blacklist {:?}: certificate and runtime disagree on availability",
+            state.blacklist
+        );
+    }
+}
+
+/// The traced runner is a pure observation layer: same seeds, same
+/// aggregate report as the parallel harness, fault-free or not.
+#[test]
+fn traced_runner_reproduces_the_parallel_report() {
+    let (_, scheme) = paper_scheme();
+    let cfg = MonteCarloConfig {
+        walks: 6,
+        walk_len: 40,
+        seed: 99,
+        fault_rate: 0.2,
+        fault_seed: 55,
+        ..Default::default()
+    };
+    let parallel = prpart::runtime::run_monte_carlo(&scheme, cfg);
+    let (traced, _) = run_monte_carlo_traced(&scheme, cfg);
+    assert_eq!(parallel.walks, traced.walks);
+    assert_eq!(parallel.total_frames, traced.total_frames);
+    assert_eq!(parallel.telemetry, traced.telemetry);
+}
