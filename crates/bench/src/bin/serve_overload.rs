@@ -1,0 +1,84 @@
+//! X11: service overload — goodput and p99 latency of the
+//! admission-controlled reconfiguration service versus offered load,
+//! one deterministic seeded replay per point.
+//!
+//! Usage: `serve_overload [--quick] [--policy NAME] [--seed N] [--out FILE]`
+//! (defaults: policy deadline-aware, seed 0x5EED, FILE
+//! `BENCH_serve.json`). `--quick` trims the sweep to two loads and a
+//! shorter window for CI smoke runs.
+
+use prpart_bench::serve::{
+    render_serve_overload, run_serve_overload, serve_overload_json, ServeOverloadConfig,
+};
+use prpart_service::OverloadPolicy;
+
+fn main() {
+    let mut cfg = ServeOverloadConfig::default();
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                cfg.loads = vec![500.0, 4000.0];
+                cfg.duration = std::time::Duration::from_millis(20);
+            }
+            "--policy" => {
+                let name = args.next().unwrap_or_default();
+                match OverloadPolicy::parse(&name) {
+                    Some(p) => cfg.policy = p,
+                    None => {
+                        eprintln!(
+                            "unknown policy '{name}' (reject-new|drop-oldest|deadline-aware)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => cfg.seed = seed,
+                None => {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let records = match run_serve_overload(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve overload study failed:\n{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serve overload: {} load point(s), policy {}, {}ms window, seed {:#x}\n",
+        records.len(),
+        cfg.policy.as_str(),
+        cfg.duration.as_millis(),
+        cfg.seed
+    );
+    println!("{}", render_serve_overload(&records));
+    println!(
+        "\ngoodput counts completions that also met their deadline; the gap\n\
+         to `offered` is what admission control shed or refused under load."
+    );
+
+    let json = serve_overload_json(&records);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

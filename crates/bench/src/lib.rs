@@ -20,6 +20,7 @@
 //! | X7 | search throughput (sequential vs parallel) | [`search_throughput`] |
 //! | X8 | budgeted-search anytime quality | [`budgeted`] |
 //! | X10 | certifier wall-time vs configuration count | [`certify`] |
+//! | X11 | service goodput/latency vs offered load | [`serve`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,6 +34,7 @@ pub mod figures;
 pub mod reliability;
 pub mod scaling;
 pub mod search_throughput;
+pub mod serve;
 pub mod stats;
 pub mod sweep;
 pub mod table;
@@ -51,5 +53,9 @@ pub use chaos::{
 pub use reliability::{fault_rate_sweep, render_fault_sweep, FaultSweepRecord};
 pub use search_throughput::{
     render_search_bench, run_search_bench, search_bench_json, SearchBenchConfig, SearchBenchRecord,
+};
+pub use serve::{
+    render_serve_overload, run_serve_overload, serve_overload_json, ServeOverloadConfig,
+    ServeOverloadRecord,
 };
 pub use sweep::{run_sweep, SweepConfig, SweepRecord, SweepSummary};

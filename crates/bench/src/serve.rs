@@ -1,0 +1,237 @@
+//! Service overload study (extension X11): goodput and tail latency of
+//! the admission-controlled reconfiguration service versus offered load.
+//!
+//! Each point replays a seeded open-loop workload (exponential
+//! inter-arrival gaps at the configured rate) against a
+//! [`ReconfigService`] on its virtual clock, fault-free, and reports
+//! what survived admission control: completed requests, goodput
+//! (completions that also met their deadline), shed and rejected
+//! counts, and latency percentiles. The replay is deterministic, so the
+//! whole study is a pure function of its configuration.
+//!
+//! [`serve_overload_json`] renders the records as the
+//! `BENCH_serve.json` artefact.
+
+use crate::certify::binary_design;
+use crate::table::TextTable;
+use prpart_analysis::TransitionCertifier;
+use prpart_obs::{MockClock, ObsHandle};
+use prpart_runtime::{ConfigurationManager, IcapController, RecoveryPolicy};
+use prpart_service::{
+    run_replay, OverloadPolicy, ReconfigService, ServiceConfig, WorkloadConfig, WorkloadGenerator,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Overload-study parameters.
+#[derive(Debug, Clone)]
+pub struct ServeOverloadConfig {
+    /// Offered loads to sweep, in arrivals per virtual second.
+    pub loads: Vec<f64>,
+    /// Arrival window per point (virtual time).
+    pub duration: Duration,
+    /// Workload seed (shared across points; the rate is what varies).
+    pub seed: u64,
+    /// Configuration count of the binary-encoded study design.
+    pub configurations: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Overload policy under test.
+    pub policy: OverloadPolicy,
+}
+
+impl Default for ServeOverloadConfig {
+    fn default() -> Self {
+        ServeOverloadConfig {
+            loads: vec![200.0, 500.0, 1000.0, 2000.0, 4000.0],
+            duration: Duration::from_millis(100),
+            seed: 0x5EED,
+            configurations: 8,
+            queue_capacity: 16,
+            policy: OverloadPolicy::DeadlineAware,
+        }
+    }
+}
+
+/// One offered-load point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOverloadRecord {
+    /// Offered load, arrivals per virtual second.
+    pub offered_per_sec: f64,
+    /// Requests the workload actually submitted.
+    pub offered: usize,
+    /// Requests served successfully.
+    pub completed: usize,
+    /// Completions that also met their deadline.
+    pub goodput: usize,
+    /// Goodput per virtual second.
+    pub goodput_per_sec: f64,
+    /// Requests shed by the overload policy.
+    pub shed: usize,
+    /// Requests refused at admission.
+    pub rejected: usize,
+    /// Median completion latency, milliseconds.
+    pub p50_millis: f64,
+    /// 99th-percentile completion latency, milliseconds.
+    pub p99_millis: f64,
+}
+
+/// Runs the study: one fault-free seeded replay per offered load, all
+/// against the same certified design/scheme pair. Returns an error
+/// string instead of panicking if the study scheme fails to certify —
+/// a bench artefact from an uncertified scheme is worthless.
+pub fn run_serve_overload(cfg: &ServeOverloadConfig) -> Result<Vec<ServeOverloadRecord>, String> {
+    let design = binary_design(cfg.configurations);
+    let matrix = prpart_design::ConnectivityMatrix::from_design(&design);
+    let scheme = prpart_core::baselines::per_module(&design, &matrix);
+    let report = TransitionCertifier::new().certify(&design, &scheme);
+    if !report.is_certified() {
+        return Err(report.render_text());
+    }
+    let mut out = Vec::new();
+    for &load in &cfg.loads {
+        let manager = ConfigurationManager::with_policy(
+            scheme.clone(),
+            IcapController::default(),
+            RecoveryPolicy::default(),
+        );
+        let clock = Arc::new(MockClock::new());
+        let service_config = ServiceConfig {
+            queue_capacity: cfg.queue_capacity,
+            policy: cfg.policy,
+            certificate: Some(report.certificate.clone()),
+            ..ServiceConfig::default()
+        };
+        let mut service =
+            ReconfigService::new(manager, clock, service_config, &ObsHandle::disabled())
+                .map_err(|e| e.to_string())?;
+        let workload = WorkloadConfig {
+            seed: cfg.seed,
+            arrivals_per_sec: load,
+            duration: cfg.duration,
+            ..WorkloadConfig::default()
+        };
+        let schedule = WorkloadGenerator::new(workload).schedule(design.num_configurations());
+        let replay = run_replay(&mut service, &schedule);
+        out.push(ServeOverloadRecord {
+            offered_per_sec: load,
+            offered: replay.offered,
+            completed: replay.completed,
+            goodput: replay.goodput,
+            goodput_per_sec: replay.goodput_per_sec,
+            shed: replay.shed,
+            rejected: replay.rejected,
+            p50_millis: replay.p50_latency.as_secs_f64() * 1e3,
+            p99_millis: replay.p99_latency.as_secs_f64() * 1e3,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the study as a text table.
+pub fn render_serve_overload(records: &[ServeOverloadRecord]) -> String {
+    let mut t = TextTable::new([
+        "load (req/s)",
+        "offered",
+        "completed",
+        "goodput",
+        "goodput/s",
+        "shed",
+        "rejected",
+        "p50 (ms)",
+        "p99 (ms)",
+    ]);
+    for r in records {
+        t.row([
+            format!("{:.0}", r.offered_per_sec),
+            r.offered.to_string(),
+            r.completed.to_string(),
+            r.goodput.to_string(),
+            format!("{:.1}", r.goodput_per_sec),
+            r.shed.to_string(),
+            r.rejected.to_string(),
+            format!("{:.3}", r.p50_millis),
+            format!("{:.3}", r.p99_millis),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the study as the `BENCH_serve.json` artefact (hand-rolled
+/// like `BENCH_certify.json`; every value is a number, so no escaping
+/// is needed).
+pub fn serve_overload_json(records: &[ServeOverloadRecord]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"serve_overload\",");
+    let _ = writeln!(s, "  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"offered_per_sec\": {:.1}, \"offered\": {}, \"completed\": {}, \
+             \"goodput\": {}, \"goodput_per_sec\": {:.3}, \"shed\": {}, \"rejected\": {}, \
+             \"p50_millis\": {:.6}, \"p99_millis\": {:.6}}}{}",
+            r.offered_per_sec,
+            r.offered,
+            r.completed,
+            r.goodput,
+            r.goodput_per_sec,
+            r.shed,
+            r.rejected,
+            r.p50_millis,
+            r.p99_millis,
+            if i + 1 < records.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_is_deterministic_and_load_ordered() {
+        let cfg = ServeOverloadConfig {
+            loads: vec![500.0, 4000.0],
+            duration: Duration::from_millis(20),
+            ..ServeOverloadConfig::default()
+        };
+        let a = run_serve_overload(&cfg).unwrap();
+        let b = run_serve_overload(&cfg).unwrap();
+        assert_eq!(a, b, "same config, same records");
+        assert_eq!(a.len(), 2);
+        assert!(a[0].offered < a[1].offered, "higher rate offers more requests");
+        for r in &a {
+            assert!(r.completed <= r.offered);
+            assert!(r.goodput <= r.completed);
+            assert_eq!(
+                r.offered,
+                r.completed + r.shed + r.rejected,
+                "fault-free deadline-aware replay loses nothing to faults or misses"
+            );
+        }
+        let json = serve_overload_json(&a);
+        assert!(json.contains("\"bench\": \"serve_overload\""));
+        assert!(json.contains("\"offered_per_sec\": 4000.0"));
+    }
+
+    #[test]
+    fn policies_differ_under_overload() {
+        let base = ServeOverloadConfig {
+            loads: vec![4000.0],
+            duration: Duration::from_millis(20),
+            ..ServeOverloadConfig::default()
+        };
+        let aware = run_serve_overload(&base).unwrap();
+        let reject = run_serve_overload(&ServeOverloadConfig {
+            policy: OverloadPolicy::RejectNew,
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(aware[0].offered, reject[0].offered, "same workload either way");
+        assert_eq!(reject[0].shed, 0, "reject-new never sheds admitted work");
+    }
+}

@@ -18,7 +18,7 @@
 #![forbid(unsafe_code)]
 
 use prpart_analysis::{lint_design, LintOptions, ProofChecker, TransitionCertifier};
-use prpart_arch::{DeviceLibrary, Resources};
+use prpart_arch::{DeviceLibrary, IcapModel, Resources};
 use prpart_core::device_select::select_device;
 use prpart_core::report::{outcome_summary, scheme_report};
 use prpart_core::{
@@ -31,7 +31,13 @@ use prpart_flow::{ArtifactStore, FlowPipeline, StoreFaultModel};
 pub use prpart_core::CancelToken;
 
 use prpart_obs::ObsHandle;
-use prpart_runtime::{run_monte_carlo, run_monte_carlo_observed, MonteCarloConfig, RecoveryPolicy};
+use prpart_runtime::{
+    run_monte_carlo, run_monte_carlo_observed, ConfigurationManager, FaultModel, IcapController,
+    MonteCarloConfig, RecoveryPolicy,
+};
+use prpart_service::{
+    run_replay, OverloadPolicy, ReconfigService, ServiceConfig, WorkloadConfig, WorkloadGenerator,
+};
 use prpart_synth::{generate_corpus, GeneratorConfig};
 use std::fmt::Write as _;
 
@@ -221,6 +227,32 @@ pub enum Command {
         safe_config: Option<String>,
         /// Emit the machine-checkable JSON certificate instead of text.
         json: bool,
+    },
+    /// `prpart serve <design.xml> <scheme.xml> [--arrivals R]
+    /// [--duration SECS] [--policy reject-new|drop-oldest|deadline-aware]
+    /// [--seed N] [--queue N] [--fault-rate R] [--fault-seed S]
+    /// [--metrics-out FILE] [--format json|prom]`.
+    Serve {
+        /// Design XML path.
+        design: String,
+        /// Partitioning report XML (from `partition --xml-out`).
+        scheme: String,
+        /// Offered load in arrivals per virtual second.
+        arrivals: f64,
+        /// Arrival-window length in virtual seconds.
+        duration_secs: f64,
+        /// Overload policy.
+        policy: OverloadPolicy,
+        /// Workload seed.
+        seed: u64,
+        /// Admission-queue capacity.
+        queue_capacity: usize,
+        /// Per-load fault probability for the managed fabric.
+        fault_rate: f64,
+        /// Fault-model seed.
+        fault_seed: u64,
+        /// Observability outputs.
+        obs: ObsArgs,
     },
     /// `prpart report <design.xml> <scheme.xml> [--simulate]`.
     Report {
@@ -425,6 +457,10 @@ USAGE:
   prpart certify <design.xml> <scheme.xml> [--deadline SECS]
                  [--blacklist-depth K] [--safe-config NAME]
                  [--format json|text]
+  prpart serve <design.xml> <scheme.xml> [--arrivals R] [--duration SECS]
+               [--policy reject-new|drop-oldest|deadline-aware]
+               [--seed N] [--queue N] [--fault-rate R] [--fault-seed S]
+               [--metrics-out FILE] [--format json|prom] [--profile-out FILE]
   prpart info <design.xml>
   prpart help
 
@@ -439,6 +475,15 @@ serialization, and degraded-mode reachability for every region
 blacklist up to `--blacklist-depth` (with `--safe-config` reachability
 proven). `--format json` emits the versioned machine-checkable
 certificate. See docs/static_analysis.md.
+
+`serve` replays a seeded open-loop workload (`--arrivals` requests per
+virtual second for `--duration` seconds) against the admission-controlled
+reconfiguration service on a virtual clock: bounded queue (`--queue`),
+overload `--policy`, per-region circuit breakers, and a graceful drain.
+The scheme is certified first; deadline-aware shedding uses the
+certificate's per-edge transition-time bounds. The replay is
+deterministic: same seed, same report and same metrics snapshot. See
+docs/resilience.md.
 
 `--threads N` fans the region-allocation search across N worker threads
 (0, the default, uses one per core). The result is byte-identical for
@@ -951,6 +996,95 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 _ => err("certify: need <design.xml> <scheme.xml>"),
             }
         }
+        "serve" => {
+            let mut design = None;
+            let mut scheme = None;
+            let mut arrivals = 500.0f64;
+            let mut duration_secs = 0.1f64;
+            let mut policy = OverloadPolicy::RejectNew;
+            let mut seed = 0x5EEDu64;
+            let mut queue_capacity = 16usize;
+            let mut fault_rate = 0.0f64;
+            let mut fault_seed = 0xFA17u64;
+            let mut obs = ObsArgs::default();
+            while let Some(a) = it.next() {
+                if obs.parse_flag(a.as_str(), &mut it, "--profile-out")? {
+                    continue;
+                }
+                match a.as_str() {
+                    "--arrivals" => {
+                        arrivals = flag_value("--arrivals", &mut it)?.parse().map_err(|_| {
+                            CliError { message: "--arrivals needs arrivals per second".into() }
+                        })?;
+                        if !arrivals.is_finite() || arrivals <= 0.0 {
+                            return err("--arrivals must be a positive rate");
+                        }
+                    }
+                    "--duration" => {
+                        duration_secs = flag_value("--duration", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--duration needs seconds".into() })?;
+                        if !duration_secs.is_finite() || duration_secs <= 0.0 {
+                            return err("--duration must be a positive number of seconds");
+                        }
+                    }
+                    "--policy" => {
+                        let name = flag_value("--policy", &mut it)?;
+                        policy = OverloadPolicy::parse(&name).ok_or_else(|| CliError {
+                            message: format!(
+                                "serve: unknown policy '{name}' \
+                                 (reject-new|drop-oldest|deadline-aware)"
+                            ),
+                        })?;
+                    }
+                    "--seed" => {
+                        seed = flag_value("--seed", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--seed needs a number".into() })?
+                    }
+                    "--queue" => {
+                        queue_capacity = flag_value("--queue", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--queue needs a capacity".into() })?;
+                        if queue_capacity == 0 {
+                            return err("--queue must be at least 1");
+                        }
+                    }
+                    "--fault-rate" => {
+                        fault_rate =
+                            flag_value("--fault-rate", &mut it)?.parse().map_err(|_| CliError {
+                                message: "--fault-rate needs a number".into(),
+                            })?;
+                        if !(0.0..=1.0).contains(&fault_rate) {
+                            return err("--fault-rate must be within [0, 1]");
+                        }
+                    }
+                    "--fault-seed" => {
+                        fault_seed = flag_value("--fault-seed", &mut it)?.parse().map_err(|_| {
+                            CliError { message: "--fault-seed needs a number".into() }
+                        })?
+                    }
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    _ if scheme.is_none() && !a.starts_with('-') => scheme = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            match (design, scheme) {
+                (Some(design), Some(scheme)) => Ok(Command::Serve {
+                    design,
+                    scheme,
+                    arrivals,
+                    duration_secs,
+                    policy,
+                    seed,
+                    queue_capacity,
+                    fault_rate,
+                    fault_seed,
+                    obs,
+                }),
+                _ => err("serve: need <design.xml> <scheme.xml>"),
+            }
+        }
         "report" => {
             let mut design = None;
             let mut scheme = None;
@@ -1004,6 +1138,15 @@ fn budget_for(target: &Target, library: &DeviceLibrary) -> Result<Option<Resourc
     }
 }
 
+/// [`budget_for`] for commands whose parser guarantees a concrete
+/// target (no `--auto`): an `Auto` target reaching this point is a
+/// typed internal error instead of a panic.
+fn concrete_budget_for(target: &Target, library: &DeviceLibrary) -> Result<Resources, CliError> {
+    budget_for(target, library)?.ok_or_else(|| CliError {
+        message: "internal: this command requires a concrete --device or --budget target".into(),
+    })
+}
+
 /// Executes a command, returning the text to print.
 pub fn run(cmd: Command) -> Result<String, CliError> {
     run_with_cancel(cmd, None)
@@ -1034,8 +1177,7 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
         Command::Pareto { design, target, threads } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
-            let budget =
-                budget_for(&target, &library)?.expect("pareto always has a concrete target");
+            let budget = concrete_budget_for(&target, &library)?;
             let outcome = Partitioner::new(budget)
                 .with_threads(threads)
                 .with_auditor(prpart_analysis::auditor(ProofChecker::new().with_budget(budget)))
@@ -1160,6 +1302,88 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
             } else {
                 Err(CliError { message: rendered })
             }
+        }
+        Command::Serve {
+            design,
+            scheme,
+            arrivals,
+            duration_secs,
+            policy,
+            seed,
+            queue_capacity,
+            fault_rate,
+            fault_seed,
+            obs,
+        } => {
+            let design = load_design(&design)?;
+            let text = std::fs::read_to_string(&scheme)
+                .map_err(|e| CliError { message: format!("cannot read {scheme}: {e}") })?;
+            let doc = prpart_xmlio::parse(&text)
+                .map_err(|e| CliError { message: format!("{scheme}: {e}") })?;
+            let loaded = prpart_xmlio::schema::scheme_from_xml(&design, &doc)
+                .map_err(|e| CliError { message: format!("{scheme}: {e}") })?;
+            // Deadline-aware shedding predicts completion times from the
+            // certificate's per-edge bounds, so a scheme that fails the
+            // transition certifier cannot be served.
+            let report = TransitionCertifier::new().certify(&design, &loaded);
+            if !report.is_certified() {
+                return Err(CliError { message: report.render_text() });
+            }
+            let clock = std::sync::Arc::new(prpart_obs::MockClock::new());
+            let obs_handle = if obs.active() {
+                ObsHandle::with_clock(clock.clone())
+            } else {
+                ObsHandle::disabled()
+            };
+            let faults = if fault_rate > 0.0 {
+                FaultModel::seeded(fault_rate, fault_seed)
+            } else {
+                FaultModel::none()
+            };
+            let manager = ConfigurationManager::with_policy(
+                loaded,
+                IcapController::with_faults(IcapModel::virtex5(), faults),
+                RecoveryPolicy::default(),
+            );
+            let service_config = ServiceConfig {
+                queue_capacity,
+                policy,
+                certificate: Some(report.certificate),
+                ..ServiceConfig::default()
+            };
+            let mut service = ReconfigService::new(manager, clock, service_config, &obs_handle)
+                .map_err(|e| CliError { message: format!("serve: {e}") })?;
+            let workload = WorkloadConfig {
+                seed,
+                arrivals_per_sec: arrivals,
+                duration: std::time::Duration::from_secs_f64(duration_secs),
+                ..WorkloadConfig::default()
+            };
+            let schedule = WorkloadGenerator::new(workload).schedule(design.num_configurations());
+            let replay = run_replay(&mut service, &schedule);
+            let mut out = String::new();
+            let _ = writeln!(out, "serve: policy {} | seed {seed}", policy.as_str());
+            let _ = writeln!(
+                out,
+                "offered {} | completed {} | goodput {} ({:.1}/s)",
+                replay.offered, replay.completed, replay.goodput, replay.goodput_per_sec
+            );
+            let _ = writeln!(
+                out,
+                "shed {} | rejected {} | circuit-open {} | deadline-missed {} | failed {}",
+                replay.shed,
+                replay.rejected,
+                replay.circuit_open,
+                replay.deadline_missed,
+                replay.failed
+            );
+            let _ = writeln!(
+                out,
+                "latency p50 {:?} | p99 {:?} | max {:?} | virtual elapsed {:?}",
+                replay.p50_latency, replay.p99_latency, replay.max_latency, replay.virtual_elapsed
+            );
+            write_obs_outputs(&obs_handle, &obs, &mut out)?;
+            Ok(out)
         }
         Command::Report { design, scheme, simulate } => {
             let design = load_design(&design)?;
@@ -1435,8 +1659,7 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
         } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
-            let budget =
-                budget_for(&target, &library)?.expect("simulate always has a concrete target");
+            let budget = concrete_budget_for(&target, &library)?;
             let obs_handle = obs.handle();
             let best = Partitioner::new(budget)
                 .with_threads(threads)
@@ -1524,8 +1747,7 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
         Command::Metrics { design, target, threads, prom } => {
             let library = load_library(&None, false)?;
             let design = load_design(&design)?;
-            let budget =
-                budget_for(&target, &library)?.expect("metrics always has a concrete target");
+            let budget = concrete_budget_for(&target, &library)?;
             let obs = ObsHandle::enabled();
             Partitioner::new(budget)
                 .with_threads(threads)
@@ -2316,6 +2538,135 @@ mod tests {
 
         let err = certify(None, Some("no-such-config"), false).unwrap_err();
         assert!(err.to_string().contains("unknown configuration"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let c = parse_args(&s(&[
+            "serve",
+            "d.xml",
+            "r.xml",
+            "--arrivals",
+            "1000",
+            "--duration",
+            "0.5",
+            "--policy",
+            "deadline-aware",
+            "--seed",
+            "7",
+            "--queue",
+            "8",
+            "--fault-rate",
+            "0.1",
+            "--fault-seed",
+            "9",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                design,
+                scheme,
+                arrivals,
+                duration_secs,
+                policy,
+                seed,
+                queue_capacity,
+                fault_rate,
+                fault_seed,
+                obs,
+            } => {
+                assert_eq!(design, "d.xml");
+                assert_eq!(scheme, "r.xml");
+                assert_eq!(arrivals, 1000.0);
+                assert_eq!(duration_secs, 0.5);
+                assert_eq!(policy, OverloadPolicy::DeadlineAware);
+                assert_eq!(seed, 7);
+                assert_eq!(queue_capacity, 8);
+                assert_eq!(fault_rate, 0.1);
+                assert_eq!(fault_seed, 9);
+                assert_eq!(obs.metrics_out.as_deref(), Some("m.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults.
+        let c = parse_args(&s(&["serve", "d.xml", "r.xml"])).unwrap();
+        match c {
+            Command::Serve { arrivals, duration_secs, policy, queue_capacity, .. } => {
+                assert_eq!(arrivals, 500.0);
+                assert_eq!(duration_secs, 0.1);
+                assert_eq!(policy, OverloadPolicy::RejectNew);
+                assert_eq!(queue_capacity, 16);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&s(&["serve", "d.xml"])).is_err());
+        assert!(parse_args(&s(&["serve", "d.xml", "r.xml", "--policy", "bogus"])).is_err());
+        assert!(parse_args(&s(&["serve", "d.xml", "r.xml", "--arrivals", "0"])).is_err());
+        assert!(parse_args(&s(&["serve", "d.xml", "r.xml", "--queue", "0"])).is_err());
+        assert!(parse_args(&s(&["serve", "d.xml", "r.xml", "--fault-rate", "2"])).is_err());
+    }
+
+    /// `prpart serve` end-to-end: the replay runs on a virtual clock and
+    /// is deterministic — two runs with the same seed produce the same
+    /// report text and byte-identical metrics snapshots.
+    #[test]
+    fn serve_replays_deterministically() {
+        let dir = std::env::temp_dir().join("prpart-cli-serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::abc_example();
+        let design_path = dir.join("abc.xml");
+        std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
+        let scheme_path = dir.join("scheme.xml");
+        run(Command::Partition {
+            design: design_path.to_string_lossy().into_owned(),
+            target: Target::Budget(Resources::new(100_000, 1_000, 1_000)),
+            strategy: None,
+            no_static: false,
+            pessimistic: false,
+            xml_out: Some(scheme_path.to_string_lossy().into_owned()),
+            library: None,
+            weights: None,
+            threads: 0,
+            resilience: Default::default(),
+            obs: Default::default(),
+        })
+        .unwrap();
+        let serve = |metrics: &std::path::Path| {
+            run(Command::Serve {
+                design: design_path.to_string_lossy().into_owned(),
+                scheme: scheme_path.to_string_lossy().into_owned(),
+                arrivals: 2000.0,
+                duration_secs: 0.02,
+                policy: OverloadPolicy::DeadlineAware,
+                seed: 42,
+                queue_capacity: 8,
+                fault_rate: 0.0,
+                fault_seed: 0,
+                obs: ObsArgs {
+                    metrics_out: Some(metrics.to_string_lossy().into_owned()),
+                    ..Default::default()
+                },
+            })
+        };
+        let m1 = dir.join("serve-1.json");
+        let m2 = dir.join("serve-2.json");
+        let out1 = serve(&m1).unwrap();
+        let out2 = serve(&m2).unwrap();
+        assert!(out1.contains("offered"), "{out1}");
+        assert!(out1.contains("policy deadline-aware"), "{out1}");
+        // The report text differs only in the metrics path suffix.
+        let strip = |s: &str| s.lines().filter(|l| !l.contains("metrics written")).count();
+        assert_eq!(strip(&out1), strip(&out2));
+        assert_eq!(
+            out1.lines().take(4).collect::<Vec<_>>(),
+            out2.lines().take(4).collect::<Vec<_>>()
+        );
+        let b1 = std::fs::read(&m1).unwrap();
+        let b2 = std::fs::read(&m2).unwrap();
+        assert_eq!(b1, b2, "metrics snapshots must be byte-identical across seeded runs");
+        assert!(!b1.is_empty());
     }
 
     #[test]

@@ -127,10 +127,11 @@ impl BitstreamCache {
             self.touch(key);
             return;
         }
-        while self.used_bytes + bytes > self.capacity_bytes {
+        while self.used_bytes + bytes > self.capacity_bytes && !self.order.is_empty() {
             let victim = self.order.remove(0);
-            let sz = self.entries.remove(&victim).expect("order and map agree");
-            self.used_bytes -= sz;
+            // Order and map agree by construction; a missing entry
+            // simply frees nothing.
+            self.used_bytes -= self.entries.remove(&victim).unwrap_or(0);
         }
         self.entries.insert(key, bytes);
         self.order.push(key);
@@ -158,8 +159,7 @@ impl BitstreamCache {
         let victims: Vec<(usize, usize)> =
             self.entries.keys().copied().filter(|&(r, _)| r == region).collect();
         for key in &victims {
-            let sz = self.entries.remove(key).expect("key just listed");
-            self.used_bytes -= sz;
+            self.used_bytes -= self.entries.remove(key).unwrap_or(0);
         }
         self.order.retain(|&(r, _)| r != region);
         victims.len()

@@ -145,6 +145,13 @@ pub struct ConfigurationManager {
     contents: Vec<Option<usize>>,
     /// Regions blacklisted by degraded mode.
     blacklist: Vec<bool>,
+    /// Per-configuration bitmask of the regions it needs (bit `r % 64`
+    /// of word `r / 64`), cached at construction so availability checks
+    /// are a few word ANDs instead of a region scan.
+    needed_masks: Vec<Vec<u64>>,
+    /// Bitmask mirror of `blacklist`, maintained at the single place a
+    /// region is blacklisted.
+    blacklist_mask: Vec<u64>,
     /// Consecutive recovery exhaustions per region (reset on success).
     consecutive_failures: Vec<u32>,
     current: Option<usize>,
@@ -164,6 +171,18 @@ impl ConfigurationManager {
         let states: Vec<Vec<Option<usize>>> =
             (0..scheme.regions.len()).map(|r| scheme.region_states(r)).collect();
         let nregions = scheme.regions.len();
+        let words = nregions.div_ceil(64);
+        let needed_masks: Vec<Vec<u64>> = (0..scheme.num_configurations)
+            .map(|c| {
+                let mut mask = vec![0u64; words];
+                for (r, states_r) in states.iter().enumerate() {
+                    if states_r[c].is_some() {
+                        mask[r / 64] |= 1 << (r % 64);
+                    }
+                }
+                mask
+            })
+            .collect();
         ConfigurationManager {
             scheme,
             icap,
@@ -171,6 +190,8 @@ impl ConfigurationManager {
             states,
             contents: vec![None; nregions],
             blacklist: vec![false; nregions],
+            needed_masks,
+            blacklist_mask: vec![0u64; words],
             consecutive_failures: vec![0; nregions],
             current: None,
             log: Vec::new(),
@@ -221,10 +242,13 @@ impl ConfigurationManager {
 
     /// True when `config` can be served: it needs no blacklisted
     /// region. Out-of-range configurations are unavailable.
+    ///
+    /// O(regions / 64): intersects the configuration's cached
+    /// needed-region bitmask with the blacklist bitmask instead of
+    /// re-scanning per-region state tables.
     pub fn config_available(&self, config: usize) -> bool {
         config < self.scheme.num_configurations
-            && (0..self.blacklist.len())
-                .all(|r| !(self.blacklist[r] && self.states[r][config].is_some()))
+            && self.needed_masks[config].iter().zip(&self.blacklist_mask).all(|(n, b)| n & b == 0)
     }
 
     /// The configurations still servable in the current (possibly
@@ -251,8 +275,7 @@ impl ConfigurationManager {
             Ok(record) => {
                 self.telemetry.transitions_completed += 1;
                 self.current = Some(to);
-                self.log.push(record);
-                Ok(self.log.last().expect("just pushed"))
+                Ok(self.push_record(record))
             }
             Err(err) => {
                 // A failed switch leaves the fabric between
@@ -265,8 +288,7 @@ impl ConfigurationManager {
                             record.fell_back = true;
                             self.telemetry.fallbacks += 1;
                             self.current = Some(safe);
-                            self.log.push(record);
-                            return Ok(self.log.last().expect("just pushed"));
+                            return Ok(self.push_record(record));
                         }
                     }
                 }
@@ -274,6 +296,13 @@ impl ConfigurationManager {
                 Err(err)
             }
         }
+    }
+
+    /// Appends `record` to the log and hands back a borrow of the
+    /// stored copy (the index is in range by construction).
+    fn push_record(&mut self, record: TransitionRecord) -> &TransitionRecord {
+        self.log.push(record);
+        &self.log[self.log.len() - 1]
     }
 
     /// Performs the region loads for a switch to `to`. On failure the
@@ -312,6 +341,7 @@ impl ConfigurationManager {
                                 && !self.blacklist[r]
                             {
                                 self.blacklist[r] = true;
+                                self.blacklist_mask[r / 64] |= 1 << (r % 64);
                                 self.telemetry.blacklisted.push(r);
                             }
                             let _ = (failure.retries, failure.faults);
@@ -699,6 +729,45 @@ mod tests {
         assert!(m.is_degraded());
         let rec = m.transition(1).expect("degraded fallback");
         assert!(rec.fell_back);
+    }
+
+    #[test]
+    fn cached_blacklist_bitset_matches_direct_scan() {
+        // Degraded-mode availability must be identical before and after
+        // the bitset cache: at every step of a fault storm, compare
+        // `config_available` against a direct recomputation from
+        // `blacklisted_regions()` and the scheme's state tables.
+        let check = |m: &ConfigurationManager| {
+            let black = m.blacklisted_regions();
+            for c in 0..m.scheme().num_configurations {
+                let direct = (0..m.scheme().regions.len())
+                    .all(|r| !(black.contains(&r) && m.scheme().region_states(r)[c].is_some()));
+                assert_eq!(m.config_available(c), direct, "config {c}, blacklist {black:?}");
+            }
+            let direct_avail: Vec<usize> =
+                (0..m.scheme().num_configurations).filter(|&c| m.config_available(c)).collect();
+            assert_eq!(m.available_configurations(), direct_avail);
+        };
+        let policy = RecoveryPolicy {
+            max_retries: 0,
+            scrub: false,
+            blacklist_threshold: 1,
+            safe_config: None,
+            ..RecoveryPolicy::default()
+        };
+        let probe = disjoint_manager(policy, FaultModel::none());
+        let r = region_needed_by(&probe, 1);
+        let mut m = disjoint_manager(policy, FaultModel::seeded(0.0, 1).with_persistent_region(r));
+        check(&m);
+        m.transition(0).expect("configuration 0 avoids the faulty region");
+        check(&m);
+        assert!(m.transition(1).is_err(), "persistent fault exhausts recovery");
+        assert!(m.is_degraded(), "threshold 1 blacklists immediately");
+        check(&m);
+        assert!(!m.config_available(1));
+        assert_eq!(m.available_configurations(), vec![0]);
+        m.transition(0).expect("degraded mode keeps serving configuration 0");
+        check(&m);
     }
 
     #[test]

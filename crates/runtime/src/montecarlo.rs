@@ -120,7 +120,7 @@ pub fn run_monte_carlo(scheme: &Scheme, config: MonteCarloConfig) -> MonteCarloR
         Mutex::new(Vec::with_capacity(config.walks));
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::scope(|s| {
+    let scope_ok = crossbeam::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -132,11 +132,26 @@ pub fn run_monte_carlo(scheme: &Scheme, config: MonteCarloConfig) -> MonteCarloR
             });
         }
     })
-    .expect("monte carlo workers never panic");
+    .is_ok();
 
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(i, _, _)| *i);
-    aggregate(scheme, collected.into_iter().map(|(_, s, t)| (s, t)).collect())
+    let collected = if scope_ok {
+        let mut collected = results.into_inner();
+        collected.sort_by_key(|(i, _, _)| *i);
+        collected.into_iter().map(|(_, s, t)| (s, t)).collect()
+    } else {
+        // A worker panicked (the in-tree walk code never does, but a
+        // future fault model might): the partial results are suspect,
+        // so recompute every walk serially. Walk `i` is a pure function
+        // of `(scheme, config, i)`, so the report is the one the
+        // parallel run would have produced.
+        (0..config.walks)
+            .map(|i| {
+                let (stats, manager) = run_one_walk(scheme, &config, i);
+                (stats, manager.telemetry().clone())
+            })
+            .collect()
+    };
+    aggregate(scheme, collected)
 }
 
 /// [`run_monte_carlo`] plus a [`RuntimeTrace`] for cross-validation

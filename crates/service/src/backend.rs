@@ -1,0 +1,167 @@
+//! What the service serves *onto*: a uniform transition backend over
+//! the runtime's in-memory [`ConfigurationManager`] and the
+//! store-backed verified loader.
+
+use prpart_core::Scheme;
+use prpart_runtime::{ConfigurationManager, RuntimeError, StoreBackedManager, TransitionRecord};
+use std::time::Duration;
+
+/// A reconfiguration engine the service can front.
+///
+/// The service owns the backend and serializes every call (the fabric
+/// has one ICAP), so implementations need no interior synchronisation.
+pub trait ReconfigBackend {
+    /// How many configurations the managed scheme has.
+    fn num_configurations(&self) -> usize;
+
+    /// The configuration currently on the fabric, if any.
+    fn current(&self) -> Option<usize>;
+
+    /// How many reconfigurable regions the managed scheme has.
+    fn num_regions(&self) -> usize;
+
+    /// Regions configuration `config` needs (defined state), ascending.
+    /// Out-of-range configurations need nothing.
+    fn regions_needed(&self, config: usize) -> Vec<usize>;
+
+    /// Switches the fabric to configuration `to` and reports what
+    /// happened, exactly like [`ConfigurationManager::transition`].
+    fn transition(&mut self, to: usize) -> Result<TransitionRecord, RuntimeError>;
+}
+
+impl ReconfigBackend for ConfigurationManager {
+    fn num_configurations(&self) -> usize {
+        self.scheme().num_configurations
+    }
+
+    fn current(&self) -> Option<usize> {
+        self.current()
+    }
+
+    fn num_regions(&self) -> usize {
+        self.scheme().regions.len()
+    }
+
+    fn regions_needed(&self, config: usize) -> Vec<usize> {
+        regions_needed_by(self.scheme(), config)
+    }
+
+    fn transition(&mut self, to: usize) -> Result<TransitionRecord, RuntimeError> {
+        ConfigurationManager::transition(self, to).cloned()
+    }
+}
+
+/// Regions whose state is defined in `config`, ascending.
+fn regions_needed_by(scheme: &Scheme, config: usize) -> Vec<usize> {
+    if config >= scheme.num_configurations {
+        return Vec::new();
+    }
+    (0..scheme.regions.len()).filter(|&r| scheme.region_states(r)[config].is_some()).collect()
+}
+
+/// Adapter that gives a [`StoreBackedManager`] (verified per-region
+/// bitstream serving, PR 6) the transition-level interface the service
+/// needs: it tracks per-region residency against a scheme and issues
+/// one verified load per region that must change.
+#[derive(Debug)]
+pub struct StoreBackedBackend {
+    manager: StoreBackedManager,
+    scheme: Scheme,
+    /// Per-region, per-configuration required partition (pool index).
+    states: Vec<Vec<Option<usize>>>,
+    /// What each region currently holds (None = unloaded/scrambled).
+    contents: Vec<Option<usize>>,
+    current: Option<usize>,
+}
+
+impl StoreBackedBackend {
+    /// Wraps a store-backed manager serving bitstreams for `scheme`;
+    /// all regions start unloaded.
+    pub fn new(manager: StoreBackedManager, scheme: Scheme) -> Self {
+        let states: Vec<Vec<Option<usize>>> =
+            (0..scheme.regions.len()).map(|r| scheme.region_states(r)).collect();
+        let nregions = scheme.regions.len();
+        StoreBackedBackend {
+            manager,
+            scheme,
+            states,
+            contents: vec![None; nregions],
+            current: None,
+        }
+    }
+
+    /// The wrapped manager (for loader/ICAP statistics).
+    pub fn manager(&self) -> &StoreBackedManager {
+        &self.manager
+    }
+
+    /// The scheme being served.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+}
+
+impl ReconfigBackend for StoreBackedBackend {
+    fn num_configurations(&self) -> usize {
+        self.scheme.num_configurations
+    }
+
+    fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    fn num_regions(&self) -> usize {
+        self.scheme.regions.len()
+    }
+
+    fn regions_needed(&self, config: usize) -> Vec<usize> {
+        regions_needed_by(&self.scheme, config)
+    }
+
+    fn transition(&mut self, to: usize) -> Result<TransitionRecord, RuntimeError> {
+        if to >= self.scheme.num_configurations {
+            return Err(RuntimeError::ConfigurationOutOfRange {
+                requested: to,
+                num_configurations: self.scheme.num_configurations,
+            });
+        }
+        let from = self.current;
+        let mut frames = 0u64;
+        let mut time = Duration::ZERO;
+        let mut nregions = 0usize;
+        for r in 0..self.scheme.regions.len() {
+            if let Some(needed) = self.states[r][to] {
+                if self.contents[r] != Some(needed) {
+                    match self.manager.load(r, needed) {
+                        Ok(t) => {
+                            frames += self.scheme.region_frames(r);
+                            time += t;
+                            nregions += 1;
+                            self.contents[r] = Some(needed);
+                        }
+                        Err(err) => {
+                            // The failing region is left scrambled and
+                            // the fabric between configurations.
+                            self.contents[r] = None;
+                            self.current = None;
+                            return Err(err);
+                        }
+                    }
+                }
+            }
+        }
+        self.current = Some(to);
+        Ok(TransitionRecord {
+            from,
+            to,
+            requested: to,
+            regions_reconfigured: nregions,
+            frames,
+            time,
+            retries: 0,
+            faults: 0,
+            recovery_time: Duration::ZERO,
+            fell_back: false,
+        })
+    }
+}

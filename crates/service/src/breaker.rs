@@ -1,0 +1,218 @@
+//! Per-region circuit breakers.
+//!
+//! A region that keeps faulting is a liability long before the runtime
+//! blacklists it permanently: every request that touches it burns the
+//! full retry budget at the single ICAP while healthy work queues up
+//! behind it. The breaker is the classic three-state remedy, driven
+//! here by *virtual* time so trips and probes replay deterministically:
+//!
+//! ```text
+//!            K consecutive faults
+//!   Closed ───────────────────────▶ Open
+//!     ▲                              │ cooldown elapsed
+//!     │ probe succeeds               ▼
+//!     └──────────────────────── HalfOpen
+//!                                    │ probe faults
+//!                                    └──────▶ Open (cooldown restarts)
+//! ```
+//!
+//! While a breaker is `Open`, requests needing its region are refused
+//! with [`ServiceError::CircuitOpen`] without touching the backend.
+//! Any success on the region (including the half-open probe) closes the
+//! breaker and clears its failure count.
+//!
+//! [`ServiceError::CircuitOpen`]: crate::ServiceError::CircuitOpen
+
+use std::time::Duration;
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, consecutive faults are counted.
+    Closed,
+    /// Tripped: requests needing the region are refused until the
+    /// cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next request through is the probe.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable name for metrics and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive region faults that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker refuses requests before allowing a
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(5) }
+    }
+}
+
+/// One region's breaker. All timestamps are virtual nanoseconds from
+/// the service clock.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+    times_opened: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with no failure history.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            times_opened: 0,
+        }
+    }
+
+    /// The current state, *after* applying the open → half-open
+    /// transition that `now` implies. Read-only probes (metrics, tests)
+    /// should use [`CircuitBreaker::state`] instead.
+    pub fn state_at(&mut self, now: u64) -> BreakerState {
+        if self.state == BreakerState::Open
+            && now.saturating_sub(self.opened_at) >= self.config.cooldown.as_nanos() as u64
+        {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// The current state without consulting the clock (an open breaker
+    /// whose cooldown has elapsed still reads `Open` until a request
+    /// probes it).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How often this breaker has tripped open.
+    pub fn times_opened(&self) -> u64 {
+        self.times_opened
+    }
+
+    /// True when a request needing this region may proceed at `now`.
+    /// Performs the open → half-open transition; in half-open the
+    /// caller's request *is* the probe (the service is serial, so there
+    /// is never more than one probe in flight).
+    pub fn admit(&mut self, now: u64) -> bool {
+        self.state_at(now) != BreakerState::Open
+    }
+
+    /// Feed a successful load of the region: closes the breaker and
+    /// clears the failure count.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Feed an exhausted-recovery fault on the region at virtual time
+    /// `now`. In half-open this is the probe failing: the breaker
+    /// reopens and the cooldown restarts. In closed it counts toward
+    /// the trip threshold.
+    pub fn on_failure(&mut self, now: u64) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                self.times_opened += 1;
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                    self.times_opened += 1;
+                }
+            }
+            // Faults reported while open (e.g. a transition that was
+            // already executing) neither extend nor shorten the
+            // cooldown.
+            BreakerState::Open => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_nanos: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_nanos(cooldown_nanos),
+        })
+    }
+
+    #[test]
+    fn trips_after_exactly_k_consecutive_failures() {
+        let mut b = breaker(3, 100);
+        b.on_failure(0);
+        b.on_failure(1);
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.on_failure(2);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.times_opened(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = breaker(2, 100);
+        b.on_failure(0);
+        b.on_success();
+        b.on_failure(1);
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn open_refuses_until_cooldown_then_probes() {
+        let mut b = breaker(1, 100);
+        b.on_failure(10);
+        assert!(!b.admit(10), "just opened");
+        assert!(!b.admit(109), "cooldown not elapsed");
+        assert!(b.admit(110), "cooldown elapsed: half-open probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_failure_reopens_and_restarts_cooldown() {
+        let mut b = breaker(1, 100);
+        b.on_failure(0);
+        assert!(b.admit(100));
+        b.on_failure(150);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.times_opened(), 2);
+        assert!(!b.admit(200), "cooldown restarted at 150");
+        assert!(b.admit(250));
+    }
+
+    #[test]
+    fn probe_success_closes() {
+        let mut b = breaker(1, 100);
+        b.on_failure(0);
+        assert!(b.admit(100));
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(101));
+    }
+}

@@ -1,0 +1,49 @@
+//! # prpart-service — admission-controlled reconfiguration serving
+//!
+//! The paper's runtime model assumes one well-behaved caller asking for
+//! one mode switch at a time. This crate puts a request-serving layer in
+//! front of the runtime's [`ConfigurationManager`] (or the store-backed
+//! loader) so *many* clients can contend for the single ICAP without
+//! the system falling over:
+//!
+//! - [`ReconfigService`] accepts [`ReconfigRequest`]s (target
+//!   configuration, priority, absolute deadline, client id) into a
+//!   **bounded admission queue** served in priority order.
+//! - A pluggable [`OverloadPolicy`] decides what happens when the queue
+//!   is full: reject the newcomer, drop the oldest queued request, or —
+//!   using the transition certificate's per-edge clean-time bounds —
+//!   refuse any request whose predicted completion cannot meet its
+//!   deadline (**deadline-aware shedding**).
+//! - **Per-region circuit breakers** ([`CircuitBreaker`]) watch
+//!   transition fault outcomes: a region that keeps faulting trips its
+//!   breaker open, requests needing it are refused outright, and after a
+//!   cooldown a half-open probe decides whether to close it again.
+//! - Per-request **timeout and bounded retry** reuse the runtime's
+//!   [`RecoveryPolicy`] backoff schedule.
+//! - **Graceful drain**: shutdown completes or rejects every queued
+//!   request with a typed [`ServiceError`]; nothing is silently lost.
+//!
+//! Everything runs on a pluggable [`ServiceClock`] (the obs crate's
+//! virtual time), so overload scenarios replay byte-identically: the
+//! seeded [`WorkloadGenerator`] produces open-loop Poisson-like arrival
+//! schedules, and [`run_replay`] drives a service through one
+//! deterministically.
+//!
+//! [`ConfigurationManager`]: prpart_runtime::ConfigurationManager
+//! [`RecoveryPolicy`]: prpart_runtime::RecoveryPolicy
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod breaker;
+pub mod service;
+pub mod workload;
+
+pub use backend::{ReconfigBackend, StoreBackedBackend};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use service::{
+    DrainMode, OverloadPolicy, Priority, ReconfigRequest, ReconfigService, Served, ServiceClock,
+    ServiceConfig, ServiceError, ServiceOutcome,
+};
+pub use workload::{run_replay, summarize, ReplayReport, WorkloadConfig, WorkloadGenerator};

@@ -1,0 +1,799 @@
+//! The admission-controlled reconfiguration service.
+//!
+//! [`ReconfigService`] is single-threaded and strictly deterministic:
+//! requests enter a bounded priority queue via [`submit`], the head of
+//! the queue is executed against the backend via [`serve_next`], and
+//! every unit of simulated work advances the shared [`ServiceClock`].
+//! Given the same backend, configuration, and submission schedule, two
+//! runs produce byte-identical outcome logs and metric snapshots.
+//!
+//! [`submit`]: ReconfigService::submit
+//! [`serve_next`]: ReconfigService::serve_next
+
+use crate::backend::ReconfigBackend;
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use prpart_analysis::TransitionCertificate;
+use prpart_obs::{Counter, Gauge, Histogram, MockClock, ObsHandle, WallClock};
+use prpart_runtime::{RecoveryPolicy, RuntimeError};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A clock the service can both read and drive forward.
+///
+/// Simulated work (transitions, retry backoff) advances the clock
+/// explicitly, so a [`MockClock`]-backed service runs entirely in
+/// virtual time and replays byte-identically. A [`WallClock`] advances
+/// on its own, so its `advance` is a no-op.
+pub trait ServiceClock: Send + Sync {
+    /// Nanoseconds since the clock's origin.
+    fn now_nanos(&self) -> u64;
+    /// Accounts `nanos` of simulated work.
+    fn advance(&self, nanos: u64);
+}
+
+impl ServiceClock for MockClock {
+    fn now_nanos(&self) -> u64 {
+        prpart_obs::Clock::now_nanos(self)
+    }
+
+    fn advance(&self, nanos: u64) {
+        MockClock::advance(self, nanos)
+    }
+}
+
+impl ServiceClock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        prpart_obs::Clock::now_nanos(self)
+    }
+
+    fn advance(&self, _nanos: u64) {
+        // Real time passes by itself.
+    }
+}
+
+/// Request priority; higher priorities are served first, ties go to the
+/// earlier arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Background work.
+    Low,
+    /// The default.
+    Normal,
+    /// Latency-critical mode switches.
+    High,
+}
+
+impl Priority {
+    /// Stable name for metrics and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+/// One client's reconfiguration request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigRequest {
+    /// Opaque client identifier (telemetry only).
+    pub client: u32,
+    /// Target configuration index.
+    pub target: usize,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Absolute deadline in virtual nanoseconds, if the request has one.
+    pub deadline: Option<u64>,
+}
+
+/// What happens when a request arrives and the admission queue is full
+/// (and, for the deadline-aware policy, whenever admission would make a
+/// deadline unmeetable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Refuse the newcomer with [`ServiceError::QueueFull`].
+    RejectNew,
+    /// Shed the oldest queued request to make room for the newcomer.
+    DropOldest,
+    /// Chain the transition certificate's per-edge clean-time bounds
+    /// through the planned serve order: refuse any newcomer whose
+    /// predicted completion misses its deadline, and shed queued
+    /// requests a higher-priority admission has made unmeetable. Needs
+    /// a [`TransitionCertificate`] in the [`ServiceConfig`].
+    DeadlineAware,
+}
+
+impl OverloadPolicy {
+    /// Stable name for CLI flags and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OverloadPolicy::RejectNew => "reject-new",
+            OverloadPolicy::DropOldest => "drop-oldest",
+            OverloadPolicy::DeadlineAware => "deadline-aware",
+        }
+    }
+
+    /// Parses a CLI policy name.
+    pub fn parse(name: &str) -> Option<OverloadPolicy> {
+        match name {
+            "reject-new" => Some(OverloadPolicy::RejectNew),
+            "drop-oldest" => Some(OverloadPolicy::DropOldest),
+            "deadline-aware" => Some(OverloadPolicy::DeadlineAware),
+            _ => None,
+        }
+    }
+}
+
+/// Service tuning.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admission-queue capacity (requests beyond it hit the policy).
+    pub queue_capacity: usize,
+    /// Overload policy.
+    pub policy: OverloadPolicy,
+    /// Per-region circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Service-level retry schedule for faulted transitions: a faulted
+    /// request is retried up to `retry.max_retries` times, sleeping
+    /// `retry.backoff(attempt)` of virtual time between attempts. This
+    /// is a second recovery layer above the manager's own per-load
+    /// retries.
+    pub retry: RecoveryPolicy,
+    /// Maximum queueing age before a request is refused with
+    /// [`ServiceError::TimedOut`] instead of being served.
+    pub request_timeout: Option<Duration>,
+    /// Static transition certificate backing the deadline-aware policy.
+    pub certificate: Option<TransitionCertificate>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 16,
+            policy: OverloadPolicy::RejectNew,
+            breaker: BreakerConfig::default(),
+            retry: RecoveryPolicy { max_retries: 1, ..RecoveryPolicy::default() },
+            request_timeout: None,
+            certificate: None,
+        }
+    }
+}
+
+/// A served request's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Served {
+    /// Configuration actually reached (differs from the target only
+    /// after a safe-configuration fallback in the backend).
+    pub config: usize,
+    /// Frames written.
+    pub frames: u64,
+    /// Submission-to-completion latency in virtual time.
+    pub latency: Duration,
+    /// Service-level retry attempts spent (manager-internal retries are
+    /// accounted inside the backend's record, not here).
+    pub retries: u32,
+    /// True when the backend fell back to its safe configuration.
+    pub fell_back: bool,
+}
+
+/// Why the service refused, shed, or failed a request. Every submitted
+/// request terminates in exactly one [`ServiceOutcome`] carrying either
+/// a [`Served`] or one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The admission queue was full under the reject-new policy.
+    QueueFull {
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// Shed from the queue to make room for a newer request
+    /// (drop-oldest policy).
+    ShedOldest {
+        /// The request id that displaced this one.
+        displaced_by: u64,
+    },
+    /// Shed from the queue because a higher-priority admission pushed
+    /// this request's predicted completion past its deadline
+    /// (deadline-aware policy).
+    ShedDeadline {
+        /// The request's absolute deadline (virtual nanoseconds).
+        deadline_nanos: u64,
+        /// Its predicted completion when it was shed.
+        predicted_nanos: u64,
+    },
+    /// Refused at admission: even the certified clean-time bounds say
+    /// the deadline cannot be met (deadline-aware policy).
+    DeadlineUnmeetable {
+        /// The request's absolute deadline (virtual nanoseconds).
+        deadline_nanos: u64,
+        /// Predicted completion at admission time.
+        predicted_nanos: u64,
+    },
+    /// The deadline had already passed when the request reached the
+    /// head of the queue (or expired during recovery).
+    DeadlineMissed {
+        /// The request's absolute deadline (virtual nanoseconds).
+        deadline_nanos: u64,
+        /// Virtual time when the miss was detected.
+        now_nanos: u64,
+    },
+    /// The request sat queued longer than the configured timeout.
+    TimedOut {
+        /// The configured limit.
+        limit: Duration,
+    },
+    /// A region the target configuration needs has its circuit breaker
+    /// open.
+    CircuitOpen {
+        /// The tripped region.
+        region: usize,
+    },
+    /// The backend transition failed after the service's retry budget.
+    TransitionFailed(RuntimeError),
+    /// The service was draining and not accepting new work, or the
+    /// request was still queued when a rejecting drain ran.
+    Draining,
+    /// The service had already shut down.
+    ShutDown,
+    /// The deadline-aware policy was configured without a transition
+    /// certificate.
+    PolicyNeedsCertificate,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} requests)")
+            }
+            ServiceError::ShedOldest { displaced_by } => {
+                write!(f, "shed as oldest queued request to admit request {displaced_by}")
+            }
+            ServiceError::ShedDeadline { deadline_nanos, predicted_nanos } => write!(
+                f,
+                "shed: predicted completion {predicted_nanos}ns exceeds deadline {deadline_nanos}ns"
+            ),
+            ServiceError::DeadlineUnmeetable { deadline_nanos, predicted_nanos } => write!(
+                f,
+                "refused: certified bounds predict completion at {predicted_nanos}ns, past the \
+                 deadline {deadline_nanos}ns"
+            ),
+            ServiceError::DeadlineMissed { deadline_nanos, now_nanos } => {
+                write!(f, "deadline {deadline_nanos}ns already passed at {now_nanos}ns")
+            }
+            ServiceError::TimedOut { limit } => {
+                write!(f, "queued longer than the {limit:?} request timeout")
+            }
+            ServiceError::CircuitOpen { region } => {
+                write!(f, "circuit breaker open for region {region}")
+            }
+            ServiceError::TransitionFailed(err) => write!(f, "transition failed: {err}"),
+            ServiceError::Draining => write!(f, "service is draining"),
+            ServiceError::ShutDown => write!(f, "service has shut down"),
+            ServiceError::PolicyNeedsCertificate => {
+                write!(f, "deadline-aware policy needs a transition certificate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::TransitionFailed(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+/// The single response every submitted request eventually receives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceOutcome {
+    /// Request id (assigned by [`ReconfigService::submit`], dense from 0).
+    pub id: u64,
+    /// Submitting client.
+    pub client: u32,
+    /// Requested configuration.
+    pub target: usize,
+    /// Request priority.
+    pub priority: Priority,
+    /// Absolute deadline, if any (virtual nanoseconds).
+    pub deadline: Option<u64>,
+    /// Virtual time of submission.
+    pub submitted_at: u64,
+    /// Virtual time the response was produced.
+    pub finished_at: u64,
+    /// Success or typed rejection.
+    pub result: Result<Served, ServiceError>,
+}
+
+/// How [`ReconfigService::drain`] disposes of queued work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainMode {
+    /// Serve everything still queued, then stop.
+    Complete,
+    /// Answer everything still queued with [`ServiceError::Draining`],
+    /// then stop.
+    Reject,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServiceState {
+    Accepting,
+    Draining,
+    Stopped,
+}
+
+struct QueuedRequest {
+    id: u64,
+    submitted_at: u64,
+    req: ReconfigRequest,
+}
+
+/// `service.*` instruments on the shared obs registry.
+struct ServiceMetrics {
+    submitted: Counter,
+    admitted: Counter,
+    completed: Counter,
+    failed: Counter,
+    retries: Counter,
+    rejected_queue_full: Counter,
+    rejected_deadline_unmeetable: Counter,
+    rejected_circuit_open: Counter,
+    rejected_draining: Counter,
+    shed_drop_oldest: Counter,
+    shed_deadline: Counter,
+    deadline_missed: Counter,
+    timed_out: Counter,
+    breaker_trips: Counter,
+    queue_depth: Gauge,
+    breaker_open: Gauge,
+    latency_high: Histogram,
+    latency_normal: Histogram,
+    latency_low: Histogram,
+}
+
+impl ServiceMetrics {
+    fn new(obs: &ObsHandle) -> Self {
+        ServiceMetrics {
+            submitted: obs.counter("service.requests.submitted"),
+            admitted: obs.counter("service.requests.admitted"),
+            completed: obs.counter("service.requests.completed"),
+            failed: obs.counter("service.requests.failed"),
+            retries: obs.counter("service.requests.retries"),
+            rejected_queue_full: obs.counter("service.rejected.queue_full"),
+            rejected_deadline_unmeetable: obs.counter("service.rejected.deadline_unmeetable"),
+            rejected_circuit_open: obs.counter("service.rejected.circuit_open"),
+            rejected_draining: obs.counter("service.rejected.draining"),
+            shed_drop_oldest: obs.counter("service.shed.drop_oldest"),
+            shed_deadline: obs.counter("service.shed.deadline"),
+            deadline_missed: obs.counter("service.deadline.missed"),
+            timed_out: obs.counter("service.timeout.expired"),
+            breaker_trips: obs.counter("service.breaker.trips"),
+            queue_depth: obs.gauge("service.queue.depth"),
+            breaker_open: obs.gauge("service.breaker.open"),
+            latency_high: obs.duration_histogram("service.latency.high"),
+            latency_normal: obs.duration_histogram("service.latency.normal"),
+            latency_low: obs.duration_histogram("service.latency.low"),
+        }
+    }
+
+    fn latency(&self, priority: Priority) -> &Histogram {
+        match priority {
+            Priority::High => &self.latency_high,
+            Priority::Normal => &self.latency_normal,
+            Priority::Low => &self.latency_low,
+        }
+    }
+}
+
+/// The admission-controlled serving layer. See the crate docs for the
+/// state machines; see [`crate::run_replay`] for the canonical driver.
+pub struct ReconfigService<B: ReconfigBackend> {
+    backend: B,
+    clock: Arc<dyn ServiceClock>,
+    config: ServiceConfig,
+    queue: Vec<QueuedRequest>,
+    breakers: Vec<CircuitBreaker>,
+    next_id: u64,
+    outcomes: Vec<ServiceOutcome>,
+    state: ServiceState,
+    metrics: ServiceMetrics,
+}
+
+impl<B: ReconfigBackend> ReconfigService<B> {
+    /// Creates a service over `backend`, registering its `service.*`
+    /// instruments on `obs`. Fails typed when the configuration is
+    /// inconsistent (deadline-aware policy without a certificate).
+    pub fn new(
+        backend: B,
+        clock: Arc<dyn ServiceClock>,
+        config: ServiceConfig,
+        obs: &ObsHandle,
+    ) -> Result<Self, ServiceError> {
+        if config.policy == OverloadPolicy::DeadlineAware && config.certificate.is_none() {
+            return Err(ServiceError::PolicyNeedsCertificate);
+        }
+        let breakers =
+            (0..backend.num_regions()).map(|_| CircuitBreaker::new(config.breaker)).collect();
+        let metrics = ServiceMetrics::new(obs);
+        Ok(ReconfigService {
+            backend,
+            clock,
+            config,
+            queue: Vec::new(),
+            breakers,
+            next_id: 0,
+            outcomes: Vec::new(),
+            state: ServiceState::Accepting,
+            metrics,
+        })
+    }
+
+    /// The backend being fronted.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Consumes the service, returning the backend (for post-run
+    /// inspection of logs and telemetry).
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Current virtual time.
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// Idles the clock forward to absolute virtual time `to_nanos`
+    /// (no-op when already past it). Replay drivers use this to jump to
+    /// the next scheduled arrival.
+    pub fn advance_to(&mut self, to_nanos: u64) {
+        let now = self.clock.now_nanos();
+        if to_nanos > now {
+            self.clock.advance(to_nanos - now);
+        }
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Every response produced so far, in completion order.
+    pub fn outcomes(&self) -> &[ServiceOutcome] {
+        &self.outcomes
+    }
+
+    /// One region's breaker state (clock-free read; an open breaker
+    /// whose cooldown has elapsed reads `Open` until probed).
+    pub fn breaker_state(&self, region: usize) -> Option<BreakerState> {
+        self.breakers.get(region).map(CircuitBreaker::state)
+    }
+
+    /// All regions' breaker states, in region order.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.breakers.iter().map(CircuitBreaker::state).collect()
+    }
+
+    /// True while new submissions are accepted.
+    pub fn is_accepting(&self) -> bool {
+        self.state == ServiceState::Accepting
+    }
+
+    /// Submits a request and returns its id. Every submission produces
+    /// exactly one [`ServiceOutcome`] — possibly immediately, when the
+    /// request is refused at admission.
+    pub fn submit(&mut self, req: ReconfigRequest) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let now = self.clock.now_nanos();
+        self.metrics.submitted.incr();
+        match self.state {
+            ServiceState::Accepting => {}
+            ServiceState::Draining => return self.reject(id, now, &req, ServiceError::Draining),
+            ServiceState::Stopped => return self.reject(id, now, &req, ServiceError::ShutDown),
+        }
+        let nconf = self.backend.num_configurations();
+        if req.target >= nconf {
+            let err = ServiceError::TransitionFailed(RuntimeError::ConfigurationOutOfRange {
+                requested: req.target,
+                num_configurations: nconf,
+            });
+            return self.reject(id, now, &req, err);
+        }
+        match self.config.policy {
+            OverloadPolicy::RejectNew => {
+                if self.queue.len() >= self.config.queue_capacity {
+                    let err = ServiceError::QueueFull { capacity: self.config.queue_capacity };
+                    return self.reject(id, now, &req, err);
+                }
+            }
+            OverloadPolicy::DropOldest => {
+                if self.queue.len() >= self.config.queue_capacity {
+                    if let Some(pos) = oldest_index(&self.queue) {
+                        let victim = self.queue.remove(pos);
+                        self.finish(victim, Err(ServiceError::ShedOldest { displaced_by: id }));
+                    }
+                }
+            }
+            OverloadPolicy::DeadlineAware => {
+                if let Some(deadline) = req.deadline {
+                    let predicted = self.predicted_completion(now, &req);
+                    if predicted > deadline {
+                        let err = ServiceError::DeadlineUnmeetable {
+                            deadline_nanos: deadline,
+                            predicted_nanos: predicted,
+                        };
+                        return self.reject(id, now, &req, err);
+                    }
+                }
+                if self.queue.len() >= self.config.queue_capacity {
+                    let err = ServiceError::QueueFull { capacity: self.config.queue_capacity };
+                    return self.reject(id, now, &req, err);
+                }
+            }
+        }
+        let pos = self
+            .queue
+            .iter()
+            .position(|q| q.req.priority < req.priority)
+            .unwrap_or(self.queue.len());
+        self.queue.insert(pos, QueuedRequest { id, submitted_at: now, req });
+        self.metrics.admitted.incr();
+        self.metrics.queue_depth.set(self.queue.len() as i64);
+        if self.config.policy == OverloadPolicy::DeadlineAware {
+            self.shed_unmeetable(now);
+        }
+        id
+    }
+
+    /// Serves the head of the queue, returning the completed request's
+    /// id, or `None` when the queue is empty.
+    pub fn serve_next(&mut self) -> Option<u64> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let next = self.queue.remove(0);
+        self.metrics.queue_depth.set(self.queue.len() as i64);
+        let id = next.id;
+        let result = self.process(&next);
+        self.finish(next, result);
+        Some(id)
+    }
+
+    /// Serves until the queue is empty.
+    pub fn run_until_idle(&mut self) {
+        while self.serve_next().is_some() {}
+    }
+
+    /// Stops accepting new work and disposes of the queue per `mode`;
+    /// afterwards the service answers every submission with
+    /// [`ServiceError::ShutDown`]. Returns how many queued requests
+    /// were answered by the drain.
+    pub fn drain(&mut self, mode: DrainMode) -> usize {
+        self.state = ServiceState::Draining;
+        let mut answered = 0usize;
+        match mode {
+            DrainMode::Complete => {
+                while self.serve_next().is_some() {
+                    answered += 1;
+                }
+            }
+            DrainMode::Reject => {
+                while !self.queue.is_empty() {
+                    let q = self.queue.remove(0);
+                    self.finish(q, Err(ServiceError::Draining));
+                    answered += 1;
+                }
+                self.metrics.queue_depth.set(0);
+            }
+        }
+        self.state = ServiceState::Stopped;
+        answered
+    }
+
+    /// Executes one dequeued request: timeout and deadline gates, the
+    /// breaker gate, then the transition with service-level retries.
+    fn process(&mut self, q: &QueuedRequest) -> Result<Served, ServiceError> {
+        let now = self.clock.now_nanos();
+        if let Some(limit) = self.config.request_timeout {
+            if now.saturating_sub(q.submitted_at) > limit.as_nanos() as u64 {
+                return Err(ServiceError::TimedOut { limit });
+            }
+        }
+        if let Some(deadline) = q.req.deadline {
+            if now > deadline {
+                return Err(ServiceError::DeadlineMissed {
+                    deadline_nanos: deadline,
+                    now_nanos: now,
+                });
+            }
+        }
+        let needed = self.backend.regions_needed(q.req.target);
+        for &r in &needed {
+            if let Some(b) = self.breakers.get_mut(r) {
+                if !b.admit(now) {
+                    return Err(ServiceError::CircuitOpen { region: r });
+                }
+            }
+        }
+        let mut retries = 0u32;
+        loop {
+            match self.backend.transition(q.req.target) {
+                Ok(rec) => {
+                    self.clock.advance(rec.time.as_nanos() as u64);
+                    if !rec.fell_back {
+                        for &r in &needed {
+                            if let Some(b) = self.breakers.get_mut(r) {
+                                b.on_success();
+                            }
+                        }
+                    }
+                    self.update_breaker_gauge();
+                    let finished = self.clock.now_nanos();
+                    return Ok(Served {
+                        config: rec.to,
+                        frames: rec.frames,
+                        latency: Duration::from_nanos(finished.saturating_sub(q.submitted_at)),
+                        retries,
+                        fell_back: rec.fell_back,
+                    });
+                }
+                Err(err) => {
+                    let retryable = if let RuntimeError::RegionFault { region, elapsed, .. } = &err
+                    {
+                        self.clock.advance(elapsed.as_nanos() as u64);
+                        let fault_now = self.clock.now_nanos();
+                        if let Some(b) = self.breakers.get_mut(*region) {
+                            let was_open = b.state() == BreakerState::Open;
+                            b.on_failure(fault_now);
+                            if !was_open && b.state() == BreakerState::Open {
+                                self.metrics.breaker_trips.incr();
+                            }
+                        }
+                        self.update_breaker_gauge();
+                        true
+                    } else {
+                        false
+                    };
+                    let deadline_ok =
+                        q.req.deadline.map(|d| self.clock.now_nanos() <= d).unwrap_or(true);
+                    if retryable && deadline_ok && retries < self.config.retry.max_retries {
+                        self.clock.advance(self.config.retry.backoff(retries).as_nanos() as u64);
+                        retries += 1;
+                        self.metrics.retries.incr();
+                        continue;
+                    }
+                    return Err(ServiceError::TransitionFailed(err));
+                }
+            }
+        }
+    }
+
+    /// Predicted completion (virtual nanoseconds) of `req` if admitted
+    /// now: the certificate's clean-time bounds chained through every
+    /// queued request that would be served ahead of it.
+    fn predicted_completion(&self, now: u64, req: &ReconfigRequest) -> u64 {
+        let mut from = self.backend.current();
+        let mut t = now;
+        for q in self.queue.iter().filter(|q| q.req.priority >= req.priority) {
+            t = t.saturating_add(self.hop_bound_nanos(from, q.req.target));
+            from = Some(q.req.target);
+        }
+        t.saturating_add(self.hop_bound_nanos(from, req.target))
+    }
+
+    /// Re-walks the queue in serve order after an admission and sheds
+    /// every request whose predicted completion now misses its own
+    /// deadline. Keeps the deadline-aware invariant: everything queued
+    /// is predicted (by certified bounds) to meet its deadline.
+    fn shed_unmeetable(&mut self, now: u64) {
+        let mut from = self.backend.current();
+        let mut t = now;
+        let mut i = 0;
+        while i < self.queue.len() {
+            let target = self.queue[i].req.target;
+            let done = t.saturating_add(self.hop_bound_nanos(from, target));
+            let misses = self.queue[i].req.deadline.map(|d| done > d).unwrap_or(false);
+            if misses {
+                let victim = self.queue.remove(i);
+                let deadline_nanos = victim.req.deadline.unwrap_or(0);
+                self.finish(
+                    victim,
+                    Err(ServiceError::ShedDeadline { deadline_nanos, predicted_nanos: done }),
+                );
+                continue; // the shed hop contributes no time
+            }
+            t = done;
+            from = Some(target);
+            i += 1;
+        }
+        self.metrics.queue_depth.set(self.queue.len() as i64);
+    }
+
+    /// Static clean-time bound for one hop. Unknown history (power-up,
+    /// or an edge missing from the certificate) is charged the
+    /// full-load bound; a self-hop is free.
+    fn hop_bound_nanos(&self, from: Option<usize>, to: usize) -> u64 {
+        let Some(cert) = self.config.certificate.as_ref() else {
+            return 0;
+        };
+        let bound = match from {
+            Some(f) if f == to => Duration::ZERO,
+            Some(f) => cert.bound(f, to).unwrap_or(cert.full_load_bound),
+            None => cert.full_load_bound,
+        };
+        bound.as_nanos() as u64
+    }
+
+    fn update_breaker_gauge(&self) {
+        let open = self.breakers.iter().filter(|b| b.state() == BreakerState::Open).count();
+        self.metrics.breaker_open.set(open as i64);
+    }
+
+    /// Records an admission-time rejection.
+    fn reject(&mut self, id: u64, now: u64, req: &ReconfigRequest, err: ServiceError) -> u64 {
+        let q = QueuedRequest { id, submitted_at: now, req: *req };
+        self.finish(q, Err(err));
+        id
+    }
+
+    /// Produces the one outcome a request gets and updates metrics.
+    fn finish(&mut self, q: QueuedRequest, result: Result<Served, ServiceError>) {
+        let finished_at = self.clock.now_nanos();
+        match &result {
+            Ok(served) => {
+                self.metrics.completed.incr();
+                self.metrics.latency(q.req.priority).record(served.latency.as_nanos() as u64);
+            }
+            Err(err) => {
+                self.metrics.failed.incr();
+                let counter = match err {
+                    ServiceError::QueueFull { .. } => &self.metrics.rejected_queue_full,
+                    ServiceError::ShedOldest { .. } => &self.metrics.shed_drop_oldest,
+                    ServiceError::ShedDeadline { .. } => &self.metrics.shed_deadline,
+                    ServiceError::DeadlineUnmeetable { .. } => {
+                        &self.metrics.rejected_deadline_unmeetable
+                    }
+                    ServiceError::DeadlineMissed { .. } => &self.metrics.deadline_missed,
+                    ServiceError::TimedOut { .. } => &self.metrics.timed_out,
+                    ServiceError::CircuitOpen { .. } => &self.metrics.rejected_circuit_open,
+                    ServiceError::Draining | ServiceError::ShutDown => {
+                        &self.metrics.rejected_draining
+                    }
+                    ServiceError::TransitionFailed(_) | ServiceError::PolicyNeedsCertificate => {
+                        &self.metrics.failed
+                    }
+                };
+                // `failed` already counted every error once; per-cause
+                // counters refine it (TransitionFailed has no extra
+                // cause counter, so skip the double count).
+                if !matches!(
+                    err,
+                    ServiceError::TransitionFailed(_) | ServiceError::PolicyNeedsCertificate
+                ) {
+                    counter.incr();
+                }
+            }
+        }
+        self.outcomes.push(ServiceOutcome {
+            id: q.id,
+            client: q.req.client,
+            target: q.req.target,
+            priority: q.req.priority,
+            deadline: q.req.deadline,
+            submitted_at: q.submitted_at,
+            finished_at,
+            result,
+        });
+    }
+}
+
+/// Index of the oldest (smallest id) queued request.
+fn oldest_index(queue: &[QueuedRequest]) -> Option<usize> {
+    queue.iter().enumerate().min_by_key(|(_, q)| q.id).map(|(i, _)| i)
+}

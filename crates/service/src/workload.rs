@@ -1,0 +1,320 @@
+//! Seeded open-loop workloads and the deterministic replay driver.
+//!
+//! [`WorkloadGenerator`] expands a seed into a complete arrival
+//! schedule up front — Poisson-like exponential inter-arrival gaps,
+//! uniform targets, a priority mix, and a deadline mix — so a replay is
+//! a pure function of `(backend, service config, workload config)`.
+//! [`run_replay`] walks the schedule on the service's virtual clock:
+//! the service serves queued work until the next arrival is due, idles
+//! forward when the queue empties, submits the arrival, and finally
+//! drains. Two identical runs produce byte-identical outcome logs.
+
+use crate::service::{
+    DrainMode, Priority, ReconfigRequest, ReconfigService, ServiceError, ServiceOutcome,
+};
+use crate::ReconfigBackend;
+use std::time::Duration;
+
+/// SplitMix64 — the same tiny generator the runtime's fault model uses;
+/// dependency-free and stable across platforms.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in [0, n).
+    fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+}
+
+/// Workload shape.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Generator seed.
+    pub seed: u64,
+    /// Offered load: mean arrivals per (virtual) second.
+    pub arrivals_per_sec: f64,
+    /// Length of the arrival window (virtual time).
+    pub duration: Duration,
+    /// Distinct client ids to spread requests over.
+    pub clients: u32,
+    /// Fraction of requests submitted at [`Priority::High`].
+    pub high_fraction: f64,
+    /// Fraction of requests submitted at [`Priority::Low`] (the rest
+    /// are [`Priority::Normal`]).
+    pub low_fraction: f64,
+    /// Fraction of requests that carry a deadline.
+    pub deadline_fraction: f64,
+    /// Deadline slack drawn uniformly from this range and added to the
+    /// arrival time.
+    pub deadline_slack: (Duration, Duration),
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0x5EED,
+            arrivals_per_sec: 500.0,
+            duration: Duration::from_millis(100),
+            clients: 4,
+            high_fraction: 0.2,
+            low_fraction: 0.3,
+            deadline_fraction: 0.75,
+            deadline_slack: (Duration::from_millis(2), Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Expands a [`WorkloadConfig`] into a concrete arrival schedule.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+}
+
+impl WorkloadGenerator {
+    /// A generator for `config`.
+    pub fn new(config: WorkloadConfig) -> Self {
+        WorkloadGenerator { config }
+    }
+
+    /// The full arrival schedule over `num_configurations` targets:
+    /// `(arrival_nanos, request)` pairs in arrival order. Client ids,
+    /// targets, priorities, and deadlines all come from the one seeded
+    /// stream, so the schedule is a pure function of the configuration.
+    pub fn schedule(&self, num_configurations: usize) -> Vec<(u64, ReconfigRequest)> {
+        let cfg = &self.config;
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut out = Vec::new();
+        if cfg.arrivals_per_sec <= 0.0 || num_configurations == 0 {
+            return out;
+        }
+        let horizon = cfg.duration.as_nanos() as u64;
+        let mean_gap_nanos = 1e9 / cfg.arrivals_per_sec;
+        let (slack_lo, slack_hi) = cfg.deadline_slack;
+        let slack_lo = slack_lo.as_nanos() as u64;
+        let slack_hi = slack_hi.as_nanos().max(slack_lo as u128) as u64;
+        let mut t = 0u64;
+        loop {
+            // Exponential inter-arrival gap: -ln(1-u) * mean.
+            let u = rng.next_f64();
+            let gap = (-(1.0 - u).ln() * mean_gap_nanos).ceil();
+            t = t.saturating_add(gap as u64).max(t.saturating_add(1));
+            if t > horizon {
+                break;
+            }
+            let target = rng.next_below(num_configurations as u64) as usize;
+            let p = rng.next_f64();
+            let priority = if p < cfg.high_fraction {
+                Priority::High
+            } else if p < cfg.high_fraction + cfg.low_fraction {
+                Priority::Low
+            } else {
+                Priority::Normal
+            };
+            let client = rng.next_below(cfg.clients.max(1) as u64) as u32;
+            let deadline = if rng.next_f64() < cfg.deadline_fraction {
+                let span = slack_hi.saturating_sub(slack_lo).saturating_add(1);
+                Some(t.saturating_add(slack_lo + rng.next_below(span)))
+            } else {
+                None
+            };
+            out.push((t, ReconfigRequest { client, target, priority, deadline }));
+        }
+        out
+    }
+}
+
+/// What one replay produced, aggregated from the outcome log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Requests submitted (arrival-schedule length).
+    pub offered: usize,
+    /// Requests served successfully.
+    pub completed: usize,
+    /// Completed requests that also met their deadline (requests with
+    /// no deadline count as met).
+    pub goodput: usize,
+    /// Requests shed by an overload policy (drop-oldest or deadline).
+    pub shed: usize,
+    /// Requests refused at admission (queue full, unmeetable deadline,
+    /// invalid target, draining).
+    pub rejected: usize,
+    /// Requests refused by an open circuit breaker.
+    pub circuit_open: usize,
+    /// Requests that missed their deadline or timed out at serve time.
+    pub deadline_missed: usize,
+    /// Requests whose transition failed after retries.
+    pub failed: usize,
+    /// Goodput per virtual second.
+    pub goodput_per_sec: f64,
+    /// Median completion latency.
+    pub p50_latency: Duration,
+    /// 99th-percentile completion latency.
+    pub p99_latency: Duration,
+    /// Worst completion latency.
+    pub max_latency: Duration,
+    /// Virtual time consumed by the whole replay, drain included.
+    pub virtual_elapsed: Duration,
+}
+
+/// Drives `service` through the arrival `schedule` (as produced by
+/// [`WorkloadGenerator::schedule`]) on its virtual clock, then drains
+/// to completion. Returns the aggregate report; per-request outcomes
+/// stay on the service.
+pub fn run_replay<B: ReconfigBackend>(
+    service: &mut ReconfigService<B>,
+    schedule: &[(u64, ReconfigRequest)],
+) -> ReplayReport {
+    let start = service.now_nanos();
+    for &(at, req) in schedule {
+        let due = start.saturating_add(at);
+        // Serve queued work until the arrival is due; if the queue
+        // empties first, idle the clock forward to the arrival.
+        while service.now_nanos() < due && service.queue_depth() > 0 {
+            service.serve_next();
+        }
+        let now = service.now_nanos();
+        if now < due {
+            service.advance_to(due);
+        }
+        service.submit(req);
+    }
+    service.drain(DrainMode::Complete);
+    let elapsed = service.now_nanos().saturating_sub(start);
+    summarize(service.outcomes(), elapsed)
+}
+
+/// Aggregates an outcome log into a [`ReplayReport`].
+pub fn summarize(outcomes: &[ServiceOutcome], elapsed_nanos: u64) -> ReplayReport {
+    let mut completed = 0usize;
+    let mut goodput = 0usize;
+    let mut shed = 0usize;
+    let mut rejected = 0usize;
+    let mut circuit_open = 0usize;
+    let mut deadline_missed = 0usize;
+    let mut failed = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    for o in outcomes {
+        match &o.result {
+            Ok(served) => {
+                completed += 1;
+                latencies.push(served.latency.as_nanos() as u64);
+                let met = o.deadline.map(|d| o.finished_at <= d).unwrap_or(true);
+                if met {
+                    goodput += 1;
+                }
+            }
+            Err(err) => match err {
+                ServiceError::ShedOldest { .. } | ServiceError::ShedDeadline { .. } => shed += 1,
+                ServiceError::QueueFull { .. }
+                | ServiceError::DeadlineUnmeetable { .. }
+                | ServiceError::Draining
+                | ServiceError::ShutDown
+                | ServiceError::PolicyNeedsCertificate => rejected += 1,
+                ServiceError::CircuitOpen { .. } => circuit_open += 1,
+                ServiceError::DeadlineMissed { .. } | ServiceError::TimedOut { .. } => {
+                    deadline_missed += 1
+                }
+                ServiceError::TransitionFailed(_) => failed += 1,
+            },
+        }
+    }
+    latencies.sort_unstable();
+    let pick = |p: usize| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(latencies[(latencies.len() - 1) * p / 100])
+    };
+    let secs = elapsed_nanos as f64 / 1e9;
+    ReplayReport {
+        offered: outcomes.len(),
+        completed,
+        goodput,
+        shed,
+        rejected,
+        circuit_open,
+        deadline_missed,
+        failed,
+        goodput_per_sec: if secs > 0.0 { goodput as f64 / secs } else { 0.0 },
+        p50_latency: pick(50),
+        p99_latency: pick(99),
+        max_latency: pick(100),
+        virtual_elapsed: Duration::from_nanos(elapsed_nanos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_ordered() {
+        let g = WorkloadGenerator::new(WorkloadConfig::default());
+        let a = g.schedule(8);
+        let b = g.schedule(8);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty(), "100ms at 500/s must produce arrivals");
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "arrival times strictly increase");
+        let horizon = WorkloadConfig::default().duration.as_nanos() as u64;
+        assert!(a.iter().all(|(t, _)| *t <= horizon));
+        assert!(a.iter().all(|(_, r)| r.target < 8));
+    }
+
+    #[test]
+    fn seed_changes_the_schedule() {
+        let base = WorkloadGenerator::new(WorkloadConfig::default()).schedule(8);
+        let other =
+            WorkloadGenerator::new(WorkloadConfig { seed: 99, ..WorkloadConfig::default() })
+                .schedule(8);
+        assert_ne!(base, other);
+    }
+
+    #[test]
+    fn mixes_cover_priorities_and_deadlines() {
+        let g = WorkloadGenerator::new(WorkloadConfig::default());
+        let s = g.schedule(8);
+        let high = s.iter().filter(|(_, r)| r.priority == Priority::High).count();
+        let low = s.iter().filter(|(_, r)| r.priority == Priority::Low).count();
+        let normal = s.iter().filter(|(_, r)| r.priority == Priority::Normal).count();
+        assert!(high > 0 && low > 0 && normal > 0, "{high}/{normal}/{low}");
+        let with_deadline = s.iter().filter(|(_, r)| r.deadline.is_some()).count();
+        assert!(with_deadline > 0 && with_deadline < s.len());
+        for (t, r) in &s {
+            if let Some(d) = r.deadline {
+                assert!(d > *t, "deadline after arrival");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_produces_no_arrivals() {
+        let g = WorkloadGenerator::new(WorkloadConfig {
+            arrivals_per_sec: 0.0,
+            ..WorkloadConfig::default()
+        });
+        assert!(g.schedule(8).is_empty());
+    }
+}

@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 # The ratchet. Lower is better; raising it needs a review that agrees
 # the new call site genuinely cannot fail.
-BASELINE=98
+BASELINE=90
 
 print_mode=false
 [ "${1:-}" = "--print" ] && print_mode=true

@@ -22,6 +22,9 @@
 //! * [`floorplan`] — column-grid floorplanner with feedback.
 //! * [`flow`] — the end-to-end tool flow (Fig. 2).
 //! * [`runtime`] — configuration manager, environments, Monte-Carlo.
+//! * [`service`] — admission-controlled reconfiguration serving:
+//!   bounded queues, overload policies, circuit breakers, graceful
+//!   drain (see `docs/resilience.md` §7).
 //! * [`obs`] — observability: metrics registry, span timers, profiles
 //!   (see `docs/observability.md`).
 //!
@@ -63,5 +66,6 @@ pub use prpart_flow as flow;
 pub use prpart_graph as graph;
 pub use prpart_obs as obs;
 pub use prpart_runtime as runtime;
+pub use prpart_service as service;
 pub use prpart_synth as synth;
 pub use prpart_xmlio as xmlio;

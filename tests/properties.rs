@@ -10,7 +10,9 @@ use proptest::prelude::*;
 use prpart::arch::{frames_for, Resources, TileCounts};
 use prpart::core::{baselines, Partitioner, TransitionSemantics};
 use prpart::design::ConnectivityMatrix;
+use prpart::runtime::RecoveryPolicy;
 use prpart::synth::{generate_design, CircuitClass, GeneratorConfig};
+use std::time::Duration;
 
 fn class(idx: usize) -> CircuitClass {
     CircuitClass::ALL[idx % 4]
@@ -160,5 +162,31 @@ proptest! {
             prop_assert_eq!(sum, scheme.total_reconfig_frames(sem));
             prop_assert_eq!(worst, scheme.worst_reconfig_frames(sem));
         }
+    }
+
+    /// Recovery backoff invariants: the delay is monotone non-decreasing
+    /// in the attempt number, never exceeds the cap, starts at the base
+    /// (unless the cap is already below it), and evaluates without
+    /// panicking for every attempt number up to `u32::MAX` — the shift
+    /// saturates instead of overflowing.
+    #[test]
+    fn prop_backoff_monotone_capped_no_overflow(
+        base_nanos in 0u64..10_000_000,
+        cap_nanos in 0u64..1_000_000_000,
+        attempt in 0u32..1_000,
+        delta in 0u32..1_000,
+    ) {
+        let base = Duration::from_nanos(base_nanos);
+        let cap = Duration::from_nanos(cap_nanos);
+        let p = RecoveryPolicy { backoff_base: base, backoff_cap: cap, ..Default::default() };
+        // Monotone non-decreasing in the attempt number.
+        prop_assert!(p.backoff(attempt) <= p.backoff(attempt + delta));
+        // Never above the cap.
+        prop_assert!(p.backoff(attempt) <= cap);
+        // The first delay is the base, clipped by the cap.
+        prop_assert_eq!(p.backoff(0), base.min(cap));
+        // No overflow at or near the last representable attempt.
+        prop_assert!(p.backoff(u32::MAX - 1) <= p.backoff(u32::MAX));
+        prop_assert!(p.backoff(u32::MAX) <= cap);
     }
 }

@@ -1,0 +1,292 @@
+//! Acceptance tests for the admission-controlled reconfiguration
+//! service (`docs/resilience.md` §7):
+//!
+//! 1. **Determinism** — two identical seeded replays produce identical
+//!    outcome logs and byte-identical metrics snapshots.
+//! 2. **Deadline-aware admission** — under overload, no admitted
+//!    request ever misses its deadline in a fault-free run; everything
+//!    that would miss is refused or shed with a typed error instead.
+//! 3. **Breaker state machine** — a persistent-fault region trips its
+//!    breaker after exactly K consecutive failures, requests are
+//!    refused while it is open, and the post-cooldown half-open probe
+//!    is admitted (and re-opens the breaker when it fails).
+//! 4. **Graceful drain** — every submitted request is answered, drain
+//!    answers the whole queue, and post-drain submissions get
+//!    `ShutDown`.
+//! 5. **Zero-load transparency** — served one at a time with an empty
+//!    queue, the service's backend transition log is identical to the
+//!    same walk run directly against the manager.
+
+use prpart::analysis::{TransitionCertificate, TransitionCertifier};
+use prpart::arch::IcapModel;
+use prpart::core::{baselines, Scheme};
+use prpart::design::{corpus, ConnectivityMatrix, Design};
+use prpart::obs::{MockClock, ObsHandle};
+use prpart::runtime::{ConfigurationManager, FaultModel, IcapController, RecoveryPolicy};
+use prpart::service::{
+    run_replay, BreakerConfig, BreakerState, DrainMode, OverloadPolicy, Priority, ReconfigRequest,
+    ReconfigService, ServiceConfig, ServiceError, WorkloadConfig, WorkloadGenerator,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The study fixture: the paper's example design, the deterministic
+/// per-module scheme, and its transition certificate.
+fn study() -> (Design, Scheme, TransitionCertificate) {
+    let design = corpus::abc_example();
+    let matrix = ConnectivityMatrix::from_design(&design);
+    let scheme = baselines::per_module(&design, &matrix);
+    let report = TransitionCertifier::new().certify(&design, &scheme);
+    assert!(report.is_certified(), "{}", report.render_text());
+    (design, scheme, report.certificate)
+}
+
+fn manager_with(
+    scheme: Scheme,
+    faults: FaultModel,
+    policy: RecoveryPolicy,
+) -> ConfigurationManager {
+    ConfigurationManager::with_policy(
+        scheme,
+        IcapController::with_faults(IcapModel::virtex5(), faults),
+        policy,
+    )
+}
+
+fn request(target: usize) -> ReconfigRequest {
+    ReconfigRequest { client: 0, target, priority: Priority::Normal, deadline: None }
+}
+
+/// Property 1: a replay is a pure function of its configuration — the
+/// outcome logs match request by request and the metrics snapshots are
+/// byte-identical, even with seeded faults in the backend.
+#[test]
+fn replay_is_deterministic_in_outcomes_and_metrics() {
+    let (design, scheme, cert) = study();
+    let run = || {
+        let clock = Arc::new(MockClock::new());
+        let obs = ObsHandle::with_clock(clock.clone());
+        let manager = manager_with(
+            scheme.clone(),
+            FaultModel::seeded(0.05, 0xFA17),
+            RecoveryPolicy::default(),
+        );
+        let config = ServiceConfig {
+            queue_capacity: 8,
+            policy: OverloadPolicy::DeadlineAware,
+            certificate: Some(cert.clone()),
+            ..ServiceConfig::default()
+        };
+        let mut service =
+            ReconfigService::new(manager, clock, config, &obs).expect("certificate provided");
+        let workload = WorkloadConfig {
+            arrivals_per_sec: 2000.0,
+            duration: Duration::from_millis(30),
+            ..WorkloadConfig::default()
+        };
+        let schedule = WorkloadGenerator::new(workload).schedule(design.num_configurations());
+        let report = run_replay(&mut service, &schedule);
+        (report, service.outcomes().to_vec(), obs.snapshot().to_json())
+    };
+    let (report_a, outcomes_a, metrics_a) = run();
+    let (report_b, outcomes_b, metrics_b) = run();
+    assert!(!outcomes_a.is_empty(), "the workload must submit something");
+    assert_eq!(report_a, report_b, "aggregate reports diverged");
+    assert_eq!(outcomes_a, outcomes_b, "outcome logs diverged");
+    assert_eq!(metrics_a, metrics_b, "metrics snapshots diverged");
+}
+
+/// Property 2: the deadline-aware invariant. In a fault-free overload
+/// run every request with a deadline either completes on time or is
+/// refused/shed with a typed deadline error — never served late, never
+/// `DeadlineMissed` at the queue head.
+#[test]
+fn deadline_aware_policy_never_serves_a_missed_deadline() {
+    let (design, scheme, cert) = study();
+    let clock = Arc::new(MockClock::new());
+    let manager = manager_with(scheme, FaultModel::none(), RecoveryPolicy::default());
+    let config = ServiceConfig {
+        queue_capacity: 8,
+        policy: OverloadPolicy::DeadlineAware,
+        certificate: Some(cert),
+        ..ServiceConfig::default()
+    };
+    let mut service = ReconfigService::new(manager, clock, config, &ObsHandle::disabled())
+        .expect("certificate provided");
+    // Tight deadlines under heavy offered load force the policy to work.
+    let workload = WorkloadConfig {
+        arrivals_per_sec: 6000.0,
+        duration: Duration::from_millis(50),
+        deadline_fraction: 1.0,
+        deadline_slack: (Duration::from_micros(200), Duration::from_millis(3)),
+        ..WorkloadConfig::default()
+    };
+    let schedule = WorkloadGenerator::new(workload).schedule(design.num_configurations());
+    let report = run_replay(&mut service, &schedule);
+    assert!(report.offered > 20, "overload fixture too small: {report:?}");
+    assert!(report.shed + report.rejected > 0, "load must actually exceed capacity: {report:?}");
+    assert_eq!(report.deadline_missed, 0, "{report:?}");
+    for o in service.outcomes() {
+        match &o.result {
+            Ok(_) => {
+                if let Some(d) = o.deadline {
+                    assert!(
+                        o.finished_at <= d,
+                        "request {} served late: finished {} > deadline {}",
+                        o.id,
+                        o.finished_at,
+                        d
+                    );
+                }
+            }
+            Err(err) => assert!(
+                !matches!(err, ServiceError::DeadlineMissed { .. }),
+                "request {} reached the head with an expired deadline: {err}",
+                o.id
+            ),
+        }
+    }
+}
+
+/// Property 3: the per-region circuit breaker follows its state machine
+/// under a fault storm: closed through K−1 consecutive failures, open
+/// at K, refusing while open, and probing half-open after the cooldown
+/// (a failed probe re-opens).
+#[test]
+fn breaker_opens_refuses_and_probes_per_spec() {
+    let (_design, scheme, _cert) = study();
+    // Region 0 faults on every load; the manager's own recovery is
+    // disabled (no internal retries, no scrubbing, blacklist far out of
+    // reach) so the service's breaker sees every raw fault.
+    let faults = FaultModel::seeded(0.0, 1).with_persistent_region(0);
+    let policy = RecoveryPolicy {
+        max_retries: 0,
+        scrub: false,
+        blacklist_threshold: 100,
+        ..RecoveryPolicy::default()
+    };
+    let manager = manager_with(scheme, faults, policy);
+    let clock = Arc::new(MockClock::new());
+    let cooldown = Duration::from_millis(5);
+    let config = ServiceConfig {
+        breaker: BreakerConfig { failure_threshold: 2, cooldown },
+        retry: RecoveryPolicy { max_retries: 0, ..RecoveryPolicy::default() },
+        ..ServiceConfig::default()
+    };
+    let mut service = ReconfigService::new(manager, clock.clone(), config, &ObsHandle::disabled())
+        .expect("valid config");
+
+    let serve_one = |s: &mut ReconfigService<ConfigurationManager>| {
+        s.submit(request(0));
+        s.serve_next().expect("queue had one request");
+        s.outcomes().last().expect("outcome recorded").result.clone()
+    };
+
+    // Failure 1 of 2: still closed.
+    let r = serve_one(&mut service);
+    assert!(matches!(r, Err(ServiceError::TransitionFailed(_))), "{r:?}");
+    assert_eq!(service.breaker_state(0), Some(BreakerState::Closed));
+    // Failure 2 of 2: trips open.
+    let r = serve_one(&mut service);
+    assert!(matches!(r, Err(ServiceError::TransitionFailed(_))), "{r:?}");
+    assert_eq!(service.breaker_state(0), Some(BreakerState::Open));
+    // While open (cooldown not elapsed): refused without touching the
+    // backend.
+    let log_len = service.backend().log().len();
+    let r = serve_one(&mut service);
+    assert!(matches!(r, Err(ServiceError::CircuitOpen { region: 0 })), "{r:?}");
+    assert_eq!(service.backend().log().len(), log_len, "open breaker must not reach the backend");
+    assert_eq!(service.breaker_state(0), Some(BreakerState::Open));
+    // After the cooldown the next request is the half-open probe: it is
+    // admitted to the backend (so the error is a transition failure,
+    // not CircuitOpen) and its failure re-opens the breaker.
+    let now = service.now_nanos();
+    service.advance_to(now + cooldown.as_nanos() as u64 + 1);
+    let r = serve_one(&mut service);
+    assert!(matches!(r, Err(ServiceError::TransitionFailed(_))), "probe must be admitted: {r:?}");
+    assert_eq!(service.breaker_state(0), Some(BreakerState::Open), "failed probe re-opens");
+    // And the re-opened breaker refuses again until its fresh cooldown.
+    let r = serve_one(&mut service);
+    assert!(matches!(r, Err(ServiceError::CircuitOpen { region: 0 })), "{r:?}");
+}
+
+/// Property 4: graceful drain leaves no request unanswered — every
+/// submission has exactly one outcome, a rejecting drain answers the
+/// whole queue with `Draining`, and the stopped service answers new
+/// submissions with `ShutDown`.
+#[test]
+fn drain_answers_everything_and_then_shuts_down() {
+    let (design, scheme, _cert) = study();
+    let manager = manager_with(scheme, FaultModel::none(), RecoveryPolicy::default());
+    let clock = Arc::new(MockClock::new());
+    let mut service =
+        ReconfigService::new(manager, clock, ServiceConfig::default(), &ObsHandle::disabled())
+            .expect("valid config");
+    let n = design.num_configurations();
+    for i in 0..6 {
+        service.submit(request(i % n));
+    }
+    // Serve a couple, then drain the rest without serving them.
+    service.serve_next();
+    service.serve_next();
+    let queued = service.queue_depth();
+    assert_eq!(queued, 4);
+    let answered = service.drain(DrainMode::Reject);
+    assert_eq!(answered, queued, "drain must answer the whole queue");
+    assert_eq!(service.queue_depth(), 0);
+    assert_eq!(service.outcomes().len(), 6, "every submission answered exactly once");
+    let drained = service
+        .outcomes()
+        .iter()
+        .filter(|o| matches!(o.result, Err(ServiceError::Draining)))
+        .count();
+    assert_eq!(drained, 4);
+    // Ids are dense and unique: one outcome per submission.
+    let mut ids: Vec<u64> = service.outcomes().iter().map(|o| o.id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..6).collect::<Vec<u64>>());
+    // The stopped service still answers — with ShutDown.
+    assert!(!service.is_accepting());
+    service.submit(request(0));
+    let last = service.outcomes().last().expect("outcome recorded");
+    assert!(matches!(last.result, Err(ServiceError::ShutDown)), "{:?}", last.result);
+}
+
+/// Property 5: at zero load the service is transparent — the backend's
+/// transition log after serving a walk one request at a time is
+/// identical (every record field) to the same walk run directly on a
+/// manager, and every request completes.
+#[test]
+fn zero_load_service_is_byte_identical_to_direct_manager_calls() {
+    let (design, scheme, _cert) = study();
+    let n = design.num_configurations();
+    let walk: Vec<usize> = (0..20).map(|i| (i * 7 + 3) % n).collect();
+
+    let mut direct = manager_with(scheme.clone(), FaultModel::none(), RecoveryPolicy::default());
+    for &t in &walk {
+        direct.transition(t).expect("fault-free transition");
+    }
+
+    let served = manager_with(scheme, FaultModel::none(), RecoveryPolicy::default());
+    let clock = Arc::new(MockClock::new());
+    let mut service =
+        ReconfigService::new(served, clock, ServiceConfig::default(), &ObsHandle::disabled())
+            .expect("valid config");
+    for &t in &walk {
+        service.submit(request(t));
+        let id = service.serve_next().expect("queue had one request");
+        let outcome = service.outcomes().last().expect("outcome recorded");
+        assert_eq!(outcome.id, id);
+        assert!(outcome.result.is_ok(), "{:?}", outcome.result);
+    }
+    let served = service.into_backend();
+    assert_eq!(served.current(), direct.current());
+    assert_eq!(
+        format!("{:?}", served.log()),
+        format!("{:?}", direct.log()),
+        "the service must not perturb the backend's transition log"
+    );
+    let frames_direct: u64 = direct.log().iter().map(|r| r.frames).sum();
+    let frames_served: u64 = served.log().iter().map(|r| r.frames).sum();
+    assert_eq!(frames_direct, frames_served);
+}
