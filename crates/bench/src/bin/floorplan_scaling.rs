@@ -1,0 +1,87 @@
+//! X12: floorplan scaling — wasted frames and wall time of the
+//! candidate-enumeration placement engine versus the legacy first-fit
+//! scanner, on synthetic region sets of growing size and on the
+//! case-study corpus (same scheme, both placers).
+//!
+//! Usage: `floorplan_scaling [--quick] [--threads N] [--out FILE]`
+//! (default FILE `BENCH_floorplan.json`). `--quick` trims the sweep
+//! for CI smoke runs. Exits non-zero if the candidate engine wastes
+//! more than first-fit anywhere — that is a placer regression, not a
+//! measurement.
+
+use prpart_bench::floorplan::{
+    floorplan_scaling_json, render_floorplan_corpus, render_floorplan_scaling,
+    run_floorplan_corpus, run_floorplan_scaling, FloorplanScalingConfig,
+};
+
+fn main() {
+    let mut cfg = FloorplanScalingConfig::default();
+    let mut out_path = String::from("BENCH_floorplan.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cfg.region_counts = vec![4, 8, 16],
+            "--threads" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg.threads = n,
+                None => {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scaling = match run_floorplan_scaling(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("floorplan scaling study failed:\n{e}");
+            std::process::exit(1);
+        }
+    };
+    let corpus = match run_floorplan_corpus(cfg.threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("floorplan corpus study failed:\n{e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "floorplan scaling: {} synthetic point(s), {} corpus design(s), threads {}\n",
+        scaling.len(),
+        corpus.len(),
+        cfg.threads
+    );
+    println!("{}", render_floorplan_scaling(&scaling));
+    println!();
+    println!("{}", render_floorplan_corpus(&corpus));
+    println!(
+        "\nwaste counts frames allocated beyond each region's requirement;\n\
+         `dominates` asserts the candidate engine matched or beat first-fit."
+    );
+
+    let json = floorplan_scaling_json(&scaling, &corpus);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    let regressions = scaling.iter().filter(|r| !r.dominates).count()
+        + corpus.iter().filter(|r| !r.dominates).count();
+    if regressions > 0 {
+        eprintln!("{regressions} point(s) where the candidate engine wasted more than first-fit");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,347 @@
+//! Floorplanner scaling study (extension X12): wasted frames and wall
+//! time of the candidate-enumeration placement engine versus the legacy
+//! first-fit scanner, as the region count grows.
+//!
+//! Two record families:
+//!
+//! * **Scaling** — synthetic requirement sets of growing size on a
+//!   fabric synthesised with fixed slack, placed by both strategies.
+//!   The waste columns are deterministic; only the wall times vary
+//!   between runs.
+//! * **Corpus** — every case-study design partitioned once per device,
+//!   then the *same* scheme placed by both strategies, so the waste
+//!   comparison isolates the placer. The engine's waste guard makes
+//!   `candidate_waste <= first_fit_waste` a hard invariant; a record
+//!   with `dominates: false` is a placer regression.
+//!
+//! [`floorplan_scaling_json`] renders both families as the
+//! `BENCH_floorplan.json` artefact.
+
+use crate::table::TextTable;
+use prpart_arch::tile::{BRAMS_PER_TILE, CLBS_PER_TILE, DSPS_PER_TILE};
+use prpart_arch::{DeviceGeometry, DeviceLibrary, Resources, TileCounts};
+use prpart_core::Partitioner;
+use prpart_design::{corpus, Design};
+use prpart_floorplan::{Floorplan, FloorplanError, PlacerStrategy, PlannerConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Scaling-study parameters.
+#[derive(Debug, Clone)]
+pub struct FloorplanScalingConfig {
+    /// Region counts to sweep.
+    pub region_counts: Vec<usize>,
+    /// Rows of the synthesised fabric.
+    pub rows: u32,
+    /// Candidate-scoring worker threads (0 = one per core). Threads
+    /// only change the wall time, never the plan.
+    pub threads: usize,
+}
+
+impl Default for FloorplanScalingConfig {
+    fn default() -> Self {
+        FloorplanScalingConfig { region_counts: vec![4, 8, 16, 32, 64], rows: 8, threads: 0 }
+    }
+}
+
+/// One synthetic scaling point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorplanScalingRecord {
+    /// Regions placed.
+    pub regions: usize,
+    /// Wasted frames under the first-fit scanner.
+    pub first_fit_waste: u64,
+    /// First-fit wall time, milliseconds.
+    pub first_fit_millis: f64,
+    /// Wasted frames under the candidate engine.
+    pub candidate_waste: u64,
+    /// Candidate-engine wall time, milliseconds.
+    pub candidate_millis: f64,
+    /// `candidate_waste <= first_fit_waste` — the engine's invariant.
+    pub dominates: bool,
+}
+
+/// One case-study dominance check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorplanCorpusRecord {
+    /// Design name.
+    pub design: String,
+    /// Device the scheme was partitioned for.
+    pub device: String,
+    /// Regions in the placed scheme.
+    pub regions: usize,
+    /// Wasted frames under first-fit; `None` when first-fit found no
+    /// placement at all (a candidate-engine win by itself).
+    pub first_fit_waste: Option<u64>,
+    /// Wasted frames under the candidate engine.
+    pub candidate_waste: u64,
+    /// Candidate engine matched or beat first-fit.
+    pub dominates: bool,
+}
+
+/// Deterministic synthetic requirement mix: a splitmix-style generator
+/// keyed by the region count, so every run (and every thread count)
+/// sweeps identical inputs.
+fn synthetic_requirements(n: usize) -> Vec<TileCounts> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (n as u64);
+    let mut next = move |m: u32| -> u32 {
+        state =
+            state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 33) as u32) % m
+    };
+    (0..n)
+        .map(|_| TileCounts {
+            clb_tiles: 2 + next(14),
+            bram_tiles: next(4) / 2,
+            dsp_tiles: next(3) / 2,
+        })
+        .collect()
+}
+
+/// A fabric with ~2x slack over the summed demand, so both strategies
+/// always have room and the comparison measures waste, not feasibility.
+fn fabric_for(requirements: &[TileCounts], rows: u32) -> DeviceGeometry {
+    let total: TileCounts = requirements.iter().fold(TileCounts::ZERO, |acc, t| TileCounts {
+        clb_tiles: acc.clb_tiles + t.clb_tiles,
+        bram_tiles: acc.bram_tiles + t.bram_tiles,
+        dsp_tiles: acc.dsp_tiles + t.dsp_tiles,
+    });
+    let capacity = Resources::new(
+        2 * total.clb_tiles.max(1) * CLBS_PER_TILE,
+        2 * total.bram_tiles * BRAMS_PER_TILE,
+        2 * total.dsp_tiles * DSPS_PER_TILE,
+    );
+    DeviceGeometry::synthesise(&capacity, rows)
+}
+
+fn timed_place(
+    geometry: &DeviceGeometry,
+    requirements: &[TileCounts],
+    strategy: PlacerStrategy,
+    threads: usize,
+) -> (Result<Floorplan, FloorplanError>, f64) {
+    let planner =
+        PlannerConfig { strategy, threads, ..PlannerConfig::default() }.build(geometry.clone());
+    let start = Instant::now();
+    let plan = planner.place(requirements);
+    (plan, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs the synthetic scaling sweep. Fails with a message (instead of
+/// recording nonsense) if either strategy cannot place a point — the
+/// slack in [`fabric_for`] is sized so that never happens.
+pub fn run_floorplan_scaling(
+    cfg: &FloorplanScalingConfig,
+) -> Result<Vec<FloorplanScalingRecord>, String> {
+    let mut out = Vec::new();
+    for &n in &cfg.region_counts {
+        let requirements = synthetic_requirements(n);
+        let geometry = fabric_for(&requirements, cfg.rows);
+        let (ff, ff_millis) =
+            timed_place(&geometry, &requirements, PlacerStrategy::FirstFit, cfg.threads);
+        let ff = ff.map_err(|e| format!("first-fit failed at {n} regions: {e}"))?;
+        let (cand, cand_millis) =
+            timed_place(&geometry, &requirements, PlacerStrategy::Candidates, cfg.threads);
+        let cand = cand.map_err(|e| format!("candidate engine failed at {n} regions: {e}"))?;
+        let first_fit_waste = ff.waste_frames(&requirements);
+        let candidate_waste = cand.waste_frames(&requirements);
+        out.push(FloorplanScalingRecord {
+            regions: n,
+            first_fit_waste,
+            first_fit_millis: ff_millis,
+            candidate_waste,
+            candidate_millis: cand_millis,
+            dominates: candidate_waste <= first_fit_waste,
+        });
+    }
+    Ok(out)
+}
+
+/// The case-study corpus the dominance check sweeps, paired with the
+/// paper device each design is partitioned for.
+fn corpus_cases() -> Vec<(Design, &'static str)> {
+    vec![
+        (corpus::abc_example(), "SX70T"),
+        (corpus::video_receiver(corpus::VideoConfigSet::Original), "FX200T"),
+        (corpus::video_receiver(corpus::VideoConfigSet::Modified), "FX200T"),
+        (corpus::special_case_single_mode(), "SX70T"),
+        (corpus::cognitive_radio(), "FX200T"),
+    ]
+}
+
+/// Partitions each corpus design once, then places the *same* best
+/// scheme with both strategies on the device fabric and compares the
+/// wasted frames.
+pub fn run_floorplan_corpus(threads: usize) -> Result<Vec<FloorplanCorpusRecord>, String> {
+    let library = DeviceLibrary::virtex5();
+    let mut out = Vec::new();
+    for (design, device_name) in corpus_cases() {
+        let device = library
+            .by_name(device_name)
+            .ok_or_else(|| format!("unknown device '{device_name}'"))?;
+        let outcome = Partitioner::new(device.capacity)
+            .with_threads(threads)
+            .partition(&design)
+            .map_err(|e| format!("{}: {e}", design.name()))?;
+        let evaluated =
+            outcome.best.ok_or_else(|| format!("{}: search found no scheme", design.name()))?;
+        let requirements: Vec<TileCounts> =
+            (0..evaluated.scheme.regions.len()).map(|r| evaluated.scheme.region_tiles(r)).collect();
+        let place = |strategy: PlacerStrategy| {
+            PlannerConfig { strategy, threads, ..PlannerConfig::default() }
+                .build(device.geometry())
+                .place_scheme_connected(&design, &evaluated.scheme, Resources::ZERO)
+        };
+        let cand = place(PlacerStrategy::Candidates)
+            .map_err(|e| format!("{}: candidate engine failed: {e}", design.name()))?;
+        let candidate_waste = cand.waste_frames(&requirements);
+        let first_fit_waste =
+            place(PlacerStrategy::FirstFit).ok().map(|f| f.waste_frames(&requirements));
+        out.push(FloorplanCorpusRecord {
+            design: design.name().to_string(),
+            device: device_name.to_string(),
+            regions: evaluated.scheme.regions.len(),
+            first_fit_waste,
+            candidate_waste,
+            dominates: first_fit_waste.is_none_or(|ff| candidate_waste <= ff),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the scaling sweep as a text table.
+pub fn render_floorplan_scaling(records: &[FloorplanScalingRecord]) -> String {
+    let mut t = TextTable::new([
+        "regions",
+        "first-fit waste",
+        "first-fit (ms)",
+        "candidate waste",
+        "candidate (ms)",
+        "dominates",
+    ]);
+    for r in records {
+        t.row([
+            r.regions.to_string(),
+            r.first_fit_waste.to_string(),
+            format!("{:.3}", r.first_fit_millis),
+            r.candidate_waste.to_string(),
+            format!("{:.3}", r.candidate_millis),
+            if r.dominates { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the corpus dominance check as a text table.
+pub fn render_floorplan_corpus(records: &[FloorplanCorpusRecord]) -> String {
+    let mut t = TextTable::new([
+        "design",
+        "device",
+        "regions",
+        "first-fit waste",
+        "candidate waste",
+        "dominates",
+    ]);
+    for r in records {
+        t.row([
+            r.design.clone(),
+            r.device.clone(),
+            r.regions.to_string(),
+            r.first_fit_waste.map_or_else(|| "unplaceable".to_string(), |w| w.to_string()),
+            r.candidate_waste.to_string(),
+            if r.dominates { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders both record families as the `BENCH_floorplan.json` artefact
+/// (hand-rolled like `BENCH_serve.json`; design and device names come
+/// from the fixed corpus and contain nothing needing escaping).
+pub fn floorplan_scaling_json(
+    scaling: &[FloorplanScalingRecord],
+    corpus: &[FloorplanCorpusRecord],
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"floorplan_scaling\",");
+    let _ = writeln!(s, "  \"scaling\": [");
+    for (i, r) in scaling.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"regions\": {}, \"first_fit_waste\": {}, \"first_fit_millis\": {:.6}, \
+             \"candidate_waste\": {}, \"candidate_millis\": {:.6}, \"dominates\": {}}}{}",
+            r.regions,
+            r.first_fit_waste,
+            r.first_fit_millis,
+            r.candidate_waste,
+            r.candidate_millis,
+            r.dominates,
+            if i + 1 < scaling.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"corpus\": [");
+    for (i, r) in corpus.iter().enumerate() {
+        let ff = r.first_fit_waste.map_or_else(|| "null".to_string(), |w| w.to_string());
+        let _ = writeln!(
+            s,
+            "    {{\"design\": \"{}\", \"device\": \"{}\", \"regions\": {}, \
+             \"first_fit_waste\": {}, \"candidate_waste\": {}, \"dominates\": {}}}{}",
+            r.design,
+            r.device,
+            r.regions,
+            ff,
+            r.candidate_waste,
+            r.dominates,
+            if i + 1 < corpus.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_waste_is_deterministic_and_candidates_dominate() {
+        let cfg = FloorplanScalingConfig {
+            region_counts: vec![4, 8],
+            threads: 1,
+            ..FloorplanScalingConfig::default()
+        };
+        let a = run_floorplan_scaling(&cfg).unwrap();
+        let b = run_floorplan_scaling(&cfg).unwrap();
+        // Wall times differ between runs; the placements must not.
+        let waste = |r: &[FloorplanScalingRecord]| -> Vec<(u64, u64)> {
+            r.iter().map(|x| (x.first_fit_waste, x.candidate_waste)).collect()
+        };
+        assert_eq!(waste(&a), waste(&b));
+        assert_eq!(a.len(), 2);
+        for r in &a {
+            assert!(r.dominates, "candidate engine wasted more at {} regions", r.regions);
+        }
+        // Threading never changes a plan, only its wall time.
+        let threaded = run_floorplan_scaling(&FloorplanScalingConfig {
+            region_counts: vec![4, 8],
+            threads: 4,
+            ..FloorplanScalingConfig::default()
+        })
+        .unwrap();
+        assert_eq!(waste(&a), waste(&threaded));
+    }
+
+    #[test]
+    fn corpus_dominance_holds_on_every_case_study() {
+        let records = run_floorplan_corpus(1).unwrap();
+        assert_eq!(records.len(), 5);
+        for r in &records {
+            assert!(r.dominates, "{}: candidate engine wasted more than first-fit", r.design);
+        }
+        let json = floorplan_scaling_json(&[], &records);
+        assert!(json.contains("\"bench\": \"floorplan_scaling\""));
+        assert!(json.contains("\"design\": \"video-receiver\""));
+    }
+}

@@ -21,6 +21,7 @@
 //! | X8 | budgeted-search anytime quality | [`budgeted`] |
 //! | X10 | certifier wall-time vs configuration count | [`certify`] |
 //! | X11 | service goodput/latency vs offered load | [`serve`] |
+//! | X12 | floorplan scaling: candidate engine vs first-fit | [`floorplan`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,6 +32,7 @@ pub mod casestudy;
 pub mod certify;
 pub mod chaos;
 pub mod figures;
+pub mod floorplan;
 pub mod reliability;
 pub mod scaling;
 pub mod search_throughput;
@@ -49,6 +51,11 @@ pub use certify::{
 };
 pub use chaos::{
     chaos_bench_json, render_chaos_bench, run_chaos_bench, ChaosBenchConfig, ChaosRecord,
+};
+pub use floorplan::{
+    floorplan_scaling_json, render_floorplan_corpus, render_floorplan_scaling,
+    run_floorplan_corpus, run_floorplan_scaling, FloorplanCorpusRecord, FloorplanScalingConfig,
+    FloorplanScalingRecord,
 };
 pub use reliability::{fault_rate_sweep, render_fault_sweep, FaultSweepRecord};
 pub use search_throughput::{

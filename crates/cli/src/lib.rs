@@ -18,7 +18,7 @@
 #![forbid(unsafe_code)]
 
 use prpart_analysis::{lint_design, LintOptions, ProofChecker, TransitionCertifier};
-use prpart_arch::{DeviceLibrary, IcapModel, Resources};
+use prpart_arch::{Device, DeviceFamily, DeviceLibrary, IcapModel, Resources, TileCounts};
 use prpart_core::device_select::select_device;
 use prpart_core::report::{outcome_summary, scheme_report};
 use prpart_core::{
@@ -26,6 +26,7 @@ use prpart_core::{
     TransitionSemantics,
 };
 use prpart_design::Design;
+use prpart_floorplan::{place_with_feedback, Obstacle, PlacerStrategy, PlannerConfig};
 use prpart_flow::{ArtifactStore, FlowPipeline, StoreFaultModel};
 
 pub use prpart_core::CancelToken;
@@ -109,6 +110,37 @@ pub enum Command {
         threads: usize,
         /// Wall-clock deadline for the partitioning search, in seconds.
         deadline_secs: Option<f64>,
+        /// Metrics / span-profile export flags.
+        obs: ObsArgs,
+    },
+    /// `prpart floorplan <design> (--device NAME | --budget ...)
+    /// [--threads N] [--max-aspect A] [--obstacles FILE] [--render]
+    /// [--first-fit] [--max-retries K] [--library FILE]`.
+    Floorplan {
+        /// Design XML path.
+        design: String,
+        /// Target device or budget (`--auto` is rejected: a floorplan
+        /// needs one concrete fabric).
+        target: Target,
+        /// Candidate-scoring worker threads (0 = one per core, 1 =
+        /// serial; the plan is byte-identical for every value).
+        threads: usize,
+        /// Maximum width:height (or height:width) ratio of a placed
+        /// rectangle; `None` = unconstrained.
+        max_aspect: Option<f64>,
+        /// Obstacle file: one keep-out per line as two half-open tile
+        /// ranges `C0..C1 R0..R1` (columns then rows).
+        obstacles: Option<String>,
+        /// Append the ASCII tile map to the report.
+        render: bool,
+        /// Run the legacy first-fit scanner instead of the candidate
+        /// engine (the benchmark baseline).
+        first_fit: bool,
+        /// Budget-tightening retries of the partition→place feedback
+        /// loop.
+        max_retries: usize,
+        /// Optional device-library XML path.
+        library: Option<String>,
         /// Metrics / span-profile export flags.
         obs: ObsArgs,
     },
@@ -438,6 +470,11 @@ USAGE:
               [--store-fault-rate R] [--store-fault-seed S]
               [--threads N] [--deadline SECS]
               [--metrics-out FILE] [--format json|prom] [--profile-out FILE]
+  prpart floorplan <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
+                   [--threads N] [--max-aspect A] [--obstacles FILE]
+                   [--render] [--first-fit] [--max-retries K]
+                   [--library FILE]
+                   [--metrics-out FILE] [--format json|prom] [--profile-out FILE]
   prpart devices [--library FILE] [--full]
   prpart generate [--count N] [--seed S] --out DIR
   prpart simulate <design.xml> (--device NAME | --budget CLB,BRAM,DSP)
@@ -485,6 +522,20 @@ certificate's per-edge transition-time bounds. The replay is
 deterministic: same seed, same report and same metrics snapshot. See
 docs/resilience.md.
 
+`floorplan` runs the partition→place feedback loop and prints the
+resulting column-grid floorplan: per-region rectangles, wasted frames
+and fabric utilisation. The default candidate engine enumerates every
+irreducible covering rectangle per region and picks the one minimising
+wasted frames, then aspect penalty, then communication-weighted
+wire-length from the design's connectivity; `--first-fit` switches back
+to the legacy scanner (the benchmark baseline). `--max-aspect A` bounds
+rectangle aspect ratios, `--obstacles FILE` loads hard-macro keep-outs
+(one `C0..C1 R0..R1` half-open tile-range pair per line, `#` comments),
+`--render` appends the ASCII tile map and `--max-retries K` bounds the
+budget-tightening retries when nothing places. The report is
+deterministic and byte-identical for every `--threads` value. See
+docs/floorplan.md.
+
 `--threads N` fans the region-allocation search across N worker threads
 (0, the default, uses one per core). The result is byte-identical for
 every thread count; threads only change the wall time.
@@ -516,6 +567,45 @@ instrumentation on and prints the snapshot to stdout. Every export is
 gated by lint rule PL012 (each metric name registered exactly once).
 See docs/observability.md.
 ";
+
+/// Parses the `--obstacles` file body: one keep-out per line as two
+/// half-open tile ranges `C0..C1 R0..R1` (columns then rows). Blank
+/// lines and `#`-comments are skipped.
+fn parse_obstacles(text: &str) -> Result<Vec<Obstacle>, String> {
+    fn range(s: &str) -> Option<(u32, u32)> {
+        let (a, b) = s.split_once("..")?;
+        let a: u32 = a.trim().parse().ok()?;
+        let b: u32 = b.trim().parse().ok()?;
+        (a < b).then_some((a, b))
+    }
+    let mut obstacles = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or_default().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parsed = match (parts.next(), parts.next(), parts.next()) {
+            (Some(cols), Some(rows), None) => range(cols).zip(range(rows)),
+            _ => None,
+        };
+        let Some(((c0, c1), (r0, r1))) = parsed else {
+            return Err(format!(
+                "line {}: expected 'C0..C1 R0..R1' (two half-open, non-empty tile ranges), \
+                 got '{line}'",
+                idx + 1
+            ));
+        };
+        obstacles.push(Obstacle { cols: c0 as usize..c1 as usize, rows: r0..r1 });
+    }
+    Ok(obstacles)
+}
+
+fn load_obstacles(path: &str) -> Result<Vec<Obstacle>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError { message: format!("cannot read {path}: {e}") })?;
+    parse_obstacles(&text).map_err(|m| CliError { message: format!("{path}: {m}") })
+}
 
 fn parse_budget(s: &str) -> Result<Resources, CliError> {
     let parts: Vec<&str> = s.split(',').collect();
@@ -723,6 +813,77 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 _ => err("flow: need <design.xml> --device NAME and --out DIR and/or --store DIR"),
             }
+        }
+        "floorplan" => {
+            let mut design = None;
+            let mut target = None;
+            let mut threads = 0usize;
+            let mut max_aspect = None;
+            let mut obstacles = None;
+            let mut render = false;
+            let mut first_fit = false;
+            let mut max_retries = 3usize;
+            let mut library = None;
+            let mut obs = ObsArgs::default();
+            while let Some(a) = it.next() {
+                if obs.parse_flag(a.as_str(), &mut it, "--profile-out")? {
+                    continue;
+                }
+                match a.as_str() {
+                    "--device" => target = Some(Target::Device(flag_value("--device", &mut it)?)),
+                    "--budget" => {
+                        target =
+                            Some(Target::Budget(parse_budget(&flag_value("--budget", &mut it)?)?))
+                    }
+                    "--auto" => {
+                        return err("floorplan: --auto is not supported (a floorplan needs one \
+                             concrete fabric; pick --device or --budget)");
+                    }
+                    "--threads" => {
+                        threads = flag_value("--threads", &mut it)?
+                            .parse()
+                            .map_err(|_| CliError { message: "--threads needs a number".into() })?
+                    }
+                    "--max-aspect" => {
+                        let a: f64 =
+                            flag_value("--max-aspect", &mut it)?.parse().map_err(|_| CliError {
+                                message: "--max-aspect needs a number".into(),
+                            })?;
+                        if !a.is_finite() || a < 1.0 {
+                            return err("--max-aspect must be a finite ratio >= 1");
+                        }
+                        max_aspect = Some(a);
+                    }
+                    "--obstacles" => obstacles = Some(flag_value("--obstacles", &mut it)?),
+                    "--render" => render = true,
+                    "--first-fit" => first_fit = true,
+                    "--max-retries" => {
+                        max_retries =
+                            flag_value("--max-retries", &mut it)?.parse().map_err(|_| CliError {
+                                message: "--max-retries needs a number".into(),
+                            })?
+                    }
+                    "--library" => library = Some(flag_value("--library", &mut it)?),
+                    _ if design.is_none() && !a.starts_with('-') => design = Some(a.clone()),
+                    other => return err(format!("unexpected argument '{other}'")),
+                }
+            }
+            let Some(design) = design else { return err("floorplan: missing <design.xml>") };
+            let Some(target) = target else {
+                return err("floorplan: choose --device NAME or --budget CLB,BRAM,DSP");
+            };
+            Ok(Command::Floorplan {
+                design,
+                target,
+                threads,
+                max_aspect,
+                obstacles,
+                render,
+                first_fit,
+                max_retries,
+                library,
+                obs,
+            })
         }
         "generate" => {
             let mut count = 10usize;
@@ -1194,6 +1355,118 @@ pub fn run_with_cancel(cmd: Command, cancel: Option<CancelToken>) -> Result<Stri
                     p.metrics.total_frames, p.metrics.worst_frames, p.metrics.resources
                 );
             }
+            Ok(out)
+        }
+        Command::Floorplan {
+            design,
+            target,
+            threads,
+            max_aspect,
+            obstacles,
+            render,
+            first_fit,
+            max_retries,
+            library,
+            obs,
+        } => {
+            let library = load_library(&library, false)?;
+            let design = load_design(&design)?;
+            let device = match &target {
+                Target::Device(name) => library
+                    .by_name(name)
+                    .cloned()
+                    .ok_or_else(|| CliError { message: format!("unknown device '{name}'") })?,
+                // A budget target gets a synthetic 4-row fabric of that
+                // capacity (the library's small-device height).
+                Target::Budget(r) => Device::new("budget", DeviceFamily::Lx, *r, 4),
+                Target::Auto => {
+                    return err(
+                        "internal: floorplan requires a concrete --device or --budget target",
+                    )
+                }
+            };
+            let obstacles = match &obstacles {
+                None => Vec::new(),
+                Some(path) => load_obstacles(path)?,
+            };
+            let handle = obs.handle();
+            let config = PlannerConfig {
+                obstacles,
+                max_aspect,
+                strategy: if first_fit {
+                    PlacerStrategy::FirstFit
+                } else {
+                    PlacerStrategy::Candidates
+                },
+                threads,
+                obs: handle.clone(),
+            };
+            let planned = place_with_feedback(
+                &design,
+                &device,
+                |budget| Partitioner::new(budget).with_threads(threads),
+                max_retries,
+                &config,
+            )
+            .map_err(|e| CliError { message: e.to_string() })?;
+            let scheme = &planned.evaluated.scheme;
+            let floorplan = &planned.floorplan;
+            let requirements: Vec<TileCounts> =
+                (0..scheme.regions.len()).map(|r| scheme.region_tiles(r)).collect();
+            let mut out = String::new();
+            let _ = writeln!(out, "{design} | device {} ({})", device.name, device.capacity);
+            let _ = writeln!(
+                out,
+                "grid {} columns x {} rows | engine {} | obstacles {}",
+                floorplan.geometry.num_columns(),
+                floorplan.geometry.rows(),
+                if first_fit { "first-fit" } else { "candidates" },
+                floorplan.obstacles.len(),
+            );
+            let _ = writeln!(
+                out,
+                "scheme: {} region(s), {} static partition(s), {} configuration(s)",
+                scheme.regions.len(),
+                scheme.static_partitions.len(),
+                scheme.num_configurations,
+            );
+            let _ = writeln!(
+                out,
+                "search {} | retries {} | placement attempts {} | scheme rank {}",
+                planned.search_outcome,
+                planned.retries,
+                planned.placement_attempts,
+                planned.scheme_rank,
+            );
+            let _ = writeln!(out, "placements:");
+            for p in &floorplan.placements {
+                let got = p.tiles(&floorplan.geometry).frames();
+                let need = requirements.get(p.region).map_or(0, TileCounts::frames);
+                let _ = writeln!(
+                    out,
+                    "  region {:>2}: cols {:>3}..{:<3} rows {:>2}..{:<2} | need {:>6} frames \
+                     | got {:>6} | waste {}",
+                    p.region,
+                    p.cols.start,
+                    p.cols.end,
+                    p.rows.start,
+                    p.rows.end,
+                    need,
+                    got,
+                    got.saturating_sub(need),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "total waste {} frames | utilisation {:.2}% of {} available frames",
+                floorplan.waste_frames(&requirements),
+                floorplan.utilisation() * 100.0,
+                floorplan.available_frames(),
+            );
+            if render {
+                let _ = writeln!(out, "\n{}", floorplan.render().trim_end());
+            }
+            write_obs_outputs(&handle, &obs, &mut out)?;
             Ok(out)
         }
         Command::Lint { design, target, library, json } => {
@@ -2828,6 +3101,126 @@ mod tests {
         assert!(json.contains("runtime.recovery.retries_to_resolve"), "{json}");
         let flame = std::fs::read_to_string(&flame_path).unwrap();
         assert!(flame.lines().any(|l| l.starts_with("simulate ")), "{flame}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_floorplan_variants() {
+        let c = parse_args(&s(&["floorplan", "d.xml", "--device", "SX70T"])).unwrap();
+        match c {
+            Command::Floorplan {
+                target: Target::Device(name),
+                threads,
+                max_aspect,
+                render,
+                first_fit,
+                max_retries,
+                ..
+            } => {
+                assert_eq!(name, "SX70T");
+                assert_eq!(threads, 0);
+                assert_eq!(max_aspect, None);
+                assert!(!render && !first_fit);
+                assert_eq!(max_retries, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse_args(&s(&[
+            "floorplan",
+            "d.xml",
+            "--budget",
+            "100,2,3",
+            "--threads",
+            "4",
+            "--max-aspect",
+            "2.5",
+            "--obstacles",
+            "ob.txt",
+            "--render",
+            "--first-fit",
+            "--max-retries",
+            "1",
+        ]))
+        .unwrap();
+        match c {
+            Command::Floorplan {
+                target: Target::Budget(b),
+                threads,
+                max_aspect,
+                obstacles,
+                render,
+                first_fit,
+                max_retries,
+                ..
+            } => {
+                assert_eq!(b, Resources::new(100, 2, 3));
+                assert_eq!(threads, 4);
+                assert_eq!(max_aspect, Some(2.5));
+                assert_eq!(obstacles.as_deref(), Some("ob.txt"));
+                assert!(render && first_fit);
+                assert_eq!(max_retries, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --auto makes no sense for a floorplan; targets are mandatory.
+        assert!(parse_args(&s(&["floorplan", "d.xml", "--auto"])).is_err());
+        assert!(parse_args(&s(&["floorplan", "d.xml"])).is_err());
+        assert!(parse_args(&s(&["floorplan", "--device", "SX70T"])).is_err());
+        // Aspect ratios below 1 (or non-finite) are rejected at parse.
+        assert!(parse_args(&s(&["floorplan", "d.xml", "--auto", "--max-aspect", "0.5"])).is_err());
+        assert!(parse_args(&s(&["floorplan", "d.xml", "--auto", "--max-aspect", "nan"])).is_err());
+    }
+
+    #[test]
+    fn parses_obstacle_files() {
+        let text = "# hard macros\n0..2 0..4\n\n 3..5  1..2  # PCIe block\n";
+        let obstacles = parse_obstacles(text).unwrap();
+        assert_eq!(
+            obstacles,
+            vec![Obstacle { cols: 0..2, rows: 0..4 }, Obstacle { cols: 3..5, rows: 1..2 }]
+        );
+        assert!(parse_obstacles("").unwrap().is_empty());
+        // Empty ranges, missing fields and trailing junk are rejected
+        // with the offending line number.
+        assert!(parse_obstacles("2..2 0..4").unwrap_err().contains("line 1"));
+        assert!(parse_obstacles("0..2").unwrap_err().contains("line 1"));
+        assert!(parse_obstacles("0..2 0..4 9").unwrap_err().contains("line 1"));
+        assert!(parse_obstacles("ok..2 0..4").unwrap_err().contains("line 1"));
+        assert!(parse_obstacles("0..2 0..4\n5..4 0..1").unwrap_err().contains("line 2"));
+    }
+
+    #[test]
+    fn floorplan_command_is_deterministic_across_threads() {
+        let dir = std::env::temp_dir().join("prpart-cli-floorplan");
+        std::fs::create_dir_all(&dir).unwrap();
+        let design = prpart_design::corpus::abc_example();
+        let design_path = dir.join("abc.xml").to_string_lossy().into_owned();
+        std::fs::write(&design_path, prpart_xmlio::render_design(&design)).unwrap();
+        let obstacles_path = dir.join("obstacles.txt").to_string_lossy().into_owned();
+        std::fs::write(&obstacles_path, "0..1 0..2 # corner macro\n").unwrap();
+        let base = |threads: usize| Command::Floorplan {
+            design: design_path.clone(),
+            target: Target::Device("SX70T".into()),
+            threads,
+            max_aspect: Some(8.0),
+            obstacles: Some(obstacles_path.clone()),
+            render: true,
+            first_fit: false,
+            max_retries: 3,
+            library: None,
+            obs: Default::default(),
+        };
+        let serial = run(base(1)).unwrap();
+        assert!(serial.contains("placements:"), "{serial}");
+        assert!(serial.contains("total waste"), "{serial}");
+        assert!(serial.contains("engine candidates"), "{serial}");
+        assert!(serial.contains("obstacles 1"), "{serial}");
+        // The rendered tile map marks the keep-out.
+        assert!(serial.contains('#'), "{serial}");
+        let threaded = run(base(4)).unwrap();
+        assert_eq!(serial, threaded);
+        let auto = run(base(0)).unwrap();
+        assert_eq!(serial, auto);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

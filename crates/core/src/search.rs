@@ -1088,6 +1088,24 @@ pub struct PartitionOutcome {
     pub poisoned_units: Vec<PoisonedUnit>,
 }
 
+impl PartitionOutcome {
+    /// The feasible schemes of this outcome in preference order: the
+    /// best scheme first, then the remaining Pareto-front schemes by
+    /// ascending total reconfiguration time. Downstream stages that can
+    /// reject a scheme for reasons the search cannot see (e.g. a
+    /// floorplanner hitting the device's column layout) walk this
+    /// instead of re-running the whole search: each rejection costs one
+    /// placement attempt, not a sweep.
+    pub fn alternatives(&self) -> impl Iterator<Item = &EvaluatedScheme> {
+        let best = self.best.iter();
+        let rest = self
+            .pareto_front
+            .iter()
+            .filter(move |e| self.best.as_ref().map(|b| b.scheme != e.scheme).unwrap_or(true));
+        best.chain(rest)
+    }
+}
+
 #[derive(Default)]
 struct SearchStats {
     candidate_sets_explored: usize,

@@ -1,0 +1,406 @@
+//! Candidate-enumeration placement engine.
+//!
+//! For each region the engine precomputes the set of *irreducible
+//! covering rectangles* on the column grid: for every row span and
+//! start column, the shortest window of free columns whose tiles cover
+//! the requirement (the IRL-style enumeration of Deak & Creț,
+//! arXiv:1904.10646), plus — when an aspect limit makes the minimal
+//! cover too narrow — its aspect-grown variant. Candidates are then
+//! scored by a strict lexicographic cost:
+//!
+//! 1. wasted frames (rectangle frames beyond the requirement),
+//! 2. aspect ratio in milli-units (squarer is better; shaped mode only),
+//! 3. communication: affinity-weighted Manhattan distance to the
+//!    regions already placed (shaped mode only — see [`RegionAffinity`]),
+//! 4. enumeration index (scan order breaks the remaining ties).
+//!
+//! In *pure* mode (no affinity) criteria 2–3 are zero, so the choice
+//! degenerates to (waste, scan index) — exactly the first-fit scanner's
+//! objective — which is what lets the crate guarantee the candidate
+//! engine never packs worse than first-fit. The index tie-break makes
+//! the winner independent of evaluation order, so scoring fans out
+//! over `crossbeam` scoped workers and stays byte-identical for any
+//! thread count (the PR 2 determinism pattern).
+
+use crate::placer::{col_free, covers, exceeds_device, FloorplanError, Floorplanner, Placement};
+use prpart_arch::{BlockKind, TileCounts};
+use prpart_core::Scheme;
+use prpart_design::{ConnectivityMatrix, Design, GlobalModeId};
+
+/// Communication affinity between regions, derived from the design's
+/// connectivity matrix: the weight of regions *i, j* is the summed
+/// co-occurrence count (edge weight `W_ab`, paper §IV-C) over all mode
+/// pairs *(a, b)* with *a* hosted by *i* and *b* by *j*. Regions whose
+/// modes are active in the same configurations at the same time are the
+/// ones that exchange data on the fabric, so the placer pulls them
+/// together — but only as a tie-break below wasted frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionAffinity {
+    n: usize,
+    /// Row-major `n × n` symmetric weight matrix, zero diagonal.
+    weights: Vec<u64>,
+}
+
+impl RegionAffinity {
+    /// An all-zero affinity over `n` regions (shaping disabled).
+    pub fn none(n: usize) -> Self {
+        RegionAffinity { n, weights: vec![0; n * n] }
+    }
+
+    /// Derives the affinity of a scheme's regions from the design's
+    /// connectivity matrix.
+    pub fn from_scheme(design: &Design, scheme: &Scheme) -> Self {
+        let matrix = ConnectivityMatrix::from_design(design);
+        let n = scheme.regions.len();
+        let modes: Vec<Vec<GlobalModeId>> = scheme
+            .regions
+            .iter()
+            .map(|r| {
+                r.partitions
+                    .iter()
+                    .filter_map(|&p| scheme.partitions.get(p))
+                    .flat_map(|p| p.modes.iter().copied())
+                    .collect()
+            })
+            .collect();
+        let mut weights = vec![0u64; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let mut w = 0u64;
+                for &a in &modes[i] {
+                    for &b in &modes[j] {
+                        w += u64::from(matrix.edge_weight(a, b));
+                    }
+                }
+                weights[i * n + j] = w;
+                weights[j * n + i] = w;
+            }
+        }
+        RegionAffinity { n, weights }
+    }
+
+    /// A uniform affinity: every distinct region pair weighs `w`. Used
+    /// by tests and synthetic benchmarks to exercise shaping without a
+    /// design.
+    pub fn uniform(n: usize, w: u64) -> Self {
+        let mut weights = vec![w; n * n];
+        for i in 0..n {
+            weights[i * n + i] = 0;
+        }
+        RegionAffinity { n, weights }
+    }
+
+    /// The symmetric weight between regions `i` and `j` (0 when out of
+    /// range or `i == j`).
+    pub fn weight(&self, i: usize, j: usize) -> u64 {
+        if i < self.n && j < self.n {
+            self.weights[i * self.n + j]
+        } else {
+            0
+        }
+    }
+
+    /// Whether every weight is zero (shaping would be a no-op).
+    pub fn is_zero(&self) -> bool {
+        self.weights.iter().all(|&w| w == 0)
+    }
+}
+
+/// Evaluation cost of one candidate: strict lexicographic order, the
+/// trailing enumeration index makes every comparison a total order.
+type CostKey = (u64, u64, u64, usize);
+
+/// Candidate-pool size below which parallel scoring is not worth the
+/// thread handshake.
+const PARALLEL_THRESHOLD: usize = 64;
+
+/// Selects the best free rectangle for `req` given the occupancy grid,
+/// the already-seated placements and an optional communication affinity.
+pub(crate) fn best_candidate(
+    planner: &Floorplanner,
+    occupied: &[Vec<bool>],
+    req: &TileCounts,
+    region: usize,
+    affinity: Option<&RegionAffinity>,
+    placed: &[Placement],
+) -> Result<Placement, FloorplanError> {
+    if exceeds_device(planner.geometry(), req) {
+        return Err(FloorplanError::RegionTooLarge { region });
+    }
+    let candidates = enumerate_candidates(planner, occupied, req, region);
+    planner.obs().counter("floorplan.candidates_enumerated").add(candidates.len() as u64);
+    if candidates.is_empty() {
+        return Err(FloorplanError::NoSpace { region });
+    }
+
+    let geometry = planner.geometry();
+    let need_frames = req.frames();
+    let eval = |i: usize| -> CostKey {
+        let cand = &candidates[i];
+        let waste = cand.tiles(geometry).frames().saturating_sub(need_frames);
+        match affinity {
+            None => (waste, 0, 0, i),
+            Some(aff) => {
+                let w = cand.cols.len() as u64;
+                let h = cand.rows.len() as u64;
+                let aspect_milli = w.max(h) * 1000 / w.min(h).max(1);
+                let comm: u64 =
+                    placed.iter().map(|p| aff.weight(region, p.region) * manhattan(cand, p)).sum();
+                (waste, aspect_milli, comm, i)
+            }
+        }
+    };
+
+    let threads = resolve_threads(planner.threads()).min(candidates.len());
+    let serial_best = || (0..candidates.len()).map(eval).min();
+    let best = if threads <= 1 || candidates.len() < PARALLEL_THRESHOLD {
+        serial_best()
+    } else {
+        // Static contiguous chunks, one worker each; min over the
+        // per-chunk minima. min() is order-insensitive and the index in
+        // the key makes it unique, so the result is byte-identical to
+        // the serial scan for any worker count.
+        let chunk = candidates.len().div_ceil(threads);
+        let scoped = crossbeam::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(candidates.len());
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| (lo..hi).map(eval).min()));
+            }
+            let mut best: Option<CostKey> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(local) => {
+                        best = match (best, local) {
+                            (None, l) => l,
+                            (b, None) => b,
+                            (Some(b), Some(l)) => Some(b.min(l)),
+                        };
+                    }
+                    // A scoring worker panicked (engine bug): discard
+                    // the parallel attempt so the caller's serial
+                    // fallback keeps the result deterministic.
+                    Err(_) => return None,
+                }
+            }
+            best
+        });
+        match scoped {
+            Ok(Some(b)) => Some(b),
+            _ => serial_best(),
+        }
+    };
+
+    match best {
+        Some((_, _, _, idx)) => Ok(candidates[idx].clone()),
+        None => Err(FloorplanError::NoSpace { region }),
+    }
+}
+
+/// Affinity distance between two rectangles: Manhattan distance of the
+/// doubled centres (`start + end` avoids halving, staying integral).
+fn manhattan(a: &Placement, b: &Placement) -> u64 {
+    let acx = (a.cols.start + a.cols.end) as i64;
+    let bcx = (b.cols.start + b.cols.end) as i64;
+    let acy = i64::from(a.rows.start + a.rows.end);
+    let bcy = i64::from(b.rows.start + b.rows.end);
+    acx.abs_diff(bcx) + acy.abs_diff(bcy)
+}
+
+/// `0` means one worker per core.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Enumerates the irreducible covering rectangles of `req` on the free
+/// cells of the grid, in deterministic scan order (row span, then start
+/// column), appending an aspect-grown variant wherever the minimal
+/// cover is too narrow for the configured limit.
+fn enumerate_candidates(
+    planner: &Floorplanner,
+    occupied: &[Vec<bool>],
+    req: &TileCounts,
+    region: usize,
+) -> Vec<Placement> {
+    let geometry = planner.geometry();
+    let limit = planner.max_aspect();
+    let total_rows = geometry.rows();
+    let cols = geometry.num_columns();
+    let mut out = Vec::new();
+    for row_start in 0..total_rows {
+        for row_end in row_start + 1..=total_rows {
+            let span = row_end - row_start;
+            let bump = |have: &mut TileCounts, col: usize, up: bool| {
+                let d = if up { span } else { span.wrapping_neg() };
+                match geometry.column(col) {
+                    BlockKind::Clb => have.clb_tiles = have.clb_tiles.wrapping_add(d),
+                    BlockKind::Bram => have.bram_tiles = have.bram_tiles.wrapping_add(d),
+                    BlockKind::Dsp => have.dsp_tiles = have.dsp_tiles.wrapping_add(d),
+                }
+            };
+            // Two-pointer minimal-cover window, identical to the
+            // first-fit scanner's: `have` always holds the window's
+            // tile counts and every column in it is free over the span.
+            let mut col_start = 0usize;
+            let mut col_end = 0usize;
+            let mut have = TileCounts::ZERO;
+            while col_start < cols {
+                let mut blocked = false;
+                while col_end < cols && !covers(&have, req) {
+                    if !col_free(occupied, col_end, row_start, row_end) {
+                        blocked = true;
+                        break;
+                    }
+                    bump(&mut have, col_end, true);
+                    col_end += 1;
+                }
+                if covers(&have, req) {
+                    let w = col_end - col_start;
+                    let aspect_ok = limit.is_none_or(|l| {
+                        let wf = w as f64;
+                        let hf = span as f64;
+                        (wf / hf).max(hf / wf) <= l
+                    });
+                    if aspect_ok {
+                        out.push(Placement {
+                            region,
+                            cols: col_start..col_end,
+                            rows: row_start..row_end,
+                        });
+                    } else if let Some(l) = limit {
+                        // Too narrow for the limit: look ahead for the
+                        // aspect-grown variant without disturbing the
+                        // slide state. (Too *wide* cannot be fixed by
+                        // growing; the slide handles it.)
+                        let hf = f64::from(span);
+                        if hf / w as f64 > l {
+                            let mut e = col_end;
+                            while e < cols
+                                && hf / (e - col_start) as f64 > l
+                                && col_free(occupied, e, row_start, row_end)
+                            {
+                                e += 1;
+                            }
+                            let gw = (e - col_start) as f64;
+                            if hf / gw <= l && gw / hf <= l {
+                                out.push(Placement {
+                                    region,
+                                    cols: col_start..e,
+                                    rows: row_start..row_end,
+                                });
+                            }
+                        }
+                    }
+                    bump(&mut have, col_start, false);
+                    col_start += 1;
+                } else if blocked {
+                    col_start = col_end + 1;
+                    col_end = col_start;
+                    have = TileCounts::ZERO;
+                } else {
+                    break; // right edge reached without covering
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placer::PlacerStrategy;
+    use prpart_arch::DeviceGeometry;
+
+    fn geometry() -> DeviceGeometry {
+        use BlockKind::*;
+        DeviceGeometry::new(vec![Clb, Clb, Bram, Clb, Dsp, Clb, Clb, Bram, Clb, Clb], 4)
+    }
+
+    #[test]
+    fn enumeration_yields_minimal_covers_in_scan_order() {
+        let fp = Floorplanner::new(geometry());
+        let rows = fp.geometry().rows() as usize;
+        let occupied = vec![vec![false; fp.geometry().num_columns()]; rows];
+        let req = TileCounts { clb_tiles: 2, bram_tiles: 0, dsp_tiles: 0 };
+        let cands = enumerate_candidates(&fp, &occupied, &req, 0);
+        assert!(!cands.is_empty());
+        // Every candidate covers the requirement; scan order is
+        // non-decreasing in (row_start, row_end, col_start).
+        let mut prev = (0u32, 0u32, 0usize);
+        for c in &cands {
+            let t = c.tiles(fp.geometry());
+            assert!(t.clb_tiles >= 2, "{c:?} does not cover");
+            let key = (c.rows.start, c.rows.end, c.cols.start);
+            assert!(key >= prev, "scan order violated at {c:?}");
+            prev = key;
+        }
+    }
+
+    #[test]
+    fn pure_candidate_choice_matches_first_fit() {
+        let reqs = vec![
+            TileCounts { clb_tiles: 4, bram_tiles: 1, dsp_tiles: 0 },
+            TileCounts { clb_tiles: 3, bram_tiles: 0, dsp_tiles: 1 },
+            TileCounts { clb_tiles: 2, bram_tiles: 1, dsp_tiles: 0 },
+        ];
+        let cand = Floorplanner::new(geometry()).place(&reqs).unwrap();
+        let ff = Floorplanner::new(geometry())
+            .with_strategy(PlacerStrategy::FirstFit)
+            .place(&reqs)
+            .unwrap();
+        assert_eq!(cand.placements, ff.placements);
+    }
+
+    #[test]
+    fn affinity_weights_are_symmetric_with_zero_diagonal() {
+        use prpart_design::corpus;
+        let d = corpus::abc_example();
+        let matrix = ConnectivityMatrix::from_design(&d);
+        let parts: Vec<prpart_core::BasePartition> = (0..d.num_modes())
+            .map(|m| {
+                prpart_core::BasePartition::from_modes(&d, &matrix, vec![GlobalModeId(m as u32)])
+            })
+            .collect();
+        let scheme = Scheme {
+            regions: (0..parts.len())
+                .map(|i| prpart_core::Region { partitions: vec![i] })
+                .collect(),
+            partitions: parts,
+            static_partitions: vec![],
+            num_configurations: d.num_configurations(),
+        };
+        let aff = RegionAffinity::from_scheme(&d, &scheme);
+        let n = scheme.regions.len();
+        for i in 0..n {
+            assert_eq!(aff.weight(i, i), 0);
+            for j in 0..n {
+                assert_eq!(aff.weight(i, j), aff.weight(j, i));
+            }
+        }
+        assert!(!aff.is_zero(), "abc design has co-occurring modes");
+        assert_eq!(aff.weight(0, n + 5), 0, "out of range is zero");
+    }
+
+    #[test]
+    fn threaded_scoring_is_byte_identical() {
+        // Enough regions to push the pool over PARALLEL_THRESHOLD on a
+        // taller geometry.
+        let g = DeviceGeometry::new(vec![BlockKind::Clb; 24], 12);
+        let reqs: Vec<TileCounts> =
+            (1..8).map(|i| TileCounts { clb_tiles: i * 3, bram_tiles: 0, dsp_tiles: 0 }).collect();
+        let base = Floorplanner::new(g.clone()).with_threads(1).place(&reqs).unwrap();
+        for threads in [2, 4, 8] {
+            let plan = Floorplanner::new(g.clone()).with_threads(threads).place(&reqs).unwrap();
+            assert_eq!(plan.placements, base.placements, "threads={threads}");
+        }
+    }
+}

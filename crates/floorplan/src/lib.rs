@@ -18,22 +18,62 @@
 //!   cannot be floorplanned, the partitioner is re-run with a tightened
 //!   budget until a placeable scheme emerges.
 //!
-//! The placer is first-fit over row spans with a minimum-waste objective —
-//! deliberately simple, since the partitioner only needs realistic
-//! feasibility feedback, not optimal packing.
+//! The placer offers two strategies: the original first-fit scanner
+//! (kept as a baseline) and the default candidate-enumeration engine
+//! ([`engine`]), which scores every irreducible covering rectangle by
+//! wasted frames, aspect and communication affinity, fanning the
+//! scoring over scoped workers deterministically.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod placer;
 pub mod ucf;
 
-pub use placer::{Floorplan, FloorplanError, Floorplanner, Obstacle, Placement};
+pub use engine::RegionAffinity;
+pub use placer::{Floorplan, FloorplanError, Floorplanner, Obstacle, Placement, PlacerStrategy};
 pub use ucf::emit_ucf;
 
-use prpart_arch::{Device, Resources};
+use prpart_arch::{Device, DeviceGeometry, Resources};
 use prpart_core::{EvaluatedScheme, PartitionError, Partitioner, SearchOutcome};
 use prpart_design::Design;
+use prpart_obs::ObsHandle;
+
+/// Placement policy carried through the feedback loop: everything a
+/// [`Floorplanner`] needs besides the geometry itself, so obstacles,
+/// aspect limits, strategy, worker count and metrics survive every
+/// retry instead of being silently reset to defaults.
+#[derive(Debug, Clone, Default)]
+pub struct PlannerConfig {
+    /// Hard-macro keep-outs on the device.
+    pub obstacles: Vec<Obstacle>,
+    /// Maximum width:height (or height:width) ratio of a placed
+    /// rectangle; `None` = unconstrained.
+    pub max_aspect: Option<f64>,
+    /// Which placement algorithm runs.
+    pub strategy: PlacerStrategy,
+    /// Candidate-scoring worker threads (0 = one per core, 1 = serial;
+    /// the plan is byte-identical for every value).
+    pub threads: usize,
+    /// Metric sink for `floorplan.*` counters and spans.
+    pub obs: ObsHandle,
+}
+
+impl PlannerConfig {
+    /// Builds the configured [`Floorplanner`] for a geometry.
+    pub fn build(&self, geometry: DeviceGeometry) -> Floorplanner {
+        let mut fp = Floorplanner::new(geometry)
+            .with_obstacles(self.obstacles.clone())
+            .with_strategy(self.strategy)
+            .with_threads(self.threads)
+            .with_obs(self.obs.clone());
+        if let Some(a) = self.max_aspect {
+            fp = fp.with_max_aspect(a);
+        }
+        fp
+    }
+}
 
 /// Outcome of the partition-then-floorplan feedback loop.
 #[derive(Debug, Clone)]
@@ -47,6 +87,13 @@ pub struct PlannedDesign {
     /// Why the (last) partitioning search ended: `Complete` for a full
     /// sweep, or the budget/cancel cause for an anytime best-so-far scheme.
     pub search_outcome: SearchOutcome,
+    /// Total placement attempts across the loop, counting every scheme
+    /// tried from every search's preference order.
+    pub placement_attempts: usize,
+    /// Rank of the placed scheme in the final search's preference order
+    /// (0 = the search's best; >0 means a Pareto-front fallback placed
+    /// without re-running the partitioner).
+    pub scheme_rank: usize,
 }
 
 /// Error from the feedback loop.
@@ -77,45 +124,125 @@ impl std::fmt::Display for FeedbackError {
 impl std::error::Error for FeedbackError {}
 
 /// Runs the paper's future-work feedback loop: partition for the device,
-/// attempt to floorplan the best scheme, and on placement failure re-run
-/// the partitioner with a budget tightened by ~10% per retry (placement
-/// failures mean the resource-count feasibility test was too optimistic
-/// for this device's column layout).
+/// attempt to floorplan the search's schemes, and only when *none* of
+/// them places re-run the partitioner with a budget tightened by ~10%
+/// per retry (placement failures mean the resource-count feasibility
+/// test was too optimistic for this device's column layout).
+///
+/// The loop is *incremental*: before paying for another search it walks
+/// the current outcome's preference order
+/// ([`PartitionOutcome::alternatives`](prpart_core::PartitionOutcome::alternatives)
+/// — best scheme, then the Pareto front by ascending time), so a
+/// placement failure costs one placement attempt, not a full sweep.
+/// Placement itself is communication-aware
+/// ([`Floorplanner::place_scheme_connected`]) under the caller's
+/// [`PlannerConfig`].
 pub fn place_with_feedback(
     design: &Design,
     device: &Device,
     make_partitioner: impl Fn(Resources) -> Partitioner,
     max_retries: usize,
+    config: &PlannerConfig,
 ) -> Result<PlannedDesign, FeedbackError> {
-    let geometry = device.geometry();
-    let planner = Floorplanner::new(geometry);
+    let planner = config.build(device.geometry());
     let mut last_err = None;
+    let mut attempts = 0usize;
     for retry in 0..=max_retries {
-        // Tighten the budget by 10% per retry.
-        let scale = 100u32.saturating_sub(10 * retry as u32).max(10);
+        if retry > 0 {
+            config.obs.counter("floorplan.feedback_retries").incr();
+        }
+        // Tighten the budget by 10% per retry. Scaling in u64 keeps
+        // `capacity * scale` from overflowing u32 on large devices;
+        // scale <= 100 guarantees the result fits back into u32.
+        let scale = 100u64.saturating_sub(10 * retry as u64).max(10);
         let budget = Resources::new(
-            device.capacity.clb * scale / 100,
-            device.capacity.bram * scale / 100,
-            device.capacity.dsp * scale / 100,
+            scaled(device.capacity.clb, scale),
+            scaled(device.capacity.bram, scale),
+            scaled(device.capacity.dsp, scale),
         );
         let outcome =
             make_partitioner(budget).partition(design).map_err(FeedbackError::Partition)?;
         let search_outcome = outcome.search_outcome;
-        let Some(evaluated) = outcome.best else {
-            last_err = Some(FloorplanError::NoSpace { region: 0 });
-            continue;
-        };
-        match planner.place_scheme(&evaluated.scheme, design.static_overhead()) {
-            Ok(floorplan) => {
-                return Ok(PlannedDesign { evaluated, floorplan, retries: retry, search_outcome });
+        match place_outcome(design, &outcome, &planner) {
+            Ok(placed) => {
+                return Ok(PlannedDesign {
+                    evaluated: placed.evaluated,
+                    floorplan: placed.floorplan,
+                    retries: retry,
+                    search_outcome,
+                    placement_attempts: attempts + placed.attempts,
+                    scheme_rank: placed.rank,
+                });
             }
-            Err(e) => last_err = Some(e),
+            Err(unplaced) => {
+                attempts += unplaced.attempts;
+                last_err = unplaced.last.or(last_err);
+            }
         }
     }
     Err(FeedbackError::Unplaceable {
-        attempts: max_retries + 1,
+        attempts: attempts.max(max_retries + 1),
         last: last_err.unwrap_or(FloorplanError::NoSpace { region: 0 }),
     })
+}
+
+/// A scheme placed out of a search outcome's preference order.
+#[derive(Debug, Clone)]
+pub struct PlacedScheme {
+    /// The scheme that placed.
+    pub evaluated: EvaluatedScheme,
+    /// Its floorplan.
+    pub floorplan: Floorplan,
+    /// Rank in the preference order (0 = the search's best scheme).
+    pub rank: usize,
+    /// Placement attempts consumed (`rank + 1`).
+    pub attempts: usize,
+}
+
+/// Why [`place_outcome`] found nothing to place.
+#[derive(Debug, Clone, Default)]
+pub struct OutcomeUnplaced {
+    /// Placement attempts consumed (0 when the outcome had no scheme).
+    pub attempts: usize,
+    /// The last placement failure, if any scheme was tried.
+    pub last: Option<FloorplanError>,
+}
+
+/// Walks a search outcome's preference order (best scheme, then the
+/// Pareto front by ascending total time) with the given planner and
+/// returns the first scheme that places. This is the incremental half
+/// of [`place_with_feedback`]: each Pareto fallback costs one placement
+/// attempt instead of a partitioner re-run.
+pub fn place_outcome(
+    design: &Design,
+    outcome: &prpart_core::PartitionOutcome,
+    planner: &Floorplanner,
+) -> Result<PlacedScheme, OutcomeUnplaced> {
+    let mut unplaced = OutcomeUnplaced::default();
+    for (rank, evaluated) in outcome.alternatives().enumerate() {
+        unplaced.attempts += 1;
+        planner.obs().counter("floorplan.placement_attempts").incr();
+        match planner.place_scheme_connected(design, &evaluated.scheme, design.static_overhead()) {
+            Ok(floorplan) => {
+                if rank > 0 {
+                    planner.obs().counter("floorplan.pareto_fallbacks").incr();
+                }
+                return Ok(PlacedScheme {
+                    evaluated: evaluated.clone(),
+                    floorplan,
+                    rank,
+                    attempts: unplaced.attempts,
+                });
+            }
+            Err(e) => unplaced.last = Some(e),
+        }
+    }
+    Err(unplaced)
+}
+
+/// `capacity * scale / 100` without u32 overflow (`scale <= 100`).
+fn scaled(capacity: u32, scale: u64) -> u32 {
+    (u64::from(capacity) * scale / 100) as u32
 }
 
 #[cfg(test)]
@@ -129,9 +256,13 @@ mod tests {
         let d = corpus::abc_example();
         let lib = DeviceLibrary::virtex5();
         let device = lib.by_name("LX30").unwrap();
-        let planned = place_with_feedback(&d, device, Partitioner::new, 4).unwrap();
+        let planned =
+            place_with_feedback(&d, device, Partitioner::new, 4, &PlannerConfig::default())
+                .unwrap();
         assert!(!planned.floorplan.placements.is_empty());
         planned.floorplan.check_non_overlapping().expect("placements must not overlap");
+        assert!(planned.placement_attempts >= 1);
+        assert!(planned.scheme_rank < planned.placement_attempts);
     }
 
     #[test]
@@ -142,7 +273,8 @@ mod tests {
         let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
         let lib = DeviceLibrary::virtex5();
         let tiny = lib.by_name("LX20T").unwrap();
-        let err = place_with_feedback(&d, tiny, Partitioner::new, 1).unwrap_err();
+        let err = place_with_feedback(&d, tiny, Partitioner::new, 1, &PlannerConfig::default())
+            .unwrap_err();
         assert!(matches!(err, FeedbackError::Partition(_)), "{err}");
     }
 
@@ -151,8 +283,46 @@ mod tests {
         let d = corpus::video_receiver(corpus::VideoConfigSet::Original);
         let lib = DeviceLibrary::virtex5();
         let device = lib.by_name("SX70T").unwrap();
-        let planned = place_with_feedback(&d, device, Partitioner::new, 4).unwrap();
+        let planned =
+            place_with_feedback(&d, device, Partitioner::new, 4, &PlannerConfig::default())
+                .unwrap();
         planned.floorplan.check_non_overlapping().unwrap();
         assert_eq!(planned.floorplan.placements.len(), planned.evaluated.metrics.num_regions);
+    }
+
+    #[test]
+    fn feedback_threads_planner_config_through() {
+        // The loop must honour obstacles and the aspect limit on every
+        // retry — the pre-fix code rebuilt a default planner and lost
+        // both.
+        let d = corpus::abc_example();
+        let lib = DeviceLibrary::virtex5();
+        let device = lib.by_name("LX30").unwrap();
+        let ob = Obstacle { cols: 0..2, rows: 0..2 };
+        let cfg = PlannerConfig {
+            obstacles: vec![ob.clone()],
+            max_aspect: Some(4.0),
+            ..PlannerConfig::default()
+        };
+        let planned = place_with_feedback(&d, device, Partitioner::new, 4, &cfg).unwrap();
+        assert_eq!(planned.floorplan.obstacles, vec![ob.clone()]);
+        for p in &planned.floorplan.placements {
+            let w = p.cols.len() as f64;
+            let h = p.rows.len() as f64;
+            assert!((w / h).max(h / w) <= 4.0, "{p:?} violates the configured aspect");
+            let cols_overlap = p.cols.start < ob.cols.end && ob.cols.start < p.cols.end;
+            let rows_overlap = p.rows.start < ob.rows.end && ob.rows.start < p.rows.end;
+            assert!(!(cols_overlap && rows_overlap), "{p:?} inside the configured obstacle");
+        }
+    }
+
+    #[test]
+    fn feedback_budget_scaling_is_u64_safe() {
+        // The pre-fix expression `capacity * scale / 100` overflowed u32
+        // for any capacity above ~43M; the u64 path must not.
+        assert_eq!(scaled(u32::MAX, 100), u32::MAX);
+        assert_eq!(scaled(u32::MAX, 50), u32::MAX / 2);
+        assert_eq!(scaled(3_000_000_000, 90), 2_700_000_000);
+        assert_eq!(scaled(0, 10), 0);
     }
 }

@@ -1,8 +1,10 @@
 //! Rectangle placement of regions on the column grid.
 
+use crate::engine::{self, RegionAffinity};
 use prpart_arch::tile::frames_per_tile;
 use prpart_arch::{BlockKind, DeviceGeometry, Resources, TileCounts};
 use prpart_core::Scheme;
+use prpart_obs::ObsHandle;
 use std::fmt;
 
 /// A placed region: a rectangle of whole tiles, `cols` half-open,
@@ -40,6 +42,10 @@ pub struct Floorplan {
     pub geometry: DeviceGeometry,
     /// One placement per region, in region order.
     pub placements: Vec<Placement>,
+    /// The hard-macro keep-outs the plan was placed around. Carried so
+    /// utilisation and rendering can account for fabric that was never
+    /// available to PR regions.
+    pub obstacles: Vec<Obstacle>,
 }
 
 impl Floorplan {
@@ -58,24 +64,63 @@ impl Floorplan {
         Ok(())
     }
 
-    /// Fraction of the device's frames consumed by placed regions.
+    /// Fraction of the *available* frames consumed by placed regions.
+    /// Obstacle-covered tiles were never available to a PR region, so
+    /// they are excluded from the denominator; a device that is nothing
+    /// but hard macros has no available frames and reports `0.0`.
     pub fn utilisation(&self) -> f64 {
         let used: u64 = self.placements.iter().map(|p| p.tiles(&self.geometry).frames()).sum();
-        let total: u64 = self
-            .geometry
-            .columns()
-            .iter()
-            .map(|c| frames_per_tile(c.resource()) as u64 * self.geometry.rows() as u64)
-            .sum();
-        used as f64 / total as f64
+        let available = self.available_frames();
+        if available == 0 {
+            return 0.0;
+        }
+        used as f64 / available as f64
     }
 
-    /// ASCII rendering: one character per tile, `.` static fabric, region
-    /// index (mod 36) as alphanumeric.
+    /// Frames of the fabric outside every obstacle (overlapping
+    /// obstacles are counted once; out-of-grid obstacle cells are
+    /// clamped away).
+    pub fn available_frames(&self) -> u64 {
+        let blocked = blocked_grid(&self.geometry, &self.obstacles);
+        let mut total = 0u64;
+        for row in &blocked {
+            for (c, &cell) in row.iter().enumerate() {
+                if !cell {
+                    total += frames_per_tile(self.geometry.column(c).resource()) as u64;
+                }
+            }
+        }
+        total
+    }
+
+    /// Frames of the placed rectangles beyond what the requirements
+    /// actually need — the packing-quality metric the candidate engine
+    /// minimises. `requirements` must be in region order.
+    pub fn waste_frames(&self, requirements: &[TileCounts]) -> u64 {
+        self.placements
+            .iter()
+            .map(|p| {
+                let need = requirements.get(p.region).map_or(0, TileCounts::frames);
+                p.tiles(&self.geometry).frames().saturating_sub(need)
+            })
+            .sum()
+    }
+
+    /// ASCII rendering: one character per tile, `.` static fabric, `#`
+    /// obstacle, region index (mod 36) as alphanumeric.
     pub fn render(&self) -> String {
         let rows = self.geometry.rows() as usize;
         let cols = self.geometry.num_columns();
         let mut grid = vec![vec!['.'; cols]; rows];
+        for ob in &self.obstacles {
+            for r in ob.rows.clone() {
+                for c in ob.cols.clone() {
+                    if (r as usize) < rows && c < cols {
+                        grid[r as usize][c] = '#';
+                    }
+                }
+            }
+        }
         const SYMS: &[u8] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
         for p in &self.placements {
             let sym = SYMS[p.region % SYMS.len()] as char;
@@ -90,6 +135,24 @@ impl Floorplan {
             .collect::<Vec<_>>()
             .join("\n")
     }
+}
+
+/// The occupancy grid seeded with the obstacle cells (clamped to the
+/// grid bounds).
+pub(crate) fn blocked_grid(geometry: &DeviceGeometry, obstacles: &[Obstacle]) -> Vec<Vec<bool>> {
+    let rows = geometry.rows() as usize;
+    let cols = geometry.num_columns();
+    let mut blocked = vec![vec![false; cols]; rows];
+    for ob in obstacles {
+        for r in ob.rows.clone() {
+            for c in ob.cols.clone() {
+                if (r as usize) < rows && c < cols {
+                    blocked[r as usize][c] = true;
+                }
+            }
+        }
+    }
+    blocked
 }
 
 /// Why a placement attempt failed.
@@ -134,6 +197,21 @@ pub struct Obstacle {
     pub rows: std::ops::Range<u32>,
 }
 
+/// Which placement algorithm [`Floorplanner::place`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacerStrategy {
+    /// The legacy scanner: for each region, the minimal covering window
+    /// with the least wasted frames, first found wins ties. Kept as the
+    /// baseline the candidate engine is benchmarked against.
+    FirstFit,
+    /// The candidate-enumeration engine (default): precompute every
+    /// irreducible covering rectangle per region and select by the
+    /// (waste, aspect, communication) cost order. See
+    /// [`crate::engine`].
+    #[default]
+    Candidates,
+}
+
 /// Places region tile requirements onto a device geometry.
 #[derive(Debug, Clone)]
 pub struct Floorplanner {
@@ -143,12 +221,27 @@ pub struct Floorplanner {
     /// rectangle, in tiles; `None` = unconstrained. Extreme slivers
     /// route badly on real devices ("PRR shape constraints").
     max_aspect: Option<f64>,
+    strategy: PlacerStrategy,
+    /// Worker threads for candidate evaluation (0 = one per core). Any
+    /// value produces byte-identical plans; threads only change how
+    /// long enumeration-heavy placements take.
+    threads: usize,
+    /// Metric sink; disabled by default, in which case every
+    /// instrumentation point is a no-op.
+    obs: ObsHandle,
 }
 
 impl Floorplanner {
     /// Creates a floorplanner for a device geometry.
     pub fn new(geometry: DeviceGeometry) -> Self {
-        Floorplanner { geometry, obstacles: Vec::new(), max_aspect: None }
+        Floorplanner {
+            geometry,
+            obstacles: Vec::new(),
+            max_aspect: None,
+            strategy: PlacerStrategy::default(),
+            threads: 1,
+            obs: ObsHandle::disabled(),
+        }
     }
 
     /// Adds hard-macro keep-out areas.
@@ -167,9 +260,47 @@ impl Floorplanner {
         self
     }
 
+    /// Selects the placement algorithm (default:
+    /// [`PlacerStrategy::Candidates`]).
+    pub fn with_strategy(mut self, strategy: PlacerStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the candidate-evaluation worker count (0 = one per core).
+    /// The plan is byte-identical for every value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Installs an observability sink (`floorplan.*` counters and the
+    /// `floorplan.place` span).
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The geometry being placed onto.
     pub fn geometry(&self) -> &DeviceGeometry {
         &self.geometry
+    }
+
+    /// The configured keep-out areas.
+    pub fn obstacles(&self) -> &[Obstacle] {
+        &self.obstacles
+    }
+
+    pub(crate) fn max_aspect(&self) -> Option<f64> {
+        self.max_aspect
+    }
+
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub(crate) fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Places a scheme's regions (largest frame count first — big regions
@@ -185,50 +316,118 @@ impl Floorplanner {
         self.place(&reqs)
     }
 
+    /// Places a scheme's regions with the design's connectivity in the
+    /// objective: regions whose modes co-occur in configurations are
+    /// pulled together (see [`RegionAffinity`]). Wasted frames stay the
+    /// primary criterion — communication only arbitrates between
+    /// equally tight rectangles — so this never packs worse than
+    /// [`place_scheme`](Self::place_scheme).
+    pub fn place_scheme_connected(
+        &self,
+        design: &prpart_design::Design,
+        scheme: &Scheme,
+        _static_overhead: Resources,
+    ) -> Result<Floorplan, FloorplanError> {
+        let reqs: Vec<TileCounts> =
+            (0..scheme.regions.len()).map(|r| scheme.region_tiles(r)).collect();
+        let affinity = RegionAffinity::from_scheme(design, scheme);
+        self.place_with_affinity(&reqs, &affinity)
+    }
+
     /// Places a list of tile requirements; returns placements in the
-    /// *input* order.
+    /// *input* order. Pure packing objective: least wasted frames,
+    /// scan order breaks ties.
     pub fn place(&self, requirements: &[TileCounts]) -> Result<Floorplan, FloorplanError> {
-        let rows = self.geometry.rows() as usize;
-        let cols = self.geometry.num_columns();
-        let mut occupied = vec![vec![false; cols]; rows];
-        for ob in &self.obstacles {
-            for r in ob.rows.clone() {
-                for c in ob.cols.clone() {
-                    if (r as usize) < rows && c < cols {
-                        occupied[r as usize][c] = true;
+        let _span = self.obs.span("floorplan.place");
+        self.place_pass(requirements, None)
+    }
+
+    /// [`place`](Self::place) with a communication-affinity tie-break:
+    /// among least-waste candidates, the rectangle closest (affinity
+    /// weighted) to the already-placed communicating regions wins. A
+    /// waste guard re-runs the pure pass whenever shaping changed the
+    /// plan and keeps whichever plan wastes fewer frames, so affinity
+    /// can never regress packing.
+    pub fn place_with_affinity(
+        &self,
+        requirements: &[TileCounts],
+        affinity: &RegionAffinity,
+    ) -> Result<Floorplan, FloorplanError> {
+        let _span = self.obs.span("floorplan.place");
+        if self.strategy == PlacerStrategy::FirstFit || affinity.is_zero() {
+            // First-fit has no cost model to shape; a zero affinity
+            // shapes nothing.
+            return self.place_pass(requirements, None);
+        }
+        let shaped = self.place_pass(requirements, Some(affinity));
+        match shaped {
+            Ok(plan) => {
+                let shaped_waste = plan.waste_frames(requirements);
+                if shaped_waste == 0 {
+                    return Ok(plan); // already optimal; skip the guard pass
+                }
+                match self.place_pass(requirements, None) {
+                    Ok(pure) if pure.waste_frames(requirements) < shaped_waste => {
+                        self.obs.counter("floorplan.waste_guard_reverts").incr();
+                        Ok(pure)
                     }
+                    _ => Ok(plan),
                 }
             }
+            // Shaping changed intermediate occupancy into a dead end;
+            // the pure pass may still fit.
+            Err(_) => self.place_pass(requirements, None),
         }
+    }
+
+    /// One placement pass over the requirements in largest-first order.
+    fn place_pass(
+        &self,
+        requirements: &[TileCounts],
+        affinity: Option<&RegionAffinity>,
+    ) -> Result<Floorplan, FloorplanError> {
+        let mut occupied = blocked_grid(&self.geometry, &self.obstacles);
 
         // Largest-first placement order.
         let mut order: Vec<usize> = (0..requirements.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(requirements[i].frames()));
 
+        let placeholder = TileCounts { clb_tiles: 1, ..TileCounts::ZERO };
         let mut placements: Vec<Placement> = Vec::with_capacity(requirements.len());
         for &ri in &order {
-            let req = &requirements[ri];
-            if req.total_tiles() == 0 {
+            let req = if requirements[ri].total_tiles() == 0 {
                 // Degenerate region (all-zero partition): a 1×1 CLB tile
                 // placeholder keeps it addressable.
-                let p = self.find_rect(
-                    &occupied,
-                    &TileCounts { clb_tiles: 1, ..TileCounts::ZERO },
-                    ri,
-                )?;
-                mark(&mut occupied, &p);
-                placements.push(p);
-                continue;
-            }
-            let p = self.find_rect(&occupied, req, ri)?;
+                &placeholder
+            } else {
+                &requirements[ri]
+            };
+            let found = match self.strategy {
+                PlacerStrategy::FirstFit => self.find_rect(&occupied, req, ri),
+                PlacerStrategy::Candidates => {
+                    engine::best_candidate(self, &occupied, req, ri, affinity, &placements)
+                }
+            };
+            let p = match found {
+                Ok(p) => p,
+                Err(e) => {
+                    self.obs.counter("floorplan.no_space").incr();
+                    return Err(e);
+                }
+            };
             mark(&mut occupied, &p);
             placements.push(p);
+            self.obs.counter("floorplan.regions_placed").incr();
         }
         // `order` is a permutation of the input indices and every
         // placement carries its region, so sorting restores input order
         // without ever passing through a fallible Option.
         placements.sort_unstable_by_key(|p| p.region);
-        Ok(Floorplan { geometry: self.geometry.clone(), placements })
+        Ok(Floorplan {
+            geometry: self.geometry.clone(),
+            placements,
+            obstacles: self.obstacles.clone(),
+        })
     }
 
     /// Finds the free rectangle with the least wasted frames that covers
@@ -242,17 +441,7 @@ impl Floorplanner {
     ) -> Result<Placement, FloorplanError> {
         let total_rows = self.geometry.rows();
         let cols = self.geometry.num_columns();
-        // Quick infeasibility check against the whole device.
-        let dev = self.geometry.total_resources();
-        let dev_tiles = TileCounts {
-            clb_tiles: dev.clb / prpart_arch::tile::CLBS_PER_TILE,
-            bram_tiles: dev.bram / prpart_arch::tile::BRAMS_PER_TILE,
-            dsp_tiles: dev.dsp / prpart_arch::tile::DSPS_PER_TILE,
-        };
-        if req.clb_tiles > dev_tiles.clb_tiles
-            || req.bram_tiles > dev_tiles.bram_tiles
-            || req.dsp_tiles > dev_tiles.dsp_tiles
-        {
+        if exceeds_device(&self.geometry, req) {
             return Err(FloorplanError::RegionTooLarge { region });
         }
 
@@ -306,9 +495,40 @@ impl Floorplanner {
                             let h = cand.rows.len() as f64;
                             (w / h).max(h / w) <= limit
                         });
-                        let waste = cand.tiles(&self.geometry).frames() - need_frames;
-                        if aspect_ok && best.as_ref().is_none_or(|(w, _)| waste < *w) {
-                            best = Some((waste, cand));
+                        if aspect_ok {
+                            let waste = cand.tiles(&self.geometry).frames() - need_frames;
+                            if best.as_ref().is_none_or(|(w, _)| waste < *w) {
+                                best = Some((waste, cand));
+                            }
+                        } else if let Some(limit) = self.max_aspect {
+                            // The minimal cover is too *narrow* for the
+                            // limit: a wider window at the same position
+                            // may be legal (a wider one can never fix a
+                            // too-*wide* cover, so that case just slides).
+                            // Look ahead past col_end without disturbing
+                            // the slide state.
+                            let h = span as f64;
+                            if h / (col_end - col_start) as f64 > limit {
+                                let mut e = col_end;
+                                while e < cols
+                                    && h / (e - col_start) as f64 > limit
+                                    && col_free(occupied, e, row_start, row_end)
+                                {
+                                    e += 1;
+                                }
+                                let gw = (e - col_start) as f64;
+                                if h / gw <= limit && gw / h <= limit {
+                                    let grown = Placement {
+                                        region,
+                                        cols: col_start..e,
+                                        rows: row_start..row_end,
+                                    };
+                                    let waste = grown.tiles(&self.geometry).frames() - need_frames;
+                                    if best.as_ref().is_none_or(|(w, _)| waste < *w) {
+                                        best = Some((waste, grown));
+                                    }
+                                }
+                            }
                         }
                         // Slide: drop the leftmost column, try again.
                         remove(&mut have, col_start, &self.geometry);
@@ -328,13 +548,26 @@ impl Floorplanner {
     }
 }
 
-fn covers(have: &TileCounts, req: &TileCounts) -> bool {
+/// Quick infeasibility check against the whole device's tile totals.
+pub(crate) fn exceeds_device(geometry: &DeviceGeometry, req: &TileCounts) -> bool {
+    let dev = geometry.total_resources();
+    let dev_tiles = TileCounts {
+        clb_tiles: dev.clb / prpart_arch::tile::CLBS_PER_TILE,
+        bram_tiles: dev.bram / prpart_arch::tile::BRAMS_PER_TILE,
+        dsp_tiles: dev.dsp / prpart_arch::tile::DSPS_PER_TILE,
+    };
+    req.clb_tiles > dev_tiles.clb_tiles
+        || req.bram_tiles > dev_tiles.bram_tiles
+        || req.dsp_tiles > dev_tiles.dsp_tiles
+}
+
+pub(crate) fn covers(have: &TileCounts, req: &TileCounts) -> bool {
     have.clb_tiles >= req.clb_tiles
         && have.bram_tiles >= req.bram_tiles
         && have.dsp_tiles >= req.dsp_tiles
 }
 
-fn col_free(occupied: &[Vec<bool>], col: usize, row_start: u32, row_end: u32) -> bool {
+pub(crate) fn col_free(occupied: &[Vec<bool>], col: usize, row_start: u32, row_end: u32) -> bool {
     (row_start..row_end).all(|r| !occupied[r as usize][col])
 }
 
@@ -466,6 +699,63 @@ mod tests {
         let _ = Floorplanner::new(small_geometry()).with_max_aspect(0.5);
     }
 
+    #[test]
+    fn aspect_failure_grows_a_wider_window() {
+        // Regression (PR 10): columns [B C C C] over 4 rows with a
+        // requirement of 4 BRAM tiles force the full-height window at
+        // column 0; its minimal cover is 1 wide (aspect 4.0). With
+        // `max_aspect = 2` the old scanner slid on immediately after
+        // the aspect rejection and reported NoSpace even though the
+        // 2-wide window at the same position is legal.
+        use BlockKind::*;
+        let g = DeviceGeometry::new(vec![Bram, Clb, Clb, Clb], 4);
+        let req = TileCounts { clb_tiles: 0, bram_tiles: 4, dsp_tiles: 0 };
+        for strategy in [PlacerStrategy::FirstFit, PlacerStrategy::Candidates] {
+            let fp = Floorplanner::new(g.clone()).with_max_aspect(2.0).with_strategy(strategy);
+            let plan = fp
+                .place(&[req])
+                .unwrap_or_else(|e| panic!("{strategy:?} missed the wider window: {e}"));
+            let p = &plan.placements[0];
+            assert_eq!(p.rows.len(), 4, "only the full row span covers 4 BRAM tiles");
+            let w = p.cols.len() as f64;
+            assert!((4.0 / w).max(w / 4.0) <= 2.0, "{strategy:?} placed illegal {p:?}");
+            assert!(p.tiles(&g).bram_tiles >= 4);
+        }
+    }
+
+    #[test]
+    fn utilisation_excludes_obstacle_frames() {
+        // Regression (PR 10): the old denominator was the whole
+        // device, so hard macros deflated utilisation.
+        let g = small_geometry();
+        let ob = Obstacle { cols: 0..5, rows: 0..4 };
+        let req = TileCounts { clb_tiles: 2, bram_tiles: 0, dsp_tiles: 0 };
+        let plan = Floorplanner::new(g.clone()).with_obstacles(vec![ob]).place(&[req]).unwrap();
+        let used: u64 = plan.placements.iter().map(|p| p.tiles(&g).frames()).sum();
+        assert!(plan.utilisation() > 0.0);
+        assert!((plan.utilisation() - used as f64 / plan.available_frames() as f64).abs() < 1e-12);
+        // The obstructed denominator must be strictly smaller than the
+        // whole device's.
+        let full = Floorplanner::new(g.clone()).place(&[req]).unwrap().available_frames();
+        assert!(plan.available_frames() < full);
+        // A fully-blocked device reports 0.0 cleanly, not NaN.
+        let all_blocked = Floorplan {
+            geometry: g.clone(),
+            placements: vec![],
+            obstacles: vec![Obstacle { cols: 0..10, rows: 0..4 }],
+        };
+        assert_eq!(all_blocked.utilisation(), 0.0);
+    }
+
+    #[test]
+    fn waste_frames_counts_overhang_only() {
+        let g = small_geometry();
+        let req = TileCounts { clb_tiles: 2, bram_tiles: 0, dsp_tiles: 0 };
+        let plan = Floorplanner::new(g.clone()).place(&[req]).unwrap();
+        let placed = plan.placements[0].tiles(&g).frames();
+        assert_eq!(plan.waste_frames(&[req]), placed - req.frames());
+    }
+
     #[cfg(feature = "heavy-tests")]
     mod properties {
         use super::*;
@@ -522,6 +812,102 @@ mod tests {
                     }
                     Err(FloorplanError::NoSpace { region }) => {
                         prop_assert!(region < reqs.len());
+                    }
+                }
+            }
+
+            /// With obstacles *and* an aspect limit active, both
+            /// strategies stay sound (covers, in-bounds, non-overlapping,
+            /// obstacle-free, aspect-legal) and agree on success — the
+            /// property the pre-PR 10 scanner violated by reporting
+            /// NoSpace where a wider window was legal.
+            #[test]
+            fn prop_obstacle_aspect_placement_sound(
+                geometry in arb_geometry(),
+                ob_col in 0usize..4,
+                ob_w in 1usize..3,
+                ob_rows in 1u32..3,
+                aspect_tenths in 10u32..40,
+                reqs in proptest::collection::vec((0u32..6, 0u32..2, 0u32..2), 1..4),
+            ) {
+                let limit = f64::from(aspect_tenths) / 10.0;
+                let ob = Obstacle {
+                    cols: ob_col..(ob_col + ob_w).min(geometry.num_columns()),
+                    rows: 0..ob_rows.min(geometry.rows()),
+                };
+                let reqs: Vec<TileCounts> = reqs
+                    .into_iter()
+                    .map(|(c, b, d)| TileCounts { clb_tiles: c, bram_tiles: b, dsp_tiles: d })
+                    .collect();
+                let plan_with = |strategy: PlacerStrategy| {
+                    Floorplanner::new(geometry.clone())
+                        .with_obstacles(vec![ob.clone()])
+                        .with_max_aspect(limit)
+                        .with_strategy(strategy)
+                        .place(&reqs)
+                };
+                let ff = plan_with(PlacerStrategy::FirstFit);
+                let cand = plan_with(PlacerStrategy::Candidates);
+                prop_assert_eq!(
+                    ff.is_ok(), cand.is_ok(),
+                    "strategies disagree on feasibility: ff={:?} cand={:?}", ff, cand
+                );
+                for plan in [&ff, &cand].into_iter().flatten() {
+                    prop_assert!(plan.check_non_overlapping().is_ok());
+                    for (i, p) in plan.placements.iter().enumerate() {
+                        prop_assert!(p.cols.end <= geometry.num_columns());
+                        prop_assert!(p.rows.end <= geometry.rows());
+                        let got = p.tiles(&geometry);
+                        let want = if reqs[i].total_tiles() == 0 {
+                            TileCounts { clb_tiles: 1, ..TileCounts::ZERO }
+                        } else {
+                            reqs[i]
+                        };
+                        prop_assert!(got.clb_tiles >= want.clb_tiles);
+                        prop_assert!(got.bram_tiles >= want.bram_tiles);
+                        prop_assert!(got.dsp_tiles >= want.dsp_tiles);
+                        let w = p.cols.len() as f64;
+                        let h = p.rows.len() as f64;
+                        prop_assert!((w / h).max(h / w) <= limit + 1e-9, "sliver {:?}", p);
+                        let co = p.cols.start < ob.cols.end && ob.cols.start < p.cols.end;
+                        let ro = p.rows.start < ob.rows.end && ob.rows.start < p.rows.end;
+                        prop_assert!(!(co && ro), "{:?} inside the obstacle", p);
+                    }
+                }
+            }
+
+            /// The candidate engine never places with more waste than
+            /// first-fit, with or without affinity shaping (the waste
+            /// guard reverts shaping that costs frames).
+            #[test]
+            fn prop_candidates_never_waste_more_than_first_fit(
+                geometry in arb_geometry(),
+                reqs in proptest::collection::vec((0u32..6, 0u32..2, 0u32..2), 1..4),
+            ) {
+                let reqs: Vec<TileCounts> = reqs
+                    .into_iter()
+                    .map(|(c, b, d)| TileCounts { clb_tiles: c, bram_tiles: b, dsp_tiles: d })
+                    .collect();
+                let ff = Floorplanner::new(geometry.clone())
+                    .with_strategy(PlacerStrategy::FirstFit)
+                    .place(&reqs);
+                let engine = Floorplanner::new(geometry.clone());
+                let cand = engine.place(&reqs);
+                if let (Ok(ff), Ok(cand)) = (&ff, &cand) {
+                    prop_assert!(
+                        cand.waste_frames(&reqs) <= ff.waste_frames(&reqs),
+                        "pure engine wasted more: {} > {}",
+                        cand.waste_frames(&reqs), ff.waste_frames(&reqs)
+                    );
+                    let aff = crate::engine::RegionAffinity::uniform(reqs.len(), 3);
+                    let shaped = engine.place_with_affinity(&reqs, &aff);
+                    prop_assert!(shaped.is_ok(), "shaping lost a feasible plan");
+                    if let Ok(shaped) = shaped {
+                        prop_assert!(
+                            shaped.waste_frames(&reqs) <= ff.waste_frames(&reqs),
+                            "shaped engine wasted more: {} > {}",
+                            shaped.waste_frames(&reqs), ff.waste_frames(&reqs)
+                        );
                     }
                 }
             }

@@ -1,0 +1,126 @@
+//! Integration tests of the candidate-enumeration placement engine
+//! through the crate's public API: thread-count determinism, waste
+//! dominance over the first-fit baseline on the case-study design,
+//! Pareto-fallback accounting in the feedback loop, and the
+//! aspect-growth regression.
+
+use prpart_arch::{BlockKind, DeviceGeometry, DeviceLibrary, Resources, TileCounts};
+use prpart_core::Partitioner;
+use prpart_design::corpus::{self, VideoConfigSet};
+use prpart_floorplan::{
+    place_outcome, place_with_feedback, Floorplanner, PlacerStrategy, PlannerConfig,
+};
+
+fn video_receiver_on_sx70t() -> (prpart_design::Design, prpart_arch::Device) {
+    let design = corpus::video_receiver(VideoConfigSet::Original);
+    let device = DeviceLibrary::virtex5().by_name("SX70T").expect("SX70T in library").clone();
+    (design, device)
+}
+
+#[test]
+fn feedback_placement_is_byte_identical_across_thread_counts() {
+    let (design, device) = video_receiver_on_sx70t();
+    let place = |threads: usize| {
+        let config = PlannerConfig { threads, ..PlannerConfig::default() };
+        place_with_feedback(&design, &device, Partitioner::new, 3, &config)
+            .expect("video receiver places on SX70T")
+    };
+    let serial = place(1);
+    for threads in [2, 8, 0] {
+        let threaded = place(threads);
+        assert_eq!(
+            serial.floorplan.placements, threaded.floorplan.placements,
+            "plan differs at {threads} thread(s)"
+        );
+        assert_eq!(serial.retries, threaded.retries);
+        assert_eq!(serial.scheme_rank, threaded.scheme_rank);
+        assert_eq!(serial.placement_attempts, threaded.placement_attempts);
+    }
+}
+
+#[test]
+fn candidate_engine_never_wastes_more_than_first_fit_on_case_study() {
+    let (design, device) = video_receiver_on_sx70t();
+    let outcome = Partitioner::new(device.capacity).partition(&design).expect("search succeeds");
+    let planner = |strategy: PlacerStrategy| {
+        PlannerConfig { strategy, ..PlannerConfig::default() }.build(device.geometry())
+    };
+    let first_fit = planner(PlacerStrategy::FirstFit);
+    let candidates = planner(PlacerStrategy::Candidates);
+    let mut compared = 0usize;
+    for evaluated in outcome.alternatives() {
+        let requirements: Vec<TileCounts> =
+            (0..evaluated.scheme.regions.len()).map(|r| evaluated.scheme.region_tiles(r)).collect();
+        let Ok(ff) = first_fit.place_scheme_connected(&design, &evaluated.scheme, Resources::ZERO)
+        else {
+            continue;
+        };
+        let cand = candidates
+            .place_scheme_connected(&design, &evaluated.scheme, Resources::ZERO)
+            .expect("whatever first-fit places, the candidate engine places");
+        assert!(
+            cand.waste_frames(&requirements) <= ff.waste_frames(&requirements),
+            "candidate engine wasted more on a scheme first-fit handled"
+        );
+        compared += 1;
+    }
+    assert!(compared > 0, "no scheme of the outcome placed under first-fit");
+}
+
+#[test]
+fn pareto_fallback_is_one_attempt_per_rank_without_a_research() {
+    let (design, device) = video_receiver_on_sx70t();
+    let outcome = Partitioner::new(device.capacity).partition(&design).expect("search succeeds");
+    // A scheme the feedback loop proved placeable on this fabric.
+    let config = PlannerConfig::default();
+    let placeable = place_with_feedback(&design, &device, Partitioner::new, 3, &config)
+        .expect("video receiver places on SX70T")
+        .evaluated;
+
+    // Forge an outcome whose best scheme cannot possibly place (one
+    // partition demands more than the whole device) but whose Pareto
+    // front still carries the known-placeable scheme. The walk must
+    // burn exactly one attempt on the forged best and fall back.
+    let mut unplaceable = placeable.clone();
+    unplaceable.scheme.partitions[0].resources = Resources::new(u32::MAX / 2, 0, 0);
+    let mut forged = outcome.clone();
+    forged.best = Some(unplaceable.clone());
+    forged.pareto_front = vec![unplaceable.clone(), placeable.clone()];
+
+    let planner = config.build(device.geometry());
+    let placed =
+        place_outcome(&design, &forged, &planner).expect("the Pareto fallback scheme still places");
+    assert_eq!(placed.rank, 1, "placed the first alternative after the forged best");
+    assert_eq!(placed.attempts, 2, "one failed attempt on the best, one success");
+    assert_eq!(placed.evaluated.scheme, placeable.scheme);
+
+    // With the placeable scheme as best, the walk stops at rank 0 —
+    // and a duplicated Pareto entry costs no extra attempt.
+    forged.best = Some(placeable.clone());
+    forged.pareto_front = vec![placeable.clone(), unplaceable];
+    let direct = place_outcome(&design, &forged, &planner).expect("best scheme places directly");
+    assert_eq!((direct.rank, direct.attempts), (0, 1));
+}
+
+#[test]
+fn aspect_bound_grows_windows_instead_of_missing_placements() {
+    // One BRAM column then CLB fabric, 4 rows. Four BRAM tiles only
+    // cover as the full-height 1x4 sliver — aspect 4 — so under
+    // `max_aspect = 2` the placer must widen the window to 2x4 rather
+    // than slide past and report NoSpace (the old scanner's bug).
+    let geometry = DeviceGeometry::new(
+        vec![BlockKind::Bram, BlockKind::Clb, BlockKind::Clb, BlockKind::Clb],
+        4,
+    );
+    let req = TileCounts { clb_tiles: 0, bram_tiles: 4, dsp_tiles: 0 };
+    for strategy in [PlacerStrategy::FirstFit, PlacerStrategy::Candidates] {
+        let planner =
+            Floorplanner::new(geometry.clone()).with_max_aspect(2.0).with_strategy(strategy);
+        let plan = planner.place(&[req]).expect("a grown 2x4 window is legal");
+        let p = &plan.placements[0];
+        let (w, h) = ((p.cols.end - p.cols.start) as f64, (p.rows.end - p.rows.start) as f64);
+        assert!(w / h <= 2.0 && h / w <= 2.0, "{strategy:?} placed an illegal {w}x{h} window");
+        let got = p.tiles(&geometry);
+        assert!(got.bram_tiles >= 4, "{strategy:?} under-covered: {got:?}");
+    }
+}

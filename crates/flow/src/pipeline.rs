@@ -11,7 +11,7 @@ use prpart_core::{
     EvaluatedScheme, PartitionError, Partitioner, SearchBudget, SearchOutcome, TransitionSemantics,
 };
 use prpart_design::Design;
-use prpart_floorplan::{emit_ucf, FeedbackError, Floorplan, Floorplanner};
+use prpart_floorplan::{emit_ucf, FeedbackError, Floorplan, PlannerConfig};
 use prpart_obs::ObsHandle;
 use prpart_xmlio::SchemaError;
 use std::collections::BTreeMap;
@@ -134,6 +134,10 @@ pub struct FlowPipeline {
     /// mirrors. Disabled, every instrumentation point is a no-op and the
     /// flow output is byte-identical to an un-instrumented build.
     pub obs: ObsHandle,
+    /// Floorplanner policy (obstacles, aspect limit, strategy). Its
+    /// `threads` and `obs` fields are overridden by the pipeline's own
+    /// at placement time so one setting governs the whole flow.
+    pub planner: PlannerConfig,
 }
 
 impl FlowPipeline {
@@ -145,6 +149,7 @@ impl FlowPipeline {
             threads: 0,
             search_budget: SearchBudget::new(),
             obs: ObsHandle::disabled(),
+            planner: PlannerConfig::default(),
         }
     }
 
@@ -153,6 +158,19 @@ impl FlowPipeline {
     pub fn with_obs(mut self, obs: ObsHandle) -> Self {
         self.obs = obs;
         self
+    }
+
+    /// Sets the floorplanner policy (obstacles, aspect limit, strategy).
+    pub fn with_planner_config(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// The planner policy with the pipeline's own threads and obs
+    /// stamped in — the single config every placement in the flow uses,
+    /// which is what keeps fresh runs and store resumes byte-identical.
+    fn planner_config(&self) -> PlannerConfig {
+        PlannerConfig { threads: self.threads, obs: self.obs.clone(), ..self.planner.clone() }
     }
 
     /// Sets the partitioning-search thread count (0 = one per core).
@@ -247,11 +265,9 @@ impl FlowPipeline {
                 // name and seed every artifact identically.
                 let _span = self.obs.span("flow.floorplan");
                 let evaluated = self.canonicalize(&design, &evaluated)?;
-                let floorplan = Floorplanner::new(self.device.geometry())
-                    .place_scheme(&evaluated.scheme, design.static_overhead())
-                    .map_err(|e| {
-                        FlowError::Floorplan(FeedbackError::Unplaceable { attempts: 1, last: e })
-                    })?;
+                let floorplan = self.place_final(&design, &evaluated).map_err(|e| {
+                    FlowError::Floorplan(FeedbackError::Unplaceable { attempts: 1, last: e })
+                })?;
                 (evaluated, floorplan, retries, outcome)
             }
         };
@@ -300,6 +316,7 @@ impl FlowPipeline {
                         ))
                 },
                 self.max_floorplan_retries,
+                &self.planner_config(),
             )
             .map_err(|e| match e {
                 FeedbackError::Partition(pe) => FlowError::Partition(pe),
@@ -431,11 +448,24 @@ impl FlowPipeline {
         if !TransitionCertifier::new().certify(design, &evaluated.scheme).is_certified() {
             return None;
         }
-        let floorplan = Floorplanner::new(self.device.geometry())
-            .place_scheme(&evaluated.scheme, design.static_overhead())
-            .ok()?;
+        let floorplan = self.place_final(design, &evaluated).ok()?;
         let outcome = parse_outcome(&manifest.outcome)?;
         Some((evaluated, floorplan, manifest.retries, outcome))
+    }
+
+    /// Places a canonicalised scheme with the pipeline's planner policy.
+    /// The fresh store path and the resume path both come through here,
+    /// so a resumed floorplan is byte-identical to a fresh one.
+    fn place_final(
+        &self,
+        design: &Design,
+        evaluated: &EvaluatedScheme,
+    ) -> Result<Floorplan, prpart_floorplan::FloorplanError> {
+        self.planner_config().build(self.device.geometry()).place_scheme_connected(
+            design,
+            &evaluated.scheme,
+            design.static_overhead(),
+        )
     }
 
     /// Writes every artifact through the store (reusing files whose
@@ -500,10 +530,20 @@ impl FlowPipeline {
             }
         }
 
+        let requirements: Vec<prpart_arch::TileCounts> =
+            (0..artifacts.evaluated.scheme.regions.len())
+                .map(|r| artifacts.evaluated.scheme.region_tiles(r))
+                .collect();
+        let floorplan_summary = store::FloorplanSummary {
+            regions: artifacts.floorplan.placements.len(),
+            waste_frames: artifacts.floorplan.waste_frames(&requirements),
+            util_ppm: (artifacts.floorplan.utilisation() * 1e6).round() as u64,
+        };
         let manifest = Manifest {
             fingerprint,
             outcome: artifacts.search_outcome.to_string(),
             retries: artifacts.floorplan_retries,
+            floorplan: Some(floorplan_summary),
             entries,
         };
         // PL011: the manifest's partial-bitstream set must match the

@@ -377,6 +377,20 @@ pub struct ManifestEntry {
     pub digest: u64,
 }
 
+/// Summary of the committed floorplan, persisted so store tooling can
+/// report packing quality without replacing the flow. Integer-only so
+/// the manifest text stays platform-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloorplanSummary {
+    /// Number of placed regions.
+    pub regions: usize,
+    /// Frames of placed rectangles beyond the scheme's requirements.
+    pub waste_frames: u64,
+    /// Utilisation of the available (non-obstacle) fabric, in parts per
+    /// million.
+    pub util_ppm: u64,
+}
+
 /// The store's journal: the versioned, CRC-guarded, fingerprint-stamped
 /// record of every certified artifact. Written atomically and *last* —
 /// committing the manifest commits the flow.
@@ -389,6 +403,9 @@ pub struct Manifest {
     pub outcome: String,
     /// Floorplan feedback retries the flow needed.
     pub retries: usize,
+    /// Packing summary of the committed floorplan. Optional: manifests
+    /// written before PR 10 have no `floorplan` line and still parse.
+    pub floorplan: Option<FloorplanSummary>,
     /// Every artifact, by name.
     pub entries: BTreeMap<String, ManifestEntry>,
 }
@@ -402,6 +419,12 @@ impl Manifest {
         out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
         out.push_str(&format!("outcome {}\n", self.outcome));
         out.push_str(&format!("retries {}\n", self.retries));
+        if let Some(fp) = &self.floorplan {
+            out.push_str(&format!(
+                "floorplan {} {} {}\n",
+                fp.regions, fp.waste_frames, fp.util_ppm
+            ));
+        }
         for (name, e) in &self.entries {
             out.push_str(&format!(
                 "artifact {} {} {:016x} {}\n",
@@ -443,6 +466,7 @@ impl Manifest {
         let mut fingerprint = None;
         let mut outcome = None;
         let mut retries = None;
+        let mut floorplan = None;
         let mut entries = BTreeMap::new();
         for line in lines {
             let (key, rest) =
@@ -457,6 +481,25 @@ impl Manifest {
                 "outcome" => outcome = Some(rest.to_string()),
                 "retries" => {
                     retries = Some(rest.parse().map_err(|_| format!("bad retries '{rest}'"))?)
+                }
+                "floorplan" => {
+                    let mut parts = rest.split(' ');
+                    let regions = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad floorplan regions in '{line}'"))?;
+                    let waste_frames = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad floorplan waste in '{line}'"))?;
+                    let util_ppm = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad floorplan utilisation in '{line}'"))?;
+                    if parts.next().is_some() {
+                        return Err(format!("trailing floorplan fields in '{line}'"));
+                    }
+                    floorplan = Some(FloorplanSummary { regions, waste_frames, util_ppm });
                 }
                 "artifact" => {
                     let mut parts = rest.splitn(4, ' ');
@@ -491,6 +534,7 @@ impl Manifest {
             fingerprint: fingerprint.ok_or_else(|| "missing fingerprint".to_string())?,
             outcome: outcome.ok_or_else(|| "missing outcome".to_string())?,
             retries: retries.ok_or_else(|| "missing retries".to_string())?,
+            floorplan,
             entries,
         })
     }
@@ -829,7 +873,39 @@ mod tests {
             fingerprint: 0xdead_beef_cafe_f00d,
             outcome: "complete".to_string(),
             retries: 1,
+            floorplan: Some(FloorplanSummary { regions: 2, waste_frames: 7, util_ppm: 123_456 }),
             entries,
+        }
+    }
+
+    #[test]
+    fn manifest_without_floorplan_line_still_parses() {
+        // Pre-PR 10 manifests carry no `floorplan` line; the summary is
+        // optional on parse and omitted on serialize when absent.
+        let m = Manifest { floorplan: None, ..sample_manifest() };
+        let text = m.serialize();
+        assert!(!text.contains("floorplan"), "{text}");
+        assert_eq!(Manifest::parse(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn malformed_floorplan_line_is_rejected() {
+        let m = sample_manifest();
+        for bad in ["floorplan 2 7", "floorplan 2 7 x", "floorplan 2 7 9 9"] {
+            let text = m
+                .serialize()
+                .lines()
+                .map(|l| if l.starts_with("floorplan ") { bad.to_string() } else { l.to_string() })
+                .collect::<Vec<_>>()
+                .join("\n");
+            // Re-seal the CRC so only the floorplan defect is on trial.
+            let body = text.rsplit_once('\n').map(|(b, _)| b).unwrap_or(&text);
+            let mut sealed = String::new();
+            sealed.push_str(body);
+            sealed.push('\n');
+            let crc = crc32(sealed.as_bytes());
+            let full = format!("{sealed}crc32 {crc:08x}\n");
+            assert!(Manifest::parse(&full).is_err(), "accepted malformed '{bad}'");
         }
     }
 
